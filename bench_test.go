@@ -1,0 +1,447 @@
+package repro
+
+// Repository-level benchmarks: one per figure and quantitative claim of
+// the paper (the regenerating correctness harness is
+// internal/experiments, runnable via cmd/visdbbench), plus
+// micro-benchmarks of the pipeline stages. Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/arrange"
+	"repro/internal/colormap"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/join"
+	"repro/internal/kdtree"
+	"repro/internal/query"
+	"repro/internal/reduce"
+	"repro/internal/relevance"
+	"repro/internal/render"
+)
+
+const paperQuery = `
+SELECT Temperature, Solar_Radiation, Humidity, Ozone
+FROM Weather, Air-Pollution
+WHERE (Temperature > 15.0 OR Solar_Radiation > 600 OR Humidity < 60)
+  AND CONNECT with-time-diff(120)`
+
+// --- Figure 1a: spiral arrangement + coloring of 65,536 items -------
+
+func BenchmarkFig1aSpiral(b *testing.B) {
+	const w, h = 256, 256
+	rng := rand.New(rand.NewSource(1))
+	dists := make([]float64, w*h)
+	for i := range dists {
+		dists[i] = math.Abs(rng.NormFloat64())
+	}
+	norm := relevance.Normalize(dists, 0)
+	sorted, _ := reduce.SortWithIndex(norm.Scaled)
+	cm := colormap.VisDB(colormap.DefaultLevels)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		win := render.NewWindow("f1a", w, h, 1)
+		for k, cell := range arrange.Spiral(w, h) {
+			win.SetCell(cell, cm.AtNorm(sorted[k]/relevance.Scale))
+		}
+	}
+}
+
+// --- Figure 1b: 2D quadrant arrangement -----------------------------
+
+func BenchmarkFig1b2D(b *testing.B) {
+	const w, h = 128, 128
+	rng := rand.New(rand.NewSource(2))
+	items := make([]arrange.QuadItem, w*h*3/4)
+	for i := range items {
+		items[i] = arrange.QuadItem{SignX: rng.Intn(3) - 1, SignY: rng.Intn(3) - 1}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arrange.Quad2D(w, h, items)
+	}
+}
+
+// --- Figure 2: display-reduction heuristics --------------------------
+
+func BenchmarkFig2Heuristic(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	dists := make([]float64, 50000)
+	for i := range dists {
+		if i < 10000 {
+			dists[i] = 1 + 0.1*rng.NormFloat64()
+		} else {
+			dists[i] = 100 + rng.NormFloat64()
+		}
+	}
+	sorted, _ := reduce.SortWithIndex(dists)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reduce.Cut(sorted, 12000, 2)
+	}
+}
+
+// --- Figure 3: query parsing + GRADI rendering -----------------------
+
+func BenchmarkFig3Parse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q, err := query.Parse(paperQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = query.Gradi(q)
+	}
+}
+
+// --- Figures 4/5: the full pipeline on 68,376 objects ----------------
+
+func fig4Engine(b *testing.B) *core.Engine {
+	b.Helper()
+	cat, _, err := datagen.Environmental(datagen.EnvConfig{
+		Hours: 2849, PollutionEvery: 119, OffsetMinutes: 0, Seed: 1994,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.New(cat, nil, core.Options{GridW: 165, GridH: 165})
+}
+
+func BenchmarkFig4Pipeline(b *testing.B) {
+	eng := fig4Engine(b)
+	q, err := query.Parse(paperQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4PipelineParallel measures the concurrent sibling
+// evaluation option on the same workload.
+func BenchmarkFig4PipelineParallel(b *testing.B) {
+	cat, _, err := datagen.Environmental(datagen.EnvConfig{
+		Hours: 2849, PollutionEvery: 119, OffsetMinutes: 0, Seed: 1994,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := core.New(cat, nil, core.Options{GridW: 165, GridH: 165, Parallel: true})
+	q, err := query.Parse(paperQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5ORPart(b *testing.B) {
+	eng := fig4Engine(b)
+	res, err := eng.RunSQL(paperQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	orPart := res.Query.Where.(*query.BoolExpr).Children[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := res.DrillDownWindows(orPart, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Claim C1: O(n log n) scaling sweep ------------------------------
+
+func BenchmarkScaling(b *testing.B) {
+	for _, n := range []int{10000, 100000, 1000000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			tbl, err := dataset.NewTable("S", dataset.Schema{
+				{Name: "a", Kind: dataset.KindFloat},
+				{Name: "b", Kind: dataset.KindFloat},
+				{Name: "c", Kind: dataset.KindFloat},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if err := tbl.AppendRow(
+					dataset.Float(rng.Float64()*100),
+					dataset.Float(rng.Float64()*100),
+					dataset.Float(rng.Float64()*100),
+				); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cat := dataset.NewCatalog()
+			if err := cat.AddTable(tbl); err != nil {
+				b.Fatal(err)
+			}
+			eng := core.New(cat, nil, core.Options{GridW: 128, GridH: 128})
+			q, err := query.Parse(`SELECT a FROM S WHERE a > 50 AND b < 40 OR c BETWEEN 20 AND 30`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSortRanking isolates the sorting stage the paper names as
+// the dominating cost.
+func BenchmarkSortRanking(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	dists := make([]float64, 300000)
+	for i := range dists {
+		dists[i] = rng.Float64() * 255
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reduce.SortWithIndex(dists)
+	}
+}
+
+// --- Claim C2: display capacity (pure arithmetic; bench the window
+// fill at the paper's display budget) ---------------------------------
+
+func BenchmarkCapacityWindowFill(b *testing.B) {
+	const w, h = 1024, 1280 / 4 // one of four windows on the paper display
+	cm := colormap.VisDB(colormap.DefaultLevels)
+	cells := arrange.Spiral(w, h)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		win := render.NewWindow("cap", w, h, 1)
+		for k, cell := range cells {
+			win.SetCell(cell, cm.At(k%256))
+		}
+	}
+}
+
+// --- Claim C3: hot-spot recall workload ------------------------------
+
+func BenchmarkHotSpotRecall(b *testing.B) {
+	tbl, truth, err := datagen.CADParts(datagen.CADConfig{Parts: 2000, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat := dataset.NewCatalog()
+	if err := cat.AddTable(tbl); err != nil {
+		b.Fatal(err)
+	}
+	eng := core.New(cat, nil, core.Options{GridW: 48, GridH: 48})
+	q, err := query.Parse(datagen.CADQuerySQL(truth, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Claim C4: approximate join scoring ------------------------------
+
+func BenchmarkApproxJoin(b *testing.B) {
+	cat, _, err := datagen.Environmental(datagen.EnvConfig{Hours: 480, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := cat.Table("Weather")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := cat.Table("Air-Pollution")
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn, err := cat.Connection("with-time-diff")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := join.Pairs(w.NumRows(), p.NumRows(), 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := join.ConnDistances(conn, w, p, pairs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations --------------------------------------------------------
+
+func BenchmarkAblationNormalize(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	dists := make([]float64, 100000)
+	for i := range dists {
+		dists[i] = rng.ExpFloat64() * 10
+	}
+	b.Run("reduction-first", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			relevance.Normalize(dists, 30000)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			relevance.Normalize(dists, 0)
+		}
+	})
+}
+
+func BenchmarkAblationORMean(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	m, n := 3, 100000
+	dists := make([][]float64, m)
+	for j := range dists {
+		dists[j] = make([]float64, n)
+		for i := range dists[j] {
+			dists[j][i] = rng.Float64() * 255
+		}
+	}
+	weights := []float64{1, 2, 0.5}
+	b.Run("geometric", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := relevance.CombineOr(dists, weights, relevance.WeightNormalized); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("arithmetic", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := relevance.CombineAnd(dists, weights, relevance.WeightNormalized); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkAblationReduce(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	dists := make([]float64, 100000)
+	for i := range dists {
+		if i < 20000 {
+			dists[i] = 1 + 0.1*rng.NormFloat64()
+		} else {
+			dists[i] = 100 + rng.NormFloat64()
+		}
+	}
+	sorted, _ := reduce.SortWithIndex(dists)
+	b.Run("quantile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := reduce.DisplayFraction(25000, len(sorted), 0)
+			reduce.QuantileCut(len(sorted), p)
+		}
+	})
+	b.Run("gap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reduce.GapCut(sorted, reduce.GapOptions{RMin: 10000, RMax: 25000})
+		}
+	})
+}
+
+// --- Substrate micro-benchmarks ---------------------------------------
+
+func BenchmarkSpiralGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		arrange.Spiral(256, 256)
+	}
+}
+
+func BenchmarkColormapLookup(b *testing.B) {
+	cm := colormap.VisDB(colormap.DefaultLevels)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cm.AtNorm(float64(i%1000) / 1000)
+	}
+}
+
+func BenchmarkKDTreeRange(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	pts := make([][]float64, 100000)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+	}
+	tr, err := kdtree.Build(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo := []float64{20, 20, 20}
+	hi := []float64{30, 30, 30}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Range(lo, hi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRenderComposePNG(b *testing.B) {
+	wins := make([]*render.Window, 4)
+	cm := colormap.VisDB(256)
+	for i := range wins {
+		wins[i] = render.NewWindow(fmt.Sprintf("w%d", i), 128, 128, 1)
+		for k, cell := range arrange.Spiral(128, 128) {
+			wins[i].SetCell(cell, cm.At(k%256))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		render.Compose(wins, 2, 6)
+	}
+}
+
+// --- Experiment-harness smoke benchmark --------------------------------
+
+// BenchmarkExperimentSuite times the full figure/claim regeneration
+// (without image output), which is what CI gates on.
+func BenchmarkExperimentSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reports, err := experiments.All("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range reports {
+			if !r.Pass {
+				b.Fatalf("experiment %s failed", r.ID)
+			}
+		}
+	}
+}

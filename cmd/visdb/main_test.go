@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBuiltinDatasets(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		data string
+		sql  string
+	}{
+		{"env", `SELECT Temperature FROM Weather WHERE Temperature > 20`},
+		{"cad", `SELECT PartID FROM Parts WHERE P1 > 50`},
+		{"multidb", `SELECT Name FROM PersonsA WHERE Born > 1960`},
+	}
+	for _, tc := range cases {
+		if err := run(tc.data, "", tc.sql, "", dir, 16, 16, 1, 2, true, false, true, 48, 1); err != nil {
+			t.Fatalf("%s: %v", tc.data, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "visdb.png")); err != nil {
+		t.Fatalf("missing output image: %v", err)
+	}
+}
+
+func TestRunCSVInput(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "data.csv")
+	if err := os.WriteFile(csvPath, []byte("x,y\n1,2\n3,4\n5,6\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(csvPath, "", `SELECT x FROM data WHERE x > 2`, "", dir, 8, 8, 1, 1, false, true, false, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit table name.
+	if err := run(csvPath, "D", `SELECT x FROM D WHERE x > 2`, "", "", 8, 8, 1, 1, false, false, false, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQueryFile(t *testing.T) {
+	dir := t.TempDir()
+	qPath := filepath.Join(dir, "q.sql")
+	if err := os.WriteFile(qPath, []byte(`SELECT Temperature FROM Weather WHERE Temperature > 25`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("env", "", "", qPath, dir, 8, 8, 1, 1, false, false, false, 48, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("env", "", "", "", "", 8, 8, 1, 1, false, false, false, 48, 1); err == nil {
+		t.Error("missing query should fail")
+	}
+	if err := run("env", "", "garbage query", "", "", 8, 8, 1, 1, false, false, false, 48, 1); err == nil {
+		t.Error("parse error should fail")
+	}
+	if err := run("/nonexistent.csv", "", `SELECT x FROM T`, "", "", 8, 8, 1, 1, false, false, false, 48, 1); err == nil {
+		t.Error("missing CSV should fail")
+	}
+	if err := run("env", "", "", "/nonexistent.sql", "", 8, 8, 1, 1, false, false, false, 48, 1); err == nil {
+		t.Error("missing query file should fail")
+	}
+}

@@ -1,0 +1,105 @@
+// Command visdbgen generates the synthetic datasets of the
+// reproduction and writes them as CSV files.
+//
+// Usage:
+//
+//	visdbgen -kind env -hours 720 -out data/
+//	visdbgen -kind cad -parts 5000 -out data/
+//	visdbgen -kind multidb -people 400 -out data/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/visdb"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "env", "dataset kind: env, cad, multidb")
+		out    = flag.String("out", "data", "output directory")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		hours  = flag.Int("hours", 720, "env: hours of weather data")
+		every  = flag.Int("every", 1, "env: pollution sampled every N hours")
+		offset = flag.Int("offset", 30, "env: pollution timestamp offset (minutes)")
+		hot    = flag.Int("hotspots", 5, "env: planted exceptional ozone values")
+		parts  = flag.Int("parts", 1000, "cad: number of parts")
+		people = flag.Int("people", 300, "multidb: entities in database A")
+	)
+	flag.Parse()
+	if err := run(*kind, *out, *seed, *hours, *every, *offset, *hot, *parts, *people); err != nil {
+		fmt.Fprintln(os.Stderr, "visdbgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, out string, seed int64, hours, every, offset, hot, parts, people int) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	var tables []*visdb.Table
+	switch kind {
+	case "env":
+		cat, truth, err := visdb.Environmental(visdb.EnvConfig{
+			Hours: hours, PollutionEvery: every, OffsetMinutes: offset,
+			HotSpots: hot, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		for _, name := range cat.TableNames() {
+			t, err := cat.Table(name)
+			if err != nil {
+				return err
+			}
+			tables = append(tables, t)
+		}
+		fmt.Printf("planted: ozone lag %dh, %d hot spots\n", truth.LagHours, len(truth.HotSpotRows))
+	case "cad":
+		tbl, truth, err := visdb.CADParts(visdb.CADConfig{Parts: parts, Seed: seed})
+		if err != nil {
+			return err
+		}
+		tables = append(tables, tbl)
+		fmt.Printf("planted: %d exact matches, near-miss row %d\n", len(truth.ExactRows), truth.NearMissRow)
+		sqlPath := filepath.Join(out, "cad_query.sql")
+		if err := os.WriteFile(sqlPath, []byte(visdb.CADQuerySQL(truth, 0)+"\n"), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", sqlPath)
+	case "multidb":
+		cat, truth, err := visdb.MultiDB(visdb.MultiDBConfig{People: people, Seed: seed})
+		if err != nil {
+			return err
+		}
+		for _, name := range cat.TableNames() {
+			t, err := cat.Table(name)
+			if err != nil {
+				return err
+			}
+			tables = append(tables, t)
+		}
+		fmt.Printf("planted: %d true correspondences\n", len(truth.Matches))
+	default:
+		return fmt.Errorf("unknown kind %q (env, cad, multidb)", kind)
+	}
+	for _, t := range tables {
+		path := filepath.Join(out, t.Name()+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d rows)\n", path, t.NumRows())
+	}
+	return nil
+}

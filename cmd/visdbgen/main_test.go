@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("env", dir, 1, 48, 2, 30, 2, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"Weather.csv", "Air-Pollution.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("env: missing %s", f)
+		}
+	}
+	if err := run("cad", dir, 1, 0, 0, 0, 0, 50, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"Parts.csv", "cad_query.sql"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("cad: missing %s", f)
+		}
+	}
+	if err := run("multidb", dir, 1, 0, 0, 0, 0, 0, 40); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"PersonsA.csv", "PersonsB.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("multidb: missing %s", f)
+		}
+	}
+}
+
+func TestGenerateUnknownKind(t *testing.T) {
+	if err := run("nope", t.TempDir(), 1, 0, 0, 0, 0, 0, 0); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}

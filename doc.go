@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of Keim, Kriegel &
+// Seidl, "Supporting Data Mining of Large Databases by Visual Feedback
+// Queries" (ICDE 1994) — the VisDB system.
+//
+// The public API lives in repro/visdb; the experiment harness that
+// regenerates every figure and quantitative claim of the paper lives in
+// cmd/visdbbench; repository-level benchmarks for each experiment are
+// in bench_test.go. See README.md for an overview, DESIGN.md for the
+// system inventory and experiment index, and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package repro

@@ -1,0 +1,77 @@
+// Command quickstart is the smallest end-to-end VisDB example: build a
+// table, run a visual feedback query, inspect the relevance ranking and
+// save the pixel visualization.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/visdb"
+)
+
+func main() {
+	// A toy product table: price and rating.
+	cat := visdb.NewCatalog()
+	tbl, err := visdb.NewTable("Products", visdb.Schema{
+		{Name: "Price", Kind: visdb.KindFloat},
+		{Name: "Rating", Kind: visdb.KindFloat},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		price := 5 + rng.ExpFloat64()*40
+		rating := 1 + 4*rng.Float64()
+		if err := tbl.AppendRow(visdb.Float(price), visdb.Float(rating)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := cat.AddTable(tbl); err != nil {
+		log.Fatal(err)
+	}
+
+	// "Cheap AND well rated" — almost nothing satisfies both exactly,
+	// which is precisely when visual feedback beats a boolean result.
+	const sql = `SELECT Price FROM Products WHERE Price < 10 WEIGHT 1 AND Rating > 4.5 WEIGHT 2`
+
+	// The traditional interface first: how many exact answers?
+	exact, err := visdb.BooleanMatches(cat, sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("boolean query returns %d rows\n", len(exact))
+
+	// The VisDB way: every product ranked by relevance.
+	eng := visdb.NewEngine(cat, visdb.Options{GridW: 72, GridH: 72})
+	res, err := eng.RunSQL(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := res.Stats()
+	fmt.Printf("VisDB: %d objects, %d displayed (%.1f%%), %d exact\n",
+		st.NumObjects, st.NumDisplayed, st.PctDisplayed*100, st.NumResults)
+
+	fmt.Println("\ntop 5 approximate answers (price, rating):")
+	for _, item := range res.TopK(5) {
+		tup, err := res.Tuple(item)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  relevance %.3f: %s, %s\n",
+			res.Relevance[item], tup.Rows[0][0], tup.Rows[0][1])
+	}
+
+	img, err := res.Image(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := img.SavePNG("out/quickstart.png"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote out/quickstart.png — overall window + one window per predicate")
+	fmt.Println("\nterminal preview of the overall result (yellow center = best):")
+	fmt.Println(img.ASCII(100, 32))
+}

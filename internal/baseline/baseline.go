@@ -1,0 +1,241 @@
+// Package baseline implements the comparison system of the experiments:
+// a traditional boolean query evaluator with exact SQL semantics. The
+// paper's motivation (section 1) is that with such interfaces "the
+// result for most queries will contain either less data than expected,
+// sometimes even no answers, so-called 'NULL' results, or more data
+// than expected"; the experiment harness quantifies that against the
+// VisDB engine's relevance ranking.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+// Matches evaluates q exactly over its single FROM table and returns
+// the indices of rows satisfying the condition. Multi-table queries are
+// out of scope for the baseline (the experiments compare equi-joins via
+// the join package instead).
+func Matches(cat *dataset.Catalog, q *query.Query) ([]int, error) {
+	b, err := query.Bind(q, cat)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.From) != 1 {
+		return nil, fmt.Errorf("baseline: only single-table queries supported, got %d tables", len(q.From))
+	}
+	t, err := cat.Table(q.From[0])
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for row := 0; row < t.NumRows(); row++ {
+		ok, err := evalExpr(q.Where, b, cat, t, row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// MatchesSQL is Matches over a dialect string.
+func MatchesSQL(cat *dataset.Catalog, src string) ([]int, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Matches(cat, q)
+}
+
+// Count returns the number of matching rows.
+func Count(cat *dataset.Catalog, src string) (int, error) {
+	rows, err := MatchesSQL(cat, src)
+	if err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+func evalExpr(e query.Expr, b *query.Binding, cat *dataset.Catalog, t *dataset.Table, row int) (bool, error) {
+	if e == nil {
+		return true, nil
+	}
+	switch n := e.(type) {
+	case *query.Cond:
+		return evalCond(n, b, t, row)
+	case *query.BoolExpr:
+		if n.Op == query.And {
+			for _, c := range n.Children {
+				ok, err := evalExpr(c, b, cat, t, row)
+				if err != nil || !ok {
+					return false, err
+				}
+			}
+			return true, nil
+		}
+		for _, c := range n.Children {
+			ok, err := evalExpr(c, b, cat, t, row)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *query.Not:
+		ok, err := evalExpr(n.Child, b, cat, t, row)
+		return !ok, err
+	case *query.SubqueryExpr:
+		return evalSubquery(n, b, cat, t, row)
+	case *query.JoinExpr:
+		return false, fmt.Errorf("baseline: connections unsupported in single-table evaluation")
+	default:
+		return false, fmt.Errorf("baseline: unsupported expression %T", e)
+	}
+}
+
+func evalCond(c *query.Cond, b *query.Binding, t *dataset.Table, row int) (bool, error) {
+	attr, ok := b.Attrs[c]
+	if !ok {
+		return false, fmt.Errorf("baseline: condition %q not bound", c.Label())
+	}
+	v, err := t.Value(row, attr.Attr)
+	if err != nil {
+		return false, err
+	}
+	// SQL three-valued logic collapses to false for NULLs.
+	if v.Null {
+		return false, nil
+	}
+	if attr.Kind.IsNumeric() {
+		f, _ := v.AsFloat()
+		cmpF := func(target dataset.Value) (float64, bool) {
+			tf, ok := target.AsFloat()
+			return tf, ok
+		}
+		switch c.Op {
+		case query.OpEq:
+			tf, ok := cmpF(c.Value)
+			return ok && f == tf, nil
+		case query.OpNe:
+			tf, ok := cmpF(c.Value)
+			return ok && f != tf, nil
+		case query.OpGt:
+			tf, ok := cmpF(c.Value)
+			return ok && f > tf, nil
+		case query.OpGe:
+			tf, ok := cmpF(c.Value)
+			return ok && f >= tf, nil
+		case query.OpLt:
+			tf, ok := cmpF(c.Value)
+			return ok && f < tf, nil
+		case query.OpLe:
+			tf, ok := cmpF(c.Value)
+			return ok && f <= tf, nil
+		case query.OpBetween:
+			lo, lok := cmpF(c.Lo)
+			hi, hok := cmpF(c.Hi)
+			return lok && hok && f >= lo && f <= hi, nil
+		case query.OpIn:
+			for _, lv := range c.List {
+				if tf, ok := lv.AsFloat(); ok && f == tf {
+					return true, nil
+				}
+			}
+			return false, nil
+		}
+	}
+	s, _ := v.AsString()
+	switch c.Op {
+	case query.OpEq:
+		return s == c.Value.S, nil
+	case query.OpNe:
+		return s != c.Value.S, nil
+	case query.OpGt:
+		return s > c.Value.S, nil
+	case query.OpGe:
+		return s >= c.Value.S, nil
+	case query.OpLt:
+		return s < c.Value.S, nil
+	case query.OpLe:
+		return s <= c.Value.S, nil
+	case query.OpBetween:
+		return s >= c.Lo.S && s <= c.Hi.S, nil
+	case query.OpIn:
+		for _, lv := range c.List {
+			if s == lv.S {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	return false, fmt.Errorf("baseline: unsupported operator %s", c.Op)
+}
+
+func evalSubquery(sq *query.SubqueryExpr, b *query.Binding, cat *dataset.Catalog, t *dataset.Table, row int) (bool, error) {
+	subB, ok := b.Subs[sq]
+	if !ok {
+		return false, fmt.Errorf("baseline: subquery not bound")
+	}
+	inner, err := cat.Table(sq.Sub.From[0])
+	if err != nil {
+		return false, err
+	}
+	switch sq.Mode {
+	case query.Exists, query.NotExists:
+		any := false
+		for r := 0; r < inner.NumRows(); r++ {
+			ok, err := evalExpr(sq.Sub.Where, subB, cat, inner, r)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				any = true
+				break
+			}
+		}
+		if sq.Mode == query.Exists {
+			return any, nil
+		}
+		return !any, nil
+	case query.InQuery, query.NotInQuery:
+		attr := b.InAttrs[sq]
+		v, err := t.Value(row, attr.Attr)
+		if err != nil {
+			return false, err
+		}
+		if v.Null {
+			return false, nil
+		}
+		innerAttr := subB.Selects[0]
+		member := false
+		for r := 0; r < inner.NumRows(); r++ {
+			ok, err := evalExpr(sq.Sub.Where, subB, cat, inner, r)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				continue
+			}
+			iv, err := inner.Value(r, innerAttr.Attr)
+			if err != nil {
+				return false, err
+			}
+			if !iv.Null && iv.String() == v.String() {
+				member = true
+				break
+			}
+		}
+		if sq.Mode == query.InQuery {
+			return member, nil
+		}
+		return !member, nil
+	}
+	return false, fmt.Errorf("baseline: unknown subquery mode")
+}

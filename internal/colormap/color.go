@@ -1,0 +1,158 @@
+// Package colormap implements the color substrate of the VisDB
+// reproduction: RGB/HSV/CIELAB conversions, the paper's distance colormap
+// (constant saturation, hue running yellow → green → blue → red with
+// intensity falling to almost black), a gray-scale baseline, and the
+// just-noticeable-difference (JND) accounting the paper uses to argue for
+// color over gray scales (section 4.2, [LRR 92]).
+package colormap
+
+import "math"
+
+// RGB is an 8-bit-per-channel sRGB color.
+type RGB struct{ R, G, B uint8 }
+
+// C is a terse RGB constructor.
+func C(r, g, b uint8) RGB { return RGB{R: r, G: g, B: b} }
+
+// HSV describes a color by hue (degrees, [0,360)), saturation and value,
+// both in [0,1].
+type HSV struct{ H, S, V float64 }
+
+// Lab is a CIE 1976 L*a*b* color (D65 white point).
+type Lab struct{ L, A, B float64 }
+
+// FromHSV converts an HSV color to RGB. Hue wraps modulo 360; saturation
+// and value are clamped to [0,1].
+func FromHSV(c HSV) RGB {
+	h := math.Mod(c.H, 360)
+	if h < 0 {
+		h += 360
+	}
+	s := clamp01(c.S)
+	v := clamp01(c.V)
+	hi := h / 60
+	i := int(hi) % 6
+	f := hi - math.Floor(hi)
+	p := v * (1 - s)
+	q := v * (1 - f*s)
+	t := v * (1 - (1-f)*s)
+	var r, g, b float64
+	switch i {
+	case 0:
+		r, g, b = v, t, p
+	case 1:
+		r, g, b = q, v, p
+	case 2:
+		r, g, b = p, v, t
+	case 3:
+		r, g, b = p, q, v
+	case 4:
+		r, g, b = t, p, v
+	default:
+		r, g, b = v, p, q
+	}
+	return RGB{to8(r), to8(g), to8(b)}
+}
+
+// ToHSV converts an RGB color to HSV.
+func ToHSV(c RGB) HSV {
+	r := float64(c.R) / 255
+	g := float64(c.G) / 255
+	b := float64(c.B) / 255
+	max := math.Max(r, math.Max(g, b))
+	min := math.Min(r, math.Min(g, b))
+	d := max - min
+	var h float64
+	switch {
+	case d == 0:
+		h = 0
+	case max == r:
+		h = 60 * math.Mod((g-b)/d, 6)
+	case max == g:
+		h = 60 * ((b-r)/d + 2)
+	default:
+		h = 60 * ((r-g)/d + 4)
+	}
+	if h < 0 {
+		h += 360
+	}
+	var s float64
+	if max > 0 {
+		s = d / max
+	}
+	return HSV{H: h, S: s, V: max}
+}
+
+// Luminance returns the relative luminance (Rec. 709 weights) of c in
+// [0,1]. The paper's colormap is designed so luminance falls monotonically
+// with distance from the correct answers.
+func Luminance(c RGB) float64 {
+	return 0.2126*srgbToLinear(float64(c.R)/255) +
+		0.7152*srgbToLinear(float64(c.G)/255) +
+		0.0722*srgbToLinear(float64(c.B)/255)
+}
+
+// ToLab converts an sRGB color to CIELAB under a D65 white point.
+func ToLab(c RGB) Lab {
+	r := srgbToLinear(float64(c.R) / 255)
+	g := srgbToLinear(float64(c.G) / 255)
+	b := srgbToLinear(float64(c.B) / 255)
+	// Linear RGB → XYZ (sRGB matrix, D65).
+	x := 0.4124564*r + 0.3575761*g + 0.1804375*b
+	y := 0.2126729*r + 0.7151522*g + 0.0721750*b
+	z := 0.0193339*r + 0.1191920*g + 0.9503041*b
+	// Normalize by the D65 reference white.
+	const xn, yn, zn = 0.95047, 1.0, 1.08883
+	fx := labF(x / xn)
+	fy := labF(y / yn)
+	fz := labF(z / zn)
+	return Lab{
+		L: 116*fy - 16,
+		A: 500 * (fx - fy),
+		B: 200 * (fy - fz),
+	}
+}
+
+// DeltaE76 is the CIE 1976 color difference between two colors. A value
+// around 2.3 is conventionally one just-noticeable difference.
+func DeltaE76(a, b RGB) float64 {
+	la, lb := ToLab(a), ToLab(b)
+	dl := la.L - lb.L
+	da := la.A - lb.A
+	db := la.B - lb.B
+	return math.Sqrt(dl*dl + da*da + db*db)
+}
+
+// JNDThreshold is the conventional CIE76 ΔE for one just-noticeable
+// difference.
+const JNDThreshold = 2.3
+
+func labF(t float64) float64 {
+	const delta = 6.0 / 29.0
+	if t > delta*delta*delta {
+		return math.Cbrt(t)
+	}
+	return t/(3*delta*delta) + 4.0/29.0
+}
+
+func srgbToLinear(v float64) float64 {
+	if v <= 0.04045 {
+		return v / 12.92
+	}
+	return math.Pow((v+0.055)/1.055, 2.4)
+}
+
+func clamp01(v float64) float64 {
+	if v != v || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func to8(v float64) uint8 {
+	u := int(math.Round(clamp01(v) * 255))
+	return uint8(u)
+}

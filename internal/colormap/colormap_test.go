@@ -1,0 +1,239 @@
+package colormap
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHSVRoundTripPrimaries(t *testing.T) {
+	cases := []struct {
+		rgb RGB
+		hsv HSV
+	}{
+		{RGB{255, 0, 0}, HSV{0, 1, 1}},
+		{RGB{0, 255, 0}, HSV{120, 1, 1}},
+		{RGB{0, 0, 255}, HSV{240, 1, 1}},
+		{RGB{255, 255, 0}, HSV{60, 1, 1}},
+		{RGB{0, 0, 0}, HSV{0, 0, 0}},
+		{RGB{255, 255, 255}, HSV{0, 0, 1}},
+	}
+	for _, c := range cases {
+		got := FromHSV(c.hsv)
+		if got != c.rgb {
+			t.Errorf("FromHSV(%+v) = %+v, want %+v", c.hsv, got, c.rgb)
+		}
+		back := ToHSV(c.rgb)
+		if math.Abs(back.H-c.hsv.H) > 0.6 || math.Abs(back.S-c.hsv.S) > 0.01 || math.Abs(back.V-c.hsv.V) > 0.01 {
+			t.Errorf("ToHSV(%+v) = %+v, want %+v", c.rgb, back, c.hsv)
+		}
+	}
+}
+
+// Property: HSV→RGB→HSV round-trips hue/sat/value within quantization
+// error for saturated colors.
+func TestHSVRoundTripProperty(t *testing.T) {
+	f := func(h, s, v float64) bool {
+		hsv := HSV{
+			H: math.Mod(math.Abs(h), 360),
+			S: 0.2 + 0.8*clamp01(s),
+			V: 0.2 + 0.8*clamp01(v),
+		}
+		back := ToHSV(FromHSV(hsv))
+		dh := math.Abs(back.H - hsv.H)
+		if dh > 180 {
+			dh = 360 - dh
+		}
+		return dh < 2.5 && math.Abs(back.S-hsv.S) < 0.02 && math.Abs(back.V-hsv.V) < 0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHSVWrapsAndClamps(t *testing.T) {
+	a := FromHSV(HSV{H: 420, S: 1, V: 1}) // 420 ≡ 60 (yellow)
+	b := FromHSV(HSV{H: 60, S: 1, V: 1})
+	if a != b {
+		t.Errorf("hue wrap: %+v vs %+v", a, b)
+	}
+	c := FromHSV(HSV{H: -300, S: 2, V: -1}) // -300 ≡ 60, s→1, v→0
+	if c != (RGB{0, 0, 0}) {
+		t.Errorf("clamping: %+v", c)
+	}
+	n := FromHSV(HSV{H: math.NaN(), S: math.NaN(), V: math.NaN()})
+	_ = n // must not panic
+}
+
+func TestLuminanceOrdering(t *testing.T) {
+	white := Luminance(RGB{255, 255, 255})
+	gray := Luminance(RGB{128, 128, 128})
+	black := Luminance(RGB{0, 0, 0})
+	if !(white > gray && gray > black) {
+		t.Errorf("luminance ordering broken: %v %v %v", white, gray, black)
+	}
+	if math.Abs(white-1) > 1e-6 || black != 0 {
+		t.Errorf("extremes: white=%v black=%v", white, black)
+	}
+}
+
+func TestLabKnownValues(t *testing.T) {
+	// White should be L*=100, a*≈0, b*≈0.
+	lab := ToLab(RGB{255, 255, 255})
+	if math.Abs(lab.L-100) > 0.1 || math.Abs(lab.A) > 0.5 || math.Abs(lab.B) > 0.5 {
+		t.Errorf("white Lab = %+v", lab)
+	}
+	black := ToLab(RGB{0, 0, 0})
+	if black.L > 0.01 {
+		t.Errorf("black L = %v", black.L)
+	}
+}
+
+func TestDeltaESymmetricAndZero(t *testing.T) {
+	a, b := RGB{200, 30, 40}, RGB{10, 220, 70}
+	if d := DeltaE76(a, a); d != 0 {
+		t.Errorf("ΔE(a,a) = %v", d)
+	}
+	if DeltaE76(a, b) != DeltaE76(b, a) {
+		t.Error("ΔE not symmetric")
+	}
+	if DeltaE76(a, b) <= 0 {
+		t.Error("distinct colors must differ")
+	}
+}
+
+func TestVisDBMapEndpoints(t *testing.T) {
+	m := VisDB(DefaultLevels)
+	if m.Levels() != 256 {
+		t.Fatalf("levels = %d", m.Levels())
+	}
+	first := m.At(0)
+	// Bright yellow: red and green high, blue low.
+	if first.R < 220 || first.G < 200 || first.B > 60 {
+		t.Errorf("level 0 should be bright yellow, got %+v", first)
+	}
+	last := m.At(m.Levels() - 1)
+	if Luminance(last) > 0.05 {
+		t.Errorf("last level should be almost black, got %+v (lum %v)", last, Luminance(last))
+	}
+}
+
+func TestVisDBMapLuminanceMonotone(t *testing.T) {
+	m := VisDB(DefaultLevels)
+	prev := Luminance(m.At(0))
+	for i := 1; i < m.Levels(); i++ {
+		cur := Luminance(m.At(i))
+		if cur > prev+0.02 {
+			t.Fatalf("luminance rises at level %d: %v -> %v", i, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestVisDBHuePath(t *testing.T) {
+	m := VisDB(DefaultLevels)
+	// The hue must pass through green and blue between yellow and the
+	// dark red end (section 4.2).
+	sawGreen, sawBlue := false, false
+	for i := 0; i < m.Levels(); i++ {
+		h := ToHSV(m.At(i)).H
+		if h > 90 && h < 150 {
+			sawGreen = true
+		}
+		if h > 210 && h < 270 {
+			sawBlue = true
+		}
+	}
+	if !sawGreen || !sawBlue {
+		t.Errorf("hue path misses green(%v) or blue(%v)", sawGreen, sawBlue)
+	}
+}
+
+func TestColorBeatsGrayOnJNDs(t *testing.T) {
+	// The paper's core perceptual argument: the color path offers far
+	// more just-noticeable differences than a gray scale.
+	color := VisDB(DefaultLevels).JNDs()
+	gray := Grayscale(DefaultLevels).JNDs()
+	if color <= gray {
+		t.Fatalf("VisDB JNDs (%v) should exceed grayscale (%v)", color, gray)
+	}
+	if color < 1.5*gray {
+		t.Errorf("expected a clear margin: color=%v gray=%v", color, gray)
+	}
+	if heat := Heat(DefaultLevels).JNDs(); heat <= 0 {
+		t.Errorf("heat JNDs = %v", heat)
+	}
+}
+
+func TestAtNormMapping(t *testing.T) {
+	m := VisDB(64)
+	if m.AtNorm(0) != m.At(0) {
+		t.Error("t=0 should map to level 0")
+	}
+	if m.AtNorm(1) != m.At(63) {
+		t.Error("t=1 should map to the last level")
+	}
+	if m.AtNorm(math.NaN()) != m.At(63) {
+		t.Error("NaN should map to the far end")
+	}
+	if m.AtNorm(-3) != m.At(0) {
+		t.Error("negative t should clamp to level 0")
+	}
+	if m.AtNorm(7) != m.At(63) {
+		t.Error("t>1 should clamp to the last level")
+	}
+	if got := m.LevelOfNorm(0.5); got != 32 {
+		t.Errorf("LevelOfNorm(0.5) = %d, want 32", got)
+	}
+}
+
+// Property: AtNorm and LevelOfNorm agree for all t.
+func TestAtNormLevelConsistency(t *testing.T) {
+	m := VisDB(100)
+	f := func(raw float64) bool {
+		t := raw
+		return m.AtNorm(t) == m.At(m.LevelOfNorm(t))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyAndTinyMaps(t *testing.T) {
+	var empty Map
+	if empty.At(3) != (RGB{}) || empty.AtNorm(0.5) != (RGB{}) {
+		t.Error("empty map should return zero color")
+	}
+	if empty.LevelOfNorm(0.7) != 0 {
+		t.Error("empty map level should be 0")
+	}
+	tiny := VisDB(1) // clamped to 2
+	if tiny.Levels() != 2 {
+		t.Errorf("tiny map levels = %d, want 2", tiny.Levels())
+	}
+}
+
+func TestSpectrum(t *testing.T) {
+	m := VisDB(DefaultLevels)
+	sp := m.Spectrum(10)
+	if len(sp) != 10 {
+		t.Fatalf("len = %d", len(sp))
+	}
+	if sp[0] != m.At(0) || sp[9] != m.At(255) {
+		t.Error("spectrum endpoints should match map endpoints")
+	}
+	one := m.Spectrum(0)
+	if len(one) != 1 {
+		t.Errorf("n=0 clamps to 1, got %d", len(one))
+	}
+}
+
+func TestSpecialColorsDistinct(t *testing.T) {
+	m := VisDB(DefaultLevels)
+	for i := 0; i < m.Levels(); i++ {
+		c := m.At(i)
+		if c == HighlightColor || c == UncolorableColor || c == BackgroundColor {
+			t.Fatalf("special color collides with level %d", i)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package colormap
+
+import "math"
+
+// Map is a discretized colormap: a path through color space sampled at a
+// fixed number of levels. Level 0 is the color of the absolutely correct
+// answers (distance 0); the last level is the color of the most distant
+// displayed answers.
+type Map struct {
+	levels []RGB
+	name   string
+}
+
+// Levels returns the number of discrete levels in the map.
+func (m *Map) Levels() int { return len(m.levels) }
+
+// Name returns the colormap's descriptive name.
+func (m *Map) Name() string { return m.name }
+
+// At returns the color of level i, clamping i into range.
+func (m *Map) At(i int) RGB {
+	if len(m.levels) == 0 {
+		return RGB{}
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(m.levels) {
+		i = len(m.levels) - 1
+	}
+	return m.levels[i]
+}
+
+// AtNorm maps a normalized distance t ∈ [0,1] to a color. t = 0 is the
+// correct-answer color (yellow for the VisDB map); t = 1 is the far end
+// (almost black). NaN maps to the far end, matching the paper's treatment
+// of uncolorable values as "completely wrong".
+func (m *Map) AtNorm(t float64) RGB {
+	if len(m.levels) == 0 {
+		return RGB{}
+	}
+	if math.IsNaN(t) || t >= 1 {
+		return m.levels[len(m.levels)-1]
+	}
+	if t < 0 {
+		t = 0
+	}
+	idx := int(t * float64(len(m.levels)))
+	if idx >= len(m.levels) {
+		idx = len(m.levels) - 1
+	}
+	return m.levels[idx]
+}
+
+// LevelOfNorm returns the discrete level index used for normalized
+// distance t, mirroring AtNorm's quantization.
+func (m *Map) LevelOfNorm(t float64) int {
+	if len(m.levels) == 0 {
+		return 0
+	}
+	if math.IsNaN(t) || t >= 1 {
+		return len(m.levels) - 1
+	}
+	if t < 0 {
+		t = 0
+	}
+	idx := int(t * float64(len(m.levels)))
+	if idx >= len(m.levels) {
+		idx = len(m.levels) - 1
+	}
+	return idx
+}
+
+// JNDs estimates how many just-noticeable differences the colormap path
+// traverses: the accumulated CIE76 ΔE between consecutive levels divided
+// by the JND threshold. The paper (section 4.2) chooses color over gray
+// scales because the number of JNDs is much higher.
+func (m *Map) JNDs() float64 {
+	var total float64
+	for i := 1; i < len(m.levels); i++ {
+		total += DeltaE76(m.levels[i-1], m.levels[i])
+	}
+	return total / JNDThreshold
+}
+
+// DefaultLevels is the default number of discrete colormap levels. The
+// paper normalizes distances to [0, 255], one level per distance value.
+const DefaultLevels = 256
+
+// VisDB builds the paper's colormap: quite constant saturation, intensity
+// decreasing with distance, hue ranging from yellow over green and blue to
+// red and almost black (section 4.2). Level 0 is pure bright yellow so
+// the correct-answer region reads unmistakably.
+func VisDB(levels int) *Map {
+	if levels < 2 {
+		levels = 2
+	}
+	m := &Map{name: "visdb", levels: make([]RGB, levels)}
+	for i := range m.levels {
+		t := float64(i) / float64(levels-1)
+		// Hue: 60° (yellow) → 120° (green) → 240° (blue) → 350° (red).
+		h := 60 + 300*t
+		// Saturation: roughly constant, slightly rising so the dark end
+		// stays chromatic rather than gray.
+		s := 0.85 + 0.1*t
+		// Intensity: bright yellow fading to almost black. The slight
+		// gamma keeps mid-range hues distinguishable.
+		v := 1 - 0.92*math.Pow(t, 0.85)
+		m.levels[i] = FromHSV(HSV{H: h, S: s, V: v})
+	}
+	return m
+}
+
+// Grayscale builds the gray-scale baseline colormap (white → black) used
+// to quantify the paper's JND argument for color.
+func Grayscale(levels int) *Map {
+	if levels < 2 {
+		levels = 2
+	}
+	m := &Map{name: "grayscale", levels: make([]RGB, levels)}
+	for i := range m.levels {
+		t := float64(i) / float64(levels-1)
+		g := to8(1 - t)
+		m.levels[i] = RGB{g, g, g}
+	}
+	return m
+}
+
+// Heat builds a conventional heat map (white→yellow→red→black reversed:
+// here bright yellow→red→dark) as an alternative path for the ablation
+// comparing JND counts of different paths through color space.
+func Heat(levels int) *Map {
+	if levels < 2 {
+		levels = 2
+	}
+	m := &Map{name: "heat", levels: make([]RGB, levels)}
+	for i := range m.levels {
+		t := float64(i) / float64(levels-1)
+		h := 60 * (1 - t) // yellow → red
+		v := 1 - 0.9*t
+		m.levels[i] = FromHSV(HSV{H: h, S: 0.95, V: v})
+	}
+	return m
+}
+
+// Special overlay colors used by the interactive interface.
+var (
+	// HighlightColor marks the selected tuple across all windows.
+	HighlightColor = RGB{255, 255, 255}
+	// BackgroundColor fills window cells with no data item.
+	BackgroundColor = RGB{16, 16, 16}
+	// UncolorableColor marks items whose distance is undefined (e.g.
+	// negated subqueries, section 4.4): a neutral dark gray distinct
+	// from every colormap level.
+	UncolorableColor = RGB{70, 70, 70}
+)
+
+// Spectrum returns the colormap resampled to n entries, ordered from
+// level 0 to the last level. It paints the query-modification sliders,
+// whose color spectrum is "just a different arrangement of the colored
+// distances" (section 4.3).
+func (m *Map) Spectrum(n int) []RGB {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]RGB, n)
+	for i := range out {
+		t := 0.0
+		if n > 1 {
+			t = float64(i) / float64(n-1)
+		}
+		out[i] = m.AtNorm(t)
+	}
+	return out
+}

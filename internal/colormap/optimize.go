@@ -1,0 +1,74 @@
+package colormap
+
+import "math"
+
+// Optimized builds a colormap by greedy search for a path through color
+// space that maximizes accumulated perceptual difference — the design
+// task section 4.2 describes: "The main task in coloring the relevance
+// factors is to find a path through color space that maximizes the
+// number of JNDs, but, at the same time, is intuitive for the
+// application domain."
+//
+// The search keeps the VisDB intuition constraints: the path starts at
+// bright yellow (hue 60°), ends almost black near red (hue 360°), hue
+// only advances, and intensity only falls. Within those constraints it
+// chooses, per level, the hue/value step and saturation wiggle with the
+// largest CIE76 ΔE from the previous level — saturation oscillation
+// adds perceptual path length that a fixed-saturation ramp leaves on
+// the table.
+func Optimized(levels int) *Map {
+	if levels < 2 {
+		levels = 2
+	}
+	m := &Map{name: "visdb-optimized", levels: make([]RGB, levels)}
+	const (
+		hStart, hEnd = 60.0, 360.0
+		vStart, vEnd = 1.0, 0.08
+		sLo, sHi     = 0.75, 1.0
+	)
+	h, v, s := hStart, vStart, 0.9
+	m.levels[0] = FromHSV(HSV{H: h, S: s, V: v})
+	for i := 1; i < levels; i++ {
+		remaining := float64(levels - i)
+		minDH := (hEnd - h) / remaining
+		minDV := (v - vEnd) / remaining
+		bestDE := -1.0
+		bestH, bestV, bestS := h+minDH, v-minDV, s
+		for _, fh := range []float64{1, 1.5, 2} {
+			dh := minDH * fh
+			// Never advance so far that the remaining levels cannot
+			// still reach the end hue monotonically.
+			if h+dh > hEnd {
+				dh = hEnd - h
+			}
+			for _, fv := range []float64{1, 1.5, 2} {
+				dv := minDV * fv
+				if v-dv < vEnd {
+					dv = v - vEnd
+				}
+				for _, ds := range []float64{-0.1, 0, 0.1} {
+					ns := clampRange(s+ds, sLo, sHi)
+					cand := FromHSV(HSV{H: h + dh, S: ns, V: v - dv})
+					de := DeltaE76(m.levels[i-1], cand)
+					if de > bestDE {
+						bestDE = de
+						bestH, bestV, bestS = h+dh, v-dv, ns
+					}
+				}
+			}
+		}
+		h, v, s = bestH, bestV, bestS
+		m.levels[i] = FromHSV(HSV{H: h, S: s, V: v})
+	}
+	return m
+}
+
+func clampRange(v, lo, hi float64) float64 {
+	if math.IsNaN(v) || v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

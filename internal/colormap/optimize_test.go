@@ -1,0 +1,58 @@
+package colormap
+
+import "testing"
+
+func TestOptimizedBeatsFixedPathOnJNDs(t *testing.T) {
+	fixed := VisDB(DefaultLevels)
+	opt := Optimized(DefaultLevels)
+	if opt.Levels() != DefaultLevels {
+		t.Fatalf("levels: %d", opt.Levels())
+	}
+	fj, oj := fixed.JNDs(), opt.JNDs()
+	if oj <= fj {
+		t.Fatalf("optimized JNDs %.1f should exceed fixed path %.1f", oj, fj)
+	}
+}
+
+func TestOptimizedKeepsVisDBConstraints(t *testing.T) {
+	m := Optimized(128)
+	// Starts bright yellow.
+	first := m.At(0)
+	if first.R < 200 || first.G < 180 || first.B > 80 {
+		t.Errorf("start should be yellow: %+v", first)
+	}
+	// Ends almost black.
+	if l := Luminance(m.At(m.Levels() - 1)); l > 0.06 {
+		t.Errorf("end luminance %v", l)
+	}
+	// Value (intensity) never rises: check via HSV of each level.
+	prevV := ToHSV(m.At(0)).V
+	for i := 1; i < m.Levels(); i++ {
+		v := ToHSV(m.At(i)).V
+		if v > prevV+0.02 {
+			t.Fatalf("intensity rises at level %d: %v -> %v", i, prevV, v)
+		}
+		prevV = v
+	}
+	// Hue passes through green and blue on its way to red.
+	sawGreen, sawBlue := false, false
+	for i := 0; i < m.Levels(); i++ {
+		h := ToHSV(m.At(i)).H
+		if h > 90 && h < 150 {
+			sawGreen = true
+		}
+		if h > 210 && h < 270 {
+			sawBlue = true
+		}
+	}
+	if !sawGreen || !sawBlue {
+		t.Errorf("hue path misses green(%v) or blue(%v)", sawGreen, sawBlue)
+	}
+}
+
+func TestOptimizedTiny(t *testing.T) {
+	m := Optimized(1) // clamps to 2
+	if m.Levels() != 2 {
+		t.Fatalf("levels: %d", m.Levels())
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+// exactItems returns the indices of items fulfilling the query exactly
+// (combined distance zero) — the rows a traditional interface would
+// return, and the basis of the result list.
+func (r *Result) exactItems() []int {
+	var out []int
+	for i, d := range r.Combined {
+		if d == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AggValue is one computed aggregate of the result list.
+type AggValue struct {
+	Item  query.SelectItem
+	Value dataset.Value
+}
+
+// Aggregates evaluates the aggregate operators of the result list
+// (AVG, SUM, MAX, MIN, COUNT — the tool-box operators of section 4.1)
+// over the exact result set. Plain attributes are skipped here; use
+// ResultTable to materialize them.
+func (r *Result) Aggregates() ([]AggValue, error) {
+	var out []AggValue
+	for _, item := range r.Query.Select {
+		if item.Agg == query.AggNone {
+			continue
+		}
+		v, err := r.aggregate(item)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AggValue{Item: item, Value: v})
+	}
+	return out, nil
+}
+
+func (r *Result) aggregate(item query.SelectItem) (dataset.Value, error) {
+	exact := r.exactItems()
+	if item.Agg == query.AggCount && item.Attr == "*" {
+		return dataset.Int(int64(len(exact))), nil
+	}
+	attr, err := r.resolveSelect(item.Attr)
+	if err != nil {
+		return dataset.Value{}, err
+	}
+	t, err := r.Space.tableByName(attr.Table)
+	if err != nil {
+		return dataset.Value{}, err
+	}
+	col, err := t.Column(attr.Attr)
+	if err != nil {
+		return dataset.Value{}, err
+	}
+	var vals []dataset.Value
+	for _, i := range exact {
+		row, err := r.Space.rowFor(i, attr.Table)
+		if err != nil {
+			return dataset.Value{}, err
+		}
+		v := col.Value(row)
+		if !v.Null {
+			vals = append(vals, v)
+		}
+	}
+	switch item.Agg {
+	case query.AggCount:
+		return dataset.Int(int64(len(vals))), nil
+	case query.AggAvg, query.AggSum:
+		var sum float64
+		for _, v := range vals {
+			f, ok := v.AsFloat()
+			if !ok {
+				return dataset.Value{}, fmt.Errorf("core: %s needs a numeric attribute, %s is %v", item.Agg, attr.Qualified(), attr.Kind)
+			}
+			sum += f
+		}
+		if item.Agg == query.AggSum {
+			return dataset.Float(sum), nil
+		}
+		if len(vals) == 0 {
+			return dataset.Null(dataset.KindFloat), nil
+		}
+		return dataset.Float(sum / float64(len(vals))), nil
+	case query.AggMax, query.AggMin:
+		if len(vals) == 0 {
+			return dataset.Null(attr.Kind), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			if aggLess(v, best) == (item.Agg == query.AggMin) {
+				best = v
+			}
+		}
+		return best, nil
+	default:
+		return dataset.Value{}, fmt.Errorf("core: unsupported aggregate %v", item.Agg)
+	}
+}
+
+// aggLess orders values numerically when possible, lexically otherwise.
+func aggLess(a, b dataset.Value) bool {
+	af, aok := a.AsFloat()
+	bf, bok := b.AsFloat()
+	if aok && bok {
+		return af < bf || (math.IsNaN(bf) && !math.IsNaN(af))
+	}
+	as, _ := a.AsString()
+	bs, _ := b.AsString()
+	return as < bs
+}
+
+// resolveSelect resolves a result-list attribute against the binding.
+func (r *Result) resolveSelect(name string) (query.BoundAttr, error) {
+	for _, s := range r.Binding.Selects {
+		if s.Attr == name || s.Qualified() == name {
+			return s, nil
+		}
+	}
+	// Aggregate-only attributes are not in Selects; resolve afresh via
+	// a throwaway binding walk.
+	b := r.Binding
+	for c, attr := range b.Attrs {
+		_ = c
+		if attr.Attr == name || attr.Qualified() == name {
+			return attr, nil
+		}
+	}
+	// Fall back to schema search over the FROM tables.
+	for _, tbl := range r.Query.From {
+		t, err := r.Engine.cat.Table(tbl)
+		if err != nil {
+			continue
+		}
+		attrName := name
+		if i := strings.IndexByte(name, '.'); i >= 0 {
+			if name[:i] != tbl {
+				continue
+			}
+			attrName = name[i+1:]
+		}
+		if idx := t.Schema().Index(attrName); idx >= 0 {
+			return query.BoundAttr{Table: tbl, Attr: attrName, Kind: t.Schema()[idx].Kind}, nil
+		}
+	}
+	return query.BoundAttr{}, fmt.Errorf("core: cannot resolve result-list attribute %q", name)
+}
+
+// ResultTable materializes the exact answers as a table, projecting the
+// plain (non-aggregate) result-list attributes. Multi-table queries
+// qualify column names with their table.
+func (r *Result) ResultTable() (*dataset.Table, error) {
+	var attrs []query.BoundAttr
+	for _, item := range r.Query.Select {
+		if item.Agg != query.AggNone {
+			continue // aggregates are served by Aggregates()
+		}
+		if item.Attr == "*" {
+			// Expand * to every column of every FROM table.
+			for _, tbl := range r.Query.From {
+				t, err := r.Engine.cat.Table(tbl)
+				if err != nil {
+					return nil, err
+				}
+				for _, f := range t.Schema() {
+					attrs = append(attrs, query.BoundAttr{Table: tbl, Attr: f.Name, Kind: f.Kind})
+				}
+			}
+			continue
+		}
+		attr, err := r.resolveSelect(item.Attr)
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, attr)
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("core: result list has no plain attributes to materialize")
+	}
+	multi := len(r.Query.From) > 1
+	schema := make(dataset.Schema, len(attrs))
+	for i, a := range attrs {
+		name := a.Attr
+		if multi {
+			name = a.Qualified()
+		}
+		schema[i] = dataset.Field{Name: name, Kind: a.Kind}
+		// Copy category metadata so ordinal/nominal stay valid.
+		if t, err := r.Engine.cat.Table(a.Table); err == nil {
+			if idx := t.Schema().Index(a.Attr); idx >= 0 {
+				schema[i].Categories = t.Schema()[idx].Categories
+			}
+		}
+	}
+	out, err := dataset.NewTable("result", schema)
+	if err != nil {
+		return nil, err
+	}
+	row := make([]dataset.Value, len(attrs))
+	for _, item := range r.exactItems() {
+		for j, a := range attrs {
+			t, err := r.Space.tableByName(a.Table)
+			if err != nil {
+				return nil, err
+			}
+			rr, err := r.Space.rowFor(item, a.Table)
+			if err != nil {
+				return nil, err
+			}
+			v, err := t.Value(rr, a.Attr)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		if err := out.AppendRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+func TestAggregates(t *testing.T) {
+	e := New(smallCatalog(t), nil, Options{GridW: 8, GridH: 8})
+	res, err := e.RunSQL(`SELECT COUNT(*), AVG(x), SUM(x), MAX(x), MIN(x) FROM T WHERE x >= 6`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs, err := res.Aggregates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 5 {
+		t.Fatalf("aggs: %d", len(aggs))
+	}
+	want := []struct {
+		agg query.Agg
+		val float64
+	}{
+		{query.AggCount, 4},
+		{query.AggAvg, 7.5},
+		{query.AggSum, 30},
+		{query.AggMax, 9},
+		{query.AggMin, 6},
+	}
+	for i, w := range want {
+		got := aggs[i]
+		if got.Item.Agg != w.agg {
+			t.Fatalf("agg %d: %v", i, got.Item.Agg)
+		}
+		f, _ := got.Value.AsFloat()
+		if f != w.val {
+			t.Errorf("%v = %v, want %v", w.agg, f, w.val)
+		}
+	}
+}
+
+func TestAggregatesEmptyResultSet(t *testing.T) {
+	e := New(smallCatalog(t), nil, Options{GridW: 8, GridH: 8})
+	res, err := e.RunSQL(`SELECT COUNT(*), AVG(x), MAX(x) FROM T WHERE x > 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs, err := res.Aggregates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggs[0].Value.I != 0 {
+		t.Errorf("count: %v", aggs[0].Value)
+	}
+	if !aggs[1].Value.Null || !aggs[2].Value.Null {
+		t.Errorf("avg/max of empty set should be null: %v %v", aggs[1].Value, aggs[2].Value)
+	}
+}
+
+func TestAggregatesStringMinMax(t *testing.T) {
+	e := New(smallCatalog(t), nil, Options{GridW: 8, GridH: 8})
+	res, err := e.RunSQL(`SELECT MAX(name), MIN(name) FROM T WHERE x < 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs, err := res.Aggregates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// names of rows 0..2: alpha, beta, gamma.
+	if aggs[0].Value.S != "gamma" || aggs[1].Value.S != "alpha" {
+		t.Fatalf("string min/max: %v %v", aggs[0].Value, aggs[1].Value)
+	}
+	// AVG over a string attribute errors.
+	res, err = e.RunSQL(`SELECT AVG(name) FROM T WHERE x < 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Aggregates(); err == nil {
+		t.Error("AVG(string) should error")
+	}
+}
+
+func TestResultTableSingle(t *testing.T) {
+	e := New(smallCatalog(t), nil, Options{GridW: 8, GridH: 8})
+	res, err := e.RunSQL(`SELECT x, name FROM T WHERE x >= 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.ResultTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 3 || out.NumCols() != 2 {
+		t.Fatalf("dims: %dx%d", out.NumRows(), out.NumCols())
+	}
+	if out.Schema()[0].Name != "x" || out.Schema()[1].Name != "name" {
+		t.Fatalf("schema: %+v", out.Schema())
+	}
+	v, _ := out.Value(0, "x")
+	if v.F < 7 {
+		t.Errorf("first row: %v", v)
+	}
+}
+
+func TestResultTableStar(t *testing.T) {
+	e := New(smallCatalog(t), nil, Options{GridW: 8, GridH: 8})
+	res, err := e.RunSQL(`SELECT * FROM T WHERE x = 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.ResultTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 1 || out.NumCols() != 4 {
+		t.Fatalf("dims: %dx%d", out.NumRows(), out.NumCols())
+	}
+	// Ordinal categories survive projection.
+	idx := out.Schema().Index("level")
+	if idx < 0 || len(out.Schema()[idx].Categories) != 3 {
+		t.Fatalf("categories lost: %+v", out.Schema())
+	}
+}
+
+func TestResultTableMultiTableQualified(t *testing.T) {
+	e := New(envCatalog(t), nil, Options{GridW: 8, GridH: 8})
+	res, err := e.RunSQL(`SELECT Temperature, Ozone FROM Weather, Air-Pollution
+		WHERE Temperature > 20 AND CONNECT with-time-diff(30)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.ResultTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema()[0].Name != "Weather.Temperature" || out.Schema()[1].Name != "Air-Pollution.Ozone" {
+		t.Fatalf("qualified names: %+v", out.Schema())
+	}
+	if out.NumRows() != res.Stats().NumResults {
+		t.Fatalf("rows %d vs results %d", out.NumRows(), res.Stats().NumResults)
+	}
+}
+
+func TestResultTableNoPlainAttrs(t *testing.T) {
+	e := New(smallCatalog(t), nil, Options{GridW: 8, GridH: 8})
+	res, err := e.RunSQL(`SELECT COUNT(*) FROM T WHERE x > 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.ResultTable(); err == nil {
+		t.Error("aggregate-only result list should error")
+	}
+}
+
+func TestAggregateUnknownAttr(t *testing.T) {
+	e := New(smallCatalog(t), nil, Options{GridW: 8, GridH: 8})
+	// The binder validates aggregate attributes too, so a bogus
+	// aggregate attribute fails at bind time.
+	q, err := query.Parse(`SELECT MAX(x) FROM T WHERE x > 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Select[0].Attr = "bogus"
+	if _, err := e.Run(q); err == nil {
+		t.Error("unknown aggregate attribute should error at bind time")
+	}
+	_ = dataset.Float(0)
+}

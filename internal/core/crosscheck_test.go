@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+// TestEngineMatchesBaselineOnRandomQueries cross-validates the engine
+// against the independent boolean evaluator: for randomly generated
+// tables and queries, the engine's exact answers (combined distance 0)
+// must be precisely the rows the boolean evaluator returns. This pins
+// the semantics of the distance-0 contract across operators, boolean
+// structure and weights.
+func TestEngineMatchesBaselineOnRandomQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 60; trial++ {
+		n := 10 + rng.Intn(60)
+		tbl, err := dataset.NewTable("R", dataset.Schema{
+			{Name: "a", Kind: dataset.KindFloat},
+			{Name: "b", Kind: dataset.KindFloat},
+			{Name: "c", Kind: dataset.KindFloat},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			vals := make([]dataset.Value, 3)
+			for j := range vals {
+				if rng.Float64() < 0.05 {
+					vals[j] = dataset.Null(dataset.KindFloat)
+				} else {
+					// Integer-valued floats make boundary collisions
+					// (the strict-operator edge case) frequent.
+					vals[j] = dataset.Float(float64(rng.Intn(20)))
+				}
+			}
+			if err := tbl.AppendRow(vals...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cat := dataset.NewCatalog()
+		if err := cat.AddTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+		sql := randomQuery(rng)
+		engine := New(cat, nil, Options{GridW: 16, GridH: 16})
+		res, err := engine.RunSQL(sql)
+		if err != nil {
+			t.Fatalf("engine %q: %v", sql, err)
+		}
+		want, err := baseline.MatchesSQL(cat, sql)
+		if err != nil {
+			t.Fatalf("baseline %q: %v", sql, err)
+		}
+		got := map[int]bool{}
+		for i, d := range res.Combined {
+			if d == 0 {
+				got[i] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %q: engine %d exact, baseline %d rows\nengine: %v\nbaseline: %v",
+				sql, len(got), len(want), keys(got), want)
+		}
+		for _, row := range want {
+			if !got[row] {
+				t.Fatalf("query %q: baseline row %d missing from engine exact set", sql, row)
+			}
+		}
+	}
+}
+
+func keys(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// randomQuery builds a random 1-3 predicate query over columns a, b, c
+// with integer thresholds, joined by random AND/OR nesting.
+func randomQuery(rng *rand.Rand) string {
+	cols := []string{"a", "b", "c"}
+	ops := []string{">", ">=", "<", "<=", "="}
+	pred := func() string {
+		col := cols[rng.Intn(len(cols))]
+		switch rng.Intn(4) {
+		case 0:
+			lo := rng.Intn(15)
+			return fmt.Sprintf("%s BETWEEN %d AND %d", col, lo, lo+rng.Intn(6))
+		case 1:
+			return fmt.Sprintf("%s IN (%d, %d, %d)", col, rng.Intn(20), rng.Intn(20), rng.Intn(20))
+		default:
+			return fmt.Sprintf("%s %s %d", col, ops[rng.Intn(len(ops))], rng.Intn(20))
+		}
+	}
+	var where string
+	switch rng.Intn(4) {
+	case 0:
+		where = pred()
+	case 1:
+		where = pred() + " AND " + pred()
+	case 2:
+		where = pred() + " OR " + pred()
+	default:
+		where = "(" + pred() + " OR " + pred() + ") AND " + pred()
+	}
+	// Random weights exercise the weighted combination without changing
+	// boolean semantics.
+	if rng.Intn(2) == 0 {
+		where += fmt.Sprintf(" WEIGHT %d", 1+rng.Intn(3))
+	}
+	return "SELECT a FROM R WHERE " + where
+}
+
+// TestEngineMatchesBaselineWithNot covers the negation paths: inverted
+// comparison operators keep exact boolean agreement; non-invertible
+// negations agree on the satisfied set.
+func TestEngineMatchesBaselineWithNot(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	tbl, _ := dataset.NewTable("R", dataset.Schema{
+		{Name: "a", Kind: dataset.KindFloat},
+	})
+	for i := 0; i < 40; i++ {
+		_ = tbl.AppendRow(dataset.Float(float64(rng.Intn(10))))
+	}
+	cat := dataset.NewCatalog()
+	_ = cat.AddTable(tbl)
+	engine := New(cat, nil, Options{GridW: 8, GridH: 8})
+	for _, sql := range []string{
+		`SELECT a FROM R WHERE NOT (a > 5)`,
+		`SELECT a FROM R WHERE NOT (a <= 3)`,
+		`SELECT a FROM R WHERE NOT (a = 4)`,
+		`SELECT a FROM R WHERE NOT (a BETWEEN 2 AND 6)`,
+		`SELECT a FROM R WHERE NOT (a > 2 AND a < 7)`,
+		`SELECT a FROM R WHERE NOT (a < 2 OR a > 7)`,
+	} {
+		res, err := engine.RunSQL(sql)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		want, err := baseline.MatchesSQL(cat, sql)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		exact := 0
+		for _, d := range res.Combined {
+			if d == 0 {
+				exact++
+			}
+		}
+		if exact != len(want) {
+			t.Errorf("%q: engine %d exact vs baseline %d", sql, exact, len(want))
+		}
+	}
+	_ = query.OpEq
+}

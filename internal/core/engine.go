@@ -1,0 +1,525 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/join"
+	"repro/internal/query"
+	"repro/internal/reduce"
+	"repro/internal/relevance"
+)
+
+// Engine executes visual feedback queries against a catalog. An Engine
+// is immutable after construction and safe for concurrent Run calls;
+// the catalog must not be mutated while queries run.
+type Engine struct {
+	cat *dataset.Catalog
+	reg *distance.Registry
+	opt Options
+}
+
+// New creates an engine. reg may be nil (built-in distances only).
+func New(cat *dataset.Catalog, reg *distance.Registry, opt Options) *Engine {
+	if reg == nil {
+		reg = distance.NewRegistry()
+	}
+	return &Engine{cat: cat, reg: reg, opt: opt.withDefaults()}
+}
+
+// Catalog returns the engine's catalog.
+func (e *Engine) Catalog() *dataset.Catalog { return e.cat }
+
+// Registry returns the engine's distance registry.
+func (e *Engine) Registry() *distance.Registry { return e.reg }
+
+// Options returns the engine's effective options.
+func (e *Engine) Options() Options { return e.opt }
+
+// RunSQL parses and runs a query in the VisDB dialect.
+func (e *Engine) RunSQL(src string) (*Result, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(q)
+}
+
+// StageTimings records wall-clock durations of the pipeline stages of
+// one Run, supporting the section 3 complexity discussion ("query
+// processing time is dominated by the time needed for sorting") with a
+// measured breakdown. Distances covers the per-predicate distance
+// computation (tree building), Evaluate the normalization and weighted
+// combination (which internally sorts per node), Sort the final
+// relevance ranking, and Reduce the display reduction plus placement.
+type StageTimings struct {
+	Bind      time.Duration
+	Distances time.Duration
+	Evaluate  time.Duration
+	Sort      time.Duration
+	Reduce    time.Duration
+	Total     time.Duration
+}
+
+// Run executes q: bind, compute per-predicate distances, combine, rank,
+// reduce and arrange. The returned Result holds the relevance ranking,
+// the per-window normalized distances, the stats-panel numbers and the
+// per-stage timings.
+func (e *Engine) Run(q *query.Query) (*Result, error) {
+	start := time.Now()
+	b, err := query.Bind(q, e.cat)
+	if err != nil {
+		return nil, err
+	}
+	space, err := e.buildItemSpace(q)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Engine:  e,
+		Query:   q,
+		Binding: b,
+		Space:   space,
+		N:       space.n,
+		nodeOf:  make(map[query.Expr]*relevance.Node),
+		preds:   make(map[*query.Cond]*predicateData),
+	}
+	res.Timings.Bind = time.Since(start)
+	mark := time.Now()
+	root, err := e.buildTree(q.Where, b, space, res)
+	if err != nil {
+		return nil, err
+	}
+	res.root = root
+	res.Timings.Distances = time.Since(mark)
+	mark = time.Now()
+	budget := e.opt.GridW * e.opt.GridH
+	eval, err := relevance.Evaluate(root, space.n, relevance.EvalOptions{
+		Budget:         budget,
+		Mode:           e.opt.Mode,
+		NaiveNormalize: e.opt.NaiveNormalize,
+		And:            e.opt.And,
+		LpP:            e.opt.LpP,
+		Parallel:       e.opt.Parallel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.Evaluate = time.Since(mark)
+	res.Eval = eval
+	res.Combined = eval.Combined
+	res.Relevance = relevance.RelevanceFactors(eval.Combined)
+	mark = time.Now()
+	sorted, order := reduce.SortWithIndex(eval.Combined)
+	res.Timings.Sort = time.Since(mark)
+	res.sorted = sorted
+	res.Order = order
+	mark = time.Now()
+	res.Displayed = e.displayCount(sorted, len(query.Predicates(q.Where)))
+	res.buildPlacement()
+	res.Timings.Reduce = time.Since(mark)
+	res.Timings.Total = time.Since(start)
+	return res, nil
+}
+
+// displayCount picks how many ranked items are displayed.
+func (e *Engine) displayCount(sorted []float64, numPreds int) int {
+	n := len(sorted)
+	capacity := e.opt.GridW * e.opt.GridH
+	// NaN (uncolorable) items never display.
+	colorable := n
+	for colorable > 0 && math.IsNaN(sorted[colorable-1]) {
+		colorable--
+	}
+	if e.opt.PercentDisplayed > 0 {
+		k := int(math.Round(e.opt.PercentDisplayed * float64(n)))
+		if k > capacity {
+			k = capacity
+		}
+		if k > colorable {
+			k = colorable
+		}
+		return k
+	}
+	prefix := sorted[:colorable]
+	r := capacity * (numPreds + 1)
+	var k int
+	if e.opt.DisableGapHeuristic {
+		p := reduce.DisplayFraction(r, colorable, numPreds)
+		k = reduce.QuantileCut(colorable, p)
+	} else {
+		k = reduce.Cut(prefix, r, numPreds)
+	}
+	if k > capacity {
+		k = capacity
+	}
+	return k
+}
+
+// buildItemSpace materializes the totality of items: rows of a single
+// table, or the (capped) cross product of two tables (section 4.4).
+func (e *Engine) buildItemSpace(q *query.Query) (*itemSpace, error) {
+	switch len(q.From) {
+	case 1:
+		t, err := e.cat.Table(q.From[0])
+		if err != nil {
+			return nil, err
+		}
+		return &itemSpace{tables: []*dataset.Table{t}, n: t.NumRows()}, nil
+	case 2:
+		lt, err := e.cat.Table(q.From[0])
+		if err != nil {
+			return nil, err
+		}
+		rt, err := e.cat.Table(q.From[1])
+		if err != nil {
+			return nil, err
+		}
+		pairs := join.Pairs(lt.NumRows(), rt.NumRows(), e.opt.MaxPairs)
+		return &itemSpace{tables: []*dataset.Table{lt, rt}, pairs: pairs, n: len(pairs)}, nil
+	default:
+		return nil, fmt.Errorf("core: %d-table queries unsupported (1 or 2 tables)", len(q.From))
+	}
+}
+
+// buildTree converts the bound condition tree into a relevance node
+// tree, computing raw leaf distances. A nil condition yields an
+// all-zeros leaf (every item is a correct answer).
+func (e *Engine) buildTree(where query.Expr, b *query.Binding, space *itemSpace, res *Result) (*relevance.Node, error) {
+	if where == nil {
+		return &relevance.Node{Op: relevance.Leaf, Label: "true", Dists: make([]float64, space.n)}, nil
+	}
+	return e.exprNode(where, b, space, res, false)
+}
+
+// exprNode builds the node for one expression. negated handles the
+// negation semantics of section 4.4: invertible comparison operators
+// invert; everything else falls back to exact boolean evaluation with
+// satisfied items at distance 0 and failing items uncolorable.
+func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, res *Result, negated bool) (*relevance.Node, error) {
+	switch n := expr.(type) {
+	case *query.Cond:
+		c := n
+		if negated {
+			if inv, ok := n.Op.Invert(); ok {
+				c = &query.Cond{Attr: n.Attr, Op: inv, Value: n.Value, Lo: n.Lo, Hi: n.Hi,
+					List: n.List, DistFunc: n.DistFunc, W: n.W}
+				b.Attrs[c] = b.Attrs[n]
+			} else {
+				return e.booleanLeaf(n, b, space, res, true)
+			}
+		}
+		pd, err := e.condData(c, b, space)
+		if err != nil {
+			return nil, err
+		}
+		node := &relevance.Node{Op: relevance.Leaf, Label: expr.Label(), Weight: expr.Weight(), Dists: pd.Raw}
+		res.nodeOf[expr] = node
+		if orig, ok := expr.(*query.Cond); ok {
+			res.preds[orig] = pd
+		}
+		return node, nil
+	case *query.BoolExpr:
+		op := relevance.NodeAnd
+		if n.Op == query.Or {
+			op = relevance.NodeOr
+		}
+		if negated {
+			// De Morgan: NOT(AND) = OR(NOT...), NOT(OR) = AND(NOT...).
+			if op == relevance.NodeAnd {
+				op = relevance.NodeOr
+			} else {
+				op = relevance.NodeAnd
+			}
+		}
+		node := &relevance.Node{Op: op, Label: n.Label(), Weight: n.Weight()}
+		for _, c := range n.Children {
+			child, err := e.exprNode(c, b, space, res, negated)
+			if err != nil {
+				return nil, err
+			}
+			node.Children = append(node.Children, child)
+		}
+		res.nodeOf[expr] = node
+		return node, nil
+	case *query.Not:
+		child, err := e.exprNode(n.Child, b, space, res, !negated)
+		if err != nil {
+			return nil, err
+		}
+		node := &relevance.Node{Op: relevance.NodeAnd, Label: n.Label(), Weight: n.Weight(),
+			Children: []*relevance.Node{child}}
+		res.nodeOf[expr] = node
+		return node, nil
+	case *query.JoinExpr:
+		conn, ok := b.Joins[n]
+		if !ok {
+			return nil, fmt.Errorf("core: join %q not bound", n.Connection)
+		}
+		var dists []float64
+		var err error
+		if space.pairs == nil {
+			// Single-table use of a connection: the join-partner-count
+			// distance of section 4.4 — "if the user is only interested
+			// in one relation and in the number of join partners that
+			// each data item of this relation has with another relation,
+			// the user might use the inverse of that number as the
+			// distance". A partner is a row of the other relation that
+			// fulfills the connection exactly (distance 0; use a
+			// Within-mode connection for tolerance-based counting).
+			dists, err = e.partnerCountDistances(conn, space)
+		} else {
+			dists, err = join.ConnDistances(conn, space.tables[0], space.tables[1], space.pairs, e.reg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if negated {
+			// Negated joins are uncolorable where the join holds exactly.
+			for i, d := range dists {
+				if d == 0 {
+					dists[i] = math.NaN()
+				} else {
+					dists[i] = 0
+				}
+			}
+		}
+		node := &relevance.Node{Op: relevance.Leaf, Label: expr.Label(), Weight: n.Weight(), Dists: dists}
+		res.nodeOf[expr] = node
+		return node, nil
+	case *query.SubqueryExpr:
+		return e.subqueryNode(n, b, space, res, negated)
+	default:
+		return nil, fmt.Errorf("core: unsupported expression %T", expr)
+	}
+}
+
+// partnerCountDistances computes the inverse-partner-count distance of
+// a connection for every row of a single-table query. The FROM table
+// may be either side of the connection; the other side is looked up in
+// the catalog.
+func (e *Engine) partnerCountDistances(conn dataset.Connection, space *itemSpace) ([]float64, error) {
+	table := space.tables[0]
+	var other *dataset.Table
+	var err error
+	switch table.Name() {
+	case conn.Left:
+		other, err = e.cat.Table(conn.Right)
+	case conn.Right:
+		// Reverse the connection so the FROM table sits on the left.
+		conn = reverseConnection(conn)
+		other, err = e.cat.Table(conn.Right)
+	default:
+		return nil, fmt.Errorf("core: connection %q does not touch table %s", conn.Name, table.Name())
+	}
+	if err != nil {
+		return nil, err
+	}
+	counts, err := join.PartnerCounts(conn, table, other, 0, e.reg)
+	if err != nil {
+		return nil, err
+	}
+	return join.PartnerDistances(counts), nil
+}
+
+// reverseConnection swaps the sides of a connection.
+func reverseConnection(c dataset.Connection) dataset.Connection {
+	c.Left, c.Right = c.Right, c.Left
+	c.LeftAttr, c.RightAttr = c.RightAttr, c.LeftAttr
+	c.LeftAttr2, c.RightAttr2 = c.RightAttr2, c.LeftAttr2
+	return c
+}
+
+// booleanLeaf builds a leaf from exact boolean evaluation: satisfied
+// items get distance 0, failing items are uncolorable (NaN), matching
+// "no distance values may be obtained and hence no coloring is
+// possible" for negations (section 4.4).
+func (e *Engine) booleanLeaf(c *query.Cond, b *query.Binding, space *itemSpace, res *Result, negate bool) (*relevance.Node, error) {
+	dists := make([]float64, space.n)
+	for i := 0; i < space.n; i++ {
+		sat, err := boolEvalCond(c, b, space, i)
+		if err != nil {
+			return nil, err
+		}
+		if negate {
+			sat = !sat
+		}
+		if sat {
+			dists[i] = 0
+		} else {
+			dists[i] = math.NaN()
+		}
+	}
+	label := c.Label()
+	if negate {
+		label = "NOT " + label
+	}
+	node := &relevance.Node{Op: relevance.Leaf, Label: label, Weight: c.Weight(), Dists: dists}
+	res.nodeOf[c] = node
+	return node, nil
+}
+
+// subqueryNode implements the nested-query semantics of section 4.4:
+// EXISTS and IN score each outer item by the minimum distance over the
+// inner relation ("the data item most closely fulfilling the subquery
+// condition"); the negated forms are colorable only via boolean
+// evaluation (yellow where satisfied, uncolorable otherwise).
+func (e *Engine) subqueryNode(sq *query.SubqueryExpr, b *query.Binding, space *itemSpace, res *Result, negated bool) (*relevance.Node, error) {
+	subBinding, ok := b.Subs[sq]
+	if !ok {
+		return nil, fmt.Errorf("core: subquery not bound")
+	}
+	if len(sq.Sub.From) != 1 {
+		return nil, fmt.Errorf("core: subqueries over %d tables unsupported", len(sq.Sub.From))
+	}
+	inner, err := e.cat.Table(sq.Sub.From[0])
+	if err != nil {
+		return nil, err
+	}
+	// Combined inner-condition distance per inner row, using a nested
+	// evaluation (normalization-free raw means keep the scale of the
+	// attribute distance; we use normalized values for robustness).
+	innerSpace := &itemSpace{tables: []*dataset.Table{inner}, n: inner.NumRows()}
+	innerRes := &Result{Engine: e, nodeOf: make(map[query.Expr]*relevance.Node), preds: make(map[*query.Cond]*predicateData)}
+	innerRoot, err := e.buildTree(sq.Sub.Where, subBinding, innerSpace, innerRes)
+	if err != nil {
+		return nil, err
+	}
+	innerEval, err := relevance.Evaluate(innerRoot, innerSpace.n, relevance.EvalOptions{
+		Budget: e.opt.GridW * e.opt.GridH,
+		Mode:   e.opt.Mode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	innerDist := innerEval.Combined
+
+	mode := sq.Mode
+	if negated {
+		switch mode {
+		case query.Exists:
+			mode = query.NotExists
+		case query.NotExists:
+			mode = query.Exists
+		case query.InQuery:
+			mode = query.NotInQuery
+		case query.NotInQuery:
+			mode = query.InQuery
+		}
+	}
+	dists := make([]float64, space.n)
+	switch mode {
+	case query.Exists:
+		// Uncorrelated EXISTS: the same minimum for every outer item.
+		best := math.NaN()
+		for _, d := range innerDist {
+			if math.IsNaN(d) {
+				continue
+			}
+			if math.IsNaN(best) || d < best {
+				best = d
+			}
+		}
+		for i := range dists {
+			dists[i] = best
+		}
+	case query.InQuery:
+		attr := b.InAttrs[sq]
+		innerAttr := subBinding.Selects[0]
+		conn := dataset.Connection{
+			Name: "in-subquery", Left: attr.Table, Right: innerAttr.Table,
+			LeftAttr: attr.Attr, RightAttr: innerAttr.Attr,
+			Metric: dataset.MetricNumeric, Mode: dataset.ModeEqual,
+		}
+		if attr.Kind.IsStringy() {
+			conn.Metric = dataset.MetricString
+		} else if attr.Kind == dataset.KindTime {
+			conn.Metric = dataset.MetricTime
+		}
+		outer, err := space.tableByName(attr.Table)
+		if err != nil {
+			return nil, err
+		}
+		perRow, err := join.MinDistancePerLeft(conn, outer, inner, innerDist, e.reg)
+		if err != nil {
+			return nil, err
+		}
+		for i := range dists {
+			row, err := space.rowFor(i, attr.Table)
+			if err != nil {
+				return nil, err
+			}
+			dists[i] = perRow[row]
+		}
+	case query.NotExists, query.NotInQuery:
+		sat, err := e.boolSubquery(sq, mode, b, subBinding, space, inner, innerDist)
+		if err != nil {
+			return nil, err
+		}
+		for i := range dists {
+			if sat[i] {
+				dists[i] = 0
+			} else {
+				dists[i] = math.NaN()
+			}
+		}
+	}
+	node := &relevance.Node{Op: relevance.Leaf, Label: sq.Label(), Weight: sq.Weight(), Dists: dists}
+	res.nodeOf[sq] = node
+	return node, nil
+}
+
+// boolSubquery evaluates NOT EXISTS / NOT IN exactly. The inner
+// condition counts as satisfied where its combined distance is zero.
+func (e *Engine) boolSubquery(sq *query.SubqueryExpr, mode query.SubqueryMode, b, subBinding *query.Binding, space *itemSpace, inner *dataset.Table, innerDist []float64) ([]bool, error) {
+	anyInner := false
+	for _, d := range innerDist {
+		if d == 0 {
+			anyInner = true
+			break
+		}
+	}
+	sat := make([]bool, space.n)
+	switch mode {
+	case query.NotExists:
+		for i := range sat {
+			sat[i] = !anyInner
+		}
+	case query.NotInQuery:
+		attr := b.InAttrs[sq]
+		innerAttr := subBinding.Selects[0]
+		outer, err := space.tableByName(attr.Table)
+		if err != nil {
+			return nil, err
+		}
+		innerCol, err := inner.Column(innerAttr.Attr)
+		if err != nil {
+			return nil, err
+		}
+		members := make(map[string]bool)
+		for r := 0; r < inner.NumRows(); r++ {
+			if innerDist[r] == 0 && !innerCol.IsNull(r) {
+				members[innerCol.Value(r).String()] = true
+			}
+		}
+		outerCol, err := outer.Column(attr.Attr)
+		if err != nil {
+			return nil, err
+		}
+		for i := range sat {
+			row, err := space.rowFor(i, attr.Table)
+			if err != nil {
+				return nil, err
+			}
+			if outerCol.IsNull(row) {
+				sat[i] = false
+				continue
+			}
+			sat[i] = !members[outerCol.Value(row).String()]
+		}
+	}
+	return sat, nil
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/relevance"
+)
+
+// Failure-injection tests: the engine must stay well-defined on
+// degenerate and hostile data.
+
+func TestInfValuesInColumn(t *testing.T) {
+	cat := dataset.NewCatalog()
+	tbl, _ := dataset.NewTable("I", dataset.Schema{{Name: "x", Kind: dataset.KindFloat}})
+	for _, v := range []float64{1, 2, math.Inf(1), math.Inf(-1), 3} {
+		if err := tbl.AppendRow(dataset.Float(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = cat.AddTable(tbl)
+	e := New(cat, nil, Options{GridW: 4, GridH: 4})
+	res, err := e.RunSQL(`SELECT x FROM I WHERE x > 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// +Inf fulfills x > 2 (distance 0); -Inf is infinitely distant
+	// (clamps to the far color end).
+	if got := res.Stats().NumResults; got != 2 { // 3 and +Inf
+		t.Fatalf("results: %d", got)
+	}
+	for _, d := range res.Combined {
+		if math.IsInf(d, 0) {
+			t.Fatal("combined distances must stay finite or NaN")
+		}
+	}
+}
+
+func TestSingleRowTable(t *testing.T) {
+	cat := dataset.NewCatalog()
+	tbl, _ := dataset.NewTable("S1", dataset.Schema{{Name: "x", Kind: dataset.KindFloat}})
+	_ = tbl.AppendRow(dataset.Float(5))
+	_ = cat.AddTable(tbl)
+	e := New(cat, nil, Options{GridW: 4, GridH: 4})
+	res, err := e.RunSQL(`SELECT x FROM S1 WHERE x > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 1 || res.Displayed != 1 || res.Stats().NumResults != 1 {
+		t.Fatalf("single row: %+v", res.Stats())
+	}
+	if _, err := res.Image(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTinyGrid(t *testing.T) {
+	e := New(smallCatalog(t), nil, Options{GridW: 1, GridH: 1})
+	res, err := e.RunSQL(`SELECT x FROM T WHERE x > 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Displayed > 1 {
+		t.Fatalf("1x1 grid displayed %d", res.Displayed)
+	}
+	w := res.OverallWindow()
+	if w.Capacity() != 1 {
+		t.Fatalf("capacity: %d", w.Capacity())
+	}
+}
+
+func TestZeroWeightPredicate(t *testing.T) {
+	// A predicate whose weight approaches zero stops influencing the
+	// ranking: with w(x)=0.001 the ordering follows y alone.
+	e := New(smallCatalog(t), nil, Options{GridW: 8, GridH: 8})
+	res, err := e.RunSQL(`SELECT x FROM T WHERE x > 9 WEIGHT 0.001 AND y > 5 WEIGHT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y = 9 - x, so y > 5 means x < 4; the top items should be small-x
+	// despite x > 9 pulling the other way with negligible weight.
+	top := res.TopK(3)
+	for _, item := range top {
+		if item > 4 {
+			t.Fatalf("top items should follow the heavy predicate: %v", top)
+		}
+	}
+}
+
+func TestConstantColumn(t *testing.T) {
+	cat := dataset.NewCatalog()
+	tbl, _ := dataset.NewTable("C", dataset.Schema{{Name: "x", Kind: dataset.KindFloat}})
+	for i := 0; i < 10; i++ {
+		_ = tbl.AppendRow(dataset.Float(7))
+	}
+	_ = cat.AddTable(tbl)
+	e := New(cat, nil, Options{GridW: 4, GridH: 4})
+	// All fulfill.
+	res, err := e.RunSQL(`SELECT x FROM C WHERE x >= 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats().NumResults != 10 {
+		t.Fatalf("all-fulfilling: %+v", res.Stats())
+	}
+	// None fulfill: everything equidistant, displayed window uniform
+	// dark (the paper's "almost black" case).
+	res, err = e.RunSQL(`SELECT x FROM C WHERE x > 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats().NumResults != 0 {
+		t.Fatalf("none-fulfilling: %+v", res.Stats())
+	}
+	for _, d := range res.Combined {
+		if d != relevance.Scale {
+			t.Fatalf("uniform wrong results should sit at the dark end: %v", res.Combined)
+		}
+	}
+}
+
+func TestManyPredicates(t *testing.T) {
+	// 27-predicate conjunction (the CAD shape) through the full stack.
+	tblCat := smallCatalog(t)
+	e := New(tblCat, nil, Options{GridW: 8, GridH: 8})
+	sql := `SELECT x FROM T WHERE x > 0`
+	for i := 0; i < 26; i++ {
+		sql += ` AND x < 100`
+	}
+	res, err := e.RunSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := res.Windows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 28 { // overall + 27
+		t.Fatalf("windows: %d", len(ws))
+	}
+}
+
+func TestDegenerate2DAxes(t *testing.T) {
+	// 2D arrangement with missing axis attributes degrades to the
+	// center quadrants rather than failing.
+	e := New(smallCatalog(t), nil, Options{
+		GridW: 8, GridH: 8, Arrangement: Arrange2D, AxisX: "nope", AxisY: "",
+	})
+	res, err := e.RunSQL(`SELECT x FROM T WHERE x > 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Displayed == 0 {
+		t.Fatal("nothing displayed")
+	}
+	if _, err := res.Image(2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/relevance"
+	"repro/internal/render"
+)
+
+func TestSliderKinds(t *testing.T) {
+	cat := dataset.NewCatalog()
+	tbl, err := dataset.NewTable("K", dataset.Schema{
+		{Name: "f", Kind: dataset.KindFloat},
+		{Name: "i", Kind: dataset.KindInt},
+		{Name: "lvl", Kind: dataset.KindOrdinal, Categories: []string{"low", "mid", "high"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 20; n++ {
+		lvl := []string{"low", "mid", "high"}[n%3]
+		if err := tbl.AppendRow(dataset.Float(float64(n)), dataset.Int(int64(n%8)), dataset.Ordinal(lvl)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cat.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	e := New(cat, nil, Options{GridW: 8, GridH: 8})
+	res, err := e.RunSQL(`SELECT f FROM K WHERE f BETWEEN 5 AND 10 AND i > 3 AND lvl >= 'mid'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := res.SliderSpecs()
+	if len(specs) != 3 {
+		t.Fatalf("specs: %d", len(specs))
+	}
+	// Float BETWEEN: continuous with a median±deviation reading.
+	if specs[0].Kind != render.SliderContinuous {
+		t.Errorf("float slider kind: %v", specs[0].Kind)
+	}
+	if math.Abs(specs[0].Median-(specs[0].MarkLo+specs[0].MarkHi)/2) > 1e-9 {
+		t.Errorf("median: %v for marks [%v, %v]", specs[0].Median, specs[0].MarkLo, specs[0].MarkHi)
+	}
+	if specs[0].Deviation <= 0 {
+		t.Errorf("deviation: %v", specs[0].Deviation)
+	}
+	// Int: discrete with ticks.
+	if specs[1].Kind != render.SliderDiscrete || specs[1].Ticks < 2 {
+		t.Errorf("int slider: kind %v ticks %d", specs[1].Kind, specs[1].Ticks)
+	}
+	// Ordinal: enumeration with mid+high selected.
+	if specs[2].Kind != render.SliderEnumeration {
+		t.Fatalf("ordinal slider kind: %v", specs[2].Kind)
+	}
+	if len(specs[2].Labels) != 3 {
+		t.Fatalf("labels: %v", specs[2].Labels)
+	}
+	wantSel := []bool{false, true, true}
+	for i, w := range wantSel {
+		if specs[2].Selected[i] != w {
+			t.Fatalf("selection: %v, want %v", specs[2].Selected, wantSel)
+		}
+	}
+}
+
+func TestTimeSliderCaption(t *testing.T) {
+	e := New(envCatalog(t), nil, Options{GridW: 8, GridH: 8})
+	res, err := e.RunSQL(`SELECT Temperature FROM Weather WHERE DateTime > '1994-06-01T05:00:00Z'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := res.SliderSpecs()
+	if len(specs) != 1 {
+		t.Fatalf("specs: %d", len(specs))
+	}
+	if want := "1994-06-01 00:00"; len(specs[0].Caption) == 0 || specs[0].Caption[:16] != want {
+		t.Fatalf("time caption: %q", specs[0].Caption)
+	}
+}
+
+func TestCategorySelectionOps(t *testing.T) {
+	cat := dataset.NewCatalog()
+	tbl, _ := dataset.NewTable("C", dataset.Schema{
+		{Name: "c", Kind: dataset.KindNominal, Categories: []string{"red", "green", "blue"}},
+	})
+	for _, v := range []string{"red", "green", "blue", "red"} {
+		_ = tbl.AppendRow(dataset.Nominal(v))
+	}
+	_ = cat.AddTable(tbl)
+	e := New(cat, nil, Options{GridW: 4, GridH: 4})
+	cases := []struct {
+		sql  string
+		want []bool
+	}{
+		{`SELECT c FROM C WHERE c = 'green'`, []bool{false, true, false}},
+		{`SELECT c FROM C WHERE c <> 'green'`, []bool{true, false, true}},
+		{`SELECT c FROM C WHERE c IN ('red', 'blue')`, []bool{true, false, true}},
+	}
+	for _, tc := range cases {
+		res, err := e.RunSQL(tc.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.sql, err)
+		}
+		infos := res.PredicateInfos()
+		if len(infos) != 1 {
+			t.Fatalf("%s: infos %d", tc.sql, len(infos))
+		}
+		for i, w := range tc.want {
+			if infos[0].SelectedCats[i] != w {
+				t.Errorf("%s: selection %v, want %v", tc.sql, infos[0].SelectedCats, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestANDCombinerOptions(t *testing.T) {
+	cat := smallCatalog(t)
+	run := func(opt Options) []float64 {
+		e := New(cat, nil, opt)
+		res, err := e.RunSQL(`SELECT x FROM T WHERE x > 6 AND y > 6`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Combined
+	}
+	arith := run(Options{GridW: 8, GridH: 8})
+	euclid := run(Options{GridW: 8, GridH: 8, And: relevance.ANDEuclidean})
+	lp := run(Options{GridW: 8, GridH: 8, And: relevance.ANDLp, LpP: 3})
+	// All keep the no-answer situation (x>6 AND y>6 is impossible here:
+	// y = 9-x) but the combined profiles differ.
+	differENorm := false
+	for i := range arith {
+		if arith[i] == 0 {
+			t.Fatal("impossible conjunction should have no exact answers")
+		}
+		if math.Abs(arith[i]-euclid[i]) > 1e-9 {
+			differENorm = true
+		}
+	}
+	if !differENorm {
+		t.Error("euclidean combiner should differ from arithmetic")
+	}
+	// Lp with invalid exponent errors.
+	e := New(cat, nil, Options{GridW: 8, GridH: 8, And: relevance.ANDLp, LpP: 0.5})
+	if _, err := e.RunSQL(`SELECT x FROM T WHERE x > 6 AND y > 6`); err == nil {
+		t.Error("Lp with p < 1 should error")
+	}
+	_ = lp
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.GridW != 128 || o.GridH != 128 || o.PixelsPerItem != 1 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if o.Map == nil || o.MaxPairs != 1<<20 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	o = Options{PixelsPerItem: 9, PercentDisplayed: 2}.withDefaults()
+	if o.PixelsPerItem != 1 || o.PercentDisplayed != 1 {
+		t.Fatalf("clamping: %+v", o)
+	}
+	o = Options{PixelsPerItem: 16, PercentDisplayed: -1}.withDefaults()
+	if o.PixelsPerItem != 16 || o.PercentDisplayed != 0 {
+		t.Fatalf("clamping: %+v", o)
+	}
+}
+
+func TestPixelsPerItemBlocks(t *testing.T) {
+	e := New(smallCatalog(t), nil, Options{GridW: 6, GridH: 6, PixelsPerItem: 4})
+	res, err := e.RunSQL(`SELECT x FROM T WHERE x > 6`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.OverallWindow()
+	pw, ph := w.PixelSize()
+	if pw != 12 || ph != 12 {
+		t.Fatalf("pixel size: %dx%d (block %d)", pw, ph, w.Block)
+	}
+}
+
+func TestMaxPairsCap(t *testing.T) {
+	e := New(envCatalog(t), nil, Options{GridW: 8, GridH: 8, MaxPairs: 100})
+	res, err := e.RunSQL(`SELECT Temperature FROM Weather, Air-Pollution WHERE CONNECT with-time-diff(30)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N > 100 {
+		t.Fatalf("cross product not capped: %d", res.N)
+	}
+}

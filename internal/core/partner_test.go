@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// partnerCatalog: stations and measurements, where each station's
+// partner count differs.
+func partnerCatalog(t *testing.T) *dataset.Catalog {
+	t.Helper()
+	cat := dataset.NewCatalog()
+	stations, err := dataset.NewTable("Stations", dataset.Schema{
+		{Name: "ID", Kind: dataset.KindFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measures, err := dataset.NewTable("Measures", dataset.Schema{
+		{Name: "StationID", Kind: dataset.KindFloat},
+		{Name: "When", Kind: dataset.KindTime},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Station 0: 3 measurements, station 1: 1, station 2: none.
+	for i := 0; i < 3; i++ {
+		if err := stations.AppendRow(dataset.Float(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t0 := time.Date(1994, 3, 1, 0, 0, 0, 0, time.UTC)
+	for _, sid := range []float64{0, 0, 0, 1} {
+		if err := measures.AppendRow(dataset.Float(sid), dataset.Time(t0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cat.AddTable(stations); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddTable(measures); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddConnection(dataset.Connection{
+		Name: "measured-by", Left: "Stations", Right: "Measures",
+		LeftAttr: "ID", RightAttr: "StationID",
+		Metric: dataset.MetricNumeric, Mode: dataset.ModeEqual,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestPartnerCountDistanceSingleTable(t *testing.T) {
+	cat := partnerCatalog(t)
+	e := New(cat, nil, Options{GridW: 4, GridH: 4})
+	res, err := e.RunSQL(`SELECT ID FROM Stations WHERE CONNECT measured-by`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 3 {
+		t.Fatalf("N = %d", res.N)
+	}
+	// Ranking: station 0 (3 partners, distance 1/3) before station 1
+	// (1 partner, distance 1) before station 2 (no partners, +Inf →
+	// dark end).
+	if res.Order[0] != 0 || res.Order[1] != 1 || res.Order[2] != 2 {
+		t.Fatalf("order: %v", res.Order)
+	}
+	// No station is an exact answer (1/n never reaches 0) — the
+	// partner distance ranks, it does not certify.
+	if res.Stats().NumResults != 0 {
+		t.Fatalf("results: %d", res.Stats().NumResults)
+	}
+}
+
+func TestPartnerCountReversedSide(t *testing.T) {
+	cat := partnerCatalog(t)
+	e := New(cat, nil, Options{GridW: 4, GridH: 4})
+	// FROM the right side of the connection: measurements ranked by how
+	// many stations they match (1 for rows with a valid station).
+	res, err := e.RunSQL(`SELECT StationID FROM Measures WHERE CONNECT measured-by`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 4 {
+		t.Fatalf("N = %d", res.N)
+	}
+	for _, item := range res.Order {
+		d := res.Combined[item]
+		if math.IsNaN(d) {
+			t.Fatalf("unexpected uncolorable measurement %d", item)
+		}
+	}
+}
+
+func TestPartnerCountUnrelatedTableFails(t *testing.T) {
+	cat := partnerCatalog(t)
+	other, _ := dataset.NewTable("Other", dataset.Schema{{Name: "z", Kind: dataset.KindFloat}})
+	_ = cat.AddTable(other)
+	e := New(cat, nil, Options{GridW: 4, GridH: 4})
+	if _, err := e.RunSQL(`SELECT z FROM Other WHERE CONNECT measured-by`); err == nil {
+		t.Fatal("connection not touching the FROM table should fail to bind")
+	}
+}
+
+func TestPartnerCountCombinesWithPredicates(t *testing.T) {
+	cat := partnerCatalog(t)
+	e := New(cat, nil, Options{GridW: 4, GridH: 4})
+	res, err := e.RunSQL(`SELECT ID FROM Stations WHERE ID < 2 AND CONNECT measured-by`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Station 2 now fails both parts; stations 0 and 1 lead.
+	if res.Order[2] != 2 {
+		t.Fatalf("order: %v", res.Order)
+	}
+	ws, err := res.Windows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 { // overall + 2 predicates
+		t.Fatalf("windows: %d", len(ws))
+	}
+}

@@ -1,0 +1,443 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/join"
+	"repro/internal/query"
+)
+
+// predicateData holds everything the engine derives for one simple
+// condition: the attribute values across the item space, the raw
+// (unsigned) and signed distances, and the database min/max the sliders
+// display.
+type predicateData struct {
+	Attr     query.BoundAttr
+	Values   []float64 // attribute values per item (NaN for non-numeric)
+	Raw      []float64 // unsigned distances
+	Signed   []float64 // signed distances (negative below the range)
+	MinDB    float64
+	MaxDB    float64
+	HasRange bool    // numeric predicate with a query range
+	Lo, Hi   float64 // current query range (±Inf for open sides)
+}
+
+// itemSpace describes the totality of items a query ranges over: single
+// table rows, or a (possibly capped) two-table cross product.
+type itemSpace struct {
+	tables []*dataset.Table
+	pairs  []join.Pair // nil for single-table
+	n      int
+}
+
+// rowFor returns, for item i, the row index in the given table.
+func (s *itemSpace) rowFor(i int, table string) (int, error) {
+	if s.pairs == nil {
+		return i, nil
+	}
+	switch table {
+	case s.tables[0].Name():
+		return s.pairs[i].Left, nil
+	case s.tables[1].Name():
+		return s.pairs[i].Right, nil
+	default:
+		return 0, fmt.Errorf("core: table %q not part of the item space", table)
+	}
+}
+
+// tableByName finds a FROM table.
+func (s *itemSpace) tableByName(name string) (*dataset.Table, error) {
+	for _, t := range s.tables {
+		if t.Name() == name {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("core: no table %q in item space", name)
+}
+
+// condData computes the distances of a simple condition over the item
+// space.
+func (e *Engine) condData(c *query.Cond, b *query.Binding, space *itemSpace) (*predicateData, error) {
+	attr, ok := b.Attrs[c]
+	if !ok {
+		return nil, fmt.Errorf("core: condition %q not bound", c.Label())
+	}
+	t, err := space.tableByName(attr.Table)
+	if err != nil {
+		return nil, err
+	}
+	pd := &predicateData{
+		Attr:   attr,
+		Values: make([]float64, space.n),
+		Raw:    make([]float64, space.n),
+		Signed: make([]float64, space.n),
+	}
+	if attr.Kind.IsNumeric() {
+		if err := e.numericCond(c, attr, t, space, pd); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := e.stringCond(c, attr, t, space, pd); err != nil {
+			return nil, err
+		}
+	}
+	return pd, nil
+}
+
+// numericCond fills pd for numeric/time/bool attributes using the
+// distance-to-range semantics of section 3.
+func (e *Engine) numericCond(c *query.Cond, attr query.BoundAttr, t *dataset.Table, space *itemSpace, pd *predicateData) error {
+	col, err := t.FloatsOf(attr.Attr)
+	if err != nil {
+		return err
+	}
+	min, max, okRange, err := t.MinMaxOf(attr.Attr)
+	if err != nil {
+		return err
+	}
+	if okRange {
+		pd.MinDB, pd.MaxDB = min, max
+	} else {
+		pd.MinDB, pd.MaxDB = math.NaN(), math.NaN()
+	}
+	lo, hi, pointwise, err := numericRange(c)
+	if err != nil {
+		return err
+	}
+	pd.HasRange = !pointwise
+	pd.Lo, pd.Hi = lo, hi
+	// Strict operators exclude the boundary: a value sitting exactly on
+	// it is not a correct answer, but its distance to fulfillment is
+	// infinitesimal. Such items are marked and later assigned a small
+	// positive distance relative to the predicate's scale, so they rank
+	// just behind the correct answers without being painted yellow.
+	strictLo := c.Op == query.OpGt
+	strictHi := c.Op == query.OpLt
+	var boundary []int
+	maxFinite := 0.0
+	for i := 0; i < space.n; i++ {
+		row, err := space.rowFor(i, attr.Table)
+		if err != nil {
+			return err
+		}
+		v := col[row]
+		pd.Values[i] = v
+		switch {
+		case math.IsNaN(v):
+			pd.Raw[i] = math.NaN()
+			pd.Signed[i] = math.NaN()
+		case pointwise:
+			// OpNe: fulfilled (0) unless equal; the failing direction is
+			// undefined, so the item becomes uncolorable (section 4.4).
+			if v == lo {
+				pd.Raw[i] = math.NaN()
+				pd.Signed[i] = math.NaN()
+			} else {
+				pd.Raw[i] = 0
+				pd.Signed[i] = 0
+			}
+		case c.Op == query.OpIn:
+			pd.Raw[i], pd.Signed[i] = minListDistance(v, c.List)
+		case (strictLo && v == lo) || (strictHi && v == hi):
+			boundary = append(boundary, i)
+		default:
+			pd.Raw[i] = distance.ToRange(v, lo, hi)
+			pd.Signed[i] = distance.ToRangeSigned(v, lo, hi)
+		}
+		if !math.IsNaN(pd.Raw[i]) && !math.IsInf(pd.Raw[i], 0) && pd.Raw[i] > maxFinite {
+			maxFinite = pd.Raw[i]
+		}
+	}
+	if len(boundary) > 0 {
+		eps := maxFinite / 128
+		if eps == 0 {
+			eps = 1
+		}
+		for _, i := range boundary {
+			pd.Raw[i] = eps
+			if strictLo {
+				pd.Signed[i] = -eps
+			} else {
+				pd.Signed[i] = eps
+			}
+		}
+	}
+	return nil
+}
+
+// numericRange derives the target interval of a numeric condition.
+// pointwise is true for OpNe, where lo carries the excluded value.
+func numericRange(c *query.Cond) (lo, hi float64, pointwise bool, err error) {
+	valueOf := func(v dataset.Value) (float64, error) {
+		f, ok := v.AsFloat()
+		if !ok {
+			return 0, fmt.Errorf("core: literal %s is not numeric for %q", v, c.Attr)
+		}
+		return f, nil
+	}
+	switch c.Op {
+	case query.OpGt, query.OpGe:
+		v, err := valueOf(c.Value)
+		return v, math.Inf(1), false, err
+	case query.OpLt, query.OpLe:
+		v, err := valueOf(c.Value)
+		return math.Inf(-1), v, false, err
+	case query.OpEq:
+		v, err := valueOf(c.Value)
+		return v, v, false, err
+	case query.OpNe:
+		v, err := valueOf(c.Value)
+		return v, v, true, err
+	case query.OpBetween:
+		l, err := valueOf(c.Lo)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		h, err := valueOf(c.Hi)
+		return l, h, false, err
+	case query.OpIn:
+		// Range is informational only (min..max of the list).
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range c.List {
+			f, err := valueOf(v)
+			if err != nil {
+				return 0, 0, false, err
+			}
+			lo = math.Min(lo, f)
+			hi = math.Max(hi, f)
+		}
+		return lo, hi, false, nil
+	default:
+		return 0, 0, false, fmt.Errorf("core: unsupported numeric operator %s", c.Op)
+	}
+}
+
+// minListDistance returns the distance to the nearest IN-list member and
+// its signed counterpart.
+func minListDistance(v float64, list []dataset.Value) (raw, signed float64) {
+	best := math.Inf(1)
+	bestSigned := math.Inf(1)
+	for _, lv := range list {
+		f, ok := lv.AsFloat()
+		if !ok {
+			continue
+		}
+		d := math.Abs(v - f)
+		if d < best {
+			best = d
+			bestSigned = v - f
+		}
+	}
+	if math.IsInf(best, 1) {
+		return math.NaN(), math.NaN()
+	}
+	return best, bestSigned
+}
+
+// stringCond fills pd for string/ordinal/nominal attributes using the
+// string distances and distance matrices of section 3.
+func (e *Engine) stringCond(c *query.Cond, attr query.BoundAttr, t *dataset.Table, space *itemSpace, pd *predicateData) error {
+	col, err := t.Column(attr.Attr)
+	if err != nil {
+		return err
+	}
+	pd.MinDB, pd.MaxDB = math.NaN(), math.NaN()
+	// Resolve the distance: explicit USING overrides; otherwise ordinal
+	// attributes use their category-rank matrix, nominal the discrete
+	// matrix, and strings edit distance.
+	var strDist distance.StringFunc
+	var matrix *distance.Matrix
+	fieldIdx := t.Schema().Index(attr.Attr)
+	categories := t.Schema()[fieldIdx].Categories
+	switch {
+	case c.DistFunc != "":
+		f, err := e.reg.String(c.DistFunc)
+		if err != nil {
+			return err
+		}
+		strDist = f
+	case attr.Kind == dataset.KindOrdinal:
+		m, err := distance.Ordinal(categories)
+		if err != nil {
+			return err
+		}
+		matrix = m
+	case attr.Kind == dataset.KindNominal:
+		m, err := distance.Discrete(categories)
+		if err != nil {
+			return err
+		}
+		matrix = m
+	default:
+		f, err := e.reg.String("edit")
+		if err != nil {
+			return err
+		}
+		strDist = f
+	}
+	dist := func(a, b string) float64 {
+		if matrix != nil {
+			d, _ := matrix.Dist(a, b)
+			return d
+		}
+		return strDist(a, b)
+	}
+	// signedOrder gives a direction for ordered string predicates:
+	// ordinal ranks when available, lexicographic comparison otherwise.
+	signedOrder := func(v, target string) float64 {
+		if matrix != nil && attr.Kind == dataset.KindOrdinal {
+			rv, rt := matrix.Rank(v), matrix.Rank(target)
+			if rv >= 0 && rt >= 0 {
+				return float64(rv - rt)
+			}
+		}
+		mag := distance.Lexicographic(v, target)
+		return float64(strings.Compare(v, target)) * mag
+	}
+	for i := 0; i < space.n; i++ {
+		row, err := space.rowFor(i, attr.Table)
+		if err != nil {
+			return err
+		}
+		pd.Values[i] = math.NaN()
+		val := col.Value(row)
+		s, ok := val.AsString()
+		if !ok {
+			pd.Raw[i], pd.Signed[i] = math.NaN(), math.NaN()
+			continue
+		}
+		switch c.Op {
+		case query.OpEq:
+			tgt := c.Value.S
+			d := dist(s, tgt)
+			pd.Raw[i] = d
+			pd.Signed[i] = math.Copysign(d, signedOrder(s, tgt))
+		case query.OpNe:
+			if s == c.Value.S {
+				pd.Raw[i], pd.Signed[i] = math.NaN(), math.NaN()
+			} else {
+				pd.Raw[i], pd.Signed[i] = 0, 0
+			}
+		case query.OpIn:
+			best := math.Inf(1)
+			for _, lv := range c.List {
+				if d := dist(s, lv.S); d < best {
+					best = d
+				}
+			}
+			pd.Raw[i], pd.Signed[i] = best, best
+		case query.OpGt, query.OpGe:
+			o := signedOrder(s, c.Value.S)
+			if o >= 0 {
+				pd.Raw[i], pd.Signed[i] = 0, 0
+			} else {
+				pd.Raw[i], pd.Signed[i] = -o, o
+			}
+		case query.OpLt, query.OpLe:
+			o := signedOrder(s, c.Value.S)
+			if o <= 0 {
+				pd.Raw[i], pd.Signed[i] = 0, 0
+			} else {
+				pd.Raw[i], pd.Signed[i] = o, o
+			}
+		case query.OpBetween:
+			oLo := signedOrder(s, c.Lo.S)
+			oHi := signedOrder(s, c.Hi.S)
+			switch {
+			case oLo < 0:
+				pd.Raw[i], pd.Signed[i] = -oLo, oLo
+			case oHi > 0:
+				pd.Raw[i], pd.Signed[i] = oHi, oHi
+			default:
+				pd.Raw[i], pd.Signed[i] = 0, 0
+			}
+		default:
+			return fmt.Errorf("core: unsupported string operator %s", c.Op)
+		}
+	}
+	return nil
+}
+
+// boolEval evaluates a condition exactly (true/false) for the
+// non-invertible negation path. Null attribute values evaluate false.
+func boolEvalCond(c *query.Cond, b *query.Binding, space *itemSpace, i int) (bool, error) {
+	attr := b.Attrs[c]
+	t, err := space.tableByName(attr.Table)
+	if err != nil {
+		return false, err
+	}
+	row, err := space.rowFor(i, attr.Table)
+	if err != nil {
+		return false, err
+	}
+	v, err := t.Value(row, attr.Attr)
+	if err != nil {
+		return false, err
+	}
+	if v.Null {
+		return false, nil
+	}
+	if attr.Kind.IsNumeric() {
+		f, _ := v.AsFloat()
+		switch c.Op {
+		case query.OpEq:
+			tv, _ := c.Value.AsFloat()
+			return f == tv, nil
+		case query.OpNe:
+			tv, _ := c.Value.AsFloat()
+			return f != tv, nil
+		case query.OpGt:
+			tv, _ := c.Value.AsFloat()
+			return f > tv, nil
+		case query.OpGe:
+			tv, _ := c.Value.AsFloat()
+			return f >= tv, nil
+		case query.OpLt:
+			tv, _ := c.Value.AsFloat()
+			return f < tv, nil
+		case query.OpLe:
+			tv, _ := c.Value.AsFloat()
+			return f <= tv, nil
+		case query.OpBetween:
+			lo, _ := c.Lo.AsFloat()
+			hi, _ := c.Hi.AsFloat()
+			return f >= lo && f <= hi, nil
+		case query.OpIn:
+			for _, lv := range c.List {
+				if tv, ok := lv.AsFloat(); ok && f == tv {
+					return true, nil
+				}
+			}
+			return false, nil
+		}
+	}
+	s, _ := v.AsString()
+	switch c.Op {
+	case query.OpEq:
+		return s == c.Value.S, nil
+	case query.OpNe:
+		return s != c.Value.S, nil
+	case query.OpGt:
+		return s > c.Value.S, nil
+	case query.OpGe:
+		return s >= c.Value.S, nil
+	case query.OpLt:
+		return s < c.Value.S, nil
+	case query.OpLe:
+		return s <= c.Value.S, nil
+	case query.OpBetween:
+		return s >= c.Lo.S && s <= c.Hi.S, nil
+	case query.OpIn:
+		for _, lv := range c.List {
+			if s == lv.S {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	return false, fmt.Errorf("core: cannot boolean-evaluate operator %s", c.Op)
+}

@@ -1,0 +1,700 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/arrange"
+	"repro/internal/colormap"
+	"repro/internal/dataset"
+	"repro/internal/query"
+	"repro/internal/reduce"
+	"repro/internal/relevance"
+	"repro/internal/render"
+)
+
+// Result is the outcome of running a visual feedback query.
+type Result struct {
+	Engine  *Engine
+	Query   *query.Query
+	Binding *query.Binding
+	Space   *itemSpace
+	Eval    *relevance.Result
+	// N is the totality of data items considered (rows, or cross-product
+	// pairs for multi-table queries) — the "# objects" panel field.
+	N int
+	// Combined is the normalized combined distance per item; Relevance
+	// its inverse.
+	Combined  []float64
+	Relevance []float64
+	// Order maps display rank → item index (ascending combined
+	// distance, i.e. descending relevance); sorted holds the distances
+	// in rank order.
+	Order  []int
+	sorted []float64
+	// Displayed is the number of ranked items that fit the display after
+	// the section 5.1 reduction — the "# displayed" panel field.
+	Displayed int
+	// Timings holds the per-stage wall-clock breakdown of this run.
+	Timings StageTimings
+
+	root   *relevance.Node
+	nodeOf map[query.Expr]*relevance.Node
+	preds  map[*query.Cond]*predicateData
+	cells  []arrange.Point       // rank → cell
+	rankAt map[arrange.Point]int // cell → rank
+	rankOf map[int]int           // item index → rank
+}
+
+// buildPlacement assigns window cells to the displayed ranks.
+func (r *Result) buildPlacement() {
+	opt := r.Engine.opt
+	if opt.Arrangement == Arrange2D {
+		r.build2DPlacement()
+	} else {
+		r.cells = arrange.Place(opt.GridW, opt.GridH, r.Displayed)
+	}
+	r.rankAt = make(map[arrange.Point]int, r.Displayed)
+	r.rankOf = make(map[int]int, r.Displayed)
+	for rank := 0; rank < r.Displayed && rank < len(r.cells); rank++ {
+		if r.cells[rank] != arrange.Unplaced {
+			r.rankAt[r.cells[rank]] = rank
+		}
+		r.rankOf[r.Order[rank]] = rank
+	}
+}
+
+// build2DPlacement implements figure 1b: the signed distances of the two
+// axis predicates give each item a quadrant; within quadrants items sit
+// by rank from the center outward. When both axis predicates carry
+// signed distances, the displayed set is refined with the combined
+// two-dimensional α-quantiles of section 5.1, so both directions stay
+// represented in the band around zero.
+func (r *Result) build2DPlacement() {
+	opt := r.Engine.opt
+	sx := r.signedOf(opt.AxisX)
+	sy := r.signedOf(opt.AxisY)
+	if sx != nil && sy != nil && r.N > 0 {
+		r.apply2DQuantiles(sx, sy)
+	}
+	items := make([]arrange.QuadItem, r.Displayed)
+	for rank := 0; rank < r.Displayed; rank++ {
+		item := r.Order[rank]
+		items[rank] = arrange.QuadItem{SignX: signOf(sx, item), SignY: signOf(sy, item)}
+	}
+	r.cells = arrange.Quad2D(opt.GridW, opt.GridH, items)
+}
+
+// apply2DQuantiles refines the displayed set with the combined
+// two-dimensional α-quantiles and reorders Order so the selected items
+// (in relevance order) come first. Note that with Arrange2D, Order is
+// therefore the display order, not a pure relevance ranking beyond the
+// displayed prefix.
+func (r *Result) apply2DQuantiles(sx, sy []float64) {
+	p := float64(r.Displayed) / float64(r.N)
+	in2D := reduce.Items2D(sx, sy, p)
+	if len(in2D) == 0 {
+		return
+	}
+	keep := make(map[int]bool, len(in2D))
+	for _, item := range in2D {
+		// Uncolorable items stay out of the display even when their
+		// axis distances fall inside the bands.
+		if !math.IsNaN(r.Combined[item]) {
+			keep[item] = true
+		}
+	}
+	if len(keep) == 0 {
+		return
+	}
+	newOrder := make([]int, 0, len(r.Order))
+	for _, item := range r.Order {
+		if keep[item] {
+			newOrder = append(newOrder, item)
+		}
+	}
+	for _, item := range r.Order {
+		if !keep[item] {
+			newOrder = append(newOrder, item)
+		}
+	}
+	if len(keep) < r.Displayed {
+		r.Displayed = len(keep)
+	}
+	r.Order = newOrder
+	sorted := make([]float64, len(newOrder))
+	for i, item := range newOrder {
+		sorted[i] = r.Combined[item]
+	}
+	r.sorted = sorted
+}
+
+// signedOf finds the signed-distance vector of the predicate on the
+// named attribute, or nil.
+func (r *Result) signedOf(attr string) []float64 {
+	if attr == "" {
+		return nil
+	}
+	for c, pd := range r.preds {
+		if c.Attr == attr || pd.Attr.Attr == attr || pd.Attr.Qualified() == attr {
+			return pd.Signed
+		}
+	}
+	return nil
+}
+
+func signOf(signed []float64, item int) int {
+	if signed == nil || item >= len(signed) {
+		return 0
+	}
+	v := signed[item]
+	switch {
+	case math.IsNaN(v) || v == 0:
+		return 0
+	case v < 0:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Stats summarizes the overall-result panel of figures 4/5.
+type PanelStats struct {
+	NumObjects   int     // # objects: totality of considered items
+	NumDisplayed int     // # displayed
+	PctDisplayed float64 // % displayed
+	NumResults   int     // # of results: items fulfilling the query exactly
+}
+
+// Stats computes the overall panel fields.
+func (r *Result) Stats() PanelStats {
+	exact := 0
+	for _, d := range r.Combined {
+		if d == 0 {
+			exact++
+		}
+	}
+	pct := 0.0
+	if r.N > 0 {
+		pct = float64(r.Displayed) / float64(r.N)
+	}
+	return PanelStats{
+		NumObjects:   r.N,
+		NumDisplayed: r.Displayed,
+		PctDisplayed: pct,
+		NumResults:   exact,
+	}
+}
+
+// PredicateInfo carries the per-slider panel fields of section 4.3.
+type PredicateInfo struct {
+	Label  string
+	Weight float64
+	// MinDB/MaxDB: attribute extremes in the database, displayed
+	// outside the slider spectrum.
+	MinDB, MaxDB float64
+	// FirstDisplayed/LastDisplayed: lowest and highest attribute value
+	// among the visualized data items, displayed inside the spectrum.
+	FirstDisplayed, LastDisplayed float64
+	// QueryLo/QueryHi: the current query range.
+	QueryLo, QueryHi float64
+	// NumResults: items fulfilling this predicate exactly.
+	NumResults int
+	// Numeric reports whether the attribute fields are meaningful.
+	Numeric bool
+	// Kind is the bound attribute's datatype (valid when the predicate
+	// is a simple condition); it selects the slider variant of
+	// section 4.3.
+	Kind dataset.Kind
+	// Categories and SelectedCats describe the enumeration slider of
+	// ordinal/nominal attributes: the category labels and which are
+	// currently selected by the condition.
+	Categories   []string
+	SelectedCats []bool
+}
+
+// PredicateInfos returns slider info for every top-level selection
+// predicate, in query order.
+func (r *Result) PredicateInfos() []PredicateInfo {
+	var out []PredicateInfo
+	for _, p := range query.Predicates(r.Query.Where) {
+		info := PredicateInfo{Label: p.Label(), Weight: p.Weight(),
+			MinDB: math.NaN(), MaxDB: math.NaN(),
+			FirstDisplayed: math.NaN(), LastDisplayed: math.NaN(),
+			QueryLo: math.NaN(), QueryHi: math.NaN()}
+		if node, ok := r.nodeOf[p]; ok {
+			// Interior nodes (e.g. an OR part) have no raw leaf
+			// distances; count exact answers on the evaluated vector.
+			vec := r.Eval.ByNode[node]
+			if vec == nil {
+				vec = node.Dists
+			}
+			for _, d := range vec {
+				if d == 0 {
+					info.NumResults++
+				}
+			}
+		}
+		if c, ok := p.(*query.Cond); ok {
+			if pd, ok := r.preds[c]; ok {
+				info.Kind = pd.Attr.Kind
+				if pd.HasRange {
+					info.Numeric = true
+					info.MinDB, info.MaxDB = pd.MinDB, pd.MaxDB
+					info.QueryLo, info.QueryHi = pd.Lo, pd.Hi
+					first, last := math.Inf(1), math.Inf(-1)
+					any := false
+					for rank := 0; rank < r.Displayed; rank++ {
+						v := pd.Values[r.Order[rank]]
+						if math.IsNaN(v) {
+							continue
+						}
+						any = true
+						first = math.Min(first, v)
+						last = math.Max(last, v)
+					}
+					if any {
+						info.FirstDisplayed, info.LastDisplayed = first, last
+					} else {
+						info.FirstDisplayed, info.LastDisplayed = math.NaN(), math.NaN()
+					}
+				}
+				if pd.Attr.Kind == dataset.KindOrdinal || pd.Attr.Kind == dataset.KindNominal {
+					info.Categories, info.SelectedCats = r.categorySelection(c, pd)
+				}
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// colorFor maps a normalized distance to its display color.
+func (r *Result) colorFor(norm float64) colormap.RGB {
+	if math.IsNaN(norm) {
+		return colormap.UncolorableColor
+	}
+	return r.Engine.opt.Map.AtNorm(norm / relevance.Scale)
+}
+
+// OverallWindow renders the overall-result window: rank k's cell gets
+// the color of the k-th smallest combined distance, yielding the yellow
+// center with spiral-shaped approximate answers of figure 1a.
+func (r *Result) OverallWindow() *render.Window {
+	opt := r.Engine.opt
+	w := render.NewWindow("overall result", opt.GridW, opt.GridH, arrange.BlockSide(opt.PixelsPerItem))
+	for rank := 0; rank < r.Displayed && rank < len(r.cells); rank++ {
+		w.SetCell(r.cells[rank], r.colorFor(r.sorted[rank]))
+	}
+	return w
+}
+
+// WindowFor renders the window of one query part: the cells keep the
+// overall ordering ("we do not sort the distances, but keep the same
+// ordering of data items as in the overall result window") and show the
+// part's own normalized distances.
+func (r *Result) WindowFor(e query.Expr) (*render.Window, error) {
+	node, ok := r.nodeOf[e]
+	if !ok {
+		return nil, fmt.Errorf("core: no window for expression %q", e.Label())
+	}
+	vec, ok := r.Eval.ByNode[node]
+	if !ok {
+		return nil, fmt.Errorf("core: expression %q not evaluated", e.Label())
+	}
+	opt := r.Engine.opt
+	w := render.NewWindow(e.Label(), opt.GridW, opt.GridH, arrange.BlockSide(opt.PixelsPerItem))
+	for rank := 0; rank < r.Displayed && rank < len(r.cells); rank++ {
+		item := r.Order[rank]
+		w.SetCell(r.cells[rank], r.colorFor(vec[item]))
+	}
+	return w, nil
+}
+
+// Windows returns the overall window followed by one window per
+// top-level selection predicate — the visualization part of figure 4.
+func (r *Result) Windows() ([]*render.Window, error) {
+	out := []*render.Window{r.OverallWindow()}
+	for _, p := range query.Predicates(r.Query.Where) {
+		w, err := r.WindowFor(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// Image composes the windows into one image with the given column count
+// (2 matches the paper's 2×2 layout for three predicates).
+func (r *Result) Image(cols int) (*render.Image, error) {
+	ws, err := r.Windows()
+	if err != nil {
+		return nil, err
+	}
+	return render.Compose(ws, cols, 6), nil
+}
+
+// categorySelection computes the enumeration-slider state of a
+// categorical condition: the attribute's categories and which of them
+// the condition currently selects.
+func (r *Result) categorySelection(c *query.Cond, pd *predicateData) (labels []string, selected []bool) {
+	t, err := r.Engine.cat.Table(pd.Attr.Table)
+	if err != nil {
+		return nil, nil
+	}
+	idx := t.Schema().Index(pd.Attr.Attr)
+	if idx < 0 {
+		return nil, nil
+	}
+	labels = append([]string(nil), t.Schema()[idx].Categories...)
+	selected = make([]bool, len(labels))
+	match := func(label string) bool {
+		switch c.Op {
+		case query.OpEq:
+			return label == c.Value.S
+		case query.OpNe:
+			return label != c.Value.S
+		case query.OpIn:
+			for _, v := range c.List {
+				if v.S == label {
+					return true
+				}
+			}
+			return false
+		case query.OpGt, query.OpGe, query.OpLt, query.OpLe:
+			// Ordinal comparisons select by rank.
+			rank := indexOf(labels, label)
+			target := indexOf(labels, c.Value.S)
+			if rank < 0 || target < 0 {
+				return false
+			}
+			switch c.Op {
+			case query.OpGt:
+				return rank > target
+			case query.OpGe:
+				return rank >= target
+			case query.OpLt:
+				return rank < target
+			default:
+				return rank <= target
+			}
+		default:
+			return false
+		}
+	}
+	for i, l := range labels {
+		selected[i] = match(l)
+	}
+	return labels, selected
+}
+
+func indexOf(ss []string, s string) int {
+	for i, v := range ss {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// SliderSpecs builds the query-modification sliders: each spectrum is
+// "just a different arrangement of the colored distances" with the
+// query range marked. The slider kind follows the attribute datatype
+// (section 4.3): discrete ticks for integers, enumerations for
+// ordinal/nominal attributes, continuous ranges otherwise.
+func (r *Result) SliderSpecs() []render.SliderSpec {
+	infos := r.PredicateInfos()
+	specs := make([]render.SliderSpec, 0, len(infos))
+	for _, info := range infos {
+		s := render.SliderSpec{
+			Title:    info.Label,
+			Spectrum: r.Engine.opt.Map.Spectrum(128),
+			MarkLo:   -1,
+			MarkHi:   -1,
+		}
+		switch {
+		case len(info.Categories) > 0:
+			s.Kind = render.SliderEnumeration
+			s.Labels = info.Categories
+			s.Selected = info.SelectedCats
+		case info.Kind == dataset.KindInt:
+			s.Kind = render.SliderDiscrete
+			if info.Numeric && info.MaxDB > info.MinDB {
+				ticks := int(info.MaxDB - info.MinDB)
+				if ticks > 32 {
+					ticks = 32
+				}
+				if ticks < 2 {
+					ticks = 2
+				}
+				s.Ticks = ticks
+			}
+		}
+		if info.Numeric && info.MaxDB > info.MinDB {
+			span := info.MaxDB - info.MinDB
+			if !math.IsInf(info.QueryLo, 0) && !math.IsNaN(info.QueryLo) {
+				s.MarkLo = clamp01((info.QueryLo - info.MinDB) / span)
+			}
+			if !math.IsInf(info.QueryHi, 0) && !math.IsNaN(info.QueryHi) {
+				s.MarkHi = clamp01((info.QueryHi - info.MinDB) / span)
+			}
+			if info.Kind == dataset.KindTime {
+				// Time attributes coerce to Unix seconds internally;
+				// the slider caption shows readable instants.
+				s.Caption = fmt.Sprintf("%s .. %s",
+					time.Unix(int64(info.MinDB), 0).UTC().Format("2006-01-02 15:04"),
+					time.Unix(int64(info.MaxDB), 0).UTC().Format("2006-01-02 15:04"))
+			} else {
+				s.Caption = fmt.Sprintf("%.4g .. %.4g", info.MinDB, info.MaxDB)
+			}
+			// A closed range doubles as a median±deviation slider (the
+			// rightmost slider of figure 4).
+			if s.MarkLo >= 0 && s.MarkHi >= 0 && s.Kind == render.SliderContinuous &&
+				!math.IsInf(info.QueryLo, 0) && !math.IsInf(info.QueryHi, 0) {
+				s.Median = (s.MarkLo + s.MarkHi) / 2
+				s.Deviation = (s.MarkHi - s.MarkLo) / 2
+			}
+		}
+		specs = append(specs, s)
+	}
+	return specs
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// ItemAt returns the item index displayed at a window cell, for tuple
+// selection (section 4.3).
+func (r *Result) ItemAt(cell arrange.Point) (int, bool) {
+	rank, ok := r.rankAt[cell]
+	if !ok {
+		return 0, false
+	}
+	return r.Order[rank], true
+}
+
+// CellOfItem returns the window cell of an item, if displayed.
+func (r *Result) CellOfItem(item int) (arrange.Point, bool) {
+	rank, ok := r.rankOf[item]
+	if !ok || rank >= len(r.cells) {
+		return arrange.Unplaced, false
+	}
+	c := r.cells[rank]
+	return c, c != arrange.Unplaced
+}
+
+// SelectedTuple materializes the underlying row(s) of an item: one row
+// for single-table queries, the left and right rows for cross-product
+// items — the "selected tuple" panel field.
+type SelectedTuple struct {
+	Tables []string
+	Rows   [][]dataset.Value
+}
+
+// Tuple returns the selected tuple for an item index.
+func (r *Result) Tuple(item int) (SelectedTuple, error) {
+	if item < 0 || item >= r.N {
+		return SelectedTuple{}, fmt.Errorf("core: item %d out of range [0,%d)", item, r.N)
+	}
+	st := SelectedTuple{}
+	if r.Space.pairs == nil {
+		t := r.Space.tables[0]
+		st.Tables = []string{t.Name()}
+		st.Rows = [][]dataset.Value{t.Row(item)}
+		return st, nil
+	}
+	p := r.Space.pairs[item]
+	lt, rt := r.Space.tables[0], r.Space.tables[1]
+	st.Tables = []string{lt.Name(), rt.Name()}
+	st.Rows = [][]dataset.Value{lt.Row(p.Left), rt.Row(p.Right)}
+	return st, nil
+}
+
+// FirstLastOfColor implements the "first/last of color" panel fields:
+// among displayed items whose normalized distance for the given
+// predicate falls into [loLevel, hiLevel] of the colormap, the lowest
+// and highest attribute values. ok is false when no displayed item
+// matches or the predicate is not numeric.
+func (r *Result) FirstLastOfColor(c *query.Cond, loLevel, hiLevel int) (first, last float64, ok bool) {
+	pd, exists := r.preds[c]
+	if !exists {
+		return 0, 0, false
+	}
+	node := r.nodeOf[c]
+	vec := r.Eval.ByNode[node]
+	m := r.Engine.opt.Map
+	first, last = math.Inf(1), math.Inf(-1)
+	for rank := 0; rank < r.Displayed; rank++ {
+		item := r.Order[rank]
+		norm := vec[item]
+		if math.IsNaN(norm) {
+			continue
+		}
+		level := m.LevelOfNorm(norm / relevance.Scale)
+		if level < loLevel || level > hiLevel {
+			continue
+		}
+		v := pd.Values[item]
+		if math.IsNaN(v) {
+			continue
+		}
+		ok = true
+		first = math.Min(first, v)
+		last = math.Max(last, v)
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	return first, last, true
+}
+
+// ItemsInColorRange returns the displayed items whose color level for
+// the given query part lies within [loLevel, hiLevel] — the projection
+// used "to focus on sets of data items with a specific color"
+// (section 4.3). A nil expression selects on the overall result's
+// colors.
+func (r *Result) ItemsInColorRange(e query.Expr, loLevel, hiLevel int) ([]int, error) {
+	vec := r.Combined
+	if e != nil {
+		node, ok := r.nodeOf[e]
+		if !ok {
+			return nil, fmt.Errorf("core: no data for expression %q", e.Label())
+		}
+		vec = r.Eval.ByNode[node]
+	}
+	m := r.Engine.opt.Map
+	var items []int
+	for rank := 0; rank < r.Displayed; rank++ {
+		item := r.Order[rank]
+		norm := vec[item]
+		if math.IsNaN(norm) {
+			continue
+		}
+		level := m.LevelOfNorm(norm / relevance.Scale)
+		if level >= loLevel && level <= hiLevel {
+			items = append(items, item)
+		}
+	}
+	return items, nil
+}
+
+// TopK returns the item indices of the k most relevant items (the head
+// of the ranking) — the programmatic consumption path for similarity
+// retrieval (section 4.5).
+func (r *Result) TopK(k int) []int {
+	if k > len(r.Order) {
+		k = len(r.Order)
+	}
+	out := make([]int, k)
+	copy(out, r.Order[:k])
+	return out
+}
+
+// Root returns the root of the evaluated distance tree (for
+// diagnostics).
+func (r *Result) Root() *relevance.Node { return r.root }
+
+// Pair returns the (left row, right row) of a cross-product item; ok is
+// false for single-table queries or out-of-range items.
+func (r *Result) Pair(item int) (left, right int, ok bool) {
+	if r.Space == nil || r.Space.pairs == nil || item < 0 || item >= len(r.Space.pairs) {
+		return 0, 0, false
+	}
+	p := r.Space.pairs[item]
+	return p.Left, p.Right, true
+}
+
+// CellOfRank returns the window cell of display rank k (Unplaced when
+// out of range).
+func (r *Result) CellOfRank(k int) arrange.Point {
+	if k < 0 || k >= len(r.cells) {
+		return arrange.Unplaced
+	}
+	return r.cells[k]
+}
+
+// NormOf returns the normalized distance of an item for a query part.
+func (r *Result) NormOf(e query.Expr, item int) (float64, error) {
+	node, ok := r.nodeOf[e]
+	if !ok {
+		return 0, fmt.Errorf("core: no data for expression %q", e.Label())
+	}
+	vec := r.Eval.ByNode[node]
+	if item < 0 || item >= len(vec) {
+		return 0, fmt.Errorf("core: item %d out of range", item)
+	}
+	return vec[item], nil
+}
+
+// ColorFor exposes the colormap mapping used by the windows.
+func (r *Result) ColorFor(norm float64) colormap.RGB { return r.colorFor(norm) }
+
+// DrillDownWindows implements the figure-5 interaction: double-clicking
+// a boolean operator box yields a visualization window for that query
+// part — its overall result plus one window per child predicate. With
+// independent == false the arrangement of data items "is the same
+// arrangement as for the overall result of the whole query"; with
+// independent == true the items are re-arranged "according to the
+// relevance factors calculated for the query part only".
+func (r *Result) DrillDownWindows(e query.Expr, independent bool) ([]*render.Window, error) {
+	node, ok := r.nodeOf[e]
+	if !ok {
+		return nil, fmt.Errorf("core: no data for expression %q", e.Label())
+	}
+	parts := append([]query.Expr{e}, query.Predicates(e)...)
+	if len(query.Predicates(e)) == 1 && query.Predicates(e)[0] == e {
+		parts = []query.Expr{e} // leaf drill-down: just the one window
+	}
+	if !independent {
+		out := make([]*render.Window, 0, len(parts))
+		for i, p := range parts {
+			w, err := r.WindowFor(p)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				w.Title = "overall " + e.Label()
+			}
+			out = append(out, w)
+		}
+		return out, nil
+	}
+	// Independent arrangement: re-rank by the part's own distances.
+	vec := r.Eval.ByNode[node]
+	sorted, order := reduce.SortWithIndex(vec)
+	displayed := r.Displayed
+	opt := r.Engine.opt
+	if cap := opt.GridW * opt.GridH; displayed > cap {
+		displayed = cap
+	}
+	for displayed > 0 && math.IsNaN(sorted[displayed-1]) {
+		displayed--
+	}
+	cells := arrange.Place(opt.GridW, opt.GridH, displayed)
+	out := make([]*render.Window, 0, len(parts))
+	for i, p := range parts {
+		pnode, ok := r.nodeOf[p]
+		if !ok {
+			return nil, fmt.Errorf("core: no data for expression %q", p.Label())
+		}
+		pvec := r.Eval.ByNode[pnode]
+		w := render.NewWindow(p.Label(), opt.GridW, opt.GridH, arrange.BlockSide(opt.PixelsPerItem))
+		if i == 0 {
+			w.Title = "overall " + e.Label() + " (independent)"
+		}
+		for rank := 0; rank < displayed; rank++ {
+			w.SetCell(cells[rank], r.colorFor(pvec[order[rank]]))
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+// Package csvutil loads CSV files into dataset tables with schema
+// inference, for the command-line tools: each column is typed float64
+// if every non-empty cell parses as a number, time if every cell parses
+// as RFC 3339, bool if every cell parses as a boolean, and string
+// otherwise.
+package csvutil
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// LoadInferred reads path and returns a table with an inferred schema.
+func LoadInferred(path, name string) (*dataset.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadInferred(f, name)
+}
+
+// ReadInferred is LoadInferred over a reader.
+func ReadInferred(r io.Reader, name string) (*dataset.Table, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("csvutil: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("csvutil: empty file")
+	}
+	header := records[0]
+	rows := records[1:]
+	schema := make(dataset.Schema, len(header))
+	for c, h := range header {
+		schema[c] = dataset.Field{Name: h, Kind: inferKind(rows, c)}
+	}
+	tbl, err := dataset.NewTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]dataset.Value, len(schema))
+	for i, rec := range rows {
+		if len(rec) != len(schema) {
+			return nil, fmt.Errorf("csvutil: row %d has %d cells, want %d", i+2, len(rec), len(schema))
+		}
+		for c, cell := range rec {
+			v, err := dataset.ParseValue(schema[c].Kind, cell)
+			if err != nil {
+				return nil, fmt.Errorf("csvutil: row %d column %q: %w", i+2, header[c], err)
+			}
+			vals[c] = v
+		}
+		if err := tbl.AppendRow(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+// inferKind picks the most specific kind every non-empty cell of column
+// c supports.
+func inferKind(rows [][]string, c int) dataset.Kind {
+	isFloat, isTime, isBool := true, true, true
+	any := false
+	for _, rec := range rows {
+		if c >= len(rec) || rec[c] == "" {
+			continue
+		}
+		any = true
+		cell := rec[c]
+		if isFloat {
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				isFloat = false
+			}
+		}
+		if isTime {
+			if _, err := time.Parse(time.RFC3339, cell); err != nil {
+				isTime = false
+			}
+		}
+		if isBool {
+			if _, err := strconv.ParseBool(cell); err != nil {
+				isBool = false
+			}
+		}
+		if !isFloat && !isTime && !isBool {
+			break
+		}
+	}
+	switch {
+	case !any:
+		return dataset.KindString
+	case isTime:
+		return dataset.KindTime
+	case isBool:
+		return dataset.KindBool
+	case isFloat:
+		return dataset.KindFloat
+	default:
+		return dataset.KindString
+	}
+}

@@ -1,0 +1,179 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// CADConfig parameterizes the CAD-parts generator of the section 4.5
+// similarity-retrieval scenario: "in a concrete application in
+// mechanical engineering we had 27 parameters describing the parts".
+type CADConfig struct {
+	Parts  int // total parts (default 1000)
+	Params int // parameters per part (default 27)
+	// Clusters and ClusterSize plant groups of near-identical parts.
+	Clusters    int // default 4
+	ClusterSize int // default 4
+	// Allowance is the per-parameter tolerance a traditional boolean
+	// query would use (default 1.0).
+	Allowance float64
+	// NearMissDelta places the planted near-miss part this fraction
+	// beyond the allowance on exactly one parameter (default 0.2, i.e.
+	// 1.2×allowance away) — the part the paper warns boolean queries
+	// lose: "the user might miss a part that exactly fits in all except
+	// one parameter and just misses to fulfill the allowance of that
+	// single parameter".
+	NearMissDelta float64
+	Seed          int64
+}
+
+func (c CADConfig) withDefaults() CADConfig {
+	if c.Parts <= 0 {
+		c.Parts = 1000
+	}
+	if c.Params <= 0 {
+		c.Params = 27
+	}
+	if c.Clusters < 0 {
+		c.Clusters = 0
+	}
+	if c.Clusters == 0 {
+		c.Clusters = 4
+	}
+	if c.ClusterSize <= 0 {
+		c.ClusterSize = 4
+	}
+	if c.Allowance <= 0 {
+		c.Allowance = 1
+	}
+	if c.NearMissDelta <= 0 {
+		c.NearMissDelta = 0.2
+	}
+	return c
+}
+
+// CADTruth records the planted structure.
+type CADTruth struct {
+	// Query is the reference part's parameter vector.
+	Query []float64
+	// ExactRows fit the reference within the allowance on all
+	// parameters.
+	ExactRows []int
+	// NearMissRow fits all parameters except one, which misses the
+	// allowance by NearMissDelta.
+	NearMissRow int
+	// ClusterRows lists the planted similar-part groups.
+	ClusterRows [][]int
+	// Allowance echoes the configured tolerance.
+	Allowance float64
+}
+
+// CADParts builds a table "Parts" with columns PartID, P1..Pk.
+func CADParts(cfg CADConfig) (*dataset.Table, CADTruth, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	schema := dataset.Schema{{Name: "PartID", Kind: dataset.KindInt}}
+	for p := 1; p <= cfg.Params; p++ {
+		schema = append(schema, dataset.Field{Name: fmt.Sprintf("P%d", p), Kind: dataset.KindFloat})
+	}
+	tbl, err := dataset.NewTable("Parts", schema)
+	if err != nil {
+		return nil, CADTruth{}, err
+	}
+	truth := CADTruth{Allowance: cfg.Allowance}
+	truth.Query = make([]float64, cfg.Params)
+	for p := range truth.Query {
+		truth.Query[p] = 50 + 15*rng.NormFloat64()
+	}
+	appendPart := func(id int, params []float64) error {
+		vals := make([]dataset.Value, 0, cfg.Params+1)
+		vals = append(vals, dataset.Int(int64(id)))
+		for _, v := range params {
+			vals = append(vals, dataset.Float(round2(v)))
+		}
+		return tbl.AppendRow(vals...)
+	}
+	id := 0
+	// Exact matches: within the allowance on every parameter.
+	nExact := 3
+	for i := 0; i < nExact; i++ {
+		params := make([]float64, cfg.Params)
+		for p := range params {
+			params[p] = truth.Query[p] + (rng.Float64()-0.5)*cfg.Allowance*0.8
+		}
+		truth.ExactRows = append(truth.ExactRows, id)
+		if err := appendPart(id, params); err != nil {
+			return nil, CADTruth{}, err
+		}
+		id++
+	}
+	// The near-miss part.
+	{
+		params := make([]float64, cfg.Params)
+		for p := range params {
+			params[p] = truth.Query[p] + (rng.Float64()-0.5)*cfg.Allowance*0.3
+		}
+		victim := rng.Intn(cfg.Params)
+		sign := 1.0
+		if rng.Intn(2) == 0 {
+			sign = -1
+		}
+		params[victim] = truth.Query[victim] + sign*cfg.Allowance*(1+cfg.NearMissDelta)
+		truth.NearMissRow = id
+		if err := appendPart(id, params); err != nil {
+			return nil, CADTruth{}, err
+		}
+		id++
+	}
+	// Planted similarity clusters elsewhere in parameter space.
+	for c := 0; c < cfg.Clusters; c++ {
+		center := make([]float64, cfg.Params)
+		for p := range center {
+			center[p] = 50 + 15*rng.NormFloat64()
+		}
+		var rows []int
+		for m := 0; m < cfg.ClusterSize; m++ {
+			params := make([]float64, cfg.Params)
+			for p := range params {
+				params[p] = center[p] + 0.4*rng.NormFloat64()
+			}
+			rows = append(rows, id)
+			if err := appendPart(id, params); err != nil {
+				return nil, CADTruth{}, err
+			}
+			id++
+		}
+		truth.ClusterRows = append(truth.ClusterRows, rows)
+	}
+	// Background parts.
+	for id < cfg.Parts {
+		params := make([]float64, cfg.Params)
+		for p := range params {
+			params[p] = 50 + 15*rng.NormFloat64()
+		}
+		if err := appendPart(id, params); err != nil {
+			return nil, CADTruth{}, err
+		}
+		id++
+	}
+	return tbl, truth, nil
+}
+
+// CADQuerySQL builds the similarity query for the reference part: a
+// conjunction of BETWEEN allowance windows over every parameter, the
+// "fixed allowances" formulation the paper critiques.
+func CADQuerySQL(truth CADTruth, allowance float64) string {
+	if allowance <= 0 {
+		allowance = truth.Allowance
+	}
+	q := "SELECT PartID FROM Parts WHERE "
+	for p, v := range truth.Query {
+		if p > 0 {
+			q += " AND "
+		}
+		q += fmt.Sprintf("P%d BETWEEN %.3f AND %.3f", p+1, v-allowance, v+allowance)
+	}
+	return q
+}

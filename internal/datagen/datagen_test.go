@@ -1,0 +1,268 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func TestEnvironmentalStructure(t *testing.T) {
+	cat, truth, err := Environmental(EnvConfig{Hours: 480, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := cat.Table("Weather")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cat.Table("Air-Pollution")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumRows() != 480 || p.NumRows() != 480 {
+		t.Fatalf("rows: %d/%d", w.NumRows(), p.NumRows())
+	}
+	if truth.WeatherRows != 480 || truth.PollutionRow != 480 {
+		t.Fatalf("truth rows: %+v", truth)
+	}
+	// All four figure-3 connections registered.
+	for _, conn := range []string{"at-same-location", "at-same-time-as", "with-time-diff", "with-distance"} {
+		if _, err := cat.Connection(conn); err != nil {
+			t.Errorf("missing connection %s: %v", conn, err)
+		}
+	}
+}
+
+func TestEnvironmentalPlantedCorrelations(t *testing.T) {
+	_, truth, err := Environmental(EnvConfig{Hours: 1440, Seed: 2, HotSpots: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Temperature leads ozone by exactly LagHours.
+	lag, corr := stats.BestLag(truth.Temperature, truth.Ozone, 6)
+	if lag != truth.LagHours {
+		t.Fatalf("best lag %d (corr %.3f), want %d", lag, corr, truth.LagHours)
+	}
+	if corr < 0.7 {
+		t.Fatalf("lagged correlation too weak: %v", corr)
+	}
+}
+
+func TestEnvironmentalTempSolarCorrelation(t *testing.T) {
+	cat, _, err := Environmental(EnvConfig{Hours: 720, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := cat.Table("Weather")
+	temp, _ := w.FloatsOf("Temperature")
+	solar, _ := w.FloatsOf("Solar_Radiation")
+	hum, _ := w.FloatsOf("Humidity")
+	if c := stats.Pearson(temp, solar); c < 0.6 {
+		t.Fatalf("temp/solar correlation: %v", c)
+	}
+	if c := stats.Pearson(temp, hum); c > -0.5 {
+		t.Fatalf("temp/humidity correlation should be negative: %v", c)
+	}
+}
+
+func TestEnvironmentalHotSpots(t *testing.T) {
+	cat, truth, err := Environmental(EnvConfig{Hours: 480, Seed: 4, HotSpots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth.HotSpotRows) != 3 {
+		t.Fatalf("hot spots: %v", truth.HotSpotRows)
+	}
+	p, _ := cat.Table("Air-Pollution")
+	oz, _ := p.FloatsOf("Ozone")
+	for _, row := range truth.HotSpotRows {
+		if oz[row] < 200 {
+			t.Fatalf("hot spot row %d has ozone %v", row, oz[row])
+		}
+	}
+	// Non-hot-spot ozone stays in the normal regime.
+	hot := make(map[int]bool)
+	for _, r := range truth.HotSpotRows {
+		hot[r] = true
+	}
+	for i, v := range oz {
+		if !hot[i] && v > 200 {
+			t.Fatalf("unplanted ozone %v at row %d", v, i)
+		}
+	}
+}
+
+func TestEnvironmentalOffsetsBreakEquality(t *testing.T) {
+	cat, _, err := Environmental(EnvConfig{Hours: 200, Seed: 5, OffsetMinutes: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := cat.Table("Weather")
+	p, _ := cat.Table("Air-Pollution")
+	wt, _ := w.FloatsOf("DateTime")
+	pt, _ := p.FloatsOf("DateTime")
+	for i := range wt {
+		if wt[i] == pt[i] {
+			t.Fatal("offset should break timestamp equality")
+		}
+		if math.Abs(wt[i]-pt[i]) != 1800 {
+			t.Fatalf("offset should be exactly 30 min, got %v s", math.Abs(wt[i]-pt[i]))
+		}
+	}
+}
+
+func TestEnvironmentalDeterministic(t *testing.T) {
+	cat1, _, _ := Environmental(EnvConfig{Hours: 100, Seed: 7})
+	cat2, _, _ := Environmental(EnvConfig{Hours: 100, Seed: 7})
+	w1, _ := cat1.Table("Weather")
+	w2, _ := cat2.Table("Weather")
+	t1, _ := w1.FloatsOf("Temperature")
+	t2, _ := w2.FloatsOf("Temperature")
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatal("same seed must reproduce the same data")
+		}
+	}
+	cat3, _, _ := Environmental(EnvConfig{Hours: 100, Seed: 8})
+	w3, _ := cat3.Table("Weather")
+	t3, _ := w3.FloatsOf("Temperature")
+	same := true
+	for i := range t1 {
+		if t1[i] != t3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestEnvironmentalSubsampledPollution(t *testing.T) {
+	cat, truth, err := Environmental(EnvConfig{Hours: 2849, PollutionEvery: 119, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := cat.Table("Air-Pollution")
+	if p.NumRows() != 24 {
+		t.Fatalf("pollution rows: %d, want 24", p.NumRows())
+	}
+	w, _ := cat.Table("Weather")
+	// Cross product matches figure 4's 68,376 objects.
+	if got := w.NumRows() * p.NumRows(); got != 68376 {
+		t.Fatalf("cross product: %d, want 68376", got)
+	}
+	_ = truth
+}
+
+func TestCADPartsStructure(t *testing.T) {
+	tbl, truth, err := CADParts(CADConfig{Parts: 200, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 200 {
+		t.Fatalf("rows: %d", tbl.NumRows())
+	}
+	if tbl.NumCols() != 28 { // PartID + 27 params
+		t.Fatalf("cols: %d", tbl.NumCols())
+	}
+	if len(truth.Query) != 27 || len(truth.ExactRows) == 0 {
+		t.Fatalf("truth: %+v", truth)
+	}
+	// Exact rows really are within the allowance on all params.
+	for _, row := range truth.ExactRows {
+		for p, qv := range truth.Query {
+			v, _ := tbl.Value(row, schemaParam(p))
+			if math.Abs(v.F-qv) > truth.Allowance {
+				t.Fatalf("exact row %d violates allowance on P%d", row, p+1)
+			}
+		}
+	}
+	// The near-miss violates exactly one parameter, by ≤ 2 allowances.
+	violations := 0
+	for p, qv := range truth.Query {
+		v, _ := tbl.Value(truth.NearMissRow, schemaParam(p))
+		d := math.Abs(v.F - qv)
+		if d > truth.Allowance {
+			violations++
+			if d > 2*truth.Allowance {
+				t.Fatalf("near miss too far: %v", d)
+			}
+		}
+	}
+	if violations != 1 {
+		t.Fatalf("near-miss violations: %d", violations)
+	}
+}
+
+func TestCADQuerySQLWithBaseline(t *testing.T) {
+	tbl, truth, err := CADParts(CADConfig{Parts: 300, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := dataset.NewCatalog()
+	if err := cat.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	// The boolean allowance query finds the exact rows but loses the
+	// near miss — the paper's similarity-retrieval motivation.
+	rows, err := baseline.MatchesSQL(cat, CADQuerySQL(truth, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := make(map[int]bool)
+	for _, r := range rows {
+		found[r] = true
+	}
+	for _, want := range truth.ExactRows {
+		if !found[want] {
+			t.Fatalf("boolean query lost exact row %d", want)
+		}
+	}
+	if found[truth.NearMissRow] {
+		t.Fatal("boolean query should lose the near miss")
+	}
+}
+
+func schemaParam(p int) string { return fmt.Sprintf("P%d", p+1) }
+
+func TestMultiDBStructure(t *testing.T) {
+	cat, truth, err := MultiDB(MultiDBConfig{People: 200, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := cat.Table("PersonsA")
+	b, _ := cat.Table("PersonsB")
+	if a.NumRows() != 200 {
+		t.Fatalf("A rows: %d", a.NumRows())
+	}
+	if len(truth.Matches) == 0 {
+		t.Fatal("no planted matches")
+	}
+	if b.NumRows() < len(truth.Matches) {
+		t.Fatalf("B rows %d < matches %d", b.NumRows(), len(truth.Matches))
+	}
+	// Matched names are similar but (usually) not identical; verify at
+	// least 30% differ textually while sharing a prefix-ish structure.
+	differ := 0
+	for ar, br := range truth.Matches {
+		an, _ := a.Value(ar, "Name")
+		bn, _ := b.Value(br, "FullName")
+		if an.S != bn.S {
+			differ++
+		}
+		if len(bn.S) < 2 {
+			t.Fatalf("degenerate misspelling %q of %q", bn.S, an.S)
+		}
+	}
+	if differ*10 < len(truth.Matches)*3 {
+		t.Fatalf("too few misspellings: %d of %d", differ, len(truth.Matches))
+	}
+	if _, err := cat.Connection("similar-name"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// MultiDBConfig parameterizes the multi-database correspondence
+// generator (section 4.5: "multi-database systems where it is often a
+// problem to find corresponding data items in multiple independent
+// databases").
+type MultiDBConfig struct {
+	// People is the number of entities in database A (default 300).
+	People int
+	// OverlapFrac is the fraction of A's entities that also exist in B,
+	// under a misspelled name and possibly shifted birth year
+	// (default 0.5).
+	OverlapFrac float64
+	// ExtraFrac adds this fraction of B-only entities (default 0.3).
+	ExtraFrac float64
+	Seed      int64
+}
+
+func (c MultiDBConfig) withDefaults() MultiDBConfig {
+	if c.People <= 0 {
+		c.People = 300
+	}
+	if c.OverlapFrac <= 0 || c.OverlapFrac > 1 {
+		c.OverlapFrac = 0.5
+	}
+	if c.ExtraFrac < 0 {
+		c.ExtraFrac = 0.3
+	}
+	return c
+}
+
+// MultiDBTruth records the ground-truth correspondences.
+type MultiDBTruth struct {
+	// Matches maps PersonsA row → PersonsB row for the true pairs.
+	Matches map[int]int
+}
+
+var (
+	syllables = []string{"ka", "ri", "mo", "ta", "le", "shi", "an", "ber", "gon", "de", "vi", "ra", "nel", "so", "mi", "ul", "tho", "bren"}
+	cities    = []string{"Munich", "Augsburg", "Regensburg", "Nuremberg", "Passau", "Ulm", "Landshut", "Ingolstadt"}
+)
+
+func randomName(rng *rand.Rand) string {
+	n := 2 + rng.Intn(2)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(syllables[rng.Intn(len(syllables))])
+	}
+	name := b.String()
+	return strings.ToUpper(name[:1]) + name[1:]
+}
+
+// misspell applies 1-2 random character edits.
+func misspell(rng *rand.Rand, s string) string {
+	b := []byte(s)
+	edits := 1 + rng.Intn(2)
+	for e := 0; e < edits && len(b) > 2; e++ {
+		i := 1 + rng.Intn(len(b)-1)
+		switch rng.Intn(3) {
+		case 0: // substitute
+			b[i] = byte('a' + rng.Intn(26))
+		case 1: // delete
+			b = append(b[:i], b[i+1:]...)
+		default: // transpose
+			if i+1 < len(b) {
+				b[i], b[i+1] = b[i+1], b[i]
+			}
+		}
+	}
+	return string(b)
+}
+
+// MultiDB builds a catalog with PersonsA and PersonsB plus a
+// "similar-name" string connection for approximate joining.
+func MultiDB(cfg MultiDBConfig) (*dataset.Catalog, MultiDBTruth, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	schemaA := dataset.Schema{
+		{Name: "Name", Kind: dataset.KindString},
+		{Name: "City", Kind: dataset.KindString},
+		{Name: "Born", Kind: dataset.KindFloat},
+	}
+	schemaB := dataset.Schema{
+		{Name: "FullName", Kind: dataset.KindString},
+		{Name: "Town", Kind: dataset.KindString},
+		{Name: "YearOfBirth", Kind: dataset.KindFloat},
+	}
+	a, err := dataset.NewTable("PersonsA", schemaA)
+	if err != nil {
+		return nil, MultiDBTruth{}, err
+	}
+	b, err := dataset.NewTable("PersonsB", schemaB)
+	if err != nil {
+		return nil, MultiDBTruth{}, err
+	}
+	truth := MultiDBTruth{Matches: make(map[int]int)}
+	bRow := 0
+	for i := 0; i < cfg.People; i++ {
+		name := randomName(rng)
+		city := cities[rng.Intn(len(cities))]
+		born := float64(1930 + rng.Intn(60))
+		if err := a.AppendRow(dataset.Str(name), dataset.Str(city), dataset.Float(born)); err != nil {
+			return nil, MultiDBTruth{}, err
+		}
+		if rng.Float64() < cfg.OverlapFrac {
+			year := born
+			if rng.Float64() < 0.3 {
+				year += float64(rng.Intn(3) - 1) // data-entry slip ±1
+			}
+			if err := b.AppendRow(dataset.Str(misspell(rng, name)), dataset.Str(city), dataset.Float(year)); err != nil {
+				return nil, MultiDBTruth{}, err
+			}
+			truth.Matches[i] = bRow
+			bRow++
+		}
+	}
+	extras := int(float64(cfg.People) * cfg.ExtraFrac)
+	for i := 0; i < extras; i++ {
+		if err := b.AppendRow(
+			dataset.Str(randomName(rng)),
+			dataset.Str(cities[rng.Intn(len(cities))]),
+			dataset.Float(float64(1930+rng.Intn(60))),
+		); err != nil {
+			return nil, MultiDBTruth{}, err
+		}
+		bRow++
+	}
+	cat := dataset.NewCatalog()
+	if err := cat.AddTable(a); err != nil {
+		return nil, MultiDBTruth{}, err
+	}
+	if err := cat.AddTable(b); err != nil {
+		return nil, MultiDBTruth{}, err
+	}
+	conns := []dataset.Connection{
+		{Name: "similar-name", Left: "PersonsA", Right: "PersonsB",
+			LeftAttr: "Name", RightAttr: "FullName",
+			Metric: dataset.MetricString, StringDist: "edit", Mode: dataset.ModeEqual},
+		{Name: "same-birth-year", Left: "PersonsA", Right: "PersonsB",
+			LeftAttr: "Born", RightAttr: "YearOfBirth",
+			Metric: dataset.MetricNumeric, Mode: dataset.ModeEqual},
+	}
+	for _, c := range conns {
+		if err := cat.AddConnection(c); err != nil {
+			return nil, MultiDBTruth{}, fmt.Errorf("datagen: %w", err)
+		}
+	}
+	return cat, truth, nil
+}

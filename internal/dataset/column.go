@@ -1,0 +1,274 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Column is a typed, nullable vector of values — one attribute of a
+// table, stored column-oriented so the distance pipeline can stream an
+// attribute without touching the rest of the row.
+type Column interface {
+	// Kind returns the column's datatype.
+	Kind() Kind
+	// Len returns the number of entries.
+	Len() int
+	// Value returns entry i as a Value.
+	Value(i int) Value
+	// IsNull reports whether entry i is null.
+	IsNull(i int) bool
+	// Append adds v, which must match the column kind (or be null).
+	Append(v Value) error
+}
+
+// NewColumn returns an empty column of the given kind.
+func NewColumn(k Kind) Column {
+	switch k {
+	case KindFloat:
+		return &FloatColumn{}
+	case KindInt:
+		return &IntColumn{}
+	case KindTime:
+		return &TimeColumn{}
+	case KindBool:
+		return &BoolColumn{}
+	default:
+		return &StringColumn{kind: k}
+	}
+}
+
+func kindMismatch(want, got Kind) error {
+	return fmt.Errorf("dataset: column kind %v cannot hold %v value", want, got)
+}
+
+// FloatColumn stores float64 values.
+type FloatColumn struct {
+	vals  []float64
+	nulls []bool
+}
+
+// Kind implements Column.
+func (c *FloatColumn) Kind() Kind { return KindFloat }
+
+// Len implements Column.
+func (c *FloatColumn) Len() int { return len(c.vals) }
+
+// IsNull implements Column.
+func (c *FloatColumn) IsNull(i int) bool { return c.nulls[i] }
+
+// Value implements Column.
+func (c *FloatColumn) Value(i int) Value {
+	if c.nulls[i] {
+		return Null(KindFloat)
+	}
+	return Float(c.vals[i])
+}
+
+// Append implements Column. Non-null int values are accepted and
+// widened, since numeric literals flow through the parser as either.
+func (c *FloatColumn) Append(v Value) error {
+	if v.Null {
+		c.vals = append(c.vals, math.NaN())
+		c.nulls = append(c.nulls, true)
+		return nil
+	}
+	switch v.Kind {
+	case KindFloat:
+		c.vals = append(c.vals, v.F)
+	case KindInt:
+		c.vals = append(c.vals, float64(v.I))
+	default:
+		return kindMismatch(KindFloat, v.Kind)
+	}
+	c.nulls = append(c.nulls, false)
+	return nil
+}
+
+// Float returns entry i and whether it is non-null, without boxing.
+func (c *FloatColumn) Float(i int) (float64, bool) {
+	if c.nulls[i] {
+		return math.NaN(), false
+	}
+	return c.vals[i], true
+}
+
+// Floats exposes the backing slice for read-only streaming; nulls carry
+// NaN. Callers must not mutate it.
+func (c *FloatColumn) Floats() []float64 { return c.vals }
+
+// IntColumn stores int64 values.
+type IntColumn struct {
+	vals  []int64
+	nulls []bool
+}
+
+// Kind implements Column.
+func (c *IntColumn) Kind() Kind { return KindInt }
+
+// Len implements Column.
+func (c *IntColumn) Len() int { return len(c.vals) }
+
+// IsNull implements Column.
+func (c *IntColumn) IsNull(i int) bool { return c.nulls[i] }
+
+// Value implements Column.
+func (c *IntColumn) Value(i int) Value {
+	if c.nulls[i] {
+		return Null(KindInt)
+	}
+	return Int(c.vals[i])
+}
+
+// Append implements Column.
+func (c *IntColumn) Append(v Value) error {
+	if v.Null {
+		c.vals = append(c.vals, 0)
+		c.nulls = append(c.nulls, true)
+		return nil
+	}
+	if v.Kind != KindInt {
+		return kindMismatch(KindInt, v.Kind)
+	}
+	c.vals = append(c.vals, v.I)
+	c.nulls = append(c.nulls, false)
+	return nil
+}
+
+// StringColumn stores string values; it backs the string, ordinal and
+// nominal kinds.
+type StringColumn struct {
+	kind  Kind
+	vals  []string
+	nulls []bool
+}
+
+// Kind implements Column. A zero-value StringColumn is a plain string
+// column.
+func (c *StringColumn) Kind() Kind {
+	if !c.kind.IsStringy() {
+		return KindString
+	}
+	return c.kind
+}
+
+// Len implements Column.
+func (c *StringColumn) Len() int { return len(c.vals) }
+
+// IsNull implements Column.
+func (c *StringColumn) IsNull(i int) bool { return c.nulls[i] }
+
+// Value implements Column.
+func (c *StringColumn) Value(i int) Value {
+	if c.nulls[i] {
+		return Null(c.Kind())
+	}
+	return Value{Kind: c.Kind(), S: c.vals[i]}
+}
+
+// Append implements Column.
+func (c *StringColumn) Append(v Value) error {
+	if v.Null {
+		c.vals = append(c.vals, "")
+		c.nulls = append(c.nulls, true)
+		return nil
+	}
+	if !v.Kind.IsStringy() {
+		return kindMismatch(c.Kind(), v.Kind)
+	}
+	c.vals = append(c.vals, v.S)
+	c.nulls = append(c.nulls, false)
+	return nil
+}
+
+// Str returns entry i and whether it is non-null.
+func (c *StringColumn) Str(i int) (string, bool) {
+	if c.nulls[i] {
+		return "", false
+	}
+	return c.vals[i], true
+}
+
+// TimeColumn stores instants.
+type TimeColumn struct {
+	vals  []time.Time
+	nulls []bool
+}
+
+// Kind implements Column.
+func (c *TimeColumn) Kind() Kind { return KindTime }
+
+// Len implements Column.
+func (c *TimeColumn) Len() int { return len(c.vals) }
+
+// IsNull implements Column.
+func (c *TimeColumn) IsNull(i int) bool { return c.nulls[i] }
+
+// Value implements Column.
+func (c *TimeColumn) Value(i int) Value {
+	if c.nulls[i] {
+		return Null(KindTime)
+	}
+	return Time(c.vals[i])
+}
+
+// Append implements Column.
+func (c *TimeColumn) Append(v Value) error {
+	if v.Null {
+		c.vals = append(c.vals, time.Time{})
+		c.nulls = append(c.nulls, true)
+		return nil
+	}
+	if v.Kind != KindTime {
+		return kindMismatch(KindTime, v.Kind)
+	}
+	c.vals = append(c.vals, v.T)
+	c.nulls = append(c.nulls, false)
+	return nil
+}
+
+// TimeAt returns entry i and whether it is non-null.
+func (c *TimeColumn) TimeAt(i int) (time.Time, bool) {
+	if c.nulls[i] {
+		return time.Time{}, false
+	}
+	return c.vals[i], true
+}
+
+// BoolColumn stores booleans.
+type BoolColumn struct {
+	vals  []bool
+	nulls []bool
+}
+
+// Kind implements Column.
+func (c *BoolColumn) Kind() Kind { return KindBool }
+
+// Len implements Column.
+func (c *BoolColumn) Len() int { return len(c.vals) }
+
+// IsNull implements Column.
+func (c *BoolColumn) IsNull(i int) bool { return c.nulls[i] }
+
+// Value implements Column.
+func (c *BoolColumn) Value(i int) Value {
+	if c.nulls[i] {
+		return Null(KindBool)
+	}
+	return Bool(c.vals[i])
+}
+
+// Append implements Column.
+func (c *BoolColumn) Append(v Value) error {
+	if v.Null {
+		c.vals = append(c.vals, false)
+		c.nulls = append(c.nulls, true)
+		return nil
+	}
+	if v.Kind != KindBool {
+		return kindMismatch(KindBool, v.Kind)
+	}
+	c.vals = append(c.vals, v.B)
+	c.nulls = append(c.nulls, false)
+	return nil
+}

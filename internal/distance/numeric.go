@@ -1,0 +1,87 @@
+// Package distance implements the application-dependent distance
+// functions of VisDB (section 3 of the paper): numerical differences for
+// metric types, distance matrices for ordinal and nominal types,
+// lexicographical / character-wise / substring / edit / phonetic
+// differences for strings, time differences and geographic distances for
+// the approximate joins, plus a registry so applications can plug in
+// their own functions by name.
+//
+// Conventions: a distance of 0 means the predicate (or match) is exactly
+// fulfilled; larger values mean "farther from fulfilling". Signed
+// variants return negative values below the target and positive above,
+// feeding the 2D arrangement of figure 1b.
+package distance
+
+import "math"
+
+// NumericFunc is a distance between two float64 values.
+type NumericFunc func(a, b float64) float64
+
+// Abs is the plain numerical difference |a-b|, the default metric-type
+// distance (used by the paper's environmental database).
+func Abs(a, b float64) float64 { return math.Abs(a - b) }
+
+// Signed is the directed numerical difference a-b; negative when a < b.
+func Signed(a, b float64) float64 { return a - b }
+
+// Relative is |a-b| scaled by the larger magnitude, mapping to [0, 2];
+// useful when attributes span orders of magnitude.
+func Relative(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d == 0 {
+		return 0
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 0
+	}
+	return d / m
+}
+
+// ToRange is the distance from value v to the closed interval [lo, hi]:
+// 0 inside, the distance to the nearest bound outside. One-sided
+// predicates pass ±Inf for the open bound (e.g. "Temperature > 15" is
+// the interval (15, +Inf) → lo = 15, hi = +Inf). NaN input yields NaN,
+// which the engine treats as uncolorable.
+func ToRange(v, lo, hi float64) float64 {
+	if math.IsNaN(v) {
+		return math.NaN()
+	}
+	switch {
+	case v < lo:
+		return lo - v
+	case v > hi:
+		return v - hi
+	default:
+		return 0
+	}
+}
+
+// ToRangeSigned is ToRange with direction: negative below lo, positive
+// above hi, 0 inside. It drives the 2D arrangement of figure 1b where
+// "for one attribute negative distances are arranged to the left,
+// positive ones to the right".
+func ToRangeSigned(v, lo, hi float64) float64 {
+	if math.IsNaN(v) {
+		return math.NaN()
+	}
+	switch {
+	case v < lo:
+		return v - lo // negative
+	case v > hi:
+		return v - hi // positive
+	default:
+		return 0
+	}
+}
+
+// InverseCount converts a count of join partners into a distance: a data
+// item with many partners is "close" (distance → 0), one with none is
+// maximally distant. Section 4.4: "the user might use the inverse of
+// that number as the distance".
+func InverseCount(n int) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / float64(n)
+}

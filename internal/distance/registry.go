@@ -1,0 +1,83 @@
+package distance
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry maps names to distance functions so that queries can select
+// application-supplied distances per predicate ("the distance functions
+// are datatype and application dependent and must be provided by the
+// application", section 3). A Registry is safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	numeric map[string]NumericFunc
+	str     map[string]StringFunc
+}
+
+// NewRegistry returns a registry pre-populated with the built-in
+// functions under their canonical names:
+//
+//	numeric: "abs", "signed", "relative"
+//	string:  "lexicographic", "characterwise", "substring", "edit",
+//	         "editnorm", "phonetic"
+func NewRegistry() *Registry {
+	r := &Registry{
+		numeric: make(map[string]NumericFunc),
+		str:     make(map[string]StringFunc),
+	}
+	r.RegisterNumeric("abs", Abs)
+	r.RegisterNumeric("signed", Signed)
+	r.RegisterNumeric("relative", Relative)
+	r.RegisterString("lexicographic", Lexicographic)
+	r.RegisterString("characterwise", CharacterWise)
+	r.RegisterString("substring", Substring)
+	r.RegisterString("edit", Edit)
+	r.RegisterString("editnorm", EditNormalized)
+	r.RegisterString("phonetic", Phonetic)
+	return r
+}
+
+// RegisterNumeric installs (or replaces) a numeric distance under name.
+func (r *Registry) RegisterNumeric(name string, f NumericFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.numeric[name] = f
+}
+
+// RegisterString installs (or replaces) a string distance under name.
+func (r *Registry) RegisterString(name string, f StringFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.str[name] = f
+}
+
+// Numeric looks up a numeric distance by name.
+func (r *Registry) Numeric(name string) (NumericFunc, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if f, ok := r.numeric[name]; ok {
+		return f, nil
+	}
+	return nil, fmt.Errorf("distance: unknown numeric function %q (have %v)", name, keysOf(r.numeric))
+}
+
+// String looks up a string distance by name.
+func (r *Registry) String(name string) (StringFunc, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if f, ok := r.str[name]; ok {
+		return f, nil
+	}
+	return nil, fmt.Errorf("distance: unknown string function %q (have %v)", name, keysOf(r.str))
+}
+
+func keysOf[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

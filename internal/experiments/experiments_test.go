@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass runs the full harness (with images into a temp
+// dir) and requires every paper-shape check to hold. This is the
+// integration test of the reproduction.
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	dir := t.TempDir()
+	reports, err := All(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(Registry()) {
+		t.Fatalf("reports: %d, want %d", len(reports), len(Registry()))
+	}
+	for _, r := range reports {
+		if !r.Pass {
+			t.Errorf("experiment %s failed:\n%s", r.ID, r.Format())
+		}
+		if len(r.Measured) == 0 {
+			t.Errorf("experiment %s measured nothing", r.ID)
+		}
+		if !strings.Contains(r.Format(), r.ID) {
+			t.Errorf("format should include id %s", r.ID)
+		}
+	}
+	// The figure experiments wrote their PNGs.
+	for _, img := range []string{"fig1a.png", "fig1b.png", "fig4.png", "fig5.png", "fig5_independent.png"} {
+		if _, err := os.Stat(filepath.Join(dir, img)); err != nil {
+			t.Errorf("missing image %s: %v", img, err)
+		}
+	}
+}
+
+// TestExperimentsNoImages checks the no-output mode used by benchmarks.
+func TestExperimentsNoImages(t *testing.T) {
+	r, err := Fig1a("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Images) != 0 {
+		t.Fatalf("images written without outDir: %v", r.Images)
+	}
+	if !r.Pass {
+		t.Fatalf("fig1a failed:\n%s", r.Format())
+	}
+}
+
+func TestReportFormatFail(t *testing.T) {
+	r := &Report{ID: "X", Title: "t", Expectation: "e", Pass: false}
+	r.addf("m %d", 1)
+	s := r.Format()
+	if !strings.Contains(s, "FAIL") || !strings.Contains(s, "m 1") {
+		t.Fatalf("format: %s", s)
+	}
+}

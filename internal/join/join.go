@@ -1,0 +1,168 @@
+// Package join implements the approximate joins of section 4.4 of the
+// paper: multi-table queries score every pair of the cross product by
+// how closely it fulfills the join condition, so pairs that miss exact
+// equality by a small time offset or a short distance still surface as
+// approximate answers. It also provides the exact equi-join baseline,
+// join-partner counting, and the minimum-distance semantics used for
+// EXISTS/IN subqueries.
+package join
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/distance"
+)
+
+// Pair identifies one element of a two-table cross product by row
+// indices.
+type Pair struct {
+	Left  int
+	Right int
+}
+
+// Pairs enumerates the cross product of nLeft×nRight rows. When the
+// product exceeds maxPairs (> 0), pairs are subsampled with a
+// deterministic stride so the totality stays tractable — the paper
+// acknowledges that with cross products "the totality of data items
+// that are considered is much larger and the percentage that can be
+// displayed is correspondingly lower"; the stride keeps the sample
+// spread uniformly over the product.
+func Pairs(nLeft, nRight, maxPairs int) []Pair {
+	if nLeft <= 0 || nRight <= 0 {
+		return nil
+	}
+	total := nLeft * nRight
+	if maxPairs <= 0 || total <= maxPairs {
+		out := make([]Pair, 0, total)
+		for l := 0; l < nLeft; l++ {
+			for r := 0; r < nRight; r++ {
+				out = append(out, Pair{Left: l, Right: r})
+			}
+		}
+		return out
+	}
+	stride := (total + maxPairs - 1) / maxPairs
+	out := make([]Pair, 0, maxPairs)
+	for k := 0; k < total; k += stride {
+		out = append(out, Pair{Left: k / nRight, Right: k % nRight})
+	}
+	return out
+}
+
+// ConnDistances scores each pair with the connection's distance. Null
+// join attributes yield NaN entries.
+func ConnDistances(conn dataset.Connection, lt, rt *dataset.Table, pairs []Pair, reg *distance.Registry) ([]float64, error) {
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		d, err := conn.Distance(lt, rt, p.Left, p.Right, reg)
+		if err != nil {
+			return nil, fmt.Errorf("join: pair (%d,%d): %w", p.Left, p.Right, err)
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// Equi computes the exact equality join on one attribute pair using a
+// hash join — the traditional-join baseline the paper contrasts with
+// approximate joins ("join conditions requiring time or location
+// equality would provide only very few or even no results").
+func Equi(lt, rt *dataset.Table, lAttr, rAttr string) ([]Pair, error) {
+	lc, err := lt.Column(lAttr)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := rt.Column(rAttr)
+	if err != nil {
+		return nil, err
+	}
+	// Build the hash side on the smaller relation.
+	index := make(map[string][]int)
+	for i := 0; i < rc.Len(); i++ {
+		if rc.IsNull(i) {
+			continue
+		}
+		index[rc.Value(i).String()] = append(index[rc.Value(i).String()], i)
+	}
+	var out []Pair
+	for i := 0; i < lc.Len(); i++ {
+		if lc.IsNull(i) {
+			continue
+		}
+		for _, r := range index[lc.Value(i).String()] {
+			out = append(out, Pair{Left: i, Right: r})
+		}
+	}
+	return out, nil
+}
+
+// PartnerCounts returns, for every left row, the number of right rows
+// whose connection distance is at most eps — its inverse is the
+// join-partner distance of section 4.4 ("the user might use the inverse
+// of that number as the distance").
+func PartnerCounts(conn dataset.Connection, lt, rt *dataset.Table, eps float64, reg *distance.Registry) ([]int, error) {
+	nl, nr := lt.NumRows(), rt.NumRows()
+	out := make([]int, nl)
+	for l := 0; l < nl; l++ {
+		for r := 0; r < nr; r++ {
+			d, err := conn.Distance(lt, rt, l, r, reg)
+			if err != nil {
+				return nil, err
+			}
+			if !math.IsNaN(d) && d <= eps {
+				out[l]++
+			}
+		}
+	}
+	return out, nil
+}
+
+// PartnerDistances maps PartnerCounts through distance.InverseCount.
+func PartnerDistances(counts []int) []float64 {
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		out[i] = distance.InverseCount(c)
+	}
+	return out
+}
+
+// MinDistancePerLeft returns, for every left row, the minimum connection
+// distance over all right rows, optionally blended (arithmetic mean)
+// with a per-right-row condition distance innerDist. This implements the
+// subquery semantics of section 4.4: "the data item most closely
+// fulfilling the subquery condition can be determined by the minimum
+// distance in performing an approximate join of the inner and the outer
+// relation(s)". innerDist may be nil (pure join distance); NaN inner
+// distances disqualify their right row.
+func MinDistancePerLeft(conn dataset.Connection, lt, rt *dataset.Table, innerDist []float64, reg *distance.Registry) ([]float64, error) {
+	nl, nr := lt.NumRows(), rt.NumRows()
+	if innerDist != nil && len(innerDist) != nr {
+		return nil, fmt.Errorf("join: innerDist has %d entries for %d right rows", len(innerDist), nr)
+	}
+	out := make([]float64, nl)
+	for l := 0; l < nl; l++ {
+		best := math.NaN()
+		for r := 0; r < nr; r++ {
+			d, err := conn.Distance(lt, rt, l, r, reg)
+			if err != nil {
+				return nil, err
+			}
+			if math.IsNaN(d) {
+				continue
+			}
+			if innerDist != nil {
+				if math.IsNaN(innerDist[r]) {
+					continue
+				}
+				d = (d + innerDist[r]) / 2
+			}
+			if math.IsNaN(best) || d < best {
+				best = d
+			}
+		}
+		out[l] = best
+	}
+	return out, nil
+}

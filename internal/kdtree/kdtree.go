@@ -1,0 +1,228 @@
+// Package kdtree implements the multidimensional index named in the
+// paper's conclusions as the missing substrate for VisDB:
+// "multidimensional data structures that support range queries on
+// multiple attributes will be essential to improve query performance"
+// (section 6). It provides a static k-d tree over float vectors with
+// multi-attribute range queries, plus the incremental requery cache the
+// paper sketches ("to retrieve more data than necessary in the beginning
+// and to retrieve only the additional portion of the data that is needed
+// for a slightly modified query later on").
+package kdtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tree is an immutable k-d tree over k-dimensional points.
+type Tree struct {
+	k      int
+	points [][]float64 // original points, indexed by id
+	// Flattened tree: ids in build order, each node splitting on
+	// depth % k.
+	ids []int
+}
+
+// Build constructs a tree over points, all of which must share the same
+// non-zero dimensionality and be NaN-free.
+func Build(points [][]float64) (*Tree, error) {
+	if len(points) == 0 {
+		return &Tree{}, nil
+	}
+	k := len(points[0])
+	if k == 0 {
+		return nil, fmt.Errorf("kdtree: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != k {
+			return nil, fmt.Errorf("kdtree: point %d has dim %d, want %d", i, len(p), k)
+		}
+		for d, v := range p {
+			if math.IsNaN(v) {
+				return nil, fmt.Errorf("kdtree: point %d has NaN in dim %d", i, d)
+			}
+		}
+	}
+	t := &Tree{k: k, points: points, ids: make([]int, len(points))}
+	for i := range t.ids {
+		t.ids[i] = i
+	}
+	t.build(0, len(t.ids), 0)
+	return t, nil
+}
+
+// build recursively median-splits ids[lo:hi] on axis depth%k. The median
+// element stays at the middle position, forming an implicit balanced
+// tree in the slice.
+func (t *Tree) build(lo, hi, depth int) {
+	if hi-lo <= 1 {
+		return
+	}
+	axis := depth % t.k
+	mid := (lo + hi) / 2
+	// nth_element via full sort of the subrange: O(n log² n) build,
+	// fine for the static index sizes here.
+	sub := t.ids[lo:hi]
+	sort.Slice(sub, func(a, b int) bool {
+		return t.points[sub[a]][axis] < t.points[sub[b]][axis]
+	})
+	t.build(lo, mid, depth+1)
+	t.build(mid+1, hi, depth+1)
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.ids) }
+
+// K returns the dimensionality.
+func (t *Tree) K() int { return t.k }
+
+// Range visits the ids of all points inside the axis-aligned box
+// [lo[d], hi[d]] for every dimension d. Bounds may use ±Inf for
+// half-open ranges. It returns the matching ids in ascending order.
+func (t *Tree) Range(lo, hi []float64) ([]int, error) {
+	if t.Len() == 0 {
+		return nil, nil
+	}
+	if len(lo) != t.k || len(hi) != t.k {
+		return nil, fmt.Errorf("kdtree: bounds dim %d/%d, want %d", len(lo), len(hi), t.k)
+	}
+	for d := range lo {
+		if lo[d] > hi[d] {
+			return nil, fmt.Errorf("kdtree: reversed bounds in dim %d", d)
+		}
+	}
+	var out []int
+	t.rangeSearch(0, len(t.ids), 0, lo, hi, &out)
+	sort.Ints(out)
+	return out, nil
+}
+
+func (t *Tree) rangeSearch(loIdx, hiIdx, depth int, lo, hi []float64, out *[]int) {
+	if hiIdx <= loIdx {
+		return
+	}
+	mid := (loIdx + hiIdx) / 2
+	id := t.ids[mid]
+	p := t.points[id]
+	inside := true
+	for d := 0; d < t.k; d++ {
+		if p[d] < lo[d] || p[d] > hi[d] {
+			inside = false
+			break
+		}
+	}
+	if inside {
+		*out = append(*out, id)
+	}
+	axis := depth % t.k
+	if p[axis] >= lo[axis] {
+		t.rangeSearch(loIdx, mid, depth+1, lo, hi, out)
+	}
+	if p[axis] <= hi[axis] {
+		t.rangeSearch(mid+1, hiIdx, depth+1, lo, hi, out)
+	}
+}
+
+// Count returns the number of points inside the box without
+// materializing ids.
+func (t *Tree) Count(lo, hi []float64) (int, error) {
+	ids, err := t.Range(lo, hi)
+	return len(ids), err
+}
+
+// Cache implements the incremental-requery strategy of section 6: the
+// first query over-fetches by expanding the requested box by Expand
+// (relative margin per dimension); subsequent queries whose boxes still
+// fit inside the cached expanded box are answered by filtering the
+// cached ids instead of traversing the tree.
+type Cache struct {
+	Tree   *Tree
+	Expand float64 // relative margin, e.g. 0.2 for 20%
+	lo, hi []float64
+	ids    []int
+	valid  bool
+	// Hits and Misses count cache-answered vs tree-answered queries.
+	Hits, Misses int
+}
+
+// NewCache wraps t with an incremental cache; expand <= 0 defaults
+// to 0.25.
+func NewCache(t *Tree, expand float64) *Cache {
+	if expand <= 0 {
+		expand = 0.25
+	}
+	return &Cache{Tree: t, Expand: expand}
+}
+
+// Range answers a range query, from cache when the requested box lies
+// within the previously over-fetched box.
+func (c *Cache) Range(lo, hi []float64) ([]int, error) {
+	if c.valid && c.contains(lo, hi) {
+		c.Hits++
+		var out []int
+		for _, id := range c.ids {
+			p := c.Tree.points[id]
+			inside := true
+			for d := range p {
+				if p[d] < lo[d] || p[d] > hi[d] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				out = append(out, id)
+			}
+		}
+		return out, nil
+	}
+	c.Misses++
+	elo := make([]float64, len(lo))
+	ehi := make([]float64, len(hi))
+	for d := range lo {
+		span := hi[d] - lo[d]
+		margin := c.Expand * span
+		if span == 0 || math.IsInf(span, 0) {
+			margin = 0
+		}
+		elo[d] = lo[d] - margin
+		ehi[d] = hi[d] + margin
+	}
+	ids, err := c.Tree.Range(elo, ehi)
+	if err != nil {
+		return nil, err
+	}
+	c.lo, c.hi, c.ids, c.valid = elo, ehi, ids, true
+	// Filter the over-fetched set down to the requested box.
+	var out []int
+	for _, id := range ids {
+		p := c.Tree.points[id]
+		inside := true
+		for d := range p {
+			if p[d] < lo[d] || p[d] > hi[d] {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+func (c *Cache) contains(lo, hi []float64) bool {
+	if len(lo) != len(c.lo) || len(hi) != len(c.hi) {
+		return false
+	}
+	for d := range lo {
+		if lo[d] < c.lo[d] || hi[d] > c.hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Invalidate drops the cached box (e.g. after the underlying data
+// changes).
+func (c *Cache) Invalidate() { c.valid = false }

@@ -1,0 +1,258 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func linearRange(points [][]float64, lo, hi []float64) []int {
+	var out []int
+	for id, p := range points {
+		inside := true
+		for d := range p {
+			if p[d] < lo[d] || p[d] > hi[d] {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func randPoints(rng *rand.Rand, n, k int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, k)
+		for d := range pts[i] {
+			pts[i][d] = rng.Float64() * 100
+		}
+	}
+	return pts
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build([][]float64{{}}); err == nil {
+		t.Error("zero-dim should fail")
+	}
+	if _, err := Build([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged should fail")
+	}
+	if _, err := Build([][]float64{{1, math.NaN()}}); err == nil {
+		t.Error("NaN should fail")
+	}
+	empty, err := Build(nil)
+	if err != nil || empty.Len() != 0 {
+		t.Errorf("empty build: %v %d", err, empty.Len())
+	}
+	ids, err := empty.Range([]float64{0}, []float64{1})
+	if err != nil || ids != nil {
+		t.Errorf("empty range: %v %v", ids, err)
+	}
+}
+
+func TestRangeKnown(t *testing.T) {
+	pts := [][]float64{
+		{1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 5},
+	}
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := tr.Range([]float64{1.5, 0}, []float64{4.5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	if len(ids) != len(want) {
+		t.Fatalf("ids: %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids: %v, want %v", ids, want)
+		}
+	}
+	// Inclusive bounds.
+	ids, _ = tr.Range([]float64{1, 1}, []float64{1, 1})
+	if len(ids) != 1 || ids[0] != 0 {
+		t.Fatalf("point query: %v", ids)
+	}
+	// Half-open via ±Inf.
+	ids, _ = tr.Range([]float64{3, math.Inf(-1)}, []float64{math.Inf(1), math.Inf(1)})
+	if len(ids) != 3 {
+		t.Fatalf("open range: %v", ids)
+	}
+}
+
+func TestRangeErrors(t *testing.T) {
+	tr, _ := Build([][]float64{{1, 2}})
+	if _, err := tr.Range([]float64{0}, []float64{1}); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+	if _, err := tr.Range([]float64{2, 0}, []float64{1, 5}); err == nil {
+		t.Error("reversed bounds should fail")
+	}
+}
+
+func TestRangeMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, k := range []int{1, 2, 3, 5} {
+		pts := randPoints(rng, 300, k)
+		tr, err := Build(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 30; q++ {
+			lo := make([]float64, k)
+			hi := make([]float64, k)
+			for d := 0; d < k; d++ {
+				a, b := rng.Float64()*100, rng.Float64()*100
+				if a > b {
+					a, b = b, a
+				}
+				lo[d], hi[d] = a, b
+			}
+			got, err := tr.Range(lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := linearRange(pts, lo, hi)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: got %d ids, want %d", k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d: got %v, want %v", k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Property: tree range query is always identical to a linear scan.
+func TestRangeProperty(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%100) + 1
+		k := int(kRaw%4) + 1
+		pts := randPoints(rng, n, k)
+		tr, err := Build(pts)
+		if err != nil {
+			return false
+		}
+		lo := make([]float64, k)
+		hi := make([]float64, k)
+		for d := 0; d < k; d++ {
+			a, b := rng.Float64()*100, rng.Float64()*100
+			if a > b {
+				a, b = b, a
+			}
+			lo[d], hi[d] = a, b
+		}
+		got, err := tr.Range(lo, hi)
+		if err != nil {
+			return false
+		}
+		want := linearRange(pts, lo, hi)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCount(t *testing.T) {
+	tr, _ := Build([][]float64{{1}, {2}, {3}})
+	n, err := tr.Count([]float64{1.5}, []float64{5})
+	if err != nil || n != 2 {
+		t.Fatalf("count: %d %v", n, err)
+	}
+}
+
+func TestCacheHitsAndCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts := randPoints(rng, 500, 2)
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(tr, 0.3)
+	// First query: miss, over-fetch.
+	lo, hi := []float64{20, 20}, []float64{60, 60}
+	got, err := cache.Range(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := linearRange(pts, lo, hi); len(got) != len(want) {
+		t.Fatalf("first query: %d vs %d", len(got), len(want))
+	}
+	if cache.Misses != 1 || cache.Hits != 0 {
+		t.Fatalf("counters: %d/%d", cache.Hits, cache.Misses)
+	}
+	// Slightly modified query (the paper's incremental scenario):
+	// shrinking or nudging the box inside the expanded region hits the
+	// cache.
+	lo2, hi2 := []float64{22, 19}, []float64{62, 58}
+	got2, err := cache.Range(lo2, hi2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := linearRange(pts, lo2, hi2)
+	if len(got2) != len(want2) {
+		t.Fatalf("cached query wrong: %d vs %d", len(got2), len(want2))
+	}
+	for i := range want2 {
+		if got2[i] != want2[i] {
+			t.Fatal("cached ids differ from scan")
+		}
+	}
+	if cache.Hits != 1 {
+		t.Fatalf("expected cache hit, counters: %d/%d", cache.Hits, cache.Misses)
+	}
+	// A big jump falls outside the cached box: miss.
+	if _, err := cache.Range([]float64{0, 0}, []float64{99, 99}); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Misses != 2 {
+		t.Fatalf("expected second miss, counters: %d/%d", cache.Hits, cache.Misses)
+	}
+	// Invalidate forces a tree query.
+	cache.Invalidate()
+	if _, err := cache.Range(lo, hi); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Misses != 3 {
+		t.Fatal("invalidate should force a miss")
+	}
+}
+
+func TestCacheDegenerateBoxes(t *testing.T) {
+	tr, _ := Build([][]float64{{1}, {2}, {3}})
+	cache := NewCache(tr, 0)
+	if cache.Expand != 0.25 {
+		t.Fatalf("default expand: %v", cache.Expand)
+	}
+	// Zero-span and infinite boxes must not produce NaN margins.
+	got, err := cache.Range([]float64{2}, []float64{2})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("zero-span: %v %v", got, err)
+	}
+	got, err = cache.Range([]float64{math.Inf(-1)}, []float64{math.Inf(1)})
+	if err != nil || len(got) != 3 {
+		t.Fatalf("infinite: %v %v", got, err)
+	}
+}

@@ -1,0 +1,232 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// testCatalog builds the paper's environmental schema: Weather and
+// Air-Pollution tables plus the with-time-diff and at-same-location
+// connections.
+func testCatalog(t *testing.T) *dataset.Catalog {
+	t.Helper()
+	cat := dataset.NewCatalog()
+	weather, err := dataset.NewTable("Weather", dataset.Schema{
+		{Name: "DateTime", Kind: dataset.KindTime},
+		{Name: "Lat", Kind: dataset.KindFloat},
+		{Name: "Lon", Kind: dataset.KindFloat},
+		{Name: "Temperature", Kind: dataset.KindFloat},
+		{Name: "Solar_Radiation", Kind: dataset.KindFloat},
+		{Name: "Humidity", Kind: dataset.KindFloat},
+		{Name: "Sky", Kind: dataset.KindNominal, Categories: []string{"clear", "cloudy", "rain"}},
+		{Name: "Windy", Kind: dataset.KindBool},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollution, err := dataset.NewTable("Air-Pollution", dataset.Schema{
+		{Name: "DateTime", Kind: dataset.KindTime},
+		{Name: "Lat", Kind: dataset.KindFloat},
+		{Name: "Lon", Kind: dataset.KindFloat},
+		{Name: "Ozone", Kind: dataset.KindFloat},
+		{Name: "CO", Kind: dataset.KindFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddTable(weather); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddTable(pollution); err != nil {
+		t.Fatal(err)
+	}
+	limits, err := dataset.NewTable("Limits", dataset.Schema{
+		{Name: "Limit", Kind: dataset.KindFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddTable(limits); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddConnection(dataset.Connection{
+		Name: "with-time-diff", Left: "Weather", Right: "Air-Pollution",
+		LeftAttr: "DateTime", RightAttr: "DateTime",
+		Metric: dataset.MetricTime, Mode: dataset.ModeTarget, Param: 0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddConnection(dataset.Connection{
+		Name: "at-same-location", Left: "Weather", Right: "Air-Pollution",
+		LeftAttr: "Lat", LeftAttr2: "Lon", RightAttr: "Lat", RightAttr2: "Lon",
+		Metric: dataset.MetricGeo, Mode: dataset.ModeEqual,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestBindPaperQuery(t *testing.T) {
+	cat := testCatalog(t)
+	q, err := Parse(paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bind(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Temperature resolves to Weather, Ozone to Air-Pollution.
+	root := q.Where.(*BoolExpr)
+	orPart := root.Children[0].(*BoolExpr)
+	temp := orPart.Children[0].(*Cond)
+	if got := b.Attrs[temp]; got.Table != "Weather" || got.Kind != dataset.KindFloat {
+		t.Fatalf("temperature binding: %+v", got)
+	}
+	join := root.Children[1].(*JoinExpr)
+	conn := b.Joins[join]
+	if conn.Name != "with-time-diff" || conn.Param != 120 {
+		t.Fatalf("join binding should carry the 120-min override: %+v", conn)
+	}
+	if len(b.Selects) != 4 {
+		t.Fatalf("selects: %+v", b.Selects)
+	}
+}
+
+func TestBindAmbiguousAndQualified(t *testing.T) {
+	cat := testCatalog(t)
+	// DateTime exists in both tables → ambiguous unqualified.
+	q, _ := Parse(`SELECT Temperature FROM Weather, Air-Pollution WHERE DateTime > '1994-01-01T00:00:00Z'`)
+	if _, err := Bind(q, cat); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("expected ambiguity error, got %v", err)
+	}
+	q, _ = Parse(`SELECT Temperature FROM Weather, Air-Pollution WHERE Weather.DateTime > '1994-01-01T00:00:00Z'`)
+	if _, err := Bind(q, cat); err != nil {
+		t.Fatalf("qualified should bind: %v", err)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	cat := testCatalog(t)
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{`SELECT x FROM Nope`, "no table"},
+		{`SELECT Nope FROM Weather`, "attribute"},
+		{`SELECT Temperature FROM Weather WHERE Nope > 1`, "attribute"},
+		{`SELECT Temperature FROM Weather WHERE Other.Temperature > 1`, "not in FROM"},
+		{`SELECT Temperature FROM Weather WHERE Sky > 'clear'`, "ordered"},
+		{`SELECT Temperature FROM Weather WHERE Windy > TRUE`, "ordered"},
+		{`SELECT Temperature FROM Weather WHERE Temperature > 'hot'`, "numeric"},
+		{`SELECT Temperature FROM Weather WHERE DateTime > 42`, "time"},
+		{`SELECT Temperature FROM Weather WHERE Sky = 42`, "string"},
+		{`SELECT Temperature FROM Weather WHERE Temperature BETWEEN 10 AND 5`, "reversed"},
+		{`SELECT Temperature FROM Weather WHERE CONNECT nope`, "connection"},
+		{`SELECT Limit FROM Limits WHERE CONNECT with-time-diff(5)`, "neither"},
+		{`SELECT Temperature FROM Weather, Weather WHERE Temperature > 1`, "twice"},
+		{`SELECT Temperature FROM Weather WHERE Humidity IN (SELECT Ozone, CO FROM Air-Pollution)`, "exactly one"},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		_, err = Bind(q, cat)
+		if err == nil {
+			t.Errorf("Bind(%q) should fail", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Bind(%q) error %q should mention %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestBindSubquery(t *testing.T) {
+	cat := testCatalog(t)
+	q, err := Parse(`SELECT Temperature FROM Weather WHERE Humidity IN (SELECT Ozone FROM Air-Pollution WHERE Ozone > 10)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bind(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := q.Where.(*SubqueryExpr)
+	if b.Subs[sub] == nil {
+		t.Fatal("subquery not bound")
+	}
+	if got := b.InAttrs[sub]; got.Attr != "Humidity" || got.Table != "Weather" {
+		t.Fatalf("IN attr: %+v", got)
+	}
+}
+
+func TestBindExistsSubquery(t *testing.T) {
+	cat := testCatalog(t)
+	q, err := Parse(`SELECT Temperature FROM Weather WHERE EXISTS (SELECT Ozone FROM Air-Pollution WHERE Ozone > 100)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Bind(q, cat); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindBoolAndNominalOps(t *testing.T) {
+	cat := testCatalog(t)
+	ok := []string{
+		`SELECT Temperature FROM Weather WHERE Windy = TRUE`,
+		`SELECT Temperature FROM Weather WHERE Sky = 'clear'`,
+		`SELECT Temperature FROM Weather WHERE Sky IN ('clear', 'rain')`,
+		`SELECT Temperature FROM Weather WHERE Sky <> 'rain'`,
+	}
+	for _, src := range ok {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Bind(q, cat); err != nil {
+			t.Errorf("Bind(%q): %v", src, err)
+		}
+	}
+}
+
+func TestBindConnectionParamValidation(t *testing.T) {
+	cat := testCatalog(t)
+	q, _ := Parse(`SELECT Temperature FROM Weather, Air-Pollution WHERE CONNECT with-time-diff(120)`)
+	b, err := Bind(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Override must not mutate the catalog's copy.
+	orig, _ := cat.Connection("with-time-diff")
+	if orig.Param != 0 {
+		t.Errorf("catalog connection mutated: %+v", orig)
+	}
+	for _, conn := range b.Joins {
+		if conn.Param != 120 {
+			t.Errorf("bound copy should carry override: %+v", conn)
+		}
+	}
+}
+
+func TestBindTimeLiteral(t *testing.T) {
+	cat := testCatalog(t)
+	q, _ := Parse(`SELECT Temperature FROM Weather WHERE DateTime > '1994-02-14T08:00:00Z'`)
+	b, err := Bind(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := q.Where.(*Cond)
+	if b.Attrs[cond].Kind != dataset.KindTime {
+		t.Error("time attribute kind")
+	}
+	want := time.Date(1994, 2, 14, 8, 0, 0, 0, time.UTC)
+	if !cond.Value.T.Equal(want) {
+		t.Errorf("literal: %v", cond.Value.T)
+	}
+}

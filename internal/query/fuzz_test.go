@@ -1,0 +1,57 @@
+package query
+
+import (
+	"testing"
+)
+
+// FuzzParse: the parser must never panic, and anything it accepts must
+// round-trip through String() to an equivalent query.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		paperQuery,
+		`SELECT * FROM T`,
+		`SELECT a, b FROM T WHERE a > 1 WEIGHT 2`,
+		`SELECT x FROM A, B WHERE CONNECT with-time-diff(120) AND x IN (1,2)`,
+		`SELECT x FROM T WHERE name = 'O''Brien' USING phonetic`,
+		`SELECT AVG(x), COUNT(*) FROM T WHERE (a > 1 OR b < 2) AND NOT (c = 3)`,
+		`SELECT x FROM T WHERE EXISTS (SELECT y FROM B WHERE y > 3)`,
+		`SELECT x FROM T WHERE ts > '1994-02-14T08:00:00Z'`,
+		`SELECT x FROM T WHERE a BETWEEN -1.5e3 AND 2E-2`,
+		"SELECT \x00 FROM T",
+		`SELECT x FROM T WHERE a > 1 AND`,
+		`'''''`,
+		`SELECT x FROM T WHERE x NOT IN (SELECT y FROM B)`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		s1 := q.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", src, s1, err)
+		}
+		if s2 := q2.String(); s1 != s2 {
+			t.Fatalf("unstable rendering:\n  %s\n  %s", s1, s2)
+		}
+	})
+}
+
+// FuzzGradi: the representation renderer is total over parsed queries.
+func FuzzGradi(f *testing.F) {
+	f.Add(`SELECT x FROM T WHERE a > 1 AND (b < 2 OR c = 3)`)
+	f.Add(`SELECT x FROM T`)
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if out := Gradi(q); len(out) == 0 {
+			t.Fatal("empty gradi output")
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind enumerates lexical token classes of the query dialect.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // ( ) , . = <> != < <= > >= *
+)
+
+// token is one lexical token with its source position for error
+// reporting.
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; symbols verbatim
+	pos  int    // byte offset in the input
+}
+
+// keywords of the dialect, upper-case.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true,
+	"AND": true, "OR": true, "NOT": true,
+	"EXISTS": true, "IN": true, "BETWEEN": true,
+	"WEIGHT": true, "USING": true, "CONNECT": true,
+	"AVG": true, "SUM": true, "MAX": true, "MIN": true, "COUNT": true,
+	"TRUE": true, "FALSE": true, "NULL": true,
+}
+
+// lex tokenizes src. Identifiers may contain letters, digits, '_' and
+// interior '-' (the paper's connection names look like
+// `with-time-diff`); strings are single-quoted with ” escaping.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isLetter(c):
+			start := i
+			for i < n && (isLetter(src[i]) || isDigit(src[i]) || src[i] == '_' ||
+				(src[i] == '-' && i+1 < n && (isLetter(src[i+1]) || isDigit(src[i+1])))) {
+				i++
+			}
+			word := src[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{tokKeyword, up, start})
+			} else {
+				toks = append(toks, token{tokIdent, word, start})
+			}
+		case isDigit(c) || (c == '-' && i+1 < n && isDigit(src[i+1])) ||
+			(c == '.' && i+1 < n && isDigit(src[i+1])):
+			start := i
+			if c == '-' {
+				i++
+			}
+			for i < n && (isDigit(src[i]) || src[i] == '.' || src[i] == 'e' || src[i] == 'E' ||
+				((src[i] == '+' || src[i] == '-') && i > start && (src[i-1] == 'e' || src[i-1] == 'E'))) {
+				i++
+			}
+			toks = append(toks, token{tokNumber, src[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if src[i] == '\'' {
+					if i+1 < n && src[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("query: unterminated string starting at offset %d", start)
+			}
+			toks = append(toks, token{tokString, sb.String(), start})
+		case c == '<':
+			if i+1 < n && (src[i+1] == '=' || src[i+1] == '>') {
+				toks = append(toks, token{tokSymbol, src[i : i+2], i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSymbol, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokSymbol, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSymbol, ">", i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokSymbol, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("query: unexpected '!' at offset %d", i)
+			}
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == '=' || c == '*':
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isLetter(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

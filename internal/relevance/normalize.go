@@ -1,0 +1,155 @@
+// Package relevance implements the mathematical core of VisDB
+// (section 5.2 of the paper): normalization of per-predicate distances
+// to a fixed [0, 255] range with the reduction-first fix for outlier
+// distortion, weighted combination of distances over the query's
+// AND/OR structure (weighted arithmetic mean for AND, weighted geometric
+// mean for OR), alternative Lp/Euclidean/Mahalanobis combiners, and the
+// relevance factor as the inverse of the combined distance.
+package relevance
+
+import (
+	"math"
+	"sort"
+)
+
+// Scale is the fixed normalization range upper bound; distances map to
+// [0, Scale] (the paper's [0, 255], one value per colormap level).
+const Scale = 255.0
+
+// Normalized is the result of normalizing a distance vector.
+type Normalized struct {
+	// Scaled holds the normalized distances in [0, Scale]; NaN entries
+	// mark uncolorable items, values beyond DMax clamp to Scale.
+	Scaled []float64
+	// DMin and DMax are the source range that mapped to [0, Scale].
+	DMin, DMax float64
+	// Kept is the number of items that determined the range.
+	Kept int
+}
+
+// KeepCount returns how many items determine the normalization range of
+// a selection predicate with weight w given a display budget of r items:
+// the paper reduces each predicate's considered items "to a number that
+// is proportional to r/(n·wⱼ)" — inverse in the weight, because "the
+// less a selection predicate is weighted, the higher is the probability
+// that data with a greater distance for this selection predicate are
+// needed". The count is clamped to [1, n]; weights below 0.05 are
+// floored so a near-zero weight keeps everything rather than dividing by
+// zero.
+func KeepCount(r, n int, w float64) int {
+	if n <= 0 {
+		return 0
+	}
+	if r <= 0 {
+		r = n
+	}
+	if w < 0.05 || math.IsNaN(w) {
+		w = 0.05
+	}
+	c := int(math.Ceil(float64(r) / w))
+	if c < 1 {
+		c = 1
+	}
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+// Normalize linearly maps dists onto [0, Scale], with the range
+// [dmin, dmax] determined only by the keep smallest finite values —
+// the reduction-first normalization of section 5.2. Without it, "a
+// single data item with an exceptionally high or low value may cause a
+// completely different transformation" that erases the predicate's
+// influence on the overall answer. Values beyond dmax clamp to Scale;
+// NaNs pass through (uncolorable); keep <= 0 means use every finite
+// value (the naive normalization, kept for the A1 ablation).
+func Normalize(dists []float64, keep int) Normalized {
+	finite := make([]float64, 0, len(dists))
+	for _, d := range dists {
+		if !math.IsNaN(d) && !math.IsInf(d, 0) {
+			finite = append(finite, d)
+		}
+	}
+	out := Normalized{Scaled: make([]float64, len(dists))}
+	if len(finite) == 0 {
+		for i, d := range dists {
+			if math.IsNaN(d) {
+				out.Scaled[i] = math.NaN()
+			} else if math.IsInf(d, 1) {
+				out.Scaled[i] = Scale
+			} else {
+				out.Scaled[i] = 0
+			}
+		}
+		return out
+	}
+	sort.Float64s(finite)
+	if keep <= 0 || keep > len(finite) {
+		keep = len(finite)
+	}
+	out.Kept = keep
+	out.DMin = finite[0]
+	// Distances are non-negative with 0 meaning "exactly fulfilled";
+	// anchor the range at 0 so the yellow end of the colormap stays
+	// reserved for correct answers. Without this, a predicate nobody
+	// fulfills would paint its best approximate answer yellow —
+	// contradicting the paper's observation that windows may be "almost
+	// black in cases where all the data are completely wrong results".
+	// Signed inputs (negative minimum) keep their own minimum.
+	if out.DMin > 0 {
+		out.DMin = 0
+	}
+	out.DMax = finite[keep-1]
+	span := out.DMax - out.DMin
+	for i, d := range dists {
+		switch {
+		case math.IsNaN(d):
+			out.Scaled[i] = math.NaN()
+		case math.IsInf(d, 1):
+			out.Scaled[i] = Scale
+		case math.IsInf(d, -1):
+			out.Scaled[i] = 0
+		case span == 0:
+			if d > out.DMax {
+				out.Scaled[i] = Scale
+			} else {
+				out.Scaled[i] = 0
+			}
+		default:
+			s := (d - out.DMin) / span * Scale
+			if s < 0 {
+				s = 0
+			}
+			if s > Scale {
+				s = Scale
+			}
+			out.Scaled[i] = s
+		}
+	}
+	return out
+}
+
+// RelevanceFactor converts a combined distance into the relevance
+// factor: "the relevance factor is determined as the inverse of that
+// distance value". Any strictly decreasing function yields the same
+// ranking; 1/(1+D) keeps factors in (0, 1] with exact answers at 1.
+// NaN distances give relevance 0 (uncolorable items rank last).
+func RelevanceFactor(combined float64) float64 {
+	if math.IsNaN(combined) {
+		return 0
+	}
+	if combined < 0 {
+		combined = -combined
+	}
+	return 1 / (1 + combined)
+}
+
+// RelevanceFactors applies RelevanceFactor elementwise.
+func RelevanceFactors(combined []float64) []float64 {
+	out := make([]float64, len(combined))
+	for i, d := range combined {
+		out[i] = RelevanceFactor(d)
+	}
+	return out
+}

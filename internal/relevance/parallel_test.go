@@ -1,0 +1,88 @@
+package relevance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildRandomTree makes a random tree with nLeaves leaves over n items.
+func buildRandomTree(rng *rand.Rand, n, depth int) *Node {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		d := make([]float64, n)
+		for i := range d {
+			switch rng.Intn(10) {
+			case 0:
+				d[i] = math.NaN()
+			case 1:
+				d[i] = 0
+			default:
+				d[i] = rng.Float64() * 100
+			}
+		}
+		return &Node{Op: Leaf, Weight: rng.Float64()*2 + 0.1, Dists: d}
+	}
+	op := NodeAnd
+	if rng.Intn(2) == 0 {
+		op = NodeOr
+	}
+	node := &Node{Op: op, Weight: rng.Float64() + 0.5}
+	k := 2 + rng.Intn(3)
+	for i := 0; i < k; i++ {
+		node.Children = append(node.Children, buildRandomTree(rng, n, depth-1))
+	}
+	return node
+}
+
+// TestParallelMatchesSequential: concurrent evaluation must produce
+// bit-identical results to the sequential evaluation.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		n := 50 + rng.Intn(500)
+		tree := buildRandomTree(rng, n, 3)
+		seq, err := Evaluate(tree, n, EvalOptions{Budget: n / 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Evaluate(tree, n, EvalOptions{Budget: n / 2, Parallel: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq.Combined) != len(par.Combined) {
+			t.Fatal("length mismatch")
+		}
+		for i := range seq.Combined {
+			a, b := seq.Combined[i], par.Combined[i]
+			if math.IsNaN(a) != math.IsNaN(b) || (!math.IsNaN(a) && a != b) {
+				t.Fatalf("trial %d item %d: %v vs %v", trial, i, a, b)
+			}
+		}
+		if len(seq.ByNode) != len(par.ByNode) {
+			t.Fatalf("ByNode sizes: %d vs %d", len(seq.ByNode), len(par.ByNode))
+		}
+		for node, sv := range seq.ByNode {
+			pv, ok := par.ByNode[node]
+			if !ok {
+				t.Fatal("missing node in parallel ByNode")
+			}
+			for i := range sv {
+				if math.IsNaN(sv[i]) != math.IsNaN(pv[i]) || (!math.IsNaN(sv[i]) && sv[i] != pv[i]) {
+					t.Fatalf("node vec diverged at %d", i)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelErrorPropagates: a broken leaf surfaces from concurrent
+// branches too.
+func TestParallelErrorPropagates(t *testing.T) {
+	bad := &Node{Op: NodeAnd, Children: []*Node{
+		{Op: Leaf, Dists: make([]float64, 10)},
+		{Op: Leaf, Dists: make([]float64, 3)}, // wrong length
+	}}
+	if _, err := Evaluate(bad, 10, EvalOptions{Parallel: true}); err == nil {
+		t.Fatal("expected error from parallel evaluation")
+	}
+}

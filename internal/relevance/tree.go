@@ -1,0 +1,216 @@
+package relevance
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// NodeOp is the role of a Node in the distance-combination tree.
+type NodeOp int
+
+const (
+	// Leaf holds a raw per-item distance vector from one selection
+	// predicate (or approximate join, or subquery).
+	Leaf NodeOp = iota
+	// NodeAnd combines children with the weighted arithmetic mean.
+	NodeAnd
+	// NodeOr combines children with the weighted geometric mean.
+	NodeOr
+)
+
+// Node mirrors the boolean structure of a query's condition as a
+// distance-combination tree. The engine computes raw leaf distances and
+// hands the tree to Evaluate; labels let results map back to predicate
+// windows.
+type Node struct {
+	Op       NodeOp
+	Label    string
+	Weight   float64 // weighting factor; 0 reads as 1
+	Dists    []float64
+	Children []*Node
+}
+
+// EffWeight returns the node's weight with the default of 1.
+func (n *Node) EffWeight() float64 {
+	if n.Weight == 0 {
+		return 1
+	}
+	return n.Weight
+}
+
+// ANDCombiner selects how AND nodes fold their children. The paper's
+// default is the weighted arithmetic mean; section 5.2 notes that "for
+// special applications other specific distance functions such as the
+// Euclidean, Lp or the Mahalanobis distance in n-dimensional space may
+// be used to combine the values of multiple attributes".
+type ANDCombiner int
+
+const (
+	// ANDArithmetic is the weighted arithmetic mean (default).
+	ANDArithmetic ANDCombiner = iota
+	// ANDEuclidean is the weighted Euclidean (L2) norm.
+	ANDEuclidean
+	// ANDLp is the weighted Lp norm with exponent LpP.
+	ANDLp
+)
+
+// EvalOptions configures Evaluate.
+type EvalOptions struct {
+	// Budget is the display budget in items (r); it drives the
+	// reduction-first normalization via KeepCount. Zero means normalize
+	// over everything.
+	Budget int
+	// Mode selects the combination formulas (see CombineMode).
+	Mode CombineMode
+	// NaiveNormalize disables the reduction-first range estimation
+	// (the A1 ablation).
+	NaiveNormalize bool
+	// And selects the AND-node combiner (arithmetic mean by default).
+	And ANDCombiner
+	// LpP is the exponent for ANDLp (values < 1 error).
+	LpP float64
+	// Parallel evaluates sibling subtrees concurrently. Results are
+	// identical to the sequential evaluation; only wall-clock changes.
+	Parallel bool
+}
+
+// Result carries the evaluated tree: the per-node normalized distance
+// vectors in [0, Scale] (keyed by node), and the root's combined,
+// re-normalized distances.
+type Result struct {
+	Combined []float64
+	ByNode   map[*Node][]float64
+}
+
+// Evaluate computes the combined normalized distance of every item per
+// section 5.2: leaf distances are normalized to [0, Scale] (range from
+// the KeepCount(budget, n, weight) smallest values), interior nodes
+// combine their children with the weighted arithmetic (AND) or geometric
+// (OR) mean, and every combined vector is itself normalized "before a
+// calculated combined distance is used as a parameter for combining
+// other distances".
+func Evaluate(root *Node, n int, opts EvalOptions) (*Result, error) {
+	if root == nil {
+		return nil, fmt.Errorf("relevance: nil tree")
+	}
+	ctx := &evalCtx{opts: opts, n: n, res: &Result{ByNode: make(map[*Node][]float64)}}
+	combined, err := ctx.evalNode(root)
+	if err != nil {
+		return nil, err
+	}
+	ctx.res.Combined = combined
+	return ctx.res, nil
+}
+
+// evalCtx carries the evaluation state; the mutex guards ByNode when
+// sibling subtrees evaluate concurrently.
+type evalCtx struct {
+	opts EvalOptions
+	n    int
+	res  *Result
+	mu   sync.Mutex
+}
+
+func (c *evalCtx) store(node *Node, vec []float64) {
+	c.mu.Lock()
+	c.res.ByNode[node] = vec
+	c.mu.Unlock()
+}
+
+func (c *evalCtx) evalNode(node *Node) ([]float64, error) {
+	opts, n := c.opts, c.n
+	switch node.Op {
+	case Leaf:
+		if len(node.Dists) != n {
+			return nil, fmt.Errorf("relevance: leaf %q has %d distances, want %d", node.Label, len(node.Dists), n)
+		}
+		keep := 0
+		if !opts.NaiveNormalize {
+			keep = KeepCount(opts.Budget, n, node.EffWeight())
+		}
+		norm := Normalize(node.Dists, keep)
+		c.store(node, norm.Scaled)
+		return norm.Scaled, nil
+	case NodeAnd, NodeOr:
+		if len(node.Children) == 0 {
+			return nil, fmt.Errorf("relevance: %q has no children", node.Label)
+		}
+		dists := make([][]float64, len(node.Children))
+		weights := make([]float64, len(node.Children))
+		if opts.Parallel && len(node.Children) > 1 {
+			var wg sync.WaitGroup
+			errs := make([]error, len(node.Children))
+			for i, child := range node.Children {
+				wg.Add(1)
+				go func(i int, child *Node) {
+					defer wg.Done()
+					dists[i], errs[i] = c.evalNode(child)
+				}(i, child)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+			for i, child := range node.Children {
+				weights[i] = child.EffWeight()
+			}
+		} else {
+			for i, child := range node.Children {
+				d, err := c.evalNode(child)
+				if err != nil {
+					return nil, err
+				}
+				dists[i] = d
+				weights[i] = child.EffWeight()
+			}
+		}
+		var combined []float64
+		var err error
+		if node.Op == NodeAnd {
+			switch opts.And {
+			case ANDEuclidean:
+				combined, err = CombineEuclidean(dists, weights)
+			case ANDLp:
+				combined, err = CombineLp(dists, weights, opts.LpP)
+			default:
+				combined, err = CombineAnd(dists, weights, opts.Mode)
+			}
+		} else {
+			combined, err = CombineOr(dists, weights, opts.Mode)
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Re-normalize so the combined values are a valid input for the
+		// parent level (and for the colormap at the root).
+		keep := 0
+		if !opts.NaiveNormalize {
+			keep = KeepCount(opts.Budget, n, node.EffWeight())
+		}
+		norm := Normalize(combined, keep)
+		c.store(node, norm.Scaled)
+		return norm.Scaled, nil
+	default:
+		return nil, fmt.Errorf("relevance: unknown node op %d", node.Op)
+	}
+}
+
+// ZeroPreserved reports whether item i is an exact answer (distance 0)
+// in vec — a helper for tests and invariant checks.
+func ZeroPreserved(vec []float64, i int) bool {
+	return i >= 0 && i < len(vec) && vec[i] == 0
+}
+
+// CountNaN returns how many entries of vec are NaN (uncolorable).
+func CountNaN(vec []float64) int {
+	c := 0
+	for _, v := range vec {
+		if math.IsNaN(v) {
+			c++
+		}
+	}
+	return c
+}

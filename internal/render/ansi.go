@@ -1,0 +1,97 @@
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/colormap"
+)
+
+// ANSI renders a downsampled 256-color terminal preview of the image
+// using half-block characters (▀) so each character cell carries two
+// vertical pixels. maxW/maxH bound the character grid. It is the
+// closest a terminal gets to the paper's color display.
+func (im *Image) ANSI(maxW, maxH int) string {
+	if im.W == 0 || im.H == 0 || maxW < 1 || maxH < 1 {
+		return ""
+	}
+	stepX := (im.W + maxW - 1) / maxW
+	stepY := (im.H + 2*maxH - 1) / (2 * maxH)
+	if stepX < 1 {
+		stepX = 1
+	}
+	if stepY < 1 {
+		stepY = 1
+	}
+	var b strings.Builder
+	for y := 0; y+stepY < im.H || y == 0; y += 2 * stepY {
+		for x := 0; x < im.W; x += stepX {
+			top := im.avgCell(x, y, stepX, stepY)
+			bottom := im.avgCell(x, y+stepY, stepX, stepY)
+			fmt.Fprintf(&b, "\x1b[38;5;%dm\x1b[48;5;%dm▀", ansi256(top), ansi256(bottom))
+		}
+		b.WriteString("\x1b[0m\n")
+	}
+	return b.String()
+}
+
+// avgCell averages the colors of a stepX×stepY cell.
+func (im *Image) avgCell(x0, y0, stepX, stepY int) colormap.RGB {
+	var r, g, bl, cnt int
+	for y := y0; y < y0+stepY && y < im.H; y++ {
+		for x := x0; x < x0+stepX && x < im.W; x++ {
+			p := im.Pix[y*im.W+x]
+			r += int(p.R)
+			g += int(p.G)
+			bl += int(p.B)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return colormap.RGB{}
+	}
+	return colormap.C(uint8(r/cnt), uint8(g/cnt), uint8(bl/cnt))
+}
+
+// ansi256 maps an RGB color to the xterm 256-color cube (16..231) or
+// the grayscale ramp (232..255) when the color is near-achromatic.
+func ansi256(c colormap.RGB) int {
+	maxC := maxU8(c.R, maxU8(c.G, c.B))
+	minC := minU8(c.R, minU8(c.G, c.B))
+	if int(maxC)-int(minC) < 10 {
+		// Grayscale ramp: 24 steps from 8 to 238.
+		gray := (int(c.R) + int(c.G) + int(c.B)) / 3
+		if gray < 8 {
+			return 16 // cube black
+		}
+		if gray > 238 {
+			return 231 // cube white
+		}
+		return 232 + (gray-8)*24/231
+	}
+	q := func(v uint8) int {
+		// The cube levels are 0, 95, 135, 175, 215, 255.
+		if v < 48 {
+			return 0
+		}
+		if v < 115 {
+			return 1
+		}
+		return int(v-35) / 40
+	}
+	return 16 + 36*q(c.R) + 6*q(c.G) + q(c.B)
+}
+
+func maxU8(a, b uint8) uint8 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minU8(a, b uint8) uint8 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,100 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/colormap"
+)
+
+func TestANSIBasics(t *testing.T) {
+	im := NewImage(8, 8)
+	im.FillRect(0, 0, 4, 8, colormap.C(255, 0, 0))
+	out := im.ANSI(8, 4)
+	if !strings.Contains(out, "\x1b[38;5;") || !strings.Contains(out, "▀") {
+		t.Fatalf("no ANSI escapes: %q", out)
+	}
+	if !strings.HasSuffix(out, "\x1b[0m\n") {
+		t.Fatal("should reset colors at line end")
+	}
+	lines := strings.Count(out, "\n")
+	if lines < 1 || lines > 4 {
+		t.Fatalf("lines: %d", lines)
+	}
+	if NewImage(0, 0).ANSI(4, 4) != "" {
+		t.Error("empty image")
+	}
+}
+
+func TestAnsi256Mapping(t *testing.T) {
+	cases := []struct {
+		c    colormap.RGB
+		want int
+	}{
+		{colormap.C(0, 0, 0), 16},        // cube black
+		{colormap.C(255, 255, 255), 231}, // cube white
+		{colormap.C(255, 0, 0), 196},     // pure red = 16+36·5
+		{colormap.C(0, 255, 0), 46},      // pure green
+		{colormap.C(0, 0, 255), 21},      // pure blue
+	}
+	for _, tc := range cases {
+		if got := ansi256(tc.c); got != tc.want {
+			t.Errorf("ansi256(%+v) = %d, want %d", tc.c, got, tc.want)
+		}
+	}
+	// Mid-grays use the grayscale ramp.
+	g := ansi256(colormap.C(128, 128, 128))
+	if g < 232 || g > 255 {
+		t.Errorf("gray should use the ramp: %d", g)
+	}
+}
+
+func TestSliderKindsRender(t *testing.T) {
+	specs := []SliderSpec{
+		{
+			Title: "discrete", Kind: SliderDiscrete, Ticks: 5,
+			Spectrum: colormap.VisDB(32).Spectrum(32), MarkLo: -1, MarkHi: -1,
+		},
+		{
+			Title: "enum", Kind: SliderEnumeration,
+			Labels:   []string{"low", "mid", "high"},
+			Selected: []bool{false, true, true},
+			MarkLo:   -1, MarkHi: -1,
+		},
+		{
+			Title: "meddev", Kind: SliderMedianDeviation,
+			Spectrum: colormap.VisDB(32).Spectrum(32),
+			Median:   0.5, Deviation: 0.2, MarkLo: -1, MarkHi: -1,
+		},
+	}
+	im := Sliders(specs, 120, 10)
+	if im.W != 122 || im.H <= 0 {
+		t.Fatalf("dims: %dx%d", im.W, im.H)
+	}
+	// Enumeration: selected cells carry the bright fill.
+	bright := colormap.C(230, 210, 40)
+	found := false
+	for i := range im.Pix {
+		if im.Pix[i] == bright {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("selected enumeration cell not rendered")
+	}
+	// Median/deviation: a black median line exists.
+	black := colormap.C(0, 0, 0)
+	foundBlack := false
+	for i := range im.Pix {
+		if im.Pix[i] == black {
+			foundBlack = true
+			break
+		}
+	}
+	if !foundBlack {
+		t.Fatal("median mark not rendered")
+	}
+	// Empty enumeration doesn't panic.
+	_ = Sliders([]SliderSpec{{Title: "e", Kind: SliderEnumeration}}, 60, 8)
+}

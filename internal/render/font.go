@@ -1,0 +1,106 @@
+package render
+
+import (
+	"strings"
+
+	"repro/internal/colormap"
+)
+
+// glyphW and glyphH are the dimensions of the built-in 3×5 pixel font
+// used for window titles and panel labels (the stdlib has no font
+// rendering).
+const (
+	glyphW = 3
+	glyphH = 5
+)
+
+// font maps characters to 15-bit glyph bitmaps, row-major, MSB first
+// within each 3-bit row. Lowercase input is upper-cased before lookup.
+var font = map[rune][glyphH]uint8{
+	'A':  {0b010, 0b101, 0b111, 0b101, 0b101},
+	'B':  {0b110, 0b101, 0b110, 0b101, 0b110},
+	'C':  {0b011, 0b100, 0b100, 0b100, 0b011},
+	'D':  {0b110, 0b101, 0b101, 0b101, 0b110},
+	'E':  {0b111, 0b100, 0b110, 0b100, 0b111},
+	'F':  {0b111, 0b100, 0b110, 0b100, 0b100},
+	'G':  {0b011, 0b100, 0b101, 0b101, 0b011},
+	'H':  {0b101, 0b101, 0b111, 0b101, 0b101},
+	'I':  {0b111, 0b010, 0b010, 0b010, 0b111},
+	'J':  {0b001, 0b001, 0b001, 0b101, 0b010},
+	'K':  {0b101, 0b110, 0b100, 0b110, 0b101},
+	'L':  {0b100, 0b100, 0b100, 0b100, 0b111},
+	'M':  {0b101, 0b111, 0b111, 0b101, 0b101},
+	'N':  {0b101, 0b111, 0b111, 0b111, 0b101},
+	'O':  {0b010, 0b101, 0b101, 0b101, 0b010},
+	'P':  {0b110, 0b101, 0b110, 0b100, 0b100},
+	'Q':  {0b010, 0b101, 0b101, 0b011, 0b001},
+	'R':  {0b110, 0b101, 0b110, 0b110, 0b101},
+	'S':  {0b011, 0b100, 0b010, 0b001, 0b110},
+	'T':  {0b111, 0b010, 0b010, 0b010, 0b010},
+	'U':  {0b101, 0b101, 0b101, 0b101, 0b011},
+	'V':  {0b101, 0b101, 0b101, 0b010, 0b010},
+	'W':  {0b101, 0b101, 0b111, 0b111, 0b101},
+	'X':  {0b101, 0b101, 0b010, 0b101, 0b101},
+	'Y':  {0b101, 0b101, 0b010, 0b010, 0b010},
+	'Z':  {0b111, 0b001, 0b010, 0b100, 0b111},
+	'0':  {0b010, 0b101, 0b101, 0b101, 0b010},
+	'1':  {0b010, 0b110, 0b010, 0b010, 0b111},
+	'2':  {0b110, 0b001, 0b010, 0b100, 0b111},
+	'3':  {0b110, 0b001, 0b010, 0b001, 0b110},
+	'4':  {0b101, 0b101, 0b111, 0b001, 0b001},
+	'5':  {0b111, 0b100, 0b110, 0b001, 0b110},
+	'6':  {0b011, 0b100, 0b110, 0b101, 0b010},
+	'7':  {0b111, 0b001, 0b010, 0b010, 0b010},
+	'8':  {0b010, 0b101, 0b010, 0b101, 0b010},
+	'9':  {0b010, 0b101, 0b011, 0b001, 0b110},
+	' ':  {0, 0, 0, 0, 0},
+	'.':  {0, 0, 0, 0, 0b010},
+	',':  {0, 0, 0, 0b010, 0b100},
+	':':  {0, 0b010, 0, 0b010, 0},
+	'-':  {0, 0, 0b111, 0, 0},
+	'_':  {0, 0, 0, 0, 0b111},
+	'%':  {0b101, 0b001, 0b010, 0b100, 0b101},
+	'#':  {0b101, 0b111, 0b101, 0b111, 0b101},
+	'(':  {0b001, 0b010, 0b010, 0b010, 0b001},
+	')':  {0b100, 0b010, 0b010, 0b010, 0b100},
+	'>':  {0b100, 0b010, 0b001, 0b010, 0b100},
+	'<':  {0b001, 0b010, 0b100, 0b010, 0b001},
+	'=':  {0, 0b111, 0, 0b111, 0},
+	'/':  {0b001, 0b001, 0b010, 0b100, 0b100},
+	'+':  {0, 0b010, 0b111, 0b010, 0},
+	'\'': {0b010, 0b010, 0, 0, 0},
+	'?':  {0b110, 0b001, 0b010, 0, 0b010},
+}
+
+// TextWidth returns the pixel width of s in the built-in font.
+func TextWidth(s string) int {
+	n := len([]rune(s))
+	if n == 0 {
+		return 0
+	}
+	return n*(glyphW+1) - 1
+}
+
+// TextHeight is the pixel height of one line in the built-in font.
+const TextHeight = glyphH
+
+// DrawText paints s at (x, y) (top-left) in color c. Unknown runes
+// render as '?'. Returns the x coordinate after the last glyph.
+func (im *Image) DrawText(x, y int, s string, c colormap.RGB) int {
+	for _, r := range strings.ToUpper(s) {
+		g, ok := font[r]
+		if !ok {
+			g = font['?']
+		}
+		for row := 0; row < glyphH; row++ {
+			bits := g[row]
+			for col := 0; col < glyphW; col++ {
+				if bits&(1<<(glyphW-1-col)) != 0 {
+					im.Set(x+col, y+row, c)
+				}
+			}
+		}
+		x += glyphW + 1
+	}
+	return x
+}

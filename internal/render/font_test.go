@@ -1,0 +1,42 @@
+package render
+
+import "testing"
+
+// TestFontGlyphsDistinct guards against copy-paste errors in the glyph
+// table: visually distinct characters must have distinct bitmaps.
+// (O/0 share a bitmap by design in a 3×5 font.)
+func TestFontGlyphsDistinct(t *testing.T) {
+	identical := map[rune]rune{'O': '0'} // accepted aliases
+	seen := make(map[[glyphH]uint8]rune)
+	for r, g := range font {
+		if prev, dup := seen[g]; dup {
+			if identical[prev] == r || identical[r] == prev {
+				continue
+			}
+			t.Errorf("glyphs %q and %q share a bitmap", prev, r)
+		}
+		seen[g] = r
+	}
+}
+
+// TestFontGlyphsFitWidth: no glyph sets bits outside its 3-pixel width.
+func TestFontGlyphsFitWidth(t *testing.T) {
+	for r, g := range font {
+		for row, bits := range g {
+			if bits >= 1<<glyphW {
+				t.Errorf("glyph %q row %d overflows width: %03b", r, row, bits)
+			}
+		}
+	}
+}
+
+// TestFontCoversPanelAlphabet: every character the panels and titles
+// emit has a glyph.
+func TestFontCoversPanelAlphabet(t *testing.T) {
+	const needed = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .,:-_%#()><=/+'?"
+	for _, r := range needed {
+		if _, ok := font[r]; !ok {
+			t.Errorf("missing glyph %q", r)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package session
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestUndoRevertsSliderMove(t *testing.T) {
+	s := newSession(t)
+	if s.CanUndo() {
+		t.Fatal("fresh session should have no history")
+	}
+	before := s.Query().String()
+	c, _ := s.FindCond("x")
+	if err := s.SetRange(c, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !s.CanUndo() {
+		t.Fatal("modification should be undoable")
+	}
+	changed := s.Query().String()
+	if changed == before {
+		t.Fatal("query should have changed")
+	}
+	if err := s.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Query().String(); got != before {
+		t.Fatalf("undo mismatch:\n  %s\n  %s", got, before)
+	}
+	if s.CanUndo() {
+		t.Fatal("history should be empty again")
+	}
+	if err := s.Undo(); err == nil {
+		t.Fatal("undo on empty history should fail")
+	}
+}
+
+func TestUndoChain(t *testing.T) {
+	s := newSession(t)
+	states := []string{s.Query().String()}
+	c, _ := s.FindCond("x")
+	for _, lo := range []float64{1, 2, 3} {
+		if err := s.SetRange(c, lo, math.Inf(1)); err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, s.Query().String())
+		// Re-find after each change is unnecessary (same AST), but keep
+		// the pointer fresh for clarity.
+		c, _ = s.FindCond("x")
+	}
+	// Unwind the chain.
+	for i := len(states) - 2; i >= 0; i-- {
+		if err := s.Undo(); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Query().String(); got != states[i] {
+			t.Fatalf("undo to state %d:\n  %s\n  %s", i, got, states[i])
+		}
+	}
+}
+
+func TestUndoRevertsWeight(t *testing.T) {
+	s := newSession(t)
+	preds := s.Result().PredicateInfos()
+	_ = preds
+	p := s.Query().Where
+	if err := s.SetWeight(p, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Query().Where.Weight() != 1 {
+		t.Fatalf("weight not reverted: %v", s.Query().Where.Weight())
+	}
+}
+
+func TestSetQuery(t *testing.T) {
+	s := newSession(t)
+	resultsBefore := s.Result().Stats().NumResults
+	if err := s.SetQuery(`SELECT x FROM T WHERE x >= 0`); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Result().Stats().NumResults; got != 20 {
+		t.Fatalf("new query results: %d", got)
+	}
+	if err := s.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Result().Stats().NumResults; got != resultsBefore {
+		t.Fatalf("undo of SetQuery: %d vs %d", got, resultsBefore)
+	}
+	if err := s.SetQuery(`garbage`); err == nil {
+		t.Fatal("bad query should fail without mutating state")
+	}
+	if !strings.Contains(s.Query().String(), "x > 15") {
+		t.Fatal("failed SetQuery should leave the query untouched")
+	}
+}
+
+func TestSetQueryClearsProjectionAndSelection(t *testing.T) {
+	s := newSession(t)
+	item := s.Result().TopK(1)[0]
+	if err := s.SelectItem(item); err != nil {
+		t.Fatal(err)
+	}
+	preds := s.Query().Where
+	if err := s.ProjectColorRange(preds, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetQuery(`SELECT x FROM T WHERE x > 1`); err != nil {
+		t.Fatal(err)
+	}
+	if s.SelectedItem() != -1 {
+		t.Fatal("selection should clear on query replacement")
+	}
+	// Windows must render without the stale projection.
+	if _, err := s.Windows(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+package session
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/kdtree"
+	"repro/internal/query"
+)
+
+// QuickCounter answers "# of results" for slider movements without
+// re-running the engine, using the multidimensional index the paper's
+// conclusions call for: "multidimensional data structures that support
+// range queries on multiple attributes will be essential to improve
+// query performance" (section 6). It also applies the incremental
+// strategy sketched there — "to retrieve more data than necessary in
+// the beginning and to retrieve only the additional portion of the
+// data that is needed for a slightly modified query later on" — via
+// the k-d tree's over-fetching cache.
+//
+// It supports single-table queries whose condition is a conjunction of
+// numeric range predicates over distinct attributes (the shape sliders
+// produce).
+type QuickCounter struct {
+	attrs []string
+	cache *kdtree.Cache
+	n     int
+}
+
+// NewQuickCounter builds the index for a session's query, or reports
+// why the query shape is unsupported.
+func NewQuickCounter(s *Session) (*QuickCounter, error) {
+	q := s.Query()
+	if len(q.From) != 1 {
+		return nil, fmt.Errorf("session: quick count needs a single-table query")
+	}
+	attrs, err := conjunctiveRangeAttrs(q.Where, s.res.Binding)
+	if err != nil {
+		return nil, err
+	}
+	t, err := s.cat.Table(q.From[0])
+	if err != nil {
+		return nil, err
+	}
+	cols := make([][]float64, len(attrs))
+	for i, a := range attrs {
+		cols[i], err = t.FloatsOf(a)
+		if err != nil {
+			return nil, err
+		}
+	}
+	points := make([][]float64, 0, t.NumRows())
+	for row := 0; row < t.NumRows(); row++ {
+		p := make([]float64, len(attrs))
+		skip := false
+		for i := range attrs {
+			v := cols[i][row]
+			if math.IsNaN(v) {
+				skip = true // NULLs never satisfy; leave them out
+				break
+			}
+			p[i] = v
+		}
+		if skip {
+			continue
+		}
+		points = append(points, p)
+	}
+	tree, err := kdtree.Build(points)
+	if err != nil {
+		return nil, err
+	}
+	return &QuickCounter{
+		attrs: attrs,
+		cache: kdtree.NewCache(tree, 0.3),
+		n:     t.NumRows(),
+	}, nil
+}
+
+// conjunctiveRangeAttrs validates the query shape and returns the
+// attribute order of the index dimensions.
+func conjunctiveRangeAttrs(e query.Expr, b *query.Binding) ([]string, error) {
+	var conds []*query.Cond
+	switch n := e.(type) {
+	case nil:
+		return nil, fmt.Errorf("session: quick count needs a condition")
+	case *query.Cond:
+		conds = []*query.Cond{n}
+	case *query.BoolExpr:
+		if n.Op != query.And {
+			return nil, fmt.Errorf("session: quick count supports conjunctions only")
+		}
+		for _, c := range n.Children {
+			cond, ok := c.(*query.Cond)
+			if !ok {
+				return nil, fmt.Errorf("session: quick count supports simple conditions only")
+			}
+			conds = append(conds, cond)
+		}
+	default:
+		return nil, fmt.Errorf("session: quick count supports simple conditions only")
+	}
+	seen := map[string]bool{}
+	var attrs []string
+	for _, c := range conds {
+		attr, ok := b.Attrs[c]
+		if !ok || !attr.Kind.IsNumeric() {
+			return nil, fmt.Errorf("session: quick count needs bound numeric attributes")
+		}
+		switch c.Op {
+		case query.OpGt, query.OpGe, query.OpLt, query.OpLe, query.OpBetween, query.OpEq:
+		default:
+			return nil, fmt.Errorf("session: quick count does not support operator %s", c.Op)
+		}
+		if seen[attr.Attr] {
+			return nil, fmt.Errorf("session: quick count needs distinct attributes per condition")
+		}
+		seen[attr.Attr] = true
+		attrs = append(attrs, attr.Attr)
+	}
+	return attrs, nil
+}
+
+// Count evaluates the current query ranges against the index. It is
+// exact for the supported query shape (boundary strictness included)
+// and hits the incremental cache when the new box lies within the
+// previously over-fetched one.
+func (qc *QuickCounter) Count(s *Session) (int, error) {
+	conds, err := currentConds(s.Query().Where)
+	if err != nil {
+		return 0, err
+	}
+	if len(conds) != len(qc.attrs) {
+		return 0, fmt.Errorf("session: query shape changed (have %d conditions, index has %d)", len(conds), len(qc.attrs))
+	}
+	lo := make([]float64, len(qc.attrs))
+	hi := make([]float64, len(qc.attrs))
+	for i, attr := range qc.attrs {
+		c := findCondByAttr(conds, attr)
+		if c == nil {
+			return 0, fmt.Errorf("session: no condition on indexed attribute %q", attr)
+		}
+		l, h, err := condBox(c)
+		if err != nil {
+			return 0, err
+		}
+		lo[i], hi[i] = l, h
+	}
+	ids, err := qc.cache.Range(lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	return len(ids), nil
+}
+
+// Hits and Misses expose the incremental-cache counters.
+func (qc *QuickCounter) Hits() int   { return qc.cache.Hits }
+func (qc *QuickCounter) Misses() int { return qc.cache.Misses }
+
+func currentConds(e query.Expr) ([]*query.Cond, error) {
+	switch n := e.(type) {
+	case *query.Cond:
+		return []*query.Cond{n}, nil
+	case *query.BoolExpr:
+		var out []*query.Cond
+		for _, c := range n.Children {
+			cond, ok := c.(*query.Cond)
+			if !ok {
+				return nil, fmt.Errorf("session: query shape changed")
+			}
+			out = append(out, cond)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("session: query shape changed")
+	}
+}
+
+func findCondByAttr(conds []*query.Cond, attr string) *query.Cond {
+	for _, c := range conds {
+		if c.Attr == attr || hasSuffixDot(c.Attr, attr) {
+			return c
+		}
+	}
+	return nil
+}
+
+func hasSuffixDot(s, suffix string) bool {
+	return len(s) > len(suffix)+1 && s[len(s)-len(suffix)-1] == '.' && s[len(s)-len(suffix):] == suffix
+}
+
+// condBox converts a condition into an inclusive [lo, hi] box side.
+// Strict bounds nudge by the smallest representable step so the k-d
+// range query (inclusive) matches boolean semantics.
+func condBox(c *query.Cond) (lo, hi float64, err error) {
+	val := func(v dataset.Value) (float64, error) {
+		f, ok := v.AsFloat()
+		if !ok {
+			return 0, fmt.Errorf("session: non-numeric literal in %q", c.Label())
+		}
+		return f, nil
+	}
+	switch c.Op {
+	case query.OpGt:
+		v, err := val(c.Value)
+		return math.Nextafter(v, math.Inf(1)), math.Inf(1), err
+	case query.OpGe:
+		v, err := val(c.Value)
+		return v, math.Inf(1), err
+	case query.OpLt:
+		v, err := val(c.Value)
+		return math.Inf(-1), math.Nextafter(v, math.Inf(-1)), err
+	case query.OpLe:
+		v, err := val(c.Value)
+		return math.Inf(-1), v, err
+	case query.OpEq:
+		v, err := val(c.Value)
+		return v, v, err
+	case query.OpBetween:
+		l, err := val(c.Lo)
+		if err != nil {
+			return 0, 0, err
+		}
+		h, err := val(c.Hi)
+		return l, h, err
+	default:
+		return 0, 0, fmt.Errorf("session: unsupported operator %s", c.Op)
+	}
+}

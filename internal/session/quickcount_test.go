@@ -1,0 +1,159 @@
+package session
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func quickSession(t *testing.T) *Session {
+	t.Helper()
+	cat := dataset.NewCatalog()
+	tbl, err := dataset.NewTable("Q", dataset.Schema{
+		{Name: "x", Kind: dataset.KindFloat},
+		{Name: "y", Kind: dataset.KindFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		x := dataset.Float(float64(i % 25))
+		y := dataset.Float(float64(i % 10))
+		if i%20 == 19 {
+			x = dataset.Null(dataset.KindFloat)
+		}
+		if err := tbl.AppendRow(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cat.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSQL(cat, nil, core.Options{GridW: 12, GridH: 12},
+		`SELECT x FROM Q WHERE x > 10 AND y <= 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestQuickCountMatchesEngine(t *testing.T) {
+	s := quickSession(t)
+	qc, err := NewQuickCounter(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := qc.Count(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Result().Stats().NumResults
+	if got != want {
+		t.Fatalf("quick count %d vs engine %d", got, want)
+	}
+	if qc.Misses() != 1 || qc.Hits() != 0 {
+		t.Fatalf("counters: %d/%d", qc.Hits(), qc.Misses())
+	}
+}
+
+func TestQuickCountTracksSliderWithCacheHits(t *testing.T) {
+	s := quickSession(t)
+	qc, err := NewQuickCounter(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qc.Count(s); err != nil {
+		t.Fatal(err)
+	}
+	// Disable auto-recalc: the paper's scenario where the full pipeline
+	// is too expensive per slider tick, but the count stays live.
+	if err := s.SetAutoRecalc(false); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.FindCond("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nudge the slider slightly: x > 11 — inside the over-fetched box.
+	if err := s.SetRange(c, 11, math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := qc.Count(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qc.Hits() != 1 {
+		t.Fatalf("expected an incremental cache hit, counters %d/%d", qc.Hits(), qc.Misses())
+	}
+	// Cross-check against a fresh engine run.
+	if err := s.SetAutoRecalc(true); err != nil {
+		t.Fatal(err)
+	}
+	want := s.Result().Stats().NumResults
+	if got != want {
+		t.Fatalf("quick count %d vs engine %d", got, want)
+	}
+}
+
+func TestQuickCountStrictBoundaries(t *testing.T) {
+	s := quickSession(t)
+	qc, err := NewQuickCounter(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := s.FindCond("x")
+	// x BETWEEN 10 AND 12 (inclusive) vs the engine.
+	if err := s.SetRange(c, 10, 12); err != nil {
+		t.Fatal(err)
+	}
+	got, err := qc.Count(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Result().Stats().NumResults
+	if got != want {
+		t.Fatalf("between: quick %d vs engine %d", got, want)
+	}
+}
+
+func TestQuickCountUnsupportedShapes(t *testing.T) {
+	cat := dataset.NewCatalog()
+	tbl, _ := dataset.NewTable("Q", dataset.Schema{
+		{Name: "x", Kind: dataset.KindFloat},
+		{Name: "s", Kind: dataset.KindString},
+	})
+	_ = tbl.AppendRow(dataset.Float(1), dataset.Str("a"))
+	_ = cat.AddTable(tbl)
+	cases := []string{
+		`SELECT x FROM Q WHERE x > 1 OR x < 0`,  // disjunction
+		`SELECT x FROM Q WHERE s = 'a'`,         // non-numeric
+		`SELECT x FROM Q WHERE x > 1 AND x < 5`, // duplicate attribute
+		`SELECT x FROM Q WHERE NOT (x > 1)`,     // negation
+		`SELECT x FROM Q WHERE x IN (1, 2)`,     // IN list
+		`SELECT x FROM Q`,                       // no condition
+	}
+	for _, sql := range cases {
+		s, err := NewSQL(cat, nil, core.Options{GridW: 4, GridH: 4}, sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		if _, err := NewQuickCounter(s); err == nil {
+			t.Errorf("%s: expected unsupported-shape error", sql)
+		}
+	}
+}
+
+func TestQuickCountShapeChangeDetected(t *testing.T) {
+	s := quickSession(t)
+	qc, err := NewQuickCounter(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structurally change the query behind the counter's back.
+	s.q.Where = nil
+	if _, err := qc.Count(s); err == nil {
+		t.Error("shape change should be detected")
+	}
+}

@@ -1,0 +1,436 @@
+// Package session implements the interactive layer of VisDB
+// (section 4.3 of the paper): dynamic query modification through
+// sliders and direct range edits, weighting-factor changes,
+// percentage-displayed control, tuple selection with cross-window
+// highlighting, color-range projection, the auto-recalculate toggle,
+// and the figure-5 drill-down into arbitrary query parts. The original
+// system drove these from mouse events; here they are methods on a
+// deterministic state machine, so every interaction is scriptable and
+// testable.
+package session
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/arrange"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/query"
+	"repro/internal/render"
+)
+
+// Session holds one interactive exploration of a query. A Session
+// models a single user's interface state and is not safe for concurrent
+// use; run one goroutine per session.
+type Session struct {
+	cat *dataset.Catalog
+	reg *distance.Registry
+	opt core.Options
+	q   *query.Query
+	res *core.Result
+
+	autoRecalc bool
+	dirty      bool
+	// Recalcs counts engine runs, for the incremental-cost experiments
+	// and the auto-recalculate-off tests.
+	Recalcs int
+
+	selectedItem int // -1 when nothing selected
+	projExpr     query.Expr
+	projLo       int
+	projHi       int
+	hasProj      bool
+
+	// history holds serialized query snapshots for Undo; the paper's
+	// interface lets the user return to earlier query states via the
+	// query specification process.
+	history []string
+}
+
+// New starts a session on a parsed query and runs it once.
+func New(cat *dataset.Catalog, reg *distance.Registry, opt core.Options, q *query.Query) (*Session, error) {
+	s := &Session{cat: cat, reg: reg, opt: opt, q: q, autoRecalc: true, selectedItem: -1}
+	if err := s.Recalculate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewSQL starts a session from dialect text.
+func NewSQL(cat *dataset.Catalog, reg *distance.Registry, opt core.Options, src string) (*Session, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return New(cat, reg, opt, q)
+}
+
+// Result returns the current result. When auto-recalculate is off and
+// modifications are pending, the result is stale (Dirty reports true).
+func (s *Session) Result() *core.Result { return s.res }
+
+// Query returns the live query AST (mutated by the modification
+// methods).
+func (s *Session) Query() *query.Query { return s.q }
+
+// Dirty reports whether modifications await recalculation.
+func (s *Session) Dirty() bool { return s.dirty }
+
+// AutoRecalc reports the auto-recalculate mode.
+func (s *Session) AutoRecalc() bool { return s.autoRecalc }
+
+// SetAutoRecalc toggles the "auto recalculate off" option the paper
+// offers "for large databases or if complex distance functions are
+// used". Turning it back on triggers a pending recalculation.
+func (s *Session) SetAutoRecalc(on bool) error {
+	s.autoRecalc = on
+	if on && s.dirty {
+		return s.Recalculate()
+	}
+	return nil
+}
+
+// Recalculate re-runs the query through the engine.
+func (s *Session) Recalculate() error {
+	e := core.New(s.cat, s.reg, s.opt)
+	res, err := e.Run(s.q)
+	if err != nil {
+		return err
+	}
+	s.res = res
+	s.dirty = false
+	s.Recalcs++
+	// A recomputation invalidates the tuple selection if the item is no
+	// longer displayed.
+	if s.selectedItem >= 0 {
+		if _, ok := res.CellOfItem(s.selectedItem); !ok {
+			s.selectedItem = -1
+		}
+	}
+	return nil
+}
+
+// maybeRecalc recomputes if auto mode is on; otherwise marks the
+// session dirty.
+func (s *Session) maybeRecalc() error {
+	if s.autoRecalc {
+		return s.Recalculate()
+	}
+	s.dirty = true
+	return nil
+}
+
+// snapshot records the current query state for Undo. Modification
+// methods call it before mutating.
+func (s *Session) snapshot() {
+	s.history = append(s.history, s.q.String())
+	// Bound the history so pathological slider storms stay cheap.
+	const maxHistory = 256
+	if len(s.history) > maxHistory {
+		s.history = s.history[len(s.history)-maxHistory:]
+	}
+}
+
+// CanUndo reports whether an earlier query state exists.
+func (s *Session) CanUndo() bool { return len(s.history) > 0 }
+
+// Undo restores the most recent query snapshot (reverting the last
+// range, weight or structural modification) and recomputes. The query
+// AST is rebuilt, so condition pointers obtained earlier via FindCond
+// become stale; projections and selections are cleared.
+func (s *Session) Undo() error {
+	if len(s.history) == 0 {
+		return fmt.Errorf("session: nothing to undo")
+	}
+	src := s.history[len(s.history)-1]
+	s.history = s.history[:len(s.history)-1]
+	q, err := query.Parse(src)
+	if err != nil {
+		return fmt.Errorf("session: corrupt history entry: %w", err)
+	}
+	s.q = q
+	s.ClearProjection()
+	s.ClearSelection()
+	return s.Recalculate()
+}
+
+// SetQuery replaces the whole query (the "switch back to the query
+// specification process" menu option, section 4.3), keeping the old
+// state undoable. Projections and selections are cleared, since they
+// reference the old query's parts.
+func (s *Session) SetQuery(src string) error {
+	q, err := query.Parse(src)
+	if err != nil {
+		return err
+	}
+	s.snapshot()
+	s.q = q
+	s.ClearProjection()
+	s.ClearSelection()
+	return s.maybeRecalc()
+}
+
+// FindCond locates a top-level (or nested) condition whose attribute
+// matches name — a convenience for slider interactions addressed by
+// attribute.
+func (s *Session) FindCond(attr string) (*query.Cond, error) {
+	var found *query.Cond
+	query.Walk(s.q.Where, func(e query.Expr) {
+		if c, ok := e.(*query.Cond); ok && found == nil {
+			if c.Attr == attr || strings.HasSuffix(c.Attr, "."+attr) {
+				found = c
+			}
+		}
+	})
+	if found == nil {
+		return nil, fmt.Errorf("session: no condition on attribute %q", attr)
+	}
+	return found, nil
+}
+
+// SetRange moves a condition's query range (the slider drag or direct
+// edit of the 'query' field). Open sides use ±Inf: the condition
+// becomes >=, <= or BETWEEN accordingly. For time-typed attributes the
+// bounds are interpreted as Unix seconds, so time sliders use the same
+// numeric interface.
+func (s *Session) SetRange(c *query.Cond, lo, hi float64) error {
+	if math.IsNaN(lo) || math.IsNaN(hi) || lo > hi {
+		return fmt.Errorf("session: invalid range [%v, %v]", lo, hi)
+	}
+	s.snapshot()
+	lit := dataset.Float
+	if s.res != nil {
+		if attr, ok := s.res.Binding.Attrs[c]; ok && attr.Kind == dataset.KindTime {
+			lit = func(v float64) dataset.Value {
+				return dataset.Time(time.Unix(int64(v), 0).UTC())
+			}
+		}
+	}
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return fmt.Errorf("session: range cannot be open on both sides")
+	case math.IsInf(hi, 1):
+		c.Op = query.OpGe
+		c.Value = lit(lo)
+	case math.IsInf(lo, -1):
+		c.Op = query.OpLe
+		c.Value = lit(hi)
+	default:
+		c.Op = query.OpBetween
+		c.Lo = lit(lo)
+		c.Hi = lit(hi)
+	}
+	return s.maybeRecalc()
+}
+
+// SetMedianDeviation moves a condition's range via the median-and-
+// deviation slider of figure 4 ("a different type of slider where the
+// medium value and some allowed deviation can be manipulated
+// graphically"): the range becomes [median−dev, median+dev].
+func (s *Session) SetMedianDeviation(c *query.Cond, median, dev float64) error {
+	if dev < 0 || math.IsNaN(median) || math.IsNaN(dev) {
+		return fmt.Errorf("session: invalid median/deviation %v ± %v", median, dev)
+	}
+	return s.SetRange(c, median-dev, median+dev)
+}
+
+// SetWeight updates a query part's weighting factor (section 5.2).
+func (s *Session) SetWeight(e query.Expr, w float64) error {
+	if w < 0 || math.IsNaN(w) {
+		return fmt.Errorf("session: invalid weight %v", w)
+	}
+	s.snapshot()
+	e.SetWeight(w)
+	return s.maybeRecalc()
+}
+
+// SetPercentDisplayed fixes the displayed fraction (the overall-result
+// slider of figure 5). Note the paper's warning: "changing the
+// percentage of data being displayed may completely change the
+// visualization since the distance values are normalized according to
+// the new range".
+func (s *Session) SetPercentDisplayed(pct float64) error {
+	if pct < 0 || pct > 1 || math.IsNaN(pct) {
+		return fmt.Errorf("session: invalid percentage %v", pct)
+	}
+	s.opt.PercentDisplayed = pct
+	return s.maybeRecalc()
+}
+
+// Select marks the data item at a window cell as the selected tuple; it
+// is highlighted in all windows and its attribute values become
+// available via SelectedTuple. Selecting an empty cell clears the
+// selection.
+func (s *Session) Select(cell arrange.Point) {
+	if item, ok := s.res.ItemAt(cell); ok {
+		s.selectedItem = item
+	} else {
+		s.selectedItem = -1
+	}
+}
+
+// SelectItem selects a data item directly by index.
+func (s *Session) SelectItem(item int) error {
+	if item < 0 || item >= s.res.N {
+		return fmt.Errorf("session: item %d out of range", item)
+	}
+	s.selectedItem = item
+	return nil
+}
+
+// ClearSelection drops the tuple selection.
+func (s *Session) ClearSelection() { s.selectedItem = -1 }
+
+// SelectedItem returns the selected item index, or -1.
+func (s *Session) SelectedItem() int { return s.selectedItem }
+
+// SelectedTuple returns the attribute values of the selected tuple.
+func (s *Session) SelectedTuple() (core.SelectedTuple, bool) {
+	if s.selectedItem < 0 {
+		return core.SelectedTuple{}, false
+	}
+	tup, err := s.res.Tuple(s.selectedItem)
+	if err != nil {
+		return core.SelectedTuple{}, false
+	}
+	return tup, true
+}
+
+// ProjectColorRange restricts the display to items whose color for the
+// given query part lies within [loLevel, hiLevel] — "to focus on sets
+// of data items with a specific color ... in the other visualizations
+// the same data items are displayed" (section 4.3). A nil expression
+// projects on the overall result's colors.
+func (s *Session) ProjectColorRange(e query.Expr, loLevel, hiLevel int) error {
+	if _, err := s.res.ItemsInColorRange(e, loLevel, hiLevel); err != nil {
+		return err
+	}
+	s.projExpr, s.projLo, s.projHi, s.hasProj = e, loLevel, hiLevel, true
+	return nil
+}
+
+// ClearProjection removes the color-range projection.
+func (s *Session) ClearProjection() { s.hasProj = false }
+
+// Windows renders the current windows with the projection filter and
+// selection highlight applied.
+func (s *Session) Windows() ([]*render.Window, error) {
+	parts := append([]query.Expr{nil}, query.Predicates(s.q.Where)...)
+	var keep map[int]bool
+	if s.hasProj {
+		items, err := s.res.ItemsInColorRange(s.projExpr, s.projLo, s.projHi)
+		if err != nil {
+			return nil, err
+		}
+		keep = make(map[int]bool, len(items))
+		for _, it := range items {
+			keep[it] = true
+		}
+	}
+	out := make([]*render.Window, 0, len(parts))
+	for _, p := range parts {
+		w, err := s.buildWindow(p, keep)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// buildWindow renders one window (p == nil means the overall result)
+// honoring projection and highlighting.
+func (s *Session) buildWindow(p query.Expr, keep map[int]bool) (*render.Window, error) {
+	opt := s.res.Engine.Options()
+	title := "overall result"
+	if p != nil {
+		title = p.Label()
+	}
+	w := render.NewWindow(title, opt.GridW, opt.GridH, arrange.BlockSide(opt.PixelsPerItem))
+	for rank := 0; rank < s.res.Displayed; rank++ {
+		item := s.res.Order[rank]
+		if keep != nil && !keep[item] {
+			continue
+		}
+		cell := s.res.CellOfRank(rank)
+		if cell == arrange.Unplaced {
+			continue
+		}
+		var norm float64
+		if p == nil {
+			norm = s.res.Combined[item]
+		} else {
+			var err error
+			norm, err = s.res.NormOf(p, item)
+			if err != nil {
+				return nil, err
+			}
+		}
+		w.SetCell(cell, s.res.ColorFor(norm))
+	}
+	if s.selectedItem >= 0 {
+		if cell, ok := s.res.CellOfItem(s.selectedItem); ok {
+			w.Highlight(cell)
+		}
+	}
+	return w, nil
+}
+
+// Image composes the current windows plus the query-modification
+// sliders into one picture — the full figure-4 layout.
+func (s *Session) Image(cols int) (*render.Image, error) {
+	ws, err := s.Windows()
+	if err != nil {
+		return nil, err
+	}
+	vis := render.Compose(ws, cols, 6)
+	sliders := render.Sliders(s.res.SliderSpecs(), 140, 10)
+	return render.SideBySide(vis, sliders, 10), nil
+}
+
+// DrillDown opens the figure-5 interaction: windows for a sub-part of
+// the query, either keeping the overall arrangement or re-arranged
+// independently.
+func (s *Session) DrillDown(e query.Expr, independent bool) ([]*render.Window, error) {
+	return s.res.DrillDownWindows(e, independent)
+}
+
+// PanelText renders the stats panel of figures 4/5 as text: overall
+// counts plus the per-predicate slider fields.
+func (s *Session) PanelText() string {
+	var b strings.Builder
+	st := s.res.Stats()
+	fmt.Fprintf(&b, "# objects    %d\n", st.NumObjects)
+	fmt.Fprintf(&b, "# displayed  %d\n", st.NumDisplayed)
+	fmt.Fprintf(&b, "%% displayed  %.1f\n", st.PctDisplayed*100)
+	fmt.Fprintf(&b, "# of results %d\n", st.NumResults)
+	if s.dirty {
+		b.WriteString("(stale: auto recalculate off)\n")
+	}
+	for _, info := range s.res.PredicateInfos() {
+		fmt.Fprintf(&b, "\n[%s]  weight %.3g  results %d\n", info.Label, info.Weight, info.NumResults)
+		if info.Numeric {
+			fmt.Fprintf(&b, "  db range    %.4g .. %.4g\n", info.MinDB, info.MaxDB)
+			fmt.Fprintf(&b, "  displayed   %.4g .. %.4g\n", info.FirstDisplayed, info.LastDisplayed)
+			fmt.Fprintf(&b, "  query range %.4g .. %.4g\n", info.QueryLo, info.QueryHi)
+		}
+	}
+	if tup, ok := s.SelectedTuple(); ok {
+		b.WriteString("\nselected tuple:\n")
+		for i, tbl := range tup.Tables {
+			fmt.Fprintf(&b, "  %s: ", tbl)
+			for j, v := range tup.Rows[i] {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(v.String())
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KDE is a Gaussian kernel density estimate over a sample. The paper's
+// section 5.1 reasons about the density function f(x) of the distance
+// values (figure 2); KDE provides that density for the reduction
+// heuristic diagnostics and the figure-2 harness.
+type KDE struct {
+	xs        []float64
+	bandwidth float64
+}
+
+// NewKDE builds a Gaussian KDE over xs. If bandwidth <= 0, Silverman's
+// rule of thumb (1.06·σ·n^(-1/5)) is used, with a small floor so
+// degenerate samples still evaluate.
+func NewKDE(xs []float64, bandwidth float64) *KDE {
+	data := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			data = append(data, x)
+		}
+	}
+	if bandwidth <= 0 {
+		s := Summarize(data)
+		bandwidth = 1.06 * s.Std * math.Pow(float64(max(s.N, 1)), -0.2)
+		if bandwidth <= 0 {
+			bandwidth = 1e-9
+		}
+	}
+	return &KDE{xs: data, bandwidth: bandwidth}
+}
+
+// Bandwidth reports the bandwidth in use.
+func (k *KDE) Bandwidth() float64 { return k.bandwidth }
+
+// At evaluates the density estimate at v.
+func (k *KDE) At(v float64) float64 {
+	if len(k.xs) == 0 {
+		return 0
+	}
+	const invSqrt2Pi = 0.3989422804014327
+	var sum float64
+	for _, x := range k.xs {
+		u := (v - x) / k.bandwidth
+		sum += invSqrt2Pi * math.Exp(-0.5*u*u)
+	}
+	return sum / (float64(len(k.xs)) * k.bandwidth)
+}
+
+// Grid evaluates the density on n evenly spaced points across [lo, hi]
+// and returns the points and densities. n < 2 is treated as 2.
+func (k *KDE) Grid(lo, hi float64, n int) (points, density []float64) {
+	if n < 2 {
+		n = 2
+	}
+	points = make([]float64, n)
+	density = make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := 0; i < n; i++ {
+		points[i] = lo + float64(i)*step
+		density[i] = k.At(points[i])
+	}
+	return points, density
+}
+
+// ModeCount estimates the number of modes (local density maxima) of the
+// sample by scanning a KDE evaluated on a grid of n points over the data
+// range. Boundary grid points count as candidate modes (monotone
+// densities peak there), and candidates must rise at least 10% of the
+// global peak above the saddle separating them from higher terrain, so
+// sampling noise does not inflate the count. Used to decide, as
+// section 5.1 suggests, whether the multi-peak gap heuristic should
+// override the plain α-quantile.
+func ModeCount(xs []float64, n int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := Summarize(xs)
+	if s.N == 0 || s.Min == s.Max {
+		return 1
+	}
+	k := NewKDE(xs, 0)
+	_, dens := k.Grid(s.Min, s.Max, n)
+	var peaks []int
+	globalMax := 0.0
+	for i, d := range dens {
+		if d > globalMax {
+			globalMax = d
+		}
+		left := i == 0 || dens[i] > dens[i-1]
+		right := i == len(dens)-1 || dens[i] >= dens[i+1]
+		if left && right && d > 0 {
+			peaks = append(peaks, i)
+		}
+	}
+	if len(peaks) == 0 || globalMax == 0 {
+		return 1
+	}
+	sort.Slice(peaks, func(a, b int) bool { return dens[peaks[a]] > dens[peaks[b]] })
+	accepted := []int{peaks[0]}
+	for _, p := range peaks[1:] {
+		// Saddle: for each already-accepted (taller) peak, the minimum
+		// density on the way there; the peak's prominence is its height
+		// above the highest such saddle.
+		saddle := math.Inf(-1)
+		for _, q := range accepted {
+			lo, hi := p, q
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			valley := math.Inf(1)
+			for i := lo; i <= hi; i++ {
+				if dens[i] < valley {
+					valley = dens[i]
+				}
+			}
+			if valley > saddle {
+				saddle = valley
+			}
+		}
+		if dens[p]-saddle >= 0.1*globalMax {
+			accepted = append(accepted, p)
+		}
+	}
+	return len(accepted)
+}

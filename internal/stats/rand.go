@@ -1,0 +1,91 @@
+package stats
+
+import "math/rand"
+
+// Dist is a real-valued random distribution. All generator code draws
+// through this interface so workloads can swap distributions without
+// touching the call sites.
+type Dist interface {
+	// Sample draws one value using rng.
+	Sample(rng *rand.Rand) float64
+}
+
+// Uniform is the uniform distribution on [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	return u.Lo + rng.Float64()*(u.Hi-u.Lo)
+}
+
+// Normal is the normal distribution with the given mean and standard
+// deviation.
+type Normal struct{ Mean, Std float64 }
+
+// Sample implements Dist.
+func (n Normal) Sample(rng *rand.Rand) float64 {
+	return n.Mean + rng.NormFloat64()*n.Std
+}
+
+// Exponential is the exponential distribution with the given rate.
+type Exponential struct{ Rate float64 }
+
+// Sample implements Dist.
+func (e Exponential) Sample(rng *rand.Rand) float64 {
+	rate := e.Rate
+	if rate <= 0 {
+		rate = 1
+	}
+	return rng.ExpFloat64() / rate
+}
+
+// Mixture draws from Components[i] with probability Weights[i]
+// (normalized). It builds the bimodal distance densities of figure 2b.
+type Mixture struct {
+	Components []Dist
+	Weights    []float64
+}
+
+// Sample implements Dist.
+func (m Mixture) Sample(rng *rand.Rand) float64 {
+	if len(m.Components) == 0 {
+		return 0
+	}
+	var total float64
+	for i := range m.Components {
+		w := 1.0
+		if i < len(m.Weights) {
+			w = m.Weights[i]
+		}
+		total += w
+	}
+	u := rng.Float64() * total
+	for i := range m.Components {
+		w := 1.0
+		if i < len(m.Weights) {
+			w = m.Weights[i]
+		}
+		if u < w {
+			return m.Components[i].Sample(rng)
+		}
+		u -= w
+	}
+	return m.Components[len(m.Components)-1].Sample(rng)
+}
+
+// Bimodal is a convenience two-normal mixture with equal weights.
+func Bimodal(mean1, std1, mean2, std2 float64) Mixture {
+	return Mixture{
+		Components: []Dist{Normal{mean1, std1}, Normal{mean2, std2}},
+		Weights:    []float64{1, 1},
+	}
+}
+
+// SampleN draws n values from d.
+func SampleN(d Dist, rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(rng)
+	}
+	return out
+}

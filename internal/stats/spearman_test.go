@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks: %v, want %v", got, want)
+		}
+	}
+	// Ties share average ranks: 10,20,20,30 → 1, 2.5, 2.5, 4.
+	got = Ranks([]float64{10, 20, 20, 30})
+	want = []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tied ranks: %v, want %v", got, want)
+		}
+	}
+	if len(Ranks(nil)) != 0 {
+		t.Error("empty")
+	}
+}
+
+func TestSpearmanPerfectAndInverse(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	mono := []float64{10, 100, 1000, 10000, 100000} // nonlinear but monotone
+	if got := Spearman(xs, mono); math.Abs(got-1) > 1e-12 {
+		t.Errorf("monotone: %v", got)
+	}
+	rev := []float64{5, 4, 3, 2, 1}
+	if got := Spearman(xs, rev); math.Abs(got+1) > 1e-12 {
+		t.Errorf("inverse: %v", got)
+	}
+	if Spearman(xs, []float64{1}) != 0 {
+		t.Error("length mismatch")
+	}
+}
+
+func TestSpearmanVsPearsonOutlier(t *testing.T) {
+	// One huge outlier wrecks Pearson but barely moves Spearman.
+	rng := rand.New(rand.NewSource(1))
+	n := 200
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i) + rng.NormFloat64()
+	}
+	ys[n-1] = -1e9
+	sp := Spearman(xs, ys)
+	pe := Pearson(xs, ys)
+	if sp < 0.9 {
+		t.Errorf("spearman should survive the outlier: %v", sp)
+	}
+	if pe > 0.5 {
+		t.Errorf("pearson should be wrecked by the outlier: %v", pe)
+	}
+}

@@ -1,0 +1,110 @@
+package visdb_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/visdb"
+)
+
+// ExampleNewEngine shows the minimal visual feedback query flow.
+func ExampleNewEngine() {
+	cat := visdb.NewCatalog()
+	tbl, err := visdb.NewTable("T", visdb.Schema{
+		{Name: "x", Kind: visdb.KindFloat},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := tbl.AppendRow(visdb.Float(float64(i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := cat.AddTable(tbl); err != nil {
+		log.Fatal(err)
+	}
+	eng := visdb.NewEngine(cat, visdb.Options{GridW: 8, GridH: 8})
+	res, err := eng.RunSQL(`SELECT x FROM T WHERE x > 6`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := res.Stats()
+	fmt.Printf("objects=%d exact=%d\n", st.NumObjects, st.NumResults)
+	// Output: objects=10 exact=3
+}
+
+// ExampleGradi renders the figure-3 query representation.
+func ExampleGradi() {
+	q, err := visdb.Parse(`SELECT a FROM T WHERE a > 1 AND b < 2`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(visdb.Gradi(q))
+	// Output:
+	// Query Representation
+	// ====================
+	// Result List: a
+	// From: T
+	// AND
+	// ├── [a > 1]
+	// └── [b < 2]
+}
+
+// ExampleNewSession shows an interactive slider modification.
+func ExampleNewSession() {
+	cat := visdb.NewCatalog()
+	tbl, _ := visdb.NewTable("T", visdb.Schema{{Name: "x", Kind: visdb.KindFloat}})
+	for i := 0; i < 10; i++ {
+		if err := tbl.AppendRow(visdb.Float(float64(i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := cat.AddTable(tbl); err != nil {
+		log.Fatal(err)
+	}
+	s, err := visdb.NewSession(cat, visdb.Options{GridW: 8, GridH: 8}, `SELECT x FROM T WHERE x > 8`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("before:", s.Result().Stats().NumResults)
+	c, err := s.FindCond("x")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.SetRange(c, 5, 9); err != nil { // drag the slider
+		log.Fatal(err)
+	}
+	fmt.Println("after: ", s.Result().Stats().NumResults)
+	// Output:
+	// before: 1
+	// after:  5
+}
+
+// ExampleResult_TopK shows similarity-retrieval style consumption of
+// the ranking.
+func ExampleResult_TopK() {
+	cat := visdb.NewCatalog()
+	tbl, _ := visdb.NewTable("P", visdb.Schema{{Name: "v", Kind: visdb.KindFloat}})
+	for _, v := range []float64{3, 41, 40, 39, 100} {
+		if err := tbl.AppendRow(visdb.Float(v)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := cat.AddTable(tbl); err != nil {
+		log.Fatal(err)
+	}
+	eng := visdb.NewEngine(cat, visdb.Options{GridW: 4, GridH: 4})
+	res, err := eng.RunSQL(`SELECT v FROM P WHERE v = 40`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, item := range res.TopK(3) {
+		tup, _ := res.Tuple(item)
+		fmt.Println(tup.Rows[0][0])
+	}
+	// Output:
+	// 40
+	// 41
+	// 39
+}
