@@ -8,4 +8,31 @@
 // in bench_test.go. See README.md for an overview, DESIGN.md for the
 // system inventory and experiment index, and EXPERIMENTS.md for the
 // paper-vs-measured record.
+//
+// # Building and testing
+//
+// The repository is a single Go module (module repro, Go ≥ 1.24) with
+// no external dependencies:
+//
+//	go build ./... && go test ./...
+//	go vet ./...
+//	go test -bench=. -benchmem          # repository benchmarks
+//	go test -run '^$' -bench SortRanking -benchtime=1x .  # CI smoke
+//
+// # Ranking: selection instead of sorting
+//
+// The paper observes that "query processing time is dominated by the
+// time needed for sorting". Since only GridW×GridH·(numPreds+1)
+// distance values are ever displayed, the engine ranks by selection by
+// default: internal/topk quickselects the display budget in expected
+// O(n) and relevance normalization finds its reduction range with a
+// bounded heap instead of a full sort. Two engine options control the
+// trade-off:
+//
+//   - Options.FullSort: exact O(n log n) ranking of every item (the
+//     A-series ablations, exact quantiles; implied by Arrange2D).
+//   - Options.Workers: bounds the worker pool that chunks
+//     per-predicate distance computation across rows and sibling
+//     predicates (0 → GOMAXPROCS). Parallel and serial runs produce
+//     bit-identical results.
 package repro

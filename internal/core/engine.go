@@ -11,6 +11,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/reduce"
 	"repro/internal/relevance"
+	"repro/internal/topk"
 )
 
 // Engine executes visual feedback queries against a catalog. An Engine
@@ -53,13 +54,17 @@ func (e *Engine) RunSQL(src string) (*Result, error) {
 // processing time is dominated by the time needed for sorting") with a
 // measured breakdown. Distances covers the per-predicate distance
 // computation (tree building), Evaluate the normalization and weighted
-// combination (which internally sorts per node), Sort the final
-// relevance ranking, and Reduce the display reduction plus placement.
+// combination, Sort the final full-sort relevance ranking (FullSort or
+// Arrange2D runs), Select the selection-based partial ranking (the
+// default path, which materializes only the display budget), and
+// Reduce the display reduction plus placement. Exactly one of Sort and
+// Select is nonzero per run.
 type StageTimings struct {
 	Bind      time.Duration
 	Distances time.Duration
 	Evaluate  time.Duration
 	Sort      time.Duration
+	Select    time.Duration
 	Reduce    time.Duration
 	Total     time.Duration
 }
@@ -89,7 +94,7 @@ func (e *Engine) Run(q *query.Query) (*Result, error) {
 	}
 	res.Timings.Bind = time.Since(start)
 	mark := time.Now()
-	root, err := e.buildTree(q.Where, b, space, res)
+	root, err := e.buildTree(q.Where, b, space, res, e.opt.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -112,49 +117,98 @@ func (e *Engine) Run(q *query.Query) (*Result, error) {
 	res.Eval = eval
 	res.Combined = eval.Combined
 	res.Relevance = relevance.RelevanceFactors(eval.Combined)
+	numPreds := len(query.Predicates(q.Where))
 	mark = time.Now()
-	sorted, order := reduce.SortWithIndex(eval.Combined)
-	res.Timings.Sort = time.Since(mark)
-	res.sorted = sorted
-	res.Order = order
+	// NaN (uncolorable) items never display.
+	colorable := space.n - relevance.CountNaN(eval.Combined)
+	if e.fullSort() {
+		// Exact O(n log n) ranking of every item — the paper's
+		// "dominating" sort, kept for ablations, exact quantiles and the
+		// 2D arrangement (which re-filters the whole ranking).
+		sorted, order := reduce.SortWithIndex(eval.Combined)
+		res.sorted, res.Order, res.rankedK = sorted, order, space.n
+		res.Timings.Sort = time.Since(mark)
+	} else {
+		// Selection path: only GridW×GridH·(numPreds+1) values are ever
+		// displayed, so select and sort just the display budget (plus the
+		// margin the gap heuristic inspects) in expected O(n) time.
+		k := e.selectBudget(space.n)
+		sorted, order := topk.SelectKWithIndex(eval.Combined, k)
+		res.sorted, res.Order, res.rankedK = sorted, order, k
+		res.Timings.Select = time.Since(mark)
+	}
 	mark = time.Now()
-	res.Displayed = e.displayCount(sorted, len(query.Predicates(q.Where)))
+	res.Displayed = e.displayCount(res.sorted[:res.rankedK], colorable, space.n, numPreds)
 	res.buildPlacement()
 	res.Timings.Reduce = time.Since(mark)
 	res.Timings.Total = time.Since(start)
 	return res, nil
 }
 
-// displayCount picks how many ranked items are displayed.
-func (e *Engine) displayCount(sorted []float64, numPreds int) int {
-	n := len(sorted)
+// fullSort reports whether this engine ranks with a full sort: set
+// explicitly, or forced by the 2D arrangement whose combined-quantile
+// refinement re-filters the complete ranking.
+func (e *Engine) fullSort() bool {
+	return e.opt.FullSort || e.opt.Arrangement == Arrange2D
+}
+
+// selectBudget is how many leading ranks the selection path
+// materializes: the window capacity plus the ~25% margin the gap
+// heuristic of section 5.1 inspects past the quantile cut (and a small
+// constant for quantile rounding), clamped to n. Any display cut the
+// full sort could produce is derivable from this prefix.
+func (e *Engine) selectBudget(n int) int {
 	capacity := e.opt.GridW * e.opt.GridH
-	// NaN (uncolorable) items never display.
-	colorable := n
-	for colorable > 0 && math.IsNaN(sorted[colorable-1]) {
-		colorable--
+	k := capacity + capacity/4 + 32
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// displayCount picks how many ranked items are displayed. rankedPrefix
+// holds the leading ranks in ascending distance order (the whole
+// ranking under FullSort), colorable the number of non-NaN combined
+// distances, and total the totality of items n.
+func (e *Engine) displayCount(rankedPrefix []float64, colorable, total, numPreds int) int {
+	capacity := e.opt.GridW * e.opt.GridH
+	if colorable < 0 {
+		colorable = 0
 	}
 	if e.opt.PercentDisplayed > 0 {
-		k := int(math.Round(e.opt.PercentDisplayed * float64(n)))
+		k := int(math.Round(e.opt.PercentDisplayed * float64(total)))
 		if k > capacity {
 			k = capacity
 		}
 		if k > colorable {
 			k = colorable
 		}
+		// With an all-NaN predicate (colorable == 0) nothing displays;
+		// the clamp also keeps k non-negative for any inputs.
+		if k < 0 {
+			k = 0
+		}
 		return k
 	}
-	prefix := sorted[:colorable]
 	r := capacity * (numPreds + 1)
 	var k int
 	if e.opt.DisableGapHeuristic {
 		p := reduce.DisplayFraction(r, colorable, numPreds)
 		k = reduce.QuantileCut(colorable, p)
 	} else {
-		k = reduce.Cut(prefix, r, numPreds)
+		prefix := rankedPrefix
+		if colorable < len(prefix) {
+			// The ranked prefix is NaN-last, so its first colorable
+			// entries are exactly the finite distances.
+			prefix = prefix[:colorable]
+		}
+		k = reduce.CutPrefix(prefix, colorable, r, numPreds)
 	}
 	if k > capacity {
 		k = capacity
+	}
+	if k < 0 {
+		k = 0
 	}
 	return k
 }
@@ -188,18 +242,18 @@ func (e *Engine) buildItemSpace(q *query.Query) (*itemSpace, error) {
 // buildTree converts the bound condition tree into a relevance node
 // tree, computing raw leaf distances. A nil condition yields an
 // all-zeros leaf (every item is a correct answer).
-func (e *Engine) buildTree(where query.Expr, b *query.Binding, space *itemSpace, res *Result) (*relevance.Node, error) {
+func (e *Engine) buildTree(where query.Expr, b *query.Binding, space *itemSpace, res *Result, workers int) (*relevance.Node, error) {
 	if where == nil {
 		return &relevance.Node{Op: relevance.Leaf, Label: "true", Dists: make([]float64, space.n)}, nil
 	}
-	return e.exprNode(where, b, space, res, false)
+	return e.exprNode(where, b, space, res, false, workers)
 }
 
 // exprNode builds the node for one expression. negated handles the
 // negation semantics of section 4.4: invertible comparison operators
 // invert; everything else falls back to exact boolean evaluation with
 // satisfied items at distance 0 and failing items uncolorable.
-func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, res *Result, negated bool) (*relevance.Node, error) {
+func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, res *Result, negated bool, workers int) (*relevance.Node, error) {
 	switch n := expr.(type) {
 	case *query.Cond:
 		c := n
@@ -209,17 +263,17 @@ func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, r
 					List: n.List, DistFunc: n.DistFunc, W: n.W}
 				b.Attrs[c] = b.Attrs[n]
 			} else {
-				return e.booleanLeaf(n, b, space, res, true)
+				return e.booleanLeaf(n, b, space, res, true, workers)
 			}
 		}
-		pd, err := e.condData(c, b, space)
+		pd, err := e.condData(c, b, space, workers)
 		if err != nil {
 			return nil, err
 		}
 		node := &relevance.Node{Op: relevance.Leaf, Label: expr.Label(), Weight: expr.Weight(), Dists: pd.Raw}
-		res.nodeOf[expr] = node
+		res.setNode(expr, node)
 		if orig, ok := expr.(*query.Cond); ok {
-			res.preds[orig] = pd
+			res.setPred(orig, pd)
 		}
 		return node, nil
 	case *query.BoolExpr:
@@ -236,23 +290,52 @@ func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, r
 			}
 		}
 		node := &relevance.Node{Op: op, Label: n.Label(), Weight: n.Weight()}
-		for _, c := range n.Children {
-			child, err := e.exprNode(c, b, space, res, negated)
+		children := make([]*relevance.Node, len(n.Children))
+		if workers > 1 && len(n.Children) > 1 && !negated && !hasNegation(n) {
+			// Build sibling predicate subtrees concurrently: each child
+			// fills only its own distance vectors, and Result's maps are
+			// mutex-guarded. Negating subtrees are excluded because
+			// operator inversion rewrites the shared binding. The worker
+			// budget is split between siblings (and the sibling fan-out
+			// itself bounded by it), so total concurrency composes to
+			// ≈ workers instead of multiplying.
+			childWorkers := workers / len(n.Children)
+			if childWorkers < 1 {
+				childWorkers = 1
+			}
+			err := parallelFor(len(n.Children), workers, 1, func(from, to int) error {
+				for i := from; i < to; i++ {
+					child, err := e.exprNode(n.Children[i], b, space, res, false, childWorkers)
+					if err != nil {
+						return err
+					}
+					children[i] = child
+				}
+				return nil
+			})
 			if err != nil {
 				return nil, err
 			}
-			node.Children = append(node.Children, child)
+		} else {
+			for i, c := range n.Children {
+				child, err := e.exprNode(c, b, space, res, negated, workers)
+				if err != nil {
+					return nil, err
+				}
+				children[i] = child
+			}
 		}
-		res.nodeOf[expr] = node
+		node.Children = children
+		res.setNode(expr, node)
 		return node, nil
 	case *query.Not:
-		child, err := e.exprNode(n.Child, b, space, res, !negated)
+		child, err := e.exprNode(n.Child, b, space, res, !negated, workers)
 		if err != nil {
 			return nil, err
 		}
 		node := &relevance.Node{Op: relevance.NodeAnd, Label: n.Label(), Weight: n.Weight(),
 			Children: []*relevance.Node{child}}
-		res.nodeOf[expr] = node
+		res.setNode(expr, node)
 		return node, nil
 	case *query.JoinExpr:
 		conn, ok := b.Joins[n]
@@ -270,9 +353,13 @@ func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, r
 			// distance". A partner is a row of the other relation that
 			// fulfills the connection exactly (distance 0; use a
 			// Within-mode connection for tolerance-based counting).
-			dists, err = e.partnerCountDistances(conn, space)
+			dists, err = e.partnerCountDistances(conn, space, workers)
 		} else {
-			dists, err = join.ConnDistances(conn, space.tables[0], space.tables[1], space.pairs, e.reg)
+			out := make([]float64, len(space.pairs))
+			err = parallelFor(len(space.pairs), workers, itemChunk, func(from, to int) error {
+				return join.ConnDistancesRange(conn, space.tables[0], space.tables[1], space.pairs, out, from, to, e.reg)
+			})
+			dists = out
 		}
 		if err != nil {
 			return nil, err
@@ -288,10 +375,10 @@ func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, r
 			}
 		}
 		node := &relevance.Node{Op: relevance.Leaf, Label: expr.Label(), Weight: n.Weight(), Dists: dists}
-		res.nodeOf[expr] = node
+		res.setNode(expr, node)
 		return node, nil
 	case *query.SubqueryExpr:
-		return e.subqueryNode(n, b, space, res, negated)
+		return e.subqueryNode(n, b, space, res, negated, workers)
 	default:
 		return nil, fmt.Errorf("core: unsupported expression %T", expr)
 	}
@@ -301,7 +388,7 @@ func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, r
 // a connection for every row of a single-table query. The FROM table
 // may be either side of the connection; the other side is looked up in
 // the catalog.
-func (e *Engine) partnerCountDistances(conn dataset.Connection, space *itemSpace) ([]float64, error) {
+func (e *Engine) partnerCountDistances(conn dataset.Connection, space *itemSpace, workers int) ([]float64, error) {
 	table := space.tables[0]
 	var other *dataset.Table
 	var err error
@@ -318,8 +405,12 @@ func (e *Engine) partnerCountDistances(conn dataset.Connection, space *itemSpace
 	if err != nil {
 		return nil, err
 	}
-	counts, err := join.PartnerCounts(conn, table, other, 0, e.reg)
-	if err != nil {
+	// Each left row scans the partner relation independently; chunk the
+	// O(n·m) count across the worker pool.
+	counts := make([]int, table.NumRows())
+	if err := parallelFor(len(counts), workers, 16, func(from, to int) error {
+		return join.PartnerCountsRange(conn, table, other, 0, counts, from, to, e.reg)
+	}); err != nil {
 		return nil, err
 	}
 	return join.PartnerDistances(counts), nil
@@ -337,28 +428,33 @@ func reverseConnection(c dataset.Connection) dataset.Connection {
 // items get distance 0, failing items are uncolorable (NaN), matching
 // "no distance values may be obtained and hence no coloring is
 // possible" for negations (section 4.4).
-func (e *Engine) booleanLeaf(c *query.Cond, b *query.Binding, space *itemSpace, res *Result, negate bool) (*relevance.Node, error) {
+func (e *Engine) booleanLeaf(c *query.Cond, b *query.Binding, space *itemSpace, res *Result, negate bool, workers int) (*relevance.Node, error) {
 	dists := make([]float64, space.n)
-	for i := 0; i < space.n; i++ {
-		sat, err := boolEvalCond(c, b, space, i)
-		if err != nil {
-			return nil, err
+	if err := parallelFor(space.n, workers, itemChunk, func(from, to int) error {
+		for i := from; i < to; i++ {
+			sat, err := boolEvalCond(c, b, space, i)
+			if err != nil {
+				return err
+			}
+			if negate {
+				sat = !sat
+			}
+			if sat {
+				dists[i] = 0
+			} else {
+				dists[i] = math.NaN()
+			}
 		}
-		if negate {
-			sat = !sat
-		}
-		if sat {
-			dists[i] = 0
-		} else {
-			dists[i] = math.NaN()
-		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	label := c.Label()
 	if negate {
 		label = "NOT " + label
 	}
 	node := &relevance.Node{Op: relevance.Leaf, Label: label, Weight: c.Weight(), Dists: dists}
-	res.nodeOf[c] = node
+	res.setNode(c, node)
 	return node, nil
 }
 
@@ -367,7 +463,7 @@ func (e *Engine) booleanLeaf(c *query.Cond, b *query.Binding, space *itemSpace, 
 // inner relation ("the data item most closely fulfilling the subquery
 // condition"); the negated forms are colorable only via boolean
 // evaluation (yellow where satisfied, uncolorable otherwise).
-func (e *Engine) subqueryNode(sq *query.SubqueryExpr, b *query.Binding, space *itemSpace, res *Result, negated bool) (*relevance.Node, error) {
+func (e *Engine) subqueryNode(sq *query.SubqueryExpr, b *query.Binding, space *itemSpace, res *Result, negated bool, workers int) (*relevance.Node, error) {
 	subBinding, ok := b.Subs[sq]
 	if !ok {
 		return nil, fmt.Errorf("core: subquery not bound")
@@ -384,7 +480,7 @@ func (e *Engine) subqueryNode(sq *query.SubqueryExpr, b *query.Binding, space *i
 	// attribute distance; we use normalized values for robustness).
 	innerSpace := &itemSpace{tables: []*dataset.Table{inner}, n: inner.NumRows()}
 	innerRes := &Result{Engine: e, nodeOf: make(map[query.Expr]*relevance.Node), preds: make(map[*query.Cond]*predicateData)}
-	innerRoot, err := e.buildTree(sq.Sub.Where, subBinding, innerSpace, innerRes)
+	innerRoot, err := e.buildTree(sq.Sub.Where, subBinding, innerSpace, innerRes, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -468,7 +564,7 @@ func (e *Engine) subqueryNode(sq *query.SubqueryExpr, b *query.Binding, space *i
 		}
 	}
 	node := &relevance.Node{Op: relevance.Leaf, Label: sq.Label(), Weight: sq.Weight(), Dists: dists}
-	res.nodeOf[sq] = node
+	res.setNode(sq, node)
 	return node, nil
 }
 

@@ -12,6 +12,8 @@
 package core
 
 import (
+	"runtime"
+
 	"repro/internal/colormap"
 	"repro/internal/relevance"
 )
@@ -68,6 +70,17 @@ type Options struct {
 	PercentDisplayed float64
 	// DisableGapHeuristic forces the plain α-quantile cut (ablation A3).
 	DisableGapHeuristic bool
+	// FullSort ranks every item with a full O(n log n) sort instead of
+	// selecting only the display budget. The displayed result is
+	// identical either way; full sorting keeps Result.Order an exact
+	// ranking of all n items, which the A-series ablations and exact
+	// quantile statistics rely on. Arrange2D implies FullSort.
+	FullSort bool
+	// Workers bounds the worker pool used for per-predicate distance
+	// computation (chunked across rows and across sibling predicates).
+	// 0 or negative selects runtime.GOMAXPROCS(0); 1 forces the serial
+	// path. Parallel and serial runs are bit-identical.
+	Workers int
 }
 
 // withDefaults returns a copy with zero fields replaced by defaults.
@@ -94,6 +107,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PercentDisplayed > 1 {
 		o.PercentDisplayed = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/distance"
@@ -61,7 +62,7 @@ func (s *itemSpace) tableByName(name string) (*dataset.Table, error) {
 
 // condData computes the distances of a simple condition over the item
 // space.
-func (e *Engine) condData(c *query.Cond, b *query.Binding, space *itemSpace) (*predicateData, error) {
+func (e *Engine) condData(c *query.Cond, b *query.Binding, space *itemSpace, workers int) (*predicateData, error) {
 	attr, ok := b.Attrs[c]
 	if !ok {
 		return nil, fmt.Errorf("core: condition %q not bound", c.Label())
@@ -74,14 +75,19 @@ func (e *Engine) condData(c *query.Cond, b *query.Binding, space *itemSpace) (*p
 		Attr:   attr,
 		Values: make([]float64, space.n),
 		Raw:    make([]float64, space.n),
-		Signed: make([]float64, space.n),
+	}
+	// Signed distances exist for the 2D quadrant arrangement only; the
+	// default spiral never reads them, so skip the vector (and its
+	// computation) unless figure 1b is in play.
+	if e.opt.Arrangement == Arrange2D {
+		pd.Signed = make([]float64, space.n)
 	}
 	if attr.Kind.IsNumeric() {
-		if err := e.numericCond(c, attr, t, space, pd); err != nil {
+		if err := e.numericCond(c, attr, t, space, pd, workers); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := e.stringCond(c, attr, t, space, pd); err != nil {
+		if err := e.stringCond(c, attr, t, space, pd, workers); err != nil {
 			return nil, err
 		}
 	}
@@ -90,7 +96,7 @@ func (e *Engine) condData(c *query.Cond, b *query.Binding, space *itemSpace) (*p
 
 // numericCond fills pd for numeric/time/bool attributes using the
 // distance-to-range semantics of section 3.
-func (e *Engine) numericCond(c *query.Cond, attr query.BoundAttr, t *dataset.Table, space *itemSpace, pd *predicateData) error {
+func (e *Engine) numericCond(c *query.Cond, attr query.BoundAttr, t *dataset.Table, space *itemSpace, pd *predicateData, workers int) error {
 	col, err := t.FloatsOf(attr.Attr)
 	if err != nil {
 		return err
@@ -117,52 +123,86 @@ func (e *Engine) numericCond(c *query.Cond, attr query.BoundAttr, t *dataset.Tab
 	// just behind the correct answers without being painted yellow.
 	strictLo := c.Op == query.OpGt
 	strictHi := c.Op == query.OpLt
-	var boundary []int
+	// The per-item pass runs chunked across the worker pool: every chunk
+	// writes disjoint slots of Values/Raw/Signed, and the merged
+	// reductions (a max and an any-boundary flag) are order-independent,
+	// so the result is bit-identical to the serial loop.
+	var mu sync.Mutex
 	maxFinite := 0.0
-	for i := 0; i < space.n; i++ {
-		row, err := space.rowFor(i, attr.Table)
-		if err != nil {
-			return err
-		}
-		v := col[row]
-		pd.Values[i] = v
-		switch {
-		case math.IsNaN(v):
-			pd.Raw[i] = math.NaN()
-			pd.Signed[i] = math.NaN()
-		case pointwise:
-			// OpNe: fulfilled (0) unless equal; the failing direction is
-			// undefined, so the item becomes uncolorable (section 4.4).
-			if v == lo {
-				pd.Raw[i] = math.NaN()
-				pd.Signed[i] = math.NaN()
-			} else {
-				pd.Raw[i] = 0
-				pd.Signed[i] = 0
+	hasBoundary := false
+	signed := pd.Signed
+	singleTable := space.pairs == nil
+	perr := parallelFor(space.n, workers, itemChunk, func(from, to int) error {
+		chunkMax := 0.0
+		chunkBoundary := false
+		for i := from; i < to; i++ {
+			row := i
+			if !singleTable {
+				r, err := space.rowFor(i, attr.Table)
+				if err != nil {
+					return err
+				}
+				row = r
 			}
-		case c.Op == query.OpIn:
-			pd.Raw[i], pd.Signed[i] = minListDistance(v, c.List)
-		case (strictLo && v == lo) || (strictHi && v == hi):
-			boundary = append(boundary, i)
-		default:
-			pd.Raw[i] = distance.ToRange(v, lo, hi)
-			pd.Signed[i] = distance.ToRangeSigned(v, lo, hi)
+			v := col[row]
+			pd.Values[i] = v
+			var raw, sd float64
+			switch {
+			case math.IsNaN(v):
+				raw, sd = math.NaN(), math.NaN()
+			case pointwise:
+				// OpNe: fulfilled (0) unless equal; the failing direction is
+				// undefined, so the item becomes uncolorable (section 4.4).
+				if v == lo {
+					raw, sd = math.NaN(), math.NaN()
+				}
+			case c.Op == query.OpIn:
+				raw, sd = minListDistance(v, c.List)
+			case (strictLo && v == lo) || (strictHi && v == hi):
+				chunkBoundary = true // distances assigned in the fixup pass
+			default:
+				raw = distance.ToRange(v, lo, hi)
+				if signed != nil {
+					sd = distance.ToRangeSigned(v, lo, hi)
+				}
+			}
+			pd.Raw[i] = raw
+			if signed != nil {
+				signed[i] = sd
+			}
+			if raw > chunkMax && !math.IsInf(raw, 0) { // NaN compares false
+				chunkMax = raw
+			}
 		}
-		if !math.IsNaN(pd.Raw[i]) && !math.IsInf(pd.Raw[i], 0) && pd.Raw[i] > maxFinite {
-			maxFinite = pd.Raw[i]
+		mu.Lock()
+		if chunkMax > maxFinite {
+			maxFinite = chunkMax
 		}
+		hasBoundary = hasBoundary || chunkBoundary
+		mu.Unlock()
+		return nil
+	})
+	if perr != nil {
+		return perr
 	}
-	if len(boundary) > 0 {
+	if hasBoundary {
 		eps := maxFinite / 128
 		if eps == 0 {
 			eps = 1
 		}
-		for _, i := range boundary {
-			pd.Raw[i] = eps
-			if strictLo {
-				pd.Signed[i] = -eps
-			} else {
-				pd.Signed[i] = eps
+		for i := 0; i < space.n; i++ {
+			// Re-derive the boundary membership from the stored values;
+			// the conditions are mutually exclusive with every other
+			// branch of the fill pass.
+			if (strictLo && pd.Values[i] == lo) || (strictHi && pd.Values[i] == hi) {
+				pd.Raw[i] = eps
+				if signed != nil {
+					if strictLo {
+						signed[i] = -eps
+					} else {
+						signed[i] = eps
+					}
+				}
 			}
 		}
 	}
@@ -240,7 +280,7 @@ func minListDistance(v float64, list []dataset.Value) (raw, signed float64) {
 
 // stringCond fills pd for string/ordinal/nominal attributes using the
 // string distances and distance matrices of section 3.
-func (e *Engine) stringCond(c *query.Cond, attr query.BoundAttr, t *dataset.Table, space *itemSpace, pd *predicateData) error {
+func (e *Engine) stringCond(c *query.Cond, attr query.BoundAttr, t *dataset.Table, space *itemSpace, pd *predicateData, workers int) error {
 	col, err := t.Column(attr.Attr)
 	if err != nil {
 		return err
@@ -298,68 +338,69 @@ func (e *Engine) stringCond(c *query.Cond, attr query.BoundAttr, t *dataset.Tabl
 		mag := distance.Lexicographic(v, target)
 		return float64(strings.Compare(v, target)) * mag
 	}
-	for i := 0; i < space.n; i++ {
-		row, err := space.rowFor(i, attr.Table)
-		if err != nil {
-			return err
-		}
-		pd.Values[i] = math.NaN()
-		val := col.Value(row)
-		s, ok := val.AsString()
-		if !ok {
-			pd.Raw[i], pd.Signed[i] = math.NaN(), math.NaN()
-			continue
-		}
-		switch c.Op {
-		case query.OpEq:
-			tgt := c.Value.S
-			d := dist(s, tgt)
-			pd.Raw[i] = d
-			pd.Signed[i] = math.Copysign(d, signedOrder(s, tgt))
-		case query.OpNe:
-			if s == c.Value.S {
-				pd.Raw[i], pd.Signed[i] = math.NaN(), math.NaN()
-			} else {
-				pd.Raw[i], pd.Signed[i] = 0, 0
+	// Chunked across the worker pool: string distances (edit distance in
+	// particular) dominate this loop, every chunk writes disjoint slots,
+	// and the distance functions and matrices are stateless/read-only.
+	signed := pd.Signed
+	return parallelFor(space.n, workers, itemChunk, func(from, to int) error {
+		for i := from; i < to; i++ {
+			row, err := space.rowFor(i, attr.Table)
+			if err != nil {
+				return err
 			}
-		case query.OpIn:
-			best := math.Inf(1)
-			for _, lv := range c.List {
-				if d := dist(s, lv.S); d < best {
-					best = d
+			pd.Values[i] = math.NaN()
+			var raw, sd float64
+			val := col.Value(row)
+			s, ok := val.AsString()
+			if !ok {
+				raw, sd = math.NaN(), math.NaN()
+			} else {
+				switch c.Op {
+				case query.OpEq:
+					tgt := c.Value.S
+					d := dist(s, tgt)
+					raw = d
+					sd = math.Copysign(d, signedOrder(s, tgt))
+				case query.OpNe:
+					if s == c.Value.S {
+						raw, sd = math.NaN(), math.NaN()
+					}
+				case query.OpIn:
+					best := math.Inf(1)
+					for _, lv := range c.List {
+						if d := dist(s, lv.S); d < best {
+							best = d
+						}
+					}
+					raw, sd = best, best
+				case query.OpGt, query.OpGe:
+					if o := signedOrder(s, c.Value.S); o < 0 {
+						raw, sd = -o, o
+					}
+				case query.OpLt, query.OpLe:
+					if o := signedOrder(s, c.Value.S); o > 0 {
+						raw, sd = o, o
+					}
+				case query.OpBetween:
+					oLo := signedOrder(s, c.Lo.S)
+					oHi := signedOrder(s, c.Hi.S)
+					switch {
+					case oLo < 0:
+						raw, sd = -oLo, oLo
+					case oHi > 0:
+						raw, sd = oHi, oHi
+					}
+				default:
+					return fmt.Errorf("core: unsupported string operator %s", c.Op)
 				}
 			}
-			pd.Raw[i], pd.Signed[i] = best, best
-		case query.OpGt, query.OpGe:
-			o := signedOrder(s, c.Value.S)
-			if o >= 0 {
-				pd.Raw[i], pd.Signed[i] = 0, 0
-			} else {
-				pd.Raw[i], pd.Signed[i] = -o, o
+			pd.Raw[i] = raw
+			if signed != nil {
+				signed[i] = sd
 			}
-		case query.OpLt, query.OpLe:
-			o := signedOrder(s, c.Value.S)
-			if o <= 0 {
-				pd.Raw[i], pd.Signed[i] = 0, 0
-			} else {
-				pd.Raw[i], pd.Signed[i] = o, o
-			}
-		case query.OpBetween:
-			oLo := signedOrder(s, c.Lo.S)
-			oHi := signedOrder(s, c.Hi.S)
-			switch {
-			case oLo < 0:
-				pd.Raw[i], pd.Signed[i] = -oLo, oLo
-			case oHi > 0:
-				pd.Raw[i], pd.Signed[i] = oHi, oHi
-			default:
-				pd.Raw[i], pd.Signed[i] = 0, 0
-			}
-		default:
-			return fmt.Errorf("core: unsupported string operator %s", c.Op)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // boolEval evaluates a condition exactly (true/false) for the

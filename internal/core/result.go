@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/arrange"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/reduce"
 	"repro/internal/relevance"
 	"repro/internal/render"
+	"repro/internal/topk"
 )
 
 // Result is the outcome of running a visual feedback query.
@@ -30,9 +32,16 @@ type Result struct {
 	Relevance []float64
 	// Order maps display rank → item index (ascending combined
 	// distance, i.e. descending relevance); sorted holds the distances
-	// in rank order.
+	// in rank order. Order is always a permutation of [0, N), but on
+	// the default selection path only the first rankedK entries (at
+	// least the display budget) are exactly ranked — the remainder is
+	// unordered. Use TopK to obtain the head of the ranking at any
+	// depth, or Options.FullSort for a fully sorted Order.
 	Order  []int
 	sorted []float64
+	// rankedK is how many leading entries of Order/sorted are in exact
+	// relevance order (N when fully sorted).
+	rankedK int
 	// Displayed is the number of ranked items that fit the display after
 	// the section 5.1 reduction — the "# displayed" panel field.
 	Displayed int
@@ -40,11 +49,28 @@ type Result struct {
 	Timings StageTimings
 
 	root   *relevance.Node
+	mu     sync.Mutex // guards nodeOf/preds during build, rank extension after
 	nodeOf map[query.Expr]*relevance.Node
 	preds  map[*query.Cond]*predicateData
 	cells  []arrange.Point       // rank → cell
 	rankAt map[arrange.Point]int // cell → rank
 	rankOf map[int]int           // item index → rank
+}
+
+// setNode records the relevance node of an expression; safe under
+// concurrent sibling predicate builds.
+func (r *Result) setNode(e query.Expr, n *relevance.Node) {
+	r.mu.Lock()
+	r.nodeOf[e] = n
+	r.mu.Unlock()
+}
+
+// setPred records the predicate data of a condition; safe under
+// concurrent sibling predicate builds.
+func (r *Result) setPred(c *query.Cond, pd *predicateData) {
+	r.mu.Lock()
+	r.preds[c] = pd
+	r.mu.Unlock()
 }
 
 // buildPlacement assigns window cells to the displayed ranks.
@@ -589,10 +615,25 @@ func (r *Result) ItemsInColorRange(e query.Expr, loLevel, hiLevel int) ([]int, e
 
 // TopK returns the item indices of the k most relevant items (the head
 // of the ranking) — the programmatic consumption path for similarity
-// retrieval (section 4.5).
+// retrieval (section 4.5). When k exceeds the materialized selection
+// prefix, the ranking is extended with another selection pass over the
+// combined distances; the already-ranked prefix is unchanged by the
+// extension. Concurrent TopK calls are synchronized, but an extension
+// replaces the Order/sorted slices — goroutines reading the exported
+// Order field directly must not race with deeper TopK calls (rank with
+// Options.FullSort when that sharing pattern is needed).
 func (r *Result) TopK(k int) []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if k > len(r.Order) {
 		k = len(r.Order)
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > r.rankedK {
+		sorted, order := topk.SelectKWithIndex(r.Combined, k)
+		r.sorted, r.Order, r.rankedK = sorted, order, k
 	}
 	out := make([]int, k)
 	copy(out, r.Order[:k])
@@ -668,16 +709,28 @@ func (r *Result) DrillDownWindows(e query.Expr, independent bool) ([]*render.Win
 		}
 		return out, nil
 	}
-	// Independent arrangement: re-rank by the part's own distances.
+	// Independent arrangement: re-rank by the part's own distances. The
+	// part only ever displays up to the window capacity, so the default
+	// path selects that many ranks instead of sorting all n.
 	vec := r.Eval.ByNode[node]
-	sorted, order := reduce.SortWithIndex(vec)
-	displayed := r.Displayed
 	opt := r.Engine.opt
-	if cap := opt.GridW * opt.GridH; displayed > cap {
-		displayed = cap
+	capacity := opt.GridW * opt.GridH
+	var order []int
+	if r.Engine.fullSort() {
+		_, order = reduce.SortWithIndex(vec)
+	} else {
+		k := capacity
+		if k > len(vec) {
+			k = len(vec)
+		}
+		_, order = topk.SelectKWithIndex(vec, k)
 	}
-	for displayed > 0 && math.IsNaN(sorted[displayed-1]) {
-		displayed--
+	displayed := r.Displayed
+	if displayed > capacity {
+		displayed = capacity
+	}
+	if colorable := len(vec) - relevance.CountNaN(vec); displayed > colorable {
+		displayed = colorable
 	}
 	cells := arrange.Place(opt.GridW, opt.GridH, displayed)
 	out := make([]*render.Window, 0, len(parts))

@@ -47,7 +47,7 @@ func TestStageTimingsPopulated(t *testing.T) {
 	if tm.Total <= 0 {
 		t.Fatal("total timing missing")
 	}
-	sum := tm.Bind + tm.Distances + tm.Evaluate + tm.Sort + tm.Reduce
+	sum := tm.Bind + tm.Distances + tm.Evaluate + tm.Sort + tm.Select + tm.Reduce
 	if sum > tm.Total+time.Millisecond {
 		t.Fatalf("stage sum %v exceeds total %v", sum, tm.Total)
 	}
@@ -56,9 +56,30 @@ func TestStageTimingsPopulated(t *testing.T) {
 	if sum < tm.Total/2 {
 		t.Fatalf("stage sum %v suspiciously small vs total %v", sum, tm.Total)
 	}
-	for _, d := range []time.Duration{tm.Bind, tm.Distances, tm.Evaluate, tm.Sort, tm.Reduce} {
+	for _, d := range []time.Duration{tm.Bind, tm.Distances, tm.Evaluate, tm.Sort, tm.Select, tm.Reduce} {
 		if d < 0 {
 			t.Fatal("negative stage duration")
 		}
+	}
+	// The default path ranks by selection, not by the full sort.
+	if tm.Select <= 0 {
+		t.Fatal("selection stage not timed on the default path")
+	}
+	if tm.Sort != 0 {
+		t.Fatal("full sort ran on the default selection path")
+	}
+}
+
+func TestStageTimingsFullSort(t *testing.T) {
+	e := New(smallCatalog(t), nil, Options{GridW: 8, GridH: 8, FullSort: true})
+	res, err := e.RunSQL(`SELECT x FROM T WHERE x > 4 AND y < 8`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timings.Sort <= 0 {
+		t.Fatal("sort stage not timed under FullSort")
+	}
+	if res.Timings.Select != 0 {
+		t.Fatal("selection stage ran under FullSort")
 	}
 }

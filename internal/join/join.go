@@ -10,6 +10,7 @@ package join
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/dataset"
 	"repro/internal/distance"
@@ -29,24 +30,66 @@ type Pair struct {
 // that are considered is much larger and the percentage that can be
 // displayed is correspondingly lower"; the stride keeps the sample
 // spread uniformly over the product.
+//
+// The product is computed in 128-bit arithmetic: nLeft×nRight can
+// overflow int for large tables, which previously wrapped negative and
+// made the "materialize everything" branch attempt a negative-capacity
+// allocation before the maxPairs cap could apply.
 func Pairs(nLeft, nRight, maxPairs int) []Pair {
 	if nLeft <= 0 || nRight <= 0 {
 		return nil
 	}
-	total := nLeft * nRight
-	if maxPairs <= 0 || total <= maxPairs {
-		out := make([]Pair, 0, total)
-		for l := 0; l < nLeft; l++ {
-			for r := 0; r < nRight; r++ {
-				out = append(out, Pair{Left: l, Right: r})
-			}
-		}
-		return out
+	hi, lo := bits.Mul64(uint64(nLeft), uint64(nRight))
+	if maxPairs <= 0 && hi == 0 && lo <= uint64(math.MaxInt) {
+		// No cap and the product is representable: materialize it all.
+		return allPairs(nLeft, nRight, int(lo))
 	}
-	stride := (total + maxPairs - 1) / maxPairs
+	if maxPairs <= 0 {
+		// No cap but the product overflows int: no slice could hold it
+		// anyway; fall back to the package default cap.
+		maxPairs = 1 << 20
+	}
+	if hi == 0 && lo <= uint64(maxPairs) {
+		return allPairs(nLeft, nRight, int(lo))
+	}
+	// Subsample with stride = ceil(total / maxPairs), using the 128-bit
+	// quotient so the overflow regime subsamples correctly instead of
+	// wrapping. bits.Div64 requires hi < divisor; when even the stride
+	// would overflow 64 bits (total ≥ maxPairs·2⁶⁴ — unreachable for
+	// in-memory tables) it degrades to one pair.
+	var stride uint64
+	if hi >= uint64(maxPairs) {
+		stride = math.MaxUint64
+	} else {
+		q, rem := bits.Div64(hi, lo, uint64(maxPairs))
+		stride = q
+		if rem != 0 {
+			stride++
+		}
+	}
 	out := make([]Pair, 0, maxPairs)
-	for k := 0; k < total; k += stride {
-		out = append(out, Pair{Left: k / nRight, Right: k % nRight})
+	nr := uint64(nRight)
+	for l, r := uint64(0), uint64(0); l < uint64(nLeft); {
+		out = append(out, Pair{Left: int(l), Right: int(r)})
+		// Advance the linear index l·nRight + r by stride without ever
+		// materializing it.
+		r += stride % nr
+		l += stride / nr
+		if r >= nr {
+			r -= nr
+			l++
+		}
+	}
+	return out
+}
+
+// allPairs materializes the full cross product of total pairs.
+func allPairs(nLeft, nRight, total int) []Pair {
+	out := make([]Pair, 0, total)
+	for l := 0; l < nLeft; l++ {
+		for r := 0; r < nRight; r++ {
+			out = append(out, Pair{Left: l, Right: r})
+		}
 	}
 	return out
 }
@@ -55,14 +98,25 @@ func Pairs(nLeft, nRight, maxPairs int) []Pair {
 // join attributes yield NaN entries.
 func ConnDistances(conn dataset.Connection, lt, rt *dataset.Table, pairs []Pair, reg *distance.Registry) ([]float64, error) {
 	out := make([]float64, len(pairs))
-	for i, p := range pairs {
+	if err := ConnDistancesRange(conn, lt, rt, pairs, out, 0, len(pairs), reg); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ConnDistancesRange scores pairs[from:to] into out[from:to] — the
+// chunk form of ConnDistances used by the engine's worker pool; callers
+// on disjoint ranges may run concurrently.
+func ConnDistancesRange(conn dataset.Connection, lt, rt *dataset.Table, pairs []Pair, out []float64, from, to int, reg *distance.Registry) error {
+	for i := from; i < to; i++ {
+		p := pairs[i]
 		d, err := conn.Distance(lt, rt, p.Left, p.Right, reg)
 		if err != nil {
-			return nil, fmt.Errorf("join: pair (%d,%d): %w", p.Left, p.Right, err)
+			return fmt.Errorf("join: pair (%d,%d): %w", p.Left, p.Right, err)
 		}
 		out[i] = d
 	}
-	return out, nil
+	return nil
 }
 
 // Equi computes the exact equality join on one attribute pair using a
@@ -103,20 +157,30 @@ func Equi(lt, rt *dataset.Table, lAttr, rAttr string) ([]Pair, error) {
 // join-partner distance of section 4.4 ("the user might use the inverse
 // of that number as the distance").
 func PartnerCounts(conn dataset.Connection, lt, rt *dataset.Table, eps float64, reg *distance.Registry) ([]int, error) {
-	nl, nr := lt.NumRows(), rt.NumRows()
-	out := make([]int, nl)
-	for l := 0; l < nl; l++ {
+	out := make([]int, lt.NumRows())
+	if err := PartnerCountsRange(conn, lt, rt, eps, out, 0, len(out), reg); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PartnerCountsRange counts partners for left rows [from, to) into
+// out[from:to] — the chunk form of PartnerCounts used by the engine's
+// worker pool; callers on disjoint ranges may run concurrently.
+func PartnerCountsRange(conn dataset.Connection, lt, rt *dataset.Table, eps float64, out []int, from, to int, reg *distance.Registry) error {
+	nr := rt.NumRows()
+	for l := from; l < to; l++ {
 		for r := 0; r < nr; r++ {
 			d, err := conn.Distance(lt, rt, l, r, reg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if !math.IsNaN(d) && d <= eps {
 				out[l]++
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // PartnerDistances maps PartnerCounts through distance.InverseCount.

@@ -211,3 +211,49 @@ func TestMinDistancePerLeft(t *testing.T) {
 		t.Error("wrong innerDist length should fail")
 	}
 }
+
+// TestPairsOverflow: nLeft·nRight beyond the int range used to wrap
+// negative and attempt a negative-capacity allocation before the
+// maxPairs cap applied; the 128-bit product must subsample instead.
+func TestPairsOverflow(t *testing.T) {
+	const big = 3_100_000_000 // untyped: the pairwise product ≈ 9.6e18 > MaxInt64
+	if math.MaxInt < big {
+		t.Skip("overflow regime requires 64-bit int")
+	}
+	big64 := int64(big)
+	nl, nr := int(big64), int(big64)
+	ps := Pairs(nl, nr, 100)
+	if len(ps) == 0 || len(ps) > 100 {
+		t.Fatalf("overflow regime sample size: %d", len(ps))
+	}
+	for i, p := range ps {
+		if p.Left < 0 || p.Left >= nl || p.Right < 0 || p.Right >= nr {
+			t.Fatalf("pair %d out of range: %+v", i, p)
+		}
+	}
+	// The stride walks the linear index monotonically.
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Left < ps[i-1].Left ||
+			(ps[i].Left == ps[i-1].Left && ps[i].Right <= ps[i-1].Right) {
+			t.Fatalf("sample not strictly increasing at %d: %+v -> %+v", i, ps[i-1], ps[i])
+		}
+	}
+	// Spread across the left relation, not clustered at the start.
+	if ps[len(ps)-1].Left < nl/2 {
+		t.Fatalf("sample not spread: last %+v", ps[len(ps)-1])
+	}
+	// An uncapped call on an overflowing product must still bound the
+	// result rather than attempting an impossible allocation.
+	if got := Pairs(nl, nr, 0); len(got) == 0 || len(got) > 1<<20 {
+		t.Fatalf("uncapped overflow size: %d", len(got))
+	}
+}
+
+// TestPairsCapEqualsTotal: the boundary where the product exactly equals
+// the cap materializes everything.
+func TestPairsCapEqualsTotal(t *testing.T) {
+	ps := Pairs(4, 25, 100)
+	if len(ps) != 100 {
+		t.Fatalf("len = %d, want full 100", len(ps))
+	}
+}

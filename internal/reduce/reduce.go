@@ -229,10 +229,24 @@ func GapCut(sorted []float64, opt GapOptions) int {
 // (figure 2b). r is the distance-value budget, n = len(sorted),
 // numPredicates the count of predicate windows.
 func Cut(sorted []float64, r, numPredicates int) int {
-	n := len(sorted)
+	return CutPrefix(sorted, len(sorted), r, numPredicates)
+}
+
+// CutPrefix is Cut generalized to a partially-materialized ranking:
+// prefix holds the smallest len(prefix) of n total sorted distances
+// (the selection path materializes only the display budget instead of
+// sorting all n values). The quantile count is computed from n; only
+// the gap heuristic reads values, and it never looks past roughly
+// 1.25× the display budget, so a prefix of that length yields exactly
+// the same cut as the full sort. A shorter prefix degrades gracefully
+// by clamping the examined margin.
+func CutPrefix(prefix []float64, n, r, numPredicates int) int {
+	if n > 0 && len(prefix) > n {
+		prefix = prefix[:n]
+	}
 	p := DisplayFraction(r, n, numPredicates)
 	k := QuantileCut(n, p)
-	if k <= 4 {
+	if k <= 4 || k > len(prefix) {
 		return k
 	}
 	// Examine the would-be displayed prefix plus some margin; if its
@@ -243,16 +257,19 @@ func Cut(sorted []float64, r, numPredicates int) int {
 	if margin > n {
 		margin = n
 	}
-	prefix := sorted[:margin]
-	span := prefix[len(prefix)-1] - prefix[0]
+	if margin > len(prefix) {
+		margin = len(prefix)
+	}
+	pre := prefix[:margin]
+	span := pre[len(pre)-1] - pre[0]
 	var maxGap float64
-	for i := 1; i < len(prefix); i++ {
-		if g := prefix[i] - prefix[i-1]; g > maxGap {
+	for i := 1; i < len(pre); i++ {
+		if g := pre[i] - pre[i-1]; g > maxGap {
 			maxGap = g
 		}
 	}
 	if span > 0 && maxGap > 0.25*span {
-		g := GapCut(sorted, GapOptions{RMin: maxInt(1, k/2), RMax: k})
+		g := GapCut(prefix, GapOptions{RMin: maxInt(1, k/2), RMax: k})
 		if g > 0 {
 			return g
 		}

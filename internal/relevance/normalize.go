@@ -9,7 +9,8 @@ package relevance
 
 import (
 	"math"
-	"sort"
+
+	"repro/internal/topk"
 )
 
 // Scale is the fixed normalization range upper bound; distances map to
@@ -65,14 +66,29 @@ func KeepCount(r, n int, w float64) int {
 // NaNs pass through (uncolorable); keep <= 0 means use every finite
 // value (the naive normalization, kept for the A1 ablation).
 func Normalize(dists []float64, keep int) Normalized {
-	finite := make([]float64, 0, len(dists))
+	// One scan finds the finite range and counts without materializing a
+	// filtered copy (the previous implementation built and fully sorted
+	// a copy of every finite value — the O(n log n) cost the paper calls
+	// the dominating one, plus an n-sized allocation per predicate).
+	nFinite, nNegInf := 0, 0
+	minFinite, maxFinite := math.Inf(1), math.Inf(-1)
 	for _, d := range dists {
-		if !math.IsNaN(d) && !math.IsInf(d, 0) {
-			finite = append(finite, d)
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			if math.IsInf(d, -1) {
+				nNegInf++
+			}
+			continue
+		}
+		nFinite++
+		if d < minFinite {
+			minFinite = d
+		}
+		if d > maxFinite {
+			maxFinite = d
 		}
 	}
 	out := Normalized{Scaled: make([]float64, len(dists))}
-	if len(finite) == 0 {
+	if nFinite == 0 {
 		for i, d := range dists {
 			if math.IsNaN(d) {
 				out.Scaled[i] = math.NaN()
@@ -84,12 +100,11 @@ func Normalize(dists []float64, keep int) Normalized {
 		}
 		return out
 	}
-	sort.Float64s(finite)
-	if keep <= 0 || keep > len(finite) {
-		keep = len(finite)
+	if keep <= 0 || keep > nFinite {
+		keep = nFinite
 	}
 	out.Kept = keep
-	out.DMin = finite[0]
+	out.DMin = minFinite
 	// Distances are non-negative with 0 meaning "exactly fulfilled";
 	// anchor the range at 0 so the yellow end of the colormap stays
 	// reserved for correct answers. Without this, a predicate nobody
@@ -100,7 +115,30 @@ func Normalize(dists []float64, keep int) Normalized {
 	if out.DMin > 0 {
 		out.DMin = 0
 	}
-	out.DMax = finite[keep-1]
+	// The normalization range only needs the keep-th smallest finite
+	// value, not a full sort of the vector. Three strategies, all
+	// returning the same order statistic: everything kept → the max from
+	// the scan; a small keep (the display-budget case) → a bounded
+	// max-heap streaming the vector in O(k) space; otherwise → an
+	// expected-O(n) quickselect over a scratch copy.
+	switch {
+	case keep >= nFinite:
+		out.DMax = maxFinite
+	case keep <= nFinite/8:
+		sel := topk.NewBounded(keep)
+		for _, d := range dists {
+			if !math.IsInf(d, 0) { // NaNs are ignored by Offer
+				sel.Offer(d)
+			}
+		}
+		out.DMax = sel.Threshold()
+	default:
+		// Threshold orders -Inf first and NaN/+Inf past the finite
+		// values, so the keep-th smallest finite value sits at rank
+		// keep + #(-Inf) of the unfiltered copy.
+		scratch := append([]float64(nil), dists...)
+		out.DMax = topk.Threshold(scratch, keep+nNegInf)
+	}
 	span := out.DMax - out.DMin
 	for i, d := range dists {
 		switch {

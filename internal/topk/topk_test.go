@@ -1,0 +1,176 @@
+package topk_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/reduce"
+	"repro/internal/topk"
+)
+
+// randomDists generates adversarial inputs: duplicates, NaNs, ±Inf,
+// signed zeros and plain random values.
+func randomDists(rng *rand.Rand, n int) []float64 {
+	d := make([]float64, n)
+	for i := range d {
+		switch rng.Intn(12) {
+		case 0:
+			d[i] = math.NaN()
+		case 1:
+			d[i] = math.Inf(1)
+		case 2:
+			d[i] = math.Inf(-1)
+		case 3:
+			d[i] = 0
+		case 4:
+			d[i] = math.Copysign(0, -1)
+		case 5, 6, 7:
+			d[i] = float64(rng.Intn(5)) // heavy duplicates
+		default:
+			d[i] = rng.NormFloat64() * 100
+		}
+	}
+	return d
+}
+
+func sameFloat(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+// Property: SelectKWithIndex agrees with reduce.SortWithIndex on the
+// first k entries — values and indices — for any k, including inputs
+// with NaN, ±Inf and duplicate distances.
+func TestSelectKWithIndexMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(300)
+		dists := randomDists(rng, n)
+		k := rng.Intn(n + 2) // occasionally k > n
+		orig := append([]float64(nil), dists...)
+
+		sorted, sortIdx := reduce.SortWithIndex(dists)
+		vals, idx := topk.SelectKWithIndex(dists, k)
+
+		for i, v := range dists { // input must be untouched
+			if !sameFloat(v, orig[i]) {
+				t.Fatalf("trial %d: input mutated at %d", trial, i)
+			}
+		}
+		if len(vals) != n || len(idx) != n {
+			t.Fatalf("trial %d: got lengths %d/%d, want %d", trial, len(vals), len(idx), n)
+		}
+		kk := k
+		if kk > n {
+			kk = n
+		}
+		for i := 0; i < kk; i++ {
+			if idx[i] != sortIdx[i] {
+				t.Fatalf("trial %d (n=%d k=%d): idx[%d] = %d, sort gives %d",
+					trial, n, k, i, idx[i], sortIdx[i])
+			}
+			if !sameFloat(vals[i], sorted[i]) {
+				t.Fatalf("trial %d: vals[%d] = %v, sort gives %v", trial, i, vals[i], sorted[i])
+			}
+		}
+		// The remainder must still be a permutation of [0, n).
+		seen := make([]bool, n)
+		for _, j := range idx {
+			if j < 0 || j >= n || seen[j] {
+				t.Fatalf("trial %d: idx is not a permutation", trial)
+			}
+			seen[j] = true
+			if !sameFloat(vals[0], dists[idx[0]]) {
+				t.Fatalf("trial %d: vals disagree with permutation", trial)
+			}
+		}
+		for i := range vals {
+			if !sameFloat(vals[i], dists[idx[i]]) {
+				t.Fatalf("trial %d: vals[%d] != dists[idx[%d]]", trial, i, i)
+			}
+		}
+	}
+}
+
+// Property: SelectK equals the sorted prefix.
+func TestSelectKMatchesSortedPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(200)
+		dists := randomDists(rng, n)
+		k := rng.Intn(n + 2)
+		sorted, _ := reduce.SortWithIndex(dists)
+		got := topk.SelectK(dists, k)
+		kk := k
+		if kk > n {
+			kk = n
+		}
+		if len(got) != kk {
+			t.Fatalf("trial %d: len %d, want %d", trial, len(got), kk)
+		}
+		for i := range got {
+			if !sameFloat(got[i], sorted[i]) {
+				t.Fatalf("trial %d: SelectK[%d] = %v, want %v", trial, i, got[i], sorted[i])
+			}
+		}
+	}
+}
+
+// Property: Threshold returns exactly sorted[k-1].
+func TestThresholdMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(250)
+		dists := randomDists(rng, n)
+		k := 1 + rng.Intn(n)
+		sorted, _ := reduce.SortWithIndex(dists)
+		got := topk.Threshold(append([]float64(nil), dists...), k)
+		if !sameFloat(got, sorted[k-1]) {
+			t.Fatalf("trial %d (n=%d k=%d): Threshold = %v, want %v", trial, n, k, got, sorted[k-1])
+		}
+	}
+}
+
+func TestThresholdEdgeCases(t *testing.T) {
+	if !math.IsNaN(topk.Threshold(nil, 1)) {
+		t.Fatal("empty slice must yield NaN")
+	}
+	if got := topk.Threshold([]float64{3}, 0); got != 3 {
+		t.Fatalf("k clamps to 1: got %v", got)
+	}
+	if got := topk.Threshold([]float64{5, 1}, 99); got != 5 {
+		t.Fatalf("k clamps to n: got %v", got)
+	}
+	allNaN := []float64{math.NaN(), math.NaN()}
+	if !math.IsNaN(topk.Threshold(allNaN, 1)) {
+		t.Fatal("all-NaN input must yield NaN")
+	}
+	mixed := []float64{math.NaN(), 2, math.Inf(-1)}
+	if got := topk.Threshold(append([]float64(nil), mixed...), 2); got != 2 {
+		t.Fatalf("NaNs sort last: got %v", got)
+	}
+	if got := topk.Threshold(append([]float64(nil), mixed...), 1); !math.IsInf(got, -1) {
+		t.Fatalf("-Inf sorts first: got %v", got)
+	}
+	if got := topk.Threshold(append([]float64(nil), mixed...), 3); !math.IsNaN(got) {
+		t.Fatal("third of [NaN 2 -Inf] is NaN")
+	}
+}
+
+func TestSelectKZeroAndFull(t *testing.T) {
+	dists := []float64{4, 2, math.NaN(), 1}
+	if got := topk.SelectK(dists, 0); got != nil {
+		t.Fatalf("k=0 must be nil, got %v", got)
+	}
+	full := topk.SelectK(dists, 10)
+	want := []float64{1, 2, 4, math.NaN()}
+	for i := range want {
+		if !sameFloat(full[i], want[i]) {
+			t.Fatalf("full selection mismatch at %d: %v vs %v", i, full[i], want[i])
+		}
+	}
+	vals, idx := topk.SelectKWithIndex(dists, 2)
+	if idx[0] != 3 || idx[1] != 1 || vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("unexpected top-2: vals=%v idx=%v", vals[:2], idx[:2])
+	}
+}

@@ -28,6 +28,17 @@
 // color-range projection, drill-down), open a Session. For synthetic
 // workloads matching the paper's scenarios, see the Environmental,
 // CADParts and MultiDB generators.
+//
+// # Performance options
+//
+// By default the engine ranks with a top-k selection rather than the
+// full sort the paper describes as the dominating cost: only the
+// display budget (GridW×GridH plus the gap-heuristic margin) is ever
+// materialized in order, in expected O(n) time. Set Options.FullSort
+// for an exact full ranking (the A-series ablations and exact quantile
+// statistics), and Options.Workers to bound the worker pool that
+// chunks per-predicate distance computation (0 selects GOMAXPROCS;
+// parallel and serial runs are bit-identical).
 package visdb
 
 import (

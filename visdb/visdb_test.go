@@ -175,3 +175,46 @@ func TestPublicAPICustomDistance(t *testing.T) {
 		t.Fatalf("custom distance results: %d", res.Stats().NumResults)
 	}
 }
+
+// TestPublicAPIWorkersAndFullSort exercises the performance options
+// through the public API: FullSort and the default selection ranking
+// must agree on the display, and Workers must not change results.
+func TestPublicAPIWorkersAndFullSort(t *testing.T) {
+	cat := visdb.NewCatalog()
+	tbl, err := visdb.NewTable("T", visdb.Schema{{Name: "x", Kind: visdb.KindFloat}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := tbl.AppendRow(visdb.Float(float64(i % 977))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cat.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	sql := `SELECT x FROM T WHERE x BETWEEN 100 AND 200`
+	var ref *visdb.Result
+	for _, opt := range []visdb.Options{
+		{GridW: 8, GridH: 8, Workers: 1},
+		{GridW: 8, GridH: 8, Workers: 4},
+		{GridW: 8, GridH: 8, Workers: 4, FullSort: true},
+	} {
+		res, err := visdb.NewEngine(cat, opt).RunSQL(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.Displayed != ref.Displayed {
+			t.Fatalf("Displayed diverged: %d vs %d (opt %+v)", res.Displayed, ref.Displayed, opt)
+		}
+		for i, it := range res.TopK(res.Displayed) {
+			if it != ref.Order[i] {
+				t.Fatalf("rank %d diverged (opt %+v)", i, opt)
+			}
+		}
+	}
+}
