@@ -24,6 +24,7 @@ import (
 	"repro/internal/reduce"
 	"repro/internal/relevance"
 	"repro/internal/render"
+	"repro/internal/session"
 	"repro/internal/topk"
 )
 
@@ -211,6 +212,164 @@ func BenchmarkScaling(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Interactive loop: incremental reruns ----------------------------
+
+// interactTable builds the n-row three-attribute table the interaction
+// benchmarks share.
+func interactCatalog(b *testing.B, n int) *dataset.Catalog {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	tbl, err := dataset.NewTable("S", dataset.Schema{
+		{Name: "a", Kind: dataset.KindFloat},
+		{Name: "b", Kind: dataset.KindFloat},
+		{Name: "c", Kind: dataset.KindFloat},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := tbl.AppendRow(
+			dataset.Float(rng.Float64()*100),
+			dataset.Float(rng.Float64()*100),
+			dataset.Float(rng.Float64()*100),
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cat := dataset.NewCatalog()
+	if err := cat.AddTable(tbl); err != nil {
+		b.Fatal(err)
+	}
+	return cat
+}
+
+const interactQuery = `SELECT a FROM S WHERE a > 50 AND b < 40 OR c BETWEEN 20 AND 30`
+
+// stringCatalog builds an n-row person table for the approximate-match
+// workloads: edit-distance predicates are the paper's "complex distance
+// functions" whose recomputation cost motivates both the
+// auto-recalculate-off escape hatch and the session cache.
+func stringCatalog(b *testing.B, n int) *dataset.Catalog {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	tbl, err := dataset.NewTable("P", dataset.Schema{
+		{Name: "name", Kind: dataset.KindString},
+		{Name: "city", Kind: dataset.KindString},
+		{Name: "age", Kind: dataset.KindInt},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := []string{"miller", "smith", "meier", "schmidt", "maier", "mueller", "smythe", "schmitt"}
+	cities := []string{"munich", "berlin", "hamburg", "bremen", "cologne", "dresden"}
+	for i := 0; i < n; i++ {
+		if err := tbl.AppendRow(
+			dataset.Str(names[rng.Intn(len(names))]),
+			dataset.Str(cities[rng.Intn(len(cities))]),
+			dataset.Int(int64(18+rng.Intn(60))),
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cat := dataset.NewCatalog()
+	if err := cat.AddTable(tbl); err != nil {
+		b.Fatal(err)
+	}
+	return cat
+}
+
+const stringQuery = `SELECT name FROM P WHERE name = 'meyer' USING edit AND city = 'muenchen' USING edit AND age BETWEEN 30 AND 40`
+
+// reweightWorkload runs one cold/warm pair: a fresh Engine.Run per
+// weight change versus the session's cached Recalculate.
+func reweightWorkload(b *testing.B, cat *dataset.Catalog, opt core.Options, sql string) {
+	b.Run("cold", func(b *testing.B) {
+		q, err := query.Parse(sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := core.New(cat, nil, opt)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			query.Predicates(q.Where)[0].SetWeight(float64(2 + i%2))
+			if _, err := eng.Run(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s, err := session.NewSQL(cat, nil, opt, sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pred := query.Predicates(s.Query().Where)[0]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Alternate so every iteration is a real change (no-op
+			// drags skip recalculation entirely).
+			if err := s.SetWeight(pred, float64(2+i%2)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkReweight is the section 5.2 weighting-slider loop at
+// n = 1e6 across three workloads: cheap numeric predicates (the cache's
+// worst case — leaf recomputation never dominated), the paper query
+// over a ~1e6-pair approximate join, and edit-distance predicates (the
+// "complex distance functions" the paper's auto-recalculate-off option
+// existed for). The warm side serves every leaf vector — and its
+// normalization quantiles — from the session cache and writes into
+// pooled buffers; cached and cold results are bit-identical
+// (TestInteractionScriptMatchesFreshEngine and the core cache tests).
+func BenchmarkReweight(b *testing.B) {
+	const n = 1_000_000
+	opt := core.Options{GridW: 128, GridH: 128}
+	b.Run("numeric", func(b *testing.B) {
+		reweightWorkload(b, interactCatalog(b, n), opt, interactQuery)
+	})
+	b.Run("join", func(b *testing.B) {
+		cat, _, err := datagen.Environmental(datagen.EnvConfig{
+			Hours: 10900, PollutionEvery: 119, OffsetMinutes: 0, Seed: 1994,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reweightWorkload(b, cat, opt, paperQuery) // ~1e6 cross-product pairs
+	})
+	b.Run("strings", func(b *testing.B) {
+		reweightWorkload(b, stringCatalog(b, n), opt, stringQuery)
+	})
+}
+
+// BenchmarkSliderDrag is the range-slider drag at n = 1e6: each step
+// recomputes exactly the dragged predicate's leaf (the numeric age
+// slider) and serves the two edit-distance leaves from the cache — the
+// figure-4 drag loop over the expensive-predicate workload.
+func BenchmarkSliderDrag(b *testing.B) {
+	const n = 1_000_000
+	cat := stringCatalog(b, n)
+	opt := core.Options{GridW: 128, GridH: 128}
+	s, err := session.NewSQL(cat, nil, opt, stringQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := s.FindCond("age")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.SetRange(c, float64(25+i%10), float64(45+i%10)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -35,4 +35,35 @@
 //     per-predicate distance computation across rows and sibling
 //     predicates (0 → GOMAXPROCS). Parallel and serial runs produce
 //     bit-identical results.
+//
+// # Incremental feedback loop
+//
+// The paper's interactivity (section 4.3) is a tight modify-recompute
+// loop: drag a slider, recompute, repaint. Two layers make the
+// recompute incremental while staying bit-identical to a cold run:
+//
+//   - core.RunCache (used by every session, or explicitly via
+//     Engine.RunCached) caches per-predicate leaf distance vectors
+//     across reruns, keyed by the condition's structural signature —
+//     table, attribute, operator, literals, distance function, but NOT
+//     the weighting factor. A weight-only rerun recomputes no
+//     distances; a single-slider drag recomputes exactly one leaf.
+//     Hot leaves additionally get a sorted quantile index so the
+//     reduction-first normalization range for any weight is O(1).
+//     Keys embed table row counts, so entries never serve stale data;
+//     invalidation (per-condition on range edits, pruning on query
+//     replacement, an LRU cap) only bounds memory.
+//   - relevance.Evaluate is a chunk-fused evaluator: normalization
+//     ranges come from cheap scans and selections, then one chunked
+//     pass per tree level scales children (leaf chunks in L1-resident
+//     scratch), combines them, and folds range statistics — instead of
+//     ~7 O(n) passes with an n-sized allocation per node. Output
+//     buffers are pooled across reruns, and per-predicate window
+//     vectors materialize lazily (windows only read the displayed
+//     items). The pooling contract: a session Result is valid until
+//     the next recalculation.
+//
+// BenchmarkReweight and BenchmarkSliderDrag track the interactive
+// latencies across cheap-numeric, approximate-join and edit-distance
+// workloads at n = 1e6.
 package repro

@@ -58,7 +58,7 @@ func main() {
 			kind = ">>> the near-miss part boolean retrieval lost <<<"
 		}
 		fmt.Printf("  rank %2d: part %4d  relevance %.4f  %s\n",
-			rank, item, res.Relevance[item], kind)
+			rank, item, res.Relevance()[item], kind)
 	}
 
 	img, err := res.Image(7)

@@ -66,7 +66,7 @@ func main() {
 			marker = "  (true match)"
 		}
 		fmt.Printf("  %-14s %-6s ~ %-14s %-6s  relevance %.3f%s\n",
-			an, ay, bn, by, res.Relevance[item], marker)
+			an, ay, bn, by, res.Relevance()[item], marker)
 	}
 
 	img, err := res.Image(3)

@@ -61,7 +61,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("  relevance %.3f: %s, %s\n",
-			res.Relevance[item], tup.Rows[0][0], tup.Rows[0][1])
+			res.Relevance()[item], tup.Rows[0][0], tup.Rows[0][1])
 	}
 
 	img, err := res.Image(3)

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/query"
+	"repro/internal/relevance"
+)
+
+// RunCache is the reuse layer of the incremental feedback loop: it
+// caches per-predicate leaf distance vectors across Engine.RunCached
+// calls and pools the evaluation buffers those runs write into.
+//
+// Entries are keyed by a structural signature of the leaf — table,
+// attribute, operator, literals and distance function, but NOT the
+// weighting factor — so a weight-only rerun (the section 5.2 slider
+// interaction) recomputes nothing below the combination stage, and a
+// single-slider range drag recomputes exactly the one leaf whose
+// literals changed. Since the signature captures every input of the
+// leaf computation (the catalog is immutable while an engine uses it),
+// entries never go stale; invalidation (InvalidateCond, Prune, the LRU
+// cap) exists to bound memory during slider storms, not for
+// correctness.
+//
+// A RunCache is safe for the concurrent leaf builds within one run, but
+// at most one RunCached call may use it at a time, and a Result
+// produced with a RunCache is only valid until the next successful
+// RunCached on the same cache (whose evaluation recycles the buffers).
+// Sessions — one user, one interaction loop — are exactly that shape.
+// All runs sharing a cache must use the same catalog and distance
+// registry: the keys fingerprint table names and row counts, not cell
+// contents or registered function identities.
+type RunCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	gen     uint64
+	// Cumulative and per-run lookup accounting (tests and the
+	// StageTimings attribution).
+	hits, misses       uint64
+	runHits, runMisses int
+	// Buffer pools for the evaluation output vectors and the ranking's
+	// index permutation. free holds reusable buffers; lent the ones
+	// handed out since the current run began; live the ones belonging
+	// to the last successful run's Result (recycled only once a newer
+	// run SUCCEEDS, so a failed rerun never corrupts the Result a
+	// session keeps serving on error).
+	free, lent, live          [][]float64
+	intFree, intLent, intLive [][]int
+}
+
+// maxCacheEntries bounds the cache so pathological interaction scripts
+// (e.g. a slider sweep over hundreds of distinct ranges with
+// auto-recalculate on) stay within a constant factor of the working
+// set. 64 entries comfortably covers the paper's interfaces (a handful
+// of predicates, each with its current and a few recent ranges).
+const maxCacheEntries = 64
+
+// cacheEntry is one cached leaf. Exactly one of pd (simple conditions)
+// and dists (join, boolean-negation and subquery leaves) is set.
+type cacheEntry struct {
+	pd    *predicateData
+	dists []float64
+	// quant is the sorted quantile index over the leaf's distances,
+	// built on the entry's first hit: a leaf that recurs across reruns
+	// is hot, and the one-time O(n log n) sort buys O(1) normalization
+	// ranges for every subsequent weighting change.
+	quant *relevance.LeafQuantiles
+	// attr is the condition's attribute as written in the query (empty
+	// for non-condition leaves) — the handle for per-condition
+	// invalidation.
+	attr string
+	// label is the leaf's structural label — the handle Prune matches
+	// against the conditions of a replacement query.
+	label string
+	// used is the generation of the last run that hit or stored the
+	// entry (LRU eviction order).
+	used uint64
+}
+
+// NewRunCache creates an empty cache.
+func NewRunCache() *RunCache {
+	return &RunCache{entries: make(map[string]*cacheEntry)}
+}
+
+// beginRun starts a new run: per-run counters reset, and buffers
+// handed out since the last run ended (lazy window materializations of
+// the live Result) join the live set.
+func (c *RunCache) beginRun() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.runHits, c.runMisses = 0, 0
+	c.live = append(c.live, c.lent...)
+	c.lent = c.lent[:0]
+	c.intLive = append(c.intLive, c.intLent...)
+	c.intLent = c.intLent[:0]
+}
+
+// endRun finishes a run. On success the previous Result is superseded:
+// its buffers return to the pool and this run's become the live set.
+// On failure this run's (possibly partially written) buffers return to
+// the pool and the live Result's stay untouched — a session that keeps
+// serving its old Result after a failed Recalculate stays consistent.
+// Steady state therefore retains two buffer generations (live plus
+// free), the usual double-buffering cost.
+func (c *RunCache) endRun(ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ok {
+		c.free = append(c.free, c.live...)
+		c.live = append(c.live[:0], c.lent...)
+		c.intFree = append(c.intFree, c.intLive...)
+		c.intLive = append(c.intLive[:0], c.intLent...)
+	} else {
+		c.free = append(c.free, c.lent...)
+		c.intFree = append(c.intFree, c.intLent...)
+	}
+	c.lent = c.lent[:0]
+	c.intLent = c.intLent[:0]
+}
+
+// evictLocked drops least-recently-used entries beyond the cap; called
+// with the mutex held after every store. Entries stored by the current
+// run carry the current generation and therefore go last.
+func (c *RunCache) evictLocked() {
+	for len(c.entries) > maxCacheEntries {
+		var oldestKey string
+		var oldest uint64
+		first := true
+		for k, e := range c.entries {
+			if first || e.used < oldest || (e.used == oldest && k < oldestKey) {
+				oldestKey, oldest, first = k, e.used, false
+			}
+		}
+		delete(c.entries, oldestKey)
+	}
+}
+
+// runStats returns the current run's lookup counts.
+func (c *RunCache) runStats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runHits, c.runMisses
+}
+
+// Stats returns the cumulative hit/miss counts.
+func (c *RunCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached leaves.
+func (c *RunCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// condHit looks up a cached condition. needSigned misses entries
+// computed without signed distances (a cache shared across arrangement
+// modes never serves a 2D run a spiral-era vector).
+func (c *RunCache) condHit(key string, needSigned bool) (*predicateData, *relevance.LeafQuantiles, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok || e.pd == nil || (needSigned && e.pd.Signed == nil) {
+		c.misses++
+		c.runMisses++
+		c.mu.Unlock()
+		return nil, nil, false
+	}
+	c.hits++
+	c.runHits++
+	e.used = c.gen
+	pd, quant := e.pd, e.quant
+	c.mu.Unlock()
+	if quant == nil {
+		quant = c.buildQuantiles(key, pd.Raw)
+	}
+	return pd, quant, true
+}
+
+// buildQuantiles sorts a hot leaf's quantile index OUTSIDE the mutex —
+// the O(n log n) build must not serialize the sibling leaf builds that
+// share the cache — then attaches it to the entry. Two racing builders
+// do redundant work; both results are identical and either may win.
+func (c *RunCache) buildQuantiles(key string, dists []float64) *relevance.LeafQuantiles {
+	q := relevance.BuildLeafQuantiles(dists)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		if e.quant != nil {
+			return e.quant
+		}
+		e.quant = q
+	}
+	return q
+}
+
+// condStore records a computed condition.
+func (c *RunCache) condStore(key, attr, label string, pd *predicateData) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = &cacheEntry{pd: pd, attr: attr, label: label, used: c.gen}
+	c.evictLocked()
+}
+
+// leafHit looks up a cached non-condition leaf vector.
+func (c *RunCache) leafHit(key string) ([]float64, *relevance.LeafQuantiles, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok || e.dists == nil {
+		c.misses++
+		c.runMisses++
+		c.mu.Unlock()
+		return nil, nil, false
+	}
+	c.hits++
+	c.runHits++
+	e.used = c.gen
+	dists, quant := e.dists, e.quant
+	c.mu.Unlock()
+	if quant == nil {
+		quant = c.buildQuantiles(key, dists)
+	}
+	return dists, quant, true
+}
+
+// leafStore records a computed non-condition leaf. attr carries the
+// owning condition's attribute when the leaf is a boolean-negation
+// fallback of a simple condition (so range edits invalidate it too).
+func (c *RunCache) leafStore(key, attr, label string, dists []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = &cacheEntry{dists: dists, attr: attr, label: label, used: c.gen}
+	c.evictLocked()
+}
+
+// alloc hands out an n-sized evaluation buffer, reusing the pool when a
+// matching length is free. Buffers are fully overwritten by the
+// evaluator before any read, so no zeroing happens here.
+func (c *RunCache) alloc(n int) []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(c.free) - 1; i >= 0; i-- {
+		if len(c.free[i]) == n {
+			b := c.free[i]
+			c.free = append(c.free[:i], c.free[i+1:]...)
+			c.lent = append(c.lent, b)
+			return b
+		}
+	}
+	b := make([]float64, n)
+	c.lent = append(c.lent, b)
+	return b
+}
+
+// allocInt is alloc for int slices (the ranking's index permutation).
+func (c *RunCache) allocInt(n int) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(c.intFree) - 1; i >= 0; i-- {
+		if len(c.intFree[i]) == n {
+			b := c.intFree[i]
+			c.intFree = append(c.intFree[:i], c.intFree[i+1:]...)
+			c.intLent = append(c.intLent, b)
+			return b
+		}
+	}
+	b := make([]int, n)
+	c.intLent = append(c.intLent, b)
+	return b
+}
+
+// InvalidateCond drops the entries derived from exactly this condition
+// in its CURRENT form (matched structurally by attribute and label) —
+// the session calls it right before a slider drag supersedes a range,
+// so the storm of a continuous drag does not pile up one entry per
+// intermediate position. Entries of other conditions that merely share
+// the attribute (a second predicate on the same column, a same-named
+// column of another table) are untouched: invalidation is memory
+// management, and a drag must keep recomputing exactly one leaf.
+func (c *RunCache) InvalidateCond(cond *query.Cond) {
+	if cond == nil {
+		return
+	}
+	label := cond.Label()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		if e.attr != "" && e.attr == cond.Attr && e.label == label {
+			delete(c.entries, k)
+		}
+	}
+}
+
+// Prune drops entries no longer reachable from q — the per-condition
+// invalidation for whole-query replacement (SetQuery) and Undo.
+// Condition entries survive when their attribute still appears in some
+// condition of q (a restored query re-hits them); join and subquery
+// entries survive by structural label.
+func (c *RunCache) Prune(q *query.Query) {
+	if q == nil {
+		c.Clear()
+		return
+	}
+	attrs := make(map[string]bool)
+	labels := make(map[string]bool)
+	query.Walk(q.Where, func(e query.Expr) {
+		switch n := e.(type) {
+		case *query.Cond:
+			attrs[n.Attr] = true
+		case *query.JoinExpr:
+			labels[n.Label()] = true
+		case *query.SubqueryExpr:
+			labels[n.Label()] = true
+		}
+	})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		if e.attr != "" {
+			if !attrs[e.attr] {
+				delete(c.entries, k)
+			}
+			continue
+		}
+		if !labels[e.label] {
+			delete(c.entries, k)
+		}
+	}
+}
+
+// Clear drops every entry (the buffer pool is kept: buffer reuse is
+// keyed only by vector length).
+func (c *RunCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*cacheEntry)
+}
+
+// spaceSig fingerprints the item space a leaf vector was computed over:
+// table identities and row counts (and the cross-product cap), so a
+// catalog mutated between runs — rows appended to a table — can never
+// serve stale vectors.
+func (e *Engine) spaceSig(space *itemSpace) string {
+	if space.pairs == nil {
+		t := space.tables[0]
+		return fmt.Sprintf("T:%s:%d", t.Name(), t.NumRows())
+	}
+	lt, rt := space.tables[0], space.tables[1]
+	return fmt.Sprintf("P:%s:%d:%s:%d:%d", lt.Name(), lt.NumRows(), rt.Name(), rt.NumRows(), e.opt.MaxPairs)
+}

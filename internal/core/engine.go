@@ -67,6 +67,10 @@ type StageTimings struct {
 	Select    time.Duration
 	Reduce    time.Duration
 	Total     time.Duration
+	// CacheHits and CacheMisses attribute the Distances stage of a
+	// RunCached run: how many leaf vectors were served from the session
+	// cache versus recomputed. Both are zero for uncached runs.
+	CacheHits, CacheMisses int
 }
 
 // Run executes q: bind, compute per-predicate distances, combine, rank,
@@ -74,6 +78,25 @@ type StageTimings struct {
 // the per-window normalized distances, the stats-panel numbers and the
 // per-stage timings.
 func (e *Engine) Run(q *query.Query) (*Result, error) {
+	return e.RunCached(q, nil)
+}
+
+// RunCached executes q like Run, but reuses cache across calls: leaf
+// distance vectors whose structural signature is unchanged are served
+// from the cache instead of recomputed, and the evaluation stage writes
+// into buffers pooled in the cache instead of allocating. A weight-only
+// rerun recomputes nothing below the combination stage; a single-slider
+// range drag recomputes exactly one leaf. Cached runs are bit-identical
+// to cold ones.
+//
+// The pooling has a sharp edge: each RunCached call recycles the
+// evaluation buffers of the previous call on the same cache, so a
+// Result is only valid until the next RunCached with that cache, and a
+// cache must not serve concurrent runs. Sessions (one user, one
+// interaction loop) use it via Session.Recalculate; use Run for
+// concurrent or long-lived results. A nil cache makes RunCached
+// identical to Run.
+func (e *Engine) RunCached(q *query.Query, cache *RunCache) (*Result, error) {
 	start := time.Now()
 	b, err := query.Bind(q, e.cat)
 	if err != nil {
@@ -92,6 +115,16 @@ func (e *Engine) Run(q *query.Query) (*Result, error) {
 		nodeOf:  make(map[query.Expr]*relevance.Node),
 		preds:   make(map[*query.Cond]*predicateData),
 	}
+	runOK := false
+	if cache != nil {
+		cache.beginRun()
+		// A failed run must not recycle the buffers of the previous
+		// (still live) Result; endRun(false) returns only this run's
+		// buffers to the pool.
+		defer func() { cache.endRun(runOK) }()
+		res.cache = cache
+		res.cacheSig = e.spaceSig(space)
+	}
 	res.Timings.Bind = time.Since(start)
 	mark := time.Now()
 	root, err := e.buildTree(q.Where, b, space, res, e.opt.Workers)
@@ -100,23 +133,31 @@ func (e *Engine) Run(q *query.Query) (*Result, error) {
 	}
 	res.root = root
 	res.Timings.Distances = time.Since(mark)
+	if cache != nil {
+		res.Timings.CacheHits, res.Timings.CacheMisses = cache.runStats()
+	}
 	mark = time.Now()
 	budget := e.opt.GridW * e.opt.GridH
-	eval, err := relevance.Evaluate(root, space.n, relevance.EvalOptions{
+	evalOpts := relevance.EvalOptions{
 		Budget:         budget,
 		Mode:           e.opt.Mode,
 		NaiveNormalize: e.opt.NaiveNormalize,
 		And:            e.opt.And,
 		LpP:            e.opt.LpP,
 		Parallel:       e.opt.Parallel,
-	})
+		Workers:        e.opt.Workers,
+	}
+	if cache != nil {
+		evalOpts.Alloc = cache.alloc
+		evalOpts.LazyLeaves = true
+	}
+	eval, err := relevance.Evaluate(root, space.n, evalOpts)
 	if err != nil {
 		return nil, err
 	}
 	res.Timings.Evaluate = time.Since(mark)
 	res.Eval = eval
 	res.Combined = eval.Combined
-	res.Relevance = relevance.RelevanceFactors(eval.Combined)
 	numPreds := len(query.Predicates(q.Where))
 	mark = time.Now()
 	// NaN (uncolorable) items never display.
@@ -132,8 +173,15 @@ func (e *Engine) Run(q *query.Query) (*Result, error) {
 		// Selection path: only GridW×GridH·(numPreds+1) values are ever
 		// displayed, so select and sort just the display budget (plus the
 		// margin the gap heuristic inspects) in expected O(n) time.
+		// Cached runs rank into pooled buffers (identical output).
 		k := e.selectBudget(space.n)
-		sorted, order := topk.SelectKWithIndex(eval.Combined, k)
+		var sorted []float64
+		var order []int
+		if cache != nil {
+			sorted, order = topk.SelectKWithIndexInto(eval.Combined, k, cache.alloc(space.n), cache.allocInt(space.n))
+		} else {
+			sorted, order = topk.SelectKWithIndex(eval.Combined, k)
+		}
 		res.sorted, res.Order, res.rankedK = sorted, order, k
 		res.Timings.Select = time.Since(mark)
 	}
@@ -142,6 +190,7 @@ func (e *Engine) Run(q *query.Query) (*Result, error) {
 	res.buildPlacement()
 	res.Timings.Reduce = time.Since(mark)
 	res.Timings.Total = time.Since(start)
+	runOK = true
 	return res, nil
 }
 
@@ -266,11 +315,28 @@ func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, r
 				return e.booleanLeaf(n, b, space, res, true, workers)
 			}
 		}
-		pd, err := e.condData(c, b, space, workers)
-		if err != nil {
-			return nil, err
+		// The cache key is the condition's structural signature: bound
+		// table.attr plus Label (operator, literals, distance function —
+		// Label excludes the weighting factor by construction), so
+		// weight-only reruns hit unconditionally.
+		var key string
+		var pd *predicateData
+		var quant *relevance.LeafQuantiles
+		if res.cache != nil {
+			key = "C|" + res.cacheSig + "|" + b.Attrs[c].Qualified() + "|" + c.Label()
+			pd, quant, _ = res.cache.condHit(key, e.opt.Arrangement == Arrange2D)
 		}
-		node := &relevance.Node{Op: relevance.Leaf, Label: expr.Label(), Weight: expr.Weight(), Dists: pd.Raw}
+		if pd == nil {
+			var err error
+			pd, err = e.condData(c, b, space, workers)
+			if err != nil {
+				return nil, err
+			}
+			if res.cache != nil {
+				res.cache.condStore(key, c.Attr, c.Label(), pd)
+			}
+		}
+		node := &relevance.Node{Op: relevance.Leaf, Label: expr.Label(), Weight: expr.Weight(), Dists: pd.Raw, Quantiles: quant}
 		res.setNode(expr, node)
 		if orig, ok := expr.(*query.Cond); ok {
 			res.setPred(orig, pd)
@@ -342,6 +408,15 @@ func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, r
 		if !ok {
 			return nil, fmt.Errorf("core: join %q not bound", n.Connection)
 		}
+		var key string
+		if res.cache != nil {
+			key = fmt.Sprintf("J|%s|%s|neg=%v", res.cacheSig, n.Label(), negated)
+			if dists, quant, ok := res.cache.leafHit(key); ok {
+				node := &relevance.Node{Op: relevance.Leaf, Label: expr.Label(), Weight: n.Weight(), Dists: dists, Quantiles: quant}
+				res.setNode(expr, node)
+				return node, nil
+			}
+		}
 		var dists []float64
 		var err error
 		if space.pairs == nil {
@@ -373,6 +448,11 @@ func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, r
 					dists[i] = 0
 				}
 			}
+		}
+		if res.cache != nil {
+			// Stored after the negation rewrite (the key carries the
+			// negation flag), so cached vectors are never re-mutated.
+			res.cache.leafStore(key, "", n.Label(), dists)
 		}
 		node := &relevance.Node{Op: relevance.Leaf, Label: expr.Label(), Weight: n.Weight(), Dists: dists}
 		res.setNode(expr, node)
@@ -429,6 +509,19 @@ func reverseConnection(c dataset.Connection) dataset.Connection {
 // "no distance values may be obtained and hence no coloring is
 // possible" for negations (section 4.4).
 func (e *Engine) booleanLeaf(c *query.Cond, b *query.Binding, space *itemSpace, res *Result, negate bool, workers int) (*relevance.Node, error) {
+	label := c.Label()
+	if negate {
+		label = "NOT " + label
+	}
+	var key string
+	if res.cache != nil {
+		key = fmt.Sprintf("B|%s|%s", res.cacheSig, label)
+		if dists, quant, ok := res.cache.leafHit(key); ok {
+			node := &relevance.Node{Op: relevance.Leaf, Label: label, Weight: c.Weight(), Dists: dists, Quantiles: quant}
+			res.setNode(c, node)
+			return node, nil
+		}
+	}
 	dists := make([]float64, space.n)
 	if err := parallelFor(space.n, workers, itemChunk, func(from, to int) error {
 		for i := from; i < to; i++ {
@@ -449,9 +542,8 @@ func (e *Engine) booleanLeaf(c *query.Cond, b *query.Binding, space *itemSpace, 
 	}); err != nil {
 		return nil, err
 	}
-	label := c.Label()
-	if negate {
-		label = "NOT " + label
+	if res.cache != nil {
+		res.cache.leafStore(key, c.Attr, c.Label(), dists)
 	}
 	node := &relevance.Node{Op: relevance.Leaf, Label: label, Weight: c.Weight(), Dists: dists}
 	res.setNode(c, node)
@@ -467,6 +559,22 @@ func (e *Engine) subqueryNode(sq *query.SubqueryExpr, b *query.Binding, space *i
 	subBinding, ok := b.Subs[sq]
 	if !ok {
 		return nil, fmt.Errorf("core: subquery not bound")
+	}
+	// The subquery leaf caches on the full rendered subquery (String
+	// keeps inner weighting factors, which DO change the inner combined
+	// distances and hence this leaf's vector) plus the engine options
+	// the inner evaluation depends on (budget and combine mode), so a
+	// cache shared across differently-configured engines never serves a
+	// stale vector.
+	var key string
+	if res.cache != nil {
+		key = fmt.Sprintf("S|%s|%d|%d|%s|neg=%v", res.cacheSig,
+			e.opt.GridW*e.opt.GridH, e.opt.Mode, sq.String(), negated)
+		if dists, quant, ok := res.cache.leafHit(key); ok {
+			node := &relevance.Node{Op: relevance.Leaf, Label: sq.Label(), Weight: sq.Weight(), Dists: dists, Quantiles: quant}
+			res.setNode(sq, node)
+			return node, nil
+		}
 	}
 	if len(sq.Sub.From) != 1 {
 		return nil, fmt.Errorf("core: subqueries over %d tables unsupported", len(sq.Sub.From))
@@ -562,6 +670,9 @@ func (e *Engine) subqueryNode(sq *query.SubqueryExpr, b *query.Binding, space *i
 				dists[i] = math.NaN()
 			}
 		}
+	}
+	if res.cache != nil {
+		res.cache.leafStore(key, "", sq.Label(), dists)
 	}
 	node := &relevance.Node{Op: relevance.Leaf, Label: sq.Label(), Weight: sq.Weight(), Dists: dists}
 	res.setNode(sq, node)

@@ -26,10 +26,9 @@ type Result struct {
 	// N is the totality of data items considered (rows, or cross-product
 	// pairs for multi-table queries) — the "# objects" panel field.
 	N int
-	// Combined is the normalized combined distance per item; Relevance
-	// its inverse.
-	Combined  []float64
-	Relevance []float64
+	// Combined is the normalized combined distance per item; the
+	// Relevance accessor materializes its inverse on demand.
+	Combined []float64
 	// Order maps display rank → item index (ascending combined
 	// distance, i.e. descending relevance); sorted holds the distances
 	// in rank order. Order is always a permutation of [0, N), but on
@@ -49,12 +48,35 @@ type Result struct {
 	Timings StageTimings
 
 	root   *relevance.Node
-	mu     sync.Mutex // guards nodeOf/preds during build, rank extension after
+	mu     sync.Mutex // guards nodeOf/preds during build, rank extension and relevance memoization after
 	nodeOf map[query.Expr]*relevance.Node
 	preds  map[*query.Cond]*predicateData
 	cells  []arrange.Point       // rank → cell
 	rankAt map[arrange.Point]int // cell → rank
 	rankOf map[int]int           // item index → rank
+
+	// relevance memoizes the Relevance accessor.
+	relevance []float64
+	// cache and cacheSig are set on RunCached runs: the session-level
+	// predicate cache serving this run and the item-space fingerprint
+	// its keys embed.
+	cache    *RunCache
+	cacheSig string
+}
+
+// Relevance returns the per-item relevance factors — "the relevance
+// factor is determined as the inverse of that distance value" —
+// materialized on first use and memoized. Dropping the eager
+// materialization removes an unconditional n-sized allocation (8 MB at
+// n = 1e6) from runs that only consume the ranking. Safe for
+// concurrent use.
+func (r *Result) Relevance() []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.relevance == nil {
+		r.relevance = relevance.RelevanceFactors(r.Combined)
+	}
+	return r.relevance
 }
 
 // setNode records the relevance node of an expression; safe under
@@ -252,7 +274,7 @@ func (r *Result) PredicateInfos() []PredicateInfo {
 		if node, ok := r.nodeOf[p]; ok {
 			// Interior nodes (e.g. an OR part) have no raw leaf
 			// distances; count exact answers on the evaluated vector.
-			vec := r.Eval.ByNode[node]
+			vec := r.Eval.Vec(node)
 			if vec == nil {
 				vec = node.Dists
 			}
@@ -325,8 +347,8 @@ func (r *Result) WindowFor(e query.Expr) (*render.Window, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: no window for expression %q", e.Label())
 	}
-	vec, ok := r.Eval.ByNode[node]
-	if !ok {
+	vec := r.Eval.Vec(node)
+	if vec == nil {
 		return nil, fmt.Errorf("core: expression %q not evaluated", e.Label())
 	}
 	opt := r.Engine.opt
@@ -556,7 +578,7 @@ func (r *Result) FirstLastOfColor(c *query.Cond, loLevel, hiLevel int) (first, l
 		return 0, 0, false
 	}
 	node := r.nodeOf[c]
-	vec := r.Eval.ByNode[node]
+	vec := r.Eval.Vec(node)
 	m := r.Engine.opt.Map
 	first, last = math.Inf(1), math.Inf(-1)
 	for rank := 0; rank < r.Displayed; rank++ {
@@ -595,7 +617,7 @@ func (r *Result) ItemsInColorRange(e query.Expr, loLevel, hiLevel int) ([]int, e
 		if !ok {
 			return nil, fmt.Errorf("core: no data for expression %q", e.Label())
 		}
-		vec = r.Eval.ByNode[node]
+		vec = r.Eval.Vec(node)
 	}
 	m := r.Engine.opt.Map
 	var items []int
@@ -669,7 +691,7 @@ func (r *Result) NormOf(e query.Expr, item int) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("core: no data for expression %q", e.Label())
 	}
-	vec := r.Eval.ByNode[node]
+	vec := r.Eval.Vec(node)
 	if item < 0 || item >= len(vec) {
 		return 0, fmt.Errorf("core: item %d out of range", item)
 	}
@@ -712,7 +734,7 @@ func (r *Result) DrillDownWindows(e query.Expr, independent bool) ([]*render.Win
 	// Independent arrangement: re-rank by the part's own distances. The
 	// part only ever displays up to the window capacity, so the default
 	// path selects that many ranks instead of sorting all n.
-	vec := r.Eval.ByNode[node]
+	vec := r.Eval.Vec(node)
 	opt := r.Engine.opt
 	capacity := opt.GridW * opt.GridH
 	var order []int
@@ -739,7 +761,7 @@ func (r *Result) DrillDownWindows(e query.Expr, independent bool) ([]*render.Win
 		if !ok {
 			return nil, fmt.Errorf("core: no data for expression %q", p.Label())
 		}
-		pvec := r.Eval.ByNode[pnode]
+		pvec := r.Eval.Vec(pnode)
 		w := render.NewWindow(p.Label(), opt.GridW, opt.GridH, arrange.BlockSide(opt.PixelsPerItem))
 		if i == 0 {
 			w.Title = "overall " + e.Label() + " (independent)"

@@ -21,6 +21,22 @@ const (
 	PaperRaw
 )
 
+// resolveWeights materializes the effective per-vector weights and
+// their effective sum: nil or all-zero weights fall back to equal
+// weighting, mirroring effWeight/weightSum.
+func resolveWeights(weights []float64, k int) (ws []float64, effSum float64) {
+	wsum := weightSum(weights)
+	ws = make([]float64, k)
+	for j := range ws {
+		ws[j] = effWeight(weights, j, wsum)
+	}
+	effSum = wsum
+	if effSum == 0 {
+		effSum = float64(k)
+	}
+	return ws, effSum
+}
+
 // CombineAnd combines per-predicate distance vectors with the weighted
 // arithmetic mean — the paper's rule for 'AND'-connected condition
 // parts. dists[j][i] is predicate j's distance for item i; all vectors
@@ -32,23 +48,26 @@ func CombineAnd(dists [][]float64, weights []float64, mode CombineMode) ([]float
 	if err != nil {
 		return nil, err
 	}
-	wsum := weightSum(weights)
-	effSum := wsum
-	if effSum == 0 {
-		effSum = float64(len(dists)) // nil or all-zero weights → equal weighting
-	}
+	ws, effSum := resolveWeights(weights, len(dists))
 	out := make([]float64, n)
-	for i := 0; i < n; i++ {
+	combineAndRange(out, dists, ws, effSum, mode, 0, n)
+	return out, nil
+}
+
+// combineAndRange is the chunk kernel of CombineAnd: it fills
+// dst[lo:hi] from dists[...][lo:hi]. ws/effSum come from
+// resolveWeights; the fused evaluator calls it per chunk.
+func combineAndRange(dst []float64, dists [][]float64, ws []float64, effSum float64, mode CombineMode, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		var acc float64
 		for j := range dists {
-			acc += effWeight(weights, j, wsum) * dists[j][i]
+			acc += ws[j] * dists[j][i]
 		}
 		if mode == WeightNormalized {
 			acc /= effSum
 		}
-		out[i] = acc
+		dst[i] = acc
 	}
-	return out, nil
 }
 
 // CombineOr combines per-predicate distance vectors with the weighted
@@ -64,19 +83,27 @@ func CombineOr(dists [][]float64, weights []float64, mode CombineMode) ([]float6
 	if err != nil {
 		return nil, err
 	}
-	wsum := weightSum(weights)
-	effSum := wsum
-	if effSum == 0 {
-		effSum = float64(len(dists)) // nil or all-zero weights → equal weighting
-	}
+	ws, effSum := resolveWeights(weights, len(dists))
 	out := make([]float64, n)
-	for i := 0; i < n; i++ {
+	combineOrRange(out, dists, ws, effSum, mode, 0, n)
+	return out, nil
+}
+
+// combineOrRange is the chunk kernel of CombineOr. Small integer
+// weights take fast paths past math.Pow — exact ones: Pow(x, 1) is
+// specified to return x, and for y in {2, 3} Pow's
+// exponentiation-by-squaring performs the same rounding sequence as
+// x*x and (x*x)*x in the normal range. This matters in the hot
+// interactive loop, where weights overwhelmingly are 1 or small slider
+// integers.
+func combineOrRange(dst []float64, dists [][]float64, ws []float64, effSum float64, mode CombineMode, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		prod := 1.0
 		nan := false
 		zero := false
 		for j := range dists {
 			d := dists[j][i]
-			w := effWeight(weights, j, wsum)
+			w := ws[j]
 			if d == 0 && w > 0 {
 				zero = true
 				break
@@ -85,23 +112,33 @@ func CombineOr(dists [][]float64, weights []float64, mode CombineMode) ([]float6
 				nan = true
 				continue
 			}
-			if w == 0 {
-				continue
+			switch w {
+			case 0:
+			case 1:
+				prod *= d
+			case 2:
+				prod *= d * d
+			case 3:
+				prod *= d * d * d
+			default:
+				prod *= math.Pow(d, w)
 			}
-			prod *= math.Pow(d, w)
 		}
 		switch {
 		case zero:
-			out[i] = 0
+			dst[i] = 0
 		case nan:
-			out[i] = math.NaN()
+			dst[i] = math.NaN()
 		case mode == WeightNormalized && prod > 0:
-			out[i] = math.Pow(prod, 1/effSum)
+			if effSum == 1 {
+				dst[i] = prod // Pow(prod, 1) == prod exactly
+			} else {
+				dst[i] = math.Pow(prod, 1/effSum)
+			}
 		default:
-			out[i] = prod
+			dst[i] = prod
 		}
 	}
-	return out, nil
 }
 
 // CombineLp combines per-predicate distances with the weighted Lp norm
@@ -116,17 +153,37 @@ func CombineLp(dists [][]float64, weights []float64, p float64) ([]float64, erro
 	if err != nil {
 		return nil, err
 	}
-	wsum := weightSum(weights)
+	ws, _ := resolveWeights(weights, len(dists))
 	out := make([]float64, n)
-	for i := 0; i < n; i++ {
+	combineLpRange(out, dists, ws, p, 0, n)
+	return out, nil
+}
+
+// combineLpRange is the chunk kernel of CombineLp. The Euclidean case
+// (p == 2) squares directly and takes a single square root instead of
+// two math.Pow calls per term: Pow(|d|, 2) rounds to the same double
+// as d*d (one rounding of the exact product in the normal range), and
+// Go's Pow(acc, 0.5) is defined as Sqrt(acc).
+func combineLpRange(dst []float64, dists [][]float64, ws []float64, p float64, lo, hi int) {
+	if p == 2 {
+		for i := lo; i < hi; i++ {
+			var acc float64
+			for j := range dists {
+				d := dists[j][i]
+				acc += ws[j] * (d * d)
+			}
+			dst[i] = math.Sqrt(acc)
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
 		var acc float64
 		for j := range dists {
 			d := dists[j][i]
-			acc += effWeight(weights, j, wsum) * math.Pow(math.Abs(d), p)
+			acc += ws[j] * math.Pow(math.Abs(d), p)
 		}
-		out[i] = math.Pow(acc, 1/p)
+		dst[i] = math.Pow(acc, 1/p)
 	}
-	return out, nil
 }
 
 // CombineEuclidean is CombineLp with p = 2.

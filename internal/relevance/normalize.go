@@ -9,6 +9,7 @@ package relevance
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/topk"
 )
@@ -57,6 +58,266 @@ func KeepCount(r, n int, w float64) int {
 	return c
 }
 
+// NormParams captures a normalization transform without materializing
+// the scaled vector: the source range [DMin, DMax] that maps onto
+// [0, Scale] and the number of items that determined it. The fused
+// evaluator computes every node's params first (cheap scans and
+// selections) and applies them element-by-element inside its chunked
+// combination passes.
+type NormParams struct {
+	DMin, DMax float64
+	Kept       int
+	// NoFinite marks a vector with no finite values: everything maps to
+	// 0 except NaN (passes through) and +Inf (maps to Scale).
+	NoFinite bool
+}
+
+// Apply scales one distance by the params, replicating Normalize's
+// per-element mapping exactly: NaNs pass through (uncolorable), +Inf
+// clamps to Scale, -Inf to 0, and a degenerate range maps everything at
+// or below DMax to 0.
+func (p NormParams) Apply(d float64) float64 {
+	switch {
+	case math.IsNaN(d):
+		return math.NaN()
+	case math.IsInf(d, 1):
+		return Scale
+	case p.NoFinite || math.IsInf(d, -1):
+		return 0
+	}
+	span := p.DMax - p.DMin
+	if span == 0 {
+		if d > p.DMax {
+			return Scale
+		}
+		return 0
+	}
+	s := (d - p.DMin) / span * Scale
+	if s < 0 {
+		s = 0
+	}
+	if s > Scale {
+		s = Scale
+	}
+	return s
+}
+
+// applyRange scales src into dst by p — the vectorized form of Apply
+// with the parameter tests hoisted out of the loop (Apply itself is too
+// branchy for the inliner, and the fused passes call it millions of
+// times per interactive rerun). dst and src may alias (in-place
+// finalization of interior nodes). Bit-identical to Apply per element.
+func applyRange(dst, src []float64, p NormParams) {
+	if p.NoFinite {
+		for i, d := range src {
+			switch {
+			case math.IsNaN(d):
+				dst[i] = math.NaN()
+			case math.IsInf(d, 1):
+				dst[i] = Scale
+			default:
+				dst[i] = 0
+			}
+		}
+		return
+	}
+	span := p.DMax - p.DMin
+	if span == 0 {
+		for i, d := range src {
+			switch {
+			case math.IsNaN(d):
+				dst[i] = math.NaN()
+			case math.IsInf(d, 1):
+				dst[i] = Scale
+			case math.IsInf(d, -1):
+				dst[i] = 0
+			case d > p.DMax:
+				dst[i] = Scale
+			default:
+				dst[i] = 0
+			}
+		}
+		return
+	}
+	for i, d := range src {
+		switch {
+		case math.IsNaN(d):
+			dst[i] = math.NaN()
+		case math.IsInf(d, 1):
+			dst[i] = Scale
+		case math.IsInf(d, -1):
+			dst[i] = 0
+		default:
+			s := (d - p.DMin) / span * Scale
+			if s < 0 {
+				s = 0
+			}
+			if s > Scale {
+				s = Scale
+			}
+			dst[i] = s
+		}
+	}
+}
+
+// rangeScan accumulates the single-pass statistics NormRange needs:
+// finite count and extremes plus the -Inf count the quickselect rank
+// correction uses. Chunked scans merge exactly (sums, min, max are
+// order-independent), so fused parallel passes stay bit-identical to
+// the serial scan.
+type rangeScan struct {
+	nFinite, nNegInf     int
+	minFinite, maxFinite float64
+}
+
+func newRangeScan() rangeScan {
+	return rangeScan{minFinite: math.Inf(1), maxFinite: math.Inf(-1)}
+}
+
+// add folds one distance into the scan.
+func (s *rangeScan) add(d float64) {
+	if math.IsNaN(d) || math.IsInf(d, 0) {
+		if math.IsInf(d, -1) {
+			s.nNegInf++
+		}
+		return
+	}
+	s.nFinite++
+	if d < s.minFinite {
+		s.minFinite = d
+	}
+	if d > s.maxFinite {
+		s.maxFinite = d
+	}
+}
+
+// merge folds another (disjoint) scan into s.
+func (s *rangeScan) merge(o rangeScan) {
+	s.nFinite += o.nFinite
+	s.nNegInf += o.nNegInf
+	if o.minFinite < s.minFinite {
+		s.minFinite = o.minFinite
+	}
+	if o.maxFinite > s.maxFinite {
+		s.maxFinite = o.maxFinite
+	}
+}
+
+// scanRange scans dists[lo:hi].
+func scanRange(dists []float64, lo, hi int) rangeScan {
+	s := newRangeScan()
+	for _, d := range dists[lo:hi] {
+		s.add(d)
+	}
+	return s
+}
+
+// NormRange computes the normalization params of dists with the
+// reduction-first range estimation (keep smallest finite values; see
+// Normalize).
+func NormRange(dists []float64, keep int) NormParams {
+	return rangeOf(scanRange(dists, 0, len(dists)), dists, keep)
+}
+
+// LeafQuantiles is a sorted index over one leaf's finite distances: a
+// one-time O(n log n) investment that answers NormRange for ANY keep in
+// O(1). Weighting-factor changes move each leaf's keep count
+// (KeepCount is inverse in the weight), so an interactive session
+// builds this for its hot leaves and reruns without any per-leaf scan
+// or selection. The derived params are bit-identical to NormRange: the
+// keep-th smallest finite value is the same order statistic whichever
+// way it is found.
+type LeafQuantiles struct {
+	sorted    []float64 // finite values, ascending
+	minFinite float64
+	nNegInf   int
+}
+
+// BuildLeafQuantiles sorts the finite values of dists. The input is
+// not retained.
+func BuildLeafQuantiles(dists []float64) *LeafQuantiles {
+	q := &LeafQuantiles{minFinite: math.Inf(1)}
+	q.sorted = make([]float64, 0, len(dists))
+	for _, d := range dists {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			if math.IsInf(d, -1) {
+				q.nNegInf++
+			}
+			continue
+		}
+		q.sorted = append(q.sorted, d)
+	}
+	sort.Float64s(q.sorted)
+	if len(q.sorted) > 0 {
+		q.minFinite = q.sorted[0]
+	}
+	return q
+}
+
+// Range answers NormRange(dists, keep) for the indexed vector.
+func (q *LeafQuantiles) Range(keep int) NormParams {
+	nFinite := len(q.sorted)
+	if nFinite == 0 {
+		return NormParams{NoFinite: true}
+	}
+	if keep <= 0 || keep > nFinite {
+		keep = nFinite
+	}
+	p := NormParams{Kept: keep, DMin: q.minFinite}
+	if p.DMin > 0 {
+		p.DMin = 0
+	}
+	p.DMax = q.sorted[keep-1]
+	return p
+}
+
+// rangeOf derives NormParams from a completed scan of dists. The
+// selection strategies must see the same full vector the scan covered.
+func rangeOf(st rangeScan, dists []float64, keep int) NormParams {
+	if st.nFinite == 0 {
+		return NormParams{NoFinite: true}
+	}
+	if keep <= 0 || keep > st.nFinite {
+		keep = st.nFinite
+	}
+	p := NormParams{Kept: keep, DMin: st.minFinite}
+	// Distances are non-negative with 0 meaning "exactly fulfilled";
+	// anchor the range at 0 so the yellow end of the colormap stays
+	// reserved for correct answers. Without this, a predicate nobody
+	// fulfills would paint its best approximate answer yellow —
+	// contradicting the paper's observation that windows may be "almost
+	// black in cases where all the data are completely wrong results".
+	// Signed inputs (negative minimum) keep their own minimum.
+	if p.DMin > 0 {
+		p.DMin = 0
+	}
+	// The normalization range only needs the keep-th smallest finite
+	// value, not a full sort of the vector. Three strategies, all
+	// returning the same order statistic: everything kept → the max from
+	// the scan; a small keep (the display-budget case) → a bounded
+	// max-heap streaming the vector in O(k) space; otherwise → an
+	// expected-O(n) quickselect over a scratch copy.
+	switch {
+	case keep >= st.nFinite:
+		p.DMax = st.maxFinite
+	case keep <= st.nFinite/8:
+		sel := topk.NewBounded(keep)
+		for _, d := range dists {
+			if !math.IsInf(d, 0) { // NaNs are ignored by Offer
+				sel.Offer(d)
+			}
+		}
+		p.DMax = sel.Threshold()
+	default:
+		// Threshold orders -Inf first and NaN/+Inf past the finite
+		// values, so the keep-th smallest finite value sits at rank
+		// keep + #(-Inf) of the unfiltered copy.
+		scratch := append([]float64(nil), dists...)
+		p.DMax = topk.Threshold(scratch, keep+st.nNegInf)
+	}
+	return p
+}
+
 // Normalize linearly maps dists onto [0, Scale], with the range
 // [dmin, dmax] determined only by the keep smallest finite values —
 // the reduction-first normalization of section 5.2. Without it, "a
@@ -70,100 +331,13 @@ func Normalize(dists []float64, keep int) Normalized {
 	// filtered copy (the previous implementation built and fully sorted
 	// a copy of every finite value — the O(n log n) cost the paper calls
 	// the dominating one, plus an n-sized allocation per predicate).
-	nFinite, nNegInf := 0, 0
-	minFinite, maxFinite := math.Inf(1), math.Inf(-1)
-	for _, d := range dists {
-		if math.IsNaN(d) || math.IsInf(d, 0) {
-			if math.IsInf(d, -1) {
-				nNegInf++
-			}
-			continue
-		}
-		nFinite++
-		if d < minFinite {
-			minFinite = d
-		}
-		if d > maxFinite {
-			maxFinite = d
-		}
-	}
+	p := NormRange(dists, keep)
 	out := Normalized{Scaled: make([]float64, len(dists))}
-	if nFinite == 0 {
-		for i, d := range dists {
-			if math.IsNaN(d) {
-				out.Scaled[i] = math.NaN()
-			} else if math.IsInf(d, 1) {
-				out.Scaled[i] = Scale
-			} else {
-				out.Scaled[i] = 0
-			}
-		}
-		return out
+	if !p.NoFinite {
+		out.DMin, out.DMax, out.Kept = p.DMin, p.DMax, p.Kept
 	}
-	if keep <= 0 || keep > nFinite {
-		keep = nFinite
-	}
-	out.Kept = keep
-	out.DMin = minFinite
-	// Distances are non-negative with 0 meaning "exactly fulfilled";
-	// anchor the range at 0 so the yellow end of the colormap stays
-	// reserved for correct answers. Without this, a predicate nobody
-	// fulfills would paint its best approximate answer yellow —
-	// contradicting the paper's observation that windows may be "almost
-	// black in cases where all the data are completely wrong results".
-	// Signed inputs (negative minimum) keep their own minimum.
-	if out.DMin > 0 {
-		out.DMin = 0
-	}
-	// The normalization range only needs the keep-th smallest finite
-	// value, not a full sort of the vector. Three strategies, all
-	// returning the same order statistic: everything kept → the max from
-	// the scan; a small keep (the display-budget case) → a bounded
-	// max-heap streaming the vector in O(k) space; otherwise → an
-	// expected-O(n) quickselect over a scratch copy.
-	switch {
-	case keep >= nFinite:
-		out.DMax = maxFinite
-	case keep <= nFinite/8:
-		sel := topk.NewBounded(keep)
-		for _, d := range dists {
-			if !math.IsInf(d, 0) { // NaNs are ignored by Offer
-				sel.Offer(d)
-			}
-		}
-		out.DMax = sel.Threshold()
-	default:
-		// Threshold orders -Inf first and NaN/+Inf past the finite
-		// values, so the keep-th smallest finite value sits at rank
-		// keep + #(-Inf) of the unfiltered copy.
-		scratch := append([]float64(nil), dists...)
-		out.DMax = topk.Threshold(scratch, keep+nNegInf)
-	}
-	span := out.DMax - out.DMin
 	for i, d := range dists {
-		switch {
-		case math.IsNaN(d):
-			out.Scaled[i] = math.NaN()
-		case math.IsInf(d, 1):
-			out.Scaled[i] = Scale
-		case math.IsInf(d, -1):
-			out.Scaled[i] = 0
-		case span == 0:
-			if d > out.DMax {
-				out.Scaled[i] = Scale
-			} else {
-				out.Scaled[i] = 0
-			}
-		default:
-			s := (d - out.DMin) / span * Scale
-			if s < 0 {
-				s = 0
-			}
-			if s > Scale {
-				s = Scale
-			}
-			out.Scaled[i] = s
-		}
+		out.Scaled[i] = p.Apply(d)
 	}
 	return out
 }

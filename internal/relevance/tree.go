@@ -1,7 +1,6 @@
 package relevance
 
 import (
-	"fmt"
 	"math"
 	"sync"
 )
@@ -29,6 +28,11 @@ type Node struct {
 	Weight   float64 // weighting factor; 0 reads as 1
 	Dists    []float64
 	Children []*Node
+	// Quantiles, when set on a leaf, answers the normalization range
+	// for any keep count in O(1) instead of a scan plus a selection —
+	// the session cache attaches it to leaves that recur across reruns.
+	// It must index exactly Dists.
+	Quantiles *LeafQuantiles
 }
 
 // EffWeight returns the node's weight with the default of 1.
@@ -70,17 +74,71 @@ type EvalOptions struct {
 	And ANDCombiner
 	// LpP is the exponent for ANDLp (values < 1 error).
 	LpP float64
-	// Parallel evaluates sibling subtrees concurrently. Results are
-	// identical to the sequential evaluation; only wall-clock changes.
+	// Parallel runs the fused chunk passes concurrently (bounded by
+	// Workers). Results are identical to the sequential evaluation;
+	// only wall-clock changes.
 	Parallel bool
+	// Workers bounds the chunk-pass concurrency when Parallel is set;
+	// 0 selects GOMAXPROCS.
+	Workers int
+	// Alloc, when non-nil, provides the n-sized output buffers for the
+	// per-node scaled vectors (ByNode and Combined). It enables buffer
+	// pooling across reruns: the caller may hand back buffers of
+	// superseded Results, which this evaluation will overwrite in
+	// full. nil (or a wrong-sized return) falls back to fresh
+	// allocation.
+	Alloc func(n int) []float64
+	// LazyLeaves skips materializing the scaled vectors of leaf nodes:
+	// their values are computed inline (in chunk-local scratch) for the
+	// combination passes, and Result.Vec materializes a leaf's full
+	// vector only when someone asks for it — windows read a few
+	// thousand displayed items, so interactive reruns avoid one n-sized
+	// write per leaf per run. Combined (the root) always materializes.
+	LazyLeaves bool
 }
 
 // Result carries the evaluated tree: the per-node normalized distance
 // vectors in [0, Scale] (keyed by node), and the root's combined,
-// re-normalized distances.
+// re-normalized distances. Under EvalOptions.LazyLeaves, leaf vectors
+// are absent from ByNode until Vec materializes them; read through Vec
+// rather than the map when lazy evaluation may be in play.
 type Result struct {
 	Combined []float64
 	ByNode   map[*Node][]float64
+
+	mu    sync.Mutex
+	lazy  map[*Node]NormParams // un-materialized leaves: params over node.Dists
+	alloc func(n int) []float64
+	n     int
+}
+
+// Vec returns the node's normalized vector, materializing a lazy leaf
+// on first use (bit-identical to eager evaluation: same params, same
+// per-element transform). nil when the node was not part of the
+// evaluation. Safe for concurrent use.
+func (r *Result) Vec(node *Node) []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.ByNode[node]; ok {
+		return v
+	}
+	p, ok := r.lazy[node]
+	if !ok {
+		return nil
+	}
+	var out []float64
+	if r.alloc != nil {
+		if b := r.alloc(r.n); len(b) == r.n {
+			out = b
+		}
+	}
+	if out == nil {
+		out = make([]float64, r.n)
+	}
+	applyRange(out, node.Dists, p)
+	r.ByNode[node] = out
+	delete(r.lazy, node)
+	return out
 }
 
 // Evaluate computes the combined normalized distance of every item per
@@ -90,112 +148,15 @@ type Result struct {
 // (OR) mean, and every combined vector is itself normalized "before a
 // calculated combined distance is used as a parameter for combining
 // other distances".
+//
+// The implementation is the chunk-fused evaluator of fused.go: all
+// normalization ranges are derived from cheap scans and selections, and
+// the scaling, combination and range tracking of each level happen in
+// one chunked pass writing into caller-pooled buffers. The results are
+// bit-identical to the straightforward node-at-a-time pipeline (see the
+// reference evaluator in the tests).
 func Evaluate(root *Node, n int, opts EvalOptions) (*Result, error) {
-	if root == nil {
-		return nil, fmt.Errorf("relevance: nil tree")
-	}
-	ctx := &evalCtx{opts: opts, n: n, res: &Result{ByNode: make(map[*Node][]float64)}}
-	combined, err := ctx.evalNode(root)
-	if err != nil {
-		return nil, err
-	}
-	ctx.res.Combined = combined
-	return ctx.res, nil
-}
-
-// evalCtx carries the evaluation state; the mutex guards ByNode when
-// sibling subtrees evaluate concurrently.
-type evalCtx struct {
-	opts EvalOptions
-	n    int
-	res  *Result
-	mu   sync.Mutex
-}
-
-func (c *evalCtx) store(node *Node, vec []float64) {
-	c.mu.Lock()
-	c.res.ByNode[node] = vec
-	c.mu.Unlock()
-}
-
-func (c *evalCtx) evalNode(node *Node) ([]float64, error) {
-	opts, n := c.opts, c.n
-	switch node.Op {
-	case Leaf:
-		if len(node.Dists) != n {
-			return nil, fmt.Errorf("relevance: leaf %q has %d distances, want %d", node.Label, len(node.Dists), n)
-		}
-		keep := 0
-		if !opts.NaiveNormalize {
-			keep = KeepCount(opts.Budget, n, node.EffWeight())
-		}
-		norm := Normalize(node.Dists, keep)
-		c.store(node, norm.Scaled)
-		return norm.Scaled, nil
-	case NodeAnd, NodeOr:
-		if len(node.Children) == 0 {
-			return nil, fmt.Errorf("relevance: %q has no children", node.Label)
-		}
-		dists := make([][]float64, len(node.Children))
-		weights := make([]float64, len(node.Children))
-		if opts.Parallel && len(node.Children) > 1 {
-			var wg sync.WaitGroup
-			errs := make([]error, len(node.Children))
-			for i, child := range node.Children {
-				wg.Add(1)
-				go func(i int, child *Node) {
-					defer wg.Done()
-					dists[i], errs[i] = c.evalNode(child)
-				}(i, child)
-			}
-			wg.Wait()
-			for _, err := range errs {
-				if err != nil {
-					return nil, err
-				}
-			}
-			for i, child := range node.Children {
-				weights[i] = child.EffWeight()
-			}
-		} else {
-			for i, child := range node.Children {
-				d, err := c.evalNode(child)
-				if err != nil {
-					return nil, err
-				}
-				dists[i] = d
-				weights[i] = child.EffWeight()
-			}
-		}
-		var combined []float64
-		var err error
-		if node.Op == NodeAnd {
-			switch opts.And {
-			case ANDEuclidean:
-				combined, err = CombineEuclidean(dists, weights)
-			case ANDLp:
-				combined, err = CombineLp(dists, weights, opts.LpP)
-			default:
-				combined, err = CombineAnd(dists, weights, opts.Mode)
-			}
-		} else {
-			combined, err = CombineOr(dists, weights, opts.Mode)
-		}
-		if err != nil {
-			return nil, err
-		}
-		// Re-normalize so the combined values are a valid input for the
-		// parent level (and for the colormap at the root).
-		keep := 0
-		if !opts.NaiveNormalize {
-			keep = KeepCount(opts.Budget, n, node.EffWeight())
-		}
-		norm := Normalize(combined, keep)
-		c.store(node, norm.Scaled)
-		return norm.Scaled, nil
-	default:
-		return nil, fmt.Errorf("relevance: unknown node op %d", node.Op)
-	}
+	return evaluateFused(root, n, opts)
 }
 
 // ZeroPreserved reports whether item i is an exact answer (distance 0)

@@ -1,0 +1,239 @@
+package session
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+// TestNoopSetWeightSkipsRecalc: dragging a weight slider to the value
+// it already has must not snapshot or recompute (it used to do both).
+func TestNoopSetWeightSkipsRecalc(t *testing.T) {
+	s := newSession(t)
+	pred := query.Predicates(s.Query().Where)[0]
+	if err := s.SetWeight(pred, 2); err != nil {
+		t.Fatal(err)
+	}
+	recalcs, undos := s.Recalcs, len(s.history)
+	if err := s.SetWeight(pred, 2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Recalcs != recalcs || len(s.history) != undos {
+		t.Fatalf("no-op SetWeight recomputed: recalcs %d→%d, history %d→%d",
+			recalcs, s.Recalcs, undos, len(s.history))
+	}
+	// The implicit default: a part with no explicit weight reads as 1,
+	// so setting 1 is also a no-op.
+	other := query.Predicates(s.Query().Where)[1]
+	recalcs = s.Recalcs
+	if err := s.SetWeight(other, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Recalcs != recalcs {
+		t.Fatal("SetWeight(1) on an unweighted part recomputed")
+	}
+}
+
+// TestNoopSetRangeSkipsRecalc: a slider drag that lands on the current
+// range must not snapshot or recompute, in all three range forms.
+func TestNoopSetRangeSkipsRecalc(t *testing.T) {
+	s := newSession(t)
+	c, err := s.FindCond("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]float64{
+		{2, 5},            // BETWEEN
+		{3, math.Inf(1)},  // >=
+		{math.Inf(-1), 7}, // <=
+	} {
+		if err := s.SetRange(c, r[0], r[1]); err != nil {
+			t.Fatal(err)
+		}
+		recalcs, undos := s.Recalcs, len(s.history)
+		if err := s.SetRange(c, r[0], r[1]); err != nil {
+			t.Fatal(err)
+		}
+		if s.Recalcs != recalcs || len(s.history) != undos {
+			t.Fatalf("no-op drag to %v recomputed: recalcs %d→%d, history %d→%d",
+				r, recalcs, s.Recalcs, undos, len(s.history))
+		}
+	}
+}
+
+// TestSessionRerunsHitCache: the session's recalculations attribute
+// their leaf reuse in StageTimings — a weight change hits every leaf, a
+// single-slider drag misses exactly one.
+func TestSessionRerunsHitCache(t *testing.T) {
+	s := newSession(t) // x > 15 AND y > 10: two leaves
+	pred := query.Predicates(s.Query().Where)[0]
+	if err := s.SetWeight(pred, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	tm := s.Result().Timings
+	if tm.CacheHits != 2 || tm.CacheMisses != 0 {
+		t.Fatalf("weight rerun: hits=%d misses=%d", tm.CacheHits, tm.CacheMisses)
+	}
+	c, err := s.FindCond("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRange(c, 5, math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	tm = s.Result().Timings
+	if tm.CacheHits != 1 || tm.CacheMisses != 1 {
+		t.Fatalf("slider rerun: hits=%d misses=%d", tm.CacheHits, tm.CacheMisses)
+	}
+}
+
+// interactionCatalog builds a catalog big enough that normalization
+// ranges, display cuts and rankings all do real work.
+func interactionCatalog(t *testing.T, n int) *dataset.Catalog {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	tbl, err := dataset.NewTable("S", dataset.Schema{
+		{Name: "a", Kind: dataset.KindFloat},
+		{Name: "b", Kind: dataset.KindFloat},
+		{Name: "c", Kind: dataset.KindFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		vals := []dataset.Value{
+			dataset.Float(rng.Float64() * 100),
+			dataset.Float(rng.Float64() * 100),
+			dataset.Float(rng.Float64() * 100),
+		}
+		if rng.Float64() < 0.02 {
+			vals[rng.Intn(3)] = dataset.Null(dataset.KindFloat)
+		}
+		if err := tbl.AppendRow(vals...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat := dataset.NewCatalog()
+	if err := cat.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// sameAsFresh asserts the cached session's current result is
+// bit-identical to a cold engine run of the same query with the same
+// options: combined distances, display count, order prefix and every
+// predicate window vector.
+func sameAsFresh(t *testing.T, step string, s *Session, cat *dataset.Catalog, opt core.Options) {
+	t.Helper()
+	fresh, err := core.New(cat, nil, opt).Run(s.Query())
+	if err != nil {
+		t.Fatalf("%s: fresh run: %v", step, err)
+	}
+	got := s.Result()
+	if got.N != fresh.N || got.Displayed != fresh.Displayed {
+		t.Fatalf("%s: N %d vs %d, Displayed %d vs %d", step, got.N, fresh.N, got.Displayed, fresh.Displayed)
+	}
+	for i := range fresh.Combined {
+		x, y := got.Combined[i], fresh.Combined[i]
+		if math.Float64bits(x) != math.Float64bits(y) && !(math.IsNaN(x) && math.IsNaN(y)) {
+			t.Fatalf("%s: combined[%d] %v vs %v", step, i, x, y)
+		}
+	}
+	for rank := 0; rank < fresh.Displayed; rank++ {
+		if got.Order[rank] != fresh.Order[rank] {
+			t.Fatalf("%s: order[%d] %d vs %d", step, rank, got.Order[rank], fresh.Order[rank])
+		}
+	}
+	preds := query.Predicates(s.Query().Where)
+	for pi, p := range preds {
+		for i := 0; i < fresh.N; i++ {
+			x, errA := got.NormOf(p, i)
+			y, errB := fresh.NormOf(p, i)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("%s: NormOf error mismatch on predicate %d", step, pi)
+			}
+			if errA != nil {
+				break
+			}
+			if math.Float64bits(x) != math.Float64bits(y) && !(math.IsNaN(x) && math.IsNaN(y)) {
+				t.Fatalf("%s: predicate %d item %d: %v vs %v", step, pi, i, x, y)
+			}
+		}
+	}
+}
+
+// TestInteractionScriptMatchesFreshEngine is the tentpole identity
+// property: a randomized interaction script — range drags (including
+// no-op jitter), weight changes, percent-displayed moves and undos —
+// on a cached session produces, at every step, results bit-identical
+// to a fresh engine run of the current query.
+func TestInteractionScriptMatchesFreshEngine(t *testing.T) {
+	const n = 800
+	cat := interactionCatalog(t, n)
+	opt := core.Options{GridW: 16, GridH: 16}
+	s, err := NewSQL(cat, nil, opt,
+		`SELECT a FROM S WHERE a > 50 AND b < 40 OR c BETWEEN 20 AND 30 WEIGHT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAsFresh(t, "initial", s, cat, opt)
+	rng := rand.New(rand.NewSource(1994))
+	attrs := []string{"a", "b", "c"}
+	for step := 0; step < 60; step++ {
+		label := ""
+		switch op := rng.Intn(10); {
+		case op < 4: // range drag
+			attr := attrs[rng.Intn(len(attrs))]
+			c, err := s.FindCond(attr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lo := math.Floor(rng.Float64() * 80)
+			hi := lo + math.Floor(rng.Float64()*40)
+			switch rng.Intn(3) {
+			case 0:
+				err = s.SetRange(c, lo, math.Inf(1))
+			case 1:
+				err = s.SetRange(c, math.Inf(-1), hi)
+			default:
+				err = s.SetRange(c, lo, hi)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			label = fmt.Sprintf("step %d: drag %s to [%g,%g]", step, attr, lo, hi)
+		case op < 7: // weight change (sometimes a no-op)
+			preds := query.Predicates(s.Query().Where)
+			p := preds[rng.Intn(len(preds))]
+			w := []float64{0.5, 1, 1, 2, 3}[rng.Intn(5)]
+			if err := s.SetWeight(p, w); err != nil {
+				t.Fatal(err)
+			}
+			label = fmt.Sprintf("step %d: weight %g", step, w)
+		case op < 8: // percent-displayed slider
+			pct := []float64{0, 0.1, 0.5, 1}[rng.Intn(4)]
+			if err := s.SetPercentDisplayed(pct); err != nil {
+				t.Fatal(err)
+			}
+			opt.PercentDisplayed = pct
+			label = fmt.Sprintf("step %d: pct %g", step, pct)
+		default: // undo
+			if !s.CanUndo() {
+				continue
+			}
+			if err := s.Undo(); err != nil {
+				t.Fatal(err)
+			}
+			// Undo restores the query but not option state; mirror the
+			// session's current option for the fresh comparison run.
+			label = fmt.Sprintf("step %d: undo", step)
+		}
+		sameAsFresh(t, label, s, cat, opt)
+	}
+}

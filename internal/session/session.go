@@ -32,6 +32,13 @@ type Session struct {
 	opt core.Options
 	q   *query.Query
 	res *core.Result
+	// cache is the session-level predicate cache of the incremental
+	// feedback loop: leaf distance vectors survive across Recalculate
+	// calls (keyed structurally, weights excluded), and evaluation
+	// buffers are pooled, so a weight-only rerun recomputes nothing
+	// below the combination stage and a slider drag recomputes exactly
+	// one leaf.
+	cache *core.RunCache
 
 	autoRecalc bool
 	dirty      bool
@@ -53,7 +60,8 @@ type Session struct {
 
 // New starts a session on a parsed query and runs it once.
 func New(cat *dataset.Catalog, reg *distance.Registry, opt core.Options, q *query.Query) (*Session, error) {
-	s := &Session{cat: cat, reg: reg, opt: opt, q: q, autoRecalc: true, selectedItem: -1}
+	s := &Session{cat: cat, reg: reg, opt: opt, q: q, autoRecalc: true, selectedItem: -1,
+		cache: core.NewRunCache()}
 	if err := s.Recalculate(); err != nil {
 		return nil, err
 	}
@@ -71,6 +79,10 @@ func NewSQL(cat *dataset.Catalog, reg *distance.Registry, opt core.Options, src 
 
 // Result returns the current result. When auto-recalculate is off and
 // modifications are pending, the result is stale (Dirty reports true).
+// The result's evaluation vectors live in the session's pooled buffers:
+// they are valid until the next recalculation, which recycles them.
+// Hold on to Run output from a standalone Engine instead if a result
+// must outlive the interaction loop.
 func (s *Session) Result() *core.Result { return s.res }
 
 // Query returns the live query AST (mutated by the modification
@@ -94,10 +106,13 @@ func (s *Session) SetAutoRecalc(on bool) error {
 	return nil
 }
 
-// Recalculate re-runs the query through the engine.
+// Recalculate re-runs the query through the engine. Reruns are
+// incremental: leaf distance vectors unchanged since the previous run
+// come from the session cache, and evaluation buffers are pooled, so
+// only the stages downstream of the actual modification recompute.
 func (s *Session) Recalculate() error {
 	e := core.New(s.cat, s.reg, s.opt)
-	res, err := e.Run(s.q)
+	res, err := e.RunCached(s.q, s.cache)
 	if err != nil {
 		return err
 	}
@@ -153,6 +168,10 @@ func (s *Session) Undo() error {
 		return fmt.Errorf("session: corrupt history entry: %w", err)
 	}
 	s.q = q
+	// Per-condition invalidation: entries for conditions absent from
+	// the restored query are dropped; surviving ones make the undo
+	// recomputation as cheap as the drag it reverts.
+	s.cache.Prune(q)
 	s.ClearProjection()
 	s.ClearSelection()
 	return s.Recalculate()
@@ -169,6 +188,9 @@ func (s *Session) SetQuery(src string) error {
 	}
 	s.snapshot()
 	s.q = q
+	// Drop cache entries for conditions the new query no longer
+	// contains; shared conditions keep their vectors.
+	s.cache.Prune(q)
 	s.ClearProjection()
 	s.ClearSelection()
 	return s.maybeRecalc()
@@ -196,12 +218,16 @@ func (s *Session) FindCond(attr string) (*query.Cond, error) {
 // edit of the 'query' field). Open sides use ±Inf: the condition
 // becomes >=, <= or BETWEEN accordingly. For time-typed attributes the
 // bounds are interpreted as Unix seconds, so time sliders use the same
-// numeric interface.
+// numeric interface. A drag to the range the condition already
+// expresses is a no-op: nothing is snapshotted, no recalculation runs
+// (slider jitter used to snapshot and recompute anyway).
 func (s *Session) SetRange(c *query.Cond, lo, hi float64) error {
 	if math.IsNaN(lo) || math.IsNaN(hi) || lo > hi {
 		return fmt.Errorf("session: invalid range [%v, %v]", lo, hi)
 	}
-	s.snapshot()
+	if math.IsInf(lo, -1) && math.IsInf(hi, 1) {
+		return fmt.Errorf("session: range cannot be open on both sides")
+	}
 	lit := dataset.Float
 	if s.res != nil {
 		if attr, ok := s.res.Binding.Attrs[c]; ok && attr.Kind == dataset.KindTime {
@@ -210,21 +236,54 @@ func (s *Session) SetRange(c *query.Cond, lo, hi float64) error {
 			}
 		}
 	}
+	// Build the target form first, so the no-op check compares the
+	// exact literals that would be installed.
+	newOp := query.OpBetween
+	var v, newLo, newHi dataset.Value
 	switch {
-	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
-		return fmt.Errorf("session: range cannot be open on both sides")
 	case math.IsInf(hi, 1):
-		c.Op = query.OpGe
-		c.Value = lit(lo)
+		newOp, v = query.OpGe, lit(lo)
 	case math.IsInf(lo, -1):
-		c.Op = query.OpLe
-		c.Value = lit(hi)
+		newOp, v = query.OpLe, lit(hi)
 	default:
-		c.Op = query.OpBetween
-		c.Lo = lit(lo)
-		c.Hi = lit(hi)
+		newLo, newHi = lit(lo), lit(hi)
+	}
+	if c.Op == newOp {
+		same := false
+		if newOp == query.OpBetween {
+			same = sameValue(c.Lo, newLo) && sameValue(c.Hi, newHi)
+		} else {
+			same = sameValue(c.Value, v)
+		}
+		if same {
+			return nil
+		}
+	}
+	s.snapshot()
+	// Drop the superseded range's cache entries so a continuous drag
+	// does not pile one entry per intermediate position into the cache.
+	s.cache.InvalidateCond(c)
+	c.Op = newOp
+	if newOp == query.OpBetween {
+		c.Lo, c.Hi = newLo, newHi
+	} else {
+		c.Value = v
 	}
 	return s.maybeRecalc()
+}
+
+// sameValue reports whether two literals are interchangeable in a
+// condition: equal kind and equal numeric value (floats, ints, times,
+// bools coerce through AsFloat) or equal string payload.
+func sameValue(a, b dataset.Value) bool {
+	if a.Kind != b.Kind || a.Null != b.Null {
+		return false
+	}
+	if af, ok := a.AsFloat(); ok {
+		bf, ok := b.AsFloat()
+		return ok && af == bf
+	}
+	return a.S == b.S
 }
 
 // SetMedianDeviation moves a condition's range via the median-and-
@@ -239,9 +298,14 @@ func (s *Session) SetMedianDeviation(c *query.Cond, median, dev float64) error {
 }
 
 // SetWeight updates a query part's weighting factor (section 5.2).
+// Setting the weight the part already has (an unset weight reads as 1)
+// is a no-op: no snapshot, no recalculation.
 func (s *Session) SetWeight(e query.Expr, w float64) error {
 	if w < 0 || math.IsNaN(w) {
 		return fmt.Errorf("session: invalid weight %v", w)
+	}
+	if e.Weight() == w {
+		return nil
 	}
 	s.snapshot()
 	e.SetWeight(w)

@@ -39,6 +39,20 @@
 // statistics), and Options.Workers to bound the worker pool that
 // chunks per-predicate distance computation (0 selects GOMAXPROCS;
 // parallel and serial runs are bit-identical).
+//
+// # Incremental reruns
+//
+// Sessions recalculate incrementally: per-predicate distance vectors
+// are cached across reruns keyed by the condition's structure (table,
+// attribute, operator, literals, distance function — weighting factors
+// excluded), so dragging a weight slider recomputes nothing below the
+// combination stage and dragging one range slider recomputes exactly
+// one predicate. Evaluation writes into pooled buffers, hot leaves get
+// sorted quantile indexes for O(1) normalization ranges, and
+// per-predicate window vectors materialize lazily. Cached reruns are
+// bit-identical to cold runs; the trade is that a session's Result is
+// valid only until its next modification. Engine.RunCached exposes the
+// same machinery for custom loops.
 package visdb
 
 import (
@@ -142,6 +156,18 @@ type (
 	PredicateInfo = core.PredicateInfo
 	SelectedTuple = core.SelectedTuple
 )
+
+// RunCache is the reuse layer of the incremental feedback loop: leaf
+// distance vectors cached across Engine.RunCached calls (keyed
+// structurally, weighting factors excluded) plus pooled evaluation
+// buffers. Sessions manage one internally; use an explicit cache with
+// Engine.RunCached for custom interaction loops. A Result produced
+// through a cache is valid only until the next RunCached on that
+// cache.
+type RunCache = core.RunCache
+
+// NewRunCache creates an empty cache for Engine.RunCached.
+var NewRunCache = core.NewRunCache
 
 // Arrangement kinds.
 const (
