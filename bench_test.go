@@ -373,6 +373,70 @@ func BenchmarkSliderDrag(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentSessions is the multi-tenant serving workload:
+// M sessions on one catalog attached to a shared catalog-level cache,
+// interacting concurrently. Session 1 pays the cold leaf computation;
+// every later session starts warm off the shared tier (asserted via
+// StageTimings.SharedHits), and steady-state interactions run fully
+// cached. Reported metrics: shared-tier hit rate and resident bytes.
+func BenchmarkConcurrentSessions(b *testing.B) {
+	const (
+		n        = 200_000
+		sessions = 4
+	)
+	cat := interactCatalog(b, n)
+	opt := core.Options{GridW: 128, GridH: 128}
+	shared := core.NewSharedCache(0, 0)
+	// Each pooled session carries its own interaction counter: the
+	// weight alternation must be per-session (a per-goroutine counter
+	// would let interleaved goroutines repeat a session's current
+	// weight, degenerating iterations into no-op recalcs).
+	type benchSession struct {
+		s *session.Session
+		i int
+	}
+	pool := make(chan *benchSession, sessions)
+	for i := 0; i < sessions; i++ {
+		s, err := session.NewSQLShared(cat, nil, opt, interactQuery, shared)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tm := s.Result().Timings
+		if i == 0 {
+			if tm.SharedHits != 0 {
+				b.Fatalf("first session warm-started: %+v", tm)
+			}
+		} else if tm.SharedHits == 0 || tm.CacheHits != tm.SharedHits || tm.CacheMisses != 0 {
+			// The acceptance property of the shared tier: sessions after
+			// the first serve every leaf across sessions, visible in the
+			// run's cache attribution.
+			b.Fatalf("session %d did not warm-start off the shared tier: %+v", i, tm)
+		}
+		pool <- &benchSession{s: s}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			bs := <-pool
+			pred := query.Predicates(bs.s.Query().Where)[0]
+			// Alternate weights so every iteration really recalculates.
+			if err := bs.s.SetWeight(pred, float64(2+bs.i%2)); err != nil {
+				b.Error(err)
+			}
+			bs.i++
+			pool <- bs
+		}
+	})
+	b.StopTimer()
+	st := shared.Stats()
+	total := st.Hits + st.Misses
+	if total > 0 {
+		b.ReportMetric(float64(st.Hits)/float64(total), "shared-hit-rate")
+	}
+	b.ReportMetric(float64(st.Bytes)/(1<<20), "shared-MiB")
+}
+
 // BenchmarkSortRanking isolates the ranking stage the paper names as
 // the dominating cost: the full O(n log n) sort against the
 // selection-based partial ranking that materializes only the display

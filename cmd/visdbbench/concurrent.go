@@ -1,0 +1,153 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/query"
+	"repro/internal/session"
+)
+
+// runConcurrent is the multi-tenant traffic mode: M goroutine sessions
+// on one catalog, all attached to one catalog-level shared predicate
+// cache, each driving a randomized interaction script (range drags,
+// weight changes, undos). It reports throughput and the shared-tier
+// counters — the serving-path numbers the single-user experiments
+// cannot show.
+func runConcurrent(sessions, steps, rows int, seed int64) error {
+	if sessions <= 0 || steps <= 0 || rows <= 0 {
+		return fmt.Errorf("concurrent mode needs positive -concurrent, -steps and -rows")
+	}
+	cat, err := trafficCatalog(rows, seed)
+	if err != nil {
+		return err
+	}
+	queries := []string{
+		`SELECT a FROM S WHERE a > 50 AND b < 40`,
+		`SELECT a FROM S WHERE a > 50 AND c BETWEEN 20 AND 30`,
+		`SELECT a FROM S WHERE a > 50 AND b < 40 OR c BETWEEN 20 AND 30 WEIGHT 2`,
+	}
+	shared := core.NewSharedCache(0, 0)
+	opt := core.Options{GridW: 128, GridH: 128}
+
+	type tally struct {
+		recalcs, hits, sharedHits, misses int
+		err                               error
+	}
+	tallies := make([]tally, sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < sessions; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(g)))
+			s, err := session.NewSQLShared(cat, nil, opt, queries[g%len(queries)], shared)
+			if err != nil {
+				tallies[g].err = err
+				return
+			}
+			attrs := []string{"a", "b", "c"}
+			counted := 0
+			count := func() {
+				// No-op modifications skip recalculation; only count a
+				// run's attribution once.
+				if s.Recalcs == counted {
+					return
+				}
+				counted = s.Recalcs
+				tm := s.Result().Timings
+				tallies[g].hits += tm.CacheHits
+				tallies[g].sharedHits += tm.SharedHits
+				tallies[g].misses += tm.CacheMisses
+			}
+			count()
+			for step := 0; step < steps; step++ {
+				var err error
+				switch op := rng.Intn(10); {
+				case op < 5:
+					var c *query.Cond
+					if c, err = s.FindCond(attrs[rng.Intn(len(attrs))]); err != nil {
+						err = nil
+						continue
+					}
+					lo := math.Floor(rng.Float64() * 80)
+					err = s.SetRange(c, lo, lo+math.Floor(rng.Float64()*40))
+				case op < 8:
+					preds := query.Predicates(s.Query().Where)
+					err = s.SetWeight(preds[rng.Intn(len(preds))], []float64{0.5, 1, 2, 3}[rng.Intn(4)])
+				default:
+					if !s.CanUndo() {
+						continue
+					}
+					err = s.Undo()
+				}
+				if err != nil {
+					tallies[g].err = fmt.Errorf("step %d: %w", step, err)
+					return
+				}
+				count()
+			}
+			tallies[g].recalcs = s.Recalcs
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var recalcs, hits, sharedHits, misses int
+	for g, tl := range tallies {
+		if tl.err != nil {
+			return fmt.Errorf("session %d: %w", g, tl.err)
+		}
+		recalcs += tl.recalcs
+		hits += tl.hits
+		sharedHits += tl.sharedHits
+		misses += tl.misses
+	}
+	st := shared.Stats()
+	fmt.Printf("concurrent traffic: %d sessions x %d steps over %d rows\n", sessions, steps, rows)
+	fmt.Printf("  elapsed          %v (%.1f recalcs/s, %d recalcs)\n",
+		elapsed.Round(time.Millisecond), float64(recalcs)/elapsed.Seconds(), recalcs)
+	fmt.Printf("  leaf lookups     %d hits (%d via shared tier), %d recomputed\n", hits, sharedHits, misses)
+	fmt.Printf("  shared tier      %d hits / %d misses (%d singleflight waits), %d fills\n",
+		st.Hits, st.Misses, st.Waits, st.Fills)
+	fmt.Printf("  shared resident  %d entries, %.1f MiB\n", st.Entries, float64(st.Bytes)/(1<<20))
+	if st.Hits == 0 && sessions > 1 {
+		return fmt.Errorf("no cross-session sharing happened")
+	}
+	return nil
+}
+
+// trafficCatalog builds the three-attribute numeric table the traffic
+// scripts query.
+func trafficCatalog(rows int, seed int64) (*dataset.Catalog, error) {
+	rng := rand.New(rand.NewSource(seed))
+	tbl, err := dataset.NewTable("S", dataset.Schema{
+		{Name: "a", Kind: dataset.KindFloat},
+		{Name: "b", Kind: dataset.KindFloat},
+		{Name: "c", Kind: dataset.KindFloat},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < rows; i++ {
+		if err := tbl.AppendRow(
+			dataset.Float(rng.Float64()*100),
+			dataset.Float(rng.Float64()*100),
+			dataset.Float(rng.Float64()*100),
+		); err != nil {
+			return nil, err
+		}
+	}
+	cat := dataset.NewCatalog()
+	if err := cat.AddTable(tbl); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}

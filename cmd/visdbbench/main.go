@@ -8,6 +8,14 @@
 //	visdbbench -exp f4       # one experiment
 //	visdbbench -out ""       # skip image output
 //	visdbbench -list         # list experiment ids
+//
+// The concurrent-traffic mode exercises the multi-tenant serving path
+// instead of the paper experiments: M goroutine sessions on one
+// catalog share a catalog-level predicate cache while each drives a
+// randomized interaction script, and the run reports throughput plus
+// the shared-tier hit/miss/singleflight counters:
+//
+//	visdbbench -concurrent 8 -steps 40 -rows 200000
 package main
 
 import (
@@ -24,11 +32,23 @@ func main() {
 		exp  = flag.String("exp", "all", "experiment id (f1a f1b f2 f3 f4 f5 c1 c2 c3 c4 a1 a2 a3) or 'all'")
 		out  = flag.String("out", "out", "directory for generated images (empty to skip)")
 		list = flag.Bool("list", false, "list experiments and exit")
+
+		concurrent = flag.Int("concurrent", 0, "concurrent-traffic mode: number of simultaneous sessions (0 runs the experiments)")
+		steps      = flag.Int("steps", 40, "interaction steps per session (concurrent mode)")
+		rows       = flag.Int("rows", 200000, "catalog rows (concurrent mode)")
+		seed       = flag.Int64("seed", 1994, "script and data seed (concurrent mode)")
 	)
 	flag.Parse()
 	if *list {
 		for _, e := range experiments.Registry() {
 			fmt.Println(e.ID)
+		}
+		return
+	}
+	if *concurrent > 0 {
+		if err := runConcurrent(*concurrent, *steps, *rows, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "visdbbench:", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -16,3 +16,20 @@ func TestRunUnknownExperiment(t *testing.T) {
 		t.Error("unknown experiment should fail")
 	}
 }
+
+func TestRunConcurrentTraffic(t *testing.T) {
+	// Small enough to stay fast; large enough that sessions overlap and
+	// the shared tier must report cross-session hits.
+	if err := runConcurrent(4, 6, 2000, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunConcurrentRejectsBadArgs(t *testing.T) {
+	if err := runConcurrent(0, 6, 2000, 7); err == nil {
+		t.Error("zero sessions should fail")
+	}
+	if err := runConcurrent(2, 0, 2000, 7); err == nil {
+		t.Error("zero steps should fail")
+	}
+}

@@ -66,4 +66,38 @@
 // BenchmarkReweight and BenchmarkSliderDrag track the interactive
 // latencies across cheap-numeric, approximate-join and edit-distance
 // workloads at n = 1e6.
+//
+// # Shared cache: serving many sessions on one catalog
+//
+// Concurrent sessions on the same catalog attach to a core.SharedCache
+// (session.NewShared / visdb.NewSessionShared), turning the predicate
+// cache into three tiers resolved in order:
+//
+//	private RunCache  →  catalog SharedCache  →  recompute
+//
+// The shared tier holds immutable leaf distance vectors and their
+// promoted quantile indexes under the same structural keys as the
+// private tier, with singleflight fills (N sessions dragging the same
+// slider compute a leaf once) and LRU + byte-budget eviction. The
+// invalidation rules are asymmetric by design:
+//
+//   - A range edit invalidates the superseded range in BOTH tiers
+//     (the dead range is dead for everyone); sessions still at that
+//     range keep their private copies.
+//   - Query replacement (SetQuery/Undo) prunes only the PRIVATE tier —
+//     one session abandoning a query says nothing about the others.
+//   - Eviction and invalidation only ever unlink entries
+//     (copy-on-invalidate): vectors are immutable, so sessions holding
+//     them through their private tier or a live Result are unaffected,
+//     and correctness never depends on invalidation (keys embed table
+//     names and row counts).
+//
+// Everything downstream of the leaves — evaluation buffers, rankings,
+// Results — stays session-private, so sessions remain single-goroutine
+// state machines while the catalog tier is fully concurrent.
+// TestConcurrentSharedSessionsMatchFreshEngine (run under -race in CI)
+// asserts bitwise identity between shared-cache sessions and isolated
+// fresh engines at every step of randomized concurrent scripts;
+// BenchmarkConcurrentSessions and the visdbbench -concurrent traffic
+// mode measure the serving path.
 package repro

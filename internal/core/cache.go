@@ -31,14 +31,25 @@ import (
 // All runs sharing a cache must use the same catalog and distance
 // registry: the keys fingerprint table names and row counts, not cell
 // contents or registered function identities.
+//
+// A RunCache may additionally be backed by a catalog-level SharedCache
+// (AttachShared): lookups then fall through private → shared →
+// recompute, and recomputed leaves fill the shared tier (singleflight
+// across sessions) before being promoted into the private one. The
+// private tier keeps serving a session even after shared-tier eviction
+// or another session's invalidation — shared entries are immutable and
+// only ever unlinked, never overwritten in place.
 type RunCache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
 	gen     uint64
+	// shared is the optional catalog-level tier behind this cache.
+	shared *SharedCache
 	// Cumulative and per-run lookup accounting (tests and the
-	// StageTimings attribution).
-	hits, misses       uint64
-	runHits, runMisses int
+	// StageTimings attribution). Shared-tier hits count as hits and
+	// additionally as sharedHits.
+	hits, misses                      uint64
+	runHits, runMisses, runSharedHits int
 	// Buffer pools for the evaluation output vectors and the ranking's
 	// index permutation. free holds reusable buffers; lent the ones
 	// handed out since the current run began; live the ones belonging
@@ -83,6 +94,15 @@ func NewRunCache() *RunCache {
 	return &RunCache{entries: make(map[string]*cacheEntry)}
 }
 
+// AttachShared backs this private cache with a catalog-level shared
+// tier. All caches attached to one SharedCache must run over the same
+// catalog and distance registry. Attach before the first run.
+func (c *RunCache) AttachShared(sc *SharedCache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shared = sc
+}
+
 // beginRun starts a new run: per-run counters reset, and buffers
 // handed out since the last run ended (lazy window materializations of
 // the live Result) join the live set.
@@ -90,7 +110,7 @@ func (c *RunCache) beginRun() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.gen++
-	c.runHits, c.runMisses = 0, 0
+	c.runHits, c.runMisses, c.runSharedHits = 0, 0, 0
 	c.live = append(c.live, c.lent...)
 	c.lent = c.lent[:0]
 	c.intLive = append(c.intLive, c.intLent...)
@@ -137,11 +157,13 @@ func (c *RunCache) evictLocked() {
 	}
 }
 
-// runStats returns the current run's lookup counts.
-func (c *RunCache) runStats() (hits, misses int) {
+// runStats returns the current run's lookup counts. sharedHits is the
+// subset of hits served by the shared tier (including waits on another
+// session's in-flight fill).
+func (c *RunCache) runStats() (hits, misses, sharedHits int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.runHits, c.runMisses
+	return c.runHits, c.runMisses, c.runSharedHits
 }
 
 // Stats returns the cumulative hit/miss counts.
@@ -158,35 +180,129 @@ func (c *RunCache) Len() int {
 	return len(c.entries)
 }
 
-// condHit looks up a cached condition. needSigned misses entries
-// computed without signed distances (a cache shared across arrangement
-// modes never serves a 2D run a spiral-era vector).
-func (c *RunCache) condHit(key string, needSigned bool) (*predicateData, *relevance.LeafQuantiles, bool) {
+// condFetch resolves a condition leaf through the tiers: private hit,
+// then shared hit (promoted into the private tier), then compute (the
+// result fills the shared tier singleflight when one is attached, then
+// the private tier). needSigned misses entries computed without signed
+// distances (a cache shared across arrangement modes never serves a 2D
+// run a spiral-era vector).
+func (c *RunCache) condFetch(key, attr, label string, needSigned bool, compute func() (*predicateData, error)) (*predicateData, *relevance.LeafQuantiles, error) {
 	c.mu.Lock()
-	e, ok := c.entries[key]
-	if !ok || e.pd == nil || (needSigned && e.pd.Signed == nil) {
-		c.misses++
-		c.runMisses++
+	if e, ok := c.entries[key]; ok && e.pd != nil && (!needSigned || e.pd.Signed != nil) {
+		c.hits++
+		c.runHits++
+		e.used = c.gen
+		pd, quant := e.pd, e.quant
 		c.mu.Unlock()
-		return nil, nil, false
+		if quant == nil {
+			quant = c.buildQuantiles(key, pd.Raw)
+		}
+		return pd, quant, nil
 	}
-	c.hits++
-	c.runHits++
-	e.used = c.gen
-	pd, quant := e.pd, e.quant
+	shared := c.shared
 	c.mu.Unlock()
-	if quant == nil {
-		quant = c.buildQuantiles(key, pd.Raw)
+	if shared == nil {
+		pd, err := compute()
+		if err != nil {
+			return nil, nil, err
+		}
+		c.store(key, &cacheEntry{pd: pd, attr: attr, label: label}, false)
+		return pd, nil, nil
 	}
-	return pd, quant, true
+	v, hit, err := shared.fetch(key, needSigned, func() (*sharedEntry, error) {
+		pd, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		return &sharedEntry{pd: pd, attr: attr, label: label}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	c.store(key, &cacheEntry{pd: v.pd, quant: v.quant, attr: attr, label: label}, hit)
+	return v.pd, v.quant, nil
 }
 
-// buildQuantiles sorts a hot leaf's quantile index OUTSIDE the mutex —
-// the O(n log n) build must not serialize the sibling leaf builds that
-// share the cache — then attaches it to the entry. Two racing builders
-// do redundant work; both results are identical and either may win.
+// leafFetch is condFetch for non-condition leaf vectors (joins,
+// boolean-negation fallbacks, subqueries). attr carries the owning
+// condition's attribute when the leaf is a boolean-negation fallback of
+// a simple condition (so range edits invalidate it too).
+func (c *RunCache) leafFetch(key, attr, label string, compute func() ([]float64, error)) ([]float64, *relevance.LeafQuantiles, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok && e.dists != nil {
+		c.hits++
+		c.runHits++
+		e.used = c.gen
+		dists, quant := e.dists, e.quant
+		c.mu.Unlock()
+		if quant == nil {
+			quant = c.buildQuantiles(key, dists)
+		}
+		return dists, quant, nil
+	}
+	shared := c.shared
+	c.mu.Unlock()
+	if shared == nil {
+		dists, err := compute()
+		if err != nil {
+			return nil, nil, err
+		}
+		c.store(key, &cacheEntry{dists: dists, attr: attr, label: label}, false)
+		return dists, nil, nil
+	}
+	v, hit, err := shared.fetch(key, false, func() (*sharedEntry, error) {
+		dists, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		return &sharedEntry{dists: dists, attr: attr, label: label}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	c.store(key, &cacheEntry{dists: v.dists, quant: v.quant, attr: attr, label: label}, hit)
+	return v.dists, v.quant, nil
+}
+
+// store records an entry in the private tier and attributes the lookup
+// that produced it: sharedHit marks a vector served by the shared tier
+// (a cache hit for the run), anything else was computed here (a miss).
+func (c *RunCache) store(key string, e *cacheEntry, sharedHit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sharedHit {
+		c.hits++
+		c.runHits++
+		c.runSharedHits++
+	} else {
+		c.misses++
+		c.runMisses++
+	}
+	e.used = c.gen
+	c.entries[key] = e
+	c.evictLocked()
+}
+
+// buildQuantiles resolves a hot leaf's quantile index: reuse one
+// another session already promoted to the shared tier, else sort
+// OUTSIDE the mutex — the O(n log n) build must not serialize the
+// sibling leaf builds that share the cache — and promote it. Two
+// racing builders do redundant work; both results are identical and
+// the canonical (first promoted) one wins.
 func (c *RunCache) buildQuantiles(key string, dists []float64) *relevance.LeafQuantiles {
-	q := relevance.BuildLeafQuantiles(dists)
+	c.mu.Lock()
+	shared := c.shared
+	c.mu.Unlock()
+	var q *relevance.LeafQuantiles
+	if shared != nil {
+		q = shared.quantilesOf(key)
+	}
+	if q == nil {
+		q = relevance.BuildLeafQuantiles(dists)
+		if shared != nil {
+			q = shared.attachQuantiles(key, q)
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[key]; ok {
@@ -196,45 +312,6 @@ func (c *RunCache) buildQuantiles(key string, dists []float64) *relevance.LeafQu
 		e.quant = q
 	}
 	return q
-}
-
-// condStore records a computed condition.
-func (c *RunCache) condStore(key, attr, label string, pd *predicateData) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries[key] = &cacheEntry{pd: pd, attr: attr, label: label, used: c.gen}
-	c.evictLocked()
-}
-
-// leafHit looks up a cached non-condition leaf vector.
-func (c *RunCache) leafHit(key string) ([]float64, *relevance.LeafQuantiles, bool) {
-	c.mu.Lock()
-	e, ok := c.entries[key]
-	if !ok || e.dists == nil {
-		c.misses++
-		c.runMisses++
-		c.mu.Unlock()
-		return nil, nil, false
-	}
-	c.hits++
-	c.runHits++
-	e.used = c.gen
-	dists, quant := e.dists, e.quant
-	c.mu.Unlock()
-	if quant == nil {
-		quant = c.buildQuantiles(key, dists)
-	}
-	return dists, quant, true
-}
-
-// leafStore records a computed non-condition leaf. attr carries the
-// owning condition's attribute when the leaf is a boolean-negation
-// fallback of a simple condition (so range edits invalidate it too).
-func (c *RunCache) leafStore(key, attr, label string, dists []float64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries[key] = &cacheEntry{dists: dists, attr: attr, label: label, used: c.gen}
-	c.evictLocked()
 }
 
 // alloc hands out an n-sized evaluation buffer, reusing the pool when a
@@ -281,17 +358,26 @@ func (c *RunCache) allocInt(n int) []int {
 // the attribute (a second predicate on the same column, a same-named
 // column of another table) are untouched: invalidation is memory
 // management, and a drag must keep recomputing exactly one leaf.
+//
+// The invalidation propagates to the attached shared tier (the
+// superseded range is dead weight there too); sessions still reading
+// the old vectors are unaffected — entries are immutable and
+// invalidation only unlinks them.
 func (c *RunCache) InvalidateCond(cond *query.Cond) {
 	if cond == nil {
 		return
 	}
 	label := cond.Label()
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	shared := c.shared
 	for k, e := range c.entries {
 		if e.attr != "" && e.attr == cond.Attr && e.label == label {
 			delete(c.entries, k)
 		}
+	}
+	c.mu.Unlock()
+	if shared != nil {
+		shared.InvalidateCond(cond)
 	}
 }
 
@@ -299,7 +385,10 @@ func (c *RunCache) InvalidateCond(cond *query.Cond) {
 // invalidation for whole-query replacement (SetQuery) and Undo.
 // Condition entries survive when their attribute still appears in some
 // condition of q (a restored query re-hits them); join and subquery
-// entries survive by structural label.
+// entries survive by structural label. Prune is strictly private: one
+// session abandoning a query says nothing about the other sessions
+// sharing the catalog tier, whose leaves stay resident there under the
+// LRU + byte budget.
 func (c *RunCache) Prune(q *query.Query) {
 	if q == nil {
 		c.Clear()

@@ -68,9 +68,12 @@ type StageTimings struct {
 	Reduce    time.Duration
 	Total     time.Duration
 	// CacheHits and CacheMisses attribute the Distances stage of a
-	// RunCached run: how many leaf vectors were served from the session
-	// cache versus recomputed. Both are zero for uncached runs.
-	CacheHits, CacheMisses int
+	// RunCached run: how many leaf vectors were served from the cache
+	// versus recomputed. SharedHits is the subset of CacheHits served
+	// by the catalog-level shared tier (another session computed the
+	// vector, or this session waited on its in-flight fill). All are
+	// zero for uncached runs.
+	CacheHits, CacheMisses, SharedHits int
 }
 
 // Run executes q: bind, compute per-predicate distances, combine, rank,
@@ -96,12 +99,39 @@ func (e *Engine) Run(q *query.Query) (*Result, error) {
 // interaction loop) use it via Session.Recalculate; use Run for
 // concurrent or long-lived results. A nil cache makes RunCached
 // identical to Run.
+//
+// When the cache is backed by a catalog-level SharedCache, leaf
+// lookups fall through private → shared → recompute, and recomputed
+// leaves fill the shared tier once for every session on the catalog.
 func (e *Engine) RunCached(q *query.Query, cache *RunCache) (*Result, error) {
 	start := time.Now()
 	b, err := query.Bind(q, e.cat)
 	if err != nil {
 		return nil, err
 	}
+	return e.runBound(q, b, cache, start)
+}
+
+// RunPrebound is RunCached with the query binding supplied by the
+// caller — the interaction loop binds once and reruns many times (the
+// engine never mutates a binding, so one binding may serve any number
+// of runs, concurrent ones included). The binding must come from
+// query.Bind of this exact query AST against this engine's catalog;
+// reparse or requery means rebind.
+func (e *Engine) RunPrebound(q *query.Query, b *query.Binding, cache *RunCache) (*Result, error) {
+	start := time.Now()
+	if b == nil || b.Query != q {
+		return nil, fmt.Errorf("core: binding does not belong to this query")
+	}
+	if b.Catalog != e.cat {
+		return nil, fmt.Errorf("core: binding was resolved against a different catalog")
+	}
+	return e.runBound(q, b, cache, start)
+}
+
+// runBound is the shared tail of Run/RunCached/RunPrebound: everything
+// after name resolution.
+func (e *Engine) runBound(q *query.Query, b *query.Binding, cache *RunCache, start time.Time) (*Result, error) {
 	space, err := e.buildItemSpace(q)
 	if err != nil {
 		return nil, err
@@ -134,7 +164,7 @@ func (e *Engine) RunCached(q *query.Query, cache *RunCache) (*Result, error) {
 	res.root = root
 	res.Timings.Distances = time.Since(mark)
 	if cache != nil {
-		res.Timings.CacheHits, res.Timings.CacheMisses = cache.runStats()
+		res.Timings.CacheHits, res.Timings.CacheMisses, res.Timings.SharedHits = cache.runStats()
 	}
 	mark = time.Now()
 	budget := e.opt.GridW * e.opt.GridH
@@ -305,36 +335,45 @@ func (e *Engine) buildTree(where query.Expr, b *query.Binding, space *itemSpace,
 func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, res *Result, negated bool, workers int) (*relevance.Node, error) {
 	switch n := expr.(type) {
 	case *query.Cond:
+		attr, bound := b.Attrs[n]
+		if !bound {
+			return nil, fmt.Errorf("core: condition %q not bound", n.Label())
+		}
 		c := n
 		if negated {
 			if inv, ok := n.Op.Invert(); ok {
+				// The inverted condition is a private rewrite: the shared
+				// binding is never touched, so a binding stays read-only
+				// for its whole life and reruns (and concurrent runs) can
+				// reuse it.
 				c = &query.Cond{Attr: n.Attr, Op: inv, Value: n.Value, Lo: n.Lo, Hi: n.Hi,
 					List: n.List, DistFunc: n.DistFunc, W: n.W}
-				b.Attrs[c] = b.Attrs[n]
 			} else {
 				return e.booleanLeaf(n, b, space, res, true, workers)
 			}
 		}
-		// The cache key is the condition's structural signature: bound
-		// table.attr plus Label (operator, literals, distance function —
-		// Label excludes the weighting factor by construction), so
-		// weight-only reruns hit unconditionally.
-		var key string
+		compute := func() (*predicateData, error) {
+			return e.condData(c, attr, space, workers)
+		}
 		var pd *predicateData
 		var quant *relevance.LeafQuantiles
+		var err error
 		if res.cache != nil {
-			key = "C|" + res.cacheSig + "|" + b.Attrs[c].Qualified() + "|" + c.Label()
-			pd, quant, _ = res.cache.condHit(key, e.opt.Arrangement == Arrange2D)
+			// The cache key is the condition's structural signature: bound
+			// table.attr plus Label (operator, literals, distance function —
+			// Label excludes the weighting factor by construction), so
+			// weight-only reruns hit unconditionally. The invalidation
+			// handle is the ORIGINAL condition's label (n, not the
+			// inverted copy c): SetRange edits and invalidates the
+			// condition as written in the query, and the two labels
+			// differ under negation.
+			key := "C|" + res.cacheSig + "|" + attr.Qualified() + "|" + c.Label()
+			pd, quant, err = res.cache.condFetch(key, n.Attr, n.Label(), e.opt.Arrangement == Arrange2D, compute)
+		} else {
+			pd, err = compute()
 		}
-		if pd == nil {
-			var err error
-			pd, err = e.condData(c, b, space, workers)
-			if err != nil {
-				return nil, err
-			}
-			if res.cache != nil {
-				res.cache.condStore(key, c.Attr, c.Label(), pd)
-			}
+		if err != nil {
+			return nil, err
 		}
 		node := &relevance.Node{Op: relevance.Leaf, Label: expr.Label(), Weight: expr.Weight(), Dists: pd.Raw, Quantiles: quant}
 		res.setNode(expr, node)
@@ -357,11 +396,12 @@ func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, r
 		}
 		node := &relevance.Node{Op: op, Label: n.Label(), Weight: n.Weight()}
 		children := make([]*relevance.Node, len(n.Children))
-		if workers > 1 && len(n.Children) > 1 && !negated && !hasNegation(n) {
+		if workers > 1 && len(n.Children) > 1 {
 			// Build sibling predicate subtrees concurrently: each child
-			// fills only its own distance vectors, and Result's maps are
-			// mutex-guarded. Negating subtrees are excluded because
-			// operator inversion rewrites the shared binding. The worker
+			// fills only its own distance vectors, Result's maps are
+			// mutex-guarded, and the binding is read-only during runs
+			// (negation rewrites condition copies, never the binding), so
+			// negating subtrees parallelize like any other. The worker
 			// budget is split between siblings (and the sibling fan-out
 			// itself bounded by it), so total concurrency composes to
 			// ≈ workers instead of multiplying.
@@ -371,7 +411,7 @@ func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, r
 			}
 			err := parallelFor(len(n.Children), workers, 1, func(from, to int) error {
 				for i := from; i < to; i++ {
-					child, err := e.exprNode(n.Children[i], b, space, res, false, childWorkers)
+					child, err := e.exprNode(n.Children[i], b, space, res, negated, childWorkers)
 					if err != nil {
 						return err
 					}
@@ -408,53 +448,57 @@ func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, r
 		if !ok {
 			return nil, fmt.Errorf("core: join %q not bound", n.Connection)
 		}
-		var key string
-		if res.cache != nil {
-			key = fmt.Sprintf("J|%s|%s|neg=%v", res.cacheSig, n.Label(), negated)
-			if dists, quant, ok := res.cache.leafHit(key); ok {
-				node := &relevance.Node{Op: relevance.Leaf, Label: expr.Label(), Weight: n.Weight(), Dists: dists, Quantiles: quant}
-				res.setNode(expr, node)
-				return node, nil
+		compute := func() ([]float64, error) {
+			var dists []float64
+			var err error
+			if space.pairs == nil {
+				// Single-table use of a connection: the join-partner-count
+				// distance of section 4.4 — "if the user is only interested
+				// in one relation and in the number of join partners that
+				// each data item of this relation has with another relation,
+				// the user might use the inverse of that number as the
+				// distance". A partner is a row of the other relation that
+				// fulfills the connection exactly (distance 0; use a
+				// Within-mode connection for tolerance-based counting).
+				dists, err = e.partnerCountDistances(conn, space, workers)
+			} else {
+				out := make([]float64, len(space.pairs))
+				err = parallelFor(len(space.pairs), workers, itemChunk, func(from, to int) error {
+					return join.ConnDistancesRange(conn, space.tables[0], space.tables[1], space.pairs, out, from, to, e.reg)
+				})
+				dists = out
 			}
+			if err != nil {
+				return nil, err
+			}
+			if negated {
+				// Negated joins are uncolorable where the join holds
+				// exactly. The rewrite happens before the vector is cached
+				// (the key carries the negation flag), so cached vectors
+				// are never re-mutated.
+				for i, d := range dists {
+					if d == 0 {
+						dists[i] = math.NaN()
+					} else {
+						dists[i] = 0
+					}
+				}
+			}
+			return dists, nil
 		}
 		var dists []float64
+		var quant *relevance.LeafQuantiles
 		var err error
-		if space.pairs == nil {
-			// Single-table use of a connection: the join-partner-count
-			// distance of section 4.4 — "if the user is only interested
-			// in one relation and in the number of join partners that
-			// each data item of this relation has with another relation,
-			// the user might use the inverse of that number as the
-			// distance". A partner is a row of the other relation that
-			// fulfills the connection exactly (distance 0; use a
-			// Within-mode connection for tolerance-based counting).
-			dists, err = e.partnerCountDistances(conn, space, workers)
+		if res.cache != nil {
+			key := fmt.Sprintf("J|%s|%s|neg=%v", res.cacheSig, n.Label(), negated)
+			dists, quant, err = res.cache.leafFetch(key, "", n.Label(), compute)
 		} else {
-			out := make([]float64, len(space.pairs))
-			err = parallelFor(len(space.pairs), workers, itemChunk, func(from, to int) error {
-				return join.ConnDistancesRange(conn, space.tables[0], space.tables[1], space.pairs, out, from, to, e.reg)
-			})
-			dists = out
+			dists, err = compute()
 		}
 		if err != nil {
 			return nil, err
 		}
-		if negated {
-			// Negated joins are uncolorable where the join holds exactly.
-			for i, d := range dists {
-				if d == 0 {
-					dists[i] = math.NaN()
-				} else {
-					dists[i] = 0
-				}
-			}
-		}
-		if res.cache != nil {
-			// Stored after the negation rewrite (the key carries the
-			// negation flag), so cached vectors are never re-mutated.
-			res.cache.leafStore(key, "", n.Label(), dists)
-		}
-		node := &relevance.Node{Op: relevance.Leaf, Label: expr.Label(), Weight: n.Weight(), Dists: dists}
+		node := &relevance.Node{Op: relevance.Leaf, Label: expr.Label(), Weight: n.Weight(), Dists: dists, Quantiles: quant}
 		res.setNode(expr, node)
 		return node, nil
 	case *query.SubqueryExpr:
@@ -513,39 +557,42 @@ func (e *Engine) booleanLeaf(c *query.Cond, b *query.Binding, space *itemSpace, 
 	if negate {
 		label = "NOT " + label
 	}
-	var key string
-	if res.cache != nil {
-		key = fmt.Sprintf("B|%s|%s", res.cacheSig, label)
-		if dists, quant, ok := res.cache.leafHit(key); ok {
-			node := &relevance.Node{Op: relevance.Leaf, Label: label, Weight: c.Weight(), Dists: dists, Quantiles: quant}
-			res.setNode(c, node)
-			return node, nil
+	compute := func() ([]float64, error) {
+		dists := make([]float64, space.n)
+		if err := parallelFor(space.n, workers, itemChunk, func(from, to int) error {
+			for i := from; i < to; i++ {
+				sat, err := boolEvalCond(c, b, space, i)
+				if err != nil {
+					return err
+				}
+				if negate {
+					sat = !sat
+				}
+				if sat {
+					dists[i] = 0
+				} else {
+					dists[i] = math.NaN()
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
+		return dists, nil
 	}
-	dists := make([]float64, space.n)
-	if err := parallelFor(space.n, workers, itemChunk, func(from, to int) error {
-		for i := from; i < to; i++ {
-			sat, err := boolEvalCond(c, b, space, i)
-			if err != nil {
-				return err
-			}
-			if negate {
-				sat = !sat
-			}
-			if sat {
-				dists[i] = 0
-			} else {
-				dists[i] = math.NaN()
-			}
-		}
-		return nil
-	}); err != nil {
+	var dists []float64
+	var quant *relevance.LeafQuantiles
+	var err error
+	if res.cache != nil {
+		key := fmt.Sprintf("B|%s|%s", res.cacheSig, label)
+		dists, quant, err = res.cache.leafFetch(key, c.Attr, c.Label(), compute)
+	} else {
+		dists, err = compute()
+	}
+	if err != nil {
 		return nil, err
 	}
-	if res.cache != nil {
-		res.cache.leafStore(key, c.Attr, c.Label(), dists)
-	}
-	node := &relevance.Node{Op: relevance.Leaf, Label: label, Weight: c.Weight(), Dists: dists}
+	node := &relevance.Node{Op: relevance.Leaf, Label: label, Weight: c.Weight(), Dists: dists, Quantiles: quant}
 	res.setNode(c, node)
 	return node, nil
 }
@@ -560,121 +607,124 @@ func (e *Engine) subqueryNode(sq *query.SubqueryExpr, b *query.Binding, space *i
 	if !ok {
 		return nil, fmt.Errorf("core: subquery not bound")
 	}
+	compute := func() ([]float64, error) {
+		if len(sq.Sub.From) != 1 {
+			return nil, fmt.Errorf("core: subqueries over %d tables unsupported", len(sq.Sub.From))
+		}
+		inner, err := e.cat.Table(sq.Sub.From[0])
+		if err != nil {
+			return nil, err
+		}
+		// Combined inner-condition distance per inner row, using a nested
+		// evaluation (normalization-free raw means keep the scale of the
+		// attribute distance; we use normalized values for robustness).
+		innerSpace := &itemSpace{tables: []*dataset.Table{inner}, n: inner.NumRows()}
+		innerRes := &Result{Engine: e, nodeOf: make(map[query.Expr]*relevance.Node), preds: make(map[*query.Cond]*predicateData)}
+		innerRoot, err := e.buildTree(sq.Sub.Where, subBinding, innerSpace, innerRes, workers)
+		if err != nil {
+			return nil, err
+		}
+		innerEval, err := relevance.Evaluate(innerRoot, innerSpace.n, relevance.EvalOptions{
+			Budget: e.opt.GridW * e.opt.GridH,
+			Mode:   e.opt.Mode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		innerDist := innerEval.Combined
+
+		mode := sq.Mode
+		if negated {
+			switch mode {
+			case query.Exists:
+				mode = query.NotExists
+			case query.NotExists:
+				mode = query.Exists
+			case query.InQuery:
+				mode = query.NotInQuery
+			case query.NotInQuery:
+				mode = query.InQuery
+			}
+		}
+		dists := make([]float64, space.n)
+		switch mode {
+		case query.Exists:
+			// Uncorrelated EXISTS: the same minimum for every outer item.
+			best := math.NaN()
+			for _, d := range innerDist {
+				if math.IsNaN(d) {
+					continue
+				}
+				if math.IsNaN(best) || d < best {
+					best = d
+				}
+			}
+			for i := range dists {
+				dists[i] = best
+			}
+		case query.InQuery:
+			attr := b.InAttrs[sq]
+			innerAttr := subBinding.Selects[0]
+			conn := dataset.Connection{
+				Name: "in-subquery", Left: attr.Table, Right: innerAttr.Table,
+				LeftAttr: attr.Attr, RightAttr: innerAttr.Attr,
+				Metric: dataset.MetricNumeric, Mode: dataset.ModeEqual,
+			}
+			if attr.Kind.IsStringy() {
+				conn.Metric = dataset.MetricString
+			} else if attr.Kind == dataset.KindTime {
+				conn.Metric = dataset.MetricTime
+			}
+			outer, err := space.tableByName(attr.Table)
+			if err != nil {
+				return nil, err
+			}
+			perRow, err := join.MinDistancePerLeft(conn, outer, inner, innerDist, e.reg)
+			if err != nil {
+				return nil, err
+			}
+			for i := range dists {
+				row, err := space.rowFor(i, attr.Table)
+				if err != nil {
+					return nil, err
+				}
+				dists[i] = perRow[row]
+			}
+		case query.NotExists, query.NotInQuery:
+			sat, err := e.boolSubquery(sq, mode, b, subBinding, space, inner, innerDist)
+			if err != nil {
+				return nil, err
+			}
+			for i := range dists {
+				if sat[i] {
+					dists[i] = 0
+				} else {
+					dists[i] = math.NaN()
+				}
+			}
+		}
+		return dists, nil
+	}
 	// The subquery leaf caches on the full rendered subquery (String
 	// keeps inner weighting factors, which DO change the inner combined
 	// distances and hence this leaf's vector) plus the engine options
 	// the inner evaluation depends on (budget and combine mode), so a
 	// cache shared across differently-configured engines never serves a
 	// stale vector.
-	var key string
+	var dists []float64
+	var quant *relevance.LeafQuantiles
+	var err error
 	if res.cache != nil {
-		key = fmt.Sprintf("S|%s|%d|%d|%s|neg=%v", res.cacheSig,
+		key := fmt.Sprintf("S|%s|%d|%d|%s|neg=%v", res.cacheSig,
 			e.opt.GridW*e.opt.GridH, e.opt.Mode, sq.String(), negated)
-		if dists, quant, ok := res.cache.leafHit(key); ok {
-			node := &relevance.Node{Op: relevance.Leaf, Label: sq.Label(), Weight: sq.Weight(), Dists: dists, Quantiles: quant}
-			res.setNode(sq, node)
-			return node, nil
-		}
+		dists, quant, err = res.cache.leafFetch(key, "", sq.Label(), compute)
+	} else {
+		dists, err = compute()
 	}
-	if len(sq.Sub.From) != 1 {
-		return nil, fmt.Errorf("core: subqueries over %d tables unsupported", len(sq.Sub.From))
-	}
-	inner, err := e.cat.Table(sq.Sub.From[0])
 	if err != nil {
 		return nil, err
 	}
-	// Combined inner-condition distance per inner row, using a nested
-	// evaluation (normalization-free raw means keep the scale of the
-	// attribute distance; we use normalized values for robustness).
-	innerSpace := &itemSpace{tables: []*dataset.Table{inner}, n: inner.NumRows()}
-	innerRes := &Result{Engine: e, nodeOf: make(map[query.Expr]*relevance.Node), preds: make(map[*query.Cond]*predicateData)}
-	innerRoot, err := e.buildTree(sq.Sub.Where, subBinding, innerSpace, innerRes, workers)
-	if err != nil {
-		return nil, err
-	}
-	innerEval, err := relevance.Evaluate(innerRoot, innerSpace.n, relevance.EvalOptions{
-		Budget: e.opt.GridW * e.opt.GridH,
-		Mode:   e.opt.Mode,
-	})
-	if err != nil {
-		return nil, err
-	}
-	innerDist := innerEval.Combined
-
-	mode := sq.Mode
-	if negated {
-		switch mode {
-		case query.Exists:
-			mode = query.NotExists
-		case query.NotExists:
-			mode = query.Exists
-		case query.InQuery:
-			mode = query.NotInQuery
-		case query.NotInQuery:
-			mode = query.InQuery
-		}
-	}
-	dists := make([]float64, space.n)
-	switch mode {
-	case query.Exists:
-		// Uncorrelated EXISTS: the same minimum for every outer item.
-		best := math.NaN()
-		for _, d := range innerDist {
-			if math.IsNaN(d) {
-				continue
-			}
-			if math.IsNaN(best) || d < best {
-				best = d
-			}
-		}
-		for i := range dists {
-			dists[i] = best
-		}
-	case query.InQuery:
-		attr := b.InAttrs[sq]
-		innerAttr := subBinding.Selects[0]
-		conn := dataset.Connection{
-			Name: "in-subquery", Left: attr.Table, Right: innerAttr.Table,
-			LeftAttr: attr.Attr, RightAttr: innerAttr.Attr,
-			Metric: dataset.MetricNumeric, Mode: dataset.ModeEqual,
-		}
-		if attr.Kind.IsStringy() {
-			conn.Metric = dataset.MetricString
-		} else if attr.Kind == dataset.KindTime {
-			conn.Metric = dataset.MetricTime
-		}
-		outer, err := space.tableByName(attr.Table)
-		if err != nil {
-			return nil, err
-		}
-		perRow, err := join.MinDistancePerLeft(conn, outer, inner, innerDist, e.reg)
-		if err != nil {
-			return nil, err
-		}
-		for i := range dists {
-			row, err := space.rowFor(i, attr.Table)
-			if err != nil {
-				return nil, err
-			}
-			dists[i] = perRow[row]
-		}
-	case query.NotExists, query.NotInQuery:
-		sat, err := e.boolSubquery(sq, mode, b, subBinding, space, inner, innerDist)
-		if err != nil {
-			return nil, err
-		}
-		for i := range dists {
-			if sat[i] {
-				dists[i] = 0
-			} else {
-				dists[i] = math.NaN()
-			}
-		}
-	}
-	if res.cache != nil {
-		res.cache.leafStore(key, "", sq.Label(), dists)
-	}
-	node := &relevance.Node{Op: relevance.Leaf, Label: sq.Label(), Weight: sq.Weight(), Dists: dists}
+	node := &relevance.Node{Op: relevance.Leaf, Label: sq.Label(), Weight: sq.Weight(), Dists: dists, Quantiles: quant}
 	res.setNode(sq, node)
 	return node, nil
 }

@@ -3,8 +3,6 @@ package core
 import (
 	"sync"
 	"sync/atomic"
-
-	"repro/internal/query"
 )
 
 // parallelFor runs fn over the index range [0, n) split into contiguous
@@ -74,23 +72,3 @@ func parallelFor(n, workers, minChunk int, fn func(lo, hi int) error) error {
 // itemChunk is the minimum per-item work batch; below this the
 // goroutine handoff costs more than the loop body.
 const itemChunk = 2048
-
-// hasNegation reports whether the expression subtree contains a NOT.
-// Negated predicates mutate the shared binding (operator inversion
-// re-keys Binding.Attrs), so sibling subtrees are only built
-// concurrently when none of them negates. Subquery interiors use their
-// own binding and evaluate under their own Result, so they do not leak
-// negation into the enclosing tree.
-func hasNegation(e query.Expr) bool {
-	switch n := e.(type) {
-	case *query.Not:
-		return true
-	case *query.BoolExpr:
-		for _, c := range n.Children {
-			if hasNegation(c) {
-				return true
-			}
-		}
-	}
-	return false
-}

@@ -61,12 +61,10 @@ func (s *itemSpace) tableByName(name string) (*dataset.Table, error) {
 }
 
 // condData computes the distances of a simple condition over the item
-// space.
-func (e *Engine) condData(c *query.Cond, b *query.Binding, space *itemSpace, workers int) (*predicateData, error) {
-	attr, ok := b.Attrs[c]
-	if !ok {
-		return nil, fmt.Errorf("core: condition %q not bound", c.Label())
-	}
+// space. attr is the condition's resolved binding, passed explicitly so
+// negation rewrites (which evaluate a private copy of the condition)
+// never have to touch the shared, read-only Binding.
+func (e *Engine) condData(c *query.Cond, attr query.BoundAttr, space *itemSpace, workers int) (*predicateData, error) {
 	t, err := space.tableByName(attr.Table)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/query"
+	"repro/internal/relevance"
+)
+
+// SharedCache is the catalog-level tier of the predicate cache: one
+// instance per catalog, attached to every session exploring that
+// catalog, so the expensive part of the feedback loop — leaf distance
+// vectors and their quantile indexes — is computed once per catalog
+// instead of once per session. It is the first piece of the multi-
+// tenant serving architecture: N users dragging sliders over the same
+// large database share every leaf whose structural signature matches.
+//
+// The design invariants, in order of importance:
+//
+//   - Entries are immutable. A vector is fully computed before it is
+//     stored and never written afterwards, so any number of sessions
+//     may read a cached vector concurrently without synchronization.
+//
+//   - Invalidation and eviction are copy-on-invalidate: they only
+//     unlink an entry from the map. Sessions still holding the vector
+//     (via their private RunCache tier or a live Result) keep reading
+//     valid, unchanging data; the next fill allocates a fresh vector
+//     instead of reusing the old one.
+//
+//   - Fills are singleflight: when N sessions miss on the same key at
+//     once (the classic thundering herd of a shared dashboard), one
+//     computes and the rest wait for its result.
+//
+//   - Memory is bounded by an entry cap and a byte budget, evicted in
+//     least-recently-used order.
+//
+// Correctness does not depend on invalidation: keys embed the full
+// structural signature of the leaf computation including table names
+// and row counts (see spaceSig), so an entry can never be served
+// stale. All sessions sharing a cache must use the same catalog and
+// distance registry — the keys fingerprint table identities, not cell
+// contents or registered function implementations. Sessions may differ
+// in every other option: leaf vectors are upstream of normalization
+// and combination, and the leaf kinds that do depend on options
+// (subquery leaves, signed-distance vectors) carry those options in
+// their keys or satisfy lookups conditionally.
+type SharedCache struct {
+	mu       sync.Mutex
+	entries  map[string]*sharedEntry
+	inflight map[string]*sharedCall
+	// clock orders accesses for LRU eviction.
+	clock      uint64
+	bytes      int64
+	maxEntries int
+	maxBytes   int64
+
+	hits, misses, fills, waits uint64
+}
+
+// Default bounds for NewSharedCache: sized for a serving tier (many
+// sessions, many queries) rather than the 64-entry private tier of one
+// interaction loop.
+const (
+	DefaultSharedEntries = 1024
+	DefaultSharedBytes   = 256 << 20 // 256 MiB of cached vectors
+)
+
+// sharedEntry is one immutable cached leaf. Exactly one of pd and
+// dists is set; quant is attached later, when some session first
+// reuses the leaf (promotion of the quantile index to the shared
+// tier).
+type sharedEntry struct {
+	pd    *predicateData
+	dists []float64
+	quant *relevance.LeafQuantiles
+	attr  string
+	label string
+	bytes int64
+	used  uint64
+}
+
+// sharedView is a consistent snapshot of an entry's payload, taken
+// under the cache mutex (the quant field of the entry itself may be
+// attached concurrently by another session).
+type sharedView struct {
+	pd    *predicateData
+	dists []float64
+	quant *relevance.LeafQuantiles
+}
+
+// sharedCall is one in-flight singleflight fill.
+type sharedCall struct {
+	done chan struct{}
+	view sharedView
+	ok   bool
+	err  error
+}
+
+// NewSharedCache creates a shared tier with the given bounds; zero or
+// negative values select the defaults.
+func NewSharedCache(maxEntries int, maxBytes int64) *SharedCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultSharedEntries
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultSharedBytes
+	}
+	return &SharedCache{
+		entries:    make(map[string]*sharedEntry),
+		inflight:   make(map[string]*sharedCall),
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+	}
+}
+
+// SharedStats is a point-in-time snapshot of the shared tier.
+type SharedStats struct {
+	// Hits counts lookups served from the cache, including waiters
+	// that got their vector from another session's in-flight fill.
+	Hits uint64
+	// Misses counts lookups that had to compute (singleflight
+	// leaders).
+	Misses uint64
+	// Fills counts successful stores (misses whose computation
+	// succeeded, plus needSigned upgrades that replaced an entry).
+	Fills uint64
+	// Waits counts lookups that blocked on another session's fill
+	// instead of computing redundantly.
+	Waits uint64
+	// Entries and Bytes describe the current resident set.
+	Entries int
+	Bytes   int64
+}
+
+// Stats returns cumulative counters and the current size.
+func (sc *SharedCache) Stats() SharedStats {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return SharedStats{
+		Hits: sc.hits, Misses: sc.misses, Fills: sc.fills, Waits: sc.waits,
+		Entries: len(sc.entries), Bytes: sc.bytes,
+	}
+}
+
+// Len returns the number of resident entries.
+func (sc *SharedCache) Len() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.entries)
+}
+
+// Bytes returns the resident vector bytes.
+func (sc *SharedCache) Bytes() int64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.bytes
+}
+
+// satisfies reports whether the entry can serve a lookup that needs
+// signed distances (only condition entries carry them; needSigned is
+// set by 2D-arrangement engines).
+func (e *sharedEntry) satisfies(needSigned bool) bool {
+	return e.pd == nil || !needSigned || e.pd.Signed != nil
+}
+
+// sizeBytes accounts the entry's retained vectors.
+func (e *sharedEntry) sizeBytes() int64 {
+	n := len(e.dists)
+	if e.pd != nil {
+		n += len(e.pd.Values) + len(e.pd.Raw) + len(e.pd.Signed)
+	}
+	if e.quant != nil {
+		n += e.quant.Size()
+	}
+	return int64(8 * n)
+}
+
+// view snapshots the payload; call with the mutex held.
+func (e *sharedEntry) viewLocked() sharedView {
+	return sharedView{pd: e.pd, dists: e.dists, quant: e.quant}
+}
+
+// fetch returns the entry for key, computing it at most once across
+// concurrent callers. hit reports whether the view was served without
+// running compute in this call (a resident entry, or another caller's
+// fill we waited on). compute runs without any cache lock held, so
+// fills for different keys proceed concurrently and a fill may
+// recursively fetch other keys.
+func (sc *SharedCache) fetch(key string, needSigned bool, compute func() (*sharedEntry, error)) (view sharedView, hit bool, err error) {
+	sc.mu.Lock()
+	for {
+		if e, ok := sc.entries[key]; ok && e.satisfies(needSigned) {
+			sc.clock++
+			e.used = sc.clock
+			sc.hits++
+			v := e.viewLocked()
+			sc.mu.Unlock()
+			return v, true, nil
+		}
+		call, ok := sc.inflight[key]
+		if !ok {
+			break // no resident entry, no fill in flight: we lead
+		}
+		sc.waits++
+		sc.mu.Unlock()
+		<-call.done
+		if call.err != nil {
+			// The leader's computation failed; ours would too (same
+			// key, same deterministic computation over the same
+			// catalog).
+			return sharedView{}, false, call.err
+		}
+		if call.ok && (call.view.pd == nil || !needSigned || call.view.pd.Signed != nil) {
+			sc.mu.Lock()
+			sc.hits++
+			sc.mu.Unlock()
+			return call.view, true, nil
+		}
+		// The finished fill does not satisfy us (e.g. it lacks signed
+		// distances and we need them): loop and try to lead an
+		// upgrading fill ourselves.
+		sc.mu.Lock()
+	}
+	sc.misses++
+	call := &sharedCall{done: make(chan struct{})}
+	sc.inflight[key] = call
+	sc.mu.Unlock()
+
+	e, err := compute()
+
+	sc.mu.Lock()
+	delete(sc.inflight, key)
+	if err == nil {
+		sc.clock++
+		e.used = sc.clock
+		e.bytes = e.sizeBytes()
+		if old, ok := sc.entries[key]; ok {
+			sc.bytes -= old.bytes
+		}
+		sc.entries[key] = e
+		sc.bytes += e.bytes
+		sc.fills++
+		sc.evictLocked()
+		call.view, call.ok = e.viewLocked(), true
+		view = call.view
+	}
+	call.err = err
+	sc.mu.Unlock()
+	close(call.done)
+	return view, false, err
+}
+
+// quantilesOf returns the promoted quantile index for key, if any
+// session has built one.
+func (sc *SharedCache) quantilesOf(key string) *relevance.LeafQuantiles {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if e, ok := sc.entries[key]; ok {
+		return e.quant
+	}
+	return nil
+}
+
+// attachQuantiles promotes a freshly built quantile index to the
+// shared tier and returns the canonical one: if another session's
+// build won the race, its index is returned (both are identical — the
+// sort is deterministic — so either could win; keeping the first keeps
+// one copy resident). The entry's byte accounting grows by the index.
+func (sc *SharedCache) attachQuantiles(key string, q *relevance.LeafQuantiles) *relevance.LeafQuantiles {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	e, ok := sc.entries[key]
+	if !ok {
+		return q
+	}
+	if e.quant != nil {
+		return e.quant
+	}
+	e.quant = q
+	grown := e.sizeBytes()
+	sc.bytes += grown - e.bytes
+	e.bytes = grown
+	sc.evictLocked()
+	return q
+}
+
+// evictLocked drops least-recently-used entries until both the entry
+// cap and the byte budget hold; called with the mutex held after every
+// store. Ties break by key so eviction order is deterministic.
+// Evicting an entry other sessions still read is safe: entries are
+// immutable and eviction only unlinks them (copy-on-invalidate).
+func (sc *SharedCache) evictLocked() {
+	for len(sc.entries) > sc.maxEntries || sc.bytes > sc.maxBytes {
+		if len(sc.entries) == 0 {
+			return
+		}
+		var oldestKey string
+		var oldest uint64
+		first := true
+		for k, e := range sc.entries {
+			if first || e.used < oldest || (e.used == oldest && k < oldestKey) {
+				oldestKey, oldest, first = k, e.used, false
+			}
+		}
+		sc.bytes -= sc.entries[oldestKey].bytes
+		delete(sc.entries, oldestKey)
+	}
+}
+
+// InvalidateCond drops the shared entries derived from exactly this
+// condition in its current form — the propagation of a session's
+// range edit (see RunCache.InvalidateCond). This is memory
+// management, not correctness: the superseded range's vectors would
+// never be served for the new range (the key embeds the literals), and
+// sessions still sitting at the old range keep their private-tier
+// copies. Old readers are unaffected — the vectors themselves are
+// immutable and only the map entry is unlinked.
+func (sc *SharedCache) InvalidateCond(cond *query.Cond) {
+	if cond == nil {
+		return
+	}
+	label := cond.Label()
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for k, e := range sc.entries {
+		if e.attr != "" && e.attr == cond.Attr && e.label == label {
+			sc.bytes -= e.bytes
+			delete(sc.entries, k)
+		}
+	}
+}
+
+// Clear drops every entry. In-flight fills complete and store their
+// results afterwards (their vectors are valid regardless).
+func (sc *SharedCache) Clear() {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.entries = make(map[string]*sharedEntry)
+	sc.bytes = 0
+}

@@ -1,0 +1,460 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+// fillDists stores an n-float leaf vector under key via the
+// singleflight path (compute always runs: the key is absent).
+func fillDists(t *testing.T, sc *SharedCache, key string, n int, fill float64) {
+	t.Helper()
+	_, hit, err := sc.fetch(key, false, func() (*sharedEntry, error) {
+		dists := make([]float64, n)
+		for i := range dists {
+			dists[i] = fill
+		}
+		return &sharedEntry{dists: dists, label: key}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatalf("fill of %q was a hit", key)
+	}
+}
+
+// touch performs a lookup that must hit.
+func touch(t *testing.T, sc *SharedCache, key string) {
+	t.Helper()
+	_, hit, err := sc.fetch(key, false, func() (*sharedEntry, error) {
+		return nil, fmt.Errorf("touch of %q missed", key)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatalf("touch of %q missed", key)
+	}
+}
+
+func residentKeys(sc *SharedCache) []string {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	keys := make([]string, 0, len(sc.entries))
+	for k := range sc.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestSharedCacheEviction: table-driven LRU + byte-budget eviction
+// ordering. Each op either fills a key with an n-float vector or
+// touches an existing key (refreshing its recency).
+func TestSharedCacheEviction(t *testing.T) {
+	type op struct {
+		fill string
+		n    int
+		get  string
+	}
+	cases := []struct {
+		name       string
+		maxEntries int
+		maxBytes   int64
+		ops        []op
+		want       []string
+		wantBytes  int64
+	}{
+		{
+			name:       "entry cap evicts oldest",
+			maxEntries: 2, maxBytes: 1 << 20,
+			ops:       []op{{fill: "a", n: 4}, {fill: "b", n: 4}, {fill: "c", n: 4}},
+			want:      []string{"b", "c"},
+			wantBytes: 2 * 4 * 8,
+		},
+		{
+			name:       "access refreshes recency",
+			maxEntries: 2, maxBytes: 1 << 20,
+			ops:       []op{{fill: "a", n: 4}, {fill: "b", n: 4}, {get: "a"}, {fill: "c", n: 4}},
+			want:      []string{"a", "c"},
+			wantBytes: 2 * 4 * 8,
+		},
+		{
+			name:       "byte budget evicts until under",
+			maxEntries: 64, maxBytes: 100 * 8,
+			ops:       []op{{fill: "a", n: 40}, {fill: "b", n: 40}, {fill: "c", n: 40}},
+			want:      []string{"b", "c"},
+			wantBytes: 80 * 8,
+		},
+		{
+			name:       "byte budget respects recency",
+			maxEntries: 64, maxBytes: 100 * 8,
+			ops:       []op{{fill: "a", n: 40}, {fill: "b", n: 40}, {get: "a"}, {fill: "c", n: 40}},
+			want:      []string{"a", "c"},
+			wantBytes: 80 * 8,
+		},
+		{
+			name:       "oversized entry cannot stay resident",
+			maxEntries: 64, maxBytes: 100 * 8,
+			ops:       []op{{fill: "big", n: 200}},
+			want:      []string{},
+			wantBytes: 0,
+		},
+		{
+			name:       "mixed sizes drop two small for one large",
+			maxEntries: 64, maxBytes: 100 * 8,
+			ops:       []op{{fill: "a", n: 30}, {fill: "b", n: 30}, {fill: "c", n: 90}},
+			want:      []string{"c"},
+			wantBytes: 90 * 8,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := NewSharedCache(tc.maxEntries, tc.maxBytes)
+			for _, o := range tc.ops {
+				if o.get != "" {
+					touch(t, sc, o.get)
+				} else {
+					fillDists(t, sc, o.fill, o.n, 1)
+				}
+			}
+			got := residentKeys(sc)
+			if len(got) != len(tc.want) {
+				t.Fatalf("resident %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("resident %v, want %v", got, tc.want)
+				}
+			}
+			if b := sc.Bytes(); b != tc.wantBytes {
+				t.Fatalf("bytes %d, want %d", b, tc.wantBytes)
+			}
+		})
+	}
+}
+
+// TestSharedCacheCopyOnInvalidate: invalidation (and eviction) only
+// unlink entries — a session still holding the vector keeps reading
+// valid, unchanged data, and the next fill allocates a fresh vector
+// instead of reusing the old backing array.
+func TestSharedCacheCopyOnInvalidate(t *testing.T) {
+	sc := NewSharedCache(0, 0)
+	cond := &query.Cond{Attr: "x", Op: query.OpGt, Value: dataset.Float(5)}
+	key := "C|T:T:4|T.x|" + cond.Label()
+	old, _, err := sc.fetch(key, false, func() (*sharedEntry, error) {
+		return &sharedEntry{
+			pd:    &predicateData{Raw: []float64{1, 2, 3, 4}},
+			attr:  cond.Attr,
+			label: cond.Label(),
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]float64(nil), old.pd.Raw...)
+
+	sc.InvalidateCond(cond)
+	if sc.Len() != 0 || sc.Bytes() != 0 {
+		t.Fatalf("invalidate left %d entries, %d bytes", sc.Len(), sc.Bytes())
+	}
+
+	fresh, hit, err := sc.fetch(key, false, func() (*sharedEntry, error) {
+		return &sharedEntry{
+			pd:    &predicateData{Raw: []float64{9, 9, 9, 9}},
+			attr:  cond.Attr,
+			label: cond.Label(),
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("post-invalidation fetch hit a dead entry")
+	}
+	if &fresh.pd.Raw[0] == &old.pd.Raw[0] {
+		t.Fatal("refill reused the invalidated backing array")
+	}
+	for i, v := range old.pd.Raw {
+		if v != snapshot[i] {
+			t.Fatalf("old reader's vector changed at %d: %v -> %v", i, snapshot[i], v)
+		}
+	}
+
+	// Invalidation is structural: a different range on the same
+	// attribute stays resident.
+	other := &query.Cond{Attr: "x", Op: query.OpGt, Value: dataset.Float(7)}
+	fillDists(t, sc, "C|T:T:4|T.x|"+other.Label(), 4, 0)
+	sc.InvalidateCond(cond)
+	if sc.Len() != 1 {
+		t.Fatalf("structural invalidation dropped a sibling range: %d entries", sc.Len())
+	}
+}
+
+// TestSharedCacheSingleflight: N concurrent sessions missing on the
+// same key run the computation exactly once; everyone else waits for
+// the leader's fill and counts as a hit.
+func TestSharedCacheSingleflight(t *testing.T) {
+	const waiters = 7
+	sc := NewSharedCache(0, 0)
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	results := make([][]float64, waiters+1)
+	for g := 0; g <= waiters; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := sc.fetch("K", false, func() (*sharedEntry, error) {
+				computes.Add(1)
+				// Hold the fill open until every other goroutine is
+				// blocked on it, so the schedule cannot degenerate into
+				// sequential hits.
+				deadline := time.Now().Add(5 * time.Second)
+				for sc.Stats().Waits < waiters {
+					if time.Now().After(deadline) {
+						return nil, fmt.Errorf("waiters never arrived")
+					}
+					time.Sleep(time.Millisecond)
+				}
+				return &sharedEntry{dists: []float64{42}}, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[g] = v.dists
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times, want 1", n)
+	}
+	st := sc.Stats()
+	if st.Waits != waiters || st.Misses != 1 || st.Hits != waiters || st.Fills != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	for g := 1; g <= waiters; g++ {
+		if &results[g][0] != &results[0][0] {
+			t.Fatal("waiter received a different vector than the leader")
+		}
+	}
+}
+
+// TestSharedCacheSignedUpgrade: an entry computed without signed
+// distances cannot serve a 2D-arrangement lookup; the upgrading fill
+// replaces it (byte accounting included) while old readers keep the
+// unsigned vector.
+func TestSharedCacheSignedUpgrade(t *testing.T) {
+	sc := NewSharedCache(0, 0)
+	unsigned, _, err := sc.fetch("K", false, func() (*sharedEntry, error) {
+		return &sharedEntry{pd: &predicateData{Raw: []float64{1, 2}}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, hit, err := sc.fetch("K", true, func() (*sharedEntry, error) {
+		return &sharedEntry{pd: &predicateData{Raw: []float64{1, 2}, Signed: []float64{-1, 2}}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("needSigned lookup hit an unsigned entry")
+	}
+	if v.pd.Signed == nil {
+		t.Fatal("upgrade did not produce signed distances")
+	}
+	if sc.Len() != 1 {
+		t.Fatalf("upgrade left %d entries", sc.Len())
+	}
+	if want := int64(8 * 4); sc.Bytes() != want {
+		t.Fatalf("bytes %d, want %d", sc.Bytes(), want)
+	}
+	if unsigned.pd.Signed != nil {
+		t.Fatal("old reader's entry was mutated in place")
+	}
+	// And the signed entry serves both kinds of lookup now.
+	touch(t, sc, "K")
+}
+
+// TestSharedTierAcrossRunCaches is the end-to-end two-tier flow: two
+// private caches (two sessions) on one engine and one shared tier. The
+// second session's first run recomputes nothing — every leaf comes
+// from the shared tier — and its result is bit-identical to a cold
+// run.
+func TestSharedTierAcrossRunCaches(t *testing.T) {
+	for _, sql := range []string{
+		`SELECT x FROM T WHERE x > 6 AND y < 5`,
+		`SELECT x FROM T WHERE NOT (x < 4) AND name = 'beta'`,
+		`SELECT x FROM T WHERE NOT (name = 'beta') OR x IN (1, 3, 5)`,
+		`SELECT x FROM T WHERE NOT (x BETWEEN 2 AND 5) AND y < 5`,
+	} {
+		e := New(smallCatalog(t), nil, Options{GridW: 8, GridH: 8})
+		q, err := query.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := e.Run(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := NewSharedCache(0, 0)
+		c1 := NewRunCache()
+		c1.AttachShared(sc)
+		first, err := e.RunCached(q, c1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Timings.SharedHits != 0 || first.Timings.CacheHits != 0 {
+			t.Fatalf("%s: first session warm-start: %+v", sql, first.Timings)
+		}
+		sameResults(t, cold, first)
+
+		c2 := NewRunCache()
+		c2.AttachShared(sc)
+		q2, err := query.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := e.RunCached(q2, c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if second.Timings.CacheMisses != 0 {
+			t.Fatalf("%s: second session recomputed %d leaves", sql, second.Timings.CacheMisses)
+		}
+		if second.Timings.SharedHits == 0 || second.Timings.SharedHits != second.Timings.CacheHits {
+			t.Fatalf("%s: second session hits=%d sharedHits=%d", sql, second.Timings.CacheHits, second.Timings.SharedHits)
+		}
+		sameResults(t, cold, second)
+
+		// A rerun in the second session is served privately, not from
+		// the shared tier.
+		third, err := e.RunCached(q2, c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if third.Timings.SharedHits != 0 || third.Timings.CacheMisses != 0 {
+			t.Fatalf("%s: private rerun: %+v", sql, third.Timings)
+		}
+		sameResults(t, cold, third)
+	}
+}
+
+// TestSharedTierPromotesQuantiles: the quantile index built by one
+// session's rerun lands in the shared tier (byte accounting grows) and
+// later sessions reuse it instead of re-sorting.
+func TestSharedTierPromotesQuantiles(t *testing.T) {
+	e := New(smallCatalog(t), nil, Options{GridW: 8, GridH: 8})
+	q, err := query.Parse(`SELECT x FROM T WHERE x > 6 AND y < 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewSharedCache(0, 0)
+	c1 := NewRunCache()
+	c1.AttachShared(sc)
+	if _, err := e.RunCached(q, c1); err != nil {
+		t.Fatal(err)
+	}
+	afterFill := sc.Bytes()
+	// The second run hits privately and builds (then promotes) the
+	// quantile indexes.
+	if _, err := e.RunCached(q, c1); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Bytes() <= afterFill {
+		t.Fatalf("quantile promotion did not grow the shared tier: %d -> %d bytes", afterFill, sc.Bytes())
+	}
+	sc.mu.Lock()
+	withQuant := 0
+	for _, ent := range sc.entries {
+		if ent.quant != nil {
+			withQuant++
+		}
+	}
+	sc.mu.Unlock()
+	if withQuant == 0 {
+		t.Fatal("no shared entry carries a promoted quantile index")
+	}
+}
+
+// TestInvalidateNegatedCondition: entries computed for a negated
+// invertible condition (stored under the inverted operator's key) must
+// still be invalidated by the condition AS WRITTEN — that is what a
+// slider drag hands to InvalidateCond. A drag storm over a
+// NOT-condition must not pile one dead entry per intermediate position
+// into either tier.
+func TestInvalidateNegatedCondition(t *testing.T) {
+	e := New(smallCatalog(t), nil, Options{GridW: 8, GridH: 8})
+	q, err := query.Parse(`SELECT x FROM T WHERE NOT (x > 6) AND y < 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewSharedCache(0, 0)
+	cache := NewRunCache()
+	cache.AttachShared(sc)
+	if _, err := e.RunCached(q, cache); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 2 || sc.Len() != 2 {
+		t.Fatalf("baseline entries: private %d, shared %d", cache.Len(), sc.Len())
+	}
+	// Drag x's threshold through several positions the way the session
+	// does: invalidate the current form, mutate, rerun.
+	inner := q.Where.(*query.BoolExpr).Children[0].(*query.Not).Child.(*query.Cond)
+	for i := 0; i < 5; i++ {
+		cache.InvalidateCond(inner)
+		inner.Value = dataset.Float(float64(7 + i))
+		if _, err := e.RunCached(q, cache); err != nil {
+			t.Fatal(err)
+		}
+		if cache.Len() != 2 || sc.Len() != 2 {
+			t.Fatalf("drag %d piled entries: private %d, shared %d", i, cache.Len(), sc.Len())
+		}
+	}
+}
+
+// TestRunPreboundValidation: a binding must match the query AST and
+// the engine's catalog.
+func TestRunPreboundValidation(t *testing.T) {
+	cat := smallCatalog(t)
+	e := New(cat, nil, Options{GridW: 8, GridH: 8})
+	q, err := query.Parse(`SELECT x FROM T WHERE x > 6`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := query.Bind(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RunPrebound(q, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, cold, res)
+
+	if _, err := e.RunPrebound(q, nil, nil); err == nil {
+		t.Fatal("nil binding accepted")
+	}
+	q2, _ := query.Parse(`SELECT x FROM T WHERE x > 6`)
+	if _, err := e.RunPrebound(q2, b, nil); err == nil {
+		t.Fatal("binding for a different AST accepted")
+	}
+	other := New(smallCatalog(t), nil, Options{})
+	if _, err := other.RunPrebound(q, b, nil); err == nil {
+		t.Fatal("binding for a different catalog accepted")
+	}
+}

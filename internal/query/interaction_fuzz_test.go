@@ -1,0 +1,150 @@
+package query_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/query"
+	"repro/internal/session"
+)
+
+// fuzzQueries are the structurally distinct queries the SetQuery op
+// rotates through: plain conjunction, weighted disjunction, and a
+// negation plus string predicate (boolean fallback and edit distance).
+var fuzzQueries = []string{
+	`SELECT a FROM T WHERE a > 5 AND b < 7`,
+	`SELECT a FROM T WHERE a BETWEEN 2 AND 6 OR b > 3 WEIGHT 2`,
+	`SELECT a FROM T WHERE NOT (a IN (1, 3)) AND name = 'kappa' USING edit`,
+}
+
+func fuzzCatalog(t *testing.T) *dataset.Catalog {
+	t.Helper()
+	tbl, err := dataset.NewTable("T", dataset.Schema{
+		{Name: "a", Kind: dataset.KindFloat},
+		{Name: "b", Kind: dataset.KindFloat},
+		{Name: "name", Kind: dataset.KindString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"kappa", "kappe", "gamma", "delta"}
+	for i := 0; i < 64; i++ {
+		if err := tbl.AppendRow(
+			dataset.Float(float64(i*i%23)),
+			dataset.Float(float64((i*7+3)%11)),
+			dataset.Str(names[i%len(names)]),
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat := dataset.NewCatalog()
+	if err := cat.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// FuzzInteractionSequence drives arbitrary interaction scripts —
+// SetRange (valid and invalid), SetWeight, Undo, SetQuery, the
+// auto-recalculate toggle, percent-displayed and median/deviation
+// sliders — through a cached session and checks the session-machine
+// invariants: no panic, Dirty is exactly "modified and not yet
+// recalculated under auto-recalc off", a Result is always served, and
+// the cache keys are stable (an unmodified rerun at the end must hit
+// the cache on every leaf, whatever state the script left behind).
+func FuzzInteractionSequence(f *testing.F) {
+	f.Add([]byte{0, 3, 9})
+	f.Add([]byte{1, 0, 2, 0, 4, 12, 2, 0, 0})
+	f.Add([]byte{3, 1, 0, 4, 0, 0, 3, 2, 0, 2, 0, 0})
+	f.Add([]byte{4, 1, 0, 0, 200, 1, 5, 11, 0, 4, 0, 0})
+	f.Add([]byte{6, 4, 3, 6, 0, 0, 0, 7, 0})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		cat := fuzzCatalog(t)
+		s, err := session.NewSQL(cat, nil, core.Options{GridW: 8, GridH: 8}, fuzzQueries[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		attrs := []string{"a", "b"}
+		for i := 0; i+2 < len(script) && i < 3*24; i += 3 {
+			op, x, y := script[i], int(script[i+1]), int(script[i+2])
+			switch op % 7 {
+			case 0: // range drag; hi < lo must be rejected without mutation
+				c, err := s.FindCond(attrs[x%2])
+				if err != nil {
+					continue
+				}
+				lo := float64(x%20) - 2
+				hi := lo + float64(y%10) - 1
+				before := c.Label()
+				if err := s.SetRange(c, lo, hi); err != nil && c.Label() != before {
+					t.Fatalf("rejected SetRange mutated %q -> %q", before, c.Label())
+				}
+			case 1: // weight; negative must be rejected without mutation
+				preds := query.Predicates(s.Query().Where)
+				p := preds[x%len(preds)]
+				w := float64(y%5) - 1
+				before := p.Weight()
+				if err := s.SetWeight(p, w); err != nil && p.Weight() != before {
+					t.Fatalf("rejected SetWeight mutated weight %v -> %v", before, p.Weight())
+				}
+			case 2:
+				if !s.CanUndo() {
+					continue
+				}
+				if err := s.Undo(); err != nil {
+					t.Fatalf("undo: %v", err)
+				}
+			case 3:
+				if err := s.SetQuery(fuzzQueries[x%len(fuzzQueries)]); err != nil {
+					t.Fatalf("SetQuery: %v", err)
+				}
+			case 4:
+				if err := s.SetAutoRecalc(x%2 == 0); err != nil {
+					t.Fatalf("SetAutoRecalc: %v", err)
+				}
+			case 5:
+				pct := float64(x%12) / 10 // > 1 must be rejected
+				if err := s.SetPercentDisplayed(pct); err != nil && pct <= 1 {
+					t.Fatalf("SetPercentDisplayed(%v): %v", pct, err)
+				}
+			case 6:
+				c, err := s.FindCond("a")
+				if err != nil {
+					continue
+				}
+				if err := s.SetMedianDeviation(c, float64(x%10), float64(y%5)); err != nil {
+					t.Fatalf("SetMedianDeviation: %v", err)
+				}
+			}
+			// Dirty consistency: auto-recalc mode never leaves pending
+			// modifications behind a served Result.
+			if s.AutoRecalc() && s.Dirty() {
+				t.Fatal("session dirty with auto-recalculate on")
+			}
+			if s.Result() == nil {
+				t.Fatal("session lost its result")
+			}
+		}
+		// Drain any pending recalculation, then check key stability: a
+		// rerun of the unmodified query must serve every leaf from the
+		// cache — structural keys survive whatever sequence of drags,
+		// undos (reparsed ASTs) and query swaps the script performed.
+		if err := s.SetAutoRecalc(true); err != nil {
+			t.Fatalf("final SetAutoRecalc: %v", err)
+		}
+		if s.Dirty() {
+			t.Fatal("dirty after SetAutoRecalc(true)")
+		}
+		if err := s.Recalculate(); err != nil {
+			t.Fatalf("settle recalc: %v", err)
+		}
+		if err := s.Recalculate(); err != nil {
+			t.Fatalf("stability recalc: %v", err)
+		}
+		if tm := s.Result().Timings; tm.CacheMisses != 0 {
+			t.Fatalf("cache keys unstable: unmodified rerun missed %d leaves (hits %d)",
+				tm.CacheMisses, tm.CacheHits)
+		}
+	})
+}

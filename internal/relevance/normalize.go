@@ -254,6 +254,11 @@ func BuildLeafQuantiles(dists []float64) *LeafQuantiles {
 	return q
 }
 
+// Size returns the number of float64 values the index retains — the
+// memory accounting handle for caches that keep promoted indexes
+// resident.
+func (q *LeafQuantiles) Size() int { return len(q.sorted) }
+
 // Range answers NormRange(dists, keep) for the indexed vector.
 func (q *LeafQuantiles) Range(keep int) NormParams {
 	nFinite := len(q.sorted)

@@ -1,0 +1,123 @@
+package session
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+// TestRecalculateReusesBinding: the session binds the query once and
+// reruns against the same binding; only a structural replacement
+// (SetQuery, Undo) installs a new AST and rebinds.
+func TestRecalculateReusesBinding(t *testing.T) {
+	s := newSession(t)
+	b := s.Result().Binding
+	pred := query.Predicates(s.Query().Where)[0]
+	if err := s.SetWeight(pred, 2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Result().Binding != b {
+		t.Fatal("weight rerun rebound the query")
+	}
+	c, err := s.FindCond("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRange(c, 1, 9); err != nil {
+		t.Fatal(err)
+	}
+	if s.Result().Binding != b {
+		t.Fatal("range rerun rebound the query")
+	}
+	// Undo re-parses the query: new AST, new binding.
+	if err := s.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Result().Binding == b {
+		t.Fatal("undo kept a binding for a replaced AST")
+	}
+}
+
+// TestBindingStableUnderNegation is the regression test for the
+// negation path's binding mutation: operator inversion used to insert
+// a synthetic condition into the shared Binding.Attrs on every run,
+// which would leak (and race) once the binding is cached across
+// recalculations. The rewrite must stay private: reruns keep the
+// binding map at its bound size, and results stay bit-identical to a
+// fresh engine.
+func TestBindingStableUnderNegation(t *testing.T) {
+	cat := interactionCatalog(t, 300)
+	opt := core.Options{GridW: 8, GridH: 8}
+	// One invertible negation (NOT a > 50 → a <= 50) and one boolean
+	// fallback is covered by the IN list negation below.
+	s, err := NewSQL(cat, nil, opt,
+		`SELECT a FROM S WHERE NOT (a > 50) AND NOT (b IN (1, 2)) OR c < 30`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s.Result().Binding
+	bound := len(b.Attrs)
+	preds := query.Predicates(s.Query().Where)
+	for i := 0; i < 4; i++ {
+		if err := s.SetWeight(preds[i%len(preds)], float64(2+i)); err != nil {
+			t.Fatal(err)
+		}
+		if s.Result().Binding != b {
+			t.Fatal("rerun rebound the query")
+		}
+		if got := len(b.Attrs); got != bound {
+			t.Fatalf("rerun %d mutated the binding: %d attrs, bound %d", i, got, bound)
+		}
+		sameAsFresh(t, "negated rerun", s, cat, opt)
+	}
+}
+
+// TestSetRangeRejectsNonNumeric: with the binding cached, the kind
+// check that rebinding used to perform moved into SetRange itself.
+func TestSetRangeRejectsNonNumeric(t *testing.T) {
+	tbl, err := dataset.NewTable("T", dataset.Schema{
+		{Name: "name", Kind: dataset.KindString},
+		{Name: "x", Kind: dataset.KindFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AppendRow(dataset.Str("alpha"), dataset.Float(1)); err != nil {
+		t.Fatal(err)
+	}
+	cat := dataset.NewCatalog()
+	if err := cat.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSQL(cat, nil, core.Options{GridW: 4, GridH: 4},
+		`SELECT x FROM T WHERE name = 'alpha' AND x > 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.FindCond("name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRange(c, 1, 2); err == nil {
+		t.Fatal("SetRange on a string condition should fail")
+	}
+	// The failed modification must not leave the session dirty or its
+	// query mutated.
+	if s.Dirty() {
+		t.Fatal("rejected SetRange left the session dirty")
+	}
+	if c.Op != query.OpEq || c.Value.S != "alpha" {
+		t.Fatalf("rejected SetRange mutated the condition: %s", c.Label())
+	}
+	// The numeric slider still works.
+	x, err := s.FindCond("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRange(x, 0.5, math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -131,23 +131,32 @@ func interactionCatalog(t *testing.T, n int) *dataset.Catalog {
 // predicate window vector.
 func sameAsFresh(t *testing.T, step string, s *Session, cat *dataset.Catalog, opt core.Options) {
 	t.Helper()
+	if err := freshMismatch(step, s, cat, opt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// freshMismatch is sameAsFresh as a plain error — the concurrency
+// stress test runs it from worker goroutines, which must not call
+// t.Fatal.
+func freshMismatch(step string, s *Session, cat *dataset.Catalog, opt core.Options) error {
 	fresh, err := core.New(cat, nil, opt).Run(s.Query())
 	if err != nil {
-		t.Fatalf("%s: fresh run: %v", step, err)
+		return fmt.Errorf("%s: fresh run: %v", step, err)
 	}
 	got := s.Result()
 	if got.N != fresh.N || got.Displayed != fresh.Displayed {
-		t.Fatalf("%s: N %d vs %d, Displayed %d vs %d", step, got.N, fresh.N, got.Displayed, fresh.Displayed)
+		return fmt.Errorf("%s: N %d vs %d, Displayed %d vs %d", step, got.N, fresh.N, got.Displayed, fresh.Displayed)
 	}
 	for i := range fresh.Combined {
 		x, y := got.Combined[i], fresh.Combined[i]
 		if math.Float64bits(x) != math.Float64bits(y) && !(math.IsNaN(x) && math.IsNaN(y)) {
-			t.Fatalf("%s: combined[%d] %v vs %v", step, i, x, y)
+			return fmt.Errorf("%s: combined[%d] %v vs %v", step, i, x, y)
 		}
 	}
 	for rank := 0; rank < fresh.Displayed; rank++ {
 		if got.Order[rank] != fresh.Order[rank] {
-			t.Fatalf("%s: order[%d] %d vs %d", step, rank, got.Order[rank], fresh.Order[rank])
+			return fmt.Errorf("%s: order[%d] %d vs %d", step, rank, got.Order[rank], fresh.Order[rank])
 		}
 	}
 	preds := query.Predicates(s.Query().Where)
@@ -156,16 +165,17 @@ func sameAsFresh(t *testing.T, step string, s *Session, cat *dataset.Catalog, op
 			x, errA := got.NormOf(p, i)
 			y, errB := fresh.NormOf(p, i)
 			if (errA == nil) != (errB == nil) {
-				t.Fatalf("%s: NormOf error mismatch on predicate %d", step, pi)
+				return fmt.Errorf("%s: NormOf error mismatch on predicate %d", step, pi)
 			}
 			if errA != nil {
 				break
 			}
 			if math.Float64bits(x) != math.Float64bits(y) && !(math.IsNaN(x) && math.IsNaN(y)) {
-				t.Fatalf("%s: predicate %d item %d: %v vs %v", step, pi, i, x, y)
+				return fmt.Errorf("%s: predicate %d item %d: %v vs %v", step, pi, i, x, y)
 			}
 		}
 	}
+	return nil
 }
 
 // TestInteractionScriptMatchesFreshEngine is the tentpole identity

@@ -37,8 +37,15 @@ type Session struct {
 	// calls (keyed structurally, weights excluded), and evaluation
 	// buffers are pooled, so a weight-only rerun recomputes nothing
 	// below the combination stage and a slider drag recomputes exactly
-	// one leaf.
+	// one leaf. When the session was opened with NewShared, the cache
+	// is additionally backed by a catalog-level shared tier, so leaves
+	// other sessions already computed are never recomputed here.
 	cache *core.RunCache
+	// bind is the cached query binding: resolved once per query AST and
+	// reused across recalculations (the engine treats bindings as
+	// read-only). SetQuery and Undo install a new AST, which
+	// invalidates it by identity.
+	bind *query.Binding
 
 	autoRecalc bool
 	dirty      bool
@@ -60,8 +67,24 @@ type Session struct {
 
 // New starts a session on a parsed query and runs it once.
 func New(cat *dataset.Catalog, reg *distance.Registry, opt core.Options, q *query.Query) (*Session, error) {
+	return NewShared(cat, reg, opt, q, nil)
+}
+
+// NewShared starts a session whose predicate cache is backed by a
+// catalog-level shared tier: leaf distance vectors (and their quantile
+// indexes) any session on the same SharedCache already computed are
+// served instead of recomputed, and leaves computed here become
+// available to every other session. Sessions themselves stay
+// single-goroutine; any number of them may run concurrently against
+// one shared cache. All sessions on one SharedCache must use the same
+// catalog and distance registry. A nil shared is identical to New.
+func NewShared(cat *dataset.Catalog, reg *distance.Registry, opt core.Options, q *query.Query, shared *core.SharedCache) (*Session, error) {
+	cache := core.NewRunCache()
+	if shared != nil {
+		cache.AttachShared(shared)
+	}
 	s := &Session{cat: cat, reg: reg, opt: opt, q: q, autoRecalc: true, selectedItem: -1,
-		cache: core.NewRunCache()}
+		cache: cache}
 	if err := s.Recalculate(); err != nil {
 		return nil, err
 	}
@@ -70,11 +93,16 @@ func New(cat *dataset.Catalog, reg *distance.Registry, opt core.Options, q *quer
 
 // NewSQL starts a session from dialect text.
 func NewSQL(cat *dataset.Catalog, reg *distance.Registry, opt core.Options, src string) (*Session, error) {
+	return NewSQLShared(cat, reg, opt, src, nil)
+}
+
+// NewSQLShared starts a shared-tier session from dialect text.
+func NewSQLShared(cat *dataset.Catalog, reg *distance.Registry, opt core.Options, src string, shared *core.SharedCache) (*Session, error) {
 	q, err := query.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return New(cat, reg, opt, q)
+	return NewShared(cat, reg, opt, q, shared)
 }
 
 // Result returns the current result. When auto-recalculate is off and
@@ -108,11 +136,21 @@ func (s *Session) SetAutoRecalc(on bool) error {
 
 // Recalculate re-runs the query through the engine. Reruns are
 // incremental: leaf distance vectors unchanged since the previous run
-// come from the session cache, and evaluation buffers are pooled, so
-// only the stages downstream of the actual modification recompute.
+// come from the session cache, evaluation buffers are pooled, and the
+// query binding is resolved once per query AST and reused — range and
+// weight modifications mutate the AST in place, which leaves the
+// binding (keyed by condition identity) intact, while SetQuery and
+// Undo parse a fresh AST and therefore rebind.
 func (s *Session) Recalculate() error {
 	e := core.New(s.cat, s.reg, s.opt)
-	res, err := e.RunCached(s.q, s.cache)
+	if s.bind == nil || s.bind.Query != s.q {
+		b, err := query.Bind(s.q, s.cat)
+		if err != nil {
+			return err
+		}
+		s.bind = b
+	}
+	res, err := e.RunPrebound(s.q, s.bind, s.cache)
 	if err != nil {
 		return err
 	}
@@ -230,9 +268,17 @@ func (s *Session) SetRange(c *query.Cond, lo, hi float64) error {
 	}
 	lit := dataset.Float
 	if s.res != nil {
-		if attr, ok := s.res.Binding.Attrs[c]; ok && attr.Kind == dataset.KindTime {
-			lit = func(v float64) dataset.Value {
-				return dataset.Time(time.Unix(int64(v), 0).UTC())
+		if attr, ok := s.res.Binding.Attrs[c]; ok {
+			// Numeric ranges only: rebinding used to catch a numeric
+			// literal landing on a string condition, but the binding is
+			// now resolved once per query, so the kind check lives here.
+			if attr.Kind.IsStringy() || attr.Kind == dataset.KindBool {
+				return fmt.Errorf("session: range slider needs a numeric or time attribute, %s is %v", attr.Qualified(), attr.Kind)
+			}
+			if attr.Kind == dataset.KindTime {
+				lit = func(v float64) dataset.Value {
+					return dataset.Time(time.Unix(int64(v), 0).UTC())
+				}
 			}
 		}
 	}

@@ -53,6 +53,18 @@
 // bit-identical to cold runs; the trade is that a session's Result is
 // valid only until its next modification. Engine.RunCached exposes the
 // same machinery for custom loops.
+//
+// # Concurrent sessions
+//
+// Many sessions serving different users over one catalog share leaf
+// work through a catalog-level SharedCache (NewSessionShared): leaf
+// distance vectors and quantile indexes are computed once per catalog
+// with singleflight fills, bounded by an LRU byte budget, and every
+// entry is immutable — invalidation and eviction only unlink, so
+// concurrent readers are never affected (copy-on-invalidate). Each
+// session stays a single-goroutine state machine; any number may run
+// in parallel against one SharedCache, and results remain bit-identical
+// to isolated sessions.
 package visdb
 
 import (
@@ -169,6 +181,21 @@ type RunCache = core.RunCache
 // NewRunCache creates an empty cache for Engine.RunCached.
 var NewRunCache = core.NewRunCache
 
+// SharedCache is the catalog-level tier of the predicate cache: one
+// instance per catalog, shared by any number of concurrent sessions,
+// with singleflight fills, immutable copy-on-invalidate entries and
+// LRU + byte-budget eviction. Leaf distance vectors (and their
+// quantile indexes) are computed once per catalog instead of once per
+// session.
+type SharedCache = core.SharedCache
+
+// SharedStats is a snapshot of a SharedCache's counters.
+type SharedStats = core.SharedStats
+
+// NewSharedCache creates a shared tier; zero bounds select the
+// defaults (1024 entries, 256 MiB).
+var NewSharedCache = core.NewSharedCache
+
 // Arrangement kinds.
 const (
 	ArrangeSpiral = core.ArrangeSpiral
@@ -219,6 +246,14 @@ func NewSession(cat *Catalog, opt Options, sql string) (*Session, error) {
 // NewSessionQuery opens a session on a parsed query.
 func NewSessionQuery(cat *Catalog, opt Options, q *Query) (*Session, error) {
 	return session.New(cat, nil, opt, q)
+}
+
+// NewSessionShared opens a session attached to a catalog-level shared
+// cache: any number of concurrent sessions on the same catalog share
+// leaf distance vectors through it (each session itself remains
+// single-goroutine).
+func NewSessionShared(cat *Catalog, opt Options, sql string, shared *SharedCache) (*Session, error) {
+	return session.NewSQLShared(cat, nil, opt, sql, shared)
 }
 
 // Image is the off-screen framebuffer windows render into; it encodes
