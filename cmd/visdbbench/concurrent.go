@@ -8,7 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/dataset"
+	"repro/internal/datagen"
 	"repro/internal/query"
 	"repro/internal/session"
 )
@@ -23,15 +23,11 @@ func runConcurrent(sessions, steps, rows int, seed int64) error {
 	if sessions <= 0 || steps <= 0 || rows <= 0 {
 		return fmt.Errorf("concurrent mode needs positive -concurrent, -steps and -rows")
 	}
-	cat, err := trafficCatalog(rows, seed)
+	cat, err := datagen.Traffic(rows, seed)
 	if err != nil {
 		return err
 	}
-	queries := []string{
-		`SELECT a FROM S WHERE a > 50 AND b < 40`,
-		`SELECT a FROM S WHERE a > 50 AND c BETWEEN 20 AND 30`,
-		`SELECT a FROM S WHERE a > 50 AND b < 40 OR c BETWEEN 20 AND 30 WEIGHT 2`,
-	}
+	queries := datagen.TrafficQueries()
 	shared := core.NewSharedCache(0, 0)
 	opt := core.Options{GridW: 128, GridH: 128}
 
@@ -122,32 +118,4 @@ func runConcurrent(sessions, steps, rows int, seed int64) error {
 		return fmt.Errorf("no cross-session sharing happened")
 	}
 	return nil
-}
-
-// trafficCatalog builds the three-attribute numeric table the traffic
-// scripts query.
-func trafficCatalog(rows int, seed int64) (*dataset.Catalog, error) {
-	rng := rand.New(rand.NewSource(seed))
-	tbl, err := dataset.NewTable("S", dataset.Schema{
-		{Name: "a", Kind: dataset.KindFloat},
-		{Name: "b", Kind: dataset.KindFloat},
-		{Name: "c", Kind: dataset.KindFloat},
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i := 0; i < rows; i++ {
-		if err := tbl.AppendRow(
-			dataset.Float(rng.Float64()*100),
-			dataset.Float(rng.Float64()*100),
-			dataset.Float(rng.Float64()*100),
-		); err != nil {
-			return nil, err
-		}
-	}
-	cat := dataset.NewCatalog()
-	if err := cat.AddTable(tbl); err != nil {
-		return nil, err
-	}
-	return cat, nil
 }

@@ -16,6 +16,16 @@
 // the shared-tier hit/miss/singleflight counters:
 //
 //	visdbbench -concurrent 8 -steps 40 -rows 200000
+//
+// The same traffic can be driven through the visdbd serving layer to
+// measure the HTTP/JSON overhead against the in-process numbers:
+// -serve hosts the traffic catalog behind the protocol (blocking until
+// SIGINT), -remote replays the concurrent scripts against it through
+// the typed client and prints throughput plus the server's shard and
+// shared-tier counters:
+//
+//	visdbbench -serve :8491 -rows 200000 &
+//	visdbbench -remote http://localhost:8491 -concurrent 8 -steps 40
 package main
 
 import (
@@ -34,14 +44,36 @@ func main() {
 		list = flag.Bool("list", false, "list experiments and exit")
 
 		concurrent = flag.Int("concurrent", 0, "concurrent-traffic mode: number of simultaneous sessions (0 runs the experiments)")
-		steps      = flag.Int("steps", 40, "interaction steps per session (concurrent mode)")
-		rows       = flag.Int("rows", 200000, "catalog rows (concurrent mode)")
-		seed       = flag.Int64("seed", 1994, "script and data seed (concurrent mode)")
+		steps      = flag.Int("steps", 40, "interaction steps per session (concurrent/remote modes)")
+		rows       = flag.Int("rows", 200000, "catalog rows (concurrent/serve modes)")
+		seed       = flag.Int64("seed", 1994, "script and data seed (concurrent/serve/remote modes)")
+
+		serve  = flag.String("serve", "", "serve mode: host the traffic catalog behind the visdbd protocol on this address")
+		remote = flag.String("remote", "", "remote mode: drive the concurrent scripts against a visdbd at this base URL")
+		shards = flag.Int("shards", 2, "serving shards (serve mode)")
 	)
 	flag.Parse()
 	if *list {
 		for _, e := range experiments.Registry() {
 			fmt.Println(e.ID)
+		}
+		return
+	}
+	if *serve != "" {
+		if err := runServe(*serve, *shards, *rows, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "visdbbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *remote != "" {
+		n := *concurrent
+		if n <= 0 {
+			n = 8
+		}
+		if err := runRemote(*remote, n, *steps, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "visdbbench:", err)
+			os.Exit(1)
 		}
 		return
 	}

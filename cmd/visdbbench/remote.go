@@ -1,0 +1,203 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/query"
+	"repro/internal/server"
+	"repro/visdb/client"
+)
+
+// runServe hosts the concurrent-traffic catalog behind the visdbd
+// protocol — the server half of the overhead experiment. The shared
+// tier admits every leaf so the cache behavior matches the in-process
+// -concurrent mode exactly; the only variable left is the HTTP/JSON
+// serving layer. Blocks until SIGINT/SIGTERM, then drains.
+func runServe(addr string, shards, rows int, seed int64) error {
+	cat, err := datagen.Traffic(rows, seed)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Shards: shards,
+		Catalogs: []server.CatalogConfig{{
+			Name:    "traffic",
+			Catalog: cat,
+			Shared:  core.SharedOptions{AdmitMinCost: -1},
+		}},
+		DefaultOptions: core.Options{GridW: 128, GridH: 128},
+	})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving catalog traffic (%d rows, seed %d) on %s — drive it with:\n", rows, seed, l.Addr())
+	fmt.Printf("  visdbbench -remote http://%s -concurrent 8 -steps 40 -rows %d -seed %d\n", l.Addr(), rows, seed)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Printf("draining (%d in flight)...\n", srv.InFlight())
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return hs.Shutdown(sctx)
+}
+
+// runRemote is the -concurrent traffic mode driven over HTTP: the
+// same randomized scripts, but every interaction is a round trip to a
+// visdbd serving the traffic catalog (start one with -serve, with the
+// same -rows/-seed). Comparing its recalcs/s against the in-process
+// mode measures exactly the serving overhead.
+func runRemote(base string, sessions, steps int, seed int64) error {
+	if sessions <= 0 || steps <= 0 {
+		return fmt.Errorf("remote mode needs positive -concurrent and -steps")
+	}
+	ctx := context.Background()
+	c := client.New(base)
+	if _, err := c.Catalogs(ctx); err != nil {
+		return fmt.Errorf("server unreachable: %w", err)
+	}
+
+	queries := datagen.TrafficQueries()
+	type tally struct {
+		recalcs, hits, sharedHits, misses int
+		err                               error
+	}
+	tallies := make([]tally, sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < sessions; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(g)))
+			s, sum, err := c.NewSession(ctx, "traffic", queries[g%len(queries)], client.Options{})
+			if err != nil {
+				tallies[g].err = err
+				return
+			}
+			defer s.Close(ctx)
+			preds := numPreds(queries[g%len(queries)])
+			counted := 0
+			count := func(sum client.Summary) {
+				if sum.Recalcs == counted {
+					return
+				}
+				counted = sum.Recalcs
+				tallies[g].hits += sum.Timings.CacheHits
+				tallies[g].sharedHits += sum.Timings.SharedHits
+				tallies[g].misses += sum.Timings.CacheMisses
+				tallies[g].recalcs = sum.Recalcs
+			}
+			count(sum)
+			attrs := condAttrs(queries[g%len(queries)])
+			for step := 0; step < steps; step++ {
+				var err error
+				switch op := rng.Intn(10); {
+				case op < 5:
+					lo := math.Floor(rng.Float64() * 80)
+					sum, err = s.SetRange(ctx, attrs[rng.Intn(len(attrs))], lo, lo+math.Floor(rng.Float64()*40))
+				case op < 8:
+					sum, err = s.SetWeight(ctx, rng.Intn(preds), []float64{0.5, 1, 2, 3}[rng.Intn(4)])
+				default:
+					sum, err = s.Undo(ctx)
+					if apiErr, ok := err.(*client.APIError); ok && apiErr.Status == 409 {
+						// Nothing to undo (no-op edits snapshot nothing).
+						continue
+					}
+				}
+				if err != nil {
+					tallies[g].err = fmt.Errorf("step %d: %w", step, err)
+					return
+				}
+				count(sum)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var recalcs, hits, sharedHits, misses int
+	for g, tl := range tallies {
+		if tl.err != nil {
+			return fmt.Errorf("session %d: %w", g, tl.err)
+		}
+		recalcs += tl.recalcs
+		hits += tl.hits
+		sharedHits += tl.sharedHits
+		misses += tl.misses
+	}
+	stats, err := c.ShardStats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("remote traffic: %d sessions x %d steps against %s\n", sessions, steps, base)
+	fmt.Printf("  elapsed          %v (%.1f recalcs/s, %d recalcs)\n",
+		elapsed.Round(time.Millisecond), float64(recalcs)/elapsed.Seconds(), recalcs)
+	fmt.Printf("  leaf lookups     %d hits (%d via shared tier), %d recomputed\n", hits, sharedHits, misses)
+	for _, st := range stats {
+		if len(st.Catalogs) == 0 && st.Sessions == 0 && st.SessionsCreated == 0 {
+			continue
+		}
+		fmt.Printf("  shard %d          %v: %d sessions created, %d recalcs; shared %d hits / %d misses (%d waits, %d rejects), %d entries, %.1f MiB\n",
+			st.Shard, st.Catalogs, st.SessionsCreated, st.Recalcs,
+			st.Shared.Hits, st.Shared.Misses, st.Shared.Waits, st.Shared.Rejects,
+			st.Shared.Entries, float64(st.Shared.Bytes)/(1<<20))
+	}
+	if sharedHits == 0 && sessions > 1 {
+		return fmt.Errorf("no cross-session sharing happened over the wire")
+	}
+	return nil
+}
+
+// numPreds counts a query's top-level predicates for the weight ops.
+func numPreds(src string) int {
+	q, err := query.Parse(src)
+	if err != nil {
+		return 1
+	}
+	return len(query.Predicates(q.Where))
+}
+
+// condAttrs lists the attributes a query has conditions on — the
+// draggable sliders of the remote script (the in-process mode skips
+// absent attributes via FindCond; remotely that would be a 400 round
+// trip per miss).
+func condAttrs(src string) []string {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var attrs []string
+	query.Walk(q.Where, func(e query.Expr) {
+		if c, ok := e.(*query.Cond); ok && !seen[c.Attr] {
+			seen[c.Attr] = true
+			attrs = append(attrs, c.Attr)
+		}
+	})
+	return attrs
+}

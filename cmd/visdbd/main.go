@@ -1,0 +1,177 @@
+// Command visdbd is the VisDB serving daemon: it hosts catalogs
+// behind the HTTP/JSON interaction protocol of internal/server, so
+// remote clients (visdb/client, or anything speaking JSON) drive
+// visual feedback sessions against shared catalogs — the
+// cross-process serving shape of the scaling roadmap.
+//
+// Usage:
+//
+//	visdbd -addr :8491 -catalogs traffic:200000
+//	visdbd -addr :8491 -shards 8 -catalogs "a:100000,b:50000" -cache-mb 512
+//
+// Each entry of -catalogs is name:rows and serves a deterministic
+// synthetic catalog (datagen.Traffic; table S with float attributes
+// a, b, c) under that name; all catalogs are sharded across -shards
+// serving shards by name hash. Every catalog gets its own shared
+// predicate-cache tier bounded by -cache-entries / -cache-mb with
+// cost-aware admission at -admit-min (0 selects the ~1ms default; a
+// negative duration admits every leaf).
+//
+// On SIGINT/SIGTERM the daemon drains: in-flight recalculations run
+// to completion (bounded by -drain-timeout) before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/server"
+)
+
+// config carries the parsed flags; run is separated from main so the
+// smoke test can drive a full daemon lifecycle in-process.
+type config struct {
+	addr         string
+	shards       int
+	catalogs     string
+	seed         int64
+	gridW, gridH int
+	cacheEntries int
+	cacheMB      int
+	admitMin     time.Duration
+	drainTimeout time.Duration
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8491", "listen address")
+	flag.IntVar(&cfg.shards, "shards", server.DefaultShards, "number of serving shards")
+	flag.StringVar(&cfg.catalogs, "catalogs", "traffic:200000", "served catalogs, comma-separated name:rows")
+	flag.Int64Var(&cfg.seed, "seed", 1994, "synthetic catalog seed")
+	flag.IntVar(&cfg.gridW, "gridw", 128, "default session grid width")
+	flag.IntVar(&cfg.gridH, "gridh", 128, "default session grid height")
+	flag.IntVar(&cfg.cacheEntries, "cache-entries", 0, "per-catalog shared-cache entry cap (0 = default 1024)")
+	flag.IntVar(&cfg.cacheMB, "cache-mb", 0, "per-catalog shared-cache byte budget in MiB (0 = default 256)")
+	flag.DurationVar(&cfg.admitMin, "admit-min", 0, "shared-tier admission threshold (0 = ~1ms default, negative admits all)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown drain bound")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "visdbd:", err)
+		os.Exit(1)
+	}
+}
+
+// buildCatalogs parses the -catalogs spec and generates the synthetic
+// catalogs.
+func buildCatalogs(cfg config) ([]server.CatalogConfig, error) {
+	shared := core.SharedOptions{
+		MaxEntries:   cfg.cacheEntries,
+		MaxBytes:     int64(cfg.cacheMB) << 20,
+		AdmitMinCost: cfg.admitMin,
+	}
+	var out []server.CatalogConfig
+	for _, spec := range strings.Split(cfg.catalogs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		name, rowsStr, ok := strings.Cut(spec, ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad catalog spec %q (want name:rows)", spec)
+		}
+		rows, err := strconv.Atoi(rowsStr)
+		if err != nil || rows <= 0 {
+			return nil, fmt.Errorf("bad row count in catalog spec %q", spec)
+		}
+		// Each catalog draws from its own seed stream so same-sized
+		// catalogs hold different data.
+		cat, err := datagen.Traffic(rows, cfg.seed+int64(len(out)))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, server.CatalogConfig{Name: name, Catalog: cat, Shared: shared})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no catalogs configured")
+	}
+	return out, nil
+}
+
+// run builds the server, serves until ctx is canceled, then drains.
+// ready (may be nil) is called with the bound address once listening —
+// the smoke test uses it to discover the port of addr ":0".
+func run(ctx context.Context, cfg config, ready func(addr string)) error {
+	if cfg.shards <= 0 {
+		cfg.shards = server.DefaultShards
+	}
+	catalogs, err := buildCatalogs(cfg)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Shards:         cfg.shards,
+		Catalogs:       catalogs,
+		DefaultOptions: core.Options{GridW: cfg.gridW, GridH: cfg.gridH},
+	})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	for _, cc := range catalogs {
+		log.Printf("visdbd: serving catalog %q (%d rows) on shard %d",
+			cc.Name, mustRows(cc), server.ShardOf(cc.Name, cfg.shards))
+	}
+	log.Printf("visdbd: listening on %s (%d shards)", l.Addr(), cfg.shards)
+	if ready != nil {
+		ready(l.Addr().String())
+	}
+
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful drain: Shutdown refuses new connections and waits for
+	// every in-flight request — i.e. every in-flight recalculation —
+	// to finish, bounded by the drain timeout.
+	log.Printf("visdbd: draining (%d requests in flight)...", srv.InFlight())
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	log.Printf("visdbd: drained, exiting (in flight: %d)", srv.InFlight())
+	return nil
+}
+
+// mustRows reports a catalog's table row count for the startup log.
+func mustRows(cc server.CatalogConfig) int {
+	rows := 0
+	for _, name := range cc.Catalog.TableNames() {
+		if t, err := cc.Catalog.Table(name); err == nil {
+			rows += t.NumRows()
+		}
+	}
+	return rows
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/visdb/client"
+)
+
+// TestDaemonSmoke drives one full daemon lifecycle in-process: start
+// on an ephemeral port, run a scripted session through the typed
+// client (create, drag, weight, undo, results, timings, close), then
+// cancel the context — the SIGTERM path — and assert a clean, drained
+// exit.
+func TestDaemonSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := config{
+		addr:         "127.0.0.1:0",
+		shards:       2,
+		catalogs:     "traffic:3000",
+		seed:         7,
+		gridW:        16,
+		gridH:        16,
+		admitMin:     -1, // admit everything: the smoke catalog's leaves are cheap
+		drainTimeout: 10 * time.Second,
+	}
+	addrc := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg, func(addr string) { addrc <- addr }) }()
+
+	var addr string
+	select {
+	case addr = <-addrc:
+	case err := <-done:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	c := client.New("http://" + addr)
+	rctx, rcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer rcancel()
+
+	s, sum, err := c.NewSession(rctx, "traffic", `SELECT a FROM S WHERE a > 50 AND b < 40`, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.N != 3000 || sum.Displayed == 0 {
+		t.Fatalf("initial summary n=%d displayed=%d", sum.N, sum.Displayed)
+	}
+	if sum, err = s.SetRange(rctx, "a", 30, math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Recalcs != 2 {
+		t.Fatalf("after drag: recalcs=%d", sum.Recalcs)
+	}
+	if _, err = s.SetWeight(rctx, 0, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if sum, err = s.Undo(rctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Results(rctx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("results rows = %d, want 5", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if math.IsNaN(row.Distance) || row.Relevance <= 0 || row.Relevance > 1 {
+			t.Fatalf("bad row %+v", row)
+		}
+	}
+	if _, err := s.Timings(rctx); err != nil {
+		t.Fatal(err)
+	}
+	// A second session on the same catalog warm-starts off the shared
+	// tier: cross-process reuse visible over the wire.
+	s2, sum2, err := c.NewSession(rctx, "traffic", `SELECT a FROM S WHERE a > 50 AND b < 40`, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2.Timings.SharedHits == 0 {
+		t.Fatalf("warm session saw no shared hits: %+v", sum2.Timings)
+	}
+	if err := s2.Close(rctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(rctx); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.ShardStats(rctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, st := range stats {
+		total += int(st.SessionsCreated)
+	}
+	if total != 2 {
+		t.Fatalf("sessions created = %d, want 2", total)
+	}
+
+	cancel() // SIGTERM path
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain and exit")
+	}
+}

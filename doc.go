@@ -100,4 +100,53 @@
 // fresh engines at every step of randomized concurrent scripts;
 // BenchmarkConcurrentSessions and the visdbbench -concurrent traffic
 // mode measure the serving path.
+//
+// Admission into the shared tier is cost-aware (core.SharedOptions):
+// only leaves whose measured compute time reaches AdmitMinCost
+// (default ~1ms — edit-distance, join and subquery leaves) become
+// resident, so a single session sweeping hundreds of slider positions
+// over cheap numeric predicates cannot churn the byte budget. Rejected
+// fills still serve their vector to the caller and to every
+// singleflight waiter. NewSharedCache (the in-process constructor)
+// admits everything; NewSharedCacheOpts applies the policy.
+//
+// # Serving layer: visdbd, sharded session routing over HTTP
+//
+// The cross-process step of the scaling roadmap is internal/server —
+// a stdlib-only HTTP/JSON subsystem hosted by the cmd/visdbd daemon
+// and consumed through the typed visdb/client package (the wire
+// vocabulary lives in internal/wire). The server hosts any number of
+// catalogs partitioned across N shards by a deterministic name hash
+// (server.ShardOf); a session is created against a catalog, lives on
+// the catalog's shard (the session ID embeds the shard index, which
+// is the entire routing table), and is driven through the full
+// interaction protocol:
+//
+//	POST   /v1/sessions                {catalog, query, options}
+//	POST   /v1/sessions/{id}/query     replace the whole query
+//	POST   /v1/sessions/{id}/range     {attr, lo, hi} slider drag (null bound = open side)
+//	POST   /v1/sessions/{id}/weight    {pred, weight} by predicate index
+//	POST   /v1/sessions/{id}/undo      revert the last modification
+//	GET    /v1/sessions/{id}/results   top-k rows (?top=k&tuples=1)
+//	GET    /v1/sessions/{id}/timings   stage timings + cache attribution
+//	DELETE /v1/sessions/{id}           close
+//	GET    /v1/shards[/{shard}]        per-shard sessions/recalcs/cache stats
+//	GET    /v1/catalogs                served catalogs and shard homes
+//
+// Each catalog owns one SharedCache, so remote sessions share leaf
+// work exactly like in-process ones (warm clients see nonzero
+// SharedHits in their wire timings); per-session mutexes serialize
+// edits while distinct sessions run concurrently. Every mutating
+// response carries a wire.Summary and results responses add only the
+// top-k ranked rows, so wire cost is proportional to the display
+// budget, never to n — and float64 values survive JSON bit-exactly,
+// which TestRemoteReplayMatchesInProcess exploits to assert bitwise
+// identity between a remote session and a fresh in-process engine at
+// every step of a randomized script. The daemon drains in-flight
+// recalculations on SIGTERM before exiting; visdbbench -serve/-remote
+// measure the serving overhead against the in-process -concurrent
+// mode.
+//
+// Render artifacts under out/ are generated by visdbbench and the
+// examples; they are not tracked in git.
 package repro

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/query"
 	"repro/internal/relevance"
@@ -34,6 +35,13 @@ import (
 //   - Memory is bounded by an entry cap and a byte budget, evicted in
 //     least-recently-used order.
 //
+//   - Admission is cost-aware: only leaves whose measured compute time
+//     reaches AdmitMinCost occupy the budget (edit-distance and join
+//     leaves qualify; cheap numeric sweeps are recomputed instead of
+//     churning the LRU). Rejected fills still serve their result to the
+//     caller and to every singleflight waiter — admission decides
+//     residency, never correctness.
+//
 // Correctness does not depend on invalidation: keys embed the full
 // structural signature of the leaf computation including table names
 // and row counts (see spaceSig), so an entry can never be served
@@ -53,8 +61,11 @@ type SharedCache struct {
 	bytes      int64
 	maxEntries int
 	maxBytes   int64
+	// admitMin is the minimum measured compute cost for residency;
+	// <= 0 admits every computed leaf.
+	admitMin time.Duration
 
-	hits, misses, fills, waits uint64
+	hits, misses, fills, waits, rejects uint64
 }
 
 // Default bounds for NewSharedCache: sized for a serving tier (many
@@ -63,7 +74,45 @@ type SharedCache struct {
 const (
 	DefaultSharedEntries = 1024
 	DefaultSharedBytes   = 256 << 20 // 256 MiB of cached vectors
+
+	// DefaultAdmitMinCost is the admission threshold SharedOptions
+	// selects when AdmitMinCost is zero: roughly the cost boundary
+	// between a cheap numeric sweep (tens of microseconds to a few
+	// hundred at interactive row counts) and the leaves worth sharing —
+	// edit-distance predicates, join connections, subqueries.
+	DefaultAdmitMinCost = time.Millisecond
 )
+
+// SharedOptions configures a shared tier. The zero value selects the
+// defaults, including cost-aware admission at DefaultAdmitMinCost.
+type SharedOptions struct {
+	// MaxEntries and MaxBytes bound the resident set; zero or negative
+	// values select DefaultSharedEntries / DefaultSharedBytes.
+	MaxEntries int
+	MaxBytes   int64
+	// AdmitMinCost is the minimum measured compute time a leaf must
+	// cost before it is admitted into the tier: zero selects
+	// DefaultAdmitMinCost, negative admits every computed leaf (the
+	// historical all-or-nothing behavior, also what NewSharedCache
+	// selects). Whatever the policy decides, the computed vector is
+	// still returned to the caller and to all singleflight waiters —
+	// admission bounds budget churn, it never costs correctness.
+	AdmitMinCost time.Duration
+}
+
+// NewSharedCacheOpts creates a shared tier from SharedOptions — the
+// constructor serving tiers use, with cost-aware admission on by
+// default.
+func NewSharedCacheOpts(o SharedOptions) *SharedCache {
+	sc := NewSharedCache(o.MaxEntries, o.MaxBytes)
+	switch {
+	case o.AdmitMinCost == 0:
+		sc.admitMin = DefaultAdmitMinCost
+	case o.AdmitMinCost > 0:
+		sc.admitMin = o.AdmitMinCost
+	}
+	return sc
+}
 
 // sharedEntry is one immutable cached leaf. Exactly one of pd and
 // dists is set; quant is attached later, when some session first
@@ -97,7 +146,12 @@ type sharedCall struct {
 }
 
 // NewSharedCache creates a shared tier with the given bounds; zero or
-// negative values select the defaults.
+// negative values select the defaults. Caches built this way admit
+// every computed leaf — the in-process default, where a handful of
+// sessions share one interaction working set. Serving tiers exposed to
+// adversarial traffic (slider sweeps over hundreds of distinct ranges)
+// should use NewSharedCacheOpts, whose cost-aware admission keeps
+// cheap leaves from churning the byte budget.
 func NewSharedCache(maxEntries int, maxBytes int64) *SharedCache {
 	if maxEntries <= 0 {
 		maxEntries = DefaultSharedEntries
@@ -127,6 +181,10 @@ type SharedStats struct {
 	// Waits counts lookups that blocked on another session's fill
 	// instead of computing redundantly.
 	Waits uint64
+	// Rejects counts computed fills the admission policy kept out of
+	// the resident set (compute cost below AdmitMinCost); their results
+	// were still served to the caller and any waiters.
+	Rejects uint64
 	// Entries and Bytes describe the current resident set.
 	Entries int
 	Bytes   int64
@@ -138,6 +196,7 @@ func (sc *SharedCache) Stats() SharedStats {
 	defer sc.mu.Unlock()
 	return SharedStats{
 		Hits: sc.hits, Misses: sc.misses, Fills: sc.fills, Waits: sc.waits,
+		Rejects: sc.rejects,
 		Entries: len(sc.entries), Bytes: sc.bytes,
 	}
 }
@@ -226,21 +285,35 @@ func (sc *SharedCache) fetch(key string, needSigned bool, compute func() (*share
 	sc.inflight[key] = call
 	sc.mu.Unlock()
 
+	t0 := time.Now()
 	e, err := compute()
+	cost := time.Since(t0)
 
 	sc.mu.Lock()
 	delete(sc.inflight, key)
 	if err == nil {
-		sc.clock++
-		e.used = sc.clock
-		e.bytes = e.sizeBytes()
-		if old, ok := sc.entries[key]; ok {
-			sc.bytes -= old.bytes
+		// Cost-aware admission: a leaf cheaper than the threshold is
+		// served but not stored — recomputing it is cheaper than the
+		// budget churn of keeping it resident. A fill that replaces an
+		// existing entry (the needSigned upgrade) is always admitted:
+		// the superseded entry's budget is reclaimed either way, and
+		// dropping it would downgrade later 2D lookups to permanent
+		// misses.
+		_, replaces := sc.entries[key]
+		if sc.admitMin > 0 && cost < sc.admitMin && !replaces {
+			sc.rejects++
+		} else {
+			sc.clock++
+			e.used = sc.clock
+			e.bytes = e.sizeBytes()
+			if old, ok := sc.entries[key]; ok {
+				sc.bytes -= old.bytes
+			}
+			sc.entries[key] = e
+			sc.bytes += e.bytes
+			sc.fills++
+			sc.evictLocked()
 		}
-		sc.entries[key] = e
-		sc.bytes += e.bytes
-		sc.fills++
-		sc.evictLocked()
 		call.view, call.ok = e.viewLocked(), true
 		view = call.view
 	}

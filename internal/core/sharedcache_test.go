@@ -458,3 +458,159 @@ func TestRunPreboundValidation(t *testing.T) {
 		t.Fatal("binding for a different catalog accepted")
 	}
 }
+
+// TestSharedCacheAdmission: the cost-aware admission policy. Each op
+// fills a key with a compute of controlled cost; the table asserts
+// which fills become resident, which are rejected, and that rejected
+// fills still serve a valid vector to the caller.
+func TestSharedCacheAdmission(t *testing.T) {
+	type op struct {
+		key  string
+		cost time.Duration // how long the compute sleeps
+	}
+	cases := []struct {
+		name        string
+		opts        SharedOptions
+		ops         []op
+		want        []string
+		wantRejects uint64
+	}{
+		{
+			name: "negative threshold admits everything",
+			opts: SharedOptions{AdmitMinCost: -1},
+			ops:  []op{{key: "cheap"}, {key: "cheap2"}},
+			want: []string{"cheap", "cheap2"},
+		},
+		{
+			name:        "cheap leaves stay out",
+			opts:        SharedOptions{AdmitMinCost: time.Hour},
+			ops:         []op{{key: "cheap"}, {key: "cheap2"}},
+			want:        []string{},
+			wantRejects: 2,
+		},
+		{
+			name: "expensive leaves are admitted",
+			opts: SharedOptions{AdmitMinCost: time.Microsecond},
+			ops:  []op{{key: "slow", cost: 2 * time.Millisecond}},
+			want: []string{"slow"},
+		},
+		{
+			// The threshold sits far above an instant compute (even with
+			// a scheduler stall) and far below the slow fill's sleep, so
+			// the case cannot flake on a loaded machine.
+			name:        "mixed traffic keeps only the expensive leaf",
+			opts:        SharedOptions{AdmitMinCost: 50 * time.Millisecond},
+			ops:         []op{{key: "cheap"}, {key: "slow", cost: 150 * time.Millisecond}, {key: "cheap2"}},
+			want:        []string{"slow"},
+			wantRejects: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := NewSharedCacheOpts(tc.opts)
+			for _, o := range tc.ops {
+				o := o
+				v, hit, err := sc.fetch(o.key, false, func() (*sharedEntry, error) {
+					if o.cost > 0 {
+						time.Sleep(o.cost)
+					}
+					return &sharedEntry{dists: []float64{1, 2, 3}, label: o.key}, nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if hit {
+					t.Fatalf("fill of %q was a hit", o.key)
+				}
+				// Rejected or admitted, the computed vector is served.
+				if len(v.dists) != 3 {
+					t.Fatalf("fill of %q returned %d dists", o.key, len(v.dists))
+				}
+			}
+			got := residentKeys(sc)
+			if len(got) != len(tc.want) {
+				t.Fatalf("resident %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("resident %v, want %v", got, tc.want)
+				}
+			}
+			if st := sc.Stats(); st.Rejects != tc.wantRejects {
+				t.Fatalf("rejects %d, want %d", st.Rejects, tc.wantRejects)
+			}
+		})
+	}
+}
+
+// TestSharedCacheAdmissionDefaults: the zero SharedOptions selects
+// cost-aware admission at DefaultAdmitMinCost, while the legacy
+// NewSharedCache constructor keeps admitting everything.
+func TestSharedCacheAdmissionDefaults(t *testing.T) {
+	if sc := NewSharedCacheOpts(SharedOptions{}); sc.admitMin != DefaultAdmitMinCost {
+		t.Fatalf("zero SharedOptions admitMin = %v, want %v", sc.admitMin, DefaultAdmitMinCost)
+	}
+	if sc := NewSharedCache(0, 0); sc.admitMin != 0 {
+		t.Fatalf("NewSharedCache admitMin = %v, want 0 (admit all)", sc.admitMin)
+	}
+	// An instant fill under the default threshold is served but not
+	// stored. The assertion only runs when the whole fill round trip
+	// measurably stayed under the threshold — on a machine loaded
+	// enough to stall an instant compute past 1ms, residency is
+	// legitimately allowed and the check would flake.
+	sc := NewSharedCacheOpts(SharedOptions{})
+	t0 := time.Now()
+	fillDists(t, sc, "instant", 4, 1)
+	if time.Since(t0) >= DefaultAdmitMinCost {
+		t.Skip("machine too loaded to observe an instant fill")
+	}
+	if sc.Len() != 0 {
+		t.Fatalf("instant fill became resident (%d entries)", sc.Len())
+	}
+	if st := sc.Stats(); st.Rejects != 1 || st.Fills != 0 {
+		t.Fatalf("rejects=%d fills=%d, want 1/0", st.Rejects, st.Fills)
+	}
+}
+
+// TestSharedCacheAdmissionUpgradeReplaces: a fill that replaces an
+// existing entry (the needSigned upgrade path) is admitted regardless
+// of its cost — dropping the entry instead would turn later 2D lookups
+// into permanent misses.
+func TestSharedCacheAdmissionUpgradeReplaces(t *testing.T) {
+	sc := NewSharedCacheOpts(SharedOptions{AdmitMinCost: time.Millisecond})
+	key := "C|T:T:3|T.x|x > 5"
+	// Seed an unsigned condition entry (expensive enough to be
+	// admitted).
+	if _, _, err := sc.fetch(key, false, func() (*sharedEntry, error) {
+		time.Sleep(2 * time.Millisecond)
+		return &sharedEntry{pd: &predicateData{Raw: []float64{1, 2, 3}}, attr: "x", label: "x > 5"}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Len() != 1 {
+		t.Fatalf("seed entry not resident")
+	}
+	// A needSigned lookup misses it and upgrades with a cheap compute;
+	// the replacement must still be stored.
+	v, hit, err := sc.fetch(key, true, func() (*sharedEntry, error) {
+		return &sharedEntry{pd: &predicateData{Raw: []float64{1, 2, 3}, Signed: []float64{-1, 0, 1}},
+			attr: "x", label: "x > 5"}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("needSigned lookup hit the unsigned entry")
+	}
+	if v.pd == nil || v.pd.Signed == nil {
+		t.Fatal("upgrade did not return signed distances")
+	}
+	if sc.Len() != 1 {
+		t.Fatalf("upgrade not resident: %d entries", sc.Len())
+	}
+	if _, hit, err := sc.fetch(key, true, func() (*sharedEntry, error) {
+		return nil, fmt.Errorf("upgraded entry missed")
+	}); err != nil || !hit {
+		t.Fatalf("post-upgrade lookup: hit=%v err=%v", hit, err)
+	}
+}

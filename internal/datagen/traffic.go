@@ -1,0 +1,53 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// TrafficQueries is the interaction workload that pairs with Traffic:
+// the session queries the randomized concurrent scripts rotate
+// through. One definition keeps the in-process traffic mode, the
+// remote bench driver and the server's replay-identity suite on the
+// exact same workload.
+func TrafficQueries() []string {
+	return []string{
+		`SELECT a FROM S WHERE a > 50 AND b < 40`,
+		`SELECT a FROM S WHERE a > 50 AND c BETWEEN 20 AND 30`,
+		`SELECT a FROM S WHERE a > 50 AND b < 40 OR c BETWEEN 20 AND 30 WEIGHT 2`,
+	}
+}
+
+// Traffic generates the uniform three-attribute numeric catalog the
+// concurrent-traffic and serving workloads query: one table S with
+// float attributes a, b, c drawn uniformly from [0, 100). Unlike the
+// paper-scenario generators it plants nothing — the point is cheap,
+// deterministic bulk data whose leaf distances do real work at any row
+// count, so the same (rows, seed) pair always reproduces the exact
+// catalog on both ends of a client/server benchmark.
+func Traffic(rows int, seed int64) (*dataset.Catalog, error) {
+	rng := rand.New(rand.NewSource(seed))
+	tbl, err := dataset.NewTable("S", dataset.Schema{
+		{Name: "a", Kind: dataset.KindFloat},
+		{Name: "b", Kind: dataset.KindFloat},
+		{Name: "c", Kind: dataset.KindFloat},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < rows; i++ {
+		if err := tbl.AppendRow(
+			dataset.Float(rng.Float64()*100),
+			dataset.Float(rng.Float64()*100),
+			dataset.Float(rng.Float64()*100),
+		); err != nil {
+			return nil, err
+		}
+	}
+	cat := dataset.NewCatalog()
+	if err := cat.AddTable(tbl); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}

@@ -1,0 +1,333 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/query"
+	"repro/internal/relevance"
+	"repro/internal/session"
+	"repro/internal/wire"
+)
+
+// writeJSON encodes v as the response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr encodes a wire.ErrorResponse.
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, wire.ErrorResponse{Error: err.Error()})
+}
+
+// decodeJSON parses a JSON request body (capped at 1 MiB — every
+// protocol request is a few hundred bytes).
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// decodeBody is decodeJSON for handlers that answer the error
+// themselves.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := decodeJSON(w, r, v); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+// summaryLocked builds the wire summary of a session's current result;
+// the caller holds ss.mu.
+func summaryLocked(ss *serverSession) wire.Summary {
+	res := ss.sess.Result()
+	tm := res.Timings
+	st := res.Stats()
+	return wire.Summary{
+		N:          st.NumObjects,
+		Displayed:  st.NumDisplayed,
+		NumResults: st.NumResults,
+		Recalcs:    ss.sess.Recalcs,
+		Timings: wire.Timings{
+			BindNS:      tm.Bind.Nanoseconds(),
+			DistancesNS: tm.Distances.Nanoseconds(),
+			EvaluateNS:  tm.Evaluate.Nanoseconds(),
+			SortNS:      tm.Sort.Nanoseconds(),
+			SelectNS:    tm.Select.Nanoseconds(),
+			ReduceNS:    tm.Reduce.Nanoseconds(),
+			TotalNS:     tm.Total.Nanoseconds(),
+			CacheHits:   tm.CacheHits,
+			CacheMisses: tm.CacheMisses,
+			SharedHits:  tm.SharedHits,
+		},
+	}
+}
+
+// handleCreate opens a session: route the catalog to its shard, run
+// the initial recalculation, register. The shard lock is held only for
+// registration — initial runs of distinct sessions proceed
+// concurrently and share leaves through the catalog tier.
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req wire.CreateSessionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	cs, ok := s.catalogs[req.Catalog]
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no catalog %q", req.Catalog))
+		return
+	}
+	// Cheap pre-check so a full shard refuses before paying the
+	// initial recalculation; register re-checks authoritatively under
+	// the shard lock.
+	if err := cs.shard.checkCapacity(); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	opt := s.sessionOptions(req.Options)
+	sess, err := session.NewSQLShared(cs.cat, cs.reg, opt, req.Query, cs.shared)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// Capture the initial run's count before the session is published:
+	// once register returns, its (predictable) ID is addressable and a
+	// concurrent edit could mutate sess.Recalcs under its own mutex.
+	initialRecalcs := uint64(sess.Recalcs)
+	ss, err := cs.shard.register(sess)
+	if err != nil {
+		// The discarded session's work stays out of the shard counter,
+		// keeping recalcs attributable to sessions that ever existed.
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	cs.shard.recalcs.Add(initialRecalcs)
+	ss.mu.Lock()
+	info := wire.SessionInfo{ID: ss.id, Catalog: cs.name, Shard: cs.shard.id, Summary: summaryLocked(ss)}
+	ss.mu.Unlock()
+	writeJSON(w, http.StatusOK, info)
+}
+
+// sessionEdit is the shared tail of every mutating session endpoint:
+// resolve the ID to its shard, serialize on the session's mutex, run
+// the edit, attribute the recalculations to the shard, and answer
+// with the fresh summary. The request body is fully decoded BEFORE
+// this runs, so the session mutex is never held across network I/O (a
+// client trickling a body must not stall the session's readers).
+func (s *Server) sessionEdit(w http.ResponseWriter, r *http.Request, edit func(ss *serverSession) error) {
+	ss, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	ss.mu.Lock()
+	before := ss.sess.Recalcs
+	err = edit(ss)
+	ss.shard.recalcs.Add(uint64(ss.sess.Recalcs - before))
+	var sum wire.Summary
+	if err == nil {
+		sum = summaryLocked(ss)
+	}
+	ss.mu.Unlock()
+	if err != nil {
+		code := http.StatusBadRequest
+		if err == errNothingToUndo {
+			code = http.StatusConflict
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
+}
+
+var errNothingToUndo = fmt.Errorf("nothing to undo")
+
+// handleQuery replaces the whole query.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req wire.QueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.sessionEdit(w, r, func(ss *serverSession) error {
+		return ss.sess.SetQuery(req.Query)
+	})
+}
+
+// handleRange moves a condition's range; null bounds travel as ±Inf.
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	var req wire.RangeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	lo, hi := math.Inf(-1), math.Inf(1)
+	if req.Lo != nil {
+		lo = *req.Lo
+	}
+	if req.Hi != nil {
+		hi = *req.Hi
+	}
+	s.sessionEdit(w, r, func(ss *serverSession) error {
+		return ss.sess.SetRangeByAttr(req.Attr, lo, hi)
+	})
+}
+
+// handleWeight sets a top-level predicate's weighting factor by its
+// query order index.
+func (s *Server) handleWeight(w http.ResponseWriter, r *http.Request) {
+	var req wire.WeightRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.sessionEdit(w, r, func(ss *serverSession) error {
+		preds := query.Predicates(ss.sess.Query().Where)
+		if req.Pred < 0 || req.Pred >= len(preds) {
+			return fmt.Errorf("predicate index %d out of range [0,%d)", req.Pred, len(preds))
+		}
+		return ss.sess.SetWeight(preds[req.Pred], req.Weight)
+	})
+}
+
+// handleUndo reverts the last modification.
+func (s *Server) handleUndo(w http.ResponseWriter, r *http.Request) {
+	s.sessionEdit(w, r, func(ss *serverSession) error {
+		if !ss.sess.CanUndo() {
+			return errNothingToUndo
+		}
+		return ss.sess.Undo()
+	})
+}
+
+// handleResults returns the top-k ranked rows. k defaults to (and is
+// capped at) the displayed count, so the response size tracks the
+// display budget; ?tuples=1 adds the rendered row values. The whole
+// marshal runs under the session mutex — a session Result's vectors
+// are pooled and valid only until its next recalculation.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	ss, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	top := -1
+	if v := r.URL.Query().Get("top"); v != "" {
+		top, err = strconv.Atoi(v)
+		if err != nil || top < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad top=%q", v))
+			return
+		}
+	}
+	withTuples := r.URL.Query().Get("tuples") == "1"
+
+	// Build the response under the session mutex (the pooled Result is
+	// only valid until the next recalculation), but release it before
+	// the network write: everything in `out` is a deep copy, and a
+	// slow-reading client must not stall the session's edits for
+	// transfer time.
+	ss.mu.Lock()
+	res := ss.sess.Result()
+	k := res.Displayed
+	if top >= 0 && top < k {
+		k = top
+	}
+	out := wire.ResultsResponse{Summary: summaryLocked(ss), Rows: make([]wire.Row, 0, k)}
+	var tupleErr error
+	for rank := 0; rank < k; rank++ {
+		item := res.Order[rank]
+		d := res.Combined[item]
+		row := wire.Row{Item: item, Distance: d, Relevance: relevance.RelevanceFactor(d)}
+		if withTuples {
+			tup, err := res.Tuple(item)
+			if err != nil {
+				tupleErr = err
+				break
+			}
+			row.Tuple = make([][]string, len(tup.Rows))
+			for i, vals := range tup.Rows {
+				rendered := make([]string, len(vals))
+				for j, v := range vals {
+					rendered[j] = v.String()
+				}
+				row.Tuple[i] = rendered
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	ss.mu.Unlock()
+	if tupleErr != nil {
+		writeErr(w, http.StatusInternalServerError, tupleErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTimings returns the stage timings of the last recalculation.
+func (s *Server) handleTimings(w http.ResponseWriter, r *http.Request) {
+	ss, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	ss.mu.Lock()
+	sum := summaryLocked(ss)
+	ss.mu.Unlock()
+	writeJSON(w, http.StatusOK, sum)
+}
+
+// handleDelete closes a session.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ss, err := s.lookup(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	if !ss.shard.remove(id) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "closed"})
+}
+
+// handleShards reports every shard's serving and cache stats.
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	out := make([]wire.ShardStats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.stats()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleShard reports one shard.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	idx, err := strconv.Atoi(r.PathValue("shard"))
+	if err != nil || idx < 0 || idx >= len(s.shards) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no shard %q", r.PathValue("shard")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.shards[idx].stats())
+}
+
+// handleCatalogs lists the served catalogs and their shard homes.
+func (s *Server) handleCatalogs(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0, len(s.catalogs))
+	for name := range s.catalogs {
+		names = append(names, name)
+	}
+	// Deterministic order for scripts and tests.
+	sort.Strings(names)
+	out := make([]wire.CatalogInfo, 0, len(names))
+	for _, name := range names {
+		cs := s.catalogs[name]
+		out = append(out, wire.CatalogInfo{Name: name, Shard: cs.shard.id, Tables: cs.cat.TableNames()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,381 @@
+// Package server is the VisDB serving subsystem: it hosts any number
+// of catalogs behind an HTTP/JSON protocol so thin clients drive the
+// paper's visual feedback loop remotely — the cross-process step of
+// the scaling roadmap ("shard catalogs across workers and route
+// sessions by catalog").
+//
+// # Sharding and routing
+//
+// The server is partitioned into N shards. Every catalog is homed on
+// exactly one shard by a deterministic hash of its name (FNV-1a mod
+// N), and a session lives on the shard of its catalog: the session ID
+// embeds the shard index, so every later request routes straight to
+// the owning shard without any global lookup. Shards are the
+// concurrency and accounting unit — each owns its catalogs' session
+// tables and stats counters, and in a future multi-node deployment the
+// same catalog→shard map distributes shards across processes.
+//
+// Each catalog owns one core.SharedCache: every session on that
+// catalog, regardless of which client opened it, resolves leaf
+// distance vectors private tier → catalog tier → recompute, so N
+// remote users dragging the same slider compute each leaf once. The
+// cache is per-catalog rather than per-shard because shared keys
+// fingerprint table identities (names and row counts), which are only
+// unique within one catalog.
+//
+// # Concurrency model
+//
+// A session.Session is a single-user state machine, so the server
+// serializes requests to one session with a per-session mutex; distinct
+// sessions — on the same shard or not — run fully concurrently and
+// share leaf work through their catalog's cache tier. Handlers
+// marshal a session's pooled Result under that same mutex (a Result is
+// only valid until the session's next recalculation).
+//
+// # Protocol
+//
+// See package wire for the message types. Endpoints:
+//
+//	POST   /v1/sessions                create a session on a catalog
+//	POST   /v1/sessions/{id}/query     replace the whole query
+//	POST   /v1/sessions/{id}/range     move a condition's range (slider)
+//	POST   /v1/sessions/{id}/weight    set a predicate's weighting factor
+//	POST   /v1/sessions/{id}/undo      revert the last modification
+//	GET    /v1/sessions/{id}/results   top-k ranked rows (?top=k&tuples=1)
+//	GET    /v1/sessions/{id}/timings   stage timings of the last recalc
+//	DELETE /v1/sessions/{id}           close the session
+//	GET    /v1/shards                  per-shard serving + cache stats
+//	GET    /v1/shards/{shard}          one shard's stats
+//	GET    /v1/catalogs                served catalogs and their shards
+//	GET    /healthz                    liveness
+//
+// Mutating endpoints return the post-recalculation wire.Summary;
+// results responses add the top-k rows (item, distance, relevance), so
+// response size tracks the display budget, never the catalog size.
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/session"
+	"repro/internal/wire"
+)
+
+// CatalogConfig registers one catalog with the server.
+type CatalogConfig struct {
+	// Name is the serving name clients address the catalog by.
+	Name string
+	// Catalog holds the datasets; it must not be mutated while served.
+	Catalog *dataset.Catalog
+	// Registry supplies distance functions; nil selects the built-ins.
+	Registry *distance.Registry
+	// Shared configures the catalog's shared cache tier (entry cap,
+	// byte budget, admission threshold). The zero value selects the
+	// defaults, including cost-aware admission at
+	// core.DefaultAdmitMinCost.
+	Shared core.SharedOptions
+}
+
+// Config configures a Server.
+type Config struct {
+	// Shards is the number of serving shards; 0 selects 4. Catalogs
+	// are assigned to shards deterministically by name hash.
+	Shards int
+	// Catalogs are the served catalogs.
+	Catalogs []CatalogConfig
+	// DefaultOptions seeds every session's engine options; fields a
+	// client sets in wire.SessionOptions override it. The zero value
+	// selects the engine defaults (128×128 grid).
+	DefaultOptions core.Options
+	// MaxSessionsPerShard bounds the live sessions a shard will hold;
+	// creation beyond it answers 503 until sessions are closed. 0
+	// selects DefaultMaxSessionsPerShard, negative is unlimited. Every
+	// session pins O(rows) result buffers, so an unbounded table is a
+	// slow memory leak under clients that never call DELETE.
+	MaxSessionsPerShard int
+}
+
+// DefaultShards is the shard count Config.Shards == 0 selects.
+const DefaultShards = 4
+
+// DefaultMaxSessionsPerShard bounds a shard's live sessions when the
+// config leaves it zero.
+const DefaultMaxSessionsPerShard = 1024
+
+// maxGridSide caps the client-supplied window grid dimensions: the
+// engine materializes O(GridW·GridH) cells per window, so an
+// unbounded request could make one session allocate terabytes. 1024²
+// is 64× the paper's display budget — far past any real display.
+const maxGridSide = 1024
+
+// catalogState is one served catalog: its datasets, registry and the
+// catalog-level shared cache tier every session on it attaches to.
+type catalogState struct {
+	name   string
+	cat    *dataset.Catalog
+	reg    *distance.Registry
+	shared *core.SharedCache
+	shard  *shard
+}
+
+// shard is one serving partition: the sessions of the catalogs homed
+// on it, plus its accounting. The mutex guards only the session table;
+// sessions themselves serialize on their own locks, so the shard never
+// blocks one session's recalculation on another's.
+type shard struct {
+	id       int
+	catalogs []*catalogState
+
+	mu       sync.RWMutex
+	sessions map[string]*serverSession
+	nextSeq  uint64
+	// maxSessions bounds the live session table; <= 0 is unlimited.
+	maxSessions int
+
+	created atomic.Uint64
+	recalcs atomic.Uint64
+}
+
+// serverSession wraps one interactive session with the mutex that
+// serializes its edits (a session.Session is a single-user state
+// machine; concurrent requests to the same ID queue here).
+type serverSession struct {
+	mu    sync.Mutex
+	id    string
+	sess  *session.Session
+	shard *shard
+}
+
+// Server routes the serving protocol over a set of shards. It
+// implements http.Handler; wrap it in an http.Server (or cmd/visdbd)
+// to serve, and use that server's Shutdown for graceful drain — every
+// in-flight recalculation is an in-flight request, so draining
+// requests drains recalculations. InFlight exposes the live count for
+// drain diagnostics.
+type Server struct {
+	shards   []*shard
+	catalogs map[string]*catalogState
+	mux      *http.ServeMux
+	opt      core.Options
+	inflight atomic.Int64
+}
+
+// New builds a server from the config.
+func New(cfg Config) (*Server, error) {
+	n := cfg.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	maxSessions := cfg.MaxSessionsPerShard
+	if maxSessions == 0 {
+		maxSessions = DefaultMaxSessionsPerShard
+	}
+	s := &Server{
+		shards:   make([]*shard, n),
+		catalogs: make(map[string]*catalogState),
+		opt:      cfg.DefaultOptions,
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{id: i, sessions: make(map[string]*serverSession), maxSessions: maxSessions}
+	}
+	for _, cc := range cfg.Catalogs {
+		if cc.Name == "" || cc.Catalog == nil {
+			return nil, fmt.Errorf("server: catalog config needs a name and a catalog")
+		}
+		if _, dup := s.catalogs[cc.Name]; dup {
+			return nil, fmt.Errorf("server: duplicate catalog %q", cc.Name)
+		}
+		sh := s.shards[ShardOf(cc.Name, n)]
+		cs := &catalogState{
+			name:   cc.Name,
+			cat:    cc.Catalog,
+			reg:    cc.Registry,
+			shared: core.NewSharedCacheOpts(cc.Shared),
+			shard:  sh,
+		}
+		s.catalogs[cc.Name] = cs
+		sh.catalogs = append(sh.catalogs, cs)
+	}
+	for _, sh := range s.shards {
+		sort.Slice(sh.catalogs, func(i, j int) bool { return sh.catalogs[i].name < sh.catalogs[j].name })
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// ShardOf is the deterministic catalog→shard map: FNV-1a of the
+// catalog name modulo the shard count. Exported so external routers
+// (a future multi-node front end) compute the same placement.
+// Non-positive shard counts normalize to DefaultShards, matching New.
+func ShardOf(catalog string, shards int) int {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	h := fnv.New32a()
+	h.Write([]byte(catalog))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// InFlight reports the number of requests currently being served —
+// zero once a graceful shutdown has drained.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// routes installs the protocol endpoints.
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/range", s.handleRange)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/weight", s.handleWeight)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/undo", s.handleUndo)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/results", s.handleResults)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/timings", s.handleTimings)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/shards", s.handleShards)
+	s.mux.HandleFunc("GET /v1/shards/{shard}", s.handleShard)
+	s.mux.HandleFunc("GET /v1/catalogs", s.handleCatalogs)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+}
+
+// sessionOptions merges a client's wire options over the server
+// defaults, clamping resource-shaped fields (grid dimensions, worker
+// count) so no single request can size the server's allocations.
+func (s *Server) sessionOptions(o wire.SessionOptions) core.Options {
+	opt := s.opt
+	if o.GridW > 0 {
+		opt.GridW = min(o.GridW, maxGridSide)
+	}
+	if o.GridH > 0 {
+		opt.GridH = min(o.GridH, maxGridSide)
+	}
+	if o.PercentDisplayed > 0 {
+		opt.PercentDisplayed = o.PercentDisplayed
+	}
+	if o.FullSort {
+		opt.FullSort = true
+	}
+	if o.Workers > 0 {
+		opt.Workers = min(o.Workers, runtime.GOMAXPROCS(0))
+	}
+	return opt
+}
+
+// register allocates an ID on the catalog's shard and installs the
+// session. IDs embed the shard index ("s2.17"), which is the whole
+// routing table: later requests parse the shard straight out of the
+// ID. A full shard (maxSessions live sessions — each pins O(rows)
+// pooled result buffers) refuses registration; clients must close
+// sessions or be shed.
+func (sh *shard) register(sess *session.Session) (*serverSession, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.checkCapacityLocked(); err != nil {
+		return nil, err
+	}
+	sh.nextSeq++
+	ss := &serverSession{
+		id:    fmt.Sprintf("s%d.%d", sh.id, sh.nextSeq),
+		sess:  sess,
+		shard: sh,
+	}
+	sh.sessions[ss.id] = ss
+	sh.created.Add(1)
+	return ss, nil
+}
+
+// lookup resolves a session ID to its shard's session table.
+func (s *Server) lookup(id string) (*serverSession, error) {
+	if !strings.HasPrefix(id, "s") {
+		return nil, fmt.Errorf("malformed session id %q", id)
+	}
+	dot := strings.IndexByte(id, '.')
+	if dot < 0 {
+		return nil, fmt.Errorf("malformed session id %q", id)
+	}
+	shardID, err := strconv.Atoi(id[1:dot])
+	if err != nil || shardID < 0 || shardID >= len(s.shards) {
+		return nil, fmt.Errorf("session id %q names no shard", id)
+	}
+	sh := s.shards[shardID]
+	sh.mu.RLock()
+	ss, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("no session %q", id)
+	}
+	return ss, nil
+}
+
+// checkCapacityLocked reports whether the shard can take another
+// session; the caller holds the shard lock.
+func (sh *shard) checkCapacityLocked() error {
+	if sh.maxSessions > 0 && len(sh.sessions) >= sh.maxSessions {
+		return fmt.Errorf("shard %d is at its session limit (%d); close sessions and retry", sh.id, sh.maxSessions)
+	}
+	return nil
+}
+
+// checkCapacity is checkCapacityLocked for callers without the lock —
+// an advisory pre-check (register re-checks authoritatively).
+func (sh *shard) checkCapacity() error {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.checkCapacityLocked()
+}
+
+// remove deletes a session from its shard.
+func (sh *shard) remove(id string) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.sessions[id]; !ok {
+		return false
+	}
+	delete(sh.sessions, id)
+	return true
+}
+
+// stats snapshots one shard.
+func (sh *shard) stats() wire.ShardStats {
+	sh.mu.RLock()
+	active := len(sh.sessions)
+	sh.mu.RUnlock()
+	st := wire.ShardStats{
+		Shard:           sh.id,
+		Catalogs:        []string{},
+		Sessions:        active,
+		SessionsCreated: sh.created.Load(),
+		Recalcs:         sh.recalcs.Load(),
+	}
+	for _, cs := range sh.catalogs {
+		st.Catalogs = append(st.Catalogs, cs.name)
+		cst := cs.shared.Stats()
+		st.Shared.Hits += cst.Hits
+		st.Shared.Misses += cst.Misses
+		st.Shared.Fills += cst.Fills
+		st.Shared.Waits += cst.Waits
+		st.Shared.Rejects += cst.Rejects
+		st.Shared.Entries += cst.Entries
+		st.Shared.Bytes += cst.Bytes
+	}
+	return st
+}

@@ -318,6 +318,19 @@ func (s *Session) SetRange(c *query.Cond, lo, hi float64) error {
 	return s.maybeRecalc()
 }
 
+// SetRangeByAttr finds the first condition on the named attribute and
+// moves its range — the remote-protocol form of the slider drag, where
+// a condition is addressed by attribute name instead of AST pointer
+// (pointers do not travel over a wire, and they go stale across
+// SetQuery/Undo anyway).
+func (s *Session) SetRangeByAttr(attr string, lo, hi float64) error {
+	c, err := s.FindCond(attr)
+	if err != nil {
+		return err
+	}
+	return s.SetRange(c, lo, hi)
+}
+
 // sameValue reports whether two literals are interchangeable in a
 // condition: equal kind and equal numeric value (floats, ints, times,
 // bools coerce through AsFloat) or equal string payload.

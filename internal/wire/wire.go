@@ -1,0 +1,149 @@
+// Package wire defines the JSON message types of the visdbd serving
+// protocol — the shared vocabulary of internal/server (which marshals
+// them) and visdb/client (which consumes them). Everything is plain
+// encoding/json over HTTP; the types deliberately carry only what a
+// thin interaction client needs, so the wire cost of a response stays
+// proportional to the display budget (top-k rows), never to the
+// catalog size n.
+//
+// Float64 values round-trip exactly: encoding/json emits the shortest
+// decimal representation that parses back to the same bits, which is
+// what lets the end-to-end suite assert bitwise identity between a
+// remote session and an in-process one. The only caveat is NaN/Inf
+// (unrepresentable in JSON): displayed rows never carry them (NaN
+// distances are uncolorable and excluded from display), and open range
+// bounds travel as null instead of ±Inf.
+package wire
+
+// SessionOptions carries the engine options a client may set at
+// session creation. Zero fields select the server's defaults.
+type SessionOptions struct {
+	// GridW and GridH are the per-window item grid dimensions.
+	GridW int `json:"grid_w,omitempty"`
+	GridH int `json:"grid_h,omitempty"`
+	// PercentDisplayed, when > 0, fixes the displayed fraction.
+	PercentDisplayed float64 `json:"percent_displayed,omitempty"`
+	// FullSort ranks with the exact full sort instead of top-k
+	// selection.
+	FullSort bool `json:"full_sort,omitempty"`
+	// Workers bounds the per-session worker pool (0 = server default).
+	Workers int `json:"workers,omitempty"`
+}
+
+// CreateSessionRequest opens a session: POST /v1/sessions.
+type CreateSessionRequest struct {
+	Catalog string         `json:"catalog"`
+	Query   string         `json:"query"`
+	Options SessionOptions `json:"options"`
+}
+
+// QueryRequest replaces the session's whole query:
+// POST /v1/sessions/{id}/query.
+type QueryRequest struct {
+	Query string `json:"query"`
+}
+
+// RangeRequest moves a condition's range (the remote slider drag):
+// POST /v1/sessions/{id}/range. The condition is addressed by
+// attribute name; a null bound leaves that side open (the condition
+// becomes >= or <=).
+type RangeRequest struct {
+	Attr string   `json:"attr"`
+	Lo   *float64 `json:"lo"`
+	Hi   *float64 `json:"hi"`
+}
+
+// WeightRequest updates a top-level predicate's weighting factor:
+// POST /v1/sessions/{id}/weight. Pred indexes the query's top-level
+// selection predicates in query order (the same order Results windows
+// and PredicateInfos use).
+type WeightRequest struct {
+	Pred   int     `json:"pred"`
+	Weight float64 `json:"weight"`
+}
+
+// Timings mirrors core.StageTimings in nanoseconds plus the cache
+// attribution counters.
+type Timings struct {
+	BindNS      int64 `json:"bind_ns"`
+	DistancesNS int64 `json:"distances_ns"`
+	EvaluateNS  int64 `json:"evaluate_ns"`
+	SortNS      int64 `json:"sort_ns"`
+	SelectNS    int64 `json:"select_ns"`
+	ReduceNS    int64 `json:"reduce_ns"`
+	TotalNS     int64 `json:"total_ns"`
+	CacheHits   int   `json:"cache_hits"`
+	CacheMisses int   `json:"cache_misses"`
+	SharedHits  int   `json:"shared_hits"`
+}
+
+// Summary is the scalar state of a session after its latest
+// recalculation — every mutating endpoint returns one, so a thin
+// client can show the stats panel without fetching any rows.
+type Summary struct {
+	N          int     `json:"n"`
+	Displayed  int     `json:"displayed"`
+	NumResults int     `json:"num_results"`
+	Recalcs    int     `json:"recalcs"`
+	Timings    Timings `json:"timings"`
+}
+
+// SessionInfo is the response to session creation.
+type SessionInfo struct {
+	ID      string  `json:"id"`
+	Catalog string  `json:"catalog"`
+	Shard   int     `json:"shard"`
+	Summary Summary `json:"summary"`
+}
+
+// Row is one ranked display item: GET /v1/sessions/{id}/results.
+// Distance and Relevance are finite (displayed items are colorable by
+// construction). Tuple, present only when ?tuples=1, renders the
+// underlying row values per table (two entries for join pairs).
+type Row struct {
+	Item      int        `json:"item"`
+	Distance  float64    `json:"distance"`
+	Relevance float64    `json:"relevance"`
+	Tuple     [][]string `json:"tuple,omitempty"`
+}
+
+// ResultsResponse carries the top-k ranked rows of the current result.
+type ResultsResponse struct {
+	Summary Summary `json:"summary"`
+	Rows    []Row   `json:"rows"`
+}
+
+// SharedStats mirrors core.SharedStats.
+type SharedStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Fills   uint64 `json:"fills"`
+	Waits   uint64 `json:"waits"`
+	Rejects uint64 `json:"rejects"`
+	Entries int    `json:"entries"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// ShardStats describes one shard: GET /v1/shards. Shared aggregates
+// the per-catalog shared-cache counters of every catalog homed on the
+// shard.
+type ShardStats struct {
+	Shard           int         `json:"shard"`
+	Catalogs        []string    `json:"catalogs"`
+	Sessions        int         `json:"sessions"`
+	SessionsCreated uint64      `json:"sessions_created"`
+	Recalcs         uint64      `json:"recalcs"`
+	Shared          SharedStats `json:"shared"`
+}
+
+// CatalogInfo describes one served catalog: GET /v1/catalogs.
+type CatalogInfo struct {
+	Name   string   `json:"name"`
+	Shard  int      `json:"shard"`
+	Tables []string `json:"tables"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,245 @@
+// Package client is the typed Go client of the visdbd serving
+// protocol: it drives the paper's visual feedback loop — query
+// replacement, range sliders, weighting factors, undo, top-k result
+// retrieval — against a remote visdbd (or any internal/server
+// handler) over HTTP/JSON, using only the standard library.
+//
+// A Session mirrors the interactive surface of visdb.Session, but
+// every method takes a context and returns the server's
+// post-recalculation summary, so a thin client renders the stats
+// panel without ever transferring more than the display budget:
+//
+//	c := client.New("http://localhost:8491")
+//	s, _, err := c.NewSession(ctx, "env", `SELECT temp FROM obs WHERE temp > 20`, client.Options{})
+//	if err != nil { ... }
+//	defer s.Close(ctx)
+//	sum, err := s.SetRange(ctx, "temp", 15, 25)     // drag the slider
+//	res, err := s.Results(ctx, 10)                  // top-10 rows
+//
+// The client is safe for concurrent use; one Session, like its
+// server-side counterpart, represents a single user's interaction
+// loop and is serialized by the server's per-session mutex.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+
+	"repro/internal/wire"
+)
+
+// Wire types re-exported so callers need no internal import.
+type (
+	// Options configures a new session; zero fields pick the server's
+	// defaults.
+	Options = wire.SessionOptions
+	// Summary is the scalar session state every mutating call returns.
+	Summary = wire.Summary
+	// Timings is the stage breakdown of the last recalculation.
+	Timings = wire.Timings
+	// Row is one ranked result row.
+	Row = wire.Row
+	// Results carries the summary plus the top-k rows.
+	Results = wire.ResultsResponse
+	// ShardStats describes one server shard.
+	ShardStats = wire.ShardStats
+	// CatalogInfo describes one served catalog.
+	CatalogInfo = wire.CatalogInfo
+)
+
+// APIError is a non-2xx protocol response.
+type APIError struct {
+	Status int    // HTTP status code
+	Msg    string // server's error message
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("visdbd: %s (http %d)", e.Msg, e.Status)
+}
+
+// Client speaks the serving protocol to one server.
+type Client struct {
+	base string
+	// HTTP is the underlying client; replace it before first use for
+	// custom transports or timeouts. Defaults to http.DefaultClient.
+	HTTP *http.Client
+}
+
+// New creates a client for a server base URL (e.g.
+// "http://localhost:8491", no trailing slash needed).
+func New(baseURL string) *Client {
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	return &Client{base: baseURL, HTTP: http.DefaultClient}
+}
+
+// do performs one JSON round trip. A nil in sends no body; a nil out
+// discards the response body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e wire.ErrorResponse
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &APIError{Status: resp.StatusCode, Msg: msg}
+	}
+	if out == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Session is a remote interactive session.
+type Session struct {
+	c *Client
+	// ID is the server-assigned session ID (it embeds the owning
+	// shard).
+	ID string
+	// Catalog and Shard echo the routing decision.
+	Catalog string
+	Shard   int
+}
+
+// NewSession opens a session on a catalog and returns it with the
+// summary of the initial run.
+func (c *Client) NewSession(ctx context.Context, catalog, query string, opt Options) (*Session, Summary, error) {
+	var info wire.SessionInfo
+	err := c.do(ctx, http.MethodPost, "/v1/sessions",
+		wire.CreateSessionRequest{Catalog: catalog, Query: query, Options: opt}, &info)
+	if err != nil {
+		return nil, Summary{}, err
+	}
+	return &Session{c: c, ID: info.ID, Catalog: info.Catalog, Shard: info.Shard}, info.Summary, nil
+}
+
+// path builds a session endpoint path.
+func (s *Session) path(suffix string) string {
+	p := "/v1/sessions/" + url.PathEscape(s.ID)
+	if suffix != "" {
+		p += "/" + suffix
+	}
+	return p
+}
+
+// SetQuery replaces the whole query (the old state stays undoable).
+func (s *Session) SetQuery(ctx context.Context, query string) (Summary, error) {
+	var sum Summary
+	err := s.c.do(ctx, http.MethodPost, s.path("query"), wire.QueryRequest{Query: query}, &sum)
+	return sum, err
+}
+
+// SetRange moves the range of the first condition on attr — the
+// remote slider drag. Pass math.Inf(-1) / math.Inf(1) for open sides;
+// they travel as null bounds.
+func (s *Session) SetRange(ctx context.Context, attr string, lo, hi float64) (Summary, error) {
+	req := wire.RangeRequest{Attr: attr}
+	if !math.IsInf(lo, -1) {
+		req.Lo = &lo
+	}
+	if !math.IsInf(hi, 1) {
+		req.Hi = &hi
+	}
+	var sum Summary
+	err := s.c.do(ctx, http.MethodPost, s.path("range"), req, &sum)
+	return sum, err
+}
+
+// SetWeight sets the weighting factor of the pred-th top-level
+// selection predicate (query order, 0-based).
+func (s *Session) SetWeight(ctx context.Context, pred int, weight float64) (Summary, error) {
+	var sum Summary
+	err := s.c.do(ctx, http.MethodPost, s.path("weight"), wire.WeightRequest{Pred: pred, Weight: weight}, &sum)
+	return sum, err
+}
+
+// Undo reverts the most recent modification.
+func (s *Session) Undo(ctx context.Context) (Summary, error) {
+	var sum Summary
+	err := s.c.do(ctx, http.MethodPost, s.path("undo"), struct{}{}, &sum)
+	return sum, err
+}
+
+// Results fetches the top-k ranked rows (item index, combined
+// distance, relevance factor). top < 0 means "everything displayed";
+// the server caps k at the displayed count either way.
+func (s *Session) Results(ctx context.Context, top int) (Results, error) {
+	return s.results(ctx, top, false)
+}
+
+// ResultsWithTuples is Results plus the rendered attribute values of
+// each row's underlying tuple(s).
+func (s *Session) ResultsWithTuples(ctx context.Context, top int) (Results, error) {
+	return s.results(ctx, top, true)
+}
+
+func (s *Session) results(ctx context.Context, top int, tuples bool) (Results, error) {
+	q := url.Values{}
+	if top >= 0 {
+		q.Set("top", fmt.Sprint(top))
+	}
+	if tuples {
+		q.Set("tuples", "1")
+	}
+	p := s.path("results")
+	if len(q) > 0 {
+		p += "?" + q.Encode()
+	}
+	var res Results
+	err := s.c.do(ctx, http.MethodGet, p, nil, &res)
+	return res, err
+}
+
+// Timings fetches the stage timings of the last recalculation.
+func (s *Session) Timings(ctx context.Context) (Summary, error) {
+	var sum Summary
+	err := s.c.do(ctx, http.MethodGet, s.path("timings"), nil, &sum)
+	return sum, err
+}
+
+// Close deletes the session on the server.
+func (s *Session) Close(ctx context.Context) error {
+	return s.c.do(ctx, http.MethodDelete, s.path(""), nil, nil)
+}
+
+// ShardStats fetches every shard's serving and shared-cache counters.
+func (c *Client) ShardStats(ctx context.Context) ([]ShardStats, error) {
+	var out []ShardStats
+	err := c.do(ctx, http.MethodGet, "/v1/shards", nil, &out)
+	return out, err
+}
+
+// Catalogs lists the served catalogs and their shard homes.
+func (c *Client) Catalogs(ctx context.Context) ([]CatalogInfo, error) {
+	var out []CatalogInfo
+	err := c.do(ctx, http.MethodGet, "/v1/catalogs", nil, &out)
+	return out, err
+}

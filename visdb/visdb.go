@@ -65,6 +65,15 @@
 // session stays a single-goroutine state machine; any number may run
 // in parallel against one SharedCache, and results remain bit-identical
 // to isolated sessions.
+//
+// # Remote sessions
+//
+// The same interaction loop is served cross-process by the visdbd
+// daemon (cmd/visdbd): catalogs are sharded across serving workers
+// and sessions route by catalog, each catalog backed by its own
+// SharedCache. The typed HTTP client lives in visdb/client; remote
+// results are bitwise identical to in-process sessions, and response
+// sizes track the display budget rather than the catalog size.
 package visdb
 
 import (
@@ -192,9 +201,22 @@ type SharedCache = core.SharedCache
 // SharedStats is a snapshot of a SharedCache's counters.
 type SharedStats = core.SharedStats
 
+// SharedOptions configures a shared tier: entry cap, byte budget and
+// the cost-aware admission threshold (AdmitMinCost; zero selects the
+// ~1ms default, negative admits every leaf).
+type SharedOptions = core.SharedOptions
+
 // NewSharedCache creates a shared tier; zero bounds select the
-// defaults (1024 entries, 256 MiB).
+// defaults (1024 entries, 256 MiB). Caches built this way admit every
+// computed leaf; use NewSharedCacheOpts for cost-aware admission.
 var NewSharedCache = core.NewSharedCache
+
+// NewSharedCacheOpts creates a shared tier from SharedOptions, with
+// cost-aware admission on by default: only leaves whose measured
+// compute time reaches AdmitMinCost occupy the budget, so cheap
+// numeric slider sweeps cannot churn the tier. This is what the
+// serving subsystem (internal/server, cmd/visdbd) uses per catalog.
+var NewSharedCacheOpts = core.NewSharedCacheOpts
 
 // Arrangement kinds.
 const (
