@@ -51,8 +51,19 @@ func main() {
 		serve  = flag.String("serve", "", "serve mode: host the traffic catalog behind the visdbd protocol on this address")
 		remote = flag.String("remote", "", "remote mode: drive the concurrent scripts against a visdbd at this base URL")
 		shards = flag.Int("shards", 2, "serving shards (serve mode)")
+
+		jsonOut  = flag.String("json", "", "json mode: run the interactive-loop benchmarks and write a machine-readable report to this path")
+		jsonRows = flag.Int("json-rows", 1_000_000, "catalog rows for the json benchmark mode")
+		floors   = flag.Bool("floors", false, "with -json: fail (exit 1) when the regression floors are violated (prune rate, warm<cold, cache attribution)")
 	)
 	flag.Parse()
+	if *jsonOut != "" {
+		if err := runJSONBench(*jsonOut, *jsonRows, *seed, *floors); err != nil {
+			fmt.Fprintln(os.Stderr, "visdbbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, e := range experiments.Registry() {
 			fmt.Println(e.ID)

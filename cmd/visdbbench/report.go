@@ -1,0 +1,252 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/query"
+	"repro/internal/session"
+	"repro/internal/wire"
+)
+
+// This file implements the machine-readable benchmark mode:
+//
+//	visdbbench -json BENCH_5.json [-json-rows N] [-floors]
+//
+// It runs the interactive-loop workloads (cold engine runs vs warm
+// cached reruns, the slider drag, the concurrent multi-session
+// traffic) over the deterministic traffic catalog and writes one JSON
+// document with throughput, per-stage timings and the cache/prune
+// counters — so the perf trajectory across PRs is tracked as data in
+// the CI artifacts instead of prose in commit messages.
+//
+// -floors additionally enforces the regression floors: the
+// rank-before-scale block pruning must actually fire on the warm
+// reweight workload (prune rate > 0 — a silent deactivation fails
+// loud), and warm reruns must beat cold runs.
+
+// reweightReport is one cold-vs-warm weight-slider workload.
+type reweightReport struct {
+	ColdMS  float64 `json:"cold_ms"`
+	WarmMS  float64 `json:"warm_ms"`
+	Speedup float64 `json:"speedup"`
+	// Warm holds the steady-state warm rerun's stage timings and
+	// counters (cache hits, pruned chunks) in the wire schema.
+	Warm wire.Timings `json:"warm"`
+}
+
+type concurrentReport struct {
+	Sessions      int              `json:"sessions"`
+	Steps         int              `json:"steps"`
+	Recalcs       int              `json:"recalcs"`
+	RecalcsPerSec float64          `json:"recalcs_per_sec"`
+	SharedHitRate float64          `json:"shared_hit_rate"`
+	SharedStats   wire.SharedStats `json:"shared_stats"`
+}
+
+// benchReport is the BENCH_N.json schema.
+type benchReport struct {
+	Schema       int              `json:"schema"`
+	Rows         int              `json:"rows"`
+	Seed         int64            `json:"seed"`
+	Reweight     reweightReport   `json:"reweight"`
+	SliderDragMS float64          `json:"slider_drag_ms"`
+	SliderDrag   wire.Timings     `json:"slider_drag"`
+	Concurrent   concurrentReport `json:"concurrent"`
+}
+
+// medianMS converts a sample of durations to its median in
+// milliseconds (medians shrug off one-off scheduler hiccups that would
+// make floors flaky on shared CI runners).
+func medianMS(samples []time.Duration) float64 {
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return float64(samples[len(samples)/2].Nanoseconds()) / 1e6
+}
+
+// runJSONBench runs the workloads and writes the report to path.
+// floors enforces the regression floors after writing (the report is
+// useful even when it fails them).
+func runJSONBench(path string, rows int, seed int64, floors bool) error {
+	cat, err := datagen.Traffic(rows, seed)
+	if err != nil {
+		return err
+	}
+	opt := core.Options{GridW: 128, GridH: 128}
+	sql := datagen.TrafficQueries()[2] // the OR query: the geometric-root hot path
+
+	rep := benchReport{Schema: 1, Rows: rows, Seed: seed}
+
+	// --- Reweight: cold engine runs vs warm session reruns ----------
+	q, err := query.Parse(sql)
+	if err != nil {
+		return err
+	}
+	eng := core.New(cat, nil, opt)
+	pred := query.Predicates(q.Where)[0]
+	var cold []time.Duration
+	for i := 0; i < 5; i++ {
+		pred.SetWeight(float64(2 + i%2))
+		t0 := time.Now()
+		if _, err := eng.Run(q); err != nil {
+			return err
+		}
+		cold = append(cold, time.Since(t0))
+	}
+	s, err := session.NewSQL(cat, nil, opt, sql)
+	if err != nil {
+		return err
+	}
+	spred := query.Predicates(s.Query().Where)[0]
+	var warm []time.Duration
+	var warmTM core.StageTimings
+	for i := 0; i < 12; i++ {
+		t0 := time.Now()
+		if err := s.SetWeight(spred, float64(2+i%2)); err != nil {
+			return err
+		}
+		d := time.Since(t0)
+		if i >= 2 { // the first reruns pay the one-time index builds
+			warm = append(warm, d)
+			warmTM = s.Result().Timings
+		}
+	}
+	rep.Reweight = reweightReport{
+		ColdMS: medianMS(cold),
+		WarmMS: medianMS(warm),
+		Warm:   wire.TimingsOf(warmTM),
+	}
+	if rep.Reweight.WarmMS > 0 {
+		rep.Reweight.Speedup = rep.Reweight.ColdMS / rep.Reweight.WarmMS
+	}
+
+	// --- Slider drag: range edits recompute exactly one leaf --------
+	c, err := s.FindCond("c")
+	if err != nil {
+		return err
+	}
+	var drags []time.Duration
+	for i := 0; i < 8; i++ {
+		t0 := time.Now()
+		if err := s.SetRange(c, float64(20+i%5), float64(30+i%5)); err != nil {
+			return err
+		}
+		drags = append(drags, time.Since(t0))
+	}
+	rep.SliderDragMS = medianMS(drags)
+	rep.SliderDrag = wire.TimingsOf(s.Result().Timings)
+
+	// --- Concurrent traffic over the shared tier --------------------
+	const sessions, steps = 4, 20
+	shared := core.NewSharedCache(0, 0)
+	queries := datagen.TrafficQueries()
+	recalcs := make([]int, sessions)
+	errs := make([]error, sessions)
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cs, err := session.NewSQLShared(cat, nil, opt, queries[g%len(queries)], shared)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			pred := query.Predicates(cs.Query().Where)[0]
+			for step := 0; step < steps; step++ {
+				if err := cs.SetWeight(pred, []float64{0.5, 1, 2, 3}[step%4]); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+			recalcs[g] = cs.Recalcs
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	total := 0
+	for g := range recalcs {
+		if errs[g] != nil {
+			return errs[g]
+		}
+		total += recalcs[g]
+	}
+	st := shared.Stats()
+	rep.Concurrent = concurrentReport{
+		Sessions:      sessions,
+		Steps:         steps,
+		Recalcs:       total,
+		RecalcsPerSec: float64(total) / elapsed.Seconds(),
+		SharedStats: wire.SharedStats{
+			Hits: st.Hits, Misses: st.Misses, Fills: st.Fills,
+			Waits: st.Waits, Rejects: st.Rejects,
+			Entries: st.Entries, Bytes: st.Bytes,
+		},
+	}
+	if st.Hits+st.Misses > 0 {
+		rep.Concurrent.SharedHitRate = float64(st.Hits) / float64(st.Hits+st.Misses)
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: reweight cold %.1fms / warm %.1fms (%.2fx), pruned %d/%d chunks, %0.1f recalcs/s concurrent\n",
+		path, rep.Reweight.ColdMS, rep.Reweight.WarmMS, rep.Reweight.Speedup,
+		rep.Reweight.Warm.Pruned, rep.Reweight.Warm.Chunks, rep.Concurrent.RecalcsPerSec)
+	if floors {
+		return checkFloors(rep)
+	}
+	return nil
+}
+
+// checkFloors enforces the hardcoded regression floors on a report.
+func checkFloors(rep benchReport) error {
+	var fails []string
+	// The rank-before-scale block pruning must fire on warm reweight
+	// reruns: a zero prune count means the bounds, the leaf chunk-stats
+	// promotion, or the threshold carry-over silently deactivated.
+	if rep.Reweight.Warm.Pruned <= 0 {
+		fails = append(fails, "warm reweight pruned 0 chunks (block pruning deactivated)")
+	}
+	if rep.Reweight.Warm.Chunks <= 0 {
+		fails = append(fails, "warm reweight reports no evaluator chunks")
+	}
+	// Warm reruns must beat cold runs (the whole point of the
+	// incremental loop); medians keep this robust on noisy runners.
+	if !(rep.Reweight.WarmMS < rep.Reweight.ColdMS) {
+		fails = append(fails, fmt.Sprintf("warm rerun (%.1fms) not faster than cold (%.1fms)",
+			rep.Reweight.WarmMS, rep.Reweight.ColdMS))
+	}
+	// Warm reruns serve every leaf from the cache.
+	if rep.Reweight.Warm.CacheMisses != 0 || rep.Reweight.Warm.CacheHits == 0 {
+		fails = append(fails, fmt.Sprintf("warm reweight cache attribution off: hits=%d misses=%d",
+			rep.Reweight.Warm.CacheHits, rep.Reweight.Warm.CacheMisses))
+	}
+	// Cross-session sharing must happen in the concurrent workload.
+	if rep.Concurrent.SharedHitRate <= 0 {
+		fails = append(fails, "concurrent sessions shared nothing")
+	}
+	if math.IsNaN(rep.Reweight.Speedup) {
+		fails = append(fails, "speedup is NaN")
+	}
+	if len(fails) == 0 {
+		fmt.Println("bench floors: all passed")
+		return nil
+	}
+	for _, f := range fails {
+		fmt.Fprintln(os.Stderr, "bench floor violated:", f)
+	}
+	return fmt.Errorf("%d bench floor(s) violated", len(fails))
+}

@@ -17,6 +17,11 @@
 // cost-aware admission at -admit-min (0 selects the ~1ms default; a
 // negative duration admits every leaf).
 //
+// Sessions idle longer than -session-ttl (default 30m; 0 disables)
+// are reaped by a periodic sweep, so crashed clients release the
+// pooled result buffers they pinned instead of holding a slot of the
+// per-shard session cap until a DELETE that never comes.
+//
 // On SIGINT/SIGTERM the daemon drains: in-flight recalculations run
 // to completion (bounded by -drain-timeout) before the process exits.
 package main
@@ -52,6 +57,7 @@ type config struct {
 	cacheMB      int
 	admitMin     time.Duration
 	drainTimeout time.Duration
+	sessionTTL   time.Duration
 }
 
 func main() {
@@ -66,6 +72,7 @@ func main() {
 	flag.IntVar(&cfg.cacheMB, "cache-mb", 0, "per-catalog shared-cache byte budget in MiB (0 = default 256)")
 	flag.DurationVar(&cfg.admitMin, "admit-min", 0, "shared-tier admission threshold (0 = ~1ms default, negative admits all)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown drain bound")
+	flag.DurationVar(&cfg.sessionTTL, "session-ttl", 30*time.Minute, "reap sessions idle longer than this (0 disables; each live session pins O(rows) buffers)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -127,9 +134,15 @@ func run(ctx context.Context, cfg config, ready func(addr string)) error {
 		Shards:         cfg.shards,
 		Catalogs:       catalogs,
 		DefaultOptions: core.Options{GridW: cfg.gridW, GridH: cfg.gridH},
+		SessionTTL:     cfg.sessionTTL,
 	})
 	if err != nil {
 		return err
+	}
+	if cfg.sessionTTL > 0 {
+		// Reap abandoned sessions (crashed clients never DELETE) so the
+		// per-shard cap sheds attackers, not memory.
+		go srv.SweepLoop(ctx)
 	}
 	l, err := net.Listen("tcp", cfg.addr)
 	if err != nil {

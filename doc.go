@@ -67,6 +67,53 @@
 // latencies across cheap-numeric, approximate-join and edit-distance
 // workloads at n = 1e6.
 //
+// # Rank before scale: monotonic-transform-aware top-k with block pruning
+//
+// After the leaves are cached and the evaluation fused, a warm rerun
+// on cheap predicates is bounded by the combination math itself: the
+// root combine kernel's final scalar step — the geometric root
+// (Πd^w)^(1/Σw) of OR, the Lp root, the weight-normalized division —
+// the root's [0, Scale] re-normalization, and the full-array selection
+// pass. All of those transforms are MONOTONE, and only k ≪ n values
+// are ever displayed, so on the default selection path the engine now
+// ranks the root's RAW combined values and applies the final
+// transforms only to the top-k survivors (relevance.EvalOptions.
+// DeferRoot → Result.RankRoot):
+//
+//   - The root combine runs chunk-on-demand with raw kernels (no
+//     final root/division), streaming each chunk through a
+//     threshold-seeded lexicographic (value, index) selector
+//     (topk.StreamSelector).
+//   - Block pruning: per-chunk lower bounds on the raw combined value
+//     — folded from per-leaf chunk minima (relevance.LeafChunkStats,
+//     cached next to the quantile index) through the monotone child
+//     scalings — let the pass skip every chunk that provably cannot
+//     beat the running k-th candidate. The session carries the
+//     previous recalculation's k-th raw value as the seed threshold,
+//     so a weight drag starts pruning from its very first chunk; a
+//     stale seed can only cost a re-run of the selection, never
+//     correctness, and query/range edits clear it.
+//   - Tie resolution keeps the result bit-identical to
+//     Options.FullSort: scaled-space ties (values clamped to Scale,
+//     degenerate ranges, rounding collisions) order by item index, so
+//     the cut computes the exact raw-domain preimage of the k-th
+//     scaled value by monotone bisection (topk.SupWhere) and walks
+//     indices ascending — a skipped chunk is provably inside the tie
+//     class (unbounded preimage: the Scale clamp), provably outside
+//     it, or gets materialized after all.
+//   - Result.Combined() materializes the full scaled vector lazily
+//     (Stats and exact-match aggregation still see exact values);
+//     displays, wire responses and windows read the ranked prefix via
+//     Result.DistanceOfRank and never force it.
+//
+// StageTimings.Scale times the survivor scaling, and Pruned/Chunks
+// count the skipped combine chunks (also exposed over the wire).
+// The identity property — bitwise-equal rows, distances, relevances
+// and order against FullSort under randomized interaction scripts,
+// clamp-boundary ties, zero/NaN distances and every combiner mode —
+// is asserted by TestRankBeforeScaleMatchesFullSortScript,
+// TestDeferredRankMatchesEagerSelection and the selection suite.
+//
 // # Shared cache: serving many sessions on one catalog
 //
 // Concurrent sessions on the same catalog attach to a core.SharedCache

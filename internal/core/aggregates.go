@@ -14,7 +14,7 @@ import (
 // return, and the basis of the result list.
 func (r *Result) exactItems() []int {
 	var out []int
-	for i, d := range r.Combined {
+	for i, d := range r.Combined() {
 		if d == 0 {
 			out = append(out, i)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/query"
@@ -58,6 +59,15 @@ type RunCache struct {
 	// session keeps serving on error).
 	free, lent, live          [][]float64
 	intFree, intLent, intLive [][]int
+	// seedThr/seedSig carry the previous ranking's raw k-th value (the
+	// rank-before-scale pruning threshold) across recalculations of the
+	// same item space. Weight-only reruns reuse it as-is — a stale seed
+	// can only cost a re-run of the selection, never correctness — but
+	// query and range edits clear it (InvalidateCond, Prune, Clear):
+	// the perturbed leaf makes the old raw domain meaningless as a
+	// starting point.
+	seedThr float64
+	seedSig string
 }
 
 // maxCacheEntries bounds the cache so pathological interaction scripts
@@ -77,6 +87,11 @@ type cacheEntry struct {
 	// is hot, and the one-time O(n log n) sort buys O(1) normalization
 	// ranges for every subsequent weighting change.
 	quant *relevance.LeafQuantiles
+	// cstats is the per-chunk min/NaN index built together with quant:
+	// it feeds the block-pruning bounds of the rank-before-scale
+	// ranking, so warm reruns can skip whole chunks of root combine
+	// work.
+	cstats *relevance.LeafChunkStats
 	// attr is the condition's attribute as written in the query (empty
 	// for non-condition leaves) — the handle for per-condition
 	// invalidation.
@@ -91,7 +106,32 @@ type cacheEntry struct {
 
 // NewRunCache creates an empty cache.
 func NewRunCache() *RunCache {
-	return &RunCache{entries: make(map[string]*cacheEntry)}
+	return &RunCache{entries: make(map[string]*cacheEntry), seedThr: math.NaN()}
+}
+
+// rootSeed returns the previous ranking's raw threshold for the given
+// item-space signature, or NaN when none is carried.
+func (c *RunCache) rootSeed(sig string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.seedSig != sig {
+		return math.NaN()
+	}
+	return c.seedThr
+}
+
+// storeRootSeed records a ranking's raw threshold for the next
+// recalculation (NaN clears it).
+func (c *RunCache) storeRootSeed(sig string, thr float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seedThr, c.seedSig = thr, sig
+}
+
+// clearRootSeedLocked drops the carried threshold; called with the
+// mutex held by every invalidation path.
+func (c *RunCache) clearRootSeedLocked() {
+	c.seedThr, c.seedSig = math.NaN(), ""
 }
 
 // AttachShared backs this private cache with a catalog-level shared
@@ -180,34 +220,43 @@ func (c *RunCache) Len() int {
 	return len(c.entries)
 }
 
+// leafIndexes bundles the per-leaf acceleration structures a fetch
+// returns: the quantile index (O(1) normalization ranges) and the
+// chunk stats (block-pruning bounds). Both are built together on a
+// leaf's first reuse and promoted to the shared tier.
+type leafIndexes struct {
+	quant  *relevance.LeafQuantiles
+	cstats *relevance.LeafChunkStats
+}
+
 // condFetch resolves a condition leaf through the tiers: private hit,
 // then shared hit (promoted into the private tier), then compute (the
 // result fills the shared tier singleflight when one is attached, then
 // the private tier). needSigned misses entries computed without signed
 // distances (a cache shared across arrangement modes never serves a 2D
 // run a spiral-era vector).
-func (c *RunCache) condFetch(key, attr, label string, needSigned bool, compute func() (*predicateData, error)) (*predicateData, *relevance.LeafQuantiles, error) {
+func (c *RunCache) condFetch(key, attr, label string, needSigned bool, compute func() (*predicateData, error)) (*predicateData, leafIndexes, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok && e.pd != nil && (!needSigned || e.pd.Signed != nil) {
 		c.hits++
 		c.runHits++
 		e.used = c.gen
-		pd, quant := e.pd, e.quant
+		pd, li := e.pd, leafIndexes{quant: e.quant, cstats: e.cstats}
 		c.mu.Unlock()
-		if quant == nil {
-			quant = c.buildQuantiles(key, pd.Raw)
+		if li.quant == nil {
+			li = c.buildIndexes(key, pd.Raw)
 		}
-		return pd, quant, nil
+		return pd, li, nil
 	}
 	shared := c.shared
 	c.mu.Unlock()
 	if shared == nil {
 		pd, err := compute()
 		if err != nil {
-			return nil, nil, err
+			return nil, leafIndexes{}, err
 		}
 		c.store(key, &cacheEntry{pd: pd, attr: attr, label: label}, false)
-		return pd, nil, nil
+		return pd, leafIndexes{}, nil
 	}
 	v, hit, err := shared.fetch(key, needSigned, func() (*sharedEntry, error) {
 		pd, err := compute()
@@ -217,38 +266,39 @@ func (c *RunCache) condFetch(key, attr, label string, needSigned bool, compute f
 		return &sharedEntry{pd: pd, attr: attr, label: label}, nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, leafIndexes{}, err
 	}
-	c.store(key, &cacheEntry{pd: v.pd, quant: v.quant, attr: attr, label: label}, hit)
-	return v.pd, v.quant, nil
+	li := leafIndexes{quant: v.quant, cstats: v.cstats}
+	c.store(key, &cacheEntry{pd: v.pd, quant: li.quant, cstats: li.cstats, attr: attr, label: label}, hit)
+	return v.pd, li, nil
 }
 
 // leafFetch is condFetch for non-condition leaf vectors (joins,
 // boolean-negation fallbacks, subqueries). attr carries the owning
 // condition's attribute when the leaf is a boolean-negation fallback of
 // a simple condition (so range edits invalidate it too).
-func (c *RunCache) leafFetch(key, attr, label string, compute func() ([]float64, error)) ([]float64, *relevance.LeafQuantiles, error) {
+func (c *RunCache) leafFetch(key, attr, label string, compute func() ([]float64, error)) ([]float64, leafIndexes, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok && e.dists != nil {
 		c.hits++
 		c.runHits++
 		e.used = c.gen
-		dists, quant := e.dists, e.quant
+		dists, li := e.dists, leafIndexes{quant: e.quant, cstats: e.cstats}
 		c.mu.Unlock()
-		if quant == nil {
-			quant = c.buildQuantiles(key, dists)
+		if li.quant == nil {
+			li = c.buildIndexes(key, dists)
 		}
-		return dists, quant, nil
+		return dists, li, nil
 	}
 	shared := c.shared
 	c.mu.Unlock()
 	if shared == nil {
 		dists, err := compute()
 		if err != nil {
-			return nil, nil, err
+			return nil, leafIndexes{}, err
 		}
 		c.store(key, &cacheEntry{dists: dists, attr: attr, label: label}, false)
-		return dists, nil, nil
+		return dists, leafIndexes{}, nil
 	}
 	v, hit, err := shared.fetch(key, false, func() (*sharedEntry, error) {
 		dists, err := compute()
@@ -258,10 +308,11 @@ func (c *RunCache) leafFetch(key, attr, label string, compute func() ([]float64,
 		return &sharedEntry{dists: dists, attr: attr, label: label}, nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, leafIndexes{}, err
 	}
-	c.store(key, &cacheEntry{dists: v.dists, quant: v.quant, attr: attr, label: label}, hit)
-	return v.dists, v.quant, nil
+	li := leafIndexes{quant: v.quant, cstats: v.cstats}
+	c.store(key, &cacheEntry{dists: v.dists, quant: li.quant, cstats: li.cstats, attr: attr, label: label}, hit)
+	return v.dists, li, nil
 }
 
 // store records an entry in the private tier and attributes the lookup
@@ -283,35 +334,36 @@ func (c *RunCache) store(key string, e *cacheEntry, sharedHit bool) {
 	c.evictLocked()
 }
 
-// buildQuantiles resolves a hot leaf's quantile index: reuse one
-// another session already promoted to the shared tier, else sort
-// OUTSIDE the mutex — the O(n log n) build must not serialize the
-// sibling leaf builds that share the cache — and promote it. Two
-// racing builders do redundant work; both results are identical and
-// the canonical (first promoted) one wins.
-func (c *RunCache) buildQuantiles(key string, dists []float64) *relevance.LeafQuantiles {
+// buildIndexes resolves a hot leaf's acceleration indexes (quantiles +
+// chunk stats): reuse ones another session already promoted to the
+// shared tier, else build OUTSIDE the mutex — the O(n log n) sort must
+// not serialize the sibling leaf builds that share the cache — and
+// promote them. Two racing builders do redundant work; both results
+// are identical and the canonical (first promoted) one wins.
+func (c *RunCache) buildIndexes(key string, dists []float64) leafIndexes {
 	c.mu.Lock()
 	shared := c.shared
 	c.mu.Unlock()
-	var q *relevance.LeafQuantiles
+	var li leafIndexes
 	if shared != nil {
-		q = shared.quantilesOf(key)
+		li.quant, li.cstats = shared.indexesOf(key)
 	}
-	if q == nil {
-		q = relevance.BuildLeafQuantiles(dists)
+	if li.quant == nil {
+		li.quant = relevance.BuildLeafQuantiles(dists)
+		li.cstats = relevance.BuildLeafChunkStats(dists)
 		if shared != nil {
-			q = shared.attachQuantiles(key, q)
+			li.quant, li.cstats = shared.attachIndexes(key, li.quant, li.cstats)
 		}
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[key]; ok {
 		if e.quant != nil {
-			return e.quant
+			return leafIndexes{quant: e.quant, cstats: e.cstats}
 		}
-		e.quant = q
+		e.quant, e.cstats = li.quant, li.cstats
 	}
-	return q
+	return li
 }
 
 // alloc hands out an n-sized evaluation buffer, reusing the pool when a
@@ -369,6 +421,7 @@ func (c *RunCache) InvalidateCond(cond *query.Cond) {
 	}
 	label := cond.Label()
 	c.mu.Lock()
+	c.clearRootSeedLocked()
 	shared := c.shared
 	for k, e := range c.entries {
 		if e.attr != "" && e.attr == cond.Attr && e.label == label {
@@ -408,6 +461,7 @@ func (c *RunCache) Prune(q *query.Query) {
 	})
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.clearRootSeedLocked()
 	for k, e := range c.entries {
 		if e.attr != "" {
 			if !attrs[e.attr] {
@@ -426,6 +480,7 @@ func (c *RunCache) Prune(q *query.Query) {
 func (c *RunCache) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.clearRootSeedLocked()
 	c.entries = make(map[string]*cacheEntry)
 }
 

@@ -17,8 +17,9 @@ func sameResults(t *testing.T, a, b *Result) {
 	if a.N != b.N || a.Displayed != b.Displayed {
 		t.Fatalf("shape: N %d vs %d, Displayed %d vs %d", a.N, b.N, a.Displayed, b.Displayed)
 	}
-	for i := range a.Combined {
-		x, y := a.Combined[i], b.Combined[i]
+	ca, cb := a.Combined(), b.Combined()
+	for i := range ca {
+		x, y := ca[i], cb[i]
 		if math.Float64bits(x) != math.Float64bits(y) && !(math.IsNaN(x) && math.IsNaN(y)) {
 			t.Fatalf("combined[%d]: %v vs %v", i, x, y)
 		}
@@ -195,7 +196,7 @@ func TestRunCachedPoolsBuffers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	firstBufs := map[*float64]bool{&first.Combined[0]: true, &first.sorted[0]: true}
+	firstBufs := map[*float64]bool{&first.Combined()[0]: true, &first.sorted[0]: true}
 	for _, vec := range first.Eval.ByNode {
 		firstBufs[&vec[0]] = true
 	}
@@ -206,7 +207,7 @@ func TestRunCachedPoolsBuffers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !firstBufs[&third.Combined[0]] {
+	if !firstBufs[&third.Combined()[0]] {
 		t.Fatal("third run's Combined did not reuse a pooled buffer")
 	}
 	for node, vec := range third.Eval.ByNode {
@@ -230,7 +231,7 @@ func TestRunCachedFailedRunPreservesLiveResult(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	snapshot := append([]float64(nil), live.Combined...)
+	snapshot := append([]float64(nil), live.Combined()...)
 	// Corrupt the second predicate's weight so Evaluate fails after the
 	// first subtree (and its buffer writes) already ran.
 	bad := query.Predicates(q.Where)[1].(*query.Cond)
@@ -238,7 +239,7 @@ func TestRunCachedFailedRunPreservesLiveResult(t *testing.T) {
 	if _, err := e.RunCached(q, cache); err == nil {
 		t.Fatal("expected the NaN-weight run to fail")
 	}
-	for i, v := range live.Combined {
+	for i, v := range live.Combined() {
 		if math.Float64bits(v) != math.Float64bits(snapshot[i]) && !(math.IsNaN(v) && math.IsNaN(snapshot[i])) {
 			t.Fatalf("failed run overwrote live Combined[%d]: %v -> %v", i, snapshot[i], v)
 		}
@@ -350,7 +351,7 @@ func TestRelevanceLazy(t *testing.T) {
 	if len(rel) != res.N {
 		t.Fatalf("relevance length %d", len(rel))
 	}
-	for i, d := range res.Combined {
+	for i, d := range res.Combined() {
 		want := 1 / (1 + math.Abs(d))
 		if math.IsNaN(d) {
 			want = 0

@@ -122,7 +122,7 @@ func TestRunSimpleRanking(t *testing.T) {
 	}
 	// Combined distances increase along the ranking.
 	for k := 1; k < len(res.Order); k++ {
-		if res.Combined[res.Order[k]] < res.Combined[res.Order[k-1]] {
+		if res.Combined()[res.Order[k]] < res.Combined()[res.Order[k-1]] {
 			t.Fatal("ranking not monotone")
 		}
 	}
@@ -176,7 +176,7 @@ func TestOverallWindowSpiralProperty(t *testing.T) {
 	if !ok {
 		t.Fatal("no item at center")
 	}
-	if res.Combined[item] != res.sorted[0] {
+	if res.Combined()[item] != res.sorted[0] {
 		t.Fatal("center item is not the most relevant")
 	}
 	// Ring numbers never decrease with rank.
@@ -306,8 +306,8 @@ func TestNegationSemantics(t *testing.T) {
 	if got := res.Stats().NumResults; got != 9 {
 		t.Fatalf("boolean negation results: %d, want 9", got)
 	}
-	if relevance.CountNaN(res.Combined) != 1 {
-		t.Fatalf("expected 1 uncolorable item, got %d", relevance.CountNaN(res.Combined))
+	if relevance.CountNaN(res.Combined()) != 1 {
+		t.Fatalf("expected 1 uncolorable item, got %d", relevance.CountNaN(res.Combined()))
 	}
 	// Uncolorable items never display.
 	if res.Displayed > 9 {
@@ -382,7 +382,7 @@ func TestSubqueryExistsAndNegations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := relevance.CountNaN(res.Combined); got != 10 {
+	if got := relevance.CountNaN(res.Combined()); got != 10 {
 		t.Fatalf("NOT EXISTS uncolorable: %d", got)
 	}
 	// NOT IN: x NOT IN {8,9} → 8 exact, 2 uncolorable.
@@ -393,7 +393,7 @@ func TestSubqueryExistsAndNegations(t *testing.T) {
 	if got := res.Stats().NumResults; got != 8 {
 		t.Fatalf("NOT IN results: %d", got)
 	}
-	if got := relevance.CountNaN(res.Combined); got != 2 {
+	if got := relevance.CountNaN(res.Combined()); got != 2 {
 		t.Fatalf("NOT IN uncolorable: %d", got)
 	}
 }

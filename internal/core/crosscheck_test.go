@@ -58,7 +58,7 @@ func TestEngineMatchesBaselineOnRandomQueries(t *testing.T) {
 			t.Fatalf("baseline %q: %v", sql, err)
 		}
 		got := map[int]bool{}
-		for i, d := range res.Combined {
+		for i, d := range res.Combined() {
 			if d == 0 {
 				got[i] = true
 			}
@@ -150,7 +150,7 @@ func TestEngineMatchesBaselineWithNot(t *testing.T) {
 			t.Fatalf("%q: %v", sql, err)
 		}
 		exact := 0
-		for _, d := range res.Combined {
+		for _, d := range res.Combined() {
 			if d == 0 {
 				exact++
 			}

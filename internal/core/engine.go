@@ -54,17 +54,21 @@ func (e *Engine) RunSQL(src string) (*Result, error) {
 // processing time is dominated by the time needed for sorting") with a
 // measured breakdown. Distances covers the per-predicate distance
 // computation (tree building), Evaluate the normalization and weighted
-// combination, Sort the final full-sort relevance ranking (FullSort or
-// Arrange2D runs), Select the selection-based partial ranking (the
-// default path, which materializes only the display budget), and
-// Reduce the display reduction plus placement. Exactly one of Sort and
-// Select is nonzero per run.
+// combination of the query tree below the root, Sort the final
+// full-sort relevance ranking (FullSort or Arrange2D runs), Select the
+// selection-based partial ranking (the default rank-before-scale path,
+// which ranks RAW root values and materializes only the display
+// budget), Scale the final monotonic transforms applied to the top-k
+// survivors (including the clamp-tie cut), and Reduce the display
+// reduction plus placement. Exactly one of Sort and Select is nonzero
+// per run; Scale is nonzero only on the Select path.
 type StageTimings struct {
 	Bind      time.Duration
 	Distances time.Duration
 	Evaluate  time.Duration
 	Sort      time.Duration
 	Select    time.Duration
+	Scale     time.Duration
 	Reduce    time.Duration
 	Total     time.Duration
 	// CacheHits and CacheMisses attribute the Distances stage of a
@@ -74,6 +78,14 @@ type StageTimings struct {
 	// vector, or this session waited on its in-flight fill). All are
 	// zero for uncached runs.
 	CacheHits, CacheMisses, SharedHits int
+	// Pruned and Chunks attribute the block pruning of the
+	// rank-before-scale path: evaluator chunks whose root combine work
+	// was skipped because their raw lower bound could not beat the
+	// running top-k threshold, out of the total chunk count. Warm
+	// reruns on saturated selections (many exact answers) prune most
+	// chunks; cold runs prune nothing (the per-leaf chunk stats that
+	// feed the bounds are built by the session cache on first reuse).
+	Pruned, Chunks int
 }
 
 // Run executes q: bind, compute per-predicate distances, combine, rank,
@@ -176,6 +188,10 @@ func (e *Engine) runBound(q *query.Query, b *query.Binding, cache *RunCache, sta
 		LpP:            e.opt.LpP,
 		Parallel:       e.opt.Parallel,
 		Workers:        e.opt.Workers,
+		// Rank-before-scale: on the selection path the root's final
+		// monotonic transforms apply only to the top-k survivors, so
+		// the root is evaluated raw and deferred.
+		DeferRoot: !e.fullSort(),
 	}
 	if cache != nil {
 		evalOpts.Alloc = cache.alloc
@@ -187,23 +203,49 @@ func (e *Engine) runBound(q *query.Query, b *query.Binding, cache *RunCache, sta
 	}
 	res.Timings.Evaluate = time.Since(mark)
 	res.Eval = eval
-	res.Combined = eval.Combined
 	numPreds := len(query.Predicates(q.Where))
 	mark = time.Now()
-	// NaN (uncolorable) items never display.
-	colorable := space.n - relevance.CountNaN(eval.Combined)
-	if e.fullSort() {
+	// colorable is the count of non-NaN combined distances (uncolorable
+	// items never display).
+	var colorable int
+	switch {
+	case e.fullSort():
 		// Exact O(n log n) ranking of every item — the paper's
 		// "dominating" sort, kept for ablations, exact quantiles and the
 		// 2D arrangement (which re-filters the whole ranking).
+		res.combined = eval.Combined
+		colorable = space.n - relevance.CountNaN(eval.Combined)
 		sorted, order := reduce.SortWithIndex(eval.Combined)
 		res.sorted, res.Order, res.rankedK = sorted, order, space.n
 		res.Timings.Sort = time.Since(mark)
-	} else {
-		// Selection path: only GridW×GridH·(numPreds+1) values are ever
-		// displayed, so select and sort just the display budget (plus the
-		// margin the gap heuristic inspects) in expected O(n) time.
-		// Cached runs rank into pooled buffers (identical output).
+	case eval.Deferred():
+		// Rank-before-scale selection: rank the RAW root values —
+		// skipping chunks whose bound cannot beat the threshold carried
+		// over from the previous recalculation — and scale only the
+		// survivors. Combined materializes lazily (Result.Combined).
+		k := e.selectBudget(space.n)
+		seed := math.NaN()
+		var vals []float64
+		var idx []int
+		if cache != nil {
+			seed = cache.rootSeed(res.cacheSig)
+			vals, idx = cache.alloc(space.n), cache.allocInt(space.n)
+		}
+		rk := eval.RankRoot(k, seed, vals, idx)
+		res.sorted, res.Order, res.rankedK = rk.Sorted, rk.Order, rk.K
+		colorable = space.n - rk.NaNs
+		res.Timings.Select = time.Since(mark) - rk.ScaleTime
+		res.Timings.Scale = rk.ScaleTime
+		res.Timings.Pruned, res.Timings.Chunks = rk.Pruned, rk.Chunks
+		if cache != nil {
+			cache.storeRootSeed(res.cacheSig, rk.Threshold)
+		}
+	default:
+		// Deferral declined (pathological weights): select on the
+		// eagerly scaled vector. Cached runs rank into pooled buffers
+		// (identical output).
+		res.combined = eval.Combined
+		colorable = space.n - relevance.CountNaN(eval.Combined)
 		k := e.selectBudget(space.n)
 		var sorted []float64
 		var order []int
@@ -356,7 +398,7 @@ func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, r
 			return e.condData(c, attr, space, workers)
 		}
 		var pd *predicateData
-		var quant *relevance.LeafQuantiles
+		var li leafIndexes
 		var err error
 		if res.cache != nil {
 			// The cache key is the condition's structural signature: bound
@@ -368,14 +410,15 @@ func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, r
 			// condition as written in the query, and the two labels
 			// differ under negation.
 			key := "C|" + res.cacheSig + "|" + attr.Qualified() + "|" + c.Label()
-			pd, quant, err = res.cache.condFetch(key, n.Attr, n.Label(), e.opt.Arrangement == Arrange2D, compute)
+			pd, li, err = res.cache.condFetch(key, n.Attr, n.Label(), e.opt.Arrangement == Arrange2D, compute)
 		} else {
 			pd, err = compute()
 		}
 		if err != nil {
 			return nil, err
 		}
-		node := &relevance.Node{Op: relevance.Leaf, Label: expr.Label(), Weight: expr.Weight(), Dists: pd.Raw, Quantiles: quant}
+		node := &relevance.Node{Op: relevance.Leaf, Label: expr.Label(), Weight: expr.Weight(), Dists: pd.Raw,
+			Quantiles: li.quant, ChunkStats: li.cstats}
 		res.setNode(expr, node)
 		if orig, ok := expr.(*query.Cond); ok {
 			res.setPred(orig, pd)
@@ -487,18 +530,19 @@ func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, r
 			return dists, nil
 		}
 		var dists []float64
-		var quant *relevance.LeafQuantiles
+		var li leafIndexes
 		var err error
 		if res.cache != nil {
 			key := fmt.Sprintf("J|%s|%s|neg=%v", res.cacheSig, n.Label(), negated)
-			dists, quant, err = res.cache.leafFetch(key, "", n.Label(), compute)
+			dists, li, err = res.cache.leafFetch(key, "", n.Label(), compute)
 		} else {
 			dists, err = compute()
 		}
 		if err != nil {
 			return nil, err
 		}
-		node := &relevance.Node{Op: relevance.Leaf, Label: expr.Label(), Weight: n.Weight(), Dists: dists, Quantiles: quant}
+		node := &relevance.Node{Op: relevance.Leaf, Label: expr.Label(), Weight: n.Weight(), Dists: dists,
+			Quantiles: li.quant, ChunkStats: li.cstats}
 		res.setNode(expr, node)
 		return node, nil
 	case *query.SubqueryExpr:
@@ -581,18 +625,19 @@ func (e *Engine) booleanLeaf(c *query.Cond, b *query.Binding, space *itemSpace, 
 		return dists, nil
 	}
 	var dists []float64
-	var quant *relevance.LeafQuantiles
+	var li leafIndexes
 	var err error
 	if res.cache != nil {
 		key := fmt.Sprintf("B|%s|%s", res.cacheSig, label)
-		dists, quant, err = res.cache.leafFetch(key, c.Attr, c.Label(), compute)
+		dists, li, err = res.cache.leafFetch(key, c.Attr, c.Label(), compute)
 	} else {
 		dists, err = compute()
 	}
 	if err != nil {
 		return nil, err
 	}
-	node := &relevance.Node{Op: relevance.Leaf, Label: label, Weight: c.Weight(), Dists: dists, Quantiles: quant}
+	node := &relevance.Node{Op: relevance.Leaf, Label: label, Weight: c.Weight(), Dists: dists,
+		Quantiles: li.quant, ChunkStats: li.cstats}
 	res.setNode(c, node)
 	return node, nil
 }
@@ -712,19 +757,20 @@ func (e *Engine) subqueryNode(sq *query.SubqueryExpr, b *query.Binding, space *i
 	// cache shared across differently-configured engines never serves a
 	// stale vector.
 	var dists []float64
-	var quant *relevance.LeafQuantiles
+	var li leafIndexes
 	var err error
 	if res.cache != nil {
 		key := fmt.Sprintf("S|%s|%d|%d|%s|neg=%v", res.cacheSig,
 			e.opt.GridW*e.opt.GridH, e.opt.Mode, sq.String(), negated)
-		dists, quant, err = res.cache.leafFetch(key, "", sq.Label(), compute)
+		dists, li, err = res.cache.leafFetch(key, "", sq.Label(), compute)
 	} else {
 		dists, err = compute()
 	}
 	if err != nil {
 		return nil, err
 	}
-	node := &relevance.Node{Op: relevance.Leaf, Label: sq.Label(), Weight: sq.Weight(), Dists: dists, Quantiles: quant}
+	node := &relevance.Node{Op: relevance.Leaf, Label: sq.Label(), Weight: sq.Weight(), Dists: dists,
+		Quantiles: li.quant, ChunkStats: li.cstats}
 	res.setNode(sq, node)
 	return node, nil
 }

@@ -30,7 +30,7 @@ func TestInfValuesInColumn(t *testing.T) {
 	if got := res.Stats().NumResults; got != 2 { // 3 and +Inf
 		t.Fatalf("results: %d", got)
 	}
-	for _, d := range res.Combined {
+	for _, d := range res.Combined() {
 		if math.IsInf(d, 0) {
 			t.Fatal("combined distances must stay finite or NaN")
 		}
@@ -113,9 +113,9 @@ func TestConstantColumn(t *testing.T) {
 	if res.Stats().NumResults != 0 {
 		t.Fatalf("none-fulfilling: %+v", res.Stats())
 	}
-	for _, d := range res.Combined {
+	for _, d := range res.Combined() {
 		if d != relevance.Scale {
-			t.Fatalf("uniform wrong results should sit at the dark end: %v", res.Combined)
+			t.Fatalf("uniform wrong results should sit at the dark end: %v", res.Combined())
 		}
 	}
 }

@@ -125,7 +125,7 @@ func TestANDCombinerOptions(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.Combined
+		return res.Combined()
 	}
 	arith := run(Options{GridW: 8, GridH: 8})
 	euclid := run(Options{GridW: 8, GridH: 8, And: relevance.ANDEuclidean})

@@ -90,7 +90,7 @@ func TestPartnerCountReversedSide(t *testing.T) {
 		t.Fatalf("N = %d", res.N)
 	}
 	for _, item := range res.Order {
-		d := res.Combined[item]
+		d := res.Combined()[item]
 		if math.IsNaN(d) {
 			t.Fatalf("unexpected uncolorable measurement %d", item)
 		}

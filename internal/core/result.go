@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -26,9 +27,11 @@ type Result struct {
 	// N is the totality of data items considered (rows, or cross-product
 	// pairs for multi-table queries) — the "# objects" panel field.
 	N int
-	// Combined is the normalized combined distance per item; the
-	// Relevance accessor materializes its inverse on demand.
-	Combined []float64
+	// combined is the normalized combined distance per item,
+	// materialized lazily on the rank-before-scale path (the Combined
+	// accessor); the Relevance accessor materializes its inverse on
+	// demand.
+	combined []float64
 	// Order maps display rank → item index (ascending combined
 	// distance, i.e. descending relevance); sorted holds the distances
 	// in rank order. Order is always a permutation of [0, N), but on
@@ -41,6 +44,9 @@ type Result struct {
 	// rankedK is how many leading entries of Order/sorted are in exact
 	// relevance order (N when fully sorted).
 	rankedK int
+	// sortedReordered marks sorted as re-filtered into display order by
+	// the 2D-quantile refinement (no longer ascending).
+	sortedReordered bool
 	// Displayed is the number of ranked items that fit the display after
 	// the section 5.1 reduction — the "# displayed" panel field.
 	Displayed int
@@ -64,6 +70,42 @@ type Result struct {
 	cacheSig string
 }
 
+// Combined returns the normalized combined distance per item — the
+// full n-sized scaled vector. On the default rank-before-scale path
+// the engine never needs it (ranking happens on raw values, windows
+// read only displayed ranks), so it materializes lazily on first use
+// and is memoized; FullSort/Arrange2D runs have it eagerly. Like every
+// vector of a cached run's Result, it is valid until the session's
+// next recalculation. Safe for concurrent use. Prefer DistanceOfRank
+// for ranked access — it never forces materialization.
+func (r *Result) Combined() []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.combinedLocked()
+}
+
+func (r *Result) combinedLocked() []float64 {
+	if r.combined == nil {
+		r.combined = r.Eval.MaterializeCombined()
+	}
+	return r.combined
+}
+
+// DistanceOfRank returns the combined (scaled) distance of the item at
+// display rank k — res.Combined()[res.Order[k]] without materializing
+// the combined vector. Valid for the exactly-ranked prefix (k below
+// RankedK; display ranks always qualify); NaN outside it.
+func (r *Result) DistanceOfRank(k int) float64 {
+	if k < 0 || k >= r.rankedK {
+		return math.NaN()
+	}
+	return r.sorted[k]
+}
+
+// RankedK reports how many leading entries of Order are exactly ranked
+// (N under FullSort, at least the display budget otherwise).
+func (r *Result) RankedK() int { return r.rankedK }
+
 // Relevance returns the per-item relevance factors — "the relevance
 // factor is determined as the inverse of that distance value" —
 // materialized on first use and memoized. Dropping the eager
@@ -74,7 +116,7 @@ func (r *Result) Relevance() []float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.relevance == nil {
-		r.relevance = relevance.RelevanceFactors(r.Combined)
+		r.relevance = relevance.RelevanceFactors(r.combinedLocked())
 	}
 	return r.relevance
 }
@@ -149,7 +191,7 @@ func (r *Result) apply2DQuantiles(sx, sy []float64) {
 	for _, item := range in2D {
 		// Uncolorable items stay out of the display even when their
 		// axis distances fall inside the bands.
-		if !math.IsNaN(r.Combined[item]) {
+		if !math.IsNaN(r.combined[item]) {
 			keep[item] = true
 		}
 	}
@@ -173,9 +215,13 @@ func (r *Result) apply2DQuantiles(sx, sy []float64) {
 	r.Order = newOrder
 	sorted := make([]float64, len(newOrder))
 	for i, item := range newOrder {
-		sorted[i] = r.Combined[item]
+		sorted[i] = r.combined[item]
 	}
 	r.sorted = sorted
+	// sorted is now in DISPLAY order (band members first), not ascending
+	// distance order — consumers that rely on monotone prefixes (the
+	// Stats exact-match shortcut) must fall back to the full vector.
+	r.sortedReordered = true
 }
 
 // signedOf finds the signed-distance vector of the predicate on the
@@ -215,12 +261,25 @@ type PanelStats struct {
 	NumResults   int     // # of results: items fulfilling the query exactly
 }
 
-// Stats computes the overall panel fields.
+// Stats computes the overall panel fields. The exact-match count
+// comes from the ranked prefix whenever the prefix provably contains
+// every zero (its last entry is nonzero or NaN — zeros rank first, so
+// none can hide beyond it); only a selection saturated with exact
+// answers falls back to materializing the combined vector. Serving
+// summaries therefore stay free of the n-wide scale pass the
+// rank-before-scale path avoids.
 func (r *Result) Stats() PanelStats {
 	exact := 0
-	for _, d := range r.Combined {
-		if d == 0 {
-			exact++
+	if !r.sortedReordered && r.rankedK > 0 && r.sorted[r.rankedK-1] != 0 {
+		// Monotone prefix (ascending, NaNs last): count the leading
+		// zeros.
+		prefix := r.sorted[:r.rankedK]
+		exact = sort.Search(len(prefix), func(i int) bool { return prefix[i] != 0 })
+	} else if r.rankedK > 0 || r.N > 0 {
+		for _, d := range r.Combined() {
+			if d == 0 {
+				exact++
+			}
 		}
 	}
 	pct := 0.0
@@ -611,7 +670,7 @@ func (r *Result) FirstLastOfColor(c *query.Cond, loLevel, hiLevel int) (first, l
 // (section 4.3). A nil expression selects on the overall result's
 // colors.
 func (r *Result) ItemsInColorRange(e query.Expr, loLevel, hiLevel int) ([]int, error) {
-	vec := r.Combined
+	var vec []float64
 	if e != nil {
 		node, ok := r.nodeOf[e]
 		if !ok {
@@ -623,7 +682,14 @@ func (r *Result) ItemsInColorRange(e query.Expr, loLevel, hiLevel int) ([]int, e
 	var items []int
 	for rank := 0; rank < r.Displayed; rank++ {
 		item := r.Order[rank]
-		norm := vec[item]
+		var norm float64
+		if e == nil {
+			// The overall colors of displayed ranks come straight from
+			// the ranked prefix — no need to materialize Combined.
+			norm = r.DistanceOfRank(rank)
+		} else {
+			norm = vec[item]
+		}
 		if math.IsNaN(norm) {
 			continue
 		}
@@ -654,7 +720,7 @@ func (r *Result) TopK(k int) []int {
 		k = 0
 	}
 	if k > r.rankedK {
-		sorted, order := topk.SelectKWithIndex(r.Combined, k)
+		sorted, order := topk.SelectKWithIndex(r.combinedLocked(), k)
 		r.sorted, r.Order, r.rankedK = sorted, order, k
 	}
 	out := make([]int, k)

@@ -99,7 +99,7 @@ func TestSelectionMatchesFullSort(t *testing.T) {
 }
 
 // TestWorkersBitIdentical: parallel (Workers > 1) and serial (Workers
-// == 1) runs must produce bit-identical Result.Combined, identical
+// == 1) runs must produce bit-identical Result.Combined(), identical
 // ranked prefixes and identical display counts, across numeric, string,
 // negated and join-bearing queries.
 func TestWorkersBitIdentical(t *testing.T) {
@@ -115,13 +115,14 @@ func TestWorkersBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", sql, err)
 		}
-		if len(rs.Combined) != len(rp.Combined) {
+		cs, cp := rs.Combined(), rp.Combined()
+		if len(cs) != len(cp) {
 			t.Fatalf("%s: Combined lengths differ", sql)
 		}
-		for i := range rs.Combined {
-			if math.Float64bits(rs.Combined[i]) != math.Float64bits(rp.Combined[i]) {
+		for i := range cs {
+			if math.Float64bits(cs[i]) != math.Float64bits(cp[i]) {
 				t.Fatalf("%s: Combined[%d] = %x (serial) vs %x (parallel)",
-					sql, i, math.Float64bits(rs.Combined[i]), math.Float64bits(rp.Combined[i]))
+					sql, i, math.Float64bits(cs[i]), math.Float64bits(cp[i]))
 			}
 		}
 		if rs.Displayed != rp.Displayed {
@@ -153,8 +154,9 @@ func TestWorkersBitIdenticalJoin(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", sql, err)
 		}
-		for i := range rs.Combined {
-			if math.Float64bits(rs.Combined[i]) != math.Float64bits(rp.Combined[i]) {
+		cs, cp := rs.Combined(), rp.Combined()
+		for i := range cs {
+			if math.Float64bits(cs[i]) != math.Float64bits(cp[i]) {
 				t.Fatalf("%s: Combined[%d] diverged", sql, i)
 			}
 		}
@@ -340,8 +342,8 @@ func TestSelectionInvariantsAtScale(t *testing.T) {
 		seen[it] = true
 	}
 	for rank := 1; rank < res.rankedK; rank++ {
-		a := res.Combined[res.Order[rank-1]]
-		b := res.Combined[res.Order[rank]]
+		a := res.Combined()[res.Order[rank-1]]
+		b := res.Combined()[res.Order[rank]]
 		if math.IsNaN(a) && !math.IsNaN(b) {
 			t.Fatalf("NaN before value at rank %d", rank)
 		}

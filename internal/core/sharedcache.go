@@ -119,22 +119,24 @@ func NewSharedCacheOpts(o SharedOptions) *SharedCache {
 // reuses the leaf (promotion of the quantile index to the shared
 // tier).
 type sharedEntry struct {
-	pd    *predicateData
-	dists []float64
-	quant *relevance.LeafQuantiles
-	attr  string
-	label string
-	bytes int64
-	used  uint64
+	pd     *predicateData
+	dists  []float64
+	quant  *relevance.LeafQuantiles
+	cstats *relevance.LeafChunkStats
+	attr   string
+	label  string
+	bytes  int64
+	used   uint64
 }
 
 // sharedView is a consistent snapshot of an entry's payload, taken
 // under the cache mutex (the quant field of the entry itself may be
 // attached concurrently by another session).
 type sharedView struct {
-	pd    *predicateData
-	dists []float64
-	quant *relevance.LeafQuantiles
+	pd     *predicateData
+	dists  []float64
+	quant  *relevance.LeafQuantiles
+	cstats *relevance.LeafChunkStats
 }
 
 // sharedCall is one in-flight singleflight fill.
@@ -231,12 +233,15 @@ func (e *sharedEntry) sizeBytes() int64 {
 	if e.quant != nil {
 		n += e.quant.Size()
 	}
+	if e.cstats != nil {
+		n += e.cstats.Size()
+	}
 	return int64(8 * n)
 }
 
 // view snapshots the payload; call with the mutex held.
 func (e *sharedEntry) viewLocked() sharedView {
-	return sharedView{pd: e.pd, dists: e.dists, quant: e.quant}
+	return sharedView{pd: e.pd, dists: e.dists, quant: e.quant, cstats: e.cstats}
 }
 
 // fetch returns the entry for key, computing it at most once across
@@ -323,38 +328,39 @@ func (sc *SharedCache) fetch(key string, needSigned bool, compute func() (*share
 	return view, false, err
 }
 
-// quantilesOf returns the promoted quantile index for key, if any
-// session has built one.
-func (sc *SharedCache) quantilesOf(key string) *relevance.LeafQuantiles {
+// indexesOf returns the promoted leaf indexes (quantiles + chunk
+// stats) for key, if any session has built them.
+func (sc *SharedCache) indexesOf(key string) (*relevance.LeafQuantiles, *relevance.LeafChunkStats) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	if e, ok := sc.entries[key]; ok {
-		return e.quant
+		return e.quant, e.cstats
 	}
-	return nil
+	return nil, nil
 }
 
-// attachQuantiles promotes a freshly built quantile index to the
-// shared tier and returns the canonical one: if another session's
-// build won the race, its index is returned (both are identical — the
-// sort is deterministic — so either could win; keeping the first keeps
-// one copy resident). The entry's byte accounting grows by the index.
-func (sc *SharedCache) attachQuantiles(key string, q *relevance.LeafQuantiles) *relevance.LeafQuantiles {
+// attachIndexes promotes freshly built leaf indexes (the quantile
+// index and the block-pruning chunk stats) to the shared tier and
+// returns the canonical ones: if another session's build won the race,
+// its indexes are returned (both are identical — the builds are
+// deterministic — so either could win; keeping the first keeps one
+// copy resident). The entry's byte accounting grows by the indexes.
+func (sc *SharedCache) attachIndexes(key string, q *relevance.LeafQuantiles, cs *relevance.LeafChunkStats) (*relevance.LeafQuantiles, *relevance.LeafChunkStats) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	e, ok := sc.entries[key]
 	if !ok {
-		return q
+		return q, cs
 	}
 	if e.quant != nil {
-		return e.quant
+		return e.quant, e.cstats
 	}
-	e.quant = q
+	e.quant, e.cstats = q, cs
 	grown := e.sizeBytes()
 	sc.bytes += grown - e.bytes
 	e.bytes = grown
 	sc.evictLocked()
-	return q
+	return q, cs
 }
 
 // evictLocked drops least-recently-used entries until both the entry

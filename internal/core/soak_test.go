@@ -51,7 +51,7 @@ func TestSoakLargePipeline(t *testing.T) {
 	}
 	prev := math.Inf(-1)
 	for rank := 0; rank < res.Displayed; rank++ {
-		d := res.Combined[res.Order[rank]]
+		d := res.Combined()[res.Order[rank]]
 		if math.IsNaN(d) {
 			t.Fatalf("uncolorable item displayed at rank %d", rank)
 		}
@@ -60,7 +60,7 @@ func TestSoakLargePipeline(t *testing.T) {
 		}
 		prev = d
 	}
-	for _, d := range res.Combined {
+	for _, d := range res.Combined() {
 		if !math.IsNaN(d) && (d < 0 || d > 255) {
 			t.Fatalf("combined out of range: %v", d)
 		}

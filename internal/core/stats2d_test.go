@@ -1,0 +1,46 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestStats2DQuantileReorderExact: the exact-match count must survive
+// the 2D-quantile display reordering, which breaks the ascending-
+// prefix invariant the Stats shortcut relies on (regression: the
+// prefix binary search miscounted after apply2DQuantiles).
+func TestStats2DQuantileReorderExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tbl, err := dataset.NewTable("T", dataset.Schema{
+		{Name: "x", Kind: dataset.KindFloat},
+		{Name: "y", Kind: dataset.KindFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if err := tbl.AppendRow(dataset.Float(rng.Float64()*100), dataset.Float(rng.Float64()*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat := dataset.NewCatalog()
+	if err := cat.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	e := New(cat, nil, Options{GridW: 12, GridH: 12, Arrangement: Arrange2D, AxisX: "x", AxisY: "y"})
+	res, err := e.RunSQL(`SELECT x FROM T WHERE x BETWEEN 40 AND 45 OR y BETWEEN 90 AND 95`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, d := range res.Combined() {
+		if d == 0 {
+			want++
+		}
+	}
+	if got := res.Stats().NumResults; got != want {
+		t.Fatalf("NumResults = %d, want %d", got, want)
+	}
+}

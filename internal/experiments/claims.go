@@ -37,10 +37,10 @@ func ClaimScaling(outDir string) (*Report, error) {
 		}
 		tm := res.Timings
 		// Sort-like work = the final ranking (the full sort, or its
-		// selection-based replacement on the default path) plus
-		// Evaluate, whose reduction-first normalization selects each
-		// node's range.
-		rank := tm.Sort + tm.Select
+		// rank-before-scale selection plus survivor scaling on the
+		// default path) plus Evaluate, whose reduction-first
+		// normalization selects each node's range.
+		rank := tm.Sort + tm.Select + tm.Scale
 		sortLike := rank + tm.Evaluate
 		lastSortShare = float64(sortLike) / float64(tm.Total)
 		r.addf("n=%7d  total %8.2fms  stages: dist %6.2f  eval %6.2f  rank %6.2f  reduce %6.2f  (sort-like %.0f%%)",

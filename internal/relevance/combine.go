@@ -141,6 +141,135 @@ func combineOrRange(dst []float64, dists [][]float64, ws []float64, effSum float
 	}
 }
 
+// --- Raw kernels (rank-before-scale) ----------------------------------
+//
+// The rank-before-scale pipeline ranks the root's combined values
+// before the final monotonic per-element transform is applied, so each
+// combine kernel has a "raw" variant that stops right before that
+// transform: the weighted sum without the /Σw normalization, the
+// product of powers without the (·)^(1/Σw) geometric root, the Lp sum
+// without the (·)^(1/p) root. rootTransform captures the deferred step
+// and replicates the eager kernel's tail bit for bit, so
+// transform(raw) == eager for every element — the property the
+// deferred ranking and the lazy Combined materialization both rely on.
+
+// rootTransform kinds. Every kind is monotone non-decreasing over the
+// raw domain the kernels produce (non-negative values; NaN passes
+// through), which is what lets order statistics and tie classes be
+// resolved in the raw domain.
+const (
+	xformIdentity = iota // PaperRaw modes, Σw == 1 geometric root
+	xformDivide          // AND arithmetic, WeightNormalized: x/Σw
+	xformGeoRoot         // OR geometric, WeightNormalized: x>0 ? x^(1/Σw) : x
+	xformSqrt            // Lp with p == 2 (and Euclidean): √x
+	xformPowInv          // Lp with p != 2: x^(1/p)
+)
+
+// rootTransform is the deferred final scalar step of a root combine
+// kernel. apply is bit-identical to the tail of the corresponding
+// eager kernel.
+type rootTransform struct {
+	kind int
+	// c is Σw for xformDivide/xformGeoRoot; invP is 1/p for
+	// xformPowInv.
+	c    float64
+	invP float64
+}
+
+func (t rootTransform) apply(x float64) float64 {
+	switch t.kind {
+	case xformDivide:
+		return x / t.c
+	case xformGeoRoot:
+		if x > 0 {
+			return math.Pow(x, 1/t.c)
+		}
+		return x
+	case xformSqrt:
+		return math.Sqrt(x)
+	case xformPowInv:
+		return math.Pow(x, t.invP)
+	}
+	return x
+}
+
+// combineAndRawRange is combineAndRange without the weight-normalized
+// division — the raw kernel of the deferred root.
+func combineAndRawRange(dst []float64, dists [][]float64, ws []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var acc float64
+		for j := range dists {
+			acc += ws[j] * dists[j][i]
+		}
+		dst[i] = acc
+	}
+}
+
+// combineOrRawRange is combineOrRange without the geometric root: the
+// zero/NaN semantics are identical (they are per-element, not part of
+// the deferred transform), only the (·)^(1/Σw) step is left out.
+func combineOrRawRange(dst []float64, dists [][]float64, ws []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		prod := 1.0
+		nan := false
+		zero := false
+		for j := range dists {
+			d := dists[j][i]
+			w := ws[j]
+			if d == 0 && w > 0 {
+				zero = true
+				break
+			}
+			if math.IsNaN(d) {
+				nan = true
+				continue
+			}
+			switch w {
+			case 0:
+			case 1:
+				prod *= d
+			case 2:
+				prod *= d * d
+			case 3:
+				prod *= d * d * d
+			default:
+				prod *= math.Pow(d, w)
+			}
+		}
+		switch {
+		case zero:
+			dst[i] = 0
+		case nan:
+			dst[i] = math.NaN()
+		default:
+			dst[i] = prod
+		}
+	}
+}
+
+// combineLpRawRange is combineLpRange without the final (·)^(1/p) root.
+func combineLpRawRange(dst []float64, dists [][]float64, ws []float64, p float64, lo, hi int) {
+	if p == 2 {
+		for i := lo; i < hi; i++ {
+			var acc float64
+			for j := range dists {
+				d := dists[j][i]
+				acc += ws[j] * (d * d)
+			}
+			dst[i] = acc
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		var acc float64
+		for j := range dists {
+			d := dists[j][i]
+			acc += ws[j] * math.Pow(math.Abs(d), p)
+		}
+		dst[i] = acc
+	}
+}
+
 // CombineLp combines per-predicate distances with the weighted Lp norm
 // (p >= 1): (Σ w·d^p)^(1/p). Section 5.2 notes that "for special
 // applications other specific distance functions such as the Euclidean,

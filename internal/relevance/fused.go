@@ -50,6 +50,17 @@ func evaluateFused(root *Node, n int, opts EvalOptions) (*Result, error) {
 	if opts.LazyLeaves {
 		ctx.res.lazy = make(map[*Node]NormParams)
 	}
+	if opts.DeferRoot && deferralSafe(root, opts) {
+		// Rank-before-scale: children evaluate fully (their passes are
+		// needed for the root's normalization inputs), the root itself
+		// stays raw and chunk-lazy — see rootrank.go. Unsafe transforms
+		// (deferralSafe false) fall through to the eager root below.
+		ctx.nodeScans = make(map[*Node][]rangeScan)
+		if err := ctx.buildDeferredRoot(root); err != nil {
+			return nil, err
+		}
+		return ctx.res, nil
+	}
 	vec, params, err := ctx.eval(root)
 	if err != nil {
 		return nil, err
@@ -79,6 +90,10 @@ type fusedCtx struct {
 	n       int
 	workers int
 	res     *Result
+	// nodeScans retains each interior node's per-chunk range scans when
+	// the root is deferred: the block-pruning bounds of the root fold
+	// the chunk minima (and NaN counts) of its interior children.
+	nodeScans map[*Node][]rangeScan
 }
 
 // alloc returns an n-sized output buffer, from the caller's pool when
@@ -205,6 +220,9 @@ func (c *fusedCtx) eval(node *Node) ([]float64, NormParams, error) {
 			}
 			chunkStats[ci] = scanRange(out, lo, hi)
 		})
+		if c.nodeScans != nil {
+			c.nodeScans[node] = chunkStats
+		}
 		// Merge per-chunk scans in chunk order: min/max/count merging is
 		// exact and order-independent, so parallel chunk execution stays
 		// bit-identical to the serial sweep.

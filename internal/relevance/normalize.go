@@ -162,12 +162,14 @@ func applyRange(dst, src []float64, p NormParams) {
 
 // rangeScan accumulates the single-pass statistics NormRange needs:
 // finite count and extremes plus the -Inf count the quickselect rank
-// correction uses. Chunked scans merge exactly (sums, min, max are
+// correction uses, and the NaN count the rank-before-scale path uses
+// to attribute uncolorable items without materializing the scaled
+// vector. Chunked scans merge exactly (sums, min, max are
 // order-independent), so fused parallel passes stay bit-identical to
 // the serial scan.
 type rangeScan struct {
-	nFinite, nNegInf     int
-	minFinite, maxFinite float64
+	nFinite, nNegInf, nNaN int
+	minFinite, maxFinite   float64
 }
 
 func newRangeScan() rangeScan {
@@ -179,6 +181,8 @@ func (s *rangeScan) add(d float64) {
 	if math.IsNaN(d) || math.IsInf(d, 0) {
 		if math.IsInf(d, -1) {
 			s.nNegInf++
+		} else if !math.IsInf(d, 1) {
+			s.nNaN++
 		}
 		return
 	}
@@ -195,6 +199,7 @@ func (s *rangeScan) add(d float64) {
 func (s *rangeScan) merge(o rangeScan) {
 	s.nFinite += o.nFinite
 	s.nNegInf += o.nNegInf
+	s.nNaN += o.nNaN
 	if o.minFinite < s.minFinite {
 		s.minFinite = o.minFinite
 	}
@@ -231,6 +236,7 @@ type LeafQuantiles struct {
 	sorted    []float64 // finite values, ascending
 	minFinite float64
 	nNegInf   int
+	nNaN      int
 }
 
 // BuildLeafQuantiles sorts the finite values of dists. The input is
@@ -242,6 +248,8 @@ func BuildLeafQuantiles(dists []float64) *LeafQuantiles {
 		if math.IsNaN(d) || math.IsInf(d, 0) {
 			if math.IsInf(d, -1) {
 				q.nNegInf++
+			} else if !math.IsInf(d, 1) {
+				q.nNaN++
 			}
 			continue
 		}
@@ -253,6 +261,10 @@ func BuildLeafQuantiles(dists []float64) *LeafQuantiles {
 	}
 	return q
 }
+
+// NaNs reports how many of the indexed vector's entries were NaN — the
+// uncolorable count of a leaf root, answered in O(1).
+func (q *LeafQuantiles) NaNs() int { return q.nNaN }
 
 // Size returns the number of float64 values the index retains — the
 // memory accounting handle for caches that keep promoted indexes
@@ -275,6 +287,57 @@ func (q *LeafQuantiles) Range(keep int) NormParams {
 	p.DMax = q.sorted[keep-1]
 	return p
 }
+
+// LeafChunkStats summarizes one leaf's raw distances per evaluator
+// chunk: the minimum (over non-NaN values, -Inf included) and the NaN
+// count of every evalChunk-sized block. The block-pruning pass of the
+// rank-before-scale pipeline folds these into per-chunk lower bounds
+// on the root's raw combined value — because the scaling transform is
+// monotone, Apply(chunk raw minimum) IS the chunk minimum of the
+// scaled child values — and the NaN counts gate which chunks are
+// provably NaN-free (a chunk is only skippable when no child can make
+// a combined value uncolorable there).
+//
+// Like LeafQuantiles, a LeafChunkStats is a per-leaf index the session
+// cache builds once for a hot leaf and reuses across every
+// recalculation; it must index exactly the vector it was built from.
+type LeafChunkStats struct {
+	mins []float64
+	nans []int32
+}
+
+// BuildLeafChunkStats scans dists once. The input is not retained.
+func BuildLeafChunkStats(dists []float64) *LeafChunkStats {
+	nchunks := (len(dists) + evalChunk - 1) / evalChunk
+	s := &LeafChunkStats{mins: make([]float64, nchunks), nans: make([]int32, nchunks)}
+	for ci := 0; ci < nchunks; ci++ {
+		lo := ci * evalChunk
+		hi := lo + evalChunk
+		if hi > len(dists) {
+			hi = len(dists)
+		}
+		min := math.Inf(1)
+		nan := int32(0)
+		for _, d := range dists[lo:hi] {
+			if math.IsNaN(d) {
+				nan++
+				continue
+			}
+			if d < min {
+				min = d
+			}
+		}
+		s.mins[ci], s.nans[ci] = min, nan
+	}
+	return s
+}
+
+// Chunks returns the number of indexed chunks.
+func (s *LeafChunkStats) Chunks() int { return len(s.mins) }
+
+// Size returns the number of 8-byte words the index retains — the
+// memory-accounting handle for caches keeping it resident.
+func (s *LeafChunkStats) Size() int { return len(s.mins) + (len(s.nans)+1)/2 }
 
 // rangeOf derives NormParams from a completed scan of dists. The
 // selection strategies must see the same full vector the scan covered.

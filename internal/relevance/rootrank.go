@@ -1,0 +1,831 @@
+package relevance
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/topk"
+)
+
+// This file implements the rank-before-scale pipeline behind
+// EvalOptions.DeferRoot.
+//
+// The eager evaluator finishes a run with two n-wide passes that exist
+// only to feed the ranking: the root combine kernel applies its final
+// monotonic scalar transform (the geometric root (·)^(1/Σw), the Lp
+// root, the weight-normalized division) to every element, and the root
+// finalize pass re-normalizes all n combined values onto [0, Scale] —
+// after which the engine selects the k ≪ n it will ever display. Both
+// transforms are monotone non-decreasing, so the ORDER of the scaled
+// values is already determined by the raw combined values; the only
+// thing the transforms add to the ranking is ties (values clamped to
+// Scale, degenerate ranges collapsing to 0, rounding collisions), and
+// ties are resolved by item index.
+//
+// The deferred root therefore:
+//
+//  1. combines chunks into RAW values only (raw kernels in combine.go),
+//     on demand, chunk by chunk;
+//  2. streams raw values through a threshold-seeded lexicographic
+//     (value, index) selector — topk.StreamSelector — skipping whole
+//     chunks whose precomputed raw lower bound cannot beat the running
+//     k-th candidate (block pruning; the bounds fold the per-leaf chunk
+//     range stats through the monotone child scalings);
+//  3. applies the deferred transforms only to the selected survivors,
+//     and resolves the clamp-induced tie class at the cut EXACTLY: the
+//     raw-domain preimage [loTie, hiTie] of the k-th scaled value is
+//     found by monotone bisection (topk.SupWhere), every processed
+//     element inside it is a tie ordered by index, and a skipped chunk
+//     either provably sits inside the tie class (preimage unbounded —
+//     the Scale clamp), provably outside it (bound > hiTie), or is
+//     materialized after all.
+//
+// The result — Order, Sorted, NaN attribution, and the lazily
+// materialized Combined vector — is bit-identical to the eager
+// pipeline followed by topk.SelectKWithIndex, which the property tests
+// in rootrank_test.go and internal/core assert against Options.FullSort.
+
+// Combiner kinds of a deferred root.
+const (
+	cmbLeaf = iota // root is a single leaf: raw = Dists, t = identity
+	cmbAnd
+	cmbOr
+	cmbLp
+)
+
+// RootRanking is the outcome of Result.RankRoot: the top-K of the
+// scaled combined distances plus the attribution the engine surfaces.
+type RootRanking struct {
+	// Order is a permutation of [0, n); the first K entries are the
+	// exact head of the scaled ranking (ascending distance, NaN last,
+	// ties by index), the remainder is in unspecified order. Sorted
+	// holds the scaled distances aligned with Order's first K entries.
+	Order  []int
+	Sorted []float64
+	K      int
+	// NaNs is the exact number of uncolorable (NaN) combined values.
+	NaNs int
+	// Threshold is the raw-domain k-th value — the seed for the next
+	// recalculation's pruning. NaN when the selection had fewer than K
+	// comparable values.
+	Threshold float64
+	// Pruned and Chunks attribute the block pruning: chunks whose
+	// combine work was skipped outright, out of the total.
+	Pruned, Chunks int
+	// ScaleTime is the portion of the ranking spent scaling survivors
+	// and resolving the tie cut (the engine's Scale stage).
+	ScaleTime time.Duration
+}
+
+// rootDefer carries the deferred root of one evaluation. All access is
+// serialized by the owning Result's mutex.
+type rootDefer struct {
+	res  *Result
+	node *Node
+	n    int
+
+	// Children of a combiner root (empty for cmbLeaf).
+	children []*Node
+	raw      [][]float64  // child raw vectors (leaf Dists, interior raw combined)
+	cparams  []NormParams // child scaling params
+	scaled   [][]float64  // pre-materialized scaled child (eager leaves); nil → scale per chunk
+	ws       []float64
+	effSum   float64
+	lpP      float64
+	combiner int
+	t        rootTransform
+	keep     int // KeepCount of the root (0 under NaiveNormalize)
+
+	// pending maps the root's raw interior children to their params;
+	// Result.Vec finalizes them in place on demand.
+	pending map[*Node]NormParams
+
+	out     []float64 // raw combined values (cmbLeaf: aliases node.Dists)
+	state   []byte    // per chunk: 0 = unmaterialized, 1 = raw in out
+	scans   []rangeScan
+	scratch [][]float64 // per-child chunk scratch (nil where scaled[j] serves)
+
+	// Block-pruning inputs, valid when haveBounds: per-chunk raw lower
+	// bound and NaN-freedom proof.
+	bounds     []float64
+	nanFree    []bool
+	haveBounds bool
+
+	// leafNaNs is the exact NaN count of a leaf root, known at build.
+	leafNaNs int
+
+	params      NormParams // root normalization params
+	paramsKnown bool
+	ranking     *RootRanking
+}
+
+func (rd *rootDefer) chunkCount() int { return (rd.n + evalChunk - 1) / evalChunk }
+
+func (rd *rootDefer) chunkSpan(ci int) (lo, hi int) {
+	lo = ci * evalChunk
+	hi = lo + evalChunk
+	if hi > rd.n {
+		hi = rd.n
+	}
+	return lo, hi
+}
+
+// ensureRaw materializes chunk ci's raw combined values into out.
+func (rd *rootDefer) ensureRaw(ci int) {
+	if rd.state[ci] != 0 {
+		return
+	}
+	if rd.combiner == cmbLeaf {
+		// A leaf root's raw values ARE node.Dists; "materializing" just
+		// marks the chunk as available to the tie walk.
+		rd.state[ci] = 1
+		return
+	}
+	lo, hi := rd.chunkSpan(ci)
+	vs := make([][]float64, len(rd.children))
+	for j := range rd.children {
+		if rd.scaled[j] != nil {
+			vs[j] = rd.scaled[j][lo:hi]
+			continue
+		}
+		dst := rd.scratch[j][:hi-lo]
+		applyRange(dst, rd.raw[j][lo:hi], rd.cparams[j])
+		vs[j] = dst
+	}
+	dst := rd.out[lo:hi]
+	switch rd.combiner {
+	case cmbAnd:
+		combineAndRawRange(dst, vs, rd.ws, 0, hi-lo)
+	case cmbOr:
+		combineOrRawRange(dst, vs, rd.ws, 0, hi-lo)
+	case cmbLp:
+		combineLpRawRange(dst, vs, rd.ws, rd.lpP, 0, hi-lo)
+	}
+	rd.scans[ci] = scanRange(rd.out, lo, hi)
+	rd.state[ci] = 1
+}
+
+// ensureAllRaw materializes every chunk.
+func (rd *rootDefer) ensureAllRaw() {
+	for ci := 0; ci < rd.chunkCount(); ci++ {
+		rd.ensureRaw(ci)
+	}
+}
+
+// key is the full monotone raw→display transform: the deferred scalar
+// step composed with the root normalization. Bit-identical to what the
+// eager pipeline computes per element.
+func (rd *rootDefer) key(x float64) float64 {
+	return rd.params.Apply(rd.t.apply(x))
+}
+
+// domainLo is the lower end of the raw domain for preimage bisection:
+// combiner outputs are non-negative by construction, a leaf root's raw
+// distances are arbitrary.
+func (rd *rootDefer) domainLo() float64 {
+	if rd.combiner == cmbLeaf {
+		return math.Inf(-1)
+	}
+	return 0
+}
+
+// deriveParams computes the root NormParams after a completed
+// selection. cands are the collected candidates (the k lex-smallest
+// raw values), pruned reports whether any chunk was skipped. The
+// derived params are value-identical to the eager rangeOf over the
+// scaled vector: order statistics commute with the monotone deferred
+// transform.
+func (rd *rootDefer) deriveParams(cands []topk.Cand, pruned bool) NormParams {
+	st := newRangeScan()
+	for ci := 0; ci < rd.chunkCount(); ci++ {
+		if rd.state[ci] != 0 {
+			st.merge(rd.scans[ci])
+		}
+	}
+	if pruned {
+		// Skipped chunks are provably NaN-free (the gate) and the
+		// defer-safety check excludes infinities from the raw domain, so
+		// the finite count is exact without touching them. Their minima
+		// cannot undercut the candidates' (every skipped element is
+		// lex-beyond the running k-th), so the merged minimum stands.
+		st.nFinite = rd.n - st.nNaN
+	}
+	if st.nFinite == 0 {
+		return NormParams{NoFinite: true}
+	}
+	keep := rd.keep
+	if keep <= 0 || keep > st.nFinite {
+		keep = st.nFinite
+	}
+	p := NormParams{Kept: keep, DMin: rd.t.apply(st.minFinite)}
+	if p.DMin > 0 {
+		p.DMin = 0
+	}
+	switch {
+	case keep >= st.nFinite:
+		// Everything kept: the maximum decides. Unreachable when chunks
+		// were skipped (the pruning gate bounds keep by the candidate
+		// count), so the merged maximum is the global one.
+		p.DMax = rd.t.apply(st.maxFinite)
+	case keep <= len(cands):
+		// The keep smallest values all live in the candidate set (they
+		// are the k lex-smallest, keep ≤ k).
+		scratch := make([]float64, len(cands))
+		for i, c := range cands {
+			scratch[i] = c.V
+		}
+		p.DMax = rd.t.apply(topk.Threshold(scratch, keep))
+	default:
+		// keep exceeds the selection depth (a low root weight keeps more
+		// of the vector than the display budget selects). Pruning is
+		// gated off in this regime, so the full raw vector is
+		// materialized; select on it directly.
+		scratch := append([]float64(nil), rd.out...)
+		p.DMax = rd.t.apply(topk.Threshold(scratch, keep+st.nNegInf))
+	}
+	return p
+}
+
+// paramsFromFull derives the root params with every chunk
+// materialized — the no-selection path (lazy Combined before any
+// ranking, defensive fallbacks). With no candidates and nothing
+// pruned, deriveParams takes exactly the full-vector branches.
+func (rd *rootDefer) paramsFromFull() NormParams {
+	rd.ensureAllRaw()
+	return rd.deriveParams(nil, false)
+}
+
+// nanTotal is the exact count of NaN combined values after a selection
+// pass: processed chunks report theirs, skipped chunks are NaN-free by
+// the pruning gate.
+func (rd *rootDefer) nanTotal() int {
+	if rd.combiner == cmbLeaf {
+		return rd.leafNaNs
+	}
+	total := 0
+	for ci := 0; ci < rd.chunkCount(); ci++ {
+		if rd.state[ci] != 0 {
+			total += rd.scans[ci].nNaN
+		}
+	}
+	return total
+}
+
+// boundBeats reports whether a chunk (raw lower bound b, first index
+// first) provably cannot contribute anything lexicographically below
+// the selector bound (bv, bi): every element of the chunk has value
+// ≥ b and index ≥ first.
+func boundBeats(b float64, first int, bv float64, bi int) bool {
+	return b > bv || (b == bv && first > bi)
+}
+
+// RankRoot ranks a deferred root: it selects the K smallest scaled
+// combined distances — bit-identically, ties included, to selecting on
+// the eagerly scaled vector — while skipping the combine work of every
+// chunk whose raw lower bound cannot beat the running selection
+// threshold. seed carries the previous recalculation's raw k-th value
+// (NaN for none): a stale seed can only cost a re-run, never
+// correctness. vals and idx, when n-sized, back the returned
+// Sorted/Order slices (buffer pooling); wrong-sized buffers are
+// replaced. RankRoot is idempotent: a second call returns the first
+// ranking.
+func (r *Result) RankRoot(k int, seed float64, vals []float64, idx []int) *RootRanking {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rd := r.root
+	if rd == nil {
+		return nil
+	}
+	if rd.ranking != nil {
+		return rd.ranking
+	}
+	n := rd.n
+	if len(vals) != n {
+		vals = make([]float64, n)
+	}
+	if len(idx) != n {
+		idx = make([]int, n)
+	}
+	if k > n {
+		k = n
+	}
+	if k < 0 {
+		k = 0
+	}
+	if r.Combined != nil {
+		// Someone materialized Combined before ranking: the raw buffer
+		// now holds scaled values, so select on those directly.
+		sorted, order := topk.SelectKWithIndexInto(r.Combined, k, vals, idx)
+		rd.ranking = &RootRanking{Order: order, Sorted: sorted, K: k,
+			NaNs: CountNaN(r.Combined), Threshold: math.NaN(), Chunks: rd.chunkCount()}
+		return rd.ranking
+	}
+	rk := &RootRanking{Order: idx, Sorted: vals, K: k, Chunks: rd.chunkCount(), Threshold: math.NaN()}
+	if n == 0 || k == 0 {
+		rd.ensureAllRaw()
+		if !rd.paramsKnown {
+			rd.params, rd.paramsKnown = rd.paramsFromFull(), true
+		}
+		rk.NaNs = rd.nanTotal()
+		for i := range idx {
+			idx[i] = i
+		}
+		rd.ranking = rk
+		return rk
+	}
+
+	// Phase 1: stream raw values chunk by chunk through the selector,
+	// skipping chunks the bound rules out.
+	prunable := rd.haveBounds && (rd.combiner == cmbLeaf || (rd.keep >= 1 && rd.keep <= k))
+	pass := func(sel *topk.StreamSelector) (pruned int) {
+		for ci := 0; ci < rd.chunkCount(); ci++ {
+			lo, hi := rd.chunkSpan(ci)
+			if prunable && rd.state[ci] == 0 && rd.nanFree[ci] {
+				if bv, bi, ok := sel.Bound(); ok && boundBeats(rd.bounds[ci], lo, bv, bi) {
+					pruned++
+					continue
+				}
+			}
+			rd.ensureRaw(ci)
+			sel.OfferSlice(rd.out[lo:hi], lo)
+		}
+		return pruned
+	}
+	sel := topk.NewStreamSelector(k, seed)
+	pruned := pass(sel)
+	cands, kth, complete := sel.Finish()
+	if !complete && (pruned > 0 || !math.IsNaN(seed)) {
+		// The carried-over threshold was too tight for the perturbed
+		// distribution (weights moved the raw domain): re-run unseeded.
+		// Materialized chunks are memoized, so this costs at most one
+		// extra sweep.
+		sel = topk.NewStreamSelector(k, math.NaN())
+		pruned = pass(sel)
+		cands, kth, complete = sel.Finish()
+	}
+	if pruned > 0 && rd.combiner != cmbLeaf {
+		// Defensive: the stats shortcut in deriveParams needs the keep
+		// clamp to be a no-op; the gate guarantees keep ≤ k ≤ collected
+		// candidates ≤ finite count, so reaching here with keep out of
+		// range means a bound was wrong — materialize and fall back.
+		if !complete || rd.keep < 1 || rd.keep > len(cands) {
+			rd.ensureAllRaw()
+			pruned = 0
+		}
+	}
+	scaleStart := time.Now()
+
+	// Phase 2: derive the root params (raw-domain order statistics
+	// mapped through the monotone transform).
+	if rd.combiner == cmbLeaf {
+		// params precomputed at build (quantile index or full scan).
+	} else if pruned > 0 {
+		rd.params = rd.deriveParams(cands, true)
+	} else {
+		rd.params = rd.deriveParams(cands, false)
+	}
+	rd.paramsKnown = true
+	rk.NaNs = rd.nanTotal()
+
+	// Phase 3: scale the survivors and resolve the tie class at the cut.
+	used := make([]uint64, (n+63)/64)
+	mark := func(i int) { used[i/64] |= 1 << (uint(i) % 64) }
+	rank := 0
+	emit := func(s float64, i int) {
+		vals[rank], idx[rank] = s, i
+		mark(i)
+		rank++
+	}
+	if complete {
+		rk.Threshold = kth.V
+		sK := rd.key(kth.V)
+		domLo := rd.domainLo()
+		// Raw-domain preimage of sK: (loTieEx, hiTie]. loTieEx is the
+		// largest raw value scaling strictly below sK (NaN when none),
+		// hiTie the largest scaling to ≤ sK. Monotonicity makes both
+		// exact: raw > loTieEx ⇔ key(raw) ≥ sK, raw ≤ hiTie ⇔ key(raw) ≤ sK.
+		hiTie := topk.SupWhere(func(x float64) bool { return rd.key(x) <= sK }, domLo, math.Inf(1))
+		loTieEx := topk.SupWhere(func(x float64) bool { return rd.key(x) < sK }, domLo, math.Inf(1))
+		// Strictly-below-the-cut candidates, in scaled order with index
+		// tiebreaks (distinct raw values may collide in scaled space).
+		below := make([]rankedCand, 0, k)
+		for _, c := range cands {
+			if !math.IsNaN(loTieEx) && c.V <= loTieEx {
+				below = append(below, rankedCand{s: rd.key(c.V), i: c.I})
+			}
+		}
+		sortRanked(below)
+		for _, b := range below {
+			emit(b.s, b.i)
+		}
+		// Tie fill: walk indices ascending. A skipped chunk is wholly
+		// inside the tie class when the preimage is unbounded (the Scale
+		// clamp), wholly outside when its bound exceeds hiTie, and
+		// materialized otherwise.
+		for i := 0; rank < k && i < n; {
+			ci := i / evalChunk
+			if rd.state[ci] == 0 {
+				_, hi := rd.chunkSpan(ci)
+				if !(rd.bounds[ci] <= hiTie) {
+					i = hi
+					continue
+				}
+				if math.IsInf(hiTie, 1) {
+					for ; i < hi && rank < k; i++ {
+						emit(sK, i)
+					}
+					continue
+				}
+				rd.ensureRaw(ci)
+			}
+			v := rd.out[i]
+			if v <= hiTie && (math.IsNaN(loTieEx) || v > loTieEx) {
+				emit(sK, i)
+			}
+			i++
+		}
+	} else {
+		// Fewer than k comparable values: every comparable ranks (in
+		// scaled order), NaNs fill the remainder by index. Nothing was
+		// skipped on this path, so out is fully materialized.
+		below := make([]rankedCand, 0, len(cands))
+		for _, c := range cands {
+			below = append(below, rankedCand{s: rd.key(c.V), i: c.I})
+		}
+		sortRanked(below)
+		for _, b := range below {
+			emit(b.s, b.i)
+		}
+		for i := 0; rank < k && i < n; i++ {
+			if math.IsNaN(rd.out[i]) {
+				emit(math.NaN(), i)
+			}
+		}
+	}
+	// Complete the permutation with the unranked indices.
+	pos := rank
+	for i := 0; i < n && pos < n; i++ {
+		if used[i/64]&(1<<(uint(i)%64)) == 0 {
+			idx[pos] = i
+			pos++
+		}
+	}
+	rk.Pruned = pruned
+	rk.ScaleTime = time.Since(scaleStart)
+	rd.ranking = rk
+	return rk
+}
+
+// rankedCand is a survivor of the cut: its scaled value and index.
+type rankedCand struct {
+	s float64
+	i int
+}
+
+// sortRanked sorts by (scaled value, index) — the exact display order.
+// NaNs cannot occur (candidates are comparable by construction).
+func sortRanked(rs []rankedCand) {
+	sort.Slice(rs, func(a, b int) bool {
+		return rs[a].s < rs[b].s || (rs[a].s == rs[b].s && rs[a].i < rs[b].i)
+	})
+}
+
+// materializeCombinedLocked produces the root's scaled combined vector
+// from the deferred state — bit-identical to the eager pipeline — and
+// memoizes it. Caller holds r.mu.
+func (r *Result) materializeCombinedLocked() []float64 {
+	rd := r.root
+	if r.Combined != nil {
+		return r.Combined
+	}
+	if !rd.paramsKnown {
+		rd.params, rd.paramsKnown = rd.paramsFromFull(), true
+	}
+	rd.ensureAllRaw()
+	dst := rd.out
+	if rd.combiner == cmbLeaf {
+		// A leaf root's raw vector is the caller's Dists; scale into a
+		// fresh (pooled) buffer like the eager path does.
+		dst = r.allocVec()
+	}
+	finalizeRange(dst, rd.out, rd.t, rd.params)
+	r.ByNode[rd.node] = dst
+	r.Combined = dst
+	return dst
+}
+
+// finalizeRange applies the deferred scalar transform and the root
+// normalization in one pass: dst[i] = p.Apply(t.apply(src[i])). dst
+// and src may alias. Per element this is exactly the eager kernel tail
+// followed by applyRange.
+func finalizeRange(dst, src []float64, t rootTransform, p NormParams) {
+	for i, d := range src {
+		dst[i] = p.Apply(t.apply(d))
+	}
+}
+
+// rootKernelFor maps the root node and options onto the raw combiner
+// kind, the deferred transform, and the Lp exponent. Must mirror the
+// kernel dispatch of the eager fused pass exactly.
+func rootKernelFor(root *Node, opts EvalOptions, effSum float64) (combiner int, t rootTransform, lpP float64) {
+	if root.Op == NodeAnd {
+		switch opts.And {
+		case ANDEuclidean:
+			return cmbLp, rootTransform{kind: xformSqrt}, 2
+		case ANDLp:
+			if opts.LpP == 2 {
+				return cmbLp, rootTransform{kind: xformSqrt}, 2
+			}
+			return cmbLp, rootTransform{kind: xformPowInv, invP: 1 / opts.LpP}, opts.LpP
+		default:
+			if opts.Mode == WeightNormalized {
+				return cmbAnd, rootTransform{kind: xformDivide, c: effSum}, 0
+			}
+			return cmbAnd, rootTransform{kind: xformIdentity}, 0
+		}
+	}
+	// NodeOr: the geometric root is deferred only when it exists (the
+	// eager kernel short-circuits Σw == 1 to the identity).
+	if opts.Mode == WeightNormalized && effSum != 1 {
+		return cmbOr, rootTransform{kind: xformGeoRoot, c: effSum}, 0
+	}
+	return cmbOr, rootTransform{kind: xformIdentity}, 0
+}
+
+// deferralSafe reports whether the root's deferred transform can be
+// applied after ranking without changing any value's finite/NaN
+// classification: the raw domain is bounded by U (every child value is
+// in [0, Scale]) and t(U) must stay finite. Pathological weights (sums
+// overflowing, Σw near zero turning the geometric root into an
+// overflowing power) fail the check and fall back to the eager root.
+// Invalid inputs (negative/NaN weights, bad Lp exponents) also return
+// false so the eager path can raise its canonical error.
+func deferralSafe(root *Node, opts EvalOptions) bool {
+	if root.Op == Leaf {
+		return true
+	}
+	if root.Op != NodeAnd && root.Op != NodeOr {
+		return false
+	}
+	k := len(root.Children)
+	if k == 0 {
+		return false
+	}
+	weights := make([]float64, k)
+	for j, child := range root.Children {
+		w := child.EffWeight()
+		if w < 0 || w != w {
+			return false
+		}
+		weights[j] = w
+	}
+	if root.Op == NodeAnd && opts.And == ANDLp && (opts.LpP < 1 || opts.LpP != opts.LpP) {
+		return false
+	}
+	ws, effSum := resolveWeights(weights, k)
+	combiner, t, lpP := rootKernelFor(root, opts, effSum)
+	var u float64
+	switch combiner {
+	case cmbAnd:
+		for j := range ws {
+			u += ws[j] * Scale
+		}
+	case cmbLp:
+		if lpP == 2 {
+			for j := range ws {
+				u += ws[j] * (Scale * Scale)
+			}
+		} else {
+			for j := range ws {
+				u += ws[j] * math.Pow(Scale, lpP)
+			}
+		}
+	case cmbOr:
+		u = 1
+		for j := range ws {
+			u *= math.Pow(Scale, ws[j])
+		}
+	}
+	u *= 1 + 1e-6 // headroom over kernel rounding differences
+	if math.IsNaN(u) || math.IsInf(u, 0) {
+		return false
+	}
+	v := t.apply(u)
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// buildDeferredRoot evaluates the root's children (subtrees fully, via
+// the fused passes) and assembles the deferred root state instead of
+// running the root combine pass. Caller has checked deferralSafe.
+func (c *fusedCtx) buildDeferredRoot(root *Node) error {
+	res := c.res
+	n := c.n
+	rd := &rootDefer{res: res, node: root, n: n, keep: c.keepOf(root), pending: make(map[*Node]NormParams)}
+	nchunks := rd.chunkCount()
+	if root.Op == Leaf {
+		if len(root.Dists) != n {
+			return fmt.Errorf("relevance: leaf %q has %d distances, want %d", root.Label, len(root.Dists), n)
+		}
+		rd.combiner = cmbLeaf
+		rd.t = rootTransform{kind: xformIdentity}
+		rd.out = root.Dists
+		rd.state = make([]byte, nchunks)
+		rd.scans = make([]rangeScan, nchunks)
+		if root.Quantiles != nil {
+			rd.params = root.Quantiles.Range(rd.keep)
+			rd.leafNaNs = root.Quantiles.NaNs()
+		} else {
+			rd.params = NormRange(root.Dists, rd.keep)
+			if root.ChunkStats != nil && root.ChunkStats.Chunks() == nchunks {
+				for _, c := range root.ChunkStats.nans {
+					rd.leafNaNs += int(c)
+				}
+			} else {
+				rd.leafNaNs = CountNaN(root.Dists)
+			}
+		}
+		rd.paramsKnown = true
+		if st := root.ChunkStats; st != nil && st.Chunks() == nchunks {
+			rd.bounds = st.mins
+			rd.nanFree = make([]bool, nchunks)
+			for ci := range rd.nanFree {
+				rd.nanFree[ci] = st.nans[ci] == 0
+			}
+			rd.haveBounds = true
+		}
+		res.root = rd
+		return nil
+	}
+	if len(root.Children) == 0 {
+		return fmt.Errorf("relevance: %q has no children", root.Label)
+	}
+	if root.Op == NodeAnd && c.opts.And == ANDLp && (c.opts.LpP < 1 || c.opts.LpP != c.opts.LpP) {
+		return fmt.Errorf("relevance: Lp needs p >= 1, got %v", c.opts.LpP)
+	}
+	k := len(root.Children)
+	rd.children = root.Children
+	rd.raw = make([][]float64, k)
+	rd.cparams = make([]NormParams, k)
+	rd.scaled = make([][]float64, k)
+	weights := make([]float64, k)
+	for j, child := range root.Children {
+		v, p, err := c.eval(child)
+		if err != nil {
+			return err
+		}
+		rd.raw[j], rd.cparams[j] = v, p
+		w := child.EffWeight()
+		if w < 0 || w != w {
+			return fmt.Errorf("relevance: invalid weight %v at %d", w, j)
+		}
+		weights[j] = w
+		switch {
+		case child.Op != Leaf:
+			// The interior child's ByNode buffer stays RAW; it finalizes
+			// in place — after the root's raw chunks no longer need it —
+			// on the first Vec.
+			rd.pending[child] = p
+		case c.opts.LazyLeaves:
+			res.lazy[child] = p
+		default:
+			// Eager leaves materialize their scaled vector now (the
+			// ByNode contract of non-lazy evaluation), and the raw
+			// chunks combine straight from it.
+			buf := c.alloc()
+			c.forChunks(func(_, _, lo, hi int) {
+				applyRange(buf[lo:hi], v[lo:hi], p)
+			})
+			res.ByNode[child] = buf
+			rd.scaled[j] = buf
+		}
+	}
+	rd.ws, rd.effSum = resolveWeights(weights, k)
+	rd.combiner, rd.t, rd.lpP = rootKernelFor(root, c.opts, rd.effSum)
+	rd.out = c.alloc()
+	rd.state = make([]byte, nchunks)
+	rd.scans = make([]rangeScan, nchunks)
+	rd.scratch = make([][]float64, k)
+	for j := range rd.scratch {
+		if rd.scaled[j] == nil {
+			rd.scratch[j] = make([]float64, evalChunk)
+		}
+	}
+	rd.buildBounds(c)
+	res.root = rd
+	return nil
+}
+
+// buildBounds folds the children's per-chunk range stats into raw
+// lower bounds on the root's combined value, chunk by chunk. Leaf
+// children contribute their cached LeafChunkStats (missing stats
+// disable pruning for the whole run — correctness never depends on
+// bounds); interior children contribute the per-chunk scans their own
+// fused pass just computed. The scaled chunk minimum of child j is
+// Apply(raw chunk minimum) exactly, because Apply is monotone; the
+// kernels then fold those minima with the same operations (and the
+// same order) as the per-element combine, which makes the bound exact
+// for the monotone fast paths. Only math.Pow factors get a downward
+// safety margin (Pow is not guaranteed monotone to the last ulp).
+func (rd *rootDefer) buildBounds(c *fusedCtx) {
+	nchunks := rd.chunkCount()
+	mins := make([][]float64, len(rd.children))
+	nans := make([][]int32, len(rd.children))
+	for j, child := range rd.children {
+		if child.Op == Leaf {
+			st := child.ChunkStats
+			if st == nil || st.Chunks() != nchunks {
+				return
+			}
+			mins[j], nans[j] = st.mins, st.nans
+			continue
+		}
+		scans := c.nodeScans[child]
+		if len(scans) != nchunks {
+			return
+		}
+		m := make([]float64, nchunks)
+		nn := make([]int32, nchunks)
+		for ci, s := range scans {
+			if s.nNegInf > 0 {
+				m[ci] = math.Inf(-1)
+			} else {
+				m[ci] = s.minFinite // +Inf for all-NaN chunks; gated by nans
+			}
+			nn[ci] = int32(s.nNaN)
+		}
+		mins[j], nans[j] = m, nn
+	}
+	rd.bounds = make([]float64, nchunks)
+	rd.nanFree = make([]bool, nchunks)
+	for ci := 0; ci < nchunks; ci++ {
+		free := true
+		for j := range nans {
+			if nans[j][ci] != 0 {
+				free = false
+				break
+			}
+		}
+		rd.nanFree[ci] = free
+		if !free {
+			rd.bounds[ci] = math.NaN() // never consulted
+			continue
+		}
+		rd.bounds[ci] = rd.chunkBound(mins, ci)
+	}
+	rd.haveBounds = true
+}
+
+// chunkBound combines the children's scaled chunk minima with the raw
+// kernel's arithmetic.
+func (rd *rootDefer) chunkBound(mins [][]float64, ci int) float64 {
+	powUsed := false
+	var b float64
+	switch rd.combiner {
+	case cmbAnd:
+		for j := range rd.children {
+			m := rd.cparams[j].Apply(mins[j][ci])
+			b += rd.ws[j] * m
+		}
+	case cmbLp:
+		if rd.lpP == 2 {
+			for j := range rd.children {
+				m := rd.cparams[j].Apply(mins[j][ci])
+				b += rd.ws[j] * (m * m)
+			}
+		} else {
+			powUsed = true
+			for j := range rd.children {
+				m := rd.cparams[j].Apply(mins[j][ci])
+				b += rd.ws[j] * math.Pow(math.Abs(m), rd.lpP)
+			}
+		}
+	case cmbOr:
+		prod := 1.0
+		for j := range rd.children {
+			m := rd.cparams[j].Apply(mins[j][ci])
+			w := rd.ws[j]
+			if m == 0 && w > 0 {
+				return 0
+			}
+			switch w {
+			case 0:
+			case 1:
+				prod *= m
+			case 2:
+				prod *= m * m
+			case 3:
+				prod *= m * m * m
+			default:
+				prod *= math.Pow(m, w)
+				powUsed = true
+			}
+		}
+		b = prod
+	}
+	if powUsed && b > 0 {
+		b = math.Nextafter(b*(1-1e-9), math.Inf(-1))
+	}
+	return b
+}

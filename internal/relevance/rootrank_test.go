@@ -1,0 +1,380 @@
+package relevance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/topk"
+)
+
+// eagerRanking runs the eager pipeline and selects the top-k on the
+// scaled combined vector — the reference the deferred ranking must
+// match bit for bit (Order, Sorted prefix, NaN attribution).
+func eagerRanking(t *testing.T, tree *Node, n, k int, opts EvalOptions) (*Result, []float64, []int) {
+	t.Helper()
+	opts.DeferRoot = false
+	res, err := Evaluate(tree, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, order := topk.SelectKWithIndex(res.Combined, k)
+	return res, sorted, order
+}
+
+// attachLeafStats gives every leaf of the tree its chunk-stats (and
+// optionally quantile) index — what the session cache does for hot
+// leaves, and what arms block pruning.
+func attachLeafStats(root *Node, quantiles bool) {
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Op == Leaf {
+			n.ChunkStats = BuildLeafChunkStats(n.Dists)
+			if quantiles {
+				n.Quantiles = BuildLeafQuantiles(n.Dists)
+			}
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+}
+
+// clearLeafStats drops the indexes again (trees are shared between
+// eager and deferred runs; the eager reference must not be affected —
+// it is not, but symmetric state keeps the comparison honest).
+func clearLeafStats(root *Node) {
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Op == Leaf {
+			n.ChunkStats, n.Quantiles = nil, nil
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+}
+
+// adversarialTree builds trees whose root selection is dominated by
+// the failure modes rank-before-scale must resolve exactly: masses of
+// exact zeros (OR saturation → a zero threshold and an index-tie
+// battle), duplicated values (scaled collisions), NaN stretches
+// (uncolorable fills), and heavy clamp ties (keep ≪ n pushes most of
+// the vector to Scale).
+func adversarialTree(rng *rand.Rand, n int) *Node {
+	leaf := func() *Node {
+		d := make([]float64, n)
+		mode := rng.Intn(4)
+		for i := range d {
+			switch {
+			case rng.Intn(3) == 0:
+				d[i] = 0 // exact answers in bulk
+			case mode == 1 && rng.Intn(2) == 0:
+				d[i] = float64(rng.Intn(4)) // heavy duplicates
+			case mode == 2 && rng.Intn(10) == 0:
+				d[i] = math.NaN()
+			case mode == 3 && rng.Intn(50) == 0:
+				d[i] = math.Inf(1)
+			default:
+				d[i] = rng.Float64() * 100
+			}
+		}
+		return &Node{Op: Leaf, Weight: []float64{0.5, 1, 1, 2, 3}[rng.Intn(5)], Dists: d}
+	}
+	if rng.Intn(5) == 0 {
+		return leaf() // leaf root
+	}
+	op := NodeAnd
+	if rng.Intn(2) == 0 {
+		op = NodeOr
+	}
+	root := &Node{Op: op, Weight: 1}
+	k := 2 + rng.Intn(3)
+	for i := 0; i < k; i++ {
+		if rng.Intn(4) == 0 {
+			inner := &Node{Op: NodeOr, Weight: rng.Float64() + 0.5}
+			inner.Children = []*Node{leaf(), leaf()}
+			root.Children = append(root.Children, inner)
+		} else {
+			root.Children = append(root.Children, leaf())
+		}
+	}
+	return root
+}
+
+func deferredOptVariants() []EvalOptions {
+	return []EvalOptions{
+		{},
+		{Mode: PaperRaw},
+		{And: ANDEuclidean},
+		{And: ANDLp, LpP: 2},
+		{And: ANDLp, LpP: 3.5},
+		{NaiveNormalize: true},
+		{LazyLeaves: true},
+	}
+}
+
+// TestDeferredRankMatchesEagerSelection is the tentpole identity: the
+// deferred (rank-before-scale, block-pruned) ranking must be
+// bit-identical — order, scaled values, NaN counts, and the lazily
+// materialized Combined vector — to the eager pipeline followed by a
+// plain top-k selection, across combiner modes, adversarial tie
+// distributions, stats-armed and stats-less leaves, and seeds.
+func TestDeferredRankMatchesEagerSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(1994))
+	variants := deferredOptVariants()
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + rng.Intn(3*evalChunk)
+		tree := adversarialTree(rng, n)
+		opts := variants[trial%len(variants)]
+		opts.Budget = []int{0, 8, 64, n / 2, n}[rng.Intn(5)]
+		k := []int{1, 8, 1 + rng.Intn(n), n}[rng.Intn(4)]
+
+		eager, wantSorted, wantOrder := eagerRanking(t, tree, n, k, opts)
+
+		withStats := trial%2 == 0
+		if withStats {
+			attachLeafStats(tree, rng.Intn(2) == 0)
+		}
+		opts.DeferRoot = true
+		got, err := Evaluate(tree, n, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Deferred() {
+			t.Fatalf("trial %d: evaluation did not defer", trial)
+		}
+		seed := math.NaN()
+		switch rng.Intn(4) {
+		case 1:
+			seed = 0 // maximally tight stale seed
+		case 2:
+			seed = rng.Float64() * 50 // arbitrary stale seed
+		case 3:
+			seed = math.Inf(1) // maximally loose seed
+		}
+		rk := got.RankRoot(k, seed, nil, nil)
+		for r := 0; r < k; r++ {
+			if rk.Order[r] != wantOrder[r] {
+				t.Fatalf("trial %d (k=%d seed=%v stats=%v): order[%d] = %d, want %d",
+					trial, k, seed, withStats, r, rk.Order[r], wantOrder[r])
+			}
+			a, b := rk.Sorted[r], wantSorted[r]
+			if math.Float64bits(a) != math.Float64bits(b) && !(math.IsNaN(a) && math.IsNaN(b)) {
+				t.Fatalf("trial %d: sorted[%d] = %v, want %v", trial, r, a, b)
+			}
+		}
+		// Permutation completeness of Order.
+		seen := make([]bool, n)
+		for _, i := range rk.Order {
+			if i < 0 || i >= n || seen[i] {
+				t.Fatalf("trial %d: Order is not a permutation", trial)
+			}
+			seen[i] = true
+		}
+		if want := CountNaN(eager.Combined); rk.NaNs != want {
+			t.Fatalf("trial %d: NaNs = %d, want %d", trial, rk.NaNs, want)
+		}
+		// Lazy materialization must reproduce the eager vector bitwise.
+		sameVec(t, "combined", eager.Combined, got.MaterializeCombined())
+		// And every node's vector through Vec (pending interior children
+		// finalize on demand).
+		for node, ev := range eager.ByNode {
+			gv := got.Vec(node)
+			if gv == nil {
+				t.Fatalf("trial %d: Vec(%q) = nil", trial, node.Label)
+			}
+			sameVec(t, "node "+node.Label, ev, gv)
+		}
+		clearLeafStats(tree)
+	}
+}
+
+// TestDeferredPruningFiresAndStaysExact: an OR query saturated with
+// exact zeros (more zeros than k) lets the running threshold collapse
+// to 0 after the first chunks, so block pruning must skip most of the
+// combine work — while remaining bit-identical to the eager reference.
+func TestDeferredPruningFiresAndStaysExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 8 * evalChunk
+	mkLeaf := func(zeroEvery int) *Node {
+		d := make([]float64, n)
+		for i := range d {
+			if i%zeroEvery == 0 {
+				d[i] = 0
+			} else {
+				d[i] = 1 + rng.Float64()*100
+			}
+		}
+		return &Node{Op: Leaf, Weight: 1, Dists: d}
+	}
+	tree := &Node{Op: NodeOr, Weight: 1, Children: []*Node{mkLeaf(3), mkLeaf(4)}}
+	opts := EvalOptions{Budget: 64}
+	k := 256
+
+	_, wantSorted, wantOrder := eagerRanking(t, tree, n, k, opts)
+
+	attachLeafStats(tree, true)
+	opts.DeferRoot = true
+	got, err := Evaluate(tree, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk := got.RankRoot(k, math.NaN(), nil, nil)
+	if rk.Pruned == 0 {
+		t.Fatalf("expected pruned chunks on a zero-saturated selection, got %+v", rk)
+	}
+	for r := 0; r < k; r++ {
+		if rk.Order[r] != wantOrder[r] || math.Float64bits(rk.Sorted[r]) != math.Float64bits(wantSorted[r]) {
+			t.Fatalf("rank %d diverged under pruning: (%v,%d) vs (%v,%d)",
+				r, rk.Sorted[r], rk.Order[r], wantSorted[r], wantOrder[r])
+		}
+	}
+	// The raw threshold of a zero-saturated selection is 0 — the seed
+	// the next rerun starts from.
+	if rk.Threshold != 0 {
+		t.Fatalf("threshold = %v, want 0", rk.Threshold)
+	}
+}
+
+// TestDeferredSeedSelfHeals: a seed from a differently-scaled previous
+// run (weights changed → raw domain shifted) may starve the seeded
+// pass; the selection must detect it and re-run, never returning a
+// wrong ranking.
+func TestDeferredSeedSelfHeals(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 4 * evalChunk
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = 10 + rng.Float64()*100 // nothing below 10: a seed of 1 starves
+	}
+	tree := &Node{Op: NodeAnd, Weight: 1, Children: []*Node{
+		{Op: Leaf, Weight: 1, Dists: d},
+		{Op: Leaf, Weight: 2, Dists: append([]float64(nil), d...)},
+	}}
+	opts := EvalOptions{Budget: 32}
+	k := 64
+	_, wantSorted, wantOrder := eagerRanking(t, tree, n, k, opts)
+	attachLeafStats(tree, true)
+	opts.DeferRoot = true
+	got, err := Evaluate(tree, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk := got.RankRoot(k, 1e-9, nil, nil) // absurdly tight stale seed
+	for r := 0; r < k; r++ {
+		if rk.Order[r] != wantOrder[r] || math.Float64bits(rk.Sorted[r]) != math.Float64bits(wantSorted[r]) {
+			t.Fatalf("rank %d diverged after seed self-heal", r)
+		}
+	}
+}
+
+// TestStreamSelectorMatchesSort: the streaming lex selection equals a
+// full sort's first k pairs, seeded or not.
+func TestStreamSelectorMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(5000)
+		k := 1 + rng.Intn(n)
+		vals := make([]float64, n)
+		for i := range vals {
+			switch rng.Intn(6) {
+			case 0:
+				vals[i] = 0
+			case 1:
+				vals[i] = float64(rng.Intn(3))
+			case 2:
+				vals[i] = math.NaN()
+			default:
+				vals[i] = rng.Float64() * 10
+			}
+		}
+		wantSorted, wantIdx := topk.SelectKWithIndex(vals, k)
+		comparable := 0
+		for _, v := range vals {
+			if !math.IsNaN(v) {
+				comparable++
+			}
+		}
+		seed := math.NaN()
+		if trial%3 == 0 {
+			seed = rng.Float64() * 12
+		}
+		sel := topk.NewStreamSelector(k, seed)
+		sel.OfferSlice(vals, 0)
+		cands, kth, complete := sel.Finish()
+		if !complete && !math.IsNaN(seed) {
+			// Seed starvation: the caller's contract is to re-run
+			// unseeded.
+			sel = topk.NewStreamSelector(k, math.NaN())
+			sel.OfferSlice(vals, 0)
+			cands, kth, complete = sel.Finish()
+		}
+		if comparable < k {
+			if complete {
+				t.Fatalf("trial %d: complete with only %d comparable of k=%d", trial, comparable, k)
+			}
+			if len(cands) != comparable {
+				t.Fatalf("trial %d: %d cands, want all %d comparables", trial, len(cands), comparable)
+			}
+			continue
+		}
+		if !complete {
+			t.Fatalf("trial %d: incomplete with %d comparable ≥ k=%d", trial, comparable, k)
+		}
+		if kth.V != wantSorted[k-1] || kth.I != wantIdx[k-1] {
+			t.Fatalf("trial %d: kth = (%v,%d), want (%v,%d)", trial, kth.V, kth.I, wantSorted[k-1], wantIdx[k-1])
+		}
+		got := make(map[int]bool, len(cands))
+		for _, c := range cands {
+			got[c.I] = true
+		}
+		for r := 0; r < k; r++ {
+			if !got[wantIdx[r]] {
+				t.Fatalf("trial %d: rank-%d index %d missing from candidates", trial, r, wantIdx[r])
+			}
+		}
+	}
+}
+
+// TestSupWhere: the bisection finds exact boundaries of monotone
+// predicates over the full float range.
+func TestSupWhere(t *testing.T) {
+	// Simple threshold predicate: largest x with x ≤ c is c itself.
+	for _, c := range []float64{0, 1, -3.5, 255, math.Inf(1)} {
+		got := topk.SupWhere(func(x float64) bool { return x <= c }, math.Inf(-1), math.Inf(1))
+		if got != c {
+			t.Fatalf("sup{x ≤ %v} = %v", c, got)
+		}
+	}
+	// Strict threshold: largest x with x < c is the predecessor of c.
+	got := topk.SupWhere(func(x float64) bool { return x < 1 }, math.Inf(-1), math.Inf(1))
+	if got != math.Nextafter(1, math.Inf(-1)) {
+		t.Fatalf("sup{x < 1} = %v", got)
+	}
+	// Predicate false everywhere → NaN.
+	if v := topk.SupWhere(func(x float64) bool { return false }, 0, math.Inf(1)); !math.IsNaN(v) {
+		t.Fatalf("empty preimage should be NaN, got %v", v)
+	}
+	// A clamp-shaped transform: preimage of the upper clamp extends to
+	// +Inf, preimage of the interior value is a tight interval.
+	p := NormParams{DMin: 0, DMax: 100}
+	key := func(x float64) float64 { return p.Apply(x) }
+	s := key(50.0)
+	hi := topk.SupWhere(func(x float64) bool { return key(x) <= s }, math.Inf(-1), math.Inf(1))
+	loEx := topk.SupWhere(func(x float64) bool { return key(x) < s }, math.Inf(-1), math.Inf(1))
+	if !(loEx < 50 && 50 <= hi) {
+		t.Fatalf("interior preimage (%v, %v] must contain 50", loEx, hi)
+	}
+	if key(hi) != s || key(math.Nextafter(hi, math.Inf(1))) <= s {
+		t.Fatalf("hi boundary inexact")
+	}
+	clamp := topk.SupWhere(func(x float64) bool { return key(x) <= Scale }, math.Inf(-1), math.Inf(1))
+	if !math.IsInf(clamp, 1) {
+		t.Fatalf("clamp preimage should reach +Inf, got %v", clamp)
+	}
+}

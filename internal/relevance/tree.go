@@ -33,6 +33,13 @@ type Node struct {
 	// the session cache attaches it to leaves that recur across reruns.
 	// It must index exactly Dists.
 	Quantiles *LeafQuantiles
+	// ChunkStats, when set on a leaf, carries the per-chunk minima and
+	// NaN counts of Dists that the block-pruning pass folds into
+	// per-chunk bounds on the root's raw combined value. The session
+	// cache attaches it alongside Quantiles; it must index exactly
+	// Dists. Pruning degrades gracefully without it (chunks whose
+	// children lack stats are never skipped).
+	ChunkStats *LeafChunkStats
 }
 
 // EffWeight returns the node's weight with the default of 1.
@@ -93,15 +100,35 @@ type EvalOptions struct {
 	// combination passes, and Result.Vec materializes a leaf's full
 	// vector only when someone asks for it — windows read a few
 	// thousand displayed items, so interactive reruns avoid one n-sized
-	// write per leaf per run. Combined (the root) always materializes.
+	// write per leaf per run. Under DeferRoot even Combined (the root)
+	// materializes lazily.
 	LazyLeaves bool
+	// DeferRoot enables the rank-before-scale pipeline: the root's
+	// combine pass stops at the RAW combined value (before the final
+	// monotonic transforms — the geometric root, the Lp root, the
+	// weight-normalized division — and before the [0, Scale]
+	// re-normalization), and Result.Combined stays nil until someone
+	// materializes it. The caller ranks via Result.RankRoot, which
+	// selects the top-k on raw values (skipping whole chunks whose
+	// bound cannot beat the running threshold) and applies the final
+	// transforms only to the survivors — bit-identical, including
+	// clamp-induced ties, to ranking the eagerly scaled vector.
+	//
+	// Deferral silently falls back to the eager root (Deferred()
+	// reports false) when the deferred transforms could change the
+	// finite/infinite classification of a value (pathological weights
+	// overflowing the raw domain).
+	DeferRoot bool
 }
 
 // Result carries the evaluated tree: the per-node normalized distance
 // vectors in [0, Scale] (keyed by node), and the root's combined,
 // re-normalized distances. Under EvalOptions.LazyLeaves, leaf vectors
 // are absent from ByNode until Vec materializes them; read through Vec
-// rather than the map when lazy evaluation may be in play.
+// rather than the map when lazy evaluation may be in play. Under
+// EvalOptions.DeferRoot, Combined (and the root's ByNode entry, and
+// the raw interior children of the root) also stay unmaterialized
+// until Vec or MaterializeCombined asks for them.
 type Result struct {
 	Combined []float64
 	ByNode   map[*Node][]float64
@@ -110,15 +137,40 @@ type Result struct {
 	lazy  map[*Node]NormParams // un-materialized leaves: params over node.Dists
 	alloc func(n int) []float64
 	n     int
+	// root is the deferred rank-before-scale state (nil when the root
+	// was finalized eagerly).
+	root *rootDefer
 }
 
+// Deferred reports whether the root is evaluated rank-before-scale:
+// Combined is nil until materialized, and the caller should rank via
+// RankRoot instead of selecting on Combined.
+func (r *Result) Deferred() bool { return r.root != nil }
+
 // Vec returns the node's normalized vector, materializing a lazy leaf
-// on first use (bit-identical to eager evaluation: same params, same
-// per-element transform). nil when the node was not part of the
+// (or, under DeferRoot, the root and its raw interior children) on
+// first use — bit-identical to eager evaluation: same params, same
+// per-element transforms. nil when the node was not part of the
 // evaluation. Safe for concurrent use.
 func (r *Result) Vec(node *Node) []float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.root != nil {
+		if node == r.root.node {
+			return r.materializeCombinedLocked()
+		}
+		if p, pending := r.root.pending[node]; pending {
+			// A raw interior child of the deferred root: the root's raw
+			// chunks need this child's raw values, so they materialize
+			// first; then the child finalizes in place exactly like the
+			// eager root pass would have.
+			r.root.ensureAllRaw()
+			v := r.ByNode[node]
+			applyRange(v, v, p)
+			delete(r.root.pending, node)
+			return v
+		}
+	}
 	if v, ok := r.ByNode[node]; ok {
 		return v
 	}
@@ -126,19 +178,35 @@ func (r *Result) Vec(node *Node) []float64 {
 	if !ok {
 		return nil
 	}
-	var out []float64
-	if r.alloc != nil {
-		if b := r.alloc(r.n); len(b) == r.n {
-			out = b
-		}
-	}
-	if out == nil {
-		out = make([]float64, r.n)
-	}
+	out := r.allocVec()
 	applyRange(out, node.Dists, p)
 	r.ByNode[node] = out
 	delete(r.lazy, node)
 	return out
+}
+
+// allocVec returns an n-sized buffer from the caller's pool (or fresh).
+func (r *Result) allocVec() []float64 {
+	if r.alloc != nil {
+		if b := r.alloc(r.n); len(b) == r.n {
+			return b
+		}
+	}
+	return make([]float64, r.n)
+}
+
+// MaterializeCombined materializes (and memoizes) the root's scaled
+// combined vector of a deferred evaluation; for eager evaluations it
+// just returns Combined. The result is bit-identical to the eager
+// pipeline. Safe for concurrent use; like every vector of a pooled
+// Result, it is valid until the evaluation's buffers are recycled.
+func (r *Result) MaterializeCombined() []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.root != nil {
+		return r.materializeCombinedLocked()
+	}
+	return r.Combined
 }
 
 // Evaluate computes the combined normalized distance of every item per

@@ -83,7 +83,7 @@ func compareRemote(ctx context.Context, step string, remote *client.Session, mir
 		if row.Item != item {
 			return fmt.Errorf("%s: order[%d] item %d vs %d", step, rank, row.Item, item)
 		}
-		d := fresh.Combined[item]
+		d := fresh.Combined()[item]
 		if math.Float64bits(row.Distance) != math.Float64bits(d) {
 			return fmt.Errorf("%s: rank %d distance %v vs %v", step, rank, row.Distance, d)
 		}

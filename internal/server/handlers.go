@@ -57,18 +57,7 @@ func summaryLocked(ss *serverSession) wire.Summary {
 		Displayed:  st.NumDisplayed,
 		NumResults: st.NumResults,
 		Recalcs:    ss.sess.Recalcs,
-		Timings: wire.Timings{
-			BindNS:      tm.Bind.Nanoseconds(),
-			DistancesNS: tm.Distances.Nanoseconds(),
-			EvaluateNS:  tm.Evaluate.Nanoseconds(),
-			SortNS:      tm.Sort.Nanoseconds(),
-			SelectNS:    tm.Select.Nanoseconds(),
-			ReduceNS:    tm.Reduce.Nanoseconds(),
-			TotalNS:     tm.Total.Nanoseconds(),
-			CacheHits:   tm.CacheHits,
-			CacheMisses: tm.CacheMisses,
-			SharedHits:  tm.SharedHits,
-		},
+		Timings:    wire.TimingsOf(tm),
 	}
 }
 
@@ -242,7 +231,9 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	var tupleErr error
 	for rank := 0; rank < k; rank++ {
 		item := res.Order[rank]
-		d := res.Combined[item]
+		// Ranked access: the rank-before-scale path only ever scales the
+		// display prefix, and the response needs nothing more.
+		d := res.DistanceOfRank(rank)
 		row := wire.Row{Item: item, Distance: d, Relevance: relevance.RelevanceFactor(d)}
 		if withTuples {
 			tup, err := res.Tuple(item)

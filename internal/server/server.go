@@ -55,6 +55,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"net/http"
@@ -64,6 +65,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -104,6 +106,14 @@ type Config struct {
 	// session pins O(rows) result buffers, so an unbounded table is a
 	// slow memory leak under clients that never call DELETE.
 	MaxSessionsPerShard int
+	// SessionTTL reaps sessions idle longer than this (no request has
+	// touched them): crashed or abandoned clients release their pooled
+	// result buffers instead of pinning them until the per-shard cap
+	// sheds new creations. 0 disables reaping. The sweep runs inside
+	// SweepLoop (cmd/visdbd starts one) or on explicit
+	// SweepIdleSessions calls; a reaped session answers later requests
+	// with 404, exactly like an explicit DELETE.
+	SessionTTL time.Duration
 }
 
 // DefaultShards is the shard count Config.Shards == 0 selects.
@@ -145,6 +155,7 @@ type shard struct {
 
 	created atomic.Uint64
 	recalcs atomic.Uint64
+	reaped  atomic.Uint64
 }
 
 // serverSession wraps one interactive session with the mutex that
@@ -155,7 +166,14 @@ type serverSession struct {
 	id    string
 	sess  *session.Session
 	shard *shard
+	// lastAccess is the UnixNano stamp of the latest request that
+	// touched the session (creation included) — the idle-TTL sweep's
+	// eviction clock.
+	lastAccess atomic.Int64
 }
+
+// touch stamps the session as just-accessed.
+func (ss *serverSession) touch() { ss.lastAccess.Store(time.Now().UnixNano()) }
 
 // Server routes the serving protocol over a set of shards. It
 // implements http.Handler; wrap it in an http.Server (or cmd/visdbd)
@@ -168,6 +186,7 @@ type Server struct {
 	catalogs map[string]*catalogState
 	mux      *http.ServeMux
 	opt      core.Options
+	ttl      time.Duration
 	inflight atomic.Int64
 }
 
@@ -185,6 +204,7 @@ func New(cfg Config) (*Server, error) {
 		shards:   make([]*shard, n),
 		catalogs: make(map[string]*catalogState),
 		opt:      cfg.DefaultOptions,
+		ttl:      cfg.SessionTTL,
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{id: i, sessions: make(map[string]*serverSession), maxSessions: maxSessions}
@@ -298,6 +318,7 @@ func (sh *shard) register(sess *session.Session) (*serverSession, error) {
 		sess:  sess,
 		shard: sh,
 	}
+	ss.touch()
 	sh.sessions[ss.id] = ss
 	sh.created.Add(1)
 	return ss, nil
@@ -323,6 +344,7 @@ func (s *Server) lookup(id string) (*serverSession, error) {
 	if !ok {
 		return nil, fmt.Errorf("no session %q", id)
 	}
+	ss.touch()
 	return ss, nil
 }
 
@@ -364,6 +386,7 @@ func (sh *shard) stats() wire.ShardStats {
 		Catalogs:        []string{},
 		Sessions:        active,
 		SessionsCreated: sh.created.Load(),
+		SessionsReaped:  sh.reaped.Load(),
 		Recalcs:         sh.recalcs.Load(),
 	}
 	for _, cs := range sh.catalogs {
@@ -378,4 +401,55 @@ func (sh *shard) stats() wire.ShardStats {
 		st.Shared.Bytes += cst.Bytes
 	}
 	return st
+}
+
+// SweepIdleSessions reaps every session whose last access predates now
+// minus the configured SessionTTL and returns how many were removed.
+// A no-op (returning 0) when the TTL is disabled. Reaping only unlinks
+// the session from its shard table — a request already holding the
+// session finishes normally, exactly like a concurrent DELETE — and
+// the garbage collector reclaims the pooled result buffers the session
+// pinned.
+func (s *Server) SweepIdleSessions(now time.Time) int {
+	if s.ttl <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-s.ttl).UnixNano()
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for id, ss := range sh.sessions {
+			if ss.lastAccess.Load() < cutoff {
+				delete(sh.sessions, id)
+				sh.reaped.Add(1)
+				total++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// SweepLoop runs the idle-session sweep periodically (a quarter of the
+// TTL, at least once per second) until ctx is canceled. It returns
+// immediately when the TTL is disabled. cmd/visdbd runs one for the
+// daemon's lifetime.
+func (s *Server) SweepLoop(ctx context.Context) {
+	if s.ttl <= 0 {
+		return
+	}
+	period := s.ttl / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			s.SweepIdleSessions(now)
+		}
+	}
 }

@@ -148,8 +148,9 @@ func freshMismatch(step string, s *Session, cat *dataset.Catalog, opt core.Optio
 	if got.N != fresh.N || got.Displayed != fresh.Displayed {
 		return fmt.Errorf("%s: N %d vs %d, Displayed %d vs %d", step, got.N, fresh.N, got.Displayed, fresh.Displayed)
 	}
-	for i := range fresh.Combined {
-		x, y := got.Combined[i], fresh.Combined[i]
+	gc, fc := got.Combined(), fresh.Combined()
+	for i := range fc {
+		x, y := gc[i], fc[i]
 		if math.Float64bits(x) != math.Float64bits(y) && !(math.IsNaN(x) && math.IsNaN(y)) {
 			return fmt.Errorf("%s: combined[%d] %v vs %v", step, i, x, y)
 		}

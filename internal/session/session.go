@@ -485,7 +485,10 @@ func (s *Session) buildWindow(p query.Expr, keep map[int]bool) (*render.Window, 
 		}
 		var norm float64
 		if p == nil {
-			norm = s.res.Combined[item]
+			// The overall window's distances come straight from the
+			// ranked prefix — the rank-before-scale path never needs the
+			// full combined vector for display.
+			norm = s.res.DistanceOfRank(rank)
 		} else {
 			var err error
 			norm, err = s.res.NormOf(p, item)

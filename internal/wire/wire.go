@@ -15,6 +15,8 @@
 // bounds travel as null instead of ±Inf.
 package wire
 
+import "repro/internal/core"
+
 // SessionOptions carries the engine options a client may set at
 // session creation. Zero fields select the server's defaults.
 type SessionOptions struct {
@@ -62,19 +64,48 @@ type WeightRequest struct {
 	Weight float64 `json:"weight"`
 }
 
-// Timings mirrors core.StageTimings in nanoseconds plus the cache
-// attribution counters.
+// Timings mirrors core.StageTimings in nanoseconds plus the cache and
+// pruning attribution counters. ScaleNS is the rank-before-scale
+// stage applying the final monotonic transforms to the top-k
+// survivors; Pruned/Chunks count the evaluator chunks whose root
+// combine work was skipped by block pruning, out of the total (warm
+// reruns on saturated selections prune most chunks; cold runs report
+// zero).
 type Timings struct {
 	BindNS      int64 `json:"bind_ns"`
 	DistancesNS int64 `json:"distances_ns"`
 	EvaluateNS  int64 `json:"evaluate_ns"`
 	SortNS      int64 `json:"sort_ns"`
 	SelectNS    int64 `json:"select_ns"`
+	ScaleNS     int64 `json:"scale_ns"`
 	ReduceNS    int64 `json:"reduce_ns"`
 	TotalNS     int64 `json:"total_ns"`
 	CacheHits   int   `json:"cache_hits"`
 	CacheMisses int   `json:"cache_misses"`
 	SharedHits  int   `json:"shared_hits"`
+	Pruned      int   `json:"pruned"`
+	Chunks      int   `json:"chunks"`
+}
+
+// TimingsOf converts the engine's stage timings — the single place the
+// 13-field schema is mapped, shared by the serving handlers and the
+// benchmark reports.
+func TimingsOf(tm core.StageTimings) Timings {
+	return Timings{
+		BindNS:      tm.Bind.Nanoseconds(),
+		DistancesNS: tm.Distances.Nanoseconds(),
+		EvaluateNS:  tm.Evaluate.Nanoseconds(),
+		SortNS:      tm.Sort.Nanoseconds(),
+		SelectNS:    tm.Select.Nanoseconds(),
+		ScaleNS:     tm.Scale.Nanoseconds(),
+		ReduceNS:    tm.Reduce.Nanoseconds(),
+		TotalNS:     tm.Total.Nanoseconds(),
+		CacheHits:   tm.CacheHits,
+		CacheMisses: tm.CacheMisses,
+		SharedHits:  tm.SharedHits,
+		Pruned:      tm.Pruned,
+		Chunks:      tm.Chunks,
+	}
 }
 
 // Summary is the scalar state of a session after its latest
@@ -128,12 +159,15 @@ type SharedStats struct {
 // the per-catalog shared-cache counters of every catalog homed on the
 // shard.
 type ShardStats struct {
-	Shard           int         `json:"shard"`
-	Catalogs        []string    `json:"catalogs"`
-	Sessions        int         `json:"sessions"`
-	SessionsCreated uint64      `json:"sessions_created"`
-	Recalcs         uint64      `json:"recalcs"`
-	Shared          SharedStats `json:"shared"`
+	Shard           int      `json:"shard"`
+	Catalogs        []string `json:"catalogs"`
+	Sessions        int      `json:"sessions"`
+	SessionsCreated uint64   `json:"sessions_created"`
+	// SessionsReaped counts sessions removed by the idle-TTL sweep
+	// (abandoned clients whose pooled buffers were reclaimed).
+	SessionsReaped uint64      `json:"sessions_reaped"`
+	Recalcs        uint64      `json:"recalcs"`
+	Shared         SharedStats `json:"shared"`
 }
 
 // CatalogInfo describes one served catalog: GET /v1/catalogs.
