@@ -54,11 +54,12 @@ func main() {
 
 		jsonOut  = flag.String("json", "", "json mode: run the interactive-loop benchmarks and write a machine-readable report to this path")
 		jsonRows = flag.Int("json-rows", 1_000_000, "catalog rows for the json benchmark mode")
-		floors   = flag.Bool("floors", false, "with -json: fail (exit 1) when the regression floors are violated (prune rate, warm<cold, cache attribution)")
+		floors   = flag.Bool("floors", false, "with -json: fail (exit 1) when the regression floors are violated (prune rate, warm<cold, cache attribution, sketch hits)")
+		disk     = flag.Bool("disk", false, "with -json: serve the benchmark catalog from an on-disk segment file through a bounded decoded-segment cache")
 	)
 	flag.Parse()
 	if *jsonOut != "" {
-		if err := runJSONBench(*jsonOut, *jsonRows, *seed, *floors); err != nil {
+		if err := runJSONBench(*jsonOut, *jsonRows, *seed, *floors, *disk); err != nil {
 			fmt.Fprintln(os.Stderr, "visdbbench:", err)
 			os.Exit(1)
 		}

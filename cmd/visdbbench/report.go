@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/dataset"
 	"repro/internal/query"
 	"repro/internal/session"
 	"repro/internal/wire"
@@ -18,7 +20,7 @@ import (
 
 // This file implements the machine-readable benchmark mode:
 //
-//	visdbbench -json BENCH_5.json [-json-rows N] [-floors]
+//	visdbbench -json BENCH_6.json [-json-rows N] [-floors] [-disk]
 //
 // It runs the interactive-loop workloads (cold engine runs vs warm
 // cached reruns, the slider drag, the concurrent multi-session
@@ -27,10 +29,18 @@ import (
 // counters — so the perf trajectory across PRs is tracked as data in
 // the CI artifacts instead of prose in commit messages.
 //
+// -disk serves the catalog from an on-disk segment file through a
+// deliberately small decoded-segment cache instead of from memory, so
+// the report tracks the file-backed serving path (results are
+// bit-identical; only where the bytes live changes).
+//
 // -floors additionally enforces the regression floors: the
 // rank-before-scale block pruning must actually fire on the warm
 // reweight workload (prune rate > 0 — a silent deactivation fails
-// loud), and warm reruns must beat cold runs.
+// loud), warm reruns must beat cold runs, and the interior
+// normalization sketch must carry the steady-state warm rerun
+// (sketch hits > 0, rescans below one full pass, and the evaluate
+// stage measurably cheaper than the -no-sketch baseline).
 
 // reweightReport is one cold-vs-warm weight-slider workload.
 type reweightReport struct {
@@ -38,8 +48,15 @@ type reweightReport struct {
 	WarmMS  float64 `json:"warm_ms"`
 	Speedup float64 `json:"speedup"`
 	// Warm holds the steady-state warm rerun's stage timings and
-	// counters (cache hits, pruned chunks) in the wire schema.
+	// counters (cache hits, pruned chunks, interior sketch hits and
+	// rescans) in the wire schema.
 	Warm wire.Timings `json:"warm"`
+	// WarmSketchlessMS and WarmSketchless repeat the warm workload with
+	// Options.NoInteriorSketch — the ablation baseline the sketch floors
+	// compare against (its evaluate stage re-runs every interior
+	// combine; the killed full-array pass, measured).
+	WarmSketchlessMS float64      `json:"warm_sketchless_ms"`
+	WarmSketchless   wire.Timings `json:"warm_sketchless"`
 }
 
 type concurrentReport struct {
@@ -53,9 +70,14 @@ type concurrentReport struct {
 
 // benchReport is the BENCH_N.json schema.
 type benchReport struct {
-	Schema       int              `json:"schema"`
-	Rows         int              `json:"rows"`
-	Seed         int64            `json:"seed"`
+	Schema int   `json:"schema"`
+	Rows   int   `json:"rows"`
+	Seed   int64 `json:"seed"`
+	// DiskBacked records whether the catalog was served from an on-disk
+	// segment file (-disk); Epoch is its content-hash epoch (0 in
+	// memory).
+	DiskBacked   bool             `json:"disk_backed"`
+	Epoch        uint64           `json:"epoch,omitempty"`
 	Reweight     reweightReport   `json:"reweight"`
 	SliderDragMS float64          `json:"slider_drag_ms"`
 	SliderDrag   wire.Timings     `json:"slider_drag"`
@@ -72,16 +94,34 @@ func medianMS(samples []time.Duration) float64 {
 
 // runJSONBench runs the workloads and writes the report to path.
 // floors enforces the regression floors after writing (the report is
-// useful even when it fails them).
-func runJSONBench(path string, rows int, seed int64, floors bool) error {
+// useful even when it fails them). disk round-trips the catalog
+// through a segment file first and serves it from there.
+func runJSONBench(path string, rows int, seed int64, floors, disk bool) error {
 	cat, err := datagen.Traffic(rows, seed)
 	if err != nil {
 		return err
 	}
+	rep := benchReport{Schema: 2, Rows: rows, Seed: seed, DiskBacked: disk}
+	if disk {
+		segPath := filepath.Join(os.TempDir(), fmt.Sprintf("visdbbench-%d-%d.visdb", rows, seed))
+		epoch, err := dataset.WriteCatalogFile(segPath, cat)
+		if err != nil {
+			return err
+		}
+		defer os.Remove(segPath)
+		// An 8 MiB decoded-segment cache keeps the file-backed catalog
+		// well under the in-memory footprint (3 float columns at 1e6
+		// rows are 24 MiB), so the bench actually exercises paging.
+		fcat, err := dataset.OpenCatalogFile(segPath, dataset.OpenOptions{CacheBytes: 8 << 20})
+		if err != nil {
+			return err
+		}
+		defer fcat.Close()
+		cat = fcat
+		rep.Epoch = epoch
+	}
 	opt := core.Options{GridW: 128, GridH: 128}
 	sql := datagen.TrafficQueries()[2] // the OR query: the geometric-root hot path
-
-	rep := benchReport{Schema: 1, Rows: rows, Seed: seed}
 
 	// --- Reweight: cold engine runs vs warm session reruns ----------
 	q, err := query.Parse(sql)
@@ -125,6 +165,32 @@ func runJSONBench(path string, rows int, seed int64, floors bool) error {
 	if rep.Reweight.WarmMS > 0 {
 		rep.Reweight.Speedup = rep.Reweight.ColdMS / rep.Reweight.WarmMS
 	}
+
+	// The same warm workload with the interior sketch disabled — the
+	// ablation baseline whose evaluate stage re-runs every interior
+	// combine pass on each drag.
+	noSketch := opt
+	noSketch.NoInteriorSketch = true
+	sn, err := session.NewSQL(cat, nil, noSketch, sql)
+	if err != nil {
+		return err
+	}
+	snPred := query.Predicates(sn.Query().Where)[0]
+	var warmNS []time.Duration
+	var warmNSTM core.StageTimings
+	for i := 0; i < 12; i++ {
+		t0 := time.Now()
+		if err := sn.SetWeight(snPred, float64(2+i%2)); err != nil {
+			return err
+		}
+		d := time.Since(t0)
+		if i >= 2 {
+			warmNS = append(warmNS, d)
+			warmNSTM = sn.Result().Timings
+		}
+	}
+	rep.Reweight.WarmSketchlessMS = medianMS(warmNS)
+	rep.Reweight.WarmSketchless = wire.TimingsOf(warmNSTM)
 
 	// --- Slider drag: range edits recompute exactly one leaf --------
 	c, err := s.FindCond("c")
@@ -184,11 +250,7 @@ func runJSONBench(path string, rows int, seed int64, floors bool) error {
 		Steps:         steps,
 		Recalcs:       total,
 		RecalcsPerSec: float64(total) / elapsed.Seconds(),
-		SharedStats: wire.SharedStats{
-			Hits: st.Hits, Misses: st.Misses, Fills: st.Fills,
-			Waits: st.Waits, Rejects: st.Rejects,
-			Entries: st.Entries, Bytes: st.Bytes,
-		},
+		SharedStats:   wire.SharedStatsOf(st),
 	}
 	if st.Hits+st.Misses > 0 {
 		rep.Concurrent.SharedHitRate = float64(st.Hits) / float64(st.Hits+st.Misses)
@@ -202,9 +264,11 @@ func runJSONBench(path string, rows int, seed int64, floors bool) error {
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: reweight cold %.1fms / warm %.1fms (%.2fx), pruned %d/%d chunks, %0.1f recalcs/s concurrent\n",
+	fmt.Printf("wrote %s: reweight cold %.1fms / warm %.1fms (%.2fx), pruned %d/%d chunks, sketch hits %d rescans %d (sketchless warm %.1fms), %0.1f recalcs/s concurrent\n",
 		path, rep.Reweight.ColdMS, rep.Reweight.WarmMS, rep.Reweight.Speedup,
-		rep.Reweight.Warm.Pruned, rep.Reweight.Warm.Chunks, rep.Concurrent.RecalcsPerSec)
+		rep.Reweight.Warm.Pruned, rep.Reweight.Warm.Chunks,
+		rep.Reweight.Warm.SketchHits, rep.Reweight.Warm.SketchRescans,
+		rep.Reweight.WarmSketchlessMS, rep.Concurrent.RecalcsPerSec)
 	if floors {
 		return checkFloors(rep)
 	}
@@ -233,6 +297,25 @@ func checkFloors(rep benchReport) error {
 	if rep.Reweight.Warm.CacheMisses != 0 || rep.Reweight.Warm.CacheHits == 0 {
 		fails = append(fails, fmt.Sprintf("warm reweight cache attribution off: hits=%d misses=%d",
 			rep.Reweight.Warm.CacheHits, rep.Reweight.Warm.CacheMisses))
+	}
+	// The interior normalization sketch must carry the steady-state warm
+	// rerun: entries hit, the rescan attribution stays below one full
+	// pass over the evaluator chunks, and the evaluate stage beats the
+	// sketchless ablation baseline by at least 2x (the measured margin
+	// is ~40x — this floor only catches silent deactivation, not noise).
+	if rep.Reweight.Warm.SketchHits <= 0 {
+		fails = append(fails, "warm reweight took no interior sketch hits (sketch deactivated)")
+	}
+	if rep.Reweight.Warm.SketchRescans >= rep.Reweight.Warm.Chunks {
+		fails = append(fails, fmt.Sprintf("warm reweight rescanned %d of %d chunks (no better than a full pass)",
+			rep.Reweight.Warm.SketchRescans, rep.Reweight.Warm.Chunks))
+	}
+	if rep.Reweight.WarmSketchless.SketchHits != 0 {
+		fails = append(fails, "sketchless baseline reported sketch hits (ablation gate broken)")
+	}
+	if rep.Reweight.WarmSketchless.EvaluateNS < 2*rep.Reweight.Warm.EvaluateNS {
+		fails = append(fails, fmt.Sprintf("sketch evaluate (%dns) not 2x under the sketchless baseline (%dns)",
+			rep.Reweight.Warm.EvaluateNS, rep.Reweight.WarmSketchless.EvaluateNS))
 	}
 	// Cross-session sharing must happen in the concurrent workload.
 	if rep.Concurrent.SharedHitRate <= 0 {

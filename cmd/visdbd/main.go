@@ -9,13 +9,20 @@
 //	visdbd -addr :8491 -catalogs traffic:200000
 //	visdbd -addr :8491 -shards 8 -catalogs "a:100000,b:50000" -cache-mb 512
 //
-// Each entry of -catalogs is name:rows and serves a deterministic
-// synthetic catalog (datagen.Traffic; table S with float attributes
-// a, b, c) under that name; all catalogs are sharded across -shards
-// serving shards by name hash. Every catalog gets its own shared
+// Each entry of -catalogs is name:source. A numeric source (name:rows)
+// serves a deterministic synthetic catalog (datagen.Traffic; table S
+// with float attributes a, b, c); any other source is a path to an
+// on-disk segment catalog written by visdbgen -o / csvutil, served
+// straight from the file through the bounded decoded-segment cache
+// (-catalog-cache-mb per catalog) — resident memory stays O(cache),
+// not O(catalog), and results are bit-identical to serving the same
+// data in memory. All catalogs are sharded across -shards serving
+// shards by name hash. Every catalog gets its own shared
 // predicate-cache tier bounded by -cache-entries / -cache-mb with
 // cost-aware admission at -admit-min (0 selects the ~1ms default; a
 // negative duration admits every leaf).
+//
+//	visdbd -addr :8491 -catalogs "traffic:200000,archive:/data/archive.visdb"
 //
 // Sessions idle longer than -session-ttl (default 30m; 0 disables)
 // are reaped by a periodic sweep, so crashed clients release the
@@ -42,6 +49,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/dataset"
 	"repro/internal/server"
 )
 
@@ -55,6 +63,8 @@ type config struct {
 	gridW, gridH int
 	cacheEntries int
 	cacheMB      int
+	catCacheMB   int
+	forceReadAt  bool
 	admitMin     time.Duration
 	drainTimeout time.Duration
 	sessionTTL   time.Duration
@@ -70,6 +80,8 @@ func main() {
 	flag.IntVar(&cfg.gridH, "gridh", 128, "default session grid height")
 	flag.IntVar(&cfg.cacheEntries, "cache-entries", 0, "per-catalog shared-cache entry cap (0 = default 1024)")
 	flag.IntVar(&cfg.cacheMB, "cache-mb", 0, "per-catalog shared-cache byte budget in MiB (0 = default 256)")
+	flag.IntVar(&cfg.catCacheMB, "catalog-cache-mb", 0, "decoded-segment cache budget in MiB for file-backed catalogs (0 = default 64)")
+	flag.BoolVar(&cfg.forceReadAt, "force-readat", false, "disable mmap for file-backed catalogs; read through ReadAt")
 	flag.DurationVar(&cfg.admitMin, "admit-min", 0, "shared-tier admission threshold (0 = ~1ms default, negative admits all)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown drain bound")
 	flag.DurationVar(&cfg.sessionTTL, "session-ttl", 30*time.Minute, "reap sessions idle longer than this (0 disables; each live session pins O(rows) buffers)")
@@ -83,8 +95,9 @@ func main() {
 	}
 }
 
-// buildCatalogs parses the -catalogs spec and generates the synthetic
-// catalogs.
+// buildCatalogs parses the -catalogs spec: numeric sources generate
+// synthetic catalogs, everything else opens an on-disk segment catalog
+// served through the bounded decoded-segment cache.
 func buildCatalogs(cfg config) ([]server.CatalogConfig, error) {
 	shared := core.SharedOptions{
 		MaxEntries:   cfg.cacheEntries,
@@ -97,19 +110,29 @@ func buildCatalogs(cfg config) ([]server.CatalogConfig, error) {
 		if spec == "" {
 			continue
 		}
-		name, rowsStr, ok := strings.Cut(spec, ":")
-		if !ok || name == "" {
-			return nil, fmt.Errorf("bad catalog spec %q (want name:rows)", spec)
+		name, src, ok := strings.Cut(spec, ":")
+		if !ok || name == "" || src == "" {
+			return nil, fmt.Errorf("bad catalog spec %q (want name:rows or name:path)", spec)
 		}
-		rows, err := strconv.Atoi(rowsStr)
-		if err != nil || rows <= 0 {
-			return nil, fmt.Errorf("bad row count in catalog spec %q", spec)
-		}
-		// Each catalog draws from its own seed stream so same-sized
-		// catalogs hold different data.
-		cat, err := datagen.Traffic(rows, cfg.seed+int64(len(out)))
-		if err != nil {
-			return nil, err
+		var cat *dataset.Catalog
+		if rows, err := strconv.Atoi(src); err == nil {
+			if rows <= 0 {
+				return nil, fmt.Errorf("bad row count in catalog spec %q", spec)
+			}
+			// Each catalog draws from its own seed stream so same-sized
+			// catalogs hold different data.
+			cat, err = datagen.Traffic(rows, cfg.seed+int64(len(out)))
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			cat, err = dataset.OpenCatalogFile(src, dataset.OpenOptions{
+				ForceReadAt: cfg.forceReadAt,
+				CacheBytes:  int64(cfg.catCacheMB) << 20,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("catalog %q: %w", name, err)
+			}
 		}
 		out = append(out, server.CatalogConfig{Name: name, Catalog: cat, Shared: shared})
 	}
@@ -130,6 +153,12 @@ func run(ctx context.Context, cfg config, ready func(addr string)) error {
 	if err != nil {
 		return err
 	}
+	// Release file-backed catalogs on exit (a no-op for in-memory ones).
+	defer func() {
+		for _, cc := range catalogs {
+			cc.Catalog.Close()
+		}
+	}()
 	srv, err := server.New(server.Config{
 		Shards:         cfg.shards,
 		Catalogs:       catalogs,

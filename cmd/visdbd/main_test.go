@@ -3,9 +3,12 @@ package main
 import (
 	"context"
 	"math"
+	"path/filepath"
 	"testing"
 	"time"
 
+	"repro/internal/datagen"
+	"repro/internal/dataset"
 	"repro/visdb/client"
 )
 
@@ -113,5 +116,84 @@ func TestDaemonSmoke(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("daemon did not drain and exit")
+	}
+}
+
+// TestDaemonDiskCatalog: a -catalogs entry naming a segment-file path
+// serves that catalog from disk — sessions answer over it, shard stats
+// report the interior tier, and a bad path fails startup loudly.
+func TestDaemonDiskCatalog(t *testing.T) {
+	mem, err := datagen.Traffic(3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(t.TempDir(), "traffic.visdb")
+	if _, err := dataset.WriteCatalogFile(segPath, mem); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := config{
+		addr:         "127.0.0.1:0",
+		shards:       2,
+		catalogs:     "disk:" + segPath + ",synth:500",
+		seed:         7,
+		gridW:        16,
+		gridH:        16,
+		catCacheMB:   1,
+		admitMin:     -1,
+		drainTimeout: 10 * time.Second,
+	}
+	addrc := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg, func(addr string) { addrc <- addr }) }()
+	var addr string
+	select {
+	case addr = <-addrc:
+	case err := <-done:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	c := client.New("http://" + addr)
+	rctx, rcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer rcancel()
+	s, sum, err := c.NewSession(rctx, "disk",
+		`SELECT a FROM S WHERE a > 50 AND b < 40 OR c BETWEEN 20 AND 30 WEIGHT 2`, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.N != 3000 || sum.Displayed == 0 {
+		t.Fatalf("initial summary n=%d displayed=%d", sum.N, sum.Displayed)
+	}
+	// A weight drag OUTSIDE the AND subtree leaves the subtree's cached
+	// interior entry valid: the warm rerun takes the interior fast path
+	// over the file-backed catalog.
+	if sum, err = s.SetWeight(rctx, 1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Timings.SketchHits == 0 {
+		t.Fatalf("warm rerun on the disk catalog took no sketch hits: %+v", sum.Timings)
+	}
+	if err := s.Close(rctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain and exit")
+	}
+
+	// Startup must fail loudly on a dangling path.
+	bad := cfg
+	bad.catalogs = "oops:" + filepath.Join(t.TempDir(), "missing.visdb")
+	if err := run(context.Background(), bad, nil); err == nil {
+		t.Fatal("dangling catalog path did not fail startup")
 	}
 }

@@ -114,6 +114,62 @@
 // is asserted by TestRankBeforeScaleMatchesFullSortScript,
 // TestDeferredRankMatchesEagerSelection and the selection suite.
 //
+// # Columnar segments: catalogs larger than RAM
+//
+// internal/dataset stores every column as chunk-aligned segments of
+// SegmentSize = 4096 values — the same chunk size the fused evaluator
+// and the block-pruning pass already iterate in — behind a
+// segment-reader interface with two backends:
+//
+//   - In-memory (the default): segments are plain slices; Append works.
+//   - File-backed (dataset.WriteCatalogFile / OpenCatalogFile): a
+//     write-once segment-catalog file ("VSEGCAT1"; streamed with
+//     O(segment) memory, JSON footer mapping every table/field/segment
+//     to its blob, per-field min/max stats, FNV-1a content epoch).
+//     Reads go through mmap where available (linux) or os.File.ReadAt
+//     everywhere else (OpenOptions.ForceReadAt forces the fallback),
+//     into a bounded decoded-segment LRU cache — resident memory is
+//     O(cache budget), not O(catalog), and the format is immutable
+//     (Append is rejected).
+//
+// The catalog epoch flows into every structural cache key (a single
+// keying helper in internal/core builds all of them), so a regenerated
+// file can never cross-serve another file's cached vectors; in-memory
+// catalogs report epoch 0 and keep their row-count keying. Serving a
+// catalog from disk is bitwise identical to serving it from memory —
+// asserted by lockstep randomized-script replays over both backends
+// under a deliberately tiny cache (TestDiskReplayBitIdentical,
+// TestDiskCatalogReplayMatchesInMemory), race-clean in CI. visdbd
+// accepts "name:path" catalog specs (-catalog-cache-mb bounds the
+// decoded cache), visdbgen -format seg writes the files, and CSV
+// ingest streams rows chunk-by-chunk with O(chunk) peak allocation.
+//
+// # Incremental interior normalization
+//
+// With leaves cached and the root deferred, a warm rerun's remaining
+// full-array pass was the interior nodes': every AND/OR node re-ran
+// its combine pass just to re-derive its normalization range. Cached
+// runs now keep a relevance.InteriorEntry per interior node — its raw
+// combined vector plus a per-chunk equal-width histogram sketch of the
+// combined values — keyed by a structural signature over the subtree
+// (children's identities and effective weights, combiner options, NOT
+// the node's own weight, so own-weight and sibling-weight drags reuse
+// the entry; leaf identities are the leaves' full cache keys, which
+// keeps De-Morganed negations and reweighted subqueries with colliding
+// labels apart). A warm rerun serves the node's vector from the entry
+// and localizes the order statistic its normalization needs to one
+// histogram bucket, gathering candidates only from chunks whose bucket
+// count is nonzero — an exactness guard falls back to the full scan
+// whenever more than half the chunks would be touched, so the selected
+// range is always exactly the full-scan range and results stay
+// bit-identical (Options.NoInteriorSketch is the ablation gate).
+// Entries live in the private RunCache tier and promote through the
+// SharedCache's separate quarter-budget interior tier, so a second
+// session's first run already takes the fast path.
+// StageTimings.SketchHits/SketchRescans (and the wire timings)
+// attribute it; the BENCH_6.json floors fail CI if the sketch silently
+// deactivates or stops beating the sketchless baseline.
+//
 // # Shared cache: serving many sessions on one catalog
 //
 // Concurrent sessions on the same catalog attach to a core.SharedCache

@@ -68,6 +68,21 @@ type RunCache struct {
 	// starting point.
 	seedThr float64
 	seedSig string
+	// interior is the private tier of the interior-normalization cache:
+	// cached raw combined vectors of interior query-tree nodes with
+	// their quantile sketches (relevance.InteriorEntry), keyed by
+	// runKeys.interior. Like leaf entries, interior keys embed every
+	// input of the cached computation (the leaves' full cache keys, the
+	// subtree shape, child weights, kernel options), so entries never go
+	// stale; the invalidation paths drop them wholesale purely to bound
+	// memory during slider storms.
+	interior map[string]*interiorRef
+}
+
+// interiorRef is one privately held interior entry with its LRU stamp.
+type interiorRef struct {
+	e    *relevance.InteriorEntry
+	used uint64
 }
 
 // maxCacheEntries bounds the cache so pathological interaction scripts
@@ -76,6 +91,12 @@ type RunCache struct {
 // set. 64 entries comfortably covers the paper's interfaces (a handful
 // of predicates, each with its current and a few recent ranges).
 const maxCacheEntries = 64
+
+// maxInteriorEntries bounds the private interior tier. A query tree has
+// only a handful of interior nodes (one per AND/OR level), so 16 covers
+// the working set of an interaction loop with room for a few recent
+// query shapes.
+const maxInteriorEntries = 16
 
 // cacheEntry is one cached leaf. Exactly one of pd (simple conditions)
 // and dists (join, boolean-negation and subquery leaves) is set.
@@ -106,7 +127,8 @@ type cacheEntry struct {
 
 // NewRunCache creates an empty cache.
 func NewRunCache() *RunCache {
-	return &RunCache{entries: make(map[string]*cacheEntry), seedThr: math.NaN()}
+	return &RunCache{entries: make(map[string]*cacheEntry),
+		interior: make(map[string]*interiorRef), seedThr: math.NaN()}
 }
 
 // rootSeed returns the previous ranking's raw threshold for the given
@@ -218,6 +240,13 @@ func (c *RunCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// InteriorLen returns the number of privately held interior entries.
+func (c *RunCache) InteriorLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.interior)
 }
 
 // leafIndexes bundles the per-leaf acceleration structures a fetch
@@ -366,6 +395,62 @@ func (c *RunCache) buildIndexes(key string, dists []float64) leafIndexes {
 	return li
 }
 
+// interiorFetch resolves an interior-normalization entry through the
+// tiers: private hit, then shared hit (promoted into the private tier),
+// then nil (the evaluator recomputes and interiorStore fills both
+// tiers). Entries are immutable and borrowed read-only by evaluations,
+// so serving the same entry to any number of runs is safe.
+func (c *RunCache) interiorFetch(key string) *relevance.InteriorEntry {
+	c.mu.Lock()
+	if r, ok := c.interior[key]; ok {
+		r.used = c.gen
+		e := r.e
+		c.mu.Unlock()
+		return e
+	}
+	shared := c.shared
+	c.mu.Unlock()
+	if shared == nil {
+		return nil
+	}
+	e := shared.InteriorOf(key)
+	if e != nil {
+		c.storeInterior(key, e)
+	}
+	return e
+}
+
+// interiorStore records a freshly built interior entry: the shared tier
+// first (whose first-promoted entry is canonical, so concurrent
+// sessions converge on one resident copy), then the private tier.
+func (c *RunCache) interiorStore(key string, e *relevance.InteriorEntry) {
+	c.mu.Lock()
+	shared := c.shared
+	c.mu.Unlock()
+	if shared != nil {
+		e = shared.AttachInterior(key, e)
+	}
+	c.storeInterior(key, e)
+}
+
+// storeInterior places an entry in the private tier under the LRU cap.
+func (c *RunCache) storeInterior(key string, e *relevance.InteriorEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.interior[key] = &interiorRef{e: e, used: c.gen}
+	for len(c.interior) > maxInteriorEntries {
+		var oldestKey string
+		var oldest uint64
+		first := true
+		for k, r := range c.interior {
+			if first || r.used < oldest || (r.used == oldest && k < oldestKey) {
+				oldestKey, oldest, first = k, r.used, false
+			}
+		}
+		delete(c.interior, oldestKey)
+	}
+}
+
 // alloc hands out an n-sized evaluation buffer, reusing the pool when a
 // matching length is free. Buffers are fully overwritten by the
 // evaluator before any read, so no zeroing happens here.
@@ -428,6 +513,12 @@ func (c *RunCache) InvalidateCond(cond *query.Cond) {
 			delete(c.entries, k)
 		}
 	}
+	// Interior entries combining the superseded leaf are dead weight
+	// (their keys embed the old literals and can never be hit again);
+	// the private tier is small, so dropping it wholesale beats parsing
+	// leaf keys out of interior signatures. Subtrees not touching the
+	// edit re-promote from the shared tier on the next run.
+	c.clearInteriorLocked()
 	c.mu.Unlock()
 	if shared != nil {
 		shared.InvalidateCond(cond)
@@ -473,6 +564,9 @@ func (c *RunCache) Prune(q *query.Query) {
 			delete(c.entries, k)
 		}
 	}
+	// Interior entries are per query shape; a replacement query rebuilds
+	// them (or re-promotes survivors from the shared tier).
+	c.clearInteriorLocked()
 }
 
 // Clear drops every entry (the buffer pool is kept: buffer reuse is
@@ -482,17 +576,27 @@ func (c *RunCache) Clear() {
 	defer c.mu.Unlock()
 	c.clearRootSeedLocked()
 	c.entries = make(map[string]*cacheEntry)
+	c.clearInteriorLocked()
+}
+
+// clearInteriorLocked drops the private interior tier; called with the
+// mutex held by every invalidation path.
+func (c *RunCache) clearInteriorLocked() {
+	c.interior = make(map[string]*interiorRef)
 }
 
 // spaceSig fingerprints the item space a leaf vector was computed over:
-// table identities and row counts (and the cross-product cap), so a
-// catalog mutated between runs — rows appended to a table — can never
-// serve stale vectors.
+// table identities, row counts (and the cross-product cap), and the
+// catalog's segment epoch — the content hash of a file-backed catalog,
+// 0 for in-memory ones — so a catalog mutated between runs (rows
+// appended to a table, a segment file regenerated with different data)
+// can never serve stale vectors.
 func (e *Engine) spaceSig(space *itemSpace) string {
+	epoch := e.cat.Epoch()
 	if space.pairs == nil {
 		t := space.tables[0]
-		return fmt.Sprintf("T:%s:%d", t.Name(), t.NumRows())
+		return fmt.Sprintf("T:%s:%d:e%x", t.Name(), t.NumRows(), epoch)
 	}
 	lt, rt := space.tables[0], space.tables[1]
-	return fmt.Sprintf("P:%s:%d:%s:%d:%d", lt.Name(), lt.NumRows(), rt.Name(), rt.NumRows(), e.opt.MaxPairs)
+	return fmt.Sprintf("P:%s:%d:%s:%d:%d:e%x", lt.Name(), lt.NumRows(), rt.Name(), rt.NumRows(), e.opt.MaxPairs, epoch)
 }

@@ -86,6 +86,16 @@ type StageTimings struct {
 	// chunks; cold runs prune nothing (the per-leaf chunk stats that
 	// feed the bounds are built by the session cache on first reuse).
 	Pruned, Chunks int
+	// SketchHits and SketchRescans attribute the incremental interior
+	// normalization of the Evaluate stage: interior nodes whose combine
+	// pass was skipped because their raw combined vector was cached
+	// (the whole subtree's fused passes are saved), and how many
+	// evaluator chunks the entries' quantile sketches re-scanned to
+	// answer the normalization ranges exactly. A warm weight-only rerun
+	// shows SketchHits > 0 with SketchRescans a small fraction of
+	// Chunks — the measured "last full-array pass" the sketch kills.
+	// Zero for uncached runs and under Options.NoInteriorSketch.
+	SketchHits, SketchRescans int
 }
 
 // Run executes q: bind, compute per-predicate distances, combine, rank,
@@ -166,6 +176,7 @@ func (e *Engine) runBound(q *query.Query, b *query.Binding, cache *RunCache, sta
 		defer func() { cache.endRun(runOK) }()
 		res.cache = cache
 		res.cacheSig = e.spaceSig(space)
+		res.keys = runKeys{space: res.cacheSig}
 	}
 	res.Timings.Bind = time.Since(start)
 	mark := time.Now()
@@ -196,12 +207,30 @@ func (e *Engine) runBound(q *query.Query, b *query.Binding, cache *RunCache, sta
 	if cache != nil {
 		evalOpts.Alloc = cache.alloc
 		evalOpts.LazyLeaves = true
+		if !e.opt.NoInteriorSketch {
+			// Incremental interior normalization: interior nodes whose
+			// subtree signature matches a cached entry skip their fused
+			// combine pass and answer their normalization range from the
+			// entry's quantile sketch. Keys compose the evaluator's
+			// structural signature — whose leaves are the full leaf cache
+			// keys (leafIDOf), pinning item space, segment epoch and
+			// literals — so a hit can never cross data or query identity.
+			keys := res.keys
+			evalOpts.LeafID = res.leafIDOf
+			evalOpts.InteriorFetch = func(sig string) *relevance.InteriorEntry {
+				return cache.interiorFetch(keys.interior(sig))
+			}
+			evalOpts.InteriorStore = func(sig string, en *relevance.InteriorEntry) {
+				cache.interiorStore(keys.interior(sig), en)
+			}
+		}
 	}
 	eval, err := relevance.Evaluate(root, space.n, evalOpts)
 	if err != nil {
 		return nil, err
 	}
 	res.Timings.Evaluate = time.Since(mark)
+	res.Timings.SketchHits, res.Timings.SketchRescans = eval.SketchHits, eval.SketchRescans
 	res.Eval = eval
 	numPreds := len(query.Predicates(q.Where))
 	mark = time.Now()
@@ -400,16 +429,17 @@ func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, r
 		var pd *predicateData
 		var li leafIndexes
 		var err error
+		var key string
 		if res.cache != nil {
-			// The cache key is the condition's structural signature: bound
-			// table.attr plus Label (operator, literals, distance function —
-			// Label excludes the weighting factor by construction), so
-			// weight-only reruns hit unconditionally. The invalidation
-			// handle is the ORIGINAL condition's label (n, not the
-			// inverted copy c): SetRange edits and invalidates the
-			// condition as written in the query, and the two labels
+			// The cache key (runKeys.cond) is the condition's structural
+			// signature: bound table.attr plus Label (operator, literals,
+			// distance function — Label excludes the weighting factor by
+			// construction), so weight-only reruns hit unconditionally.
+			// The invalidation handle is the ORIGINAL condition's label
+			// (n, not the inverted copy c): SetRange edits and invalidates
+			// the condition as written in the query, and the two labels
 			// differ under negation.
-			key := "C|" + res.cacheSig + "|" + attr.Qualified() + "|" + c.Label()
+			key = res.keys.cond(attr.Qualified(), c.Label())
 			pd, li, err = res.cache.condFetch(key, n.Attr, n.Label(), e.opt.Arrangement == Arrange2D, compute)
 		} else {
 			pd, err = compute()
@@ -419,6 +449,9 @@ func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, r
 		}
 		node := &relevance.Node{Op: relevance.Leaf, Label: expr.Label(), Weight: expr.Weight(), Dists: pd.Raw,
 			Quantiles: li.quant, ChunkStats: li.cstats}
+		if key != "" {
+			res.setLeafID(node, key)
+		}
 		res.setNode(expr, node)
 		if orig, ok := expr.(*query.Cond); ok {
 			res.setPred(orig, pd)
@@ -532,8 +565,9 @@ func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, r
 		var dists []float64
 		var li leafIndexes
 		var err error
+		var key string
 		if res.cache != nil {
-			key := fmt.Sprintf("J|%s|%s|neg=%v", res.cacheSig, n.Label(), negated)
+			key = res.keys.join(n.Label(), negated)
 			dists, li, err = res.cache.leafFetch(key, "", n.Label(), compute)
 		} else {
 			dists, err = compute()
@@ -543,6 +577,9 @@ func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, r
 		}
 		node := &relevance.Node{Op: relevance.Leaf, Label: expr.Label(), Weight: n.Weight(), Dists: dists,
 			Quantiles: li.quant, ChunkStats: li.cstats}
+		if key != "" {
+			res.setLeafID(node, key)
+		}
 		res.setNode(expr, node)
 		return node, nil
 	case *query.SubqueryExpr:
@@ -627,8 +664,9 @@ func (e *Engine) booleanLeaf(c *query.Cond, b *query.Binding, space *itemSpace, 
 	var dists []float64
 	var li leafIndexes
 	var err error
+	var key string
 	if res.cache != nil {
-		key := fmt.Sprintf("B|%s|%s", res.cacheSig, label)
+		key = res.keys.boolean(label)
 		dists, li, err = res.cache.leafFetch(key, c.Attr, c.Label(), compute)
 	} else {
 		dists, err = compute()
@@ -638,6 +676,9 @@ func (e *Engine) booleanLeaf(c *query.Cond, b *query.Binding, space *itemSpace, 
 	}
 	node := &relevance.Node{Op: relevance.Leaf, Label: label, Weight: c.Weight(), Dists: dists,
 		Quantiles: li.quant, ChunkStats: li.cstats}
+	if key != "" {
+		res.setLeafID(node, key)
+	}
 	res.setNode(c, node)
 	return node, nil
 }
@@ -750,18 +791,14 @@ func (e *Engine) subqueryNode(sq *query.SubqueryExpr, b *query.Binding, space *i
 		}
 		return dists, nil
 	}
-	// The subquery leaf caches on the full rendered subquery (String
-	// keeps inner weighting factors, which DO change the inner combined
-	// distances and hence this leaf's vector) plus the engine options
-	// the inner evaluation depends on (budget and combine mode), so a
-	// cache shared across differently-configured engines never serves a
-	// stale vector.
+	// The subquery leaf caches on runKeys.subquery — the full rendered
+	// subquery plus the engine options the inner evaluation depends on.
 	var dists []float64
 	var li leafIndexes
 	var err error
+	var key string
 	if res.cache != nil {
-		key := fmt.Sprintf("S|%s|%d|%d|%s|neg=%v", res.cacheSig,
-			e.opt.GridW*e.opt.GridH, e.opt.Mode, sq.String(), negated)
+		key = res.keys.subquery(e.opt.GridW*e.opt.GridH, e.opt.Mode, sq.String(), negated)
 		dists, li, err = res.cache.leafFetch(key, "", sq.Label(), compute)
 	} else {
 		dists, err = compute()
@@ -771,6 +808,9 @@ func (e *Engine) subqueryNode(sq *query.SubqueryExpr, b *query.Binding, space *i
 	}
 	node := &relevance.Node{Op: relevance.Leaf, Label: sq.Label(), Weight: sq.Weight(), Dists: dists,
 		Quantiles: li.quant, ChunkStats: li.cstats}
+	if key != "" {
+		res.setLeafID(node, key)
+	}
 	res.setNode(sq, node)
 	return node, nil
 }

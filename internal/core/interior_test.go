@@ -1,0 +1,278 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+// interiorCatalog builds a single-table numeric catalog large enough to
+// span several evaluator chunks, with value distributions that give the
+// benchmark query real approximate-answer structure.
+func interiorCatalog(t *testing.T, rows int) *dataset.Catalog {
+	t.Helper()
+	cat := dataset.NewCatalog()
+	tbl, err := dataset.NewTable("S", dataset.Schema{
+		{Name: "a", Kind: dataset.KindFloat},
+		{Name: "b", Kind: dataset.KindFloat},
+		{Name: "c", Kind: dataset.KindFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		err := tbl.AppendRow(
+			dataset.Float(float64(i%101)),
+			dataset.Float(float64((i*7)%89)),
+			dataset.Float(float64((i*13)%97)),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cat.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+const interiorSQL = `SELECT a FROM S WHERE a > 50 AND b < 40 OR c BETWEEN 20 AND 30 WEIGHT 2`
+
+// TestInteriorSketchWarmRerunBitIdentical: warm cached reruns must take
+// the interior-normalization fast path (SketchHits > 0) — including
+// after a weight drag on a predicate OUTSIDE the cached subtree — and
+// stay bit-identical to both an uncached run and a FullSort run.
+func TestInteriorSketchWarmRerunBitIdentical(t *testing.T) {
+	cat := interiorCatalog(t, 2*4096+57)
+	e := New(cat, nil, Options{GridW: 16, GridH: 16})
+	full := New(cat, nil, Options{GridW: 16, GridH: 16, FullSort: true})
+	cache := NewRunCache()
+	q, err := query.Parse(interiorSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunCached(q, cache); err != nil {
+		t.Fatal(err)
+	}
+	if cache.InteriorLen() == 0 {
+		t.Fatal("cold run cached no interior entries")
+	}
+
+	// Warm rerun, unchanged query: the AND subtree must hit.
+	warm, err := e.RunCached(q, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Timings.SketchHits == 0 {
+		t.Fatal("unchanged warm rerun took no interior hits")
+	}
+	nchunks := (warm.N + 4095) / 4096
+	if warm.Timings.SketchRescans > warm.Timings.SketchHits*nchunks {
+		t.Fatalf("rescans %d exceed hits %d x chunks %d", warm.Timings.SketchRescans, warm.Timings.SketchHits, nchunks)
+	}
+
+	// Drag the weight of the predicate OUTSIDE the AND subtree (the
+	// section 5.2 slider interaction): the AND's raw combined vector is
+	// untouched, so its entry must still hit. Predicates of the OR root
+	// are [AND(a,b), c]; the BETWEEN leaf is index 1.
+	query.Predicates(q.Where)[1].SetWeight(3)
+	warm2, err := e.RunCached(q, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm2.Timings.SketchHits == 0 {
+		t.Fatal("weight drag outside the subtree lost the interior hit")
+	}
+
+	qRef, _ := query.Parse(interiorSQL)
+	query.Predicates(qRef.Where)[1].SetWeight(3)
+	ref, err := e.Run(qRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, ref, warm2)
+	fref, err := full.Run(qRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, fref, warm2)
+}
+
+// TestInteriorSharedTierPromotion: a second session attached to the
+// same SharedCache must get interior hits on its very first run — the
+// entries another session built are promoted through the shared tier —
+// with bit-identical results.
+func TestInteriorSharedTierPromotion(t *testing.T) {
+	cat := interiorCatalog(t, 4096+300)
+	e := New(cat, nil, Options{GridW: 16, GridH: 16})
+	sc := NewSharedCache(0, 0)
+
+	a := NewRunCache()
+	a.AttachShared(sc)
+	qa, _ := query.Parse(interiorSQL)
+	if _, err := e.RunCached(qa, a); err != nil {
+		t.Fatal(err)
+	}
+	if st := sc.Stats(); st.InteriorEntries == 0 || st.InteriorBytes <= 0 {
+		t.Fatalf("cold run promoted nothing to the shared interior tier: %+v", st)
+	}
+
+	b := NewRunCache()
+	b.AttachShared(sc)
+	qb, _ := query.Parse(interiorSQL)
+	resB, err := e.RunCached(qb, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.Timings.SketchHits == 0 {
+		t.Fatal("second session's first run missed the shared interior tier")
+	}
+	if resB.Timings.SharedHits == 0 {
+		t.Fatal("second session's first run missed the shared leaf tier")
+	}
+	if st := sc.Stats(); st.InteriorHits == 0 {
+		t.Fatalf("shared tier recorded no interior hits: %+v", st)
+	}
+	ref, err := e.Run(qb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, ref, resB)
+}
+
+// TestInteriorNegationDoesNotAlias: a De-Morganed negation keeps the
+// ORIGINAL condition labels on its inverted leaves, so a label-based
+// interior signature would collide with the un-negated subtree while
+// the vectors differ. The leaf-identity hook (full leaf cache keys in
+// the signature) must keep them apart — the negated query served from
+// a cache warmed by the positive one must match its own uncached run.
+func TestInteriorNegationDoesNotAlias(t *testing.T) {
+	cat := interiorCatalog(t, 4096+300)
+	e := New(cat, nil, Options{GridW: 16, GridH: 16})
+	cache := NewRunCache()
+
+	qPos, _ := query.Parse(`SELECT a FROM S WHERE (a > 50 AND b < 40) OR c > 90`)
+	if _, err := e.RunCached(qPos, cache); err != nil {
+		t.Fatal(err)
+	}
+	// NOT(a > 50 OR b < 40) De-Morgans to AND over leaves still labeled
+	// "a > 50" / "b < 40" — structurally the twin of qPos's AND subtree.
+	qNeg, _ := query.Parse(`SELECT a FROM S WHERE NOT (a > 50 OR b < 40) OR c > 90`)
+	got, err := e.RunCached(qNeg, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := e.Run(qNeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, ref, got)
+}
+
+// TestNoInteriorSketchDisables: the ablation gate must keep cached runs
+// off the interior fast path without changing any result.
+func TestNoInteriorSketchDisables(t *testing.T) {
+	cat := interiorCatalog(t, 4096+300)
+	e := New(cat, nil, Options{GridW: 16, GridH: 16, NoInteriorSketch: true})
+	cache := NewRunCache()
+	q, _ := query.Parse(interiorSQL)
+	if _, err := e.RunCached(q, cache); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := e.RunCached(q, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Timings.SketchHits != 0 || warm.Timings.SketchRescans != 0 {
+		t.Fatalf("NoInteriorSketch run reported sketch activity: %+v", warm.Timings)
+	}
+	if cache.InteriorLen() != 0 {
+		t.Fatalf("NoInteriorSketch run cached %d interior entries", cache.InteriorLen())
+	}
+	ref, err := e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, ref, warm)
+}
+
+// TestSpaceSigEmbedsEpoch: every structural cache key must carry the
+// catalog's segment epoch, so regenerated file-backed catalogs can
+// never cross-serve cached vectors; and all key formats must flow
+// through the one keying helper (tier agreement by construction).
+func TestSpaceSigEmbedsEpoch(t *testing.T) {
+	cat := smallCatalog(t)
+	e := New(cat, nil, Options{})
+	q, _ := query.Parse(`SELECT x FROM T WHERE x > 6`)
+	space, err := e.buildItemSpace(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig0 := e.spaceSig(space)
+	cat.SetEpoch(0x3039)
+	sig1 := e.spaceSig(space)
+	if sig0 == sig1 {
+		t.Fatal("epoch change did not change the space signature")
+	}
+	if !strings.Contains(sig1, "e3039") {
+		t.Fatalf("space signature %q does not embed the epoch", sig1)
+	}
+	k := runKeys{space: sig1}
+	for _, key := range []string{
+		k.cond("T.x", "x > 6"),
+		k.join("T~U", true),
+		k.boolean("NOT x > 6"),
+		k.subquery(256, 0, "EXISTS (...)", false),
+		k.interior("m0|" + sig1 + "|L:x"),
+	} {
+		if !strings.Contains(key, sig1) {
+			t.Fatalf("key %q does not embed the space signature", key)
+		}
+	}
+	// Negation is part of the join identity even though labels collapse.
+	if k.join("T~U", true) == k.join("T~U", false) {
+		t.Fatal("join keys do not distinguish negation")
+	}
+}
+
+// TestInvalidationDropsInteriorTiers: a range edit must drop the
+// affected interior entries in both tiers (memory management — stale
+// hits are impossible either way, but dead entries must not pile up).
+func TestInvalidationDropsInteriorTiers(t *testing.T) {
+	cat := interiorCatalog(t, 4096+300)
+	e := New(cat, nil, Options{GridW: 16, GridH: 16})
+	sc := NewSharedCache(0, 0)
+	cache := NewRunCache()
+	cache.AttachShared(sc)
+	q, _ := query.Parse(interiorSQL)
+	if _, err := e.RunCached(q, cache); err != nil {
+		t.Fatal(err)
+	}
+	if cache.InteriorLen() == 0 || sc.Stats().InteriorEntries == 0 {
+		t.Fatal("cold run filled no interior tiers")
+	}
+	// The edited condition is `a > 50` INSIDE the AND subtree — its
+	// label is embedded in the AND's interior key.
+	var cond *query.Cond
+	query.Walk(q.Where, func(e query.Expr) {
+		if c, ok := e.(*query.Cond); ok && cond == nil && c.Attr == "a" {
+			cond = c
+		}
+	})
+	if cond == nil {
+		t.Fatal("no condition on a")
+	}
+	cache.InvalidateCond(cond)
+	if cache.InteriorLen() != 0 {
+		t.Fatalf("private interior tier kept %d entries across invalidation", cache.InteriorLen())
+	}
+	// The shared tier drops exactly the entries combining the edited
+	// leaf (their keys embed its label); subtrees not touching it stay.
+	for key := range sc.interior {
+		if strings.Contains(key, cond.Label()) {
+			t.Fatalf("shared interior tier kept an entry over the invalidated leaf: %q", key)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/relevance"
+)
+
+// runKeys is the single point where structural cache keys are built.
+// Both cache tiers (the private RunCache and the catalog-level
+// SharedCache) key by these strings, so the formats live in one place
+// and the tiers can never drift apart. Every key embeds the item-space
+// fingerprint — table identities, row counts and the catalog's segment
+// epoch (spaceSig) — so caches shared across catalog reloads or
+// regenerated segment files can never serve vectors computed over
+// different data.
+type runKeys struct {
+	// space is the item-space fingerprint of the run (spaceSig).
+	space string
+}
+
+// cond keys a simple-condition leaf: bound table.attr plus the
+// condition label (operator, literals, distance function — Label
+// excludes the weighting factor by construction, so weight-only reruns
+// hit unconditionally).
+func (k runKeys) cond(qualified, label string) string {
+	return "C|" + k.space + "|" + qualified + "|" + label
+}
+
+// join keys a join-connection leaf; negation is part of the identity
+// (the negated vector differs, while the label does not).
+func (k runKeys) join(label string, negated bool) string {
+	return fmt.Sprintf("J|%s|%s|neg=%v", k.space, label, negated)
+}
+
+// boolean keys an exact-boolean fallback leaf (the label already
+// carries the NOT prefix when negated).
+func (k runKeys) boolean(label string) string {
+	return "B|" + k.space + "|" + label
+}
+
+// subquery keys a subquery leaf on the full rendered subquery (String
+// keeps inner weighting factors, which DO change the inner combined
+// distances and hence this leaf's vector) plus the engine options the
+// inner evaluation depends on (budget and combine mode), so a cache
+// shared across differently-configured engines never serves a stale
+// vector.
+func (k runKeys) subquery(budget int, mode relevance.CombineMode, rendered string, negated bool) string {
+	return fmt.Sprintf("S|%s|%d|%d|%s|neg=%v", k.space, budget, mode, rendered, negated)
+}
+
+// interior keys an interior node's cached raw combined vector. sig is
+// the evaluator's structural signature (fusedCtx.sig) whose leaves are
+// identified by their full leaf cache keys (EvalOptions.LeafID), so the
+// key transitively pins the item space, the segment epoch, every leaf's
+// literals and distance function, the subtree shape, the child weights
+// and the kernel options.
+func (k runKeys) interior(sig string) string {
+	return "I|" + sig
+}

@@ -81,6 +81,13 @@ type Options struct {
 	// 0 or negative selects runtime.GOMAXPROCS(0); 1 forces the serial
 	// path. Parallel and serial runs are bit-identical.
 	Workers int
+	// NoInteriorSketch disables the incremental interior-normalization
+	// cache of cached runs (the ablation/benchmark baseline): interior
+	// nodes always re-run their fused combine pass and re-select their
+	// normalization range, exactly as if no interior entry were cached.
+	// Results are bit-identical either way — the sketch only changes
+	// where the warm-rerun time goes (see StageTimings.SketchHits).
+	NoInteriorSketch bool
 }
 
 // withDefaults returns a copy with zero fields replaced by defaults.

@@ -95,9 +95,22 @@ func (e *Engine) condData(c *query.Cond, attr query.BoundAttr, space *itemSpace,
 // numericCond fills pd for numeric/time/bool attributes using the
 // distance-to-range semantics of section 3.
 func (e *Engine) numericCond(c *query.Cond, attr query.BoundAttr, t *dataset.Table, space *itemSpace, pd *predicateData, workers int) error {
-	col, err := t.FloatsOf(attr.Attr)
+	singleTable := space.pairs == nil
+	// Single-table spaces stream the column range by range straight
+	// into pd.Values through the bulk reader — file-backed columns
+	// decode a segment at a time and never materialize an n-sized
+	// copy. Pair spaces index rows non-monotonically, so they keep the
+	// materialized column (the pair count is MaxPairs-capped).
+	var col []float64
+	fr, err := t.FloatReaderOf(attr.Attr)
 	if err != nil {
 		return err
+	}
+	if !singleTable || fr == nil {
+		col, err = t.FloatsOf(attr.Attr)
+		if err != nil {
+			return err
+		}
 	}
 	min, max, okRange, err := t.MinMaxOf(attr.Attr)
 	if err != nil {
@@ -129,21 +142,28 @@ func (e *Engine) numericCond(c *query.Cond, attr query.BoundAttr, t *dataset.Tab
 	maxFinite := 0.0
 	hasBoundary := false
 	signed := pd.Signed
-	singleTable := space.pairs == nil
 	perr := parallelFor(space.n, workers, itemChunk, func(from, to int) error {
 		chunkMax := 0.0
 		chunkBoundary := false
+		if singleTable && col == nil {
+			fr.ReadFloats(pd.Values[from:to], from)
+		}
 		for i := from; i < to; i++ {
-			row := i
-			if !singleTable {
-				r, err := space.rowFor(i, attr.Table)
-				if err != nil {
-					return err
+			var v float64
+			if col == nil {
+				v = pd.Values[i]
+			} else {
+				row := i
+				if !singleTable {
+					r, err := space.rowFor(i, attr.Table)
+					if err != nil {
+						return err
+					}
+					row = r
 				}
-				row = r
+				v = col[row]
+				pd.Values[i] = v
 			}
-			v := col[row]
-			pd.Values[i] = v
 			var raw, sd float64
 			switch {
 			case math.IsNaN(v):

@@ -65,9 +65,14 @@ type Result struct {
 	relevance []float64
 	// cache and cacheSig are set on RunCached runs: the session-level
 	// predicate cache serving this run and the item-space fingerprint
-	// its keys embed.
+	// its keys embed. keys builds every structural cache key of the run
+	// from that fingerprint (see runKeys), and leafID records each
+	// relevance leaf's full cache key — the content-precise identity the
+	// interior-normalization signatures embed in place of the label.
 	cache    *RunCache
 	cacheSig string
+	keys     runKeys
+	leafID   map[*relevance.Node]string
 }
 
 // Combined returns the normalized combined distance per item — the
@@ -135,6 +140,25 @@ func (r *Result) setPred(c *query.Cond, pd *predicateData) {
 	r.mu.Lock()
 	r.preds[c] = pd
 	r.mu.Unlock()
+}
+
+// setLeafID records a leaf node's full cache key; safe under concurrent
+// sibling predicate builds.
+func (r *Result) setLeafID(n *relevance.Node, key string) {
+	r.mu.Lock()
+	if r.leafID == nil {
+		r.leafID = make(map[*relevance.Node]string)
+	}
+	r.leafID[n] = key
+	r.mu.Unlock()
+}
+
+// leafIDOf answers relevance.EvalOptions.LeafID: the leaf's full cache
+// key, or empty (label fallback) for leaves built without one.
+func (r *Result) leafIDOf(n *relevance.Node) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leafID[n]
 }
 
 // buildPlacement assigns window cells to the displayed ranks.

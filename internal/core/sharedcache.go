@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"sync"
 	"time"
 
@@ -65,7 +66,25 @@ type SharedCache struct {
 	// <= 0 admits every computed leaf.
 	admitMin time.Duration
 
+	// interior is the shared tier of the interior-normalization cache
+	// (relevance.InteriorEntry promoted from sessions' RunCaches). It
+	// has its own byte budget and LRU so interior vectors — each as
+	// large as a leaf vector plus its sketch — can never thrash the
+	// leaf tier's budget, and vice versa.
+	interior      map[string]*sharedInterior
+	intBytes      int64
+	maxIntEntries int
+	maxIntBytes   int64
+
 	hits, misses, fills, waits, rejects uint64
+	intHits, intMisses                  uint64
+}
+
+// sharedInterior is one resident interior entry with its accounting.
+type sharedInterior struct {
+	e     *relevance.InteriorEntry
+	bytes int64
+	used  uint64
 }
 
 // Default bounds for NewSharedCache: sized for a serving tier (many
@@ -166,6 +185,13 @@ func NewSharedCache(maxEntries int, maxBytes int64) *SharedCache {
 		inflight:   make(map[string]*sharedCall),
 		maxEntries: maxEntries,
 		maxBytes:   maxBytes,
+		interior:   make(map[string]*sharedInterior),
+		// The interior tier rides along at a quarter of the leaf
+		// bounds: interior entries are derived data (always rebuildable
+		// from the leaves in one pass), so they never crowd out the
+		// vectors they are derived from.
+		maxIntEntries: maxEntries/4 + 1,
+		maxIntBytes:   maxBytes / 4,
 	}
 }
 
@@ -190,6 +216,12 @@ type SharedStats struct {
 	// Entries and Bytes describe the current resident set.
 	Entries int
 	Bytes   int64
+	// InteriorHits/InteriorMisses count lookups against the shared
+	// interior-normalization tier; InteriorEntries and InteriorBytes
+	// describe its resident set (budgeted separately from the leaves).
+	InteriorHits, InteriorMisses uint64
+	InteriorEntries              int
+	InteriorBytes                int64
 }
 
 // Stats returns cumulative counters and the current size.
@@ -200,6 +232,8 @@ func (sc *SharedCache) Stats() SharedStats {
 		Hits: sc.hits, Misses: sc.misses, Fills: sc.fills, Waits: sc.waits,
 		Rejects: sc.rejects,
 		Entries: len(sc.entries), Bytes: sc.bytes,
+		InteriorHits: sc.intHits, InteriorMisses: sc.intMisses,
+		InteriorEntries: len(sc.interior), InteriorBytes: sc.intBytes,
 	}
 }
 
@@ -363,6 +397,63 @@ func (sc *SharedCache) attachIndexes(key string, q *relevance.LeafQuantiles, cs 
 	return q, cs
 }
 
+// InteriorOf returns the resident interior-normalization entry for
+// key, or nil. Entries are immutable; any number of sessions may read
+// one concurrently.
+func (sc *SharedCache) InteriorOf(key string) *relevance.InteriorEntry {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if r, ok := sc.interior[key]; ok {
+		sc.clock++
+		r.used = sc.clock
+		sc.intHits++
+		return r.e
+	}
+	sc.intMisses++
+	return nil
+}
+
+// AttachInterior promotes a freshly built interior entry to the shared
+// tier and returns the canonical one: if another session's build won
+// the race, its entry is returned (both are bit-identical — the fused
+// pass is deterministic — so either could win; keeping the first keeps
+// one copy resident and its Range memo shared).
+func (sc *SharedCache) AttachInterior(key string, e *relevance.InteriorEntry) *relevance.InteriorEntry {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if r, ok := sc.interior[key]; ok {
+		sc.clock++
+		r.used = sc.clock
+		return r.e
+	}
+	sc.clock++
+	r := &sharedInterior{e: e, bytes: int64(e.Size()), used: sc.clock}
+	sc.interior[key] = r
+	sc.intBytes += r.bytes
+	sc.evictInteriorLocked()
+	return e
+}
+
+// evictInteriorLocked is evictLocked for the interior tier's separate
+// cap and byte budget.
+func (sc *SharedCache) evictInteriorLocked() {
+	for len(sc.interior) > sc.maxIntEntries || sc.intBytes > sc.maxIntBytes {
+		if len(sc.interior) == 0 {
+			return
+		}
+		var oldestKey string
+		var oldest uint64
+		first := true
+		for k, r := range sc.interior {
+			if first || r.used < oldest || (r.used == oldest && k < oldestKey) {
+				oldestKey, oldest, first = k, r.used, false
+			}
+		}
+		sc.intBytes -= sc.interior[oldestKey].bytes
+		delete(sc.interior, oldestKey)
+	}
+}
+
 // evictLocked drops least-recently-used entries until both the entry
 // cap and the byte budget hold; called with the mutex held after every
 // store. Ties break by key so eviction order is deterministic.
@@ -407,6 +498,17 @@ func (sc *SharedCache) InvalidateCond(cond *query.Cond) {
 			delete(sc.entries, k)
 		}
 	}
+	// Interior keys embed their leaves' full cache keys, so an entry
+	// combining the superseded leaf contains its label verbatim. The
+	// containment check can over-drop (a literal string collision), but
+	// invalidation is memory management — over-dropping costs a rebuild,
+	// never correctness.
+	for k, r := range sc.interior {
+		if strings.Contains(k, label) {
+			sc.intBytes -= r.bytes
+			delete(sc.interior, k)
+		}
+	}
 }
 
 // Clear drops every entry. In-flight fills complete and store their
@@ -416,4 +518,6 @@ func (sc *SharedCache) Clear() {
 	defer sc.mu.Unlock()
 	sc.entries = make(map[string]*sharedEntry)
 	sc.bytes = 0
+	sc.interior = make(map[string]*sharedInterior)
+	sc.intBytes = 0
 }

@@ -3,9 +3,18 @@
 // if every non-empty cell parses as a number, time if every cell parses
 // as RFC 3339, bool if every cell parses as a boolean, and string
 // otherwise.
+//
+// Inference and loading are both streaming: a first pass over the
+// rows narrows the per-column kind flags without retaining any row,
+// and a second pass appends rows chunk-by-chunk into segmented
+// columns. File-based entry points (LoadInferred, ConvertFile) reopen
+// the file for the second pass, so their peak memory is O(segment) —
+// not O(rows) — which is what lets a CSV larger than RAM convert into
+// an on-disk segment catalog.
 package csvutil
 
 import (
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -17,92 +26,186 @@ import (
 )
 
 // LoadInferred reads path and returns a table with an inferred schema.
+// The file is streamed twice (infer, then load); no pass retains rows.
 func LoadInferred(path, name string) (*dataset.Table, error) {
+	schema, err := InferSchemaFile(path)
+	if err != nil {
+		return nil, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadInferred(f, name)
+	tbl, err := dataset.NewTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	if err := streamRows(f, schema, tbl.AppendRow); err != nil {
+		return nil, err
+	}
+	return tbl, nil
 }
 
-// ReadInferred is LoadInferred over a reader.
+// ReadInferred is LoadInferred over a reader. A generic reader cannot
+// rewind, so the raw bytes are buffered once and streamed twice; use
+// LoadInferred or ConvertFile for O(segment) memory.
 func ReadInferred(r io.Reader, name string) (*dataset.Table, error) {
-	cr := csv.NewReader(r)
-	records, err := cr.ReadAll()
+	raw, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("csvutil: %w", err)
 	}
-	if len(records) == 0 {
-		return nil, fmt.Errorf("csvutil: empty file")
-	}
-	header := records[0]
-	rows := records[1:]
-	schema := make(dataset.Schema, len(header))
-	for c, h := range header {
-		schema[c] = dataset.Field{Name: h, Kind: inferKind(rows, c)}
+	schema, err := InferSchema(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
 	}
 	tbl, err := dataset.NewTable(name, schema)
 	if err != nil {
 		return nil, err
 	}
-	vals := make([]dataset.Value, len(schema))
-	for i, rec := range rows {
-		if len(rec) != len(schema) {
-			return nil, fmt.Errorf("csvutil: row %d has %d cells, want %d", i+2, len(rec), len(schema))
-		}
-		for c, cell := range rec {
-			v, err := dataset.ParseValue(schema[c].Kind, cell)
-			if err != nil {
-				return nil, fmt.Errorf("csvutil: row %d column %q: %w", i+2, header[c], err)
-			}
-			vals[c] = v
-		}
-		if err := tbl.AppendRow(vals...); err != nil {
-			return nil, err
-		}
+	if err := streamRows(bytes.NewReader(raw), schema, tbl.AppendRow); err != nil {
+		return nil, err
 	}
 	return tbl, nil
 }
 
-// inferKind picks the most specific kind every non-empty cell of column
-// c supports.
-func inferKind(rows [][]string, c int) dataset.Kind {
-	isFloat, isTime, isBool := true, true, true
-	any := false
-	for _, rec := range rows {
-		if c >= len(rec) || rec[c] == "" {
-			continue
+// ConvertFile streams the CSV at path into an open segment-catalog
+// writer as one table with an inferred schema. Rows flow straight into
+// the writer's segment buffer, so peak memory stays O(segment)
+// regardless of the file size.
+func ConvertFile(path, name string, w *dataset.SegmentWriter) error {
+	schema, err := InferSchemaFile(path)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw, err := w.AddTable(name, schema)
+	if err != nil {
+		return err
+	}
+	return streamRows(f, schema, tw.AppendRow)
+}
+
+// InferSchemaFile streams path once and returns the inferred schema.
+func InferSchemaFile(path string) (dataset.Schema, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return InferSchema(f)
+}
+
+// InferSchema streams the CSV once, narrowing each column's candidate
+// kinds cell by cell without retaining rows.
+func InferSchema(r io.Reader) (dataset.Schema, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("csvutil: empty file")
 		}
-		any = true
-		cell := rec[c]
-		if isFloat {
-			if _, err := strconv.ParseFloat(cell, 64); err != nil {
-				isFloat = false
-			}
-		}
-		if isTime {
-			if _, err := time.Parse(time.RFC3339, cell); err != nil {
-				isTime = false
-			}
-		}
-		if isBool {
-			if _, err := strconv.ParseBool(cell); err != nil {
-				isBool = false
-			}
-		}
-		if !isFloat && !isTime && !isBool {
+		return nil, fmt.Errorf("csvutil: %w", err)
+	}
+	names := append([]string(nil), header...)
+	flags := make([]kindFlags, len(names))
+	for i := range flags {
+		flags[i] = kindFlags{isFloat: true, isTime: true, isBool: true}
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
 			break
 		}
+		if err != nil {
+			return nil, fmt.Errorf("csvutil: %w", err)
+		}
+		for c := range names {
+			if c >= len(rec) || rec[c] == "" {
+				continue
+			}
+			flags[c].narrow(rec[c])
+		}
 	}
+	schema := make(dataset.Schema, len(names))
+	for c, h := range names {
+		schema[c] = dataset.Field{Name: h, Kind: flags[c].kind()}
+	}
+	return schema, nil
+}
+
+// streamRows parses r's data rows per schema and hands each to append.
+func streamRows(r io.Reader, schema dataset.Schema, append func(...dataset.Value) error) error {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	if _, err := cr.Read(); err != nil { // header
+		return fmt.Errorf("csvutil: %w", err)
+	}
+	vals := make([]dataset.Value, len(schema))
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("csvutil: %w", err)
+		}
+		if len(rec) != len(schema) {
+			return fmt.Errorf("csvutil: row %d has %d cells, want %d", line, len(rec), len(schema))
+		}
+		for c, cell := range rec {
+			v, err := dataset.ParseValue(schema[c].Kind, cell)
+			if err != nil {
+				return fmt.Errorf("csvutil: row %d column %q: %w", line, schema[c].Name, err)
+			}
+			vals[c] = v
+		}
+		if err := append(vals...); err != nil {
+			return err
+		}
+	}
+}
+
+// kindFlags tracks which kinds every non-empty cell of a column has
+// supported so far.
+type kindFlags struct {
+	isFloat, isTime, isBool, any bool
+}
+
+func (k *kindFlags) narrow(cell string) {
+	k.any = true
+	if k.isFloat {
+		if _, err := strconv.ParseFloat(cell, 64); err != nil {
+			k.isFloat = false
+		}
+	}
+	if k.isTime {
+		if _, err := time.Parse(time.RFC3339, cell); err != nil {
+			k.isTime = false
+		}
+	}
+	if k.isBool {
+		if _, err := strconv.ParseBool(cell); err != nil {
+			k.isBool = false
+		}
+	}
+}
+
+// kind picks the most specific kind the column's cells all support.
+func (k *kindFlags) kind() dataset.Kind {
 	switch {
-	case !any:
+	case !k.any:
 		return dataset.KindString
-	case isTime:
+	case k.isTime:
 		return dataset.KindTime
-	case isBool:
+	case k.isBool:
 		return dataset.KindBool
-	case isFloat:
+	case k.isFloat:
 		return dataset.KindFloat
 	default:
 		return dataset.KindString

@@ -205,6 +205,16 @@ func anyNaN(vs ...float64) bool {
 type Catalog struct {
 	tables      map[string]*Table
 	connections map[string]Connection
+	// epoch fingerprints the catalog contents for structural cache
+	// keys: two catalogs with the same table names and row counts but
+	// different data (a regenerated segment file, say) must not share
+	// cached predicate vectors. File-backed catalogs carry the
+	// content hash their writer stamped into the footer; in-memory
+	// catalogs default to 0 (their identity is the process lifetime).
+	epoch uint64
+	// closer releases the backing resources of a file-backed catalog
+	// (mmap, file handle); nil for in-memory catalogs.
+	closer func() error
 }
 
 // NewCatalog returns an empty catalog.
@@ -213,6 +223,25 @@ func NewCatalog() *Catalog {
 		tables:      make(map[string]*Table),
 		connections: make(map[string]Connection),
 	}
+}
+
+// Epoch returns the catalog's content fingerprint (0 for in-memory
+// catalogs unless set).
+func (c *Catalog) Epoch() uint64 { return c.epoch }
+
+// SetEpoch overrides the catalog's content fingerprint.
+func (c *Catalog) SetEpoch(e uint64) { c.epoch = e }
+
+// Close releases the backing resources of a file-backed catalog. It is
+// a no-op for in-memory catalogs. The catalog must not be used after
+// Close.
+func (c *Catalog) Close() error {
+	if c.closer == nil {
+		return nil
+	}
+	f := c.closer
+	c.closer = nil
+	return f()
 }
 
 // AddTable registers a table; the name must be unused.

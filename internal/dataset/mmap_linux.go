@@ -1,0 +1,47 @@
+//go:build linux
+
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapReader is the linux blob backend: the whole catalog file is
+// mapped read-only and blob reads are zero-copy subslices of the
+// mapping (the decoder copies values out, so the borrowed bytes never
+// outlive a call).
+type mmapReader struct {
+	f    *os.File
+	data []byte
+}
+
+// openMmapReader maps f read-only. ok is false when the mapping is
+// unavailable (empty file, exotic filesystem) — the caller falls back
+// to the pread backend.
+func openMmapReader(f *os.File, size int64) (blobReader, bool) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, false
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false
+	}
+	return &mmapReader{f: f, data: data}, true
+}
+
+func (r *mmapReader) slice(off, n int64) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > int64(len(r.data)) {
+		return nil, fmt.Errorf("dataset: mmap read (%d,%d) out of bounds (%d)", off, n, len(r.data))
+	}
+	return r.data[off : off+n], nil
+}
+
+func (r *mmapReader) close() error {
+	err := syscall.Munmap(r.data)
+	if cerr := r.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package dataset
+
+import "os"
+
+// openMmapReader reports no mmap support off linux; OpenCatalogFile
+// falls back to the portable pread backend.
+func openMmapReader(*os.File, int64) (blobReader, bool) { return nil, false }

@@ -1,0 +1,896 @@
+package dataset
+
+import (
+	"bufio"
+	"container/list"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// This file implements the on-disk segment catalog format and its two
+// read backends. The layout is write-once, footer-based, so the writer
+// streams segments with O(segment) memory and never seeks:
+//
+//	"VSEGCAT1"                              8-byte head magic
+//	blob ...                                segment blobs, any order
+//	footer                                  JSON (segFooter)
+//	footer length                           uint64 LE
+//	"VSEGEND1"                              8-byte end magic
+//
+// A blob holds one column segment (SegmentSize rows, the final segment
+// of a table possibly fewer): a null bitmap of ceil(rows/8) bytes
+// (bit set = null) followed by the kind's payload — float64 bits,
+// int64, or unix nanoseconds as 8-byte little-endian words; bools as
+// one byte each; string kinds as (rows+1) uint32 cumulative offsets
+// followed by the concatenated bytes. The footer maps every table,
+// field and segment to its blob (offset, length) and carries the
+// per-field min/max stats and the catalog epoch (FNV-1a over all blob
+// bytes unless overridden), so opening a catalog reads the footer and
+// nothing else.
+//
+// Two format consequences are deliberate: times are stored as unix
+// nanoseconds and decode in UTC (instants outside the int64-nanosecond
+// range, roughly years 1678–2262, do not round-trip; original zone
+// offsets are normalized away), and Append on a file-backed table is
+// rejected — the format is immutable once written.
+
+const (
+	segMagic    = "VSEGCAT1"
+	segEndMagic = "VSEGEND1"
+)
+
+// segBlob locates one segment blob in the file.
+type segBlob struct {
+	Off int64 `json:"off"`
+	Len int64 `json:"len"`
+}
+
+// segField is the footer metadata of one column.
+type segField struct {
+	Name       string   `json:"name"`
+	Kind       int      `json:"kind"`
+	Categories []string `json:"categories,omitempty"`
+	// Min/Max are the column's numeric extremes (hex float strings, so
+	// infinities and exact bits survive JSON); empty when the column
+	// has no non-null, non-NaN numeric values.
+	Min  string    `json:"min,omitempty"`
+	Max  string    `json:"max,omitempty"`
+	Segs []segBlob `json:"segs"`
+}
+
+// segTable is the footer metadata of one table.
+type segTable struct {
+	Name   string     `json:"name"`
+	Rows   int        `json:"rows"`
+	Fields []segField `json:"fields"`
+}
+
+// segFooter is the JSON footer of a segment catalog file.
+type segFooter struct {
+	Epoch       uint64       `json:"epoch"`
+	Tables      []segTable   `json:"tables"`
+	Connections []Connection `json:"connections,omitempty"`
+}
+
+// --- Writer -----------------------------------------------------------
+
+// SegmentWriter streams a catalog into the on-disk segment format with
+// O(segment) memory: rows buffer per table until a full segment
+// accumulates, then its column blobs flush to the file.
+type SegmentWriter struct {
+	f      *os.File
+	w      *bufio.Writer
+	off    int64
+	hash   interface{ Write([]byte) (int, error) }
+	sum    func() uint64
+	footer segFooter
+	open   []*TableWriter
+	names  map[string]bool
+	epoch  *uint64
+	closed bool
+}
+
+// CreateSegmentCatalog creates path and returns a writer for it.
+func CreateSegmentCatalog(path string) (*SegmentWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	w := &SegmentWriter{
+		f:     f,
+		w:     bufio.NewWriterSize(f, 1<<16),
+		hash:  h,
+		sum:   h.Sum64,
+		names: make(map[string]bool),
+	}
+	if _, err := w.w.WriteString(segMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.off = int64(len(segMagic))
+	return w, nil
+}
+
+// SetEpoch overrides the content-hash epoch the footer would otherwise
+// carry.
+func (w *SegmentWriter) SetEpoch(e uint64) { w.epoch = &e }
+
+// AddConnection records a connection in the footer. Validation against
+// tables happens on open (tables may not be written yet).
+func (w *SegmentWriter) AddConnection(conn Connection) error {
+	if err := conn.Validate(); err != nil {
+		return err
+	}
+	w.footer.Connections = append(w.footer.Connections, conn)
+	return nil
+}
+
+// AddTable starts a new table; append its rows through the returned
+// TableWriter. Tables may be written concurrently only from one
+// goroutine (the writer is not synchronized).
+func (w *SegmentWriter) AddTable(name string, schema Schema) (*TableWriter, error) {
+	if w.names[name] {
+		return nil, fmt.Errorf("dataset: table %q already written", name)
+	}
+	buf, err := NewTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	w.names[name] = true
+	tw := &TableWriter{
+		w:    w,
+		buf:  buf,
+		meta: segTable{Name: name},
+		mins: make([]float64, len(schema)),
+		maxs: make([]float64, len(schema)),
+		any:  make([]bool, len(schema)),
+	}
+	for i, f := range schema {
+		tw.meta.Fields = append(tw.meta.Fields, segField{
+			Name:       f.Name,
+			Kind:       int(f.Kind),
+			Categories: append([]string(nil), f.Categories...),
+		})
+		tw.mins[i], tw.maxs[i] = math.Inf(1), math.Inf(-1)
+	}
+	w.open = append(w.open, tw)
+	return tw, nil
+}
+
+// writeBlob appends raw blob bytes and returns their location.
+func (w *SegmentWriter) writeBlob(b []byte) (segBlob, error) {
+	if _, err := w.w.Write(b); err != nil {
+		return segBlob{}, err
+	}
+	w.hash.Write(b)
+	loc := segBlob{Off: w.off, Len: int64(len(b))}
+	w.off += int64(len(b))
+	return loc, nil
+}
+
+// Close flushes every table's partial segment, writes the footer and
+// closes the file.
+func (w *SegmentWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	for _, tw := range w.open {
+		if err := tw.flush(); err != nil {
+			w.f.Close()
+			return err
+		}
+		w.footer.Tables = append(w.footer.Tables, tw.meta)
+	}
+	w.footer.Epoch = w.sum()
+	if w.epoch != nil {
+		w.footer.Epoch = *w.epoch
+	}
+	ft, err := json.Marshal(w.footer)
+	if err != nil {
+		w.f.Close()
+		return err
+	}
+	if _, err := w.w.Write(ft); err != nil {
+		w.f.Close()
+		return err
+	}
+	var tail [16]byte
+	binary.LittleEndian.PutUint64(tail[:8], uint64(len(ft)))
+	copy(tail[8:], segEndMagic)
+	if _, err := w.w.Write(tail[:]); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// TableWriter appends rows of one table to a SegmentWriter.
+type TableWriter struct {
+	w    *SegmentWriter
+	buf  *Table // holds at most one segment of rows
+	meta segTable
+	mins []float64
+	maxs []float64
+	any  []bool
+}
+
+// AppendRow validates and buffers one row, flushing a blob per column
+// whenever a full segment accumulates.
+func (tw *TableWriter) AppendRow(vals ...Value) error {
+	if err := tw.buf.AppendRow(vals...); err != nil {
+		return err
+	}
+	tw.meta.Rows++
+	for i, v := range vals {
+		if f, ok := v.AsFloat(); ok && !math.IsNaN(f) {
+			if f < tw.mins[i] {
+				tw.mins[i] = f
+			}
+			if f > tw.maxs[i] {
+				tw.maxs[i] = f
+			}
+			tw.any[i] = true
+		}
+	}
+	if tw.buf.NumRows() == SegmentSize {
+		return tw.flush()
+	}
+	return nil
+}
+
+// flush encodes and writes the buffered segment of every column.
+func (tw *TableWriter) flush() error {
+	rows := tw.buf.NumRows()
+	if rows == 0 {
+		tw.finishStats()
+		return nil
+	}
+	for i := range tw.meta.Fields {
+		blob := encodeSegment(tw.buf.ColumnAt(i), rows)
+		loc, err := tw.w.writeBlob(blob)
+		if err != nil {
+			return err
+		}
+		tw.meta.Fields[i].Segs = append(tw.meta.Fields[i].Segs, loc)
+	}
+	fresh, err := NewTable(tw.buf.Name(), tw.buf.Schema())
+	if err != nil {
+		return err
+	}
+	tw.buf = fresh
+	tw.finishStats()
+	return nil
+}
+
+// finishStats folds the running extremes into the footer metadata.
+func (tw *TableWriter) finishStats() {
+	for i := range tw.meta.Fields {
+		if tw.any[i] {
+			tw.meta.Fields[i].Min = strconv.FormatFloat(tw.mins[i], 'x', -1, 64)
+			tw.meta.Fields[i].Max = strconv.FormatFloat(tw.maxs[i], 'x', -1, 64)
+		}
+	}
+}
+
+// WriteCatalogFile streams an in-memory catalog into a segment file at
+// path and returns the epoch stamped into its footer.
+func WriteCatalogFile(path string, cat *Catalog) (uint64, error) {
+	w, err := CreateSegmentCatalog(path)
+	if err != nil {
+		return 0, err
+	}
+	for _, name := range cat.TableNames() {
+		t, err := cat.Table(name)
+		if err != nil {
+			w.Close()
+			return 0, err
+		}
+		tw, err := w.AddTable(name, t.Schema())
+		if err != nil {
+			w.Close()
+			return 0, err
+		}
+		for r := 0; r < t.NumRows(); r++ {
+			if err := tw.AppendRow(t.Row(r)...); err != nil {
+				w.Close()
+				return 0, err
+			}
+		}
+	}
+	for _, name := range cat.ConnectionNames() {
+		conn, err := cat.Connection(name)
+		if err != nil {
+			w.Close()
+			return 0, err
+		}
+		if err := w.AddConnection(conn); err != nil {
+			w.Close()
+			return 0, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	epoch, err := peekEpoch(path)
+	if err != nil {
+		return 0, err
+	}
+	return epoch, nil
+}
+
+// peekEpoch reads only the footer of a segment file and returns its
+// epoch.
+func peekEpoch(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	ft, err := readFooter(f)
+	if err != nil {
+		return 0, err
+	}
+	return ft.Epoch, nil
+}
+
+// encodeSegment serializes the first (only) buffered segment of an
+// in-memory column as a blob.
+func encodeSegment(c Column, rows int) []byte {
+	bm := make([]byte, (rows+7)/8)
+	for i := 0; i < rows; i++ {
+		if c.IsNull(i) {
+			bm[i>>3] |= 1 << (i & 7)
+		}
+	}
+	out := bm
+	var word [8]byte
+	put := func(u uint64) {
+		binary.LittleEndian.PutUint64(word[:], u)
+		out = append(out, word[:]...)
+	}
+	switch col := c.(type) {
+	case *FloatColumn:
+		vals := col.vals.seg(0)
+		for i := 0; i < rows; i++ {
+			put(math.Float64bits(vals[i]))
+		}
+	case *IntColumn:
+		vals := col.vals.seg(0)
+		for i := 0; i < rows; i++ {
+			put(uint64(vals[i]))
+		}
+	case *TimeColumn:
+		vals := col.vals.seg(0)
+		for i := 0; i < rows; i++ {
+			if col.nulls.seg(0)[i] {
+				put(0)
+			} else {
+				put(uint64(vals[i].UnixNano()))
+			}
+		}
+	case *BoolColumn:
+		vals := col.vals.seg(0)
+		for i := 0; i < rows; i++ {
+			if vals[i] {
+				out = append(out, 1)
+			} else {
+				out = append(out, 0)
+			}
+		}
+	case *StringColumn:
+		vals := col.vals.seg(0)
+		var off [4]byte
+		total := uint32(0)
+		binary.LittleEndian.PutUint32(off[:], 0)
+		out = append(out, off[:]...)
+		for i := 0; i < rows; i++ {
+			total += uint32(len(vals[i]))
+			binary.LittleEndian.PutUint32(off[:], total)
+			out = append(out, off[:]...)
+		}
+		for i := 0; i < rows; i++ {
+			out = append(out, vals[i]...)
+		}
+	default:
+		panic(fmt.Sprintf("dataset: cannot encode column type %T", c))
+	}
+	return out
+}
+
+// --- Reader -----------------------------------------------------------
+
+// OpenOptions configures OpenCatalogFile.
+type OpenOptions struct {
+	// ForceReadAt disables the mmap backend even where available, so
+	// reads go through os.File.ReadAt (the portable fallback).
+	ForceReadAt bool
+	// CacheBytes bounds the decoded-segment cache shared by all
+	// columns of the catalog; 0 selects the 64 MiB default. The cache
+	// always retains at least one segment, so arbitrarily small
+	// budgets degrade to re-decoding, never to failure.
+	CacheBytes int64
+}
+
+// OpenCatalogFile opens a segment catalog written by SegmentWriter.
+// The returned catalog serves reads directly from the file through a
+// bounded decoded-segment cache — resident memory is O(cache budget),
+// not O(catalog). Close the catalog to release the backing file.
+func OpenCatalogFile(path string, opts OpenOptions) (*Catalog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	ft, err := readFooter(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	var br blobReader
+	if !opts.ForceReadAt {
+		br, _ = openMmapReader(f, fi.Size())
+	}
+	if br == nil {
+		br = &readAtReader{f: f}
+	}
+	budget := opts.CacheBytes
+	if budget <= 0 {
+		budget = 64 << 20
+	}
+	src := &fileSource{
+		br:       br,
+		cache:    make(map[segKey]*list.Element),
+		lru:      list.New(),
+		maxBytes: budget,
+	}
+	cat := NewCatalog()
+	cat.epoch = ft.Epoch
+	cat.closer = src.close
+	colID := 0
+	for _, tm := range ft.Tables {
+		schema := make(Schema, len(tm.Fields))
+		cols := make([]Column, len(tm.Fields))
+		for i, fm := range tm.Fields {
+			schema[i] = Field{Name: fm.Name, Kind: Kind(fm.Kind), Categories: fm.Categories}
+			fc := &fileColumn{
+				src:  src,
+				id:   colID,
+				kind: Kind(fm.Kind),
+				rows: tm.Rows,
+				segs: fm.Segs,
+			}
+			colID++
+			if fm.Min != "" && fm.Max != "" {
+				min, err1 := strconv.ParseFloat(fm.Min, 64)
+				max, err2 := strconv.ParseFloat(fm.Max, 64)
+				if err1 == nil && err2 == nil {
+					fc.min, fc.max, fc.stats = min, max, true
+				}
+			}
+			if err := fc.validate(tm.Name, fm.Name, fi.Size()); err != nil {
+				src.close()
+				return nil, err
+			}
+			cols[i] = fc
+		}
+		if err := schema.Validate(); err != nil {
+			src.close()
+			return nil, fmt.Errorf("dataset: %s: table %q: %w", path, tm.Name, err)
+		}
+		t := &Table{name: tm.Name, schema: schema, cols: cols}
+		if err := cat.AddTable(t); err != nil {
+			src.close()
+			return nil, err
+		}
+	}
+	for _, conn := range ft.Connections {
+		if err := cat.AddConnection(conn); err != nil {
+			src.close()
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
+// readFooter locates and parses the footer of a segment file.
+func readFooter(f *os.File) (*segFooter, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size < int64(len(segMagic))+16 {
+		return nil, fmt.Errorf("dataset: %s: too short for a segment catalog", f.Name())
+	}
+	head := make([]byte, len(segMagic))
+	if _, err := f.ReadAt(head, 0); err != nil {
+		return nil, err
+	}
+	if string(head) != segMagic {
+		return nil, fmt.Errorf("dataset: %s: not a segment catalog (bad magic)", f.Name())
+	}
+	var tail [16]byte
+	if _, err := f.ReadAt(tail[:], size-16); err != nil {
+		return nil, err
+	}
+	if string(tail[8:]) != segEndMagic {
+		return nil, fmt.Errorf("dataset: %s: truncated segment catalog (bad end magic)", f.Name())
+	}
+	ftLen := int64(binary.LittleEndian.Uint64(tail[:8]))
+	if ftLen <= 0 || ftLen > size-16-int64(len(segMagic)) {
+		return nil, fmt.Errorf("dataset: %s: corrupt footer length %d", f.Name(), ftLen)
+	}
+	buf := make([]byte, ftLen)
+	if _, err := f.ReadAt(buf, size-16-ftLen); err != nil {
+		return nil, err
+	}
+	var ft segFooter
+	if err := json.Unmarshal(buf, &ft); err != nil {
+		return nil, fmt.Errorf("dataset: %s: corrupt footer: %w", f.Name(), err)
+	}
+	return &ft, nil
+}
+
+// blobReader reads a byte range of the catalog file. slice may return
+// memory borrowed from an mmap window — callers must copy out before
+// the source closes and must not mutate it.
+type blobReader interface {
+	slice(off, n int64) ([]byte, error)
+	close() error
+}
+
+// readAtReader is the portable backend: plain pread into fresh
+// buffers.
+type readAtReader struct{ f *os.File }
+
+func (r *readAtReader) slice(off, n int64) ([]byte, error) {
+	buf := make([]byte, n)
+	if _, err := r.f.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (r *readAtReader) close() error { return r.f.Close() }
+
+// segKey identifies one decoded segment in the cache.
+type segKey struct {
+	col int
+	seg int
+}
+
+// decodedSeg is one column segment decoded into native slices. Exactly
+// one of the payload slices is set, per the column kind.
+type decodedSeg struct {
+	nulls  []bool
+	floats []float64
+	ints   []int64
+	times  []time.Time
+	bools  []bool
+	strs   []string
+	bytes  int64
+}
+
+type cacheSlot struct {
+	key segKey
+	seg *decodedSeg
+}
+
+// fileSource is the shared read state of one open catalog file: the
+// backend and the bounded decoded-segment LRU. Concurrent sessions
+// share it; the mutex guards only the cache bookkeeping — decoding
+// happens outside it (a rare race decodes a segment twice, which is
+// benign).
+type fileSource struct {
+	br       blobReader
+	mu       sync.Mutex
+	cache    map[segKey]*list.Element
+	lru      *list.List
+	bytes    int64
+	maxBytes int64
+}
+
+func (s *fileSource) close() error { return s.br.close() }
+
+// segment returns the decoded segment si of column c, from cache or
+// disk. Decode failures panic: blob geometry is validated at open, so
+// a failure here means the file changed or the medium failed beneath
+// an open catalog.
+func (s *fileSource) segment(c *fileColumn, si int) *decodedSeg {
+	key := segKey{c.id, si}
+	s.mu.Lock()
+	if el, ok := s.cache[key]; ok {
+		s.lru.MoveToFront(el)
+		seg := el.Value.(*cacheSlot).seg
+		s.mu.Unlock()
+		return seg
+	}
+	s.mu.Unlock()
+
+	seg, err := s.decode(c, si)
+	if err != nil {
+		panic(fmt.Sprintf("dataset: reading segment %d of column %d: %v", si, c.id, err))
+	}
+
+	s.mu.Lock()
+	if el, ok := s.cache[key]; ok {
+		s.lru.MoveToFront(el)
+		seg = el.Value.(*cacheSlot).seg
+		s.mu.Unlock()
+		return seg
+	}
+	el := s.lru.PushFront(&cacheSlot{key: key, seg: seg})
+	s.cache[key] = el
+	s.bytes += seg.bytes
+	for s.bytes > s.maxBytes && s.lru.Len() > 1 {
+		back := s.lru.Back()
+		slot := back.Value.(*cacheSlot)
+		s.lru.Remove(back)
+		delete(s.cache, slot.key)
+		s.bytes -= slot.seg.bytes
+	}
+	s.mu.Unlock()
+	return seg
+}
+
+// decode reads and decodes one segment blob.
+func (s *fileSource) decode(c *fileColumn, si int) (*decodedSeg, error) {
+	rows := c.segRows(si)
+	loc := c.segs[si]
+	raw, err := s.br.slice(loc.Off, loc.Len)
+	if err != nil {
+		return nil, err
+	}
+	bm := (rows + 7) / 8
+	if len(raw) < bm {
+		return nil, fmt.Errorf("blob shorter than its null bitmap")
+	}
+	seg := &decodedSeg{nulls: make([]bool, rows)}
+	for i := 0; i < rows; i++ {
+		seg.nulls[i] = raw[i>>3]&(1<<(i&7)) != 0
+	}
+	seg.bytes = int64(rows)
+	payload := raw[bm:]
+	word := func(i int) uint64 {
+		return binary.LittleEndian.Uint64(payload[i*8:])
+	}
+	switch c.kind {
+	case KindFloat:
+		if len(payload) != rows*8 {
+			return nil, fmt.Errorf("float payload is %d bytes, want %d", len(payload), rows*8)
+		}
+		seg.floats = make([]float64, rows)
+		for i := range seg.floats {
+			seg.floats[i] = math.Float64frombits(word(i))
+		}
+		seg.bytes += int64(rows * 8)
+	case KindInt:
+		if len(payload) != rows*8 {
+			return nil, fmt.Errorf("int payload is %d bytes, want %d", len(payload), rows*8)
+		}
+		seg.ints = make([]int64, rows)
+		for i := range seg.ints {
+			seg.ints[i] = int64(word(i))
+		}
+		seg.bytes += int64(rows * 8)
+	case KindTime:
+		if len(payload) != rows*8 {
+			return nil, fmt.Errorf("time payload is %d bytes, want %d", len(payload), rows*8)
+		}
+		seg.times = make([]time.Time, rows)
+		for i := range seg.times {
+			if !seg.nulls[i] {
+				seg.times[i] = time.Unix(0, int64(word(i))).UTC()
+			}
+		}
+		seg.bytes += int64(rows * 24)
+	case KindBool:
+		if len(payload) != rows {
+			return nil, fmt.Errorf("bool payload is %d bytes, want %d", len(payload), rows)
+		}
+		seg.bools = make([]bool, rows)
+		for i := range seg.bools {
+			seg.bools[i] = payload[i] != 0
+		}
+		seg.bytes += int64(rows)
+	default: // string kinds
+		offBytes := (rows + 1) * 4
+		if len(payload) < offBytes {
+			return nil, fmt.Errorf("string payload is %d bytes, want at least %d", len(payload), offBytes)
+		}
+		data := payload[offBytes:]
+		seg.strs = make([]string, rows)
+		prev := binary.LittleEndian.Uint32(payload)
+		if prev != 0 {
+			return nil, fmt.Errorf("string offsets do not start at 0")
+		}
+		for i := 0; i < rows; i++ {
+			next := binary.LittleEndian.Uint32(payload[(i+1)*4:])
+			if next < prev || int64(next) > int64(len(data)) {
+				return nil, fmt.Errorf("string offsets corrupt at row %d", i)
+			}
+			seg.strs[i] = string(data[prev:next])
+			seg.bytes += int64(next - prev)
+			prev = next
+		}
+		seg.bytes += int64(rows * 16)
+	}
+	return seg, nil
+}
+
+// fileColumn is a read-only column served from a segment catalog file.
+type fileColumn struct {
+	src      *fileSource
+	id       int
+	kind     Kind
+	rows     int
+	segs     []segBlob
+	min, max float64
+	stats    bool
+}
+
+func (c *fileColumn) readOnlyColumn() {}
+
+// validate checks the column's blob geometry against the file size, so
+// serving never reads out of bounds.
+func (c *fileColumn) validate(table, field string, fileSize int64) error {
+	wantSegs := (c.rows + SegmentSize - 1) / SegmentSize
+	if len(c.segs) != wantSegs {
+		return fmt.Errorf("dataset: table %q field %q: %d segments for %d rows, want %d",
+			table, field, len(c.segs), c.rows, wantSegs)
+	}
+	for si, loc := range c.segs {
+		rows := c.segRows(si)
+		minLen := int64((rows+7)/8) + payloadSize(c.kind, rows)
+		if loc.Off < int64(len(segMagic)) || loc.Len < minLen || loc.Off+loc.Len > fileSize {
+			return fmt.Errorf("dataset: table %q field %q segment %d: blob (%d,%d) out of bounds",
+				table, field, si, loc.Off, loc.Len)
+		}
+	}
+	return nil
+}
+
+// payloadSize is the minimum payload size of a kind (exact for
+// fixed-width kinds, the offset table alone for strings).
+func payloadSize(k Kind, rows int) int64 {
+	switch k {
+	case KindFloat, KindInt, KindTime:
+		return int64(rows * 8)
+	case KindBool:
+		return int64(rows)
+	default:
+		return int64((rows + 1) * 4)
+	}
+}
+
+// segRows returns the row count of segment si.
+func (c *fileColumn) segRows(si int) int {
+	if si < len(c.segs)-1 {
+		return SegmentSize
+	}
+	r := c.rows - si*SegmentSize
+	return r
+}
+
+// Kind implements Column.
+func (c *fileColumn) Kind() Kind { return c.kind }
+
+// Len implements Column.
+func (c *fileColumn) Len() int { return c.rows }
+
+// Append implements Column; file-backed columns are immutable.
+func (c *fileColumn) Append(Value) error {
+	return fmt.Errorf("dataset: file-backed column is read-only")
+}
+
+// IsNull implements Column.
+func (c *fileColumn) IsNull(i int) bool {
+	return c.src.segment(c, i>>segShift).nulls[i&segMask]
+}
+
+// Value implements Column.
+func (c *fileColumn) Value(i int) Value {
+	seg := c.src.segment(c, i>>segShift)
+	off := i & segMask
+	if seg.nulls[off] {
+		return Null(c.kind)
+	}
+	switch c.kind {
+	case KindFloat:
+		return Float(seg.floats[off])
+	case KindInt:
+		return Int(seg.ints[off])
+	case KindTime:
+		return Time(seg.times[off])
+	case KindBool:
+		return Bool(seg.bools[off])
+	default:
+		return Value{Kind: c.kind, S: seg.strs[off]}
+	}
+}
+
+// MinMax implements MinMaxer from the footer stats.
+func (c *fileColumn) MinMax() (min, max float64, ok bool) {
+	return c.min, c.max, c.stats
+}
+
+// ReadFloats implements FloatReader. Each covered segment decodes (or
+// comes from the cache) once; the coercions match Value.AsFloat bit
+// for bit, which is what makes file-backed replay identical to
+// in-memory.
+func (c *fileColumn) ReadFloats(dst []float64, from int) {
+	readSegmented(dst, from, func(dst []float64, si, lo, hi int) {
+		seg := c.src.segment(c, si)
+		switch c.kind {
+		case KindFloat:
+			copy(dst, seg.floats[lo:hi])
+		case KindInt:
+			for i := lo; i < hi; i++ {
+				if seg.nulls[i] {
+					dst[i-lo] = math.NaN()
+				} else {
+					dst[i-lo] = float64(seg.ints[i])
+				}
+			}
+		case KindTime:
+			for i := lo; i < hi; i++ {
+				if seg.nulls[i] {
+					dst[i-lo] = math.NaN()
+				} else {
+					dst[i-lo] = float64(seg.times[i].Unix())
+				}
+			}
+		case KindBool:
+			for i := lo; i < hi; i++ {
+				switch {
+				case seg.nulls[i]:
+					dst[i-lo] = math.NaN()
+				case seg.bools[i]:
+					dst[i-lo] = 1
+				default:
+					dst[i-lo] = 0
+				}
+			}
+		default:
+			for i := lo; i < hi; i++ {
+				dst[i-lo] = math.NaN()
+			}
+		}
+	})
+}
+
+// CacheStats reports the decoded-segment cache occupancy of a
+// file-backed catalog (zeros for in-memory catalogs) — the observable
+// that lets tests pin "resident memory stays bounded".
+func (c *Catalog) CacheStats() (segments int, bytes int64) {
+	for _, name := range c.TableNames() {
+		t := c.tables[name]
+		for _, col := range t.cols {
+			if fc, ok := col.(*fileColumn); ok {
+				fc.src.mu.Lock()
+				segments = fc.src.lru.Len()
+				bytes = fc.src.bytes
+				fc.src.mu.Unlock()
+				return segments, bytes
+			}
+		}
+	}
+	return 0, 0
+}

@@ -90,9 +90,15 @@ func (t *Table) NumCols() int { return len(t.cols) }
 
 // AppendRow appends one row; vals must match the schema in count and
 // kinds. On a kind mismatch the row is not partially applied.
+// File-backed tables are immutable and reject appends.
 func (t *Table) AppendRow(vals ...Value) error {
 	if len(vals) != len(t.cols) {
 		return fmt.Errorf("dataset: table %s: row has %d values, want %d", t.name, len(vals), len(t.cols))
+	}
+	if len(t.cols) > 0 {
+		if _, ro := t.cols[0].(readOnly); ro {
+			return fmt.Errorf("dataset: table %s is file-backed and read-only", t.name)
+		}
 	}
 	for i, v := range vals {
 		if v.Null {
@@ -155,21 +161,19 @@ func (t *Table) Row(i int) []Value {
 }
 
 // FloatsOf streams the named column as float64s (NaN for nulls and
-// non-coercible kinds). It is the bulk accessor the distance pipeline
-// uses.
+// non-coercible kinds). It is the bulk materializing accessor; callers
+// that can consume a row range at a time should use FloatReaderOf
+// instead, which keeps file-backed columns at O(segment) resident.
 func (t *Table) FloatsOf(name string) ([]float64, error) {
 	c, err := t.Column(name)
 	if err != nil {
 		return nil, err
 	}
-	if fc, ok := c.(*FloatColumn); ok {
-		// Fast path: already a float column; copy to keep callers from
-		// aliasing internal storage.
-		out := make([]float64, fc.Len())
-		copy(out, fc.Floats())
+	out := make([]float64, c.Len())
+	if fr, ok := c.(FloatReader); ok {
+		fr.ReadFloats(out, 0)
 		return out, nil
 	}
-	out := make([]float64, c.Len())
 	for i := range out {
 		f, ok := c.Value(i).AsFloat()
 		if !ok {
@@ -180,27 +184,68 @@ func (t *Table) FloatsOf(name string) ([]float64, error) {
 	return out, nil
 }
 
+// FloatReaderOf returns the named column's bulk float reader, or nil
+// for kinds without a numeric coercion (strings). The returned reader
+// coerces exactly like FloatsOf; reading range by range is what lets
+// the predicate pipeline evaluate a file-backed catalog without ever
+// materializing an n-sized column copy.
+func (t *Table) FloatReaderOf(name string) (FloatReader, error) {
+	c, err := t.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	fr, _ := c.(FloatReader)
+	return fr, nil
+}
+
 // MinMaxOf returns the minimum and maximum non-null coerced value of a
 // numeric column; ok is false when the column has no non-null values.
 // The query-modification sliders display these bounds "to give the user
-// a feeling for useful query values" (section 4.3).
+// a feeling for useful query values" (section 4.3). File-backed columns
+// answer from their footer stats without touching data; in-memory
+// columns stream with O(segment) scratch.
 func (t *Table) MinMaxOf(name string) (min, max float64, ok bool, err error) {
-	fs, err := t.FloatsOf(name)
+	c, err := t.Column(name)
 	if err != nil {
 		return 0, 0, false, err
 	}
+	if mm, isMM := c.(MinMaxer); isMM {
+		min, max, ok = mm.MinMax()
+		return min, max, ok, nil
+	}
 	min, max = math.Inf(1), math.Inf(-1)
-	for _, f := range fs {
-		if math.IsNaN(f) {
-			continue
+	scan := func(fs []float64) {
+		for _, f := range fs {
+			if math.IsNaN(f) {
+				continue
+			}
+			if f < min {
+				min = f
+			}
+			if f > max {
+				max = f
+			}
+			ok = true
 		}
-		if f < min {
-			min = f
+	}
+	if fr, isFR := c.(FloatReader); isFR {
+		var buf [SegmentSize]float64
+		for from, n := 0, c.Len(); from < n; from += SegmentSize {
+			m := n - from
+			if m > SegmentSize {
+				m = SegmentSize
+			}
+			fr.ReadFloats(buf[:m], from)
+			scan(buf[:m])
 		}
-		if f > max {
-			max = f
+	} else {
+		for i, n := 0, c.Len(); i < n; i++ {
+			f, fok := c.Value(i).AsFloat()
+			if !fok {
+				continue
+			}
+			scan([]float64{f})
 		}
-		ok = true
 	}
 	if !ok {
 		return 0, 0, false, nil

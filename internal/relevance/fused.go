@@ -67,10 +67,11 @@ func evaluateFused(root *Node, n int, opts EvalOptions) (*Result, error) {
 	}
 	// Finalize the root: its combined vector scales in place (the
 	// buffer is ctx-owned); a leaf root scales into a fresh buffer,
-	// since node.Dists belongs to the caller. The root always
+	// since node.Dists belongs to the caller, and so does a borrowed
+	// root (an interior cache hit's read-only vector). The root always
 	// materializes — Combined is the interface's primary output.
 	out := vec
-	if root.Op == Leaf {
+	if root.Op == Leaf || ctx.res.borrowed[root] {
 		out = ctx.alloc()
 	}
 	ctx.forChunks(func(_, _, lo, hi int) {
@@ -94,6 +95,10 @@ type fusedCtx struct {
 	// the root is deferred: the block-pruning bounds of the root fold
 	// the chunk minima (and NaN counts) of its interior children.
 	nodeScans map[*Node][]rangeScan
+	// sigs/optsSig memoize the interior cache signatures (interior.go);
+	// populated only when the Interior hooks are set.
+	sigs    map[*Node]string
+	optsSig string
 }
 
 // alloc returns an n-sized output buffer, from the caller's pool when
@@ -140,6 +145,22 @@ func (c *fusedCtx) eval(node *Node) ([]float64, NormParams, error) {
 			// Match CombineLp's validation (NaN compares unequal to itself).
 			return nil, NormParams{}, fmt.Errorf("relevance: Lp needs p >= 1, got %v", c.opts.LpP)
 		}
+		var sig string
+		if c.opts.InteriorFetch != nil || c.opts.InteriorStore != nil {
+			sig = c.sig(node)
+		}
+		if c.opts.InteriorFetch != nil {
+			if e := c.opts.InteriorFetch(sig); c.entryFits(e) {
+				// The subtree's raw combined vector is cached: skip the
+				// whole subtree's fused passes, borrow the vectors
+				// read-only, and take the normalization ranges from the
+				// entries' sketches — provided every skipped descendant
+				// stays materializable from its own entry.
+				if entries, ok := c.collectSubtreeEntries(node); ok {
+					return c.useInteriorEntry(node, e, entries)
+				}
+			}
+		}
 		k := len(node.Children)
 		raw := make([][]float64, k)    // child vectors, unscaled
 		scaled := make([][]float64, k) // materialized destination, nil for lazy leaves
@@ -157,6 +178,12 @@ func (c *fusedCtx) eval(node *Node) ([]float64, NormParams, error) {
 			}
 			weights[j] = w
 			switch {
+			case child.Op != Leaf && c.res.borrowed[child]:
+				// A borrowed interior child (cache hit) is read-only:
+				// scale into a fresh buffer and re-point ByNode at it —
+				// the same final state the in-place path reaches.
+				scaled[j] = c.alloc()
+				c.res.ByNode[child] = scaled[j]
 			case child.Op != Leaf:
 				// Interior children finalize in place: their ByNode
 				// buffer holds the raw combined vector until this pass
@@ -229,6 +256,13 @@ func (c *fusedCtx) eval(node *Node) ([]float64, NormParams, error) {
 		stats := newRangeScan()
 		for _, st := range chunkStats {
 			stats.merge(st)
+		}
+		if c.opts.InteriorStore != nil {
+			// Cache the RAW vector (out is scaled in place by the parent
+			// later; the entry copies it) with its per-chunk scans and
+			// sketch, so the next structurally identical rerun skips this
+			// whole pass.
+			c.opts.InteriorStore(sig, newInteriorEntry(out, chunkStats, stats))
 		}
 		c.res.ByNode[node] = out
 		return out, rangeOf(stats, out, c.keepOf(node)), nil

@@ -119,6 +119,31 @@ type EvalOptions struct {
 	// finite/infinite classification of a value (pathological weights
 	// overflowing the raw domain).
 	DeferRoot bool
+	// InteriorFetch, when non-nil, is consulted before every interior
+	// node's combine pass with the node's cache signature (structure,
+	// leaf labels, child weights, kernel options — see fusedCtx.sig). A
+	// matching entry skips the pass entirely: the node's raw combined
+	// vector is BORROWED read-only from the entry, its per-chunk scans
+	// feed block pruning, and its normalization range comes from the
+	// entry's exact quantile sketch. Results are bit-identical to the
+	// sketchless evaluation; Result.SketchHits/SketchRescans attribute
+	// the reuse. Callers own key scoping: a fetch must only return
+	// entries built over the same leaf data (same dataset epoch, same
+	// predicate distance vectors).
+	InteriorFetch func(sig string) *InteriorEntry
+	// InteriorStore, when non-nil, receives a freshly built entry for
+	// every interior node this evaluation computed (same signatures as
+	// InteriorFetch). The entry holds a private copy of the raw vector
+	// and is safe to share across evaluations and sessions.
+	InteriorStore func(sig string, e *InteriorEntry)
+	// LeafID, when non-nil, supplies the leaf identity the interior
+	// signatures embed in place of Node.Label (an empty return falls
+	// back to the label). Callers whose labels are not injective over
+	// leaf CONTENT — e.g. a negated predicate keeps the un-negated
+	// label while its vector differs — must provide it; the engine
+	// passes each leaf's full cache key, which pins the item space,
+	// catalog epoch, literals, negation and distance function.
+	LeafID func(n *Node) string
 }
 
 // Result carries the evaluated tree: the per-node normalized distance
@@ -133,13 +158,37 @@ type Result struct {
 	Combined []float64
 	ByNode   map[*Node][]float64
 
-	mu    sync.Mutex
-	lazy  map[*Node]NormParams // un-materialized leaves: params over node.Dists
-	alloc func(n int) []float64
-	n     int
+	// SketchHits counts interior nodes whose combine pass was skipped
+	// via EvalOptions.InteriorFetch; SketchRescans counts the chunks
+	// the entries' quantile sketches re-scanned to answer the
+	// normalization ranges exactly (0 when every answer was memoized
+	// or O(1), the full chunk count when a guard fell back to the
+	// reference selection).
+	SketchHits    int
+	SketchRescans int
+
+	mu   sync.Mutex
+	lazy map[*Node]NormParams // un-materialized leaves: params over node.Dists
+	// lazyInt holds skipped interior descendants of a cache hit: their
+	// borrowed raw vectors and params, materialized by Vec on demand.
+	lazyInt map[*Node]lazyInterior
+	alloc   func(n int) []float64
+	n       int
+	// borrowed marks nodes whose ByNode vector is a cache entry's
+	// read-only raw vector (an InteriorFetch hit): finalization must
+	// scale into a fresh buffer, never in place.
+	borrowed map[*Node]bool
 	// root is the deferred rank-before-scale state (nil when the root
 	// was finalized eagerly).
 	root *rootDefer
+}
+
+// markBorrowed records that node's ByNode vector is borrowed read-only.
+func (r *Result) markBorrowed(node *Node) {
+	if r.borrowed == nil {
+		r.borrowed = make(map[*Node]bool)
+	}
+	r.borrowed[node] = true
 }
 
 // Deferred reports whether the root is evaluated rank-before-scale:
@@ -163,16 +212,34 @@ func (r *Result) Vec(node *Node) []float64 {
 			// A raw interior child of the deferred root: the root's raw
 			// chunks need this child's raw values, so they materialize
 			// first; then the child finalizes in place exactly like the
-			// eager root pass would have.
+			// eager root pass would have. A borrowed vector (interior
+			// cache hit) is read-only — scale into a fresh buffer.
 			r.root.ensureAllRaw()
 			v := r.ByNode[node]
-			applyRange(v, v, p)
+			if r.borrowed[node] {
+				out := r.allocVec()
+				applyRange(out, v, p)
+				r.ByNode[node] = out
+				v = out
+			} else {
+				applyRange(v, v, p)
+			}
 			delete(r.root.pending, node)
 			return v
 		}
 	}
 	if v, ok := r.ByNode[node]; ok {
 		return v
+	}
+	if li, ok := r.lazyInt[node]; ok {
+		// A skipped interior descendant of a cache hit: scale its
+		// borrowed raw vector (read-only) into a fresh buffer — the same
+		// values the eager pass would have produced in place.
+		out := r.allocVec()
+		applyRange(out, li.raw, li.p)
+		r.ByNode[node] = out
+		delete(r.lazyInt, node)
+		return out
 	}
 	p, ok := r.lazy[node]
 	if !ok {
@@ -183,6 +250,13 @@ func (r *Result) Vec(node *Node) []float64 {
 	r.ByNode[node] = out
 	delete(r.lazy, node)
 	return out
+}
+
+// lazyInterior is a skipped interior node awaiting materialization: a
+// borrowed (read-only) raw vector and the params that scale it.
+type lazyInterior struct {
+	raw []float64
+	p   NormParams
 }
 
 // allocVec returns an n-sized buffer from the caller's pool (or fresh).

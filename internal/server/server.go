@@ -391,14 +391,7 @@ func (sh *shard) stats() wire.ShardStats {
 	}
 	for _, cs := range sh.catalogs {
 		st.Catalogs = append(st.Catalogs, cs.name)
-		cst := cs.shared.Stats()
-		st.Shared.Hits += cst.Hits
-		st.Shared.Misses += cst.Misses
-		st.Shared.Fills += cst.Fills
-		st.Shared.Waits += cst.Waits
-		st.Shared.Rejects += cst.Rejects
-		st.Shared.Entries += cst.Entries
-		st.Shared.Bytes += cst.Bytes
+		st.Shared.Add(wire.SharedStatsOf(cs.shared.Stats()))
 	}
 	return st
 }

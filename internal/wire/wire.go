@@ -85,26 +85,36 @@ type Timings struct {
 	SharedHits  int   `json:"shared_hits"`
 	Pruned      int   `json:"pruned"`
 	Chunks      int   `json:"chunks"`
+	// SketchHits/SketchRescans attribute the incremental interior
+	// normalization: interior nodes served from their cached raw
+	// combined vector, and how many evaluator chunks their quantile
+	// sketches re-scanned for the exact normalization ranges (warm
+	// weight drags show hits > 0 with rescans ≪ chunks — the killed
+	// full-array pass, measured).
+	SketchHits    int `json:"sketch_hits"`
+	SketchRescans int `json:"sketch_rescans"`
 }
 
 // TimingsOf converts the engine's stage timings — the single place the
-// 13-field schema is mapped, shared by the serving handlers and the
+// timing schema is mapped, shared by the serving handlers and the
 // benchmark reports.
 func TimingsOf(tm core.StageTimings) Timings {
 	return Timings{
-		BindNS:      tm.Bind.Nanoseconds(),
-		DistancesNS: tm.Distances.Nanoseconds(),
-		EvaluateNS:  tm.Evaluate.Nanoseconds(),
-		SortNS:      tm.Sort.Nanoseconds(),
-		SelectNS:    tm.Select.Nanoseconds(),
-		ScaleNS:     tm.Scale.Nanoseconds(),
-		ReduceNS:    tm.Reduce.Nanoseconds(),
-		TotalNS:     tm.Total.Nanoseconds(),
-		CacheHits:   tm.CacheHits,
-		CacheMisses: tm.CacheMisses,
-		SharedHits:  tm.SharedHits,
-		Pruned:      tm.Pruned,
-		Chunks:      tm.Chunks,
+		BindNS:        tm.Bind.Nanoseconds(),
+		DistancesNS:   tm.Distances.Nanoseconds(),
+		EvaluateNS:    tm.Evaluate.Nanoseconds(),
+		SortNS:        tm.Sort.Nanoseconds(),
+		SelectNS:      tm.Select.Nanoseconds(),
+		ScaleNS:       tm.Scale.Nanoseconds(),
+		ReduceNS:      tm.Reduce.Nanoseconds(),
+		TotalNS:       tm.Total.Nanoseconds(),
+		CacheHits:     tm.CacheHits,
+		CacheMisses:   tm.CacheMisses,
+		SharedHits:    tm.SharedHits,
+		Pruned:        tm.Pruned,
+		Chunks:        tm.Chunks,
+		SketchHits:    tm.SketchHits,
+		SketchRescans: tm.SketchRescans,
 	}
 }
 
@@ -144,15 +154,57 @@ type ResultsResponse struct {
 	Rows    []Row   `json:"rows"`
 }
 
-// SharedStats mirrors core.SharedStats.
+// SharedStats mirrors core.SharedStats. The interior_* counters cover
+// the shared cache's separate interior-entry tier (cached interior
+// combine vectors plus their normalization sketches), which rides at a
+// quarter of the leaf tier's bounds.
 type SharedStats struct {
-	Hits    uint64 `json:"hits"`
-	Misses  uint64 `json:"misses"`
-	Fills   uint64 `json:"fills"`
-	Waits   uint64 `json:"waits"`
-	Rejects uint64 `json:"rejects"`
-	Entries int    `json:"entries"`
-	Bytes   int64  `json:"bytes"`
+	Hits            uint64 `json:"hits"`
+	Misses          uint64 `json:"misses"`
+	Fills           uint64 `json:"fills"`
+	Waits           uint64 `json:"waits"`
+	Rejects         uint64 `json:"rejects"`
+	Entries         int    `json:"entries"`
+	Bytes           int64  `json:"bytes"`
+	InteriorHits    uint64 `json:"interior_hits"`
+	InteriorMisses  uint64 `json:"interior_misses"`
+	InteriorEntries int    `json:"interior_entries"`
+	InteriorBytes   int64  `json:"interior_bytes"`
+}
+
+// SharedStatsOf converts the engine's shared-cache counters — the
+// single conversion point, shared by the serving /v1/shards handler
+// (which aggregates one per catalog) and the benchmark reports.
+func SharedStatsOf(st core.SharedStats) SharedStats {
+	return SharedStats{
+		Hits:            st.Hits,
+		Misses:          st.Misses,
+		Fills:           st.Fills,
+		Waits:           st.Waits,
+		Rejects:         st.Rejects,
+		Entries:         st.Entries,
+		Bytes:           st.Bytes,
+		InteriorHits:    st.InteriorHits,
+		InteriorMisses:  st.InteriorMisses,
+		InteriorEntries: st.InteriorEntries,
+		InteriorBytes:   st.InteriorBytes,
+	}
+}
+
+// Add accumulates another snapshot into s (shard-level aggregation over
+// the catalogs homed on a shard).
+func (s *SharedStats) Add(o SharedStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Fills += o.Fills
+	s.Waits += o.Waits
+	s.Rejects += o.Rejects
+	s.Entries += o.Entries
+	s.Bytes += o.Bytes
+	s.InteriorHits += o.InteriorHits
+	s.InteriorMisses += o.InteriorMisses
+	s.InteriorEntries += o.InteriorEntries
+	s.InteriorBytes += o.InteriorBytes
 }
 
 // ShardStats describes one shard: GET /v1/shards. Shared aggregates

@@ -148,6 +148,21 @@ func NewTable(name string, schema Schema) (*Table, error) {
 // ReadCSV loads a table from CSV (header must match the schema).
 var ReadCSV = dataset.ReadCSV
 
+// OpenOptions configures OpenCatalogFile (read backend, cache budget).
+type OpenOptions = dataset.OpenOptions
+
+// WriteCatalogFile streams an in-memory catalog into an on-disk
+// segment catalog and returns the content-hash epoch stamped into its
+// footer; OpenCatalogFile serves a catalog straight from such a file
+// through a bounded decoded-segment cache — resident memory is
+// O(cache budget), not O(catalog), and query results are bit-identical
+// to the in-memory catalog. Close the opened catalog to release the
+// backing file.
+var (
+	WriteCatalogFile = dataset.WriteCatalogFile
+	OpenCatalogFile  = dataset.OpenCatalogFile
+)
+
 // Query types.
 type (
 	Query   = query.Query
