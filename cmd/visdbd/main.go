@@ -35,6 +35,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -56,18 +57,45 @@ import (
 // config carries the parsed flags; run is separated from main so the
 // smoke test can drive a full daemon lifecycle in-process.
 type config struct {
-	addr         string
-	shards       int
-	catalogs     string
-	seed         int64
-	gridW, gridH int
-	cacheEntries int
-	cacheMB      int
-	catCacheMB   int
-	forceReadAt  bool
-	admitMin     time.Duration
-	drainTimeout time.Duration
-	sessionTTL   time.Duration
+	addr           string
+	shards         int
+	catalogs       string
+	seed           int64
+	gridW, gridH   int
+	cacheEntries   int
+	cacheMB        int
+	catCacheMB     int
+	forceReadAt    bool
+	admitMin       time.Duration
+	drainTimeout   time.Duration
+	sessionTTL     time.Duration
+	requestTimeout time.Duration
+}
+
+// validate rejects flag values that would configure the daemon into a
+// degenerate state, with startup errors naming the flag — a typo'd
+// unit suffix ("30" instead of "30s") must fail loudly, not serve with
+// a nanosecond timeout.
+func (cfg *config) validate() error {
+	if cfg.drainTimeout < time.Second {
+		return fmt.Errorf("-drain-timeout %v is below the 1s floor (in-flight recalculations need time to finish)", cfg.drainTimeout)
+	}
+	if cfg.sessionTTL != 0 && cfg.sessionTTL < time.Second {
+		return fmt.Errorf("-session-ttl %v is below the 1s floor (0 disables reaping)", cfg.sessionTTL)
+	}
+	if cfg.requestTimeout != 0 && cfg.requestTimeout < 50*time.Millisecond {
+		return fmt.Errorf("-request-timeout %v is below the 50ms floor (0 disables the deadline)", cfg.requestTimeout)
+	}
+	if cfg.catCacheMB < 0 {
+		return fmt.Errorf("-catalog-cache-mb must be >= 0, got %d", cfg.catCacheMB)
+	}
+	if cfg.cacheMB < 0 || cfg.cacheEntries < 0 {
+		return fmt.Errorf("-cache-mb and -cache-entries must be >= 0")
+	}
+	if cfg.gridW <= 0 || cfg.gridH <= 0 {
+		return fmt.Errorf("-gridw and -gridh must be positive, got %dx%d", cfg.gridW, cfg.gridH)
+	}
+	return nil
 }
 
 func main() {
@@ -85,6 +113,7 @@ func main() {
 	flag.DurationVar(&cfg.admitMin, "admit-min", 0, "shared-tier admission threshold (0 = ~1ms default, negative admits all)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown drain bound")
 	flag.DurationVar(&cfg.sessionTTL, "session-ttl", 30*time.Minute, "reap sessions idle longer than this (0 disables; each live session pins O(rows) buffers)")
+	flag.DurationVar(&cfg.requestTimeout, "request-timeout", 0, "per-request deadline, recalculations included; overruns answer 504 with the session rolled back (0 disables)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -105,6 +134,7 @@ func buildCatalogs(cfg config) ([]server.CatalogConfig, error) {
 		AdmitMinCost: cfg.admitMin,
 	}
 	var out []server.CatalogConfig
+	seen := make(map[string]bool)
 	for _, spec := range strings.Split(cfg.catalogs, ",") {
 		spec = strings.TrimSpace(spec)
 		if spec == "" {
@@ -114,6 +144,10 @@ func buildCatalogs(cfg config) ([]server.CatalogConfig, error) {
 		if !ok || name == "" || src == "" {
 			return nil, fmt.Errorf("bad catalog spec %q (want name:rows or name:path)", spec)
 		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate catalog name %q in -catalogs", name)
+		}
+		seen[name] = true
 		var cat *dataset.Catalog
 		if rows, err := strconv.Atoi(src); err == nil {
 			if rows <= 0 {
@@ -130,6 +164,16 @@ func buildCatalogs(cfg config) ([]server.CatalogConfig, error) {
 				ForceReadAt: cfg.forceReadAt,
 				CacheBytes:  int64(cfg.catCacheMB) << 20,
 			})
+			if errors.Is(err, dataset.ErrCorruptSegment) {
+				// Checksum failure at load: quarantine this catalog —
+				// clients get 503 with the error — but keep serving every
+				// other catalog. A wrong path or permission problem still
+				// fails startup (the operator misconfigured, the data is
+				// not damaged).
+				log.Printf("visdbd: catalog %q QUARANTINED: %v", name, err)
+				out = append(out, server.CatalogConfig{Name: name, Quarantined: fmt.Errorf("catalog %q: %w", name, err)})
+				continue
+			}
 			if err != nil {
 				return nil, fmt.Errorf("catalog %q: %w", name, err)
 			}
@@ -149,14 +193,20 @@ func run(ctx context.Context, cfg config, ready func(addr string)) error {
 	if cfg.shards <= 0 {
 		cfg.shards = server.DefaultShards
 	}
+	if err := cfg.validate(); err != nil {
+		return err
+	}
 	catalogs, err := buildCatalogs(cfg)
 	if err != nil {
 		return err
 	}
-	// Release file-backed catalogs on exit (a no-op for in-memory ones).
+	// Release file-backed catalogs on exit (a no-op for in-memory ones;
+	// quarantined catalogs never opened).
 	defer func() {
 		for _, cc := range catalogs {
-			cc.Catalog.Close()
+			if cc.Catalog != nil {
+				cc.Catalog.Close()
+			}
 		}
 	}()
 	srv, err := server.New(server.Config{
@@ -164,6 +214,7 @@ func run(ctx context.Context, cfg config, ready func(addr string)) error {
 		Catalogs:       catalogs,
 		DefaultOptions: core.Options{GridW: cfg.gridW, GridH: cfg.gridH},
 		SessionTTL:     cfg.sessionTTL,
+		RequestTimeout: cfg.requestTimeout,
 	})
 	if err != nil {
 		return err
@@ -178,6 +229,11 @@ func run(ctx context.Context, cfg config, ready func(addr string)) error {
 		return err
 	}
 	for _, cc := range catalogs {
+		if cc.Catalog == nil {
+			log.Printf("visdbd: catalog %q on shard %d is quarantined (503)",
+				cc.Name, server.ShardOf(cc.Name, cfg.shards))
+			continue
+		}
 		log.Printf("visdbd: serving catalog %q (%d rows) on shard %d",
 			cc.Name, mustRows(cc), server.ShardOf(cc.Name, cfg.shards))
 	}

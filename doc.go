@@ -250,6 +250,73 @@
 // measure the serving overhead against the in-process -concurrent
 // mode.
 //
+// # Failure semantics
+//
+// The serving layer is built so that every failure a distributed
+// deployment actually sees — lost requests, lost responses, slow
+// recalculations, damaged data files — has a defined, tested outcome.
+// Three mechanisms compose:
+//
+//   - Request deadlines. visdbd -request-timeout arms a
+//     context.Context deadline per request that flows through
+//     Engine.Run into the chunk-fused evaluator, which polls a
+//     cancellation checkpoint between chunks. An overrun answers 504
+//     with code "deadline" (client disconnect: "canceled"), the
+//     session rolls back to its pre-request state — query, ranges,
+//     weights, history and displayed fraction all restored, the
+//     aborted run's pooled buffers reclaimed — and leaf vectors the
+//     aborted run completed stay cached, so a retry resumes instead
+//     of starting over. Completed cache entries are never partial:
+//     leaf computations are atomic with respect to cancellation.
+//   - Idempotent retries. Mutating operations carry a per-session
+//     monotonic sequence number (wire Seq; 0 = legacy non-idempotent).
+//     A request is applied only when its Seq is past the last applied
+//     number; retransmitting the last applied Seq replays the stored
+//     response without recomputing (lost-response case); any older Seq
+//     answers 409 "seq_conflict" so a late duplicate can never
+//     re-apply. Responses are recorded for applied operations and
+//     validation failures, never for rolled-back 5xx outcomes — a
+//     retried timeout re-applies, which together with rollback gives
+//     exactly-once application. visdb/client stamps Seq automatically
+//     and, with Client.Retry set (RetryPolicy: attempt budget,
+//     exponential backoff with jitter, Retry-After hints, injectable
+//     clock for sleepless tests), retries transport errors and 5xx —
+//     never 4xx — reusing the same Seq across attempts of one
+//     operation.
+//   - Segment checksums and quarantine. VSEGCAT2 files carry a
+//     CRC32C per segment blob plus a footer CRC; verification runs at
+//     open (framing/footer) and on every segment decode. Damage
+//     surfaces as a typed dataset.ErrCorruptSegment; visdbd
+//     quarantines the affected catalog — at startup (the file fails
+//     verification at load) or mid-serve (a decode trips a checksum)
+//     — answering 503 "catalog_quarantined" with a Retry-After hint
+//     for that catalog while every other catalog, including same-shard
+//     neighbors, keeps serving. Legacy VSEGCAT1 files stay readable
+//     (no per-blob checksums to verify).
+//
+// Every non-2xx response carries a machine-readable wire code
+// (wire.Code*; client.APIError exposes Code and RetryAfter):
+//
+//	409 seq_conflict         stale sequence number; resynchronize
+//	409 nothing_to_undo      no earlier state to revert to
+//	503 session_cap          shard at its session limit (Retry-After)
+//	503 catalog_quarantined  segment checksum failure (Retry-After)
+//	504 deadline             recalculation overran, rolled back
+//	504 canceled             client disconnected, rolled back
+//
+// internal/faultinject supplies the deterministic fault surface the
+// suite drives this with: a scripted http.RoundTripper (drop before
+// the server, drop the response after application), corrupting /
+// truncating / slow io.ReaderAt wrappers, and handler-level
+// latency/error injection (server.Config.FaultHook).
+// TestChaosReplayMatchesInProcess asserts that a randomized
+// interaction script driven through drops, injected 500s and
+// automatic retries stays bitwise identical to a fault-free
+// in-process session with recalculation counts proving exactly-once
+// application; TestDeadlineRollsBackAndRetryResumes proves the 504
+// path rolls back bitwise and resumes; the corruption suite proves
+// single-bit flips anywhere in a v2 file are caught and contained.
+//
 // Render artifacts under out/ are generated by visdbbench and the
 // examples; they are not tracked in git.
 package repro

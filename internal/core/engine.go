@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -106,6 +107,38 @@ func (e *Engine) Run(q *query.Query) (*Result, error) {
 	return e.RunCached(q, nil)
 }
 
+// RunCtx is Run bounded by ctx: the run polls ctx between pipeline
+// stages, between distance chunks, and between evaluator chunks, and
+// aborts with an error wrapping ctx.Err() once the context is done. An
+// aborted run leaves the session cache consistent — completed leaf
+// vectors stay cached (they are correct), the run's pooled buffers
+// return to the pool, and no partial result escapes.
+func (e *Engine) RunCtx(ctx context.Context, q *query.Query) (*Result, error) {
+	return e.RunCachedCtx(ctx, q, nil)
+}
+
+// RunCachedCtx is RunCached bounded by ctx (see RunCtx).
+func (e *Engine) RunCachedCtx(ctx context.Context, q *query.Query, cache *RunCache) (*Result, error) {
+	start := time.Now()
+	b, err := query.Bind(q, e.cat)
+	if err != nil {
+		return nil, err
+	}
+	return e.runBound(ctx, q, b, cache, start)
+}
+
+// RunPreboundCtx is RunPrebound bounded by ctx (see RunCtx).
+func (e *Engine) RunPreboundCtx(ctx context.Context, q *query.Query, b *query.Binding, cache *RunCache) (*Result, error) {
+	start := time.Now()
+	if b == nil || b.Query != q {
+		return nil, fmt.Errorf("core: binding does not belong to this query")
+	}
+	if b.Catalog != e.cat {
+		return nil, fmt.Errorf("core: binding was resolved against a different catalog")
+	}
+	return e.runBound(ctx, q, b, cache, start)
+}
+
 // RunCached executes q like Run, but reuses cache across calls: leaf
 // distance vectors whose structural signature is unchanged are served
 // from the cache instead of recomputed, and the evaluation stage writes
@@ -126,12 +159,7 @@ func (e *Engine) Run(q *query.Query) (*Result, error) {
 // lookups fall through private → shared → recompute, and recomputed
 // leaves fill the shared tier once for every session on the catalog.
 func (e *Engine) RunCached(q *query.Query, cache *RunCache) (*Result, error) {
-	start := time.Now()
-	b, err := query.Bind(q, e.cat)
-	if err != nil {
-		return nil, err
-	}
-	return e.runBound(q, b, cache, start)
+	return e.RunCachedCtx(context.Background(), q, cache)
 }
 
 // RunPrebound is RunCached with the query binding supplied by the
@@ -141,19 +169,23 @@ func (e *Engine) RunCached(q *query.Query, cache *RunCache) (*Result, error) {
 // query.Bind of this exact query AST against this engine's catalog;
 // reparse or requery means rebind.
 func (e *Engine) RunPrebound(q *query.Query, b *query.Binding, cache *RunCache) (*Result, error) {
-	start := time.Now()
-	if b == nil || b.Query != q {
-		return nil, fmt.Errorf("core: binding does not belong to this query")
-	}
-	if b.Catalog != e.cat {
-		return nil, fmt.Errorf("core: binding was resolved against a different catalog")
-	}
-	return e.runBound(q, b, cache, start)
+	return e.RunPreboundCtx(context.Background(), q, b, cache)
 }
 
 // runBound is the shared tail of Run/RunCached/RunPrebound: everything
 // after name resolution.
-func (e *Engine) runBound(q *query.Query, b *query.Binding, cache *RunCache, start time.Time) (*Result, error) {
+func (e *Engine) runBound(ctx context.Context, q *query.Query, b *query.Binding, cache *RunCache, start time.Time) (*Result, error) {
+	// A context that can never be canceled (Background) needs no
+	// polling; everything else turns into a per-chunk checkpoint.
+	var checkpoint func() error
+	if ctx != nil && ctx.Done() != nil {
+		checkpoint = func() error {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("core: run canceled: %w", err)
+			}
+			return nil
+		}
+	}
 	space, err := e.buildItemSpace(q)
 	if err != nil {
 		return nil, err
@@ -167,6 +199,7 @@ func (e *Engine) runBound(q *query.Query, b *query.Binding, cache *RunCache, sta
 		nodeOf:  make(map[query.Expr]*relevance.Node),
 		preds:   make(map[*query.Cond]*predicateData),
 	}
+	res.checkpoint = checkpoint
 	runOK := false
 	if cache != nil {
 		cache.beginRun()
@@ -203,6 +236,9 @@ func (e *Engine) runBound(q *query.Query, b *query.Binding, cache *RunCache, sta
 		// monotonic transforms apply only to the top-k survivors, so
 		// the root is evaluated raw and deferred.
 		DeferRoot: !e.fullSort(),
+		// Per-chunk cancellation: a request deadline interrupts the
+		// evaluation (and the deferred ranking) mid-sweep.
+		Checkpoint: checkpoint,
 	}
 	if cache != nil {
 		evalOpts.Alloc = cache.alloc
@@ -260,7 +296,10 @@ func (e *Engine) runBound(q *query.Query, b *query.Binding, cache *RunCache, sta
 			seed = cache.rootSeed(res.cacheSig)
 			vals, idx = cache.alloc(space.n), cache.allocInt(space.n)
 		}
-		rk := eval.RankRoot(k, seed, vals, idx)
+		rk, err := eval.RankRoot(k, seed, vals, idx)
+		if err != nil {
+			return nil, err
+		}
 		res.sorted, res.Order, res.rankedK = rk.Sorted, rk.Order, rk.K
 		colorable = space.n - rk.NaNs
 		res.Timings.Select = time.Since(mark) - rk.ScaleTime
@@ -404,6 +443,14 @@ func (e *Engine) buildTree(where query.Expr, b *query.Binding, space *itemSpace,
 // invert; everything else falls back to exact boolean evaluation with
 // satisfied items at distance 0 and failing items uncolorable.
 func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, res *Result, negated bool, workers int) (*relevance.Node, error) {
+	// Per-node cancellation poll: a request deadline cuts the Distances
+	// stage off between leaf computations (the evaluator's per-chunk
+	// checkpoints cover everything after). Leaves that completed before
+	// the deadline stay cached — they are correct — so the retry after
+	// a timeout resumes instead of starting over.
+	if err := res.poll(); err != nil {
+		return nil, err
+	}
 	switch n := expr.(type) {
 	case *query.Cond:
 		attr, bound := b.Attrs[n]

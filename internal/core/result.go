@@ -73,6 +73,19 @@ type Result struct {
 	cacheSig string
 	keys     runKeys
 	leafID   map[*relevance.Node]string
+
+	// checkpoint is the run's cancellation poll (nil on uncanceled
+	// runs): the tree build polls it at node entry and between distance
+	// chunks, so a request deadline interrupts the Distances stage too.
+	checkpoint func() error
+}
+
+// poll reports the run's cancellation verdict (nil-safe).
+func (r *Result) poll() error {
+	if r.checkpoint == nil {
+		return nil
+	}
+	return r.checkpoint()
 }
 
 // Combined returns the normalized combined distance per item — the

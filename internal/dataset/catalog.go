@@ -215,6 +215,9 @@ type Catalog struct {
 	// closer releases the backing resources of a file-backed catalog
 	// (mmap, file handle); nil for in-memory catalogs.
 	closer func() error
+	// corrupt reports the sticky corruption state of a file-backed
+	// catalog's segment source; nil for in-memory catalogs.
+	corrupt func() error
 }
 
 // NewCatalog returns an empty catalog.
@@ -231,6 +234,20 @@ func (c *Catalog) Epoch() uint64 { return c.epoch }
 
 // SetEpoch overrides the catalog's content fingerprint.
 func (c *Catalog) SetEpoch(e uint64) { c.epoch = e }
+
+// Corrupt reports the sticky corruption error of a file-backed
+// catalog: non-nil once any segment read failed its checksum, decode
+// validation, or the underlying I/O (the error wraps
+// ErrCorruptSegment). A failed segment reads as zeroes, so any result
+// computed since the error was set is untrustworthy — callers must
+// check after runs and quarantine the catalog on non-nil. Always nil
+// for in-memory catalogs. Safe for concurrent use.
+func (c *Catalog) Corrupt() error {
+	if c.corrupt == nil {
+		return nil
+	}
+	return c.corrupt()
+}
 
 // Close releases the backing resources of a file-backed catalog. It is
 // a no-op for in-memory catalogs. The catalog must not be used after

@@ -5,8 +5,11 @@ import (
 	"container/list"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
+	"io"
 	"math"
 	"os"
 	"strconv"
@@ -18,11 +21,21 @@ import (
 // read backends. The layout is write-once, footer-based, so the writer
 // streams segments with O(segment) memory and never seeks:
 //
-//	"VSEGCAT1"                              8-byte head magic
+//	"VSEGCAT2"                              8-byte head magic
 //	blob ...                                segment blobs, any order
 //	footer                                  JSON (segFooter)
+//	footer CRC32C                           uint32 LE (v2 only)
 //	footer length                           uint64 LE
-//	"VSEGEND1"                              8-byte end magic
+//	"VSEGEND2"                              8-byte end magic
+//
+// Format v2 adds end-to-end integrity: every blob's CRC32C rides in
+// its footer entry and is verified on every decode, and the footer
+// itself is covered by the CRC in the tail — flipping any single byte
+// of a v2 file surfaces as a typed ErrCorruptSegment error, either at
+// open (magic/tail/footer damage) or on the first read that touches
+// the damaged blob. The legacy checksum-free "VSEGCAT1" layout (same
+// shape, 16-byte tail without the footer CRC) is still readable;
+// legacy reads skip verification, exactly as before.
 //
 // A blob holds one column segment (SegmentSize rows, the final segment
 // of a table possibly fewer): a null bitmap of ceil(rows/8) bytes
@@ -44,12 +57,31 @@ import (
 const (
 	segMagic    = "VSEGCAT1"
 	segEndMagic = "VSEGEND1"
+
+	segMagic2    = "VSEGCAT2"
+	segEndMagic2 = "VSEGEND2"
 )
 
-// segBlob locates one segment blob in the file.
+// ErrCorruptSegment is wrapped by every error that means a segment
+// catalog file's bytes do not match what its writer produced — bad
+// magics, a footer that fails its CRC or does not parse, blob geometry
+// out of bounds, or (v2) a blob whose CRC32C does not match on decode.
+// Callers distinguish it from I/O and usage errors with errors.Is and
+// quarantine the catalog instead of trusting its data.
+var ErrCorruptSegment = errors.New("corrupt segment catalog")
+
+// castagnoli is the CRC32C polynomial table shared by the writer and
+// the verifying reader.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// segBlob locates one segment blob in the file. CRC is the CRC32C of
+// the raw blob bytes; format v2 writers always set it and v2 readers
+// verify it on every decode (absent from legacy v1 footers, where it
+// decodes as zero and is ignored).
 type segBlob struct {
-	Off int64 `json:"off"`
-	Len int64 `json:"len"`
+	Off int64  `json:"off"`
+	Len int64  `json:"len"`
+	CRC uint32 `json:"crc,omitempty"`
 }
 
 // segField is the footer metadata of one column.
@@ -85,37 +117,55 @@ type segFooter struct {
 // O(segment) memory: rows buffer per table until a full segment
 // accumulates, then its column blobs flush to the file.
 type SegmentWriter struct {
-	f      *os.File
-	w      *bufio.Writer
-	off    int64
-	hash   interface{ Write([]byte) (int, error) }
-	sum    func() uint64
-	footer segFooter
-	open   []*TableWriter
-	names  map[string]bool
-	epoch  *uint64
-	closed bool
+	f       *os.File
+	w       *bufio.Writer
+	off     int64
+	hash    interface{ Write([]byte) (int, error) }
+	sum     func() uint64
+	footer  segFooter
+	open    []*TableWriter
+	names   map[string]bool
+	epoch   *uint64
+	version int
+	closed  bool
 }
 
-// CreateSegmentCatalog creates path and returns a writer for it.
+// CreateSegmentCatalog creates path and returns a writer for it,
+// producing the current checksummed "VSEGCAT2" layout.
 func CreateSegmentCatalog(path string) (*SegmentWriter, error) {
+	return createSegmentCatalog(path, 2)
+}
+
+// CreateSegmentCatalogV1 creates path and returns a writer producing
+// the legacy checksum-free "VSEGCAT1" layout — kept for compatibility
+// tests and for generating fixtures old readers accept.
+func CreateSegmentCatalogV1(path string) (*SegmentWriter, error) {
+	return createSegmentCatalog(path, 1)
+}
+
+func createSegmentCatalog(path string, version int) (*SegmentWriter, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
 	h := fnv.New64a()
 	w := &SegmentWriter{
-		f:     f,
-		w:     bufio.NewWriterSize(f, 1<<16),
-		hash:  h,
-		sum:   h.Sum64,
-		names: make(map[string]bool),
+		f:       f,
+		w:       bufio.NewWriterSize(f, 1<<16),
+		hash:    h,
+		sum:     h.Sum64,
+		names:   make(map[string]bool),
+		version: version,
 	}
-	if _, err := w.w.WriteString(segMagic); err != nil {
+	magic := segMagic2
+	if version == 1 {
+		magic = segMagic
+	}
+	if _, err := w.w.WriteString(magic); err != nil {
 		f.Close()
 		return nil, err
 	}
-	w.off = int64(len(segMagic))
+	w.off = int64(len(magic))
 	return w, nil
 }
 
@@ -165,13 +215,17 @@ func (w *SegmentWriter) AddTable(name string, schema Schema) (*TableWriter, erro
 	return tw, nil
 }
 
-// writeBlob appends raw blob bytes and returns their location.
+// writeBlob appends raw blob bytes and returns their location (with
+// the blob's CRC32C under format v2).
 func (w *SegmentWriter) writeBlob(b []byte) (segBlob, error) {
 	if _, err := w.w.Write(b); err != nil {
 		return segBlob{}, err
 	}
 	w.hash.Write(b)
 	loc := segBlob{Off: w.off, Len: int64(len(b))}
+	if w.version >= 2 {
+		loc.CRC = crc32.Checksum(b, castagnoli)
+	}
 	w.off += int64(len(b))
 	return loc, nil
 }
@@ -203,10 +257,18 @@ func (w *SegmentWriter) Close() error {
 		w.f.Close()
 		return err
 	}
-	var tail [16]byte
-	binary.LittleEndian.PutUint64(tail[:8], uint64(len(ft)))
-	copy(tail[8:], segEndMagic)
-	if _, err := w.w.Write(tail[:]); err != nil {
+	var tail []byte
+	if w.version >= 2 {
+		tail = make([]byte, 20)
+		binary.LittleEndian.PutUint32(tail[:4], crc32.Checksum(ft, castagnoli))
+		binary.LittleEndian.PutUint64(tail[4:12], uint64(len(ft)))
+		copy(tail[12:], segEndMagic2)
+	} else {
+		tail = make([]byte, 16)
+		binary.LittleEndian.PutUint64(tail[:8], uint64(len(ft)))
+		copy(tail[8:], segEndMagic)
+	}
+	if _, err := w.w.Write(tail); err != nil {
 		w.f.Close()
 		return err
 	}
@@ -286,9 +348,20 @@ func (tw *TableWriter) finishStats() {
 }
 
 // WriteCatalogFile streams an in-memory catalog into a segment file at
-// path and returns the epoch stamped into its footer.
+// path (current format, "VSEGCAT2") and returns the epoch stamped into
+// its footer.
 func WriteCatalogFile(path string, cat *Catalog) (uint64, error) {
-	w, err := CreateSegmentCatalog(path)
+	return writeCatalogFile(path, cat, 2)
+}
+
+// WriteCatalogFileV1 is WriteCatalogFile for the legacy checksum-free
+// "VSEGCAT1" layout.
+func WriteCatalogFileV1(path string, cat *Catalog) (uint64, error) {
+	return writeCatalogFile(path, cat, 1)
+}
+
+func writeCatalogFile(path string, cat *Catalog, version int) (uint64, error) {
+	w, err := createSegmentCatalog(path, version)
 	if err != nil {
 		return 0, err
 	}
@@ -339,7 +412,7 @@ func peekEpoch(path string) (uint64, error) {
 		return 0, err
 	}
 	defer f.Close()
-	ft, err := readFooter(f)
+	ft, _, err := readFooter(f)
 	if err != nil {
 		return 0, err
 	}
@@ -422,6 +495,13 @@ type OpenOptions struct {
 	// always retains at least one segment, so arbitrarily small
 	// budgets degrade to re-decoding, never to failure.
 	CacheBytes int64
+	// WrapReaderAt, when non-nil, wraps the file before segment blob
+	// reads — the fault-injection seam (internal/faultinject's
+	// corrupting/truncating/slow ReaderAt wrappers plug in here).
+	// Setting it forces the ReadAt backend, since mmap would bypass
+	// the wrapper. The footer is read directly from the file at open,
+	// before wrapping.
+	WrapReaderAt func(io.ReaderAt) io.ReaderAt
 }
 
 // OpenCatalogFile opens a segment catalog written by SegmentWriter.
@@ -433,7 +513,7 @@ func OpenCatalogFile(path string, opts OpenOptions) (*Catalog, error) {
 	if err != nil {
 		return nil, err
 	}
-	ft, err := readFooter(f)
+	ft, version, err := readFooter(f)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -444,11 +524,15 @@ func OpenCatalogFile(path string, opts OpenOptions) (*Catalog, error) {
 		return nil, err
 	}
 	var br blobReader
-	if !opts.ForceReadAt {
+	if !opts.ForceReadAt && opts.WrapReaderAt == nil {
 		br, _ = openMmapReader(f, fi.Size())
 	}
 	if br == nil {
-		br = &readAtReader{f: f}
+		var ra io.ReaderAt = f
+		if opts.WrapReaderAt != nil {
+			ra = opts.WrapReaderAt(f)
+		}
+		br = &readAtReader{r: ra, c: f}
 	}
 	budget := opts.CacheBytes
 	if budget <= 0 {
@@ -459,10 +543,12 @@ func OpenCatalogFile(path string, opts OpenOptions) (*Catalog, error) {
 		cache:    make(map[segKey]*list.Element),
 		lru:      list.New(),
 		maxBytes: budget,
+		verify:   version >= 2,
 	}
 	cat := NewCatalog()
 	cat.epoch = ft.Epoch
 	cat.closer = src.close
+	cat.corrupt = src.corruptErr
 	colID := 0
 	for _, tm := range ft.Tables {
 		schema := make(Schema, len(tm.Fields))
@@ -509,43 +595,72 @@ func OpenCatalogFile(path string, opts OpenOptions) (*Catalog, error) {
 	return cat, nil
 }
 
-// readFooter locates and parses the footer of a segment file.
-func readFooter(f *os.File) (*segFooter, error) {
+// readFooter locates and parses the footer of a segment file,
+// reporting the format version it detected from the head magic. Every
+// way the file can disagree with its writer's layout — bad magics, a
+// tail that does not frame a footer, a v2 footer failing its CRC —
+// wraps ErrCorruptSegment.
+func readFooter(f *os.File) (*segFooter, int, error) {
 	fi, err := f.Stat()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	size := fi.Size()
-	if size < int64(len(segMagic))+16 {
-		return nil, fmt.Errorf("dataset: %s: too short for a segment catalog", f.Name())
+	if size < int64(len(segMagic)) {
+		return nil, 0, fmt.Errorf("dataset: %s: too short for a segment catalog: %w", f.Name(), ErrCorruptSegment)
 	}
 	head := make([]byte, len(segMagic))
 	if _, err := f.ReadAt(head, 0); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	if string(head) != segMagic {
-		return nil, fmt.Errorf("dataset: %s: not a segment catalog (bad magic)", f.Name())
+	version := 0
+	tailLen := int64(0)
+	switch string(head) {
+	case segMagic:
+		version, tailLen = 1, 16
+	case segMagic2:
+		version, tailLen = 2, 20
+	default:
+		return nil, 0, fmt.Errorf("dataset: %s: not a segment catalog (bad magic): %w", f.Name(), ErrCorruptSegment)
 	}
-	var tail [16]byte
-	if _, err := f.ReadAt(tail[:], size-16); err != nil {
-		return nil, err
+	if size < int64(len(segMagic))+tailLen {
+		return nil, 0, fmt.Errorf("dataset: %s: too short for a segment catalog: %w", f.Name(), ErrCorruptSegment)
 	}
-	if string(tail[8:]) != segEndMagic {
-		return nil, fmt.Errorf("dataset: %s: truncated segment catalog (bad end magic)", f.Name())
+	tail := make([]byte, tailLen)
+	if _, err := f.ReadAt(tail, size-tailLen); err != nil {
+		return nil, 0, err
 	}
-	ftLen := int64(binary.LittleEndian.Uint64(tail[:8]))
-	if ftLen <= 0 || ftLen > size-16-int64(len(segMagic)) {
-		return nil, fmt.Errorf("dataset: %s: corrupt footer length %d", f.Name(), ftLen)
+	var ftLen int64
+	var ftCRC uint32
+	if version == 1 {
+		if string(tail[8:]) != segEndMagic {
+			return nil, 0, fmt.Errorf("dataset: %s: truncated segment catalog (bad end magic): %w", f.Name(), ErrCorruptSegment)
+		}
+		ftLen = int64(binary.LittleEndian.Uint64(tail[:8]))
+	} else {
+		if string(tail[12:]) != segEndMagic2 {
+			return nil, 0, fmt.Errorf("dataset: %s: truncated segment catalog (bad end magic): %w", f.Name(), ErrCorruptSegment)
+		}
+		ftCRC = binary.LittleEndian.Uint32(tail[:4])
+		ftLen = int64(binary.LittleEndian.Uint64(tail[4:12]))
+	}
+	if ftLen <= 0 || ftLen > size-tailLen-int64(len(segMagic)) {
+		return nil, 0, fmt.Errorf("dataset: %s: corrupt footer length %d: %w", f.Name(), ftLen, ErrCorruptSegment)
 	}
 	buf := make([]byte, ftLen)
-	if _, err := f.ReadAt(buf, size-16-ftLen); err != nil {
-		return nil, err
+	if _, err := f.ReadAt(buf, size-tailLen-ftLen); err != nil {
+		return nil, 0, err
+	}
+	if version >= 2 {
+		if got := crc32.Checksum(buf, castagnoli); got != ftCRC {
+			return nil, 0, fmt.Errorf("dataset: %s: footer CRC mismatch (%08x != %08x): %w", f.Name(), got, ftCRC, ErrCorruptSegment)
+		}
 	}
 	var ft segFooter
 	if err := json.Unmarshal(buf, &ft); err != nil {
-		return nil, fmt.Errorf("dataset: %s: corrupt footer: %w", f.Name(), err)
+		return nil, 0, fmt.Errorf("dataset: %s: corrupt footer (%v): %w", f.Name(), err, ErrCorruptSegment)
 	}
-	return &ft, nil
+	return &ft, version, nil
 }
 
 // blobReader reads a byte range of the catalog file. slice may return
@@ -557,18 +672,22 @@ type blobReader interface {
 }
 
 // readAtReader is the portable backend: plain pread into fresh
-// buffers.
-type readAtReader struct{ f *os.File }
+// buffers. r is usually the file itself, but OpenOptions.WrapReaderAt
+// may interpose a fault-injecting wrapper.
+type readAtReader struct {
+	r io.ReaderAt
+	c io.Closer
+}
 
 func (r *readAtReader) slice(off, n int64) ([]byte, error) {
 	buf := make([]byte, n)
-	if _, err := r.f.ReadAt(buf, off); err != nil {
+	if _, err := r.r.ReadAt(buf, off); err != nil {
 		return nil, err
 	}
 	return buf, nil
 }
 
-func (r *readAtReader) close() error { return r.f.Close() }
+func (r *readAtReader) close() error { return r.c.Close() }
 
 // segKey identifies one decoded segment in the cache.
 type segKey struct {
@@ -600,19 +719,44 @@ type cacheSlot struct {
 // benign).
 type fileSource struct {
 	br       blobReader
+	verify   bool // format v2: check each blob's CRC32C on decode
 	mu       sync.Mutex
 	cache    map[segKey]*list.Element
 	lru      *list.List
 	bytes    int64
 	maxBytes int64
+	// corrupt is the sticky first decode/read failure. Once set, data
+	// served from this source is untrustworthy (failed segments read
+	// as zeroes) and the owner must quarantine the catalog; it never
+	// clears while the file is open.
+	corrupt error
 }
 
 func (s *fileSource) close() error { return s.br.close() }
 
+// corruptErr returns the sticky corruption error (nil while healthy).
+func (s *fileSource) corruptErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.corrupt
+}
+
+// fail records the first corruption error.
+func (s *fileSource) fail(err error) {
+	s.mu.Lock()
+	if s.corrupt == nil {
+		s.corrupt = err
+	}
+	s.mu.Unlock()
+}
+
 // segment returns the decoded segment si of column c, from cache or
-// disk. Decode failures panic: blob geometry is validated at open, so
-// a failure here means the file changed or the medium failed beneath
-// an open catalog.
+// disk. A decode failure (I/O error, CRC mismatch, malformed payload)
+// must not panic — reads run on evaluator worker goroutines — and has
+// no error channel through the Column interface, so it records the
+// sticky corruption error and serves a zeroed segment: callers that
+// check corruptErr (the serving layer does after every run) discard
+// the tainted results instead of trusting them.
 func (s *fileSource) segment(c *fileColumn, si int) *decodedSeg {
 	key := segKey{c.id, si}
 	s.mu.Lock()
@@ -626,7 +770,8 @@ func (s *fileSource) segment(c *fileColumn, si int) *decodedSeg {
 
 	seg, err := s.decode(c, si)
 	if err != nil {
-		panic(fmt.Sprintf("dataset: reading segment %d of column %d: %v", si, c.id, err))
+		s.fail(fmt.Errorf("dataset: segment %d of column %d: %v: %w", si, c.id, err, ErrCorruptSegment))
+		return zeroSeg(c.kind, c.segRows(si))
 	}
 
 	s.mu.Lock()
@@ -657,6 +802,11 @@ func (s *fileSource) decode(c *fileColumn, si int) (*decodedSeg, error) {
 	raw, err := s.br.slice(loc.Off, loc.Len)
 	if err != nil {
 		return nil, err
+	}
+	if s.verify {
+		if got := crc32.Checksum(raw, castagnoli); got != loc.CRC {
+			return nil, fmt.Errorf("blob (%d,%d) CRC mismatch (%08x != %08x)", loc.Off, loc.Len, got, loc.CRC)
+		}
 	}
 	bm := (rows + 7) / 8
 	if len(raw) < bm {
@@ -735,6 +885,26 @@ func (s *fileSource) decode(c *fileColumn, si int) (*decodedSeg, error) {
 	return seg, nil
 }
 
+// zeroSeg is the all-null, all-zero segment served in place of one
+// that failed to decode — structurally valid for every accessor, with
+// the sticky corruption error guaranteeing it is never believed.
+func zeroSeg(kind Kind, rows int) *decodedSeg {
+	seg := &decodedSeg{nulls: make([]bool, rows)}
+	switch kind {
+	case KindFloat:
+		seg.floats = make([]float64, rows)
+	case KindInt:
+		seg.ints = make([]int64, rows)
+	case KindTime:
+		seg.times = make([]time.Time, rows)
+	case KindBool:
+		seg.bools = make([]bool, rows)
+	default:
+		seg.strs = make([]string, rows)
+	}
+	return seg
+}
+
 // fileColumn is a read-only column served from a segment catalog file.
 type fileColumn struct {
 	src      *fileSource
@@ -753,15 +923,15 @@ func (c *fileColumn) readOnlyColumn() {}
 func (c *fileColumn) validate(table, field string, fileSize int64) error {
 	wantSegs := (c.rows + SegmentSize - 1) / SegmentSize
 	if len(c.segs) != wantSegs {
-		return fmt.Errorf("dataset: table %q field %q: %d segments for %d rows, want %d",
-			table, field, len(c.segs), c.rows, wantSegs)
+		return fmt.Errorf("dataset: table %q field %q: %d segments for %d rows, want %d: %w",
+			table, field, len(c.segs), c.rows, wantSegs, ErrCorruptSegment)
 	}
 	for si, loc := range c.segs {
 		rows := c.segRows(si)
 		minLen := int64((rows+7)/8) + payloadSize(c.kind, rows)
 		if loc.Off < int64(len(segMagic)) || loc.Len < minLen || loc.Off+loc.Len > fileSize {
-			return fmt.Errorf("dataset: table %q field %q segment %d: blob (%d,%d) out of bounds",
-				table, field, si, loc.Off, loc.Len)
+			return fmt.Errorf("dataset: table %q field %q segment %d: blob (%d,%d) out of bounds: %w",
+				table, field, si, loc.Off, loc.Len, ErrCorruptSegment)
 		}
 	}
 	return nil

@@ -65,6 +65,9 @@ func evaluateFused(root *Node, n int, opts EvalOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.checkpoint(); err != nil {
+		return nil, err
+	}
 	// Finalize the root: its combined vector scales in place (the
 	// buffer is ctx-owned); a leaf root scales into a fresh buffer,
 	// since node.Dists belongs to the caller, and so does a borrowed
@@ -77,6 +80,9 @@ func evaluateFused(root *Node, n int, opts EvalOptions) (*Result, error) {
 	ctx.forChunks(func(_, _, lo, hi int) {
 		applyRange(out[lo:hi], vec[lo:hi], params)
 	})
+	if err := ctx.checkpoint(); err != nil {
+		return nil, err
+	}
 	ctx.res.ByNode[root] = out
 	ctx.res.Combined = out
 	return ctx.res, nil
@@ -122,12 +128,23 @@ func (c *fusedCtx) keepOf(node *Node) int {
 	return KeepCount(c.opts.Budget, c.n, node.EffWeight())
 }
 
+// checkpoint polls the caller's cancellation hook (always nil-safe).
+func (c *fusedCtx) checkpoint() error {
+	if c.opts.Checkpoint == nil {
+		return nil
+	}
+	return c.opts.Checkpoint()
+}
+
 // eval processes one subtree and returns the node's UNSCALED vector
 // together with the params that scale it: for leaves the raw Dists, for
 // interior nodes the combined-but-not-yet-renormalized vector (already
 // stored in ByNode; the parent — or the root finalizer — scales it in
 // place to its final form).
 func (c *fusedCtx) eval(node *Node) ([]float64, NormParams, error) {
+	if err := c.checkpoint(); err != nil {
+		return nil, NormParams{}, err
+	}
 	switch node.Op {
 	case Leaf:
 		if len(node.Dists) != c.n {
@@ -247,6 +264,11 @@ func (c *fusedCtx) eval(node *Node) ([]float64, NormParams, error) {
 			}
 			chunkStats[ci] = scanRange(out, lo, hi)
 		})
+		if err := c.checkpoint(); err != nil {
+			// A canceled pass may have skipped chunks: nothing below
+			// (stats, caches, ByNode) may see the partial buffers.
+			return nil, NormParams{}, err
+		}
 		if c.nodeScans != nil {
 			c.nodeScans[node] = chunkStats
 		}
@@ -286,6 +308,12 @@ func (c *fusedCtx) forChunks(fn func(wid, ci, lo, hi int)) {
 	n := c.n
 	nchunks := c.chunkCount()
 	run := func(wid, ci int) {
+		// Per-chunk cancellation: once the caller's checkpoint trips,
+		// remaining chunks are skipped — the caller re-polls after the
+		// pass and discards the partial result.
+		if c.opts.Checkpoint != nil && c.opts.Checkpoint() != nil {
+			return
+		}
 		lo := ci * evalChunk
 		hi := lo + evalChunk
 		if hi > n {

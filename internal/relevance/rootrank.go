@@ -119,6 +119,19 @@ type rootDefer struct {
 	params      NormParams // root normalization params
 	paramsKnown bool
 	ranking     *RootRanking
+
+	// checkpoint is EvalOptions.Checkpoint captured at build: RankRoot
+	// polls it per chunk so a request deadline interrupts the ranking
+	// sweep, not just the evaluation that produced it.
+	checkpoint func() error
+}
+
+// poll reports the captured checkpoint's verdict (nil-safe).
+func (rd *rootDefer) poll() error {
+	if rd.checkpoint == nil {
+		return nil
+	}
+	return rd.checkpoint()
 }
 
 func (rd *rootDefer) chunkCount() int { return (rd.n + evalChunk - 1) / evalChunk }
@@ -290,16 +303,21 @@ func boundBeats(b float64, first int, bv float64, bi int) bool {
 // correctness. vals and idx, when n-sized, back the returned
 // Sorted/Order slices (buffer pooling); wrong-sized buffers are
 // replaced. RankRoot is idempotent: a second call returns the first
-// ranking.
-func (r *Result) RankRoot(k int, seed float64, vals []float64, idx []int) *RootRanking {
+// ranking. The only possible error is a tripped evaluation checkpoint
+// (request deadline); a canceled call leaves no partial ranking
+// memoized and the caller discards the run.
+func (r *Result) RankRoot(k int, seed float64, vals []float64, idx []int) (*RootRanking, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	rd := r.root
 	if rd == nil {
-		return nil
+		return nil, nil
 	}
 	if rd.ranking != nil {
-		return rd.ranking
+		return rd.ranking, nil
+	}
+	if err := rd.poll(); err != nil {
+		return nil, err
 	}
 	n := rd.n
 	if len(vals) != n {
@@ -320,7 +338,7 @@ func (r *Result) RankRoot(k int, seed float64, vals []float64, idx []int) *RootR
 		sorted, order := topk.SelectKWithIndexInto(r.Combined, k, vals, idx)
 		rd.ranking = &RootRanking{Order: order, Sorted: sorted, K: k,
 			NaNs: CountNaN(r.Combined), Threshold: math.NaN(), Chunks: rd.chunkCount()}
-		return rd.ranking
+		return rd.ranking, nil
 	}
 	rk := &RootRanking{Order: idx, Sorted: vals, K: k, Chunks: rd.chunkCount(), Threshold: math.NaN()}
 	if n == 0 || k == 0 {
@@ -333,14 +351,18 @@ func (r *Result) RankRoot(k int, seed float64, vals []float64, idx []int) *RootR
 			idx[i] = i
 		}
 		rd.ranking = rk
-		return rk
+		return rk, nil
 	}
 
 	// Phase 1: stream raw values chunk by chunk through the selector,
-	// skipping chunks the bound rules out.
+	// skipping chunks the bound rules out. The checkpoint is polled per
+	// chunk, so a deadline interrupts the sweep mid-selection.
 	prunable := rd.haveBounds && (rd.combiner == cmbLeaf || (rd.keep >= 1 && rd.keep <= k))
-	pass := func(sel *topk.StreamSelector) (pruned int) {
+	pass := func(sel *topk.StreamSelector) (pruned int, err error) {
 		for ci := 0; ci < rd.chunkCount(); ci++ {
+			if err := rd.poll(); err != nil {
+				return 0, err
+			}
 			lo, hi := rd.chunkSpan(ci)
 			if prunable && rd.state[ci] == 0 && rd.nanFree[ci] {
 				if bv, bi, ok := sel.Bound(); ok && boundBeats(rd.bounds[ci], lo, bv, bi) {
@@ -351,10 +373,13 @@ func (r *Result) RankRoot(k int, seed float64, vals []float64, idx []int) *RootR
 			rd.ensureRaw(ci)
 			sel.OfferSlice(rd.out[lo:hi], lo)
 		}
-		return pruned
+		return pruned, nil
 	}
 	sel := topk.NewStreamSelector(k, seed)
-	pruned := pass(sel)
+	pruned, err := pass(sel)
+	if err != nil {
+		return nil, err
+	}
 	cands, kth, complete := sel.Finish()
 	if !complete && (pruned > 0 || !math.IsNaN(seed)) {
 		// The carried-over threshold was too tight for the perturbed
@@ -362,7 +387,10 @@ func (r *Result) RankRoot(k int, seed float64, vals []float64, idx []int) *RootR
 		// Materialized chunks are memoized, so this costs at most one
 		// extra sweep.
 		sel = topk.NewStreamSelector(k, math.NaN())
-		pruned = pass(sel)
+		pruned, err = pass(sel)
+		if err != nil {
+			return nil, err
+		}
 		cands, kth, complete = sel.Finish()
 	}
 	if pruned > 0 && rd.combiner != cmbLeaf {
@@ -475,7 +503,7 @@ func (r *Result) RankRoot(k int, seed float64, vals []float64, idx []int) *RootR
 	rk.Pruned = pruned
 	rk.ScaleTime = time.Since(scaleStart)
 	rd.ranking = rk
-	return rk
+	return rk, nil
 }
 
 // rankedCand is a survivor of the cut: its scaled value and index.
@@ -622,7 +650,8 @@ func deferralSafe(root *Node, opts EvalOptions) bool {
 func (c *fusedCtx) buildDeferredRoot(root *Node) error {
 	res := c.res
 	n := c.n
-	rd := &rootDefer{res: res, node: root, n: n, keep: c.keepOf(root), pending: make(map[*Node]NormParams)}
+	rd := &rootDefer{res: res, node: root, n: n, keep: c.keepOf(root), pending: make(map[*Node]NormParams),
+		checkpoint: c.opts.Checkpoint}
 	nchunks := rd.chunkCount()
 	if root.Op == Leaf {
 		if len(root.Dists) != n {

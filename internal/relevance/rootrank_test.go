@@ -157,7 +157,10 @@ func TestDeferredRankMatchesEagerSelection(t *testing.T) {
 		case 3:
 			seed = math.Inf(1) // maximally loose seed
 		}
-		rk := got.RankRoot(k, seed, nil, nil)
+		rk, err := got.RankRoot(k, seed, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for r := 0; r < k; r++ {
 			if rk.Order[r] != wantOrder[r] {
 				t.Fatalf("trial %d (k=%d seed=%v stats=%v): order[%d] = %d, want %d",
@@ -224,7 +227,10 @@ func TestDeferredPruningFiresAndStaysExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rk := got.RankRoot(k, math.NaN(), nil, nil)
+	rk, err := got.RankRoot(k, math.NaN(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rk.Pruned == 0 {
 		t.Fatalf("expected pruned chunks on a zero-saturated selection, got %+v", rk)
 	}
@@ -265,7 +271,10 @@ func TestDeferredSeedSelfHeals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rk := got.RankRoot(k, 1e-9, nil, nil) // absurdly tight stale seed
+	rk, err := got.RankRoot(k, 1e-9, nil, nil) // absurdly tight stale seed
+	if err != nil {
+		t.Fatal(err)
+	}
 	for r := 0; r < k; r++ {
 		if rk.Order[r] != wantOrder[r] || math.Float64bits(rk.Sorted[r]) != math.Float64bits(wantSorted[r]) {
 			t.Fatalf("rank %d diverged after seed self-heal", r)

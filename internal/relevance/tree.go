@@ -136,6 +136,15 @@ type EvalOptions struct {
 	// InteriorFetch). The entry holds a private copy of the raw vector
 	// and is safe to share across evaluations and sessions.
 	InteriorStore func(sig string, e *InteriorEntry)
+	// Checkpoint, when non-nil, is polled at every node entry and
+	// between evaluator chunks; the first non-nil return aborts the
+	// evaluation (and any deferred-root ranking built from it) with
+	// that error. The engine wires context cancellation through it, so
+	// a request deadline interrupts a run mid-pass instead of holding
+	// its goroutine until the full sweep completes. Checkpoint must be
+	// cheap (it is called O(n/chunk) times) and safe for concurrent
+	// use — ctx.Err is both.
+	Checkpoint func() error
 	// LeafID, when non-nil, supplies the leaf identity the interior
 	// signatures embed in place of Node.Label (an empty return falls
 	// back to the label). Callers whose labels are not injective over

@@ -1,12 +1,16 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"sort"
 	"strconv"
+	"time"
 
 	"repro/internal/query"
 	"repro/internal/relevance"
@@ -21,9 +25,49 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeErr encodes a wire.ErrorResponse.
+// writeErr encodes a wire.ErrorResponse with no machine-readable code.
 func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, wire.ErrorResponse{Error: err.Error()})
+	writeErrCode(w, code, "", 0, err)
+}
+
+// writeErrCode encodes a wire.ErrorResponse carrying a machine-
+// readable code; a nonzero retryAfter adds the Retry-After header
+// (whole seconds, rounded up, at least 1) so clients can pace their
+// retries off the server's own hint.
+func writeErrCode(w http.ResponseWriter, status int, apiCode string, retryAfter time.Duration, err error) {
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, status, wire.ErrorResponse{Error: err.Error(), Code: apiCode})
+}
+
+// Retry-After hints for the two standing 503 classes: a session-cap
+// shed clears as soon as the idle sweep or a DELETE frees a slot,
+// while a quarantined catalog stays down until an operator intervenes.
+const (
+	retryAfterSessionCap  = 1 * time.Second
+	retryAfterQuarantined = 60 * time.Second
+)
+
+// writeRecalcErr maps a failed session operation to its wire form:
+// deadline overruns and cancellations answer 504 (the edit was rolled
+// back; the session still serves its previous result), everything else
+// is a client error.
+func writeRecalcErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErrCode(w, http.StatusGatewayTimeout, wire.CodeDeadline, 0, err)
+	case errors.Is(err, context.Canceled):
+		writeErrCode(w, http.StatusGatewayTimeout, wire.CodeCanceled, 0, err)
+	case err == errNothingToUndo:
+		writeErrCode(w, http.StatusConflict, wire.CodeNothingToUndo, 0, err)
+	default:
+		writeErr(w, http.StatusBadRequest, err)
+	}
 }
 
 // decodeJSON parses a JSON request body (capped at 1 MiB — every
@@ -75,28 +119,43 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("no catalog %q", req.Catalog))
 		return
 	}
+	if qerr := cs.quarantineErr(); qerr != nil {
+		writeErrCode(w, http.StatusServiceUnavailable, wire.CodeCatalogQuarantined, retryAfterQuarantined, qerr)
+		return
+	}
 	// Cheap pre-check so a full shard refuses before paying the
 	// initial recalculation; register re-checks authoritatively under
 	// the shard lock.
 	if err := cs.shard.checkCapacity(); err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err)
+		writeErrCode(w, http.StatusServiceUnavailable, wire.CodeSessionCap, retryAfterSessionCap, err)
 		return
 	}
 	opt := s.sessionOptions(req.Options)
-	sess, err := session.NewSQLShared(cs.cat, cs.reg, opt, req.Query, cs.shared)
+	sess, err := session.NewSQLSharedCtx(r.Context(), cs.cat, cs.reg, opt, req.Query, cs.shared)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		if cerr := cs.checkCorrupt(); cerr != nil {
+			writeErrCode(w, http.StatusServiceUnavailable, wire.CodeCatalogQuarantined, retryAfterQuarantined, cerr)
+			return
+		}
+		writeRecalcErr(w, err)
+		return
+	}
+	// A run over a corrupt segment file completes (corrupt segments
+	// decode as zeroes) but its result is garbage: quarantine and
+	// refuse instead of publishing the session.
+	if cerr := cs.checkCorrupt(); cerr != nil {
+		writeErrCode(w, http.StatusServiceUnavailable, wire.CodeCatalogQuarantined, retryAfterQuarantined, cerr)
 		return
 	}
 	// Capture the initial run's count before the session is published:
 	// once register returns, its (predictable) ID is addressable and a
 	// concurrent edit could mutate sess.Recalcs under its own mutex.
 	initialRecalcs := uint64(sess.Recalcs)
-	ss, err := cs.shard.register(sess)
+	ss, err := cs.shard.register(sess, cs)
 	if err != nil {
 		// The discarded session's work stays out of the shard counter,
 		// keeping recalcs attributable to sessions that ever existed.
-		writeErr(w, http.StatusServiceUnavailable, err)
+		writeErrCode(w, http.StatusServiceUnavailable, wire.CodeSessionCap, retryAfterSessionCap, err)
 		return
 	}
 	cs.shard.recalcs.Add(initialRecalcs)
@@ -107,35 +166,95 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 // sessionEdit is the shared tail of every mutating session endpoint:
-// resolve the ID to its shard, serialize on the session's mutex, run
-// the edit, attribute the recalculations to the shard, and answer
-// with the fresh summary. The request body is fully decoded BEFORE
-// this runs, so the session mutex is never held across network I/O (a
-// client trickling a body must not stall the session's readers).
-func (s *Server) sessionEdit(w http.ResponseWriter, r *http.Request, edit func(ss *serverSession) error) {
+// resolve the ID to its shard, serialize on the session's mutex,
+// settle the idempotency sequence number, run the edit under the
+// request's deadline, attribute the recalculations to the shard, and
+// answer with the fresh summary. The request body is fully decoded
+// BEFORE this runs, so the session mutex is never held across network
+// I/O (a client trickling a body must not stall the session's
+// readers).
+//
+// Sequence semantics (seq != 0): a request numbered past the last
+// applied operation applies (forward gaps are legal — a client that
+// exhausted its retry budget abandons that operation's number); a
+// retransmission of the last applied number replays its stored
+// response without touching the session; a stale number answers 409
+// CodeSeqConflict, so a late duplicate of an abandoned operation can
+// never re-apply after later operations. Responses are recorded for
+// 2xx and 4xx outcomes only — a 504 was rolled back server-side, so
+// the retry must re-apply, which is exactly what not advancing the
+// number achieves.
+func (s *Server) sessionEdit(w http.ResponseWriter, r *http.Request, seq uint64, edit func(ss *serverSession) error) {
 	ss, err := s.lookup(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
 	ss.mu.Lock()
-	before := ss.sess.Recalcs
-	err = edit(ss)
-	ss.shard.recalcs.Add(uint64(ss.sess.Recalcs - before))
-	var sum wire.Summary
-	if err == nil {
-		sum = summaryLocked(ss)
-	}
-	ss.mu.Unlock()
-	if err != nil {
-		code := http.StatusBadRequest
-		if err == errNothingToUndo {
-			code = http.StatusConflict
-		}
-		writeErr(w, code, err)
+	if qerr := ss.cat.quarantineErr(); qerr != nil {
+		ss.mu.Unlock()
+		writeErrCode(w, http.StatusServiceUnavailable, wire.CodeCatalogQuarantined, retryAfterQuarantined, qerr)
 		return
 	}
-	writeJSON(w, http.StatusOK, sum)
+	if seq != 0 {
+		switch {
+		case seq == ss.seq && ss.reply != nil:
+			rep := *ss.reply
+			ss.mu.Unlock()
+			rep.write(w)
+			return
+		case seq <= ss.seq:
+			cur := ss.seq
+			ss.mu.Unlock()
+			writeErrCode(w, http.StatusConflict, wire.CodeSeqConflict, 0,
+				fmt.Errorf("sequence conflict: request carries stale seq %d, session applied up to %d", seq, cur))
+			return
+		}
+	}
+	ss.sess.SetRunContext(r.Context())
+	before := ss.sess.Recalcs
+	err = edit(ss)
+	ss.sess.SetRunContext(nil)
+	ss.shard.recalcs.Add(uint64(ss.sess.Recalcs - before))
+	// Poll the catalog's sticky corruption state: a recalculation that
+	// decoded a corrupt segment "succeeded" over zeroed data, and its
+	// result must not be served.
+	if cerr := ss.cat.checkCorrupt(); cerr != nil {
+		ss.mu.Unlock()
+		writeErrCode(w, http.StatusServiceUnavailable, wire.CodeCatalogQuarantined, retryAfterQuarantined, cerr)
+		return
+	}
+	if err != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+		// Rolled back, not recorded: the client's retry re-applies.
+		ss.mu.Unlock()
+		writeRecalcErr(w, err)
+		return
+	}
+	var rep storedReply
+	switch {
+	case err == nil:
+		rep = storedReply{status: http.StatusOK, summary: summaryLocked(ss)}
+	case err == errNothingToUndo:
+		rep = storedReply{status: http.StatusConflict, errMsg: err.Error(), errCode: wire.CodeNothingToUndo}
+	default:
+		rep = storedReply{status: http.StatusBadRequest, errMsg: err.Error()}
+	}
+	if seq != 0 {
+		ss.seq = seq
+		ss.reply = &rep
+	}
+	ss.mu.Unlock()
+	rep.write(w)
+}
+
+// write emits a stored reply — the single encoding for both fresh and
+// replayed responses, so a replay is byte-identical to the original.
+func (rep *storedReply) write(w http.ResponseWriter) {
+	if rep.status == http.StatusOK {
+		writeJSON(w, rep.status, rep.summary)
+		return
+	}
+	writeErrCode(w, rep.status, rep.errCode, 0, errors.New(rep.errMsg))
 }
 
 var errNothingToUndo = fmt.Errorf("nothing to undo")
@@ -146,7 +265,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	s.sessionEdit(w, r, func(ss *serverSession) error {
+	s.sessionEdit(w, r, req.Seq, func(ss *serverSession) error {
 		return ss.sess.SetQuery(req.Query)
 	})
 }
@@ -164,7 +283,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	if req.Hi != nil {
 		hi = *req.Hi
 	}
-	s.sessionEdit(w, r, func(ss *serverSession) error {
+	s.sessionEdit(w, r, req.Seq, func(ss *serverSession) error {
 		return ss.sess.SetRangeByAttr(req.Attr, lo, hi)
 	})
 }
@@ -176,7 +295,7 @@ func (s *Server) handleWeight(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	s.sessionEdit(w, r, func(ss *serverSession) error {
+	s.sessionEdit(w, r, req.Seq, func(ss *serverSession) error {
 		preds := query.Predicates(ss.sess.Query().Where)
 		if req.Pred < 0 || req.Pred >= len(preds) {
 			return fmt.Errorf("predicate index %d out of range [0,%d)", req.Pred, len(preds))
@@ -185,9 +304,17 @@ func (s *Server) handleWeight(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleUndo reverts the last modification.
+// handleUndo reverts the last modification. The body is optional on
+// the wire: pre-idempotency clients POST an empty body, which reads as
+// Seq 0.
 func (s *Server) handleUndo(w http.ResponseWriter, r *http.Request) {
-	s.sessionEdit(w, r, func(ss *serverSession) error {
+	var req wire.UndoRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	s.sessionEdit(w, r, req.Seq, func(ss *serverSession) error {
 		if !ss.sess.CanUndo() {
 			return errNothingToUndo
 		}
@@ -204,6 +331,13 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	ss, err := s.lookup(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	if qerr := ss.cat.quarantineErr(); qerr != nil {
+		// The last result may predate the corruption, but rows computed
+		// from zeroed segments are indistinguishable from good ones —
+		// refuse rather than serve data of unknown integrity.
+		writeErrCode(w, http.StatusServiceUnavailable, wire.CodeCatalogQuarantined, retryAfterQuarantined, qerr)
 		return
 	}
 	top := -1
@@ -267,6 +401,10 @@ func (s *Server) handleTimings(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
+	if qerr := ss.cat.quarantineErr(); qerr != nil {
+		writeErrCode(w, http.StatusServiceUnavailable, wire.CodeCatalogQuarantined, retryAfterQuarantined, qerr)
+		return
+	}
 	ss.mu.Lock()
 	sum := summaryLocked(ss)
 	ss.mu.Unlock()
@@ -318,7 +456,11 @@ func (s *Server) handleCatalogs(w http.ResponseWriter, r *http.Request) {
 	out := make([]wire.CatalogInfo, 0, len(names))
 	for _, name := range names {
 		cs := s.catalogs[name]
-		out = append(out, wire.CatalogInfo{Name: name, Shard: cs.shard.id, Tables: cs.cat.TableNames()})
+		info := wire.CatalogInfo{Name: name, Shard: cs.shard.id, Quarantined: cs.quarantineErr() != nil}
+		if cs.cat != nil {
+			info.Tables = cs.cat.TableNames()
+		}
+		out = append(out, info)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

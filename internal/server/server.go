@@ -87,6 +87,12 @@ type CatalogConfig struct {
 	// defaults, including cost-aware admission at
 	// core.DefaultAdmitMinCost.
 	Shared core.SharedOptions
+	// Quarantined registers the catalog in quarantine from the start:
+	// its segment file failed checksum verification when the daemon
+	// loaded it. Catalog may be nil in that case; every request
+	// touching the catalog answers 503 with the stored error while the
+	// rest of the server serves normally.
+	Quarantined error
 }
 
 // Config configures a Server.
@@ -114,6 +120,29 @@ type Config struct {
 	// SweepIdleSessions calls; a reaped session answers later requests
 	// with 404, exactly like an explicit DELETE.
 	SessionTTL time.Duration
+	// RequestTimeout bounds every request, recalculation included: the
+	// handler context carries a deadline this far from arrival, the
+	// engine polls it between evaluation chunks, and an overrun answers
+	// 504 with the session rolled back to its pre-request state (still
+	// serving the previous result). 0 disables the bound.
+	RequestTimeout time.Duration
+	// FaultHook, when non-nil, is consulted at the top of every request
+	// — before any state changes — and may inject latency or an error
+	// response (the fault-injection harness; nil in production). A
+	// returned nil Fault passes the request through untouched.
+	FaultHook func(r *http.Request) *Fault
+}
+
+// Fault is one injected handler fault: sleep Delay (bounded by the
+// request context), then, if Status is nonzero, answer it with Code
+// and Msg instead of running the real handler. A zero-Status fault is
+// pure latency. Faults are injected before any handler state changes,
+// so an injected error is always safe to retry.
+type Fault struct {
+	Delay  time.Duration
+	Status int
+	Code   string
+	Msg    string
 }
 
 // DefaultShards is the shard count Config.Shards == 0 selects.
@@ -137,6 +166,44 @@ type catalogState struct {
 	reg    *distance.Registry
 	shared *core.SharedCache
 	shard  *shard
+
+	// quar holds the catalog's quarantine state: non-nil once segment
+	// corruption was detected (at load time or during a recalculation).
+	// Quarantine is sticky — the first error wins and the catalog
+	// answers 503 until a restart with a repaired file — and
+	// per-catalog: other catalogs, on this shard or not, keep serving.
+	quar atomic.Pointer[quarantine]
+}
+
+// quarantine wraps the first corruption error observed on a catalog.
+type quarantine struct{ err error }
+
+// quarantineErr returns the catalog's quarantine error, nil if healthy.
+func (cs *catalogState) quarantineErr() error {
+	if q := cs.quar.Load(); q != nil {
+		return q.err
+	}
+	return nil
+}
+
+// setQuarantined records err as the catalog's quarantine cause; the
+// first recorded error is kept.
+func (cs *catalogState) setQuarantined(err error) {
+	if err == nil {
+		return
+	}
+	cs.quar.CompareAndSwap(nil, &quarantine{err: err})
+}
+
+// checkCorrupt polls the catalog's sticky corruption state (fed by
+// checksum failures during segment decode) and quarantines on the
+// first hit. Called after every recalculation: a result computed from
+// a corrupt segment is garbage and must not be served.
+func (cs *catalogState) checkCorrupt() error {
+	if cs.cat != nil {
+		cs.setQuarantined(cs.cat.Corrupt())
+	}
+	return cs.quarantineErr()
 }
 
 // shard is one serving partition: the sessions of the catalogs homed
@@ -166,6 +233,14 @@ type serverSession struct {
 	id    string
 	sess  *session.Session
 	shard *shard
+	cat   *catalogState
+	// seq is the highest applied idempotency sequence number and reply
+	// the stored response of the operation that applied it (2xx and 4xx
+	// outcomes only — a 5xx/504 is rolled back server-side and
+	// recording it would make a retry replay the failure instead of
+	// re-applying the operation). Guarded by mu.
+	seq   uint64
+	reply *storedReply
 	// lastAccess is the UnixNano stamp of the latest request that
 	// touched the session (creation included) — the idle-TTL sweep's
 	// eviction clock.
@@ -175,6 +250,15 @@ type serverSession struct {
 // touch stamps the session as just-accessed.
 func (ss *serverSession) touch() { ss.lastAccess.Store(time.Now().UnixNano()) }
 
+// storedReply is the recorded outcome of the last applied idempotent
+// operation, replayed verbatim when the client retransmits its Seq.
+type storedReply struct {
+	status  int
+	summary wire.Summary // valid when status is 2xx
+	errMsg  string       // valid otherwise
+	errCode string
+}
+
 // Server routes the serving protocol over a set of shards. It
 // implements http.Handler; wrap it in an http.Server (or cmd/visdbd)
 // to serve, and use that server's Shutdown for graceful drain — every
@@ -182,12 +266,14 @@ func (ss *serverSession) touch() { ss.lastAccess.Store(time.Now().UnixNano()) }
 // requests drains recalculations. InFlight exposes the live count for
 // drain diagnostics.
 type Server struct {
-	shards   []*shard
-	catalogs map[string]*catalogState
-	mux      *http.ServeMux
-	opt      core.Options
-	ttl      time.Duration
-	inflight atomic.Int64
+	shards    []*shard
+	catalogs  map[string]*catalogState
+	mux       *http.ServeMux
+	opt       core.Options
+	ttl       time.Duration
+	timeout   time.Duration
+	faultHook func(r *http.Request) *Fault
+	inflight  atomic.Int64
 }
 
 // New builds a server from the config.
@@ -201,16 +287,18 @@ func New(cfg Config) (*Server, error) {
 		maxSessions = DefaultMaxSessionsPerShard
 	}
 	s := &Server{
-		shards:   make([]*shard, n),
-		catalogs: make(map[string]*catalogState),
-		opt:      cfg.DefaultOptions,
-		ttl:      cfg.SessionTTL,
+		shards:    make([]*shard, n),
+		catalogs:  make(map[string]*catalogState),
+		opt:       cfg.DefaultOptions,
+		ttl:       cfg.SessionTTL,
+		timeout:   cfg.RequestTimeout,
+		faultHook: cfg.FaultHook,
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{id: i, sessions: make(map[string]*serverSession), maxSessions: maxSessions}
 	}
 	for _, cc := range cfg.Catalogs {
-		if cc.Name == "" || cc.Catalog == nil {
+		if cc.Name == "" || (cc.Catalog == nil && cc.Quarantined == nil) {
 			return nil, fmt.Errorf("server: catalog config needs a name and a catalog")
 		}
 		if _, dup := s.catalogs[cc.Name]; dup {
@@ -224,6 +312,7 @@ func New(cfg Config) (*Server, error) {
 			shared: core.NewSharedCacheOpts(cc.Shared),
 			shard:  sh,
 		}
+		cs.setQuarantined(cc.Quarantined)
 		s.catalogs[cc.Name] = cs
 		sh.catalogs = append(sh.catalogs, cs)
 	}
@@ -248,10 +337,37 @@ func ShardOf(catalog string, shards int) int {
 	return int(h.Sum32() % uint32(shards))
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. The request deadline starts
+// here, before fault injection: injected latency consumes the request
+// budget exactly like real slowness would, which is what lets the
+// chaos suite drive deterministic 504s through the full stack.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
+	if s.timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	if s.faultHook != nil {
+		if f := s.faultHook(r); f != nil {
+			if f.Delay > 0 {
+				t := time.NewTimer(f.Delay)
+				select {
+				case <-t.C:
+				case <-r.Context().Done():
+					t.Stop()
+				}
+			}
+			if f.Status != 0 {
+				// Injected before any handler state changes: an injected
+				// error is indistinguishable from a request that never
+				// arrived, so retries stay safe.
+				writeErrCode(w, f.Status, f.Code, 0, fmt.Errorf("%s", f.Msg))
+				return
+			}
+		}
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -306,7 +422,7 @@ func (s *Server) sessionOptions(o wire.SessionOptions) core.Options {
 // ID. A full shard (maxSessions live sessions — each pins O(rows)
 // pooled result buffers) refuses registration; clients must close
 // sessions or be shed.
-func (sh *shard) register(sess *session.Session) (*serverSession, error) {
+func (sh *shard) register(sess *session.Session, cs *catalogState) (*serverSession, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if err := sh.checkCapacityLocked(); err != nil {
@@ -317,6 +433,7 @@ func (sh *shard) register(sess *session.Session) (*serverSession, error) {
 		id:    fmt.Sprintf("s%d.%d", sh.id, sh.nextSeq),
 		sess:  sess,
 		shard: sh,
+		cat:   cs,
 	}
 	ss.touch()
 	sh.sessions[ss.id] = ss

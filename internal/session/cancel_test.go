@@ -1,0 +1,153 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// snap captures the externally observable session state a failed
+// operation must leave untouched.
+type sessionSnap struct {
+	query   string
+	recalcs int
+	history int
+	res     *core.Result
+	dirty   bool
+}
+
+func snapOf(s *Session) sessionSnap {
+	return sessionSnap{
+		query:   s.Query().String(),
+		recalcs: s.Recalcs,
+		history: len(s.history),
+		res:     s.Result(),
+		dirty:   s.Dirty(),
+	}
+}
+
+func checkUnchanged(t *testing.T, s *Session, want sessionSnap) {
+	t.Helper()
+	got := snapOf(s)
+	if got != want {
+		t.Fatalf("session state changed across failed op:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// canceledCtx returns a context that is already done, so the engine's
+// first cancellation checkpoint trips deterministically.
+func canceledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func TestCanceledRecalcRollsBackRange(t *testing.T) {
+	s := newSession(t)
+	c, err := s.FindCond("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := snapOf(s)
+
+	s.SetRunContext(canceledCtx())
+	err = s.SetRange(c, 5, math.Inf(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	checkUnchanged(t, s, want)
+
+	// The retry path: clearing the context and repeating the drag must
+	// succeed and match a fresh session bit for bit.
+	s.SetRunContext(nil)
+	if err := s.SetRange(c, 5, math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewSQL(testCatalog(t), nil, core.Options{GridW: 8, GridH: 8},
+		`SELECT x FROM T WHERE x >= 5 AND y > 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := s.Result(), fresh.Result()
+	if a.Displayed != b.Displayed {
+		t.Fatalf("displayed %d != %d", a.Displayed, b.Displayed)
+	}
+	for i := 0; i < a.Displayed; i++ {
+		if a.Order[i] != b.Order[i] || a.DistanceOfRank(i) != b.DistanceOfRank(i) {
+			t.Fatalf("rank %d: (%d,%v) != (%d,%v)", i,
+				a.Order[i], a.DistanceOfRank(i), b.Order[i], b.DistanceOfRank(i))
+		}
+	}
+}
+
+func TestCanceledRecalcRollsBackQueryAndWeightAndUndo(t *testing.T) {
+	s := newSession(t)
+	c, err := s.FindCond("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build one undoable step first so Undo has something to revert.
+	if err := s.SetRange(c, 5, math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	want := snapOf(s)
+	s.SetRunContext(canceledCtx())
+
+	if err := s.SetQuery(`SELECT x FROM T WHERE y <= 3`); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SetQuery: want context.Canceled, got %v", err)
+	}
+	checkUnchanged(t, s, want)
+
+	if err := s.SetWeight(s.Query().Where, 2.5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SetWeight: want context.Canceled, got %v", err)
+	}
+	checkUnchanged(t, s, want)
+	if w := s.Query().Where.Weight(); w != 1 {
+		t.Fatalf("weight not rolled back: %v", w)
+	}
+
+	if err := s.Undo(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Undo: want context.Canceled, got %v", err)
+	}
+	checkUnchanged(t, s, want)
+
+	if err := s.SetPercentDisplayed(0.5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SetPercentDisplayed: want context.Canceled, got %v", err)
+	}
+	checkUnchanged(t, s, want)
+
+	// After clearing the context every rolled-back operation works
+	// again, and the undo reverts the range drag as if the failed
+	// attempts never happened.
+	s.SetRunContext(nil)
+	if err := s.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Query().String(); got != want.query {
+		// Undo reverted the SetRange, so the query must differ from the
+		// post-drag form and match the original.
+		orig := newSession(t)
+		if got != orig.Query().String() {
+			t.Fatalf("undo restored %q", got)
+		}
+	}
+}
+
+func TestDeadlineErrorIsTyped(t *testing.T) {
+	s := newSession(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(1, 0))
+	defer cancel()
+	s.SetRunContext(ctx)
+	err := s.SetPercentDisplayed(0.25)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	s.SetRunContext(nil)
+	if err := s.SetPercentDisplayed(0.25); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,6 +10,7 @@
 package session
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -63,6 +64,13 @@ type Session struct {
 	// interface lets the user return to earlier query states via the
 	// query specification process.
 	history []string
+
+	// runCtx, when non-nil, bounds every engine run started by this
+	// session: a recalculation observes the context's deadline or
+	// cancellation between evaluation chunks and aborts with an error
+	// wrapping context.DeadlineExceeded / context.Canceled. The serving
+	// layer installs a fresh per-request context before each operation.
+	runCtx context.Context
 }
 
 // New starts a session on a parsed query and runs it once.
@@ -79,15 +87,22 @@ func New(cat *dataset.Catalog, reg *distance.Registry, opt core.Options, q *quer
 // one shared cache. All sessions on one SharedCache must use the same
 // catalog and distance registry. A nil shared is identical to New.
 func NewShared(cat *dataset.Catalog, reg *distance.Registry, opt core.Options, q *query.Query, shared *core.SharedCache) (*Session, error) {
+	return NewSharedCtx(nil, cat, reg, opt, q, shared)
+}
+
+// NewSharedCtx is NewShared with the initial recalculation bounded by
+// ctx (see SetRunContext); the bound does not outlive construction.
+func NewSharedCtx(ctx context.Context, cat *dataset.Catalog, reg *distance.Registry, opt core.Options, q *query.Query, shared *core.SharedCache) (*Session, error) {
 	cache := core.NewRunCache()
 	if shared != nil {
 		cache.AttachShared(shared)
 	}
 	s := &Session{cat: cat, reg: reg, opt: opt, q: q, autoRecalc: true, selectedItem: -1,
-		cache: cache}
+		cache: cache, runCtx: ctx}
 	if err := s.Recalculate(); err != nil {
 		return nil, err
 	}
+	s.runCtx = nil
 	return s, nil
 }
 
@@ -98,11 +113,18 @@ func NewSQL(cat *dataset.Catalog, reg *distance.Registry, opt core.Options, src 
 
 // NewSQLShared starts a shared-tier session from dialect text.
 func NewSQLShared(cat *dataset.Catalog, reg *distance.Registry, opt core.Options, src string, shared *core.SharedCache) (*Session, error) {
+	return NewSQLSharedCtx(nil, cat, reg, opt, src, shared)
+}
+
+// NewSQLSharedCtx is NewSQLShared with the initial recalculation
+// bounded by ctx (see SetRunContext); the bound does not outlive
+// construction.
+func NewSQLSharedCtx(ctx context.Context, cat *dataset.Catalog, reg *distance.Registry, opt core.Options, src string, shared *core.SharedCache) (*Session, error) {
 	q, err := query.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return NewShared(cat, reg, opt, q, shared)
+	return NewSharedCtx(ctx, cat, reg, opt, q, shared)
 }
 
 // Result returns the current result. When auto-recalculate is off and
@@ -134,6 +156,14 @@ func (s *Session) SetAutoRecalc(on bool) error {
 	return nil
 }
 
+// SetRunContext bounds subsequent engine runs by ctx: a recalculation
+// polls the context between evaluation chunks and aborts once it is
+// done. A nil ctx (the default) removes the bound. Cancellation is
+// safe: the session keeps serving its previous result, pooled buffers
+// are reclaimed, and leaf vectors already computed stay cached, so a
+// retry of the same operation resumes instead of starting over.
+func (s *Session) SetRunContext(ctx context.Context) { s.runCtx = ctx }
+
 // Recalculate re-runs the query through the engine. Reruns are
 // incremental: leaf distance vectors unchanged since the previous run
 // come from the session cache, evaluation buffers are pooled, and the
@@ -150,7 +180,7 @@ func (s *Session) Recalculate() error {
 		}
 		s.bind = b
 	}
-	res, err := e.RunPrebound(s.q, s.bind, s.cache)
+	res, err := e.RunPreboundCtx(s.runCtx, s.q, s.bind, s.cache)
 	if err != nil {
 		return err
 	}
@@ -188,6 +218,16 @@ func (s *Session) snapshot() {
 	}
 }
 
+// popSnapshot discards the most recent Undo snapshot. Modification
+// methods call it when the recalculation their mutation triggered
+// fails and the mutation is rolled back: the aborted edit must not
+// become an Undo step.
+func (s *Session) popSnapshot() {
+	if len(s.history) > 0 {
+		s.history = s.history[:len(s.history)-1]
+	}
+}
+
 // CanUndo reports whether an earlier query state exists.
 func (s *Session) CanUndo() bool { return len(s.history) > 0 }
 
@@ -205,6 +245,9 @@ func (s *Session) Undo() error {
 	if err != nil {
 		return fmt.Errorf("session: corrupt history entry: %w", err)
 	}
+	oldQ := s.q
+	oldSel := s.selectedItem
+	oldProjExpr, oldProjLo, oldProjHi, oldProj := s.projExpr, s.projLo, s.projHi, s.hasProj
 	s.q = q
 	// Per-condition invalidation: entries for conditions absent from
 	// the restored query are dropped; surviving ones make the undo
@@ -212,7 +255,18 @@ func (s *Session) Undo() error {
 	s.cache.Prune(q)
 	s.ClearProjection()
 	s.ClearSelection()
-	return s.Recalculate()
+	if err := s.Recalculate(); err != nil {
+		// Failed undo: put the popped snapshot back and reinstate the
+		// query it would have reverted, so the session is exactly as
+		// before the call and the undo can be retried.
+		s.q = oldQ
+		s.cache.Prune(oldQ)
+		s.projExpr, s.projLo, s.projHi, s.hasProj = oldProjExpr, oldProjLo, oldProjHi, oldProj
+		s.selectedItem = oldSel
+		s.history = append(s.history, src)
+		return err
+	}
+	return nil
 }
 
 // SetQuery replaces the whole query (the "switch back to the query
@@ -224,6 +278,9 @@ func (s *Session) SetQuery(src string) error {
 	if err != nil {
 		return err
 	}
+	oldQ := s.q
+	oldSel := s.selectedItem
+	oldProjExpr, oldProjLo, oldProjHi, oldProj := s.projExpr, s.projLo, s.projHi, s.hasProj
 	s.snapshot()
 	s.q = q
 	// Drop cache entries for conditions the new query no longer
@@ -231,7 +288,20 @@ func (s *Session) SetQuery(src string) error {
 	s.cache.Prune(q)
 	s.ClearProjection()
 	s.ClearSelection()
-	return s.maybeRecalc()
+	if err := s.maybeRecalc(); err != nil {
+		// Failed (for example timed-out) recalculation: reinstate the
+		// previous AST — its binding revalidates by identity — along with
+		// the projection and selection that referenced it, and drop the
+		// snapshot so the aborted edit is not undoable. The session keeps
+		// serving its previous result.
+		s.q = oldQ
+		s.cache.Prune(oldQ)
+		s.projExpr, s.projLo, s.projHi, s.hasProj = oldProjExpr, oldProjLo, oldProjHi, oldProj
+		s.selectedItem = oldSel
+		s.popSnapshot()
+		return err
+	}
+	return nil
 }
 
 // FindCond locates a top-level (or nested) condition whose attribute
@@ -309,13 +379,23 @@ func (s *Session) SetRange(c *query.Cond, lo, hi float64) error {
 	// Drop the superseded range's cache entries so a continuous drag
 	// does not pile one entry per intermediate position into the cache.
 	s.cache.InvalidateCond(c)
+	oldOp, oldLo, oldHi, oldV := c.Op, c.Lo, c.Hi, c.Value
 	c.Op = newOp
 	if newOp == query.OpBetween {
 		c.Lo, c.Hi = newLo, newHi
 	} else {
 		c.Value = v
 	}
-	return s.maybeRecalc()
+	if err := s.maybeRecalc(); err != nil {
+		// Failed recalculation: restore the condition in place (callers'
+		// AST pointers stay valid) and drop the snapshot. Leaf vectors
+		// the aborted run did finish stay cached under the new range's
+		// key, so retrying the same drag resumes rather than restarts.
+		c.Op, c.Lo, c.Hi, c.Value = oldOp, oldLo, oldHi, oldV
+		s.popSnapshot()
+		return err
+	}
+	return nil
 }
 
 // SetRangeByAttr finds the first condition on the named attribute and
@@ -366,9 +446,15 @@ func (s *Session) SetWeight(e query.Expr, w float64) error {
 	if e.Weight() == w {
 		return nil
 	}
+	old := e.Weight()
 	s.snapshot()
 	e.SetWeight(w)
-	return s.maybeRecalc()
+	if err := s.maybeRecalc(); err != nil {
+		e.SetWeight(old)
+		s.popSnapshot()
+		return err
+	}
+	return nil
 }
 
 // SetPercentDisplayed fixes the displayed fraction (the overall-result
@@ -380,8 +466,13 @@ func (s *Session) SetPercentDisplayed(pct float64) error {
 	if pct < 0 || pct > 1 || math.IsNaN(pct) {
 		return fmt.Errorf("session: invalid percentage %v", pct)
 	}
+	old := s.opt.PercentDisplayed
 	s.opt.PercentDisplayed = pct
-	return s.maybeRecalc()
+	if err := s.maybeRecalc(); err != nil {
+		s.opt.PercentDisplayed = old
+		return err
+	}
+	return nil
 }
 
 // Select marks the data item at a window cell as the selected tuple; it

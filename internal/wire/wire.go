@@ -43,16 +43,29 @@ type CreateSessionRequest struct {
 // POST /v1/sessions/{id}/query.
 type QueryRequest struct {
 	Query string `json:"query"`
+	// Seq is the idempotency sequence number; see RangeRequest.Seq.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // RangeRequest moves a condition's range (the remote slider drag):
 // POST /v1/sessions/{id}/range. The condition is addressed by
 // attribute name; a null bound leaves that side open (the condition
 // becomes >= or <=).
+//
+// Seq, when nonzero, makes the operation idempotent: the client
+// numbers its mutating operations 1, 2, 3, … per session, and the
+// server applies a request only when its Seq is past the last applied
+// number (forward gaps are legal — an abandoned operation's number is
+// simply skipped). Retransmitting the last applied Seq replays the
+// stored response without re-running anything; a stale Seq answers
+// 409 with code CodeSeqConflict, so a late duplicate can never
+// re-apply after later operations. Seq 0 is the legacy non-idempotent
+// mode: always applied.
 type RangeRequest struct {
 	Attr string   `json:"attr"`
 	Lo   *float64 `json:"lo"`
 	Hi   *float64 `json:"hi"`
+	Seq  uint64   `json:"seq,omitempty"`
 }
 
 // WeightRequest updates a top-level predicate's weighting factor:
@@ -62,6 +75,16 @@ type RangeRequest struct {
 type WeightRequest struct {
 	Pred   int     `json:"pred"`
 	Weight float64 `json:"weight"`
+	// Seq is the idempotency sequence number; see RangeRequest.Seq.
+	Seq uint64 `json:"seq,omitempty"`
+}
+
+// UndoRequest reverts the last modification:
+// POST /v1/sessions/{id}/undo. The body is optional on the wire (an
+// empty body means Seq 0, the legacy non-idempotent form).
+type UndoRequest struct {
+	// Seq is the idempotency sequence number; see RangeRequest.Seq.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // Timings mirrors core.StageTimings in nanoseconds plus the cache and
@@ -224,12 +247,49 @@ type ShardStats struct {
 
 // CatalogInfo describes one served catalog: GET /v1/catalogs.
 type CatalogInfo struct {
-	Name   string   `json:"name"`
-	Shard  int      `json:"shard"`
+	Name  string `json:"name"`
+	Shard int    `json:"shard"`
+	// Tables is empty when the catalog is quarantined (its data never
+	// loaded cleanly).
 	Tables []string `json:"tables"`
+	// Quarantined marks a catalog whose segment file failed checksum
+	// verification; sessions on it answer 503 until the daemon restarts
+	// with a repaired file.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
+
+// Machine-readable error codes carried in ErrorResponse.Code. Clients
+// branch on these, never on the human-readable message.
+const (
+	// CodeDeadline: the operation exceeded the server's request
+	// deadline and was rolled back; the session still serves its
+	// previous result. Retrying (same Seq) is safe and resumes from
+	// whatever leaf vectors the aborted run finished.
+	CodeDeadline = "deadline"
+	// CodeCanceled: the request's context was canceled before the
+	// recalculation finished (client disconnect); rolled back like
+	// CodeDeadline.
+	CodeCanceled = "canceled"
+	// CodeSeqConflict: the request's Seq is neither the last applied
+	// number (replay) nor the next one (apply) — a lost or reordered
+	// operation. The client must resynchronize its view.
+	CodeSeqConflict = "seq_conflict"
+	// CodeSessionCap: the catalog's shard is at its session limit;
+	// retry after closing sessions or after the idle sweep.
+	CodeSessionCap = "session_cap"
+	// CodeCatalogQuarantined: the catalog's segment file failed
+	// checksum verification; everything on this catalog answers 503
+	// while other catalogs keep serving.
+	CodeCatalogQuarantined = "catalog_quarantined"
+	// CodeNothingToUndo: the session has no earlier state to revert
+	// to.
+	CodeNothingToUndo = "nothing_to_undo"
+)
 
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// Code is a machine-readable error class (one of the Code*
+	// constants), empty for generic validation failures.
+	Code string `json:"code,omitempty"`
 }

@@ -28,8 +28,12 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -57,10 +61,116 @@ type (
 type APIError struct {
 	Status int    // HTTP status code
 	Msg    string // server's error message
+	// Code is the server's machine-readable error class (one of the
+	// wire.Code* constants: "deadline", "seq_conflict", "session_cap",
+	// "catalog_quarantined", …), empty for generic failures. Branch on
+	// Code, never on Msg.
+	Code string
+	// RetryAfter is the server's Retry-After hint, zero when absent.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("visdbd: %s (http %d, %s)", e.Msg, e.Status, e.Code)
+	}
 	return fmt.Sprintf("visdbd: %s (http %d)", e.Msg, e.Status)
+}
+
+// RetryPolicy configures the client's automatic retries. Retries
+// cover transport failures (connection drops, resets) and 5xx
+// responses — outcomes where the operation may or may not have been
+// applied; the per-session sequence numbers the client stamps on every
+// mutating request make such retries exactly-once on the server, so a
+// replayed request returns the original response instead of applying
+// twice. 4xx responses are never retried (the server made a
+// deterministic decision).
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget, first try included;
+	// values below 1 read as 1 (no retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: attempt n (1-based)
+	// waits BaseDelay·2^(n-1), capped at MaxDelay, before retrying.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff wait; 0 means uncapped.
+	MaxDelay time.Duration
+	// Jitter spreads each wait uniformly over ±Jitter·delay (0..1), so
+	// a fleet of clients shed by the same outage does not retry in
+	// lockstep. 0 disables jitter.
+	Jitter float64
+	// Rand supplies the jitter's uniform [0,1) samples; nil selects
+	// math/rand's global source. Tests inject a deterministic one.
+	Rand func() float64
+	// Sleep waits out a backoff delay; nil selects a real timer bounded
+	// by the context. Tests inject a virtual clock so retry schedules
+	// run in microseconds.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// PerTryTimeout bounds each individual attempt; 0 leaves only the
+	// caller's context. The overall budget is still the caller's
+	// context — an expired parent context stops the loop regardless.
+	PerTryTimeout time.Duration
+}
+
+// DefaultRetryPolicy returns a conservative production policy: 4
+// attempts, 100 ms base delay doubling to a 2 s cap, ±50% jitter.
+func DefaultRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second, Jitter: 0.5}
+}
+
+// delay computes the wait before retrying after attempt n (1-based),
+// honoring a server Retry-After hint when it is longer than the
+// backoff would be.
+func (p *RetryPolicy) delay(attempt int, retryAfter time.Duration) time.Duration {
+	d := p.BaseDelay << (attempt - 1)
+	if p.BaseDelay > 0 && d < p.BaseDelay { // overflow past ~60 attempts
+		d = p.MaxDelay
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		r := rand.Float64
+		if p.Rand != nil {
+			r = p.Rand
+		}
+		d = time.Duration(float64(d) * (1 + p.Jitter*(2*r()-1)))
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// sleep waits d or until ctx is done, via the injected clock if any.
+func (p *RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryable reports whether an attempt's outcome warrants another try:
+// transport errors and 5xx responses qualify, 4xx never does.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if ae, ok := err.(*APIError); ok {
+		return ae.Status >= 500
+	}
+	// Transport-level failure (connection refused, reset, injected
+	// drop). The caller's context expiring is checked separately.
+	return true
 }
 
 // Client speaks the serving protocol to one server.
@@ -69,6 +179,11 @@ type Client struct {
 	// HTTP is the underlying client; replace it before first use for
 	// custom transports or timeouts. Defaults to http.DefaultClient.
 	HTTP *http.Client
+	// Retry, when non-nil, enables automatic retries for transport
+	// failures and 5xx responses (see RetryPolicy). Nil — the default —
+	// keeps the historical single-attempt behavior, where admission
+	// sheds (503) surface directly to the caller.
+	Retry *RetryPolicy
 }
 
 // New creates a client for a server base URL (e.g.
@@ -80,22 +195,60 @@ func New(baseURL string) *Client {
 	return &Client{base: baseURL, HTTP: http.DefaultClient}
 }
 
-// do performs one JSON round trip. A nil in sends no body; a nil out
-// discards the response body.
+// do performs a JSON round trip, retrying per c.Retry when set. A nil
+// in sends no body; a nil out discards the response body. The body is
+// marshaled once and replayed from the same bytes on every attempt.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var buf []byte
 	if in != nil {
-		buf, err := json.Marshal(in)
+		b, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
+		buf = b
+	}
+	p := c.Retry
+	if p == nil {
+		return c.doOnce(ctx, method, path, buf, out)
+	}
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		tryCtx, cancel := ctx, context.CancelFunc(nil)
+		if p.PerTryTimeout > 0 {
+			tryCtx, cancel = context.WithTimeout(ctx, p.PerTryTimeout)
+		}
+		err = c.doOnce(tryCtx, method, path, buf, out)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil || attempt >= attempts || !retryable(err) || ctx.Err() != nil {
+			return err
+		}
+		var hint time.Duration
+		if ae, ok := err.(*APIError); ok {
+			hint = ae.RetryAfter
+		}
+		if serr := p.sleep(ctx, p.delay(attempt, hint)); serr != nil {
+			return err // budget gone: surface the last real failure
+		}
+	}
+}
+
+// doOnce performs exactly one round trip.
+func (c *Client) doOnce(ctx context.Context, method, path string, buf []byte, out any) error {
+	var body io.Reader
+	if buf != nil {
 		body = bytes.NewReader(buf)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if buf != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.HTTP.Do(req)
@@ -109,7 +262,13 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
 			msg = e.Error
 		}
-		return &APIError{Status: resp.StatusCode, Msg: msg}
+		ae := &APIError{Status: resp.StatusCode, Msg: msg, Code: e.Code}
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, perr := strconv.Atoi(v); perr == nil && secs >= 0 {
+				ae.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return ae
 	}
 	if out == nil {
 		_, err = io.Copy(io.Discard, resp.Body)
@@ -127,7 +286,17 @@ type Session struct {
 	// Catalog and Shard echo the routing decision.
 	Catalog string
 	Shard   int
+	// seq numbers this session's mutating operations 1, 2, 3, … — the
+	// idempotency keys of the serving protocol. Every retry of one
+	// logical operation reuses its number, so a retransmission after an
+	// ambiguous failure (the response was lost, not the request) replays
+	// the server's stored response instead of applying twice.
+	seq atomic.Uint64
 }
+
+// nextSeq allocates the sequence number of one logical mutating
+// operation.
+func (s *Session) nextSeq() uint64 { return s.seq.Add(1) }
 
 // NewSession opens a session on a catalog and returns it with the
 // summary of the initial run.
@@ -153,7 +322,7 @@ func (s *Session) path(suffix string) string {
 // SetQuery replaces the whole query (the old state stays undoable).
 func (s *Session) SetQuery(ctx context.Context, query string) (Summary, error) {
 	var sum Summary
-	err := s.c.do(ctx, http.MethodPost, s.path("query"), wire.QueryRequest{Query: query}, &sum)
+	err := s.c.do(ctx, http.MethodPost, s.path("query"), wire.QueryRequest{Query: query, Seq: s.nextSeq()}, &sum)
 	return sum, err
 }
 
@@ -161,7 +330,7 @@ func (s *Session) SetQuery(ctx context.Context, query string) (Summary, error) {
 // remote slider drag. Pass math.Inf(-1) / math.Inf(1) for open sides;
 // they travel as null bounds.
 func (s *Session) SetRange(ctx context.Context, attr string, lo, hi float64) (Summary, error) {
-	req := wire.RangeRequest{Attr: attr}
+	req := wire.RangeRequest{Attr: attr, Seq: s.nextSeq()}
 	if !math.IsInf(lo, -1) {
 		req.Lo = &lo
 	}
@@ -177,14 +346,14 @@ func (s *Session) SetRange(ctx context.Context, attr string, lo, hi float64) (Su
 // selection predicate (query order, 0-based).
 func (s *Session) SetWeight(ctx context.Context, pred int, weight float64) (Summary, error) {
 	var sum Summary
-	err := s.c.do(ctx, http.MethodPost, s.path("weight"), wire.WeightRequest{Pred: pred, Weight: weight}, &sum)
+	err := s.c.do(ctx, http.MethodPost, s.path("weight"), wire.WeightRequest{Pred: pred, Weight: weight, Seq: s.nextSeq()}, &sum)
 	return sum, err
 }
 
 // Undo reverts the most recent modification.
 func (s *Session) Undo(ctx context.Context) (Summary, error) {
 	var sum Summary
-	err := s.c.do(ctx, http.MethodPost, s.path("undo"), struct{}{}, &sum)
+	err := s.c.do(ctx, http.MethodPost, s.path("undo"), wire.UndoRequest{Seq: s.nextSeq()}, &sum)
 	return sum, err
 }
 

@@ -1,0 +1,284 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// scriptRT is a fully scripted http.RoundTripper: attempt i gets
+// steps[i]'s outcome. Deterministic by construction — retry tests
+// never depend on timing or randomness.
+type scriptRT struct {
+	mu    sync.Mutex
+	steps []func(*http.Request) (*http.Response, error)
+	calls int
+}
+
+func (rt *scriptRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	rt.mu.Lock()
+	i := rt.calls
+	rt.calls++
+	rt.mu.Unlock()
+	if i >= len(rt.steps) {
+		return nil, fmt.Errorf("scriptRT: unexpected attempt %d", i+1)
+	}
+	return rt.steps[i](req)
+}
+
+func (rt *scriptRT) count() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.calls
+}
+
+// respond builds a step answering status with a JSON body and optional
+// headers.
+func respond(status int, v any, hdr map[string]string) func(*http.Request) (*http.Response, error) {
+	return func(req *http.Request) (*http.Response, error) {
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		buf, _ := json.Marshal(v)
+		h := http.Header{"Content-Type": []string{"application/json"}}
+		for k, val := range hdr {
+			h.Set(k, val)
+		}
+		return &http.Response{StatusCode: status, Header: h, Body: io.NopCloser(bytes.NewReader(buf)), Request: req}, nil
+	}
+}
+
+// fail builds a step that errors at the transport layer.
+func fail(err error) func(*http.Request) (*http.Response, error) {
+	return func(req *http.Request) (*http.Response, error) {
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return nil, err
+	}
+}
+
+// fakeClock records backoff waits without sleeping: every retry test
+// runs in microseconds of real time.
+type fakeClock struct {
+	mu     sync.Mutex
+	delays []time.Duration
+}
+
+func (f *fakeClock) sleep(ctx context.Context, d time.Duration) error {
+	f.mu.Lock()
+	f.delays = append(f.delays, d)
+	f.mu.Unlock()
+	return ctx.Err()
+}
+
+// newTestClient wires a scripted transport and a deterministic policy:
+// Rand pinned to 0.5 makes the ±50% jitter multiplier exactly 1, so
+// expected delays are the raw exponential schedule.
+func newTestClient(rt *scriptRT, attempts int) (*Client, *fakeClock) {
+	clk := &fakeClock{}
+	c := New("http://test")
+	c.HTTP = &http.Client{Transport: rt}
+	c.Retry = &RetryPolicy{
+		MaxAttempts: attempts,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    80 * time.Millisecond,
+		Jitter:      0.5,
+		Rand:        func() float64 { return 0.5 },
+		Sleep:       clk.sleep,
+	}
+	return c, clk
+}
+
+func session(c *Client) *Session {
+	return &Session{c: c, ID: "s0.1", Catalog: "cat"}
+}
+
+func TestRetriesOn5xxThenSucceeds(t *testing.T) {
+	want := Summary{N: 42, Displayed: 7, Recalcs: 3}
+	rt := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		respond(500, wire.ErrorResponse{Error: "boom"}, nil),
+		respond(503, wire.ErrorResponse{Error: "shed", Code: wire.CodeSessionCap}, map[string]string{"Retry-After": "2"}),
+		respond(200, want, nil),
+	}}
+	c, clk := newTestClient(rt, 4)
+	sum, err := session(c).SetWeight(context.Background(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != want {
+		t.Fatalf("summary %+v", sum)
+	}
+	if rt.count() != 3 {
+		t.Fatalf("attempts %d, want 3", rt.count())
+	}
+	// First wait: base 10ms (jitter multiplier pinned to 1). Second:
+	// backoff says 20ms but the server's Retry-After hint (2s) is
+	// longer and wins.
+	wantDelays := []time.Duration{10 * time.Millisecond, 2 * time.Second}
+	if len(clk.delays) != len(wantDelays) {
+		t.Fatalf("delays %v", clk.delays)
+	}
+	for i, d := range wantDelays {
+		if clk.delays[i] != d {
+			t.Fatalf("delay[%d] = %v, want %v", i, clk.delays[i], d)
+		}
+	}
+}
+
+func TestNoRetryOn4xx(t *testing.T) {
+	rt := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		respond(400, wire.ErrorResponse{Error: "bad query"}, nil),
+	}}
+	c, clk := newTestClient(rt, 4)
+	_, err := session(c).SetQuery(context.Background(), "nonsense")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 400 {
+		t.Fatalf("want APIError 400, got %v", err)
+	}
+	if rt.count() != 1 || len(clk.delays) != 0 {
+		t.Fatalf("4xx must not retry: attempts=%d delays=%v", rt.count(), clk.delays)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	rt := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		respond(500, wire.ErrorResponse{Error: "1"}, nil),
+		respond(500, wire.ErrorResponse{Error: "2"}, nil),
+		respond(500, wire.ErrorResponse{Error: "3"}, nil),
+	}}
+	c, clk := newTestClient(rt, 3)
+	_, err := session(c).Undo(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 500 || ae.Msg != "3" {
+		t.Fatalf("want the final 500, got %v", err)
+	}
+	if rt.count() != 3 {
+		t.Fatalf("attempts %d, want exactly the budget", rt.count())
+	}
+	// Exponential schedule 10, 20ms between the three attempts.
+	if len(clk.delays) != 2 || clk.delays[0] != 10*time.Millisecond || clk.delays[1] != 20*time.Millisecond {
+		t.Fatalf("delays %v", clk.delays)
+	}
+}
+
+func TestBackoffCapsAtMaxDelay(t *testing.T) {
+	steps := make([]func(*http.Request) (*http.Response, error), 6)
+	for i := range steps {
+		steps[i] = respond(502, wire.ErrorResponse{Error: "gw"}, nil)
+	}
+	rt := &scriptRT{steps: steps}
+	c, clk := newTestClient(rt, 6)
+	_, err := session(c).SetRange(context.Background(), "x", 1, 2)
+	if err == nil {
+		t.Fatal("want failure")
+	}
+	// 10, 20, 40, 80, then capped at 80.
+	want := []time.Duration{10, 20, 40, 80, 80}
+	for i := range want {
+		want[i] *= time.Millisecond
+	}
+	if len(clk.delays) != len(want) {
+		t.Fatalf("delays %v", clk.delays)
+	}
+	for i, d := range want {
+		if clk.delays[i] != d {
+			t.Fatalf("delay[%d] = %v, want %v", i, clk.delays[i], d)
+		}
+	}
+}
+
+func TestTransportErrorRetries(t *testing.T) {
+	want := Summary{N: 5}
+	rt := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		fail(errors.New("connection reset")),
+		respond(200, want, nil),
+	}}
+	c, _ := newTestClient(rt, 2)
+	sum, err := session(c).SetWeight(context.Background(), 1, 0.5)
+	if err != nil || sum != want {
+		t.Fatalf("sum=%+v err=%v", sum, err)
+	}
+}
+
+func TestExpiredContextStopsRetrying(t *testing.T) {
+	rt := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		respond(500, wire.ErrorResponse{Error: "boom"}, nil),
+	}}
+	c, clk := newTestClient(rt, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := session(c).Undo(ctx)
+	if err == nil {
+		t.Fatal("want failure")
+	}
+	if rt.count() > 1 {
+		t.Fatalf("retried %d times with a dead context", rt.count()-1)
+	}
+	_ = clk
+}
+
+// TestRetriesReuseSeq is the idempotency contract from the client's
+// side: every attempt of one logical operation carries the same
+// sequence number, and consecutive operations number consecutively.
+func TestRetriesReuseSeq(t *testing.T) {
+	var seqs []uint64
+	record := func(status int, v any) func(*http.Request) (*http.Response, error) {
+		return func(req *http.Request) (*http.Response, error) {
+			var body wire.WeightRequest
+			if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+				return nil, err
+			}
+			req.Body.Close()
+			seqs = append(seqs, body.Seq)
+			buf, _ := json.Marshal(v)
+			return &http.Response{StatusCode: status,
+				Header: http.Header{"Content-Type": []string{"application/json"}},
+				Body:   io.NopCloser(bytes.NewReader(buf)), Request: req}, nil
+		}
+	}
+	rt := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		record(500, wire.ErrorResponse{Error: "flake"}),
+		record(200, Summary{}),
+		record(200, Summary{}),
+	}}
+	c, _ := newTestClient(rt, 3)
+	s := session(c)
+	if _, err := s.SetWeight(context.Background(), 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SetWeight(context.Background(), 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 3 || seqs[0] != 1 || seqs[1] != 1 || seqs[2] != 2 {
+		t.Fatalf("seqs %v, want [1 1 2]", seqs)
+	}
+}
+
+func TestAPIErrorCarriesCodeAndRetryAfter(t *testing.T) {
+	rt := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		respond(503, wire.ErrorResponse{Error: "segment corrupt", Code: wire.CodeCatalogQuarantined},
+			map[string]string{"Retry-After": "60"}),
+	}}
+	c := New("http://test")
+	c.HTTP = &http.Client{Transport: rt}
+	_, err := session(c).Results(context.Background(), 5)
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want APIError, got %v", err)
+	}
+	if ae.Code != wire.CodeCatalogQuarantined || ae.RetryAfter != 60*time.Second || ae.Status != 503 {
+		t.Fatalf("%+v", ae)
+	}
+}
