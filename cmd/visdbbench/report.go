@@ -59,6 +59,27 @@ type reweightReport struct {
 	WarmSketchless   wire.Timings `json:"warm_sketchless"`
 }
 
+// coldScanReport is the cold file-backed scan workload (-disk only): a
+// range predicate on the clustered attribute t, each run against a
+// freshly opened catalog (empty decoded-segment cache, empty run
+// cache), with the segment-stats pushdown on versus off.
+type coldScanReport struct {
+	// StatsOnMS/StatsOffMS are the median distances-stage times of the
+	// cold runs with the footer-stats pushdown enabled vs disabled
+	// (Options.NoSegmentStats) — the stage the pushdown accelerates,
+	// isolated from the shared evaluate/rank cost.
+	StatsOnMS  float64 `json:"stats_on_ms"`
+	StatsOffMS float64 `json:"stats_off_ms"`
+	Speedup    float64 `json:"speedup"`
+	// StatsOn holds a representative stats-on cold run's full timings;
+	// its SegsSkipped/Segs counters attribute the pushdown.
+	StatsOn wire.Timings `json:"stats_on"`
+	// FileBytes is the v3 (compressed, per-segment stats) catalog file
+	// size; FileBytesV2 the same catalog written in format v2.
+	FileBytes   int64 `json:"file_bytes"`
+	FileBytesV2 int64 `json:"file_bytes_v2"`
+}
+
 type concurrentReport struct {
 	Sessions      int              `json:"sessions"`
 	Steps         int              `json:"steps"`
@@ -82,6 +103,8 @@ type benchReport struct {
 	SliderDragMS float64          `json:"slider_drag_ms"`
 	SliderDrag   wire.Timings     `json:"slider_drag"`
 	Concurrent   concurrentReport `json:"concurrent"`
+	// ColdScan is present only for -disk reports.
+	ColdScan *coldScanReport `json:"cold_scan,omitempty"`
 }
 
 // medianMS converts a sample of durations to its median in
@@ -101,9 +124,10 @@ func runJSONBench(path string, rows int, seed int64, floors, disk bool) error {
 	if err != nil {
 		return err
 	}
-	rep := benchReport{Schema: 2, Rows: rows, Seed: seed, DiskBacked: disk}
+	rep := benchReport{Schema: 3, Rows: rows, Seed: seed, DiskBacked: disk}
+	var segPath string
 	if disk {
-		segPath := filepath.Join(os.TempDir(), fmt.Sprintf("visdbbench-%d-%d.visdb", rows, seed))
+		segPath = filepath.Join(os.TempDir(), fmt.Sprintf("visdbbench-%d-%d.visdb", rows, seed))
 		epoch, err := dataset.WriteCatalogFile(segPath, cat)
 		if err != nil {
 			return err
@@ -256,6 +280,15 @@ func runJSONBench(path string, rows int, seed int64, floors, disk bool) error {
 		rep.Concurrent.SharedHitRate = float64(st.Hits) / float64(st.Hits+st.Misses)
 	}
 
+	// --- Cold scans: the segment-stats pushdown (-disk only) --------
+	if disk {
+		cs, err := runColdScan(segPath, rows, seed)
+		if err != nil {
+			return err
+		}
+		rep.ColdScan = cs
+	}
+
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -269,10 +302,84 @@ func runJSONBench(path string, rows int, seed int64, floors, disk bool) error {
 		rep.Reweight.Warm.Pruned, rep.Reweight.Warm.Chunks,
 		rep.Reweight.Warm.SketchHits, rep.Reweight.Warm.SketchRescans,
 		rep.Reweight.WarmSketchlessMS, rep.Concurrent.RecalcsPerSec)
+	if cs := rep.ColdScan; cs != nil {
+		fmt.Printf("cold scan: stats on %.2fms / off %.2fms (%.2fx), skipped %d/%d segments, file %d B vs v2 %d B\n",
+			cs.StatsOnMS, cs.StatsOffMS, cs.Speedup,
+			cs.StatsOn.SegsSkipped, cs.StatsOn.Segs, cs.FileBytes, cs.FileBytesV2)
+	}
 	if floors {
 		return checkFloors(rep)
 	}
 	return nil
+}
+
+// runColdScan measures cold file-backed range scans on the clustered
+// attribute t, pushdown on vs off. Every run opens the catalog fresh
+// (empty decoded-segment cache) and uses a fresh run cache, so the
+// distances stage always pays the from-disk cost the pushdown skips.
+func runColdScan(segPath string, rows int, seed int64) (*coldScanReport, error) {
+	mem, err := datagen.Traffic(rows, seed)
+	if err != nil {
+		return nil, err
+	}
+	v2Path := segPath + ".v2"
+	if _, err := dataset.WriteCatalogFileV2(v2Path, mem); err != nil {
+		return nil, err
+	}
+	defer os.Remove(v2Path)
+	fi3, err := os.Stat(segPath)
+	if err != nil {
+		return nil, err
+	}
+	fi2, err := os.Stat(v2Path)
+	if err != nil {
+		return nil, err
+	}
+	// The interval covers the middle of t's domain, so most interior
+	// segments are provably all-in-range while the uniform a/b/c
+	// columns never qualify — the pushdown's intended shape.
+	q, err := query.Parse(`SELECT a FROM S WHERE t BETWEEN 20 AND 80`)
+	if err != nil {
+		return nil, err
+	}
+	run := func(noStats bool) (core.StageTimings, error) {
+		fcat, err := dataset.OpenCatalogFile(segPath, dataset.OpenOptions{CacheBytes: 8 << 20})
+		if err != nil {
+			return core.StageTimings{}, err
+		}
+		defer fcat.Close()
+		eng := core.New(fcat, nil, core.Options{GridW: 128, GridH: 128, NoSegmentStats: noStats})
+		res, err := eng.RunCached(q, core.NewRunCache())
+		if err != nil {
+			return core.StageTimings{}, err
+		}
+		return res.Timings, nil
+	}
+	var on, off []time.Duration
+	var onTM core.StageTimings
+	for i := 0; i < 5; i++ {
+		tm, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		on = append(on, tm.Distances)
+		onTM = tm
+		if tm, err = run(true); err != nil {
+			return nil, err
+		}
+		off = append(off, tm.Distances)
+	}
+	cs := &coldScanReport{
+		StatsOnMS:   medianMS(on),
+		StatsOffMS:  medianMS(off),
+		StatsOn:     wire.TimingsOf(onTM),
+		FileBytes:   fi3.Size(),
+		FileBytesV2: fi2.Size(),
+	}
+	if cs.StatsOnMS > 0 {
+		cs.Speedup = cs.StatsOffMS / cs.StatsOnMS
+	}
+	return cs, nil
 }
 
 // checkFloors enforces the hardcoded regression floors on a report.
@@ -323,6 +430,26 @@ func checkFloors(rep benchReport) error {
 	}
 	if math.IsNaN(rep.Reweight.Speedup) {
 		fails = append(fails, "speedup is NaN")
+	}
+	// The segment-stats pushdown floors (-disk reports): the footer
+	// stats must actually skip decodes on the clustered cold scan, the
+	// skipping must pay off in the distances stage, and the v3 segment
+	// codecs must beat the v2 raw layout on file size.
+	if cs := rep.ColdScan; cs != nil {
+		if cs.StatsOn.SegsSkipped <= 0 {
+			fails = append(fails, "cold scan skipped no segments (stats pushdown deactivated)")
+		}
+		if cs.StatsOn.Segs <= 0 {
+			fails = append(fails, "cold scan reports no segments considered")
+		}
+		if !(cs.StatsOnMS < cs.StatsOffMS) {
+			fails = append(fails, fmt.Sprintf("cold scan with stats (%.2fms) not faster than without (%.2fms)",
+				cs.StatsOnMS, cs.StatsOffMS))
+		}
+		if cs.FileBytes >= cs.FileBytesV2 {
+			fails = append(fails, fmt.Sprintf("v3 file (%d bytes) not smaller than v2 (%d bytes)",
+				cs.FileBytes, cs.FileBytesV2))
+		}
 	}
 	if len(fails) == 0 {
 		fmt.Println("bench floors: all passed")

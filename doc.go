@@ -123,14 +123,14 @@
 //
 //   - In-memory (the default): segments are plain slices; Append works.
 //   - File-backed (dataset.WriteCatalogFile / OpenCatalogFile): a
-//     write-once segment-catalog file ("VSEGCAT1"; streamed with
-//     O(segment) memory, JSON footer mapping every table/field/segment
-//     to its blob, per-field min/max stats, FNV-1a content epoch).
-//     Reads go through mmap where available (linux) or os.File.ReadAt
-//     everywhere else (OpenOptions.ForceReadAt forces the fallback),
-//     into a bounded decoded-segment LRU cache — resident memory is
-//     O(cache budget), not O(catalog), and the format is immutable
-//     (Append is rejected).
+//     write-once segment-catalog file (currently "VSEGCAT3"; streamed
+//     with O(segment) memory, JSON footer mapping every
+//     table/field/segment to its blob, per-field min/max stats, FNV-1a
+//     content epoch). Reads go through mmap where available (linux) or
+//     os.File.ReadAt everywhere else (OpenOptions.ForceReadAt forces
+//     the fallback), into a bounded decoded-segment LRU cache —
+//     resident memory is O(cache budget), not O(catalog), and the
+//     format is immutable (Append is rejected).
 //
 // The catalog epoch flows into every structural cache key (a single
 // keying helper in internal/core builds all of them), so a regenerated
@@ -141,8 +141,50 @@
 // under a deliberately tiny cache (TestDiskReplayBitIdentical,
 // TestDiskCatalogReplayMatchesInMemory), race-clean in CI. visdbd
 // accepts "name:path" catalog specs (-catalog-cache-mb bounds the
-// decoded cache), visdbgen -format seg writes the files, and CSV
-// ingest streams rows chunk-by-chunk with O(chunk) peak allocation.
+// decoded cache), visdbgen -format seg writes the files (-seg-version
+// selects an older layout), and CSV ingest streams rows chunk-by-chunk
+// with O(chunk) peak allocation.
+//
+// # Segment format v3: per-segment stats pushdown and codecs
+//
+// The "VSEGCAT3" layout (v1/v2 files stay readable; all three round
+// trip bit-identically through both read backends) extends the footer
+// and the blob encoding; the file shape is unchanged — blobs, then a
+// JSON footer, then the 20-byte tail [footer CRC32C | footer length |
+// "VSEGEND3"]:
+//
+//   - Per-segment statistics. Every numeric segment blob's footer
+//     entry carries min/max (hex float strings — exact bits,
+//     infinities survive JSON) and a count of unusable rows (nulls,
+//     plus NaN entries of float columns), exposed through
+//     dataset.SegmentStatser. The soundness contract: min/max bound
+//     every usable value the segment decodes to under the
+//     Value.AsFloat coercion, and stats that fail to parse are a typed
+//     ErrCorruptSegment at open — never silently dropped pruning.
+//   - Predicate pushdown. A cold file-backed range scan consults the
+//     stats before decoding: a segment with stats, zero unusable rows
+//     and [min, max] inside the query interval (strict bounds
+//     honored) provably scores range distance exactly 0 on every row,
+//     so the decode is skipped and the zero-filled distance range IS
+//     the exact answer — results stay bit-identical by construction,
+//     which is also why only the all-inside case is skipped (a
+//     wholly-outside segment has per-row distances the footer cannot
+//     reproduce). Skipped chunks' entries in the per-leaf chunk-stats
+//     index are synthesized from the footer proof, so deferred-root
+//     block pruning composes with the pushdown on the very first cold
+//     run. Attribute values of skipped segments materialize lazily on
+//     display-path touches (slider first/last labels).
+//     StageTimings.SegsSkipped/Segs (wire: segs_skipped/segs)
+//     attribute it; Options.NoSegmentStats is the ablation gate, and
+//     the BENCH_8.json cold-scan floors fail CI if the pushdown
+//     silently deactivates.
+//   - Segment codecs. Int and time blobs are delta-coded
+//     (zigzag+uvarint over the word stream), float blobs
+//     xor-with-previous coded, behind the decoded-segment LRU so
+//     decode cost stays attributed to fileSource.decode; a codec is
+//     kept only when strictly smaller than the raw payload, blob CRCs
+//     cover the on-disk (compressed) bytes, and clustered columns
+//     shrink the file measurably (enforced as a bench floor).
 //
 // # Incremental interior normalization
 //
@@ -167,7 +209,7 @@
 // SharedCache's separate quarter-budget interior tier, so a second
 // session's first run already takes the fast path.
 // StageTimings.SketchHits/SketchRescans (and the wire timings)
-// attribute it; the BENCH_6.json floors fail CI if the sketch silently
+// attribute it; the BENCH_8.json floors fail CI if the sketch silently
 // deactivates or stops beating the sketchless baseline.
 //
 // # Shared cache: serving many sessions on one catalog
@@ -283,7 +325,7 @@
 //     clock for sleepless tests), retries transport errors and 5xx —
 //     never 4xx — reusing the same Seq across attempts of one
 //     operation.
-//   - Segment checksums and quarantine. VSEGCAT2 files carry a
+//   - Segment checksums and quarantine. VSEGCAT2+ files carry a
 //     CRC32C per segment blob plus a footer CRC; verification runs at
 //     open (framing/footer) and on every segment decode. Damage
 //     surfaces as a typed dataset.ErrCorruptSegment; visdbd
@@ -315,7 +357,7 @@
 // in-process session with recalculation counts proving exactly-once
 // application; TestDeadlineRollsBackAndRetryResumes proves the 504
 // path rolls back bitwise and resumes; the corruption suite proves
-// single-bit flips anywhere in a v2 file are caught and contained.
+// single-bit flips anywhere in a v2+ file are caught and contained.
 //
 // Render artifacts under out/ are generated by visdbbench and the
 // examples; they are not tracked in git.

@@ -51,6 +51,10 @@ type RunCache struct {
 	// additionally as sharedHits.
 	hits, misses                      uint64
 	runHits, runMisses, runSharedHits int
+	// Per-run segment-pushdown accounting: storage segments whose decode
+	// the footer stats skipped, out of the segments cold computes
+	// considered (see predicateData.SegsSkipped). Zero on warm runs.
+	runSegsSkipped, runSegs int
 	// Buffer pools for the evaluation output vectors and the ranking's
 	// index permutation. free holds reusable buffers; lent the ones
 	// handed out since the current run began; live the ones belonging
@@ -173,6 +177,7 @@ func (c *RunCache) beginRun() {
 	defer c.mu.Unlock()
 	c.gen++
 	c.runHits, c.runMisses, c.runSharedHits = 0, 0, 0
+	c.runSegsSkipped, c.runSegs = 0, 0
 	c.live = append(c.live, c.lent...)
 	c.lent = c.lent[:0]
 	c.intLive = append(c.intLive, c.intLent...)
@@ -226,6 +231,24 @@ func (c *RunCache) runStats() (hits, misses, sharedHits int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.runHits, c.runMisses, c.runSharedHits
+}
+
+// addSegStats folds one cold compute's segment-pushdown counts into the
+// current run's attribution. Called from the condFetch compute closure,
+// which may run on any goroutine (including another session's
+// singleflight fill — the counts land on whichever run paid the cost).
+func (c *RunCache) addSegStats(skipped, segs int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.runSegsSkipped += skipped
+	c.runSegs += segs
+}
+
+// runSegStats returns the current run's segment-pushdown counts.
+func (c *RunCache) runSegStats() (skipped, segs int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runSegsSkipped, c.runSegs
 }
 
 // Stats returns the cumulative hit/miss counts.

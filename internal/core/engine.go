@@ -97,6 +97,14 @@ type StageTimings struct {
 	// Chunks — the measured "last full-array pass" the sketch kills.
 	// Zero for uncached runs and under Options.NoInteriorSketch.
 	SketchHits, SketchRescans int
+	// SegsSkipped and Segs attribute the segment-stats pushdown of cold
+	// file-backed scans: storage segments whose decode was skipped
+	// because the catalog footer's per-segment stats proved every row in
+	// range (distance exactly 0), out of the segments the run's cold
+	// computes considered. Zero on warm runs (nothing is recomputed),
+	// for uncached runs, for pre-v3 catalogs, and under
+	// Options.NoSegmentStats.
+	SegsSkipped, Segs int
 }
 
 // Run executes q: bind, compute per-predicate distances, combine, rank,
@@ -221,6 +229,7 @@ func (e *Engine) runBound(ctx context.Context, q *query.Query, b *query.Binding,
 	res.Timings.Distances = time.Since(mark)
 	if cache != nil {
 		res.Timings.CacheHits, res.Timings.CacheMisses, res.Timings.SharedHits = cache.runStats()
+		res.Timings.SegsSkipped, res.Timings.Segs = cache.runSegStats()
 	}
 	mark = time.Now()
 	budget := e.opt.GridW * e.opt.GridH
@@ -471,7 +480,14 @@ func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, r
 			}
 		}
 		compute := func() (*predicateData, error) {
-			return e.condData(c, attr, space, workers)
+			pd, err := e.condData(c, attr, space, workers)
+			if err == nil && res.cache != nil && pd.Segs > 0 {
+				// Segment-pushdown attribution happens here, inside the
+				// compute closure, so only the run that actually paid for
+				// the cold scan counts it (cache hits recompute nothing).
+				res.cache.addSegStats(pd.SegsSkipped, pd.Segs)
+			}
+			return pd, err
 		}
 		var pd *predicateData
 		var li leafIndexes
@@ -494,8 +510,16 @@ func (e *Engine) exprNode(expr query.Expr, b *query.Binding, space *itemSpace, r
 		if err != nil {
 			return nil, err
 		}
+		cs := li.cstats
+		if cs == nil {
+			// Cold file-backed computes synthesize their chunk stats from
+			// the catalog footer (predicateData.CStats), so deferred-root
+			// block pruning works on the very first run — the session
+			// cache's own index exists only from the first REUSE on.
+			cs = pd.CStats
+		}
 		node := &relevance.Node{Op: relevance.Leaf, Label: expr.Label(), Weight: expr.Weight(), Dists: pd.Raw,
-			Quantiles: li.quant, ChunkStats: li.cstats}
+			Quantiles: li.quant, ChunkStats: cs}
 		if key != "" {
 			res.setLeafID(node, key)
 		}

@@ -88,6 +88,13 @@ type Options struct {
 	// Results are bit-identical either way — the sketch only changes
 	// where the warm-rerun time goes (see StageTimings.SketchHits).
 	NoInteriorSketch bool
+	// NoSegmentStats disables the per-segment footer-stats pushdown of
+	// cold file-backed scans (the ablation/benchmark baseline): range
+	// predicates decode every storage segment even when the catalog
+	// footer proves a segment's rows all score distance zero. Results
+	// are bit-identical either way — the pushdown only skips decodes
+	// whose outcome is already known (see StageTimings.SegsSkipped).
+	NoSegmentStats bool
 }
 
 // withDefaults returns a copy with zero fields replaced by defaults.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/distance"
 	"repro/internal/join"
 	"repro/internal/query"
+	"repro/internal/relevance"
 )
 
 // predicateData holds everything the engine derives for one simple
@@ -25,6 +26,53 @@ type predicateData struct {
 	MaxDB    float64
 	HasRange bool    // numeric predicate with a query range
 	Lo, Hi   float64 // current query range (±Inf for open sides)
+
+	// Segment-stats pushdown state (single-table file-backed scans
+	// only; see numericCond). skip marks the storage segments whose
+	// decode was skipped because the footer stats proved every row's
+	// range distance exactly 0: Raw is exact everywhere (the skipped
+	// ranges keep their zero fill, which IS the distance), but Values
+	// holds stale zeros there and must go through valueAt. CStats is
+	// the per-chunk index synthesized at compute time (skipped chunks
+	// from the footer, the rest scanned) so even a COLD run hands the
+	// deferred-root ranking its block-pruning bounds. SegsSkipped and
+	// Segs attribute the pushdown for StageTimings.
+	skip        []bool
+	fr          dataset.FloatReader
+	matMu       sync.Mutex
+	matDone     []bool
+	CStats      *relevance.LeafChunkStats
+	SegsSkipped int
+	Segs        int
+}
+
+// valueAt returns the item's attribute value, materializing the
+// containing segment on first touch when its decode was skipped. The
+// display paths (PredicateInfos, FirstLastOfColor) touch only the
+// display budget, so a skipped segment decodes lazily — and usually
+// never. Safe for concurrent readers: skipped ranges are only written
+// under matMu, and non-skipped ranges are immutable after the fill
+// pass.
+func (pd *predicateData) valueAt(i int) float64 {
+	if pd.skip == nil {
+		return pd.Values[i]
+	}
+	si := i / dataset.SegmentSize
+	if !pd.skip[si] {
+		return pd.Values[i]
+	}
+	pd.matMu.Lock()
+	defer pd.matMu.Unlock()
+	if !pd.matDone[si] {
+		lo := si * dataset.SegmentSize
+		hi := lo + dataset.SegmentSize
+		if hi > len(pd.Values) {
+			hi = len(pd.Values)
+		}
+		pd.fr.ReadFloats(pd.Values[lo:hi], lo)
+		pd.matDone[si] = true
+	}
+	return pd.Values[i]
 }
 
 // itemSpace describes the totality of items a query ranges over: single
@@ -134,10 +182,58 @@ func (e *Engine) numericCond(c *query.Cond, attr query.BoundAttr, t *dataset.Tab
 	// just behind the correct answers without being painted yellow.
 	strictLo := c.Op == query.OpGt
 	strictHi := c.Op == query.OpLt
+	// Segment-stats pushdown (the cold-scan block pruning): when the
+	// file-backed column carries per-segment min/max and null counts, a
+	// segment whose every row provably lies inside [lo, hi] — stats
+	// present, no unusable rows, extremes inside the range with
+	// strictness honored — scores range distance exactly 0 on every
+	// row, so its decode is skipped outright and the zero-filled Raw
+	// range already holds the exact distances. The gate excludes every
+	// per-item semantics the proof does not cover: pair spaces
+	// (non-monotonic row order), OpNe/OpIn (pointwise distances), and
+	// signed vectors (the 2D arrangement reads per-item signs).
+	var skip []bool
+	skipped := 0
+	if singleTable && col == nil && pd.Signed == nil &&
+		!pointwise && c.Op != query.OpIn && !e.opt.NoSegmentStats {
+		if ss, ok := fr.(dataset.SegmentStatser); ok {
+			nSegs := (space.n + dataset.SegmentSize - 1) / dataset.SegmentSize
+			for si := 0; si < nSegs; si++ {
+				smin, smax, nulls, ok := ss.SegmentStats(si)
+				if !ok || nulls != 0 {
+					continue
+				}
+				loOK := smin >= lo
+				if strictLo {
+					loOK = smin > lo
+				}
+				hiOK := smax <= hi
+				if strictHi {
+					hiOK = smax < hi
+				}
+				if loOK && hiOK {
+					if skip == nil {
+						skip = make([]bool, nSegs)
+					}
+					skip[si] = true
+					skipped++
+				}
+			}
+			pd.Segs = nSegs
+			pd.SegsSkipped = skipped
+			if skip != nil {
+				pd.skip, pd.fr = skip, fr
+				pd.matDone = make([]bool, nSegs)
+			}
+		}
+	}
 	// The per-item pass runs chunked across the worker pool: every chunk
 	// writes disjoint slots of Values/Raw/Signed, and the merged
 	// reductions (a max and an any-boundary flag) are order-independent,
-	// so the result is bit-identical to the serial loop.
+	// so the result is bit-identical to the serial loop. Within a chunk,
+	// the pass walks segment-aligned subranges so skipped segments drop
+	// out wholesale (a parallel chunk may cover a fraction of a
+	// segment; both fractions make the same precomputed decision).
 	var mu sync.Mutex
 	maxFinite := 0.0
 	hasBoundary := false
@@ -145,52 +241,70 @@ func (e *Engine) numericCond(c *query.Cond, attr query.BoundAttr, t *dataset.Tab
 	perr := parallelFor(space.n, workers, itemChunk, func(from, to int) error {
 		chunkMax := 0.0
 		chunkBoundary := false
-		if singleTable && col == nil {
-			fr.ReadFloats(pd.Values[from:to], from)
-		}
-		for i := from; i < to; i++ {
-			var v float64
-			if col == nil {
-				v = pd.Values[i]
-			} else {
-				row := i
-				if !singleTable {
-					r, err := space.rowFor(i, attr.Table)
-					if err != nil {
-						return err
+		for s := from; s < to; {
+			end := to
+			if skip != nil {
+				si := s / dataset.SegmentSize
+				if end = (si + 1) * dataset.SegmentSize; end > to {
+					end = to
+				}
+				if skip[si] {
+					// Raw[s:end] keeps its zero fill — exactly the distance
+					// of every in-range row; a zero never raises chunkMax,
+					// and the strict-containment proof rules out boundary
+					// hits.
+					s = end
+					continue
+				}
+			}
+			if singleTable && col == nil {
+				fr.ReadFloats(pd.Values[s:end], s)
+			}
+			for i := s; i < end; i++ {
+				var v float64
+				if col == nil {
+					v = pd.Values[i]
+				} else {
+					row := i
+					if !singleTable {
+						r, err := space.rowFor(i, attr.Table)
+						if err != nil {
+							return err
+						}
+						row = r
 					}
-					row = r
+					v = col[row]
+					pd.Values[i] = v
 				}
-				v = col[row]
-				pd.Values[i] = v
-			}
-			var raw, sd float64
-			switch {
-			case math.IsNaN(v):
-				raw, sd = math.NaN(), math.NaN()
-			case pointwise:
-				// OpNe: fulfilled (0) unless equal; the failing direction is
-				// undefined, so the item becomes uncolorable (section 4.4).
-				if v == lo {
+				var raw, sd float64
+				switch {
+				case math.IsNaN(v):
 					raw, sd = math.NaN(), math.NaN()
+				case pointwise:
+					// OpNe: fulfilled (0) unless equal; the failing direction is
+					// undefined, so the item becomes uncolorable (section 4.4).
+					if v == lo {
+						raw, sd = math.NaN(), math.NaN()
+					}
+				case c.Op == query.OpIn:
+					raw, sd = minListDistance(v, c.List)
+				case (strictLo && v == lo) || (strictHi && v == hi):
+					chunkBoundary = true // distances assigned in the fixup pass
+				default:
+					raw = distance.ToRange(v, lo, hi)
+					if signed != nil {
+						sd = distance.ToRangeSigned(v, lo, hi)
+					}
 				}
-			case c.Op == query.OpIn:
-				raw, sd = minListDistance(v, c.List)
-			case (strictLo && v == lo) || (strictHi && v == hi):
-				chunkBoundary = true // distances assigned in the fixup pass
-			default:
-				raw = distance.ToRange(v, lo, hi)
+				pd.Raw[i] = raw
 				if signed != nil {
-					sd = distance.ToRangeSigned(v, lo, hi)
+					signed[i] = sd
+				}
+				if raw > chunkMax && !math.IsInf(raw, 0) { // NaN compares false
+					chunkMax = raw
 				}
 			}
-			pd.Raw[i] = raw
-			if signed != nil {
-				signed[i] = sd
-			}
-			if raw > chunkMax && !math.IsInf(raw, 0) { // NaN compares false
-				chunkMax = raw
-			}
+			s = end
 		}
 		mu.Lock()
 		if chunkMax > maxFinite {
@@ -209,9 +323,14 @@ func (e *Engine) numericCond(c *query.Cond, attr query.BoundAttr, t *dataset.Tab
 			eps = 1
 		}
 		for i := 0; i < space.n; i++ {
-			// Re-derive the boundary membership from the stored values;
-			// the conditions are mutually exclusive with every other
-			// branch of the fill pass.
+			// Re-derive the boundary membership from the stored values —
+			// guarded by the skip mask, whose segments hold stale zero
+			// Values (and provably no boundary rows: strict containment
+			// requires smin > lo / smax < hi). The conditions are mutually
+			// exclusive with every other branch of the fill pass.
+			if skip != nil && skip[i/dataset.SegmentSize] {
+				continue
+			}
 			if (strictLo && pd.Values[i] == lo) || (strictHi && pd.Values[i] == hi) {
 				pd.Raw[i] = eps
 				if signed != nil {
@@ -222,6 +341,20 @@ func (e *Engine) numericCond(c *query.Cond, attr query.BoundAttr, t *dataset.Tab
 					}
 				}
 			}
+		}
+	}
+	if skip != nil {
+		// Synthesize the per-chunk pruning index now, while the compute
+		// cost is already paid: skipped chunks' entries come straight
+		// from the footer proof (min 0, NaN-free), the rest scan. This
+		// is what composes the pushdown with the deferred-root block
+		// pruning on COLD runs — warm runs build the same index from
+		// the cached vector. Requires the storage segment and the
+		// evaluator chunk to be the same unit.
+		if dataset.SegmentSize == relevance.EvalChunk {
+			pd.CStats = relevance.BuildLeafChunkStatsMasked(pd.Raw, skip)
+		} else {
+			pd.CStats = relevance.BuildLeafChunkStats(pd.Raw)
 		}
 	}
 	return nil

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+// clusteredCatalog builds the pushdown test bed: a clustered column t
+// (ascending with noise, so segments cover narrow value slices), a
+// uniform column u (segments span the whole domain — never skippable),
+// and a clustered column with scattered nulls (null segments must not
+// skip). Returned in memory; tests write it to disk themselves.
+func clusteredCatalog(t *testing.T, rows int) *dataset.Catalog {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	tbl, err := dataset.NewTable("C", dataset.Schema{
+		{Name: "t", Kind: dataset.KindFloat},
+		{Name: "u", Kind: dataset.KindFloat},
+		{Name: "n", Kind: dataset.KindFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rows; r++ {
+		tv := dataset.Float(float64(r)/float64(rows)*100 + rng.Float64())
+		nv := tv
+		if r%523 == 7 {
+			nv = dataset.Null(dataset.KindFloat)
+		}
+		if err := tbl.AppendRow(tv, dataset.Float(rng.Float64()*100), nv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat := dataset.NewCatalog()
+	if err := cat.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// samePredicateInfos compares the slider panels — FirstDisplayed and
+// LastDisplayed go through predicateData.valueAt, the lazy
+// materialization path of skipped segments.
+func samePredicateInfos(t *testing.T, step string, a, b *Result) {
+	t.Helper()
+	ia, ib := a.PredicateInfos(), b.PredicateInfos()
+	if len(ia) != len(ib) {
+		t.Fatalf("%s: %d vs %d predicate infos", step, len(ia), len(ib))
+	}
+	eq := func(x, y float64) bool {
+		return math.Float64bits(x) == math.Float64bits(y) || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	for i := range ia {
+		x, y := ia[i], ib[i]
+		if x.NumResults != y.NumResults || !eq(x.FirstDisplayed, y.FirstDisplayed) ||
+			!eq(x.LastDisplayed, y.LastDisplayed) || !eq(x.MinDB, y.MinDB) || !eq(x.MaxDB, y.MaxDB) {
+			t.Fatalf("%s: predicate %d infos differ: %+v vs %+v", step, i, x, y)
+		}
+	}
+}
+
+// TestPushdownLockstepReplay is the bit-identity contract of the
+// segment-stats pushdown: the same randomized interaction script —
+// range slides on the skippable clustered column, weight changes, a
+// strict operator, predicates on never-skippable columns — replayed
+// against the in-memory catalog, the mmap backend with stats on, the
+// mmap backend with stats off (Options.NoSegmentStats) and the ReadAt
+// backend, must produce bit-identical results at every step; and the
+// stats-on engines must actually have skipped segments along the way.
+func TestPushdownLockstepReplay(t *testing.T) {
+	const rows = 5*dataset.SegmentSize + 301
+	mem := clusteredCatalog(t, rows)
+	path := filepath.Join(t.TempDir(), "c.vseg")
+	if _, err := dataset.WriteCatalogFile(path, mem); err != nil {
+		t.Fatal(err)
+	}
+	open := func(force bool) *dataset.Catalog {
+		// A tiny decode cache forces real cold decodes on every leaf
+		// recompute, so the skip path is exercised, not the LRU.
+		c, err := dataset.OpenCatalogFile(path, dataset.OpenOptions{CacheBytes: 1 << 16, ForceReadAt: force})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	base := Options{GridW: 16, GridH: 16}
+	noStats := base
+	noStats.NoSegmentStats = true
+	engines := []struct {
+		name    string
+		eng     *Engine
+		statsOn bool
+	}{
+		{"memory", New(mem, nil, base), false},
+		{"mmap stats-on", New(open(false), nil, base), true},
+		{"mmap stats-off", New(open(false), nil, noStats), false},
+		{"readat stats-on", New(open(true), nil, base), true},
+	}
+	caches := make([]*RunCache, len(engines))
+	for i := range caches {
+		caches[i] = NewRunCache()
+	}
+
+	// The script mixes cold leaves (fresh ranges), warm replays
+	// (repeated ranges), strict bounds, and an always-unskippable
+	// predicate; rendered as full queries so every engine replays the
+	// identical edit sequence.
+	rng := rand.New(rand.NewSource(23))
+	var script []string
+	for step := 0; step < 12; step++ {
+		lo := float64(rng.Intn(40))
+		hi := lo + 20 + float64(rng.Intn(40))
+		switch step % 4 {
+		case 0:
+			script = append(script, fmt.Sprintf(`SELECT t FROM C WHERE t BETWEEN %g AND %g`, lo, hi))
+		case 1:
+			script = append(script, fmt.Sprintf(`SELECT t FROM C WHERE t > %g AND u < 60 WEIGHT 2`, lo))
+		case 2:
+			script = append(script, fmt.Sprintf(`SELECT t FROM C WHERE t < %g OR n BETWEEN %g AND %g`, hi, lo, hi))
+		case 3:
+			script = append(script, fmt.Sprintf(`SELECT t FROM C WHERE n > %g AND u BETWEEN 10 AND 90`, lo))
+		}
+	}
+	skippedTotal := make([]int, len(engines))
+	for si, sql := range script {
+		q, err := query.Parse(sql)
+		if err != nil {
+			t.Fatalf("step %d: %v", si, err)
+		}
+		results := make([]*Result, len(engines))
+		for ei, e := range engines {
+			res, err := e.eng.RunCached(q, caches[ei])
+			if err != nil {
+				t.Fatalf("step %d (%s): %v", si, e.name, err)
+			}
+			results[ei] = res
+			skippedTotal[ei] += res.Timings.SegsSkipped
+			if !e.statsOn && res.Timings.SegsSkipped != 0 {
+				t.Fatalf("step %d (%s): skipped %d segments with pushdown unavailable",
+					si, e.name, res.Timings.SegsSkipped)
+			}
+		}
+		for ei := 1; ei < len(engines); ei++ {
+			sameResults(t, results[0], results[ei])
+			samePredicateInfos(t, sql, results[0], results[ei])
+			cond0, okc := query.Predicates(results[0].Query.Where)[0].(*query.Cond)
+			condI, okcI := query.Predicates(results[ei].Query.Where)[0].(*query.Cond)
+			if !okc || !okcI {
+				continue
+			}
+			if f0, l0, ok0 := results[0].FirstLastOfColor(cond0, 0, 2); ok0 {
+				fi, li, oki := results[ei].FirstLastOfColor(condI, 0, 2)
+				if !oki || math.Float64bits(f0) != math.Float64bits(fi) || math.Float64bits(l0) != math.Float64bits(li) {
+					t.Fatalf("step %d (%s): FirstLastOfColor (%v,%v,%v) vs (%v,%v,true)",
+						si, engines[ei].name, fi, li, oki, f0, l0)
+				}
+			}
+		}
+	}
+	for ei, e := range engines {
+		if e.statsOn && skippedTotal[ei] == 0 {
+			t.Fatalf("%s: the script never skipped a segment — pushdown inactive", e.name)
+		}
+	}
+}

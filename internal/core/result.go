@@ -390,7 +390,7 @@ func (r *Result) PredicateInfos() []PredicateInfo {
 					first, last := math.Inf(1), math.Inf(-1)
 					any := false
 					for rank := 0; rank < r.Displayed; rank++ {
-						v := pd.Values[r.Order[rank]]
+						v := pd.valueAt(r.Order[rank])
 						if math.IsNaN(v) {
 							continue
 						}
@@ -687,7 +687,7 @@ func (r *Result) FirstLastOfColor(c *query.Cond, loLevel, hiLevel int) (first, l
 		if level < loLevel || level > hiLevel {
 			continue
 		}
-		v := pd.Values[item]
+		v := pd.valueAt(item)
 		if math.IsNaN(v) {
 			continue
 		}

@@ -19,9 +19,15 @@ func TrafficQueries() []string {
 	}
 }
 
-// Traffic generates the uniform three-attribute numeric catalog the
-// concurrent-traffic and serving workloads query: one table S with
-// float attributes a, b, c drawn uniformly from [0, 100). Unlike the
+// Traffic generates the numeric catalog the concurrent-traffic and
+// serving workloads query: one table S with float attributes a, b, c
+// drawn uniformly from [0, 100) plus a clustered attribute t that
+// ascends with the row index (i/rows*100 plus uniform [0,1) noise).
+// The uniform columns make every storage segment span nearly the full
+// domain — per-segment stats can never prune them — while t's segments
+// cover narrow ascending slices, so a range predicate on t exercises
+// the segment-stats pushdown (and t's near-constant high float bits
+// compress, where the uniform columns stay raw). Unlike the
 // paper-scenario generators it plants nothing — the point is cheap,
 // deterministic bulk data whose leaf distances do real work at any row
 // count, so the same (rows, seed) pair always reproduces the exact
@@ -32,6 +38,7 @@ func Traffic(rows int, seed int64) (*dataset.Catalog, error) {
 		{Name: "a", Kind: dataset.KindFloat},
 		{Name: "b", Kind: dataset.KindFloat},
 		{Name: "c", Kind: dataset.KindFloat},
+		{Name: "t", Kind: dataset.KindFloat},
 	})
 	if err != nil {
 		return nil, err
@@ -41,6 +48,7 @@ func Traffic(rows int, seed int64) (*dataset.Catalog, error) {
 			dataset.Float(rng.Float64()*100),
 			dataset.Float(rng.Float64()*100),
 			dataset.Float(rng.Float64()*100),
+			dataset.Float(float64(i)/float64(rows)*100+rng.Float64()),
 		); err != nil {
 			return nil, err
 		}

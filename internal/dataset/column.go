@@ -77,6 +77,24 @@ type MinMaxer interface {
 	MinMax() (min, max float64, ok bool)
 }
 
+// SegmentStatser is implemented by columns that know per-segment
+// statistics without decoding — file-backed columns opened from a
+// format-v3 catalog carry them in the footer. For segment si (rows
+// [si*SegmentSize, min((si+1)*SegmentSize, Len()))), min and max bound
+// every usable value the segment decodes to under the ReadFloats
+// coercion, and nulls counts the rows with no usable value (null rows,
+// plus NaN entries of float columns). ok is false when the segment has
+// no stats (older formats, all-null segments, string columns) — a
+// caller may then decode, never assume.
+//
+// The contract is what makes predicate pushdown sound: ok with
+// nulls == 0 and [min, max] strictly inside a query range proves every
+// row of the segment scores range distance exactly 0, so the scan may
+// skip the decode and leave a zero-filled distance range in place.
+type SegmentStatser interface {
+	SegmentStats(si int) (min, max float64, nulls int, ok bool)
+}
+
 // readOnly marks columns that reject Append (file-backed columns).
 type readOnly interface {
 	readOnlyColumn()

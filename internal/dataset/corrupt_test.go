@@ -94,7 +94,7 @@ func TestLegacyV1StillReadable(t *testing.T) {
 }
 
 // TestEveryByteFlipDetected is the format's integrity contract: flip
-// any single byte of a VSEGCAT2 file and either the open fails or a
+// any single byte of a current-format file and either the open fails or a
 // full scan trips the sticky corruption error — in both cases a typed
 // ErrCorruptSegment, never silently wrong data.
 func TestEveryByteFlipDetected(t *testing.T) {

@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Segment payload encodings (segBlob.Enc). Format v3 writers compress
+// the 8-byte-word payloads of int, time and float segments when the
+// encoded form is strictly smaller than the raw one; the null bitmap at
+// the front of the blob always stays raw. Decoding expands back to the
+// exact raw word payload before the per-kind decode switch runs, so the
+// decoded values are bit-identical to an uncompressed blob's.
+const (
+	// encRaw marks an uncompressed payload (the only encoding v1/v2
+	// files carry; their footers have no enc field and decode as 0).
+	encRaw = 0
+	// encDelta is delta + zigzag + uvarint over int64 words — int and
+	// time segments, whose sorted or clustered values yield tiny deltas.
+	encDelta = 1
+	// encXor is xor-with-previous + uvarint over the raw float64 bits —
+	// slowly varying float series zero the high bits of the xor, and
+	// uvarint drops exactly those leading zero bytes.
+	encXor = 2
+)
+
+// compressWords encodes an 8-byte-word payload (len(payload) must be a
+// multiple of 8) with the given encoding. The caller compares sizes and
+// keeps the raw payload when compression does not pay.
+func compressWords(enc int, payload []byte) []byte {
+	rows := len(payload) / 8
+	out := make([]byte, 0, len(payload))
+	var buf [binary.MaxVarintLen64]byte
+	var prevI int64
+	var prevU uint64
+	for i := 0; i < rows; i++ {
+		w := binary.LittleEndian.Uint64(payload[i*8:])
+		var u uint64
+		switch enc {
+		case encDelta:
+			v := int64(w)
+			d := v - prevI // wrapping: the decoder adds it back modulo 2^64
+			prevI = v
+			u = uint64(d<<1) ^ uint64(d>>63)
+		case encXor:
+			u = w ^ prevU
+			prevU = w
+		}
+		out = append(out, buf[:binary.PutUvarint(buf[:], u)]...)
+	}
+	return out
+}
+
+// expandWords decodes a compressed payload back into the raw
+// 8-byte-word form (rows*8 bytes). Any way the bytes can disagree with
+// compressWords' output — a truncated varint, too few words, trailing
+// garbage — returns an error the caller wraps as ErrCorruptSegment.
+func expandWords(enc int, comp []byte, rows int) ([]byte, error) {
+	out := make([]byte, rows*8)
+	var prevI int64
+	var prevU uint64
+	pos := 0
+	for i := 0; i < rows; i++ {
+		u, n := binary.Uvarint(comp[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("compressed payload truncated at word %d", i)
+		}
+		pos += n
+		var w uint64
+		switch enc {
+		case encDelta:
+			d := int64(u>>1) ^ -int64(u&1)
+			v := prevI + d
+			prevI = v
+			w = uint64(v)
+		case encXor:
+			w = prevU ^ u
+			prevU = w
+		default:
+			return nil, fmt.Errorf("unknown segment encoding %d", enc)
+		}
+		binary.LittleEndian.PutUint64(out[i*8:], w)
+	}
+	if pos != len(comp) {
+		return nil, fmt.Errorf("compressed payload has %d trailing bytes", len(comp)-pos)
+	}
+	return out, nil
+}

@@ -21,32 +21,48 @@ import (
 // read backends. The layout is write-once, footer-based, so the writer
 // streams segments with O(segment) memory and never seeks:
 //
-//	"VSEGCAT2"                              8-byte head magic
+//	"VSEGCAT3"                              8-byte head magic
 //	blob ...                                segment blobs, any order
 //	footer                                  JSON (segFooter)
-//	footer CRC32C                           uint32 LE (v2 only)
+//	footer CRC32C                           uint32 LE (v2+)
 //	footer length                           uint64 LE
-//	"VSEGEND2"                              8-byte end magic
+//	"VSEGEND3"                              8-byte end magic
 //
-// Format v2 adds end-to-end integrity: every blob's CRC32C rides in
+// Format v2 added end-to-end integrity: every blob's CRC32C rides in
 // its footer entry and is verified on every decode, and the footer
 // itself is covered by the CRC in the tail — flipping any single byte
-// of a v2 file surfaces as a typed ErrCorruptSegment error, either at
+// of a v2+ file surfaces as a typed ErrCorruptSegment error, either at
 // open (magic/tail/footer damage) or on the first read that touches
-// the damaged blob. The legacy checksum-free "VSEGCAT1" layout (same
-// shape, 16-byte tail without the footer CRC) is still readable;
-// legacy reads skip verification, exactly as before.
+// the damaged blob. Format v3 ("VSEGCAT3", same tail shape) adds
+// per-SEGMENT statistics and compression: every numeric column's blob
+// entry carries the segment's min/max (hex floats) and its count of
+// rows without a usable numeric value (SQL nulls plus NaN floats —
+// exactly the rows whose Value.AsFloat yields no finite ordering key),
+// and word payloads may be compressed (segBlob.Enc: delta+zigzag+
+// uvarint for ints and times, xor-with-previous+uvarint for floats;
+// kept only when strictly smaller). Blob CRCs cover the on-disk,
+// possibly compressed bytes. The legacy layouts — checksum-free
+// "VSEGCAT1" (16-byte tail) and "VSEGCAT2" — are still readable;
+// their reads behave exactly as before (no per-segment stats, no
+// compression, v1 unverified).
+//
+// The per-segment stats carry a soundness contract: min/max bound
+// every usable value of the segment and nulls counts every unusable
+// row, so a reader may prove "every row of this segment lies inside
+// [lo, hi]" — and therefore has range distance exactly 0 — without
+// decoding the blob. The cold scan path of internal/core skips the
+// decode of such segments entirely (see SegmentStatser).
 //
 // A blob holds one column segment (SegmentSize rows, the final segment
 // of a table possibly fewer): a null bitmap of ceil(rows/8) bytes
 // (bit set = null) followed by the kind's payload — float64 bits,
-// int64, or unix nanoseconds as 8-byte little-endian words; bools as
-// one byte each; string kinds as (rows+1) uint32 cumulative offsets
-// followed by the concatenated bytes. The footer maps every table,
-// field and segment to its blob (offset, length) and carries the
-// per-field min/max stats and the catalog epoch (FNV-1a over all blob
-// bytes unless overridden), so opening a catalog reads the footer and
-// nothing else.
+// int64, or unix nanoseconds as 8-byte little-endian words (possibly
+// compressed under v3); bools as one byte each; string kinds as
+// (rows+1) uint32 cumulative offsets followed by the concatenated
+// bytes. The footer maps every table, field and segment to its blob
+// (offset, length) and carries the per-field min/max stats and the
+// catalog epoch (FNV-1a over all blob bytes unless overridden), so
+// opening a catalog reads the footer and nothing else.
 //
 // Two format consequences are deliberate: times are stored as unix
 // nanoseconds and decode in UTC (instants outside the int64-nanosecond
@@ -60,6 +76,9 @@ const (
 
 	segMagic2    = "VSEGCAT2"
 	segEndMagic2 = "VSEGEND2"
+
+	segMagic3    = "VSEGCAT3"
+	segEndMagic3 = "VSEGEND3"
 )
 
 // ErrCorruptSegment is wrapped by every error that means a segment
@@ -75,13 +94,27 @@ var ErrCorruptSegment = errors.New("corrupt segment catalog")
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // segBlob locates one segment blob in the file. CRC is the CRC32C of
-// the raw blob bytes; format v2 writers always set it and v2 readers
-// verify it on every decode (absent from legacy v1 footers, where it
-// decodes as zero and is ignored).
+// the blob's on-disk bytes (compressed form when Enc is set); format
+// v2+ writers always set it and readers verify it on every decode
+// (absent from legacy v1 footers, where it decodes as zero and is
+// ignored).
+//
+// Format v3 adds the per-segment fields: Enc selects the payload
+// encoding (encRaw/encDelta/encXor), and Min/Max/Nulls are the
+// segment's statistics — extremes over the usable values as hex float
+// strings (exact bits, infinities survive JSON) plus the count of rows
+// with no usable numeric value (null, or NaN for float columns).
+// Min/Max present with Nulls == 0 is the precondition for the skip
+// proof of SegmentStatser; absent stats (v1/v2 footers, string
+// columns, all-null segments) disable skipping, never correctness.
 type segBlob struct {
-	Off int64  `json:"off"`
-	Len int64  `json:"len"`
-	CRC uint32 `json:"crc,omitempty"`
+	Off   int64  `json:"off"`
+	Len   int64  `json:"len"`
+	CRC   uint32 `json:"crc,omitempty"`
+	Enc   int    `json:"enc,omitempty"`
+	Min   string `json:"min,omitempty"`
+	Max   string `json:"max,omitempty"`
+	Nulls int    `json:"nulls,omitempty"`
 }
 
 // segField is the footer metadata of one column.
@@ -131,8 +164,16 @@ type SegmentWriter struct {
 }
 
 // CreateSegmentCatalog creates path and returns a writer for it,
-// producing the current checksummed "VSEGCAT2" layout.
+// producing the current "VSEGCAT3" layout (per-segment stats and
+// compression on top of the v2 checksums).
 func CreateSegmentCatalog(path string) (*SegmentWriter, error) {
+	return createSegmentCatalog(path, 3)
+}
+
+// CreateSegmentCatalogV2 creates path and returns a writer producing
+// the checksummed but stats-free "VSEGCAT2" layout — kept for
+// compatibility tests and for generating fixtures old readers accept.
+func CreateSegmentCatalogV2(path string) (*SegmentWriter, error) {
 	return createSegmentCatalog(path, 2)
 }
 
@@ -157,9 +198,12 @@ func createSegmentCatalog(path string, version int) (*SegmentWriter, error) {
 		names:   make(map[string]bool),
 		version: version,
 	}
-	magic := segMagic2
-	if version == 1 {
+	magic := segMagic3
+	switch version {
+	case 1:
 		magic = segMagic
+	case 2:
+		magic = segMagic2
 	}
 	if _, err := w.w.WriteString(magic); err != nil {
 		f.Close()
@@ -242,6 +286,7 @@ func (w *SegmentWriter) Close() error {
 			w.f.Close()
 			return err
 		}
+		tw.finishStats()
 		w.footer.Tables = append(w.footer.Tables, tw.meta)
 	}
 	w.footer.Epoch = w.sum()
@@ -262,7 +307,11 @@ func (w *SegmentWriter) Close() error {
 		tail = make([]byte, 20)
 		binary.LittleEndian.PutUint32(tail[:4], crc32.Checksum(ft, castagnoli))
 		binary.LittleEndian.PutUint64(tail[4:12], uint64(len(ft)))
-		copy(tail[12:], segEndMagic2)
+		end := segEndMagic3
+		if w.version == 2 {
+			end = segEndMagic2
+		}
+		copy(tail[12:], end)
 	} else {
 		tail = make([]byte, 16)
 		binary.LittleEndian.PutUint64(tail[:8], uint64(len(ft)))
@@ -290,41 +339,51 @@ type TableWriter struct {
 }
 
 // AppendRow validates and buffers one row, flushing a blob per column
-// whenever a full segment accumulates.
+// whenever a full segment accumulates. Column statistics fold at flush
+// time from the buffered segment (never from the raw argument values),
+// so null rows and NaN floats — whose Value.AsFloat yields no usable
+// ordering key — can never leak into the footer's min/max.
 func (tw *TableWriter) AppendRow(vals ...Value) error {
 	if err := tw.buf.AppendRow(vals...); err != nil {
 		return err
 	}
 	tw.meta.Rows++
-	for i, v := range vals {
-		if f, ok := v.AsFloat(); ok && !math.IsNaN(f) {
-			if f < tw.mins[i] {
-				tw.mins[i] = f
-			}
-			if f > tw.maxs[i] {
-				tw.maxs[i] = f
-			}
-			tw.any[i] = true
-		}
-	}
 	if tw.buf.NumRows() == SegmentSize {
 		return tw.flush()
 	}
 	return nil
 }
 
-// flush encodes and writes the buffered segment of every column.
+// flush encodes and writes the buffered segment of every column,
+// computing the segment's statistics (v3 footers carry them per blob)
+// and folding them into the running column extremes.
 func (tw *TableWriter) flush() error {
 	rows := tw.buf.NumRows()
 	if rows == 0 {
-		tw.finishStats()
 		return nil
 	}
 	for i := range tw.meta.Fields {
-		blob := encodeSegment(tw.buf.ColumnAt(i), rows)
+		c := tw.buf.ColumnAt(i)
+		blob, enc := encodeSegmentV(c, rows, tw.w.version)
 		loc, err := tw.w.writeBlob(blob)
 		if err != nil {
 			return err
+		}
+		loc.Enc = enc
+		smin, smax, unusable, any := segmentStats(c, rows)
+		if any {
+			if smin < tw.mins[i] {
+				tw.mins[i] = smin
+			}
+			if smax > tw.maxs[i] {
+				tw.maxs[i] = smax
+			}
+			tw.any[i] = true
+			if tw.w.version >= 3 {
+				loc.Min = strconv.FormatFloat(smin, 'x', -1, 64)
+				loc.Max = strconv.FormatFloat(smax, 'x', -1, 64)
+				loc.Nulls = unusable
+			}
 		}
 		tw.meta.Fields[i].Segs = append(tw.meta.Fields[i].Segs, loc)
 	}
@@ -333,11 +392,36 @@ func (tw *TableWriter) flush() error {
 		return err
 	}
 	tw.buf = fresh
-	tw.finishStats()
 	return nil
 }
 
-// finishStats folds the running extremes into the footer metadata.
+// segmentStats scans one buffered segment for its footer statistics:
+// min/max over the usable values (rows whose Value.AsFloat is a
+// non-NaN float — matching exactly the coercion ReadFloats serves) and
+// the count of unusable rows. any is false when no row is usable
+// (all-null segments, string columns).
+func segmentStats(c Column, rows int) (smin, smax float64, unusable int, any bool) {
+	smin, smax = math.Inf(1), math.Inf(-1)
+	for r := 0; r < rows; r++ {
+		f, ok := c.Value(r).AsFloat()
+		if !ok || math.IsNaN(f) {
+			unusable++
+			continue
+		}
+		any = true
+		if f < smin {
+			smin = f
+		}
+		if f > smax {
+			smax = f
+		}
+	}
+	return smin, smax, unusable, any
+}
+
+// finishStats folds the accumulated extremes into the footer metadata —
+// called exactly once, at Close (a per-flush fold would rewrite the
+// same strings once per segment for nothing).
 func (tw *TableWriter) finishStats() {
 	for i := range tw.meta.Fields {
 		if tw.any[i] {
@@ -348,9 +432,15 @@ func (tw *TableWriter) finishStats() {
 }
 
 // WriteCatalogFile streams an in-memory catalog into a segment file at
-// path (current format, "VSEGCAT2") and returns the epoch stamped into
+// path (current format, "VSEGCAT3") and returns the epoch stamped into
 // its footer.
 func WriteCatalogFile(path string, cat *Catalog) (uint64, error) {
+	return writeCatalogFile(path, cat, 3)
+}
+
+// WriteCatalogFileV2 is WriteCatalogFile for the checksummed but
+// stats-free "VSEGCAT2" layout.
+func WriteCatalogFileV2(path string, cat *Catalog) (uint64, error) {
 	return writeCatalogFile(path, cat, 2)
 }
 
@@ -483,6 +573,36 @@ func encodeSegment(c Column, rows int) []byte {
 	return out
 }
 
+// encodeSegmentV encodes one segment for the given format version:
+// the raw blob under v1/v2, and under v3 the compressed word payload
+// when the kind has one and compression strictly shrinks it (the null
+// bitmap always stays raw at the front). Returns the blob bytes and
+// the encoding stamped into the footer entry.
+func encodeSegmentV(c Column, rows, version int) ([]byte, int) {
+	raw := encodeSegment(c, rows)
+	if version < 3 {
+		return raw, encRaw
+	}
+	var enc int
+	switch c.(type) {
+	case *IntColumn, *TimeColumn:
+		enc = encDelta
+	case *FloatColumn:
+		enc = encXor
+	default:
+		return raw, encRaw
+	}
+	bm := (rows + 7) / 8
+	comp := compressWords(enc, raw[bm:])
+	if len(comp) >= len(raw)-bm {
+		return raw, encRaw
+	}
+	out := make([]byte, 0, bm+len(comp))
+	out = append(out, raw[:bm]...)
+	out = append(out, comp...)
+	return out, enc
+}
+
 // --- Reader -----------------------------------------------------------
 
 // OpenOptions configures OpenCatalogFile.
@@ -563,12 +683,35 @@ func OpenCatalogFile(path string, opts OpenOptions) (*Catalog, error) {
 				segs: fm.Segs,
 			}
 			colID++
-			if fm.Min != "" && fm.Max != "" {
+			// A stats string that does not parse back means the footer
+			// disagrees with its writer: surface the typed corruption
+			// error instead of silently dropping the stats (which would
+			// silently disable every pruning path on this column).
+			if fm.Min != "" || fm.Max != "" {
 				min, err1 := strconv.ParseFloat(fm.Min, 64)
 				max, err2 := strconv.ParseFloat(fm.Max, 64)
-				if err1 == nil && err2 == nil {
-					fc.min, fc.max, fc.stats = min, max, true
+				if err1 != nil || err2 != nil {
+					src.close()
+					return nil, fmt.Errorf("dataset: %s: table %q field %q: corrupt column stats (%q, %q): %w",
+						path, tm.Name, fm.Name, fm.Min, fm.Max, ErrCorruptSegment)
 				}
+				fc.min, fc.max, fc.stats = min, max, true
+			}
+			for si, loc := range fm.Segs {
+				if loc.Min == "" && loc.Max == "" {
+					continue
+				}
+				min, err1 := strconv.ParseFloat(loc.Min, 64)
+				max, err2 := strconv.ParseFloat(loc.Max, 64)
+				if err1 != nil || err2 != nil {
+					src.close()
+					return nil, fmt.Errorf("dataset: %s: table %q field %q segment %d: corrupt segment stats (%q, %q): %w",
+						path, tm.Name, fm.Name, si, loc.Min, loc.Max, ErrCorruptSegment)
+				}
+				if fc.sstats == nil {
+					fc.sstats = make([]segStat, len(fm.Segs))
+				}
+				fc.sstats[si] = segStat{min: min, max: max, nulls: loc.Nulls, ok: true}
 			}
 			if err := fc.validate(tm.Name, fm.Name, fi.Size()); err != nil {
 				src.close()
@@ -620,6 +763,8 @@ func readFooter(f *os.File) (*segFooter, int, error) {
 		version, tailLen = 1, 16
 	case segMagic2:
 		version, tailLen = 2, 20
+	case segMagic3:
+		version, tailLen = 3, 20
 	default:
 		return nil, 0, fmt.Errorf("dataset: %s: not a segment catalog (bad magic): %w", f.Name(), ErrCorruptSegment)
 	}
@@ -638,7 +783,11 @@ func readFooter(f *os.File) (*segFooter, int, error) {
 		}
 		ftLen = int64(binary.LittleEndian.Uint64(tail[:8]))
 	} else {
-		if string(tail[12:]) != segEndMagic2 {
+		end := segEndMagic3
+		if version == 2 {
+			end = segEndMagic2
+		}
+		if string(tail[12:]) != end {
 			return nil, 0, fmt.Errorf("dataset: %s: truncated segment catalog (bad end magic): %w", f.Name(), ErrCorruptSegment)
 		}
 		ftCRC = binary.LittleEndian.Uint32(tail[:4])
@@ -818,6 +967,12 @@ func (s *fileSource) decode(c *fileColumn, si int) (*decodedSeg, error) {
 	}
 	seg.bytes = int64(rows)
 	payload := raw[bm:]
+	if loc.Enc != encRaw {
+		payload, err = expandWords(loc.Enc, payload, rows)
+		if err != nil {
+			return nil, err
+		}
+	}
 	word := func(i int) uint64 {
 		return binary.LittleEndian.Uint64(payload[i*8:])
 	}
@@ -905,6 +1060,13 @@ func zeroSeg(kind Kind, rows int) *decodedSeg {
 	return seg
 }
 
+// segStat is one segment's parsed footer statistics.
+type segStat struct {
+	min, max float64
+	nulls    int
+	ok       bool
+}
+
 // fileColumn is a read-only column served from a segment catalog file.
 type fileColumn struct {
 	src      *fileSource
@@ -912,6 +1074,7 @@ type fileColumn struct {
 	kind     Kind
 	rows     int
 	segs     []segBlob
+	sstats   []segStat // per-segment stats (nil before format v3)
 	min, max float64
 	stats    bool
 }
@@ -929,6 +1092,16 @@ func (c *fileColumn) validate(table, field string, fileSize int64) error {
 	for si, loc := range c.segs {
 		rows := c.segRows(si)
 		minLen := int64((rows+7)/8) + payloadSize(c.kind, rows)
+		if loc.Enc != encRaw {
+			// Compressed payloads exist only for the word kinds, and a
+			// varint per word is at least one byte.
+			wordKind := c.kind == KindFloat || c.kind == KindInt || c.kind == KindTime
+			if loc.Enc < encRaw || loc.Enc > encXor || !wordKind {
+				return fmt.Errorf("dataset: table %q field %q segment %d: invalid encoding %d: %w",
+					table, field, si, loc.Enc, ErrCorruptSegment)
+			}
+			minLen = int64((rows+7)/8 + rows)
+		}
 		if loc.Off < int64(len(segMagic)) || loc.Len < minLen || loc.Off+loc.Len > fileSize {
 			return fmt.Errorf("dataset: table %q field %q segment %d: blob (%d,%d) out of bounds: %w",
 				table, field, si, loc.Off, loc.Len, ErrCorruptSegment)
@@ -999,6 +1172,17 @@ func (c *fileColumn) Value(i int) Value {
 // MinMax implements MinMaxer from the footer stats.
 func (c *fileColumn) MinMax() (min, max float64, ok bool) {
 	return c.min, c.max, c.stats
+}
+
+// SegmentStats implements SegmentStatser from the footer's per-segment
+// stats (format v3); earlier formats answer ok == false for every
+// segment.
+func (c *fileColumn) SegmentStats(si int) (min, max float64, nulls int, ok bool) {
+	if si < 0 || si >= len(c.sstats) {
+		return 0, 0, 0, false
+	}
+	st := c.sstats[si]
+	return st.min, st.max, st.nulls, st.ok
 }
 
 // ReadFloats implements FloatReader. Each covered segment decodes (or

@@ -33,6 +33,12 @@ import (
 // vector fits in cache together.
 const evalChunk = 4096
 
+// EvalChunk exports the evaluator chunk length — the granularity of
+// LeafChunkStats and of the deferred-root block pruning. Callers that
+// synthesize per-chunk masks from external statistics (the dataset
+// layer's per-segment footer stats) must check their unit matches.
+const EvalChunk = evalChunk
+
 // evaluateFused is the Evaluate implementation.
 func evaluateFused(root *Node, n int, opts EvalOptions) (*Result, error) {
 	if root == nil {

@@ -116,6 +116,13 @@ type Timings struct {
 	// full-array pass, measured).
 	SketchHits    int `json:"sketch_hits"`
 	SketchRescans int `json:"sketch_rescans"`
+	// SegsSkipped/Segs attribute the segment-stats pushdown of cold
+	// file-backed scans: storage segments whose decode was skipped
+	// because the catalog footer proved every row in range, out of the
+	// segments the run's cold computes considered (zero on warm runs
+	// and for pre-v3 catalogs).
+	SegsSkipped int `json:"segs_skipped"`
+	Segs        int `json:"segs"`
 }
 
 // TimingsOf converts the engine's stage timings — the single place the
@@ -138,6 +145,8 @@ func TimingsOf(tm core.StageTimings) Timings {
 		Chunks:        tm.Chunks,
 		SketchHits:    tm.SketchHits,
 		SketchRescans: tm.SketchRescans,
+		SegsSkipped:   tm.SegsSkipped,
+		Segs:          tm.Segs,
 	}
 }
 

@@ -184,6 +184,10 @@ type Client struct {
 	// keeps the historical single-attempt behavior, where admission
 	// sheds (503) surface directly to the caller.
 	Retry *RetryPolicy
+	// Now supplies the wall clock used to turn an HTTP-date Retry-After
+	// header into a duration; nil selects time.Now. Tests inject a
+	// fixed clock so date arithmetic is deterministic.
+	Now func() time.Time
 }
 
 // New creates a client for a server base URL (e.g.
@@ -263,9 +267,20 @@ func (c *Client) doOnce(ctx context.Context, method, path string, buf []byte, ou
 			msg = e.Error
 		}
 		ae := &APIError{Status: resp.StatusCode, Msg: msg, Code: e.Code}
+		// RFC 9110 §10.2.3: Retry-After is either delay-seconds or an
+		// HTTP-date. A date in the past (or clock skew) reads as no
+		// hint rather than a negative duration.
 		if v := resp.Header.Get("Retry-After"); v != "" {
 			if secs, perr := strconv.Atoi(v); perr == nil && secs >= 0 {
 				ae.RetryAfter = time.Duration(secs) * time.Second
+			} else if at, perr := http.ParseTime(v); perr == nil {
+				now := time.Now
+				if c.Now != nil {
+					now = c.Now
+				}
+				if d := at.Sub(now()); d > 0 {
+					ae.RetryAfter = d
+				}
 			}
 		}
 		return ae

@@ -282,3 +282,60 @@ func TestAPIErrorCarriesCodeAndRetryAfter(t *testing.T) {
 		t.Fatalf("%+v", ae)
 	}
 }
+
+// TestRetryAfterHTTPDate: RFC 9110 allows Retry-After to be an
+// HTTP-date as well as delay-seconds; the client must turn a date into
+// a duration against its (injectable) clock, and a past date must read
+// as no hint, not a negative one.
+func TestRetryAfterHTTPDate(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name   string
+		header string
+		want   time.Duration
+	}{
+		{"http-date future", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{"http-date past", now.Add(-30 * time.Second).Format(http.TimeFormat), 0},
+		{"delay-seconds still works", "45", 45 * time.Second},
+		{"garbage ignored", "soon", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+				respond(503, wire.ErrorResponse{Error: "shed"},
+					map[string]string{"Retry-After": tc.header}),
+			}}
+			c := New("http://test")
+			c.HTTP = &http.Client{Transport: rt}
+			c.Now = func() time.Time { return now }
+			_, err := session(c).Results(context.Background(), 5)
+			var ae *APIError
+			if !errors.As(err, &ae) {
+				t.Fatalf("want APIError, got %v", err)
+			}
+			if ae.RetryAfter != tc.want {
+				t.Fatalf("RetryAfter = %v, want %v", ae.RetryAfter, tc.want)
+			}
+		})
+	}
+}
+
+// TestRetryAfterDateStretchesBackoff: the duration derived from an
+// HTTP-date must reach the backoff loop exactly like the integer form —
+// the retry waits the server's hint when it exceeds the schedule.
+func TestRetryAfterDateStretchesBackoff(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	rt := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		respond(503, wire.ErrorResponse{Error: "shed"},
+			map[string]string{"Retry-After": now.Add(2 * time.Second).Format(http.TimeFormat)}),
+		respond(200, Summary{N: 1}, nil),
+	}}
+	c, clk := newTestClient(rt, 3)
+	c.Now = func() time.Time { return now }
+	if _, err := session(c).Results(context.Background(), 5); err != nil {
+		t.Fatal(err)
+	}
+	if len(clk.delays) != 1 || clk.delays[0] != 2*time.Second {
+		t.Fatalf("delays %v, want [2s]", clk.delays)
+	}
+}

@@ -161,6 +161,12 @@ type OpenOptions = dataset.OpenOptions
 var (
 	WriteCatalogFile = dataset.WriteCatalogFile
 	OpenCatalogFile  = dataset.OpenCatalogFile
+	// WriteCatalogFileV2 and WriteCatalogFileV1 write the older segment
+	// formats (no per-segment stats or codecs; v1 also lacks footer
+	// integrity) for compatibility tooling — OpenCatalogFile reads all
+	// three.
+	WriteCatalogFileV2 = dataset.WriteCatalogFileV2
+	WriteCatalogFileV1 = dataset.WriteCatalogFileV1
 )
 
 // Query types.
