@@ -33,6 +33,7 @@ func runConcurrent(sessions, steps, rows int, seed int64) error {
 
 	type tally struct {
 		recalcs, hits, sharedHits, misses int
+		steps                             []time.Duration
 		err                               error
 	}
 	tallies := make([]tally, sessions)
@@ -66,6 +67,7 @@ func runConcurrent(sessions, steps, rows int, seed int64) error {
 			count()
 			for step := 0; step < steps; step++ {
 				var err error
+				t0 := time.Now()
 				switch op := rng.Intn(10); {
 				case op < 5:
 					var c *query.Cond
@@ -88,6 +90,7 @@ func runConcurrent(sessions, steps, rows int, seed int64) error {
 					tallies[g].err = fmt.Errorf("step %d: %w", step, err)
 					return
 				}
+				tallies[g].steps = append(tallies[g].steps, time.Since(t0))
 				count()
 			}
 			tallies[g].recalcs = s.Recalcs
@@ -97,6 +100,7 @@ func runConcurrent(sessions, steps, rows int, seed int64) error {
 	elapsed := time.Since(start)
 
 	var recalcs, hits, sharedHits, misses int
+	var allSteps []time.Duration
 	for g, tl := range tallies {
 		if tl.err != nil {
 			return fmt.Errorf("session %d: %w", g, tl.err)
@@ -105,11 +109,14 @@ func runConcurrent(sessions, steps, rows int, seed int64) error {
 		hits += tl.hits
 		sharedHits += tl.sharedHits
 		misses += tl.misses
+		allSteps = append(allSteps, tl.steps...)
 	}
 	st := shared.Stats()
 	fmt.Printf("concurrent traffic: %d sessions x %d steps over %d rows\n", sessions, steps, rows)
 	fmt.Printf("  elapsed          %v (%.1f recalcs/s, %d recalcs)\n",
 		elapsed.Round(time.Millisecond), float64(recalcs)/elapsed.Seconds(), recalcs)
+	fmt.Printf("  step latency     p50 %.2fms, p99 %.2fms (%d applied steps)\n",
+		percentileMS(allSteps, 50), percentileMS(allSteps, 99), len(allSteps))
 	fmt.Printf("  leaf lookups     %d hits (%d via shared tier), %d recomputed\n", hits, sharedHits, misses)
 	fmt.Printf("  shared tier      %d hits / %d misses (%d singleflight waits), %d fills\n",
 		st.Hits, st.Misses, st.Waits, st.Fills)

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/kv"
+	"repro/internal/router"
+	"repro/internal/server"
+	"repro/internal/wire"
+	"repro/visdb/client"
+)
+
+// The -fleet section of the -json report: an in-process fleet — three
+// visdbd-equivalent members attached to one kv store behind one
+// router, all over loopback HTTP — driven by the concurrent traffic
+// scripts. It reports fleet-wide recalcs/s, the shared-hit rate the
+// router aggregates across members, and the kv tier's traffic, so the
+// cross-node sharing claims are tracked as CI data.
+
+// fleetBenchReport is the "fleet" object of the BENCH_N.json schema.
+type fleetBenchReport struct {
+	Members       int              `json:"members"`
+	Sessions      int              `json:"sessions"`
+	Steps         int              `json:"steps"`
+	Recalcs       uint64           `json:"recalcs"`
+	RecalcsPerSec float64          `json:"recalcs_per_sec"`
+	StepP50MS     float64          `json:"step_p50_ms"`
+	StepP99MS     float64          `json:"step_p99_ms"`
+	SharedHitRate float64          `json:"shared_hit_rate"`
+	Shared        wire.SharedStats `json:"shared"`
+	KV            wire.KVStats     `json:"kv"`
+}
+
+// serveLocal hosts h on an ephemeral loopback port and returns its
+// base URL plus a stopper.
+func serveLocal(h http.Handler) (string, func(), error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: h}
+	go hs.Serve(l)
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}
+	return "http://" + l.Addr().String(), stop, nil
+}
+
+// runFleetBench stands the fleet up, drives the traffic, and tears it
+// down.
+func runFleetBench(rows int, seed int64) (*fleetBenchReport, error) {
+	const members, catalogs, sessions, steps = 3, 3, 6, 10
+	cat, err := datagen.Traffic(rows, seed)
+	if err != nil {
+		return nil, err
+	}
+	kvURL, stopKV, err := serveLocal(kv.NewServer(0, 0))
+	if err != nil {
+		return nil, err
+	}
+	defer stopKV()
+
+	// Every member serves the same replica catalogs (identical data —
+	// the kv tier's keys are structural, so replicas warm each other),
+	// sharing the read-only decoded arrays.
+	var ms []router.Member
+	var stops []func()
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+	for n := 0; n < members; n++ {
+		var cfgs []server.CatalogConfig
+		for i := 0; i < catalogs; i++ {
+			cfgs = append(cfgs, server.CatalogConfig{
+				Name:    fmt.Sprintf("r%d", i),
+				Catalog: cat,
+				Shared:  core.SharedOptions{AdmitMinCost: -1, Backend: kv.NewClient(kvURL)},
+			})
+		}
+		srv, err := server.New(server.Config{
+			Shards:         8,
+			Catalogs:       cfgs,
+			DefaultOptions: core.Options{GridW: 128, GridH: 128},
+		})
+		if err != nil {
+			return nil, err
+		}
+		url, stop, err := serveLocal(srv)
+		if err != nil {
+			return nil, err
+		}
+		stops = append(stops, stop)
+		ms = append(ms, router.Member{Name: fmt.Sprintf("m%d", n), URL: url})
+	}
+	rt, err := router.New(router.Config{Shards: 8, Members: ms, KV: kvURL})
+	if err != nil {
+		return nil, err
+	}
+	rtURL, stopRT, err := serveLocal(rt)
+	if err != nil {
+		return nil, err
+	}
+	defer stopRT()
+
+	ctx := context.Background()
+	c := client.New(rtURL)
+	queries := datagen.TrafficQueries()
+	type tally struct {
+		steps []time.Duration
+		err   error
+	}
+	tallies := make([]tally, sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < sessions; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(g)))
+			src := queries[g%len(queries)]
+			s, _, err := c.NewSession(ctx, fmt.Sprintf("r%d", g%catalogs), src, client.Options{})
+			if err != nil {
+				tallies[g].err = err
+				return
+			}
+			defer s.Close(ctx)
+			preds := numPreds(src)
+			attrs := condAttrs(src)
+			for step := 0; step < steps; step++ {
+				t0 := time.Now()
+				var err error
+				switch op := rng.Intn(10); {
+				case op < 5:
+					lo := float64(int(rng.Float64() * 80))
+					_, err = s.SetRange(ctx, attrs[rng.Intn(len(attrs))], lo, lo+float64(int(rng.Float64()*40)))
+				case op < 8:
+					_, err = s.SetWeight(ctx, rng.Intn(preds), []float64{0.5, 1, 2, 3}[rng.Intn(4)])
+				default:
+					_, err = s.Undo(ctx)
+					if apiErr, ok := err.(*client.APIError); ok && apiErr.Status == 409 {
+						continue
+					}
+				}
+				if err != nil {
+					tallies[g].err = fmt.Errorf("step %d: %w", step, err)
+					return
+				}
+				tallies[g].steps = append(tallies[g].steps, time.Since(t0))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var all []time.Duration
+	for g, tl := range tallies {
+		if tl.err != nil {
+			return nil, fmt.Errorf("fleet session %d: %w", g, tl.err)
+		}
+		all = append(all, tl.steps...)
+	}
+
+	fleet, err := c.Fleet(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &fleetBenchReport{
+		Members:       members,
+		Sessions:      sessions,
+		Steps:         steps,
+		Recalcs:       fleet.Recalcs,
+		RecalcsPerSec: float64(fleet.Recalcs) / elapsed.Seconds(),
+		StepP50MS:     percentileMS(all, 50),
+		StepP99MS:     percentileMS(all, 99),
+		SharedHitRate: fleet.SharedHitRate,
+		Shared:        fleet.Shared,
+		KV:            fleet.KV,
+	}, nil
+}
+
+// percentileMS reports the p-th percentile of a latency sample in
+// milliseconds (nearest-rank; 0 for an empty sample).
+func percentileMS(samples []time.Duration, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p/100*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx].Nanoseconds()) / 1e6
+}

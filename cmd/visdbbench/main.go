@@ -56,10 +56,11 @@ func main() {
 		jsonRows = flag.Int("json-rows", 1_000_000, "catalog rows for the json benchmark mode")
 		floors   = flag.Bool("floors", false, "with -json: fail (exit 1) when the regression floors are violated (prune rate, warm<cold, cache attribution, sketch hits)")
 		disk     = flag.Bool("disk", false, "with -json: serve the benchmark catalog from an on-disk segment file through a bounded decoded-segment cache")
+		fleet    = flag.Bool("fleet", false, "with -json: also stand up a three-member routed fleet over a networked kv tier and report fleet-wide recalcs/s, step percentiles and shared-hit rate")
 	)
 	flag.Parse()
 	if *jsonOut != "" {
-		if err := runJSONBench(*jsonOut, *jsonRows, *seed, *floors, *disk); err != nil {
+		if err := runJSONBench(*jsonOut, *jsonRows, *seed, *floors, *disk, *fleet); err != nil {
 			fmt.Fprintln(os.Stderr, "visdbbench:", err)
 			os.Exit(1)
 		}

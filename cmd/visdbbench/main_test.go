@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func TestRunSingleExperiment(t *testing.T) {
 	// The cheap text-only experiments keep this test fast.
@@ -22,6 +25,43 @@ func TestRunConcurrentTraffic(t *testing.T) {
 	// the shared tier must report cross-session hits.
 	if err := runConcurrent(4, 6, 2000, 7); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunFleetBench(t *testing.T) {
+	// A miniature routed fleet: the report must show cross-node sharing
+	// through the kv tier and populated step percentiles.
+	fb, err := runFleetBench(2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.SharedHitRate <= 0 || fb.Shared.RemoteHits == 0 || fb.KV.Entries == 0 {
+		t.Fatalf("fleet bench shows no sharing: %+v", fb)
+	}
+	if fb.StepP50MS <= 0 || fb.StepP99MS < fb.StepP50MS {
+		t.Fatalf("degenerate percentiles: %+v", fb)
+	}
+	if fb.Recalcs == 0 || fb.RecalcsPerSec <= 0 {
+		t.Fatalf("fleet served nothing: %+v", fb)
+	}
+}
+
+func TestPercentileMS(t *testing.T) {
+	var samples []time.Duration
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, time.Duration(i)*time.Millisecond)
+	}
+	if p := percentileMS(samples, 50); p != 50 {
+		t.Errorf("p50 = %v, want 50", p)
+	}
+	if p := percentileMS(samples, 99); p != 99 {
+		t.Errorf("p99 = %v, want 99", p)
+	}
+	if p := percentileMS(nil, 50); p != 0 {
+		t.Errorf("empty sample p50 = %v, want 0", p)
+	}
+	if p := percentileMS([]time.Duration{3 * time.Millisecond}, 99); p != 3 {
+		t.Errorf("single sample p99 = %v, want 3", p)
 	}
 }
 

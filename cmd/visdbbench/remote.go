@@ -83,6 +83,7 @@ func runRemote(base string, sessions, steps int, seed int64) error {
 	queries := datagen.TrafficQueries()
 	type tally struct {
 		recalcs, hits, sharedHits, misses int
+		steps                             []time.Duration
 		err                               error
 	}
 	tallies := make([]tally, sessions)
@@ -116,6 +117,7 @@ func runRemote(base string, sessions, steps int, seed int64) error {
 			attrs := condAttrs(queries[g%len(queries)])
 			for step := 0; step < steps; step++ {
 				var err error
+				t0 := time.Now()
 				switch op := rng.Intn(10); {
 				case op < 5:
 					lo := math.Floor(rng.Float64() * 80)
@@ -133,6 +135,7 @@ func runRemote(base string, sessions, steps int, seed int64) error {
 					tallies[g].err = fmt.Errorf("step %d: %w", step, err)
 					return
 				}
+				tallies[g].steps = append(tallies[g].steps, time.Since(t0))
 				count(sum)
 			}
 		}()
@@ -141,6 +144,7 @@ func runRemote(base string, sessions, steps int, seed int64) error {
 	elapsed := time.Since(start)
 
 	var recalcs, hits, sharedHits, misses int
+	var allSteps []time.Duration
 	for g, tl := range tallies {
 		if tl.err != nil {
 			return fmt.Errorf("session %d: %w", g, tl.err)
@@ -149,6 +153,7 @@ func runRemote(base string, sessions, steps int, seed int64) error {
 		hits += tl.hits
 		sharedHits += tl.sharedHits
 		misses += tl.misses
+		allSteps = append(allSteps, tl.steps...)
 	}
 	stats, err := c.ShardStats(ctx)
 	if err != nil {
@@ -157,6 +162,8 @@ func runRemote(base string, sessions, steps int, seed int64) error {
 	fmt.Printf("remote traffic: %d sessions x %d steps against %s\n", sessions, steps, base)
 	fmt.Printf("  elapsed          %v (%.1f recalcs/s, %d recalcs)\n",
 		elapsed.Round(time.Millisecond), float64(recalcs)/elapsed.Seconds(), recalcs)
+	fmt.Printf("  step latency     p50 %.2fms, p99 %.2fms (%d applied steps, round trips included)\n",
+		percentileMS(allSteps, 50), percentileMS(allSteps, 99), len(allSteps))
 	fmt.Printf("  leaf lookups     %d hits (%d via shared tier), %d recomputed\n", hits, sharedHits, misses)
 	for _, st := range stats {
 		if len(st.Catalogs) == 0 && st.Sessions == 0 && st.SessionsCreated == 0 {

@@ -81,10 +81,15 @@ type coldScanReport struct {
 }
 
 type concurrentReport struct {
-	Sessions      int              `json:"sessions"`
-	Steps         int              `json:"steps"`
-	Recalcs       int              `json:"recalcs"`
-	RecalcsPerSec float64          `json:"recalcs_per_sec"`
+	Sessions      int     `json:"sessions"`
+	Steps         int     `json:"steps"`
+	Recalcs       int     `json:"recalcs"`
+	RecalcsPerSec float64 `json:"recalcs_per_sec"`
+	// StepP50MS/StepP99MS are per-interaction-step latency percentiles
+	// across every session's applied edits — the paper's "response time
+	// per slider movement", measured under contention.
+	StepP50MS     float64          `json:"step_p50_ms"`
+	StepP99MS     float64          `json:"step_p99_ms"`
 	SharedHitRate float64          `json:"shared_hit_rate"`
 	SharedStats   wire.SharedStats `json:"shared_stats"`
 }
@@ -105,6 +110,9 @@ type benchReport struct {
 	Concurrent   concurrentReport `json:"concurrent"`
 	// ColdScan is present only for -disk reports.
 	ColdScan *coldScanReport `json:"cold_scan,omitempty"`
+	// Fleet is present only for -fleet reports: the routed three-member
+	// fleet with the networked kv tier (see fleet.go).
+	Fleet *fleetBenchReport `json:"fleet,omitempty"`
 }
 
 // medianMS converts a sample of durations to its median in
@@ -119,12 +127,12 @@ func medianMS(samples []time.Duration) float64 {
 // floors enforces the regression floors after writing (the report is
 // useful even when it fails them). disk round-trips the catalog
 // through a segment file first and serves it from there.
-func runJSONBench(path string, rows int, seed int64, floors, disk bool) error {
+func runJSONBench(path string, rows int, seed int64, floors, disk, fleet bool) error {
 	cat, err := datagen.Traffic(rows, seed)
 	if err != nil {
 		return err
 	}
-	rep := benchReport{Schema: 3, Rows: rows, Seed: seed, DiskBacked: disk}
+	rep := benchReport{Schema: 4, Rows: rows, Seed: seed, DiskBacked: disk}
 	var segPath string
 	if disk {
 		segPath = filepath.Join(os.TempDir(), fmt.Sprintf("visdbbench-%d-%d.visdb", rows, seed))
@@ -237,6 +245,7 @@ func runJSONBench(path string, rows int, seed int64, floors, disk bool) error {
 	shared := core.NewSharedCache(0, 0)
 	queries := datagen.TrafficQueries()
 	recalcs := make([]int, sessions)
+	stepTimes := make([][]time.Duration, sessions)
 	errs := make([]error, sessions)
 	t0 := time.Now()
 	var wg sync.WaitGroup
@@ -251,10 +260,12 @@ func runJSONBench(path string, rows int, seed int64, floors, disk bool) error {
 			}
 			pred := query.Predicates(cs.Query().Where)[0]
 			for step := 0; step < steps; step++ {
+				st := time.Now()
 				if err := cs.SetWeight(pred, []float64{0.5, 1, 2, 3}[step%4]); err != nil {
 					errs[g] = err
 					return
 				}
+				stepTimes[g] = append(stepTimes[g], time.Since(st))
 			}
 			recalcs[g] = cs.Recalcs
 		}(g)
@@ -262,11 +273,13 @@ func runJSONBench(path string, rows int, seed int64, floors, disk bool) error {
 	wg.Wait()
 	elapsed := time.Since(t0)
 	total := 0
+	var allSteps []time.Duration
 	for g := range recalcs {
 		if errs[g] != nil {
 			return errs[g]
 		}
 		total += recalcs[g]
+		allSteps = append(allSteps, stepTimes[g]...)
 	}
 	st := shared.Stats()
 	rep.Concurrent = concurrentReport{
@@ -274,6 +287,8 @@ func runJSONBench(path string, rows int, seed int64, floors, disk bool) error {
 		Steps:         steps,
 		Recalcs:       total,
 		RecalcsPerSec: float64(total) / elapsed.Seconds(),
+		StepP50MS:     percentileMS(allSteps, 50),
+		StepP99MS:     percentileMS(allSteps, 99),
 		SharedStats:   wire.SharedStatsOf(st),
 	}
 	if st.Hits+st.Misses > 0 {
@@ -287,6 +302,15 @@ func runJSONBench(path string, rows int, seed int64, floors, disk bool) error {
 			return err
 		}
 		rep.ColdScan = cs
+	}
+
+	// --- Fleet: routed members over the networked kv tier (-fleet) --
+	if fleet {
+		fb, err := runFleetBench(rows, seed)
+		if err != nil {
+			return err
+		}
+		rep.Fleet = fb
 	}
 
 	out, err := json.MarshalIndent(rep, "", "  ")
@@ -306,6 +330,11 @@ func runJSONBench(path string, rows int, seed int64, floors, disk bool) error {
 		fmt.Printf("cold scan: stats on %.2fms / off %.2fms (%.2fx), skipped %d/%d segments, file %d B vs v2 %d B\n",
 			cs.StatsOnMS, cs.StatsOffMS, cs.Speedup,
 			cs.StatsOn.SegsSkipped, cs.StatsOn.Segs, cs.FileBytes, cs.FileBytesV2)
+	}
+	if fb := rep.Fleet; fb != nil {
+		fmt.Printf("fleet: %d members, %d sessions, %.1f recalcs/s, step p50 %.1fms p99 %.1fms, shared-hit rate %.3f (%d remote hits), kv %d entries\n",
+			fb.Members, fb.Sessions, fb.RecalcsPerSec, fb.StepP50MS, fb.StepP99MS,
+			fb.SharedHitRate, fb.Shared.RemoteHits, fb.KV.Entries)
 	}
 	if floors {
 		return checkFloors(rep)
@@ -424,9 +453,14 @@ func checkFloors(rep benchReport) error {
 		fails = append(fails, fmt.Sprintf("sketch evaluate (%dns) not 2x under the sketchless baseline (%dns)",
 			rep.Reweight.Warm.EvaluateNS, rep.Reweight.WarmSketchless.EvaluateNS))
 	}
-	// Cross-session sharing must happen in the concurrent workload.
+	// Cross-session sharing must happen in the concurrent workload, and
+	// the step latency percentiles must be populated and ordered.
 	if rep.Concurrent.SharedHitRate <= 0 {
 		fails = append(fails, "concurrent sessions shared nothing")
+	}
+	if rep.Concurrent.StepP50MS <= 0 || rep.Concurrent.StepP99MS < rep.Concurrent.StepP50MS {
+		fails = append(fails, fmt.Sprintf("concurrent step percentiles degenerate: p50=%.3fms p99=%.3fms",
+			rep.Concurrent.StepP50MS, rep.Concurrent.StepP99MS))
 	}
 	if math.IsNaN(rep.Reweight.Speedup) {
 		fails = append(fails, "speedup is NaN")
@@ -449,6 +483,28 @@ func checkFloors(rep benchReport) error {
 		if cs.FileBytes >= cs.FileBytesV2 {
 			fails = append(fails, fmt.Sprintf("v3 file (%d bytes) not smaller than v2 (%d bytes)",
 				cs.FileBytes, cs.FileBytesV2))
+		}
+	}
+	// The fleet floors (-fleet reports): members must actually share
+	// work through the networked kv tier — a fleet where every node
+	// recomputes everything has silently lost its shared-distance tier.
+	if fb := rep.Fleet; fb != nil {
+		if fb.SharedHitRate <= 0 {
+			fails = append(fails, "fleet members shared nothing (fleet-wide hit rate 0)")
+		}
+		if fb.Shared.RemoteHits == 0 || fb.Shared.RemotePuts == 0 {
+			fails = append(fails, fmt.Sprintf("fleet kv tier carried nothing (remote hits=%d puts=%d)",
+				fb.Shared.RemoteHits, fb.Shared.RemotePuts))
+		}
+		if fb.KV.Entries == 0 {
+			fails = append(fails, "fleet kv store holds no entries")
+		}
+		if fb.Recalcs == 0 || fb.RecalcsPerSec <= 0 {
+			fails = append(fails, "fleet served no recalculations")
+		}
+		if fb.StepP50MS <= 0 || fb.StepP99MS < fb.StepP50MS {
+			fails = append(fails, fmt.Sprintf("fleet step percentiles degenerate: p50=%.3fms p99=%.3fms",
+				fb.StepP50MS, fb.StepP99MS))
 		}
 	}
 	if len(fails) == 0 {

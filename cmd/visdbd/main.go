@@ -51,6 +51,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dataset"
+	"repro/internal/kv"
 	"repro/internal/server"
 )
 
@@ -66,6 +67,7 @@ type config struct {
 	cacheMB        int
 	catCacheMB     int
 	forceReadAt    bool
+	sharedKV       string
 	admitMin       time.Duration
 	drainTimeout   time.Duration
 	sessionTTL     time.Duration
@@ -110,6 +112,7 @@ func main() {
 	flag.IntVar(&cfg.cacheMB, "cache-mb", 0, "per-catalog shared-cache byte budget in MiB (0 = default 256)")
 	flag.IntVar(&cfg.catCacheMB, "catalog-cache-mb", 0, "decoded-segment cache budget in MiB for file-backed catalogs (0 = default 64)")
 	flag.BoolVar(&cfg.forceReadAt, "force-readat", false, "disable mmap for file-backed catalogs; read through ReadAt")
+	flag.StringVar(&cfg.sharedKV, "shared-kv", "", "visdbkv store base URL; attaches the fleet's shared-distance tier to every catalog's cache")
 	flag.DurationVar(&cfg.admitMin, "admit-min", 0, "shared-tier admission threshold (0 = ~1ms default, negative admits all)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown drain bound")
 	flag.DurationVar(&cfg.sessionTTL, "session-ttl", 30*time.Minute, "reap sessions idle longer than this (0 disables; each live session pins O(rows) buffers)")
@@ -132,6 +135,12 @@ func buildCatalogs(cfg config) ([]server.CatalogConfig, error) {
 		MaxEntries:   cfg.cacheEntries,
 		MaxBytes:     int64(cfg.cacheMB) << 20,
 		AdmitMinCost: cfg.admitMin,
+	}
+	if cfg.sharedKV != "" {
+		// One client for every catalog: the kv keys are structural
+		// (table identities, not catalog names), so replica catalogs
+		// across the fleet share entries through it.
+		shared.Backend = kv.NewClient(cfg.sharedKV)
 	}
 	var out []server.CatalogConfig
 	seen := make(map[string]bool)

@@ -107,6 +107,18 @@ func TestDaemonSmoke(t *testing.T) {
 	if total != 2 {
 		t.Fatalf("sessions created = %d, want 2", total)
 	}
+	// The health self-report the fleet router polls: per-shard session
+	// counts (all zero — both sessions closed), uptime, no quarantine.
+	h, err := c.Health(rctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.UptimeNS <= 0 {
+		t.Fatalf("health: %+v", h)
+	}
+	if h.Sessions != 0 || len(h.Shards) != 2 || len(h.Quarantined) != 0 {
+		t.Fatalf("health after close: %+v", h)
+	}
 
 	cancel() // SIGTERM path
 	select {

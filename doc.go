@@ -176,7 +176,7 @@
 //     display-path touches (slider first/last labels).
 //     StageTimings.SegsSkipped/Segs (wire: segs_skipped/segs)
 //     attribute it; Options.NoSegmentStats is the ablation gate, and
-//     the BENCH_8.json cold-scan floors fail CI if the pushdown
+//     the BENCH_9.json cold-scan floors fail CI if the pushdown
 //     silently deactivates.
 //   - Segment codecs. Int and time blobs are delta-coded
 //     (zigzag+uvarint over the word stream), float blobs
@@ -209,7 +209,7 @@
 // SharedCache's separate quarter-budget interior tier, so a second
 // session's first run already takes the fast path.
 // StageTimings.SketchHits/SketchRescans (and the wire timings)
-// attribute it; the BENCH_8.json floors fail CI if the sketch silently
+// attribute it; the BENCH_9.json floors fail CI if the sketch silently
 // deactivates or stops beating the sketchless baseline.
 //
 // # Shared cache: serving many sessions on one catalog
@@ -343,14 +343,23 @@
 //	409 nothing_to_undo      no earlier state to revert to
 //	503 session_cap          shard at its session limit (Retry-After)
 //	503 catalog_quarantined  segment checksum failure (Retry-After)
+//	503 node_down            fleet member unreachable (Retry-After)
 //	504 deadline             recalculation overran, rolled back
 //	504 canceled             client disconnected, rolled back
+//
+// The client's retry policy keys on these codes, not just the status
+// class: node_down, catalog_quarantined, session_cap, deadline and
+// canceled retry (honoring Retry-After); seq_conflict and
+// nothing_to_undo never retry; unknown codes fall back to
+// retrying 5xx.
 //
 // internal/faultinject supplies the deterministic fault surface the
 // suite drives this with: a scripted http.RoundTripper (drop before
 // the server, drop the response after application), corrupting /
-// truncating / slow io.ReaderAt wrappers, and handler-level
-// latency/error injection (server.Config.FaultHook).
+// truncating / slow io.ReaderAt wrappers, handler-level
+// latency/error injection (server.Config.FaultHook), and a
+// connection-severing Breaker that makes an in-process member
+// indistinguishable from a crashed one.
 // TestChaosReplayMatchesInProcess asserts that a randomized
 // interaction script driven through drops, injected 500s and
 // automatic retries stays bitwise identical to a fault-free
@@ -358,6 +367,79 @@
 // application; TestDeadlineRollsBackAndRetryResumes proves the 504
 // path rolls back bitwise and resumes; the corruption suite proves
 // single-bit flips anywhere in a v2+ file are caught and contained.
+//
+// # Fleet topology: visdbrouter, placement, and the networked kv tier
+//
+// Above single-daemon serving sits the fleet tier: N visdbd member
+// processes (each running the same -shards value and the same catalog
+// set) behind one cmd/visdbrouter front end (internal/router), with an
+// optional cmd/visdbkv store (internal/kv) externalizing the shared
+// predicate cache across the members:
+//
+//	client ── visdbrouter ──┬── visdbd a ──┐
+//	                        ├── visdbd b ──┼── visdbkv
+//	                        └── visdbd c ──┘
+//
+// The router owns the placement map. Each of the fleet's shards is
+// assigned by rendezvous hashing — FNV-64a of "shard|member", highest
+// score among the HEALTHY members wins — so placement is a pure
+// function of the healthy set: every router instance computes the
+// same map, and a membership change moves only the shards whose
+// winner changed. Requests route exactly like visdbd's own shards:
+// session creation hashes the catalog name (server.ShardOf), and every
+// other session operation parses the shard index out of the session ID
+// ("s{shard}.{seq}"), so the ID remains the entire routing table.
+//
+// Health and failure. The router probes each member's GET /v1/health
+// (uptime, per-shard session counts, quarantined catalogs) on a
+// period; -fail-after consecutive failures marks the member down and
+// recomputes placement immediately — its sessions died with it, so
+// there is nothing to drain. A transport error during a live forward
+// does the same thing BEFORE answering, so the 503 node_down response
+// (with a Retry-After hint) already reflects the new placement and
+// the client's retry lands on the new owner. Session IDs are not
+// preserved across a failover: the new owner answers 404 for the dead
+// node's sessions, and the recovery contract is client-side — recreate
+// the session (creation routes by catalog, landing on the new owner)
+// and replay the operation log, which the kv tier makes cheap because
+// the dead node's computed leaf work is still resident in the store.
+// A shard moving between two HEALTHY members instead drains: existing
+// traffic (and new creations) stay on the old owner until its health
+// report shows zero sessions on that shard, bounded by -drain-timeout.
+//
+// The kv tier. visdbd -shared-kv attaches a read-through/write-through
+// remote backend (core.SharedBackend) to every catalog's SharedCache:
+// a shared-tier miss consults the store before computing (only the
+// singleflight leader issues the network read), and admitted fills are
+// written back, so leaf vectors, quantile indexes and interior entries
+// computed on one member warm every member. Entries travel in the
+// deterministic binary codec of internal/relevance (internal/binenc);
+// lookups degrade to a local recompute on any store error — the kv
+// tier can die without breaking serving. The store itself speaks a
+// minimal stdlib HTTP protocol: GET/PUT /v1/kv?key=K (200/404 on GET;
+// 204 accepted, 413 over the value cap on PUT), GET /v1/kv/stats, and
+// GET /healthz, with LRU entry- and byte-budget eviction. Values are
+// immutable: re-PUTting a key refreshes recency but keeps the first
+// bytes, matching the cache's copy-on-invalidate discipline. Keys are
+// STRUCTURAL (table identity, row count, content epoch — not catalog
+// names), which is what lets replica catalogs share entries; the
+// operator contract is therefore that every catalog attached to one
+// store holds identical data for identical table identities (replicas
+// of different data must use distinct stores or distinct epochs).
+//
+// The router also aggregates the fleet: GET /v1/fleet reports
+// membership and health, per-member owned shards, fleet-wide session
+// and recalculation counts, the fleet-wide shared-hit rate (summed
+// across members, remote hits included), and the kv store's counters.
+// TestFleetReplayMatchesInProcess drives concurrent randomized
+// sessions through a three-member fleet and asserts bitwise identity
+// with fresh in-process engines at every step; TestExternalFleetReplay
+// repeats that over real visdbd/visdbrouter/visdbkv processes in CI;
+// TestFleetNodeKillRecovers kills a member mid-run and proves recovery
+// via the retry/recreate/replay contract with recalc-counter equality
+// against a fault-free mirror; visdbbench -json -fleet records the
+// fleet's recalcs/s, step-latency percentiles and sharing counters as
+// CI data with regression floors.
 //
 // Render artifacts under out/ are generated by visdbbench and the
 // examples; they are not tracked in git.

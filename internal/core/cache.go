@@ -399,6 +399,10 @@ func (c *RunCache) buildIndexes(key string, dists []float64) leafIndexes {
 	var li leafIndexes
 	if shared != nil {
 		li.quant, li.cstats = shared.indexesOf(key)
+		if li.quant == nil {
+			// Another node in the fleet may already have paid the sort.
+			li.quant, li.cstats = shared.remoteIndexesOf(key)
+		}
 	}
 	if li.quant == nil {
 		li.quant = relevance.BuildLeafQuantiles(dists)

@@ -76,8 +76,15 @@ type SharedCache struct {
 	maxIntEntries int
 	maxIntBytes   int64
 
+	// backend is the optional remote tier (a network KV shared across
+	// the fleet); see SharedBackend in remote.go. All network calls
+	// happen outside mu.
+	backend SharedBackend
+
 	hits, misses, fills, waits, rejects uint64
 	intHits, intMisses                  uint64
+	remoteHits, remoteMisses            uint64
+	remotePuts                          uint64
 }
 
 // sharedInterior is one resident interior entry with its accounting.
@@ -117,6 +124,10 @@ type SharedOptions struct {
 	// still returned to the caller and to all singleflight waiters —
 	// admission bounds budget churn, it never costs correctness.
 	AdmitMinCost time.Duration
+	// Backend plugs a remote tier (network KV) behind the cache: fills
+	// admitted locally are offered to it, and misses consult it before
+	// computing. Nil serves purely from this process.
+	Backend SharedBackend
 }
 
 // NewSharedCacheOpts creates a shared tier from SharedOptions — the
@@ -130,6 +141,7 @@ func NewSharedCacheOpts(o SharedOptions) *SharedCache {
 	case o.AdmitMinCost > 0:
 		sc.admitMin = o.AdmitMinCost
 	}
+	sc.backend = o.Backend
 	return sc
 }
 
@@ -222,6 +234,11 @@ type SharedStats struct {
 	InteriorHits, InteriorMisses uint64
 	InteriorEntries              int
 	InteriorBytes                int64
+	// RemoteHits/RemoteMisses/RemotePuts count traffic against the
+	// attached remote backend (leaf entries, promoted indexes, and
+	// interior entries combined); all zero when no backend is attached.
+	// A RemoteHit is work some other node already paid for.
+	RemoteHits, RemoteMisses, RemotePuts uint64
 }
 
 // Stats returns cumulative counters and the current size.
@@ -234,6 +251,8 @@ func (sc *SharedCache) Stats() SharedStats {
 		Entries: len(sc.entries), Bytes: sc.bytes,
 		InteriorHits: sc.intHits, InteriorMisses: sc.intMisses,
 		InteriorEntries: len(sc.interior), InteriorBytes: sc.intBytes,
+		RemoteHits: sc.remoteHits, RemoteMisses: sc.remoteMisses,
+		RemotePuts: sc.remotePuts,
 	}
 }
 
@@ -322,14 +341,40 @@ func (sc *SharedCache) fetch(key string, needSigned bool, compute func() (*share
 	sc.misses++
 	call := &sharedCall{done: make(chan struct{})}
 	sc.inflight[key] = call
+	backend := sc.backend
 	sc.mu.Unlock()
 
-	t0 := time.Now()
-	e, err := compute()
-	cost := time.Since(t0)
+	// Leader path: consult the remote tier before computing — a node
+	// elsewhere in the fleet may already have paid for this leaf. Only
+	// the singleflight leader asks, so a thundering herd costs one
+	// network round trip, and a decode failure (version skew, truncated
+	// value) degrades to a local compute.
+	var e *sharedEntry
+	remote := false
+	if backend != nil {
+		if data, ok := backend.Get(key); ok {
+			if d, derr := decodeSharedEntry(data); derr == nil && d.satisfies(needSigned) {
+				e, remote = d, true
+			}
+		}
+	}
+	var cost time.Duration
+	if e == nil {
+		t0 := time.Now()
+		e, err = compute()
+		cost = time.Since(t0)
+	}
 
 	sc.mu.Lock()
+	if backend != nil {
+		if remote {
+			sc.remoteHits++
+		} else {
+			sc.remoteMisses++
+		}
+	}
 	delete(sc.inflight, key)
+	stored := false
 	if err == nil {
 		// Cost-aware admission: a leaf cheaper than the threshold is
 		// served but not stored — recomputing it is cheaper than the
@@ -337,9 +382,10 @@ func (sc *SharedCache) fetch(key string, needSigned bool, compute func() (*share
 		// existing entry (the needSigned upgrade) is always admitted:
 		// the superseded entry's budget is reclaimed either way, and
 		// dropping it would downgrade later 2D lookups to permanent
-		// misses.
+		// misses. Remote-served entries are always admitted: the fleet
+		// already judged them worth sharing.
 		_, replaces := sc.entries[key]
-		if sc.admitMin > 0 && cost < sc.admitMin && !replaces {
+		if !remote && sc.admitMin > 0 && cost < sc.admitMin && !replaces {
 			sc.rejects++
 		} else {
 			sc.clock++
@@ -352,6 +398,7 @@ func (sc *SharedCache) fetch(key string, needSigned bool, compute func() (*share
 			sc.bytes += e.bytes
 			sc.fills++
 			sc.evictLocked()
+			stored = true
 		}
 		call.view, call.ok = e.viewLocked(), true
 		view = call.view
@@ -359,7 +406,16 @@ func (sc *SharedCache) fetch(key string, needSigned bool, compute func() (*share
 	call.err = err
 	sc.mu.Unlock()
 	close(call.done)
-	return view, false, err
+	// Offer locally computed, admitted fills to the fleet. The encode
+	// reads only immutable fields and the Put happens after waiters are
+	// released, so a slow backend never extends the singleflight.
+	if stored && !remote && backend != nil {
+		if data, ok := encodeSharedEntry(e); ok {
+			backend.Put(key, data)
+			sc.noteRemote(&sc.remotePuts)
+		}
+	}
+	return view, remote, err
 }
 
 // indexesOf returns the promoted leaf indexes (quantiles + chunk
@@ -381,19 +437,30 @@ func (sc *SharedCache) indexesOf(key string) (*relevance.LeafQuantiles, *relevan
 // copy resident). The entry's byte accounting grows by the indexes.
 func (sc *SharedCache) attachIndexes(key string, q *relevance.LeafQuantiles, cs *relevance.LeafChunkStats) (*relevance.LeafQuantiles, *relevance.LeafChunkStats) {
 	sc.mu.Lock()
-	defer sc.mu.Unlock()
 	e, ok := sc.entries[key]
 	if !ok {
+		sc.mu.Unlock()
 		return q, cs
 	}
 	if e.quant != nil {
-		return e.quant, e.cstats
+		q, cs := e.quant, e.cstats
+		sc.mu.Unlock()
+		return q, cs
 	}
 	e.quant, e.cstats = q, cs
 	grown := e.sizeBytes()
 	sc.bytes += grown - e.bytes
 	e.bytes = grown
 	sc.evictLocked()
+	backend := sc.backend
+	sc.mu.Unlock()
+	// The winning build is promoted to the fleet too: quantile indexes
+	// are pure functions of the (already shared) leaf vector, so any
+	// node can reuse them for O(1) normalization ranges.
+	if backend != nil {
+		backend.Put(remoteIndexPrefix+key, encodeLeafIndexes(q, cs))
+		sc.noteRemote(&sc.remotePuts)
+	}
 	return q, cs
 }
 
@@ -402,15 +469,35 @@ func (sc *SharedCache) attachIndexes(key string, q *relevance.LeafQuantiles, cs 
 // one concurrently.
 func (sc *SharedCache) InteriorOf(key string) *relevance.InteriorEntry {
 	sc.mu.Lock()
-	defer sc.mu.Unlock()
 	if r, ok := sc.interior[key]; ok {
 		sc.clock++
 		r.used = sc.clock
 		sc.intHits++
-		return r.e
+		e := r.e
+		sc.mu.Unlock()
+		return e
 	}
 	sc.intMisses++
-	return nil
+	backend := sc.backend
+	sc.mu.Unlock()
+	if backend == nil {
+		return nil
+	}
+	// Interior keys embed the leaves' full cache keys plus every kernel
+	// option, so a fleet-mate's entry is exactly the one this node would
+	// build; the histogram sketch is re-derived locally by the decoder.
+	data, ok := backend.Get(key)
+	if !ok {
+		sc.noteRemote(&sc.remoteMisses)
+		return nil
+	}
+	e, err := relevance.DecodeInteriorEntry(data)
+	if err != nil {
+		sc.noteRemote(&sc.remoteMisses)
+		return nil
+	}
+	sc.noteRemote(&sc.remoteHits)
+	return sc.attachInteriorLocal(key, e)
 }
 
 // AttachInterior promotes a freshly built interior entry to the shared
@@ -419,6 +506,24 @@ func (sc *SharedCache) InteriorOf(key string) *relevance.InteriorEntry {
 // pass is deterministic — so either could win; keeping the first keeps
 // one copy resident and its Range memo shared).
 func (sc *SharedCache) AttachInterior(key string, e *relevance.InteriorEntry) *relevance.InteriorEntry {
+	canon := sc.attachInteriorLocal(key, e)
+	if canon != e {
+		return canon
+	}
+	// This build won the local race; offer it to the fleet too (a
+	// remote-decoded entry goes through attachInteriorLocal directly and
+	// is never re-offered).
+	if backend := sc.backendRef(); backend != nil {
+		backend.Put(key, relevance.AppendInteriorEntry(nil, canon))
+		sc.noteRemote(&sc.remotePuts)
+	}
+	return canon
+}
+
+// attachInteriorLocal is AttachInterior without the remote offer: the
+// local store under the interior tier's cap and budget, first promotion
+// canonical.
+func (sc *SharedCache) attachInteriorLocal(key string, e *relevance.InteriorEntry) *relevance.InteriorEntry {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	if r, ok := sc.interior[key]; ok {

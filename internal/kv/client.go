@@ -1,0 +1,170 @@
+package kv
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTimeout bounds every client request. The backend sits on the
+// leaf-fill path — a slow store must degrade to a local compute, not
+// stall a session — so the timeout is short relative to the work a Get
+// saves (leaves worth sharing cost >= the admission threshold to
+// compute, and typically far more).
+const DefaultTimeout = 2 * time.Second
+
+// ClientStats snapshots a client's cumulative traffic.
+type ClientStats struct {
+	Hits   uint64 // Gets answered 200
+	Misses uint64 // Gets answered 404
+	Puts   uint64 // Puts attempted
+	Errors uint64 // transport failures and unexpected statuses
+	Shared uint64 // Gets collapsed onto another caller's in-flight fetch
+}
+
+// Client speaks the kv protocol and implements core.SharedBackend: Get
+// and Put never fail loudly — a network error is a miss (counted in
+// Stats), because the store is an optimization, not a dependency.
+//
+// Concurrent Gets of the same key collapse onto one request
+// (singleflight): the follower waits for the leader's response and
+// shares the bytes, so a thundering herd inside one process costs one
+// round trip — mirroring the SharedCache's own fill semantics one layer
+// down.
+type Client struct {
+	base string
+	// HTTP is the underlying client; replaceable before first use for
+	// tests and fault injection. The default carries DefaultTimeout.
+	HTTP *http.Client
+
+	mu       sync.Mutex
+	inflight map[string]*getCall
+
+	hits, misses, puts, errs, shared atomic.Uint64
+}
+
+// getCall is one in-flight Get shared by its followers.
+type getCall struct {
+	done chan struct{}
+	val  []byte
+	ok   bool
+}
+
+// NewClient creates a client for the store at base (e.g.
+// "http://127.0.0.1:7701").
+func NewClient(base string) *Client {
+	return &Client{
+		base:     base,
+		HTTP:     &http.Client{Timeout: DefaultTimeout},
+		inflight: make(map[string]*getCall),
+	}
+}
+
+// Stats returns the cumulative counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Puts:   c.puts.Load(),
+		Errors: c.errs.Load(),
+		Shared: c.shared.Load(),
+	}
+}
+
+func (c *Client) keyURL(key string) string {
+	return c.base + "/v1/kv?key=" + url.QueryEscape(key)
+}
+
+// Get fetches the value under key; ok is false on a miss OR any
+// failure.
+func (c *Client) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		// Counted before the wait so observers (tests, dashboards) see
+		// the collapse while it is happening.
+		c.shared.Add(1)
+		<-call.done
+		return call.val, call.ok
+	}
+	call := &getCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+
+	call.val, call.ok = c.getOnce(key)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(call.done)
+	return call.val, call.ok
+}
+
+func (c *Client) getOnce(key string) ([]byte, bool) {
+	resp, err := c.HTTP.Get(c.keyURL(key))
+	if err != nil {
+		c.errs.Add(1)
+		return nil, false
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		val, err := io.ReadAll(resp.Body)
+		if err != nil {
+			c.errs.Add(1)
+			return nil, false
+		}
+		c.hits.Add(1)
+		return val, true
+	case http.StatusNotFound:
+		c.misses.Add(1)
+		return nil, false
+	default:
+		c.errs.Add(1)
+		return nil, false
+	}
+}
+
+// Put offers a value to the store, best-effort.
+func (c *Client) Put(key string, val []byte) {
+	c.puts.Add(1)
+	req, err := http.NewRequest(http.MethodPut, c.keyURL(key), bytes.NewReader(val))
+	if err != nil {
+		c.errs.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		c.errs.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		c.errs.Add(1)
+	}
+}
+
+// ServerStats fetches the store's own counters (the fleet-stats
+// aggregation surfaces them).
+func (c *Client) ServerStats() (Stats, error) {
+	resp, err := c.HTTP.Get(c.base + "/v1/kv/stats")
+	if err != nil {
+		return Stats{}, err
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}

@@ -445,6 +445,34 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.shards[idx].stats())
 }
 
+// handleHealth is a node's self-report for the fleet router: per-shard
+// live session counts (the router's drain logic watches these to
+// decide when a moved shard has quiesced), quarantined catalogs, and
+// uptime. Kept cheap — one lock per shard, no recalculation state —
+// because the router polls it on every health interval.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	out := wire.HealthResponse{
+		Status:   "ok",
+		UptimeNS: time.Since(s.started).Nanoseconds(),
+		Shards:   make([]wire.ShardHealth, len(s.shards)),
+	}
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		n := len(sh.sessions)
+		sh.mu.RUnlock()
+		names := make([]string, 0, len(sh.catalogs))
+		for _, cs := range sh.catalogs {
+			names = append(names, cs.name)
+			if cs.quarantineErr() != nil {
+				out.Quarantined = append(out.Quarantined, cs.name)
+			}
+		}
+		out.Shards[i] = wire.ShardHealth{Shard: i, Sessions: n, Catalogs: names}
+		out.Sessions += n
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 // handleCatalogs lists the served catalogs and their shard homes.
 func (s *Server) handleCatalogs(w http.ResponseWriter, r *http.Request) {
 	names := make([]string, 0, len(s.catalogs))

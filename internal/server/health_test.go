@@ -1,0 +1,86 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/visdb/client"
+)
+
+// TestHealthEndpoint: /v1/health reports per-shard live session
+// counts (the router's drain signal), quarantined catalogs, and a
+// monotonically positive uptime.
+func TestHealthEndpoint(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	srv, c := newTestServer(t, 3,
+		trafficConfig(t, "alpha", 400, 1),
+		trafficConfig(t, "beta", 400, 2),
+		CatalogConfig{Name: "broken", Quarantined: errors.New("checksum mismatch")})
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.UptimeNS <= 0 {
+		t.Fatalf("health: %+v", h)
+	}
+	if len(h.Shards) != 3 {
+		t.Fatalf("shards: %d", len(h.Shards))
+	}
+	if h.Sessions != 0 {
+		t.Fatalf("idle node reports %d sessions", h.Sessions)
+	}
+	if len(h.Quarantined) != 1 || h.Quarantined[0] != "broken" {
+		t.Fatalf("quarantined: %v", h.Quarantined)
+	}
+
+	// Open two sessions; the per-shard counts must localize them on the
+	// catalogs' shards.
+	s1, _, err := c.NewSession(ctx, "alpha", `SELECT a FROM S WHERE a > 50`, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := c.NewSession(ctx, "beta", `SELECT b FROM S WHERE b < 40`, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err = c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Sessions != 2 {
+		t.Fatalf("sessions: %d", h.Sessions)
+	}
+	wantShard := map[string]int{"alpha": ShardOf("alpha", 3), "beta": ShardOf("beta", 3)}
+	for name, shard := range wantShard {
+		found := false
+		for _, cs := range h.Shards[shard].Catalogs {
+			found = found || cs == name
+		}
+		if !found {
+			t.Fatalf("catalog %q missing from shard %d: %+v", name, shard, h.Shards)
+		}
+	}
+	total := 0
+	for _, sh := range h.Shards {
+		total += sh.Sessions
+	}
+	if total != 2 {
+		t.Fatalf("per-shard sessions sum to %d", total)
+	}
+
+	// Closing a session is visible on the next report.
+	if err := s1.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if h, err = c.Health(ctx); err != nil || h.Sessions != 1 {
+		t.Fatalf("after close: %+v, %v", h, err)
+	}
+	if err := s2.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv
+}

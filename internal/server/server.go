@@ -274,6 +274,7 @@ type Server struct {
 	timeout   time.Duration
 	faultHook func(r *http.Request) *Fault
 	inflight  atomic.Int64
+	started   time.Time
 }
 
 // New builds a server from the config.
@@ -293,6 +294,7 @@ func New(cfg Config) (*Server, error) {
 		ttl:       cfg.SessionTTL,
 		timeout:   cfg.RequestTimeout,
 		faultHook: cfg.FaultHook,
+		started:   time.Now(),
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{id: i, sessions: make(map[string]*serverSession), maxSessions: maxSessions}
@@ -388,6 +390,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/shards", s.handleShards)
 	s.mux.HandleFunc("GET /v1/shards/{shard}", s.handleShard)
 	s.mux.HandleFunc("GET /v1/catalogs", s.handleCatalogs)
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})

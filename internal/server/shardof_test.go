@@ -1,0 +1,50 @@
+package server
+
+import "testing"
+
+// TestShardOfGolden pins the catalog→shard placement to literal hash
+// values. ShardOf is a cross-process contract: the router, every
+// visdbd node, and any external tooling must compute the identical
+// placement from a catalog name alone, so a change to the hash
+// function (or its modulus handling) is a breaking protocol change —
+// this test makes that change loud instead of silent.
+func TestShardOfGolden(t *testing.T) {
+	cases := []struct {
+		catalog string
+		shards  int
+		want    int
+	}{
+		// FNV-1a 32-bit sums, pinned: "traffic"=830603974,
+		// "archive"=2566783941, "r0"=223608639, "r1"=206831020,
+		// "r2"=257163877, "r7"=173275782, "demo"=2935829814,
+		// ""=2166136261 (the FNV offset basis).
+		{"traffic", 4, 2},
+		{"traffic", 3, 1},
+		{"traffic", 8, 6},
+		{"archive", 4, 1},
+		{"archive", 3, 0},
+		{"r0", 4, 3},
+		{"r1", 4, 0},
+		{"r2", 4, 1},
+		{"r7", 4, 2},
+		{"demo", 8, 6},
+		{"", 4, 1},
+		// Non-positive shard counts normalize to DefaultShards (4),
+		// matching New.
+		{"traffic", 0, 2},
+		{"traffic", -3, 2},
+	}
+	for _, c := range cases {
+		if got := ShardOf(c.catalog, c.shards); got != c.want {
+			t.Errorf("ShardOf(%q, %d) = %d, want %d", c.catalog, c.shards, got, c.want)
+		}
+	}
+	// Placement is total: every name lands in [0, shards).
+	for _, name := range []string{"a", "b", "c", "x-y-z", "catalog-with-a-long-name"} {
+		for _, n := range []int{1, 2, 3, 4, 7, 16} {
+			if got := ShardOf(name, n); got < 0 || got >= n {
+				t.Fatalf("ShardOf(%q, %d) = %d out of range", name, n, got)
+			}
+		}
+	}
+}

@@ -202,6 +202,14 @@ type SharedStats struct {
 	InteriorMisses  uint64 `json:"interior_misses"`
 	InteriorEntries int    `json:"interior_entries"`
 	InteriorBytes   int64  `json:"interior_bytes"`
+	// Remote* attribute the fleet KV tier: shared-tier fills answered
+	// by the networked store (hits), fills that fell through to local
+	// compute after asking it (misses), and entries this process
+	// offered to the fleet (puts). All zero when no backend is
+	// attached.
+	RemoteHits   uint64 `json:"remote_hits"`
+	RemoteMisses uint64 `json:"remote_misses"`
+	RemotePuts   uint64 `json:"remote_puts"`
 }
 
 // SharedStatsOf converts the engine's shared-cache counters — the
@@ -220,6 +228,9 @@ func SharedStatsOf(st core.SharedStats) SharedStats {
 		InteriorMisses:  st.InteriorMisses,
 		InteriorEntries: st.InteriorEntries,
 		InteriorBytes:   st.InteriorBytes,
+		RemoteHits:      st.RemoteHits,
+		RemoteMisses:    st.RemoteMisses,
+		RemotePuts:      st.RemotePuts,
 	}
 }
 
@@ -237,6 +248,9 @@ func (s *SharedStats) Add(o SharedStats) {
 	s.InteriorMisses += o.InteriorMisses
 	s.InteriorEntries += o.InteriorEntries
 	s.InteriorBytes += o.InteriorBytes
+	s.RemoteHits += o.RemoteHits
+	s.RemoteMisses += o.RemoteMisses
+	s.RemotePuts += o.RemotePuts
 }
 
 // ShardStats describes one shard: GET /v1/shards. Shared aggregates
@@ -267,6 +281,67 @@ type CatalogInfo struct {
 	Quarantined bool `json:"quarantined,omitempty"`
 }
 
+// ShardHealth is one shard's live load in a HealthResponse — the
+// router's drain logic watches Sessions to decide when a moved shard
+// has quiesced on its old owner.
+type ShardHealth struct {
+	Shard    int      `json:"shard"`
+	Sessions int      `json:"sessions"`
+	Catalogs []string `json:"catalogs"`
+}
+
+// HealthResponse is a node's self-report: GET /v1/health on visdbd.
+// The router's health checker polls it; anything other than a timely
+// 200 marks the node down.
+type HealthResponse struct {
+	Status   string `json:"status"` // always "ok" when the node answers
+	UptimeNS int64  `json:"uptime_ns"`
+	Sessions int    `json:"sessions"` // total live sessions
+	// Shards carries every serving shard's session count and homed
+	// catalogs, in shard order.
+	Shards []ShardHealth `json:"shards"`
+	// Quarantined names catalogs refusing service over corrupt data.
+	Quarantined []string `json:"quarantined,omitempty"`
+}
+
+// FleetMember is one visdbd node as the router sees it:
+// GET /v1/fleet.
+type FleetMember struct {
+	Name    string `json:"name"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Shards lists the shard indexes currently routed to this member.
+	Shards []int `json:"shards"`
+	// Sessions is the node's live session count from its last health
+	// report (stale while the node is down).
+	Sessions int `json:"sessions"`
+}
+
+// KVStats mirrors the shared store's own counters inside a fleet
+// report (zero-valued when the fleet runs without a KV tier).
+type KVStats struct {
+	Gets    uint64 `json:"gets"`
+	Hits    uint64 `json:"hits"`
+	Puts    uint64 `json:"puts"`
+	Entries int    `json:"entries"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// FleetStats aggregates the whole fleet: GET /v1/fleet on the router.
+// Shared sums every member's per-shard shared-cache counters, so
+// SharedHitRate = Shared.Hits / (Shared.Hits + Shared.Misses) is the
+// fleet-wide probability that a leaf fill was answered without
+// recomputation.
+type FleetStats struct {
+	Shards        int           `json:"shards"`
+	Members       []FleetMember `json:"members"`
+	Sessions      int           `json:"sessions"`
+	Recalcs       uint64        `json:"recalcs"`
+	Shared        SharedStats   `json:"shared"`
+	SharedHitRate float64       `json:"shared_hit_rate"`
+	KV            KVStats       `json:"kv"`
+}
+
 // Machine-readable error codes carried in ErrorResponse.Code. Clients
 // branch on these, never on the human-readable message.
 const (
@@ -293,6 +368,13 @@ const (
 	// CodeNothingToUndo: the session has no earlier state to revert
 	// to.
 	CodeNothingToUndo = "nothing_to_undo"
+	// CodeNodeDown: the fleet router owns this request's shard on a
+	// node that stopped answering health checks; the shard is being
+	// replaced onto a healthy node. The session's state died with the
+	// node — the client recreates the session (replaying its operation
+	// log) after the Retry-After hint, and the new creation lands on
+	// the shard's new owner.
+	CodeNodeDown = "node_down"
 )
 
 // ErrorResponse is the body of every non-2xx response.

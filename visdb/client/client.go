@@ -55,6 +55,11 @@ type (
 	ShardStats = wire.ShardStats
 	// CatalogInfo describes one served catalog.
 	CatalogInfo = wire.CatalogInfo
+	// Health is a node's self-report (per-shard sessions, quarantined
+	// catalogs, uptime).
+	Health = wire.HealthResponse
+	// FleetStats aggregates a whole fleet behind a router.
+	FleetStats = wire.FleetStats
 )
 
 // APIError is a non-2xx protocol response.
@@ -159,13 +164,31 @@ func (p *RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// retryable reports whether an attempt's outcome warrants another try:
-// transport errors and 5xx responses qualify, 4xx never does.
+// retryable reports whether an attempt's outcome warrants another try.
+// Transport errors always qualify. Protocol errors are keyed on their
+// machine-readable code, not just the status class: the transient
+// fleet conditions — a shard's node died and the router is replacing
+// it (node_down), a shard at its session cap (session_cap), a rolled-
+// back deadline overrun (deadline/canceled: the same Seq re-applies
+// exactly once) — retry, as does catalog_quarantined (the catalog may
+// come back on a healthy replacement node even though one node's
+// quarantine is sticky). Coded 4xx conflicts (seq_conflict,
+// nothing_to_undo) never retry — the server made a deterministic
+// decision — and anything else falls back to the status class (5xx
+// retries, 4xx does not).
 func retryable(err error) bool {
 	if err == nil {
 		return false
 	}
 	if ae, ok := err.(*APIError); ok {
+		switch ae.Code {
+		case wire.CodeNodeDown, wire.CodeCatalogQuarantined, wire.CodeSessionCap,
+			wire.CodeDeadline, wire.CodeCanceled:
+			return true
+		case wire.CodeSeqConflict, wire.CodeNothingToUndo:
+			return false
+		}
+		// Unknown or absent code: fall back to the status class.
 		return ae.Status >= 500
 	}
 	// Transport-level failure (connection refused, reset, injected
@@ -425,5 +448,22 @@ func (c *Client) ShardStats(ctx context.Context) ([]ShardStats, error) {
 func (c *Client) Catalogs(ctx context.Context) ([]CatalogInfo, error) {
 	var out []CatalogInfo
 	err := c.do(ctx, http.MethodGet, "/v1/catalogs", nil, &out)
+	return out, err
+}
+
+// Health fetches a node's self-report: per-shard session counts,
+// quarantined catalogs, uptime.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var out Health
+	err := c.do(ctx, http.MethodGet, "/v1/health", nil, &out)
+	return out, err
+}
+
+// Fleet fetches the fleet-wide aggregation from a visdbrouter front
+// end (membership, per-member shard ownership, summed cache counters,
+// the fleet shared-hit rate).
+func (c *Client) Fleet(ctx context.Context) (FleetStats, error) {
+	var out FleetStats
+	err := c.do(ctx, http.MethodGet, "/v1/fleet", nil, &out)
 	return out, err
 }

@@ -320,6 +320,68 @@ func TestRetryAfterHTTPDate(t *testing.T) {
 	}
 }
 
+// TestRetriesOnNodeDown: a router answering node_down — the session's
+// node died and the shard is being replaced — is a transient fleet
+// condition: the client retries, pacing itself off the Retry-After
+// hint so the retry lands after the shard flip.
+func TestRetriesOnNodeDown(t *testing.T) {
+	want := Summary{N: 9, Recalcs: 2}
+	rt := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		respond(503, wire.ErrorResponse{Error: "node b is down", Code: wire.CodeNodeDown},
+			map[string]string{"Retry-After": "1"}),
+		respond(200, want, nil),
+	}}
+	c, clk := newTestClient(rt, 4)
+	sum, err := session(c).SetWeight(context.Background(), 0, 2)
+	if err != nil || sum != want {
+		t.Fatalf("sum=%+v err=%v", sum, err)
+	}
+	if rt.count() != 2 {
+		t.Fatalf("attempts %d, want 2", rt.count())
+	}
+	// The server's 1s hint beats the 10ms backoff schedule.
+	if len(clk.delays) != 1 || clk.delays[0] != time.Second {
+		t.Fatalf("delays %v, want [1s]", clk.delays)
+	}
+}
+
+// TestRetryableKeysOnCode pins the retry decision to the
+// machine-readable code, exhaustively over the protocol's vocabulary:
+// transient fleet conditions retry, deterministic conflicts never do,
+// and unknown codes fall back to the status class.
+func TestRetryableKeysOnCode(t *testing.T) {
+	cases := []struct {
+		code   string
+		status int
+		want   bool
+	}{
+		{wire.CodeNodeDown, 503, true},
+		{wire.CodeCatalogQuarantined, 503, true},
+		{wire.CodeSessionCap, 503, true},
+		{wire.CodeDeadline, 504, true},
+		{wire.CodeCanceled, 504, true},
+		{wire.CodeSeqConflict, 409, false},
+		{wire.CodeNothingToUndo, 409, false},
+		{"", 500, true},
+		{"", 503, true},
+		{"", 400, false},
+		{"injected", 500, true}, // unknown code: status class decides
+		{"injected", 404, false},
+	}
+	for _, tc := range cases {
+		got := retryable(&APIError{Status: tc.status, Code: tc.code})
+		if got != tc.want {
+			t.Errorf("retryable(%d %q) = %v, want %v", tc.status, tc.code, got, tc.want)
+		}
+	}
+	if !retryable(errors.New("connection reset")) {
+		t.Error("transport errors must retry")
+	}
+	if retryable(nil) {
+		t.Error("nil error retried")
+	}
+}
+
 // TestRetryAfterDateStretchesBackoff: the duration derived from an
 // HTTP-date must reach the backoff loop exactly like the integer form —
 // the retry waits the server's hint when it exceeds the schedule.
