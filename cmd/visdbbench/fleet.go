@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/faultinject"
 	"repro/internal/kv"
 	"repro/internal/router"
 	"repro/internal/server"
@@ -38,6 +39,21 @@ type fleetBenchReport struct {
 	SharedHitRate float64          `json:"shared_hit_rate"`
 	Shared        wire.SharedStats `json:"shared"`
 	KV            wire.KVStats     `json:"kv"`
+	// NodeKill is the availability phase: a member is killed mid-run
+	// and self-healing FleetSessions must absorb it — recoveries > 0
+	// proves the kill landed on live sessions, errors == 0 proves no
+	// caller ever saw it. (Runs after the stats above are gathered, so
+	// the throughput numbers describe the healthy fleet.)
+	NodeKill nodeKillReport `json:"node_kill"`
+}
+
+// nodeKillReport is the "node_kill" object of the fleet report.
+type nodeKillReport struct {
+	Sessions   int    `json:"sessions"`
+	Steps      int    `json:"steps"`
+	Victim     string `json:"victim"`
+	Recoveries uint64 `json:"recoveries"`
+	Errors     uint64 `json:"errors"`
 }
 
 // serveLocal hosts h on an ephemeral loopback port and returns its
@@ -81,6 +97,8 @@ func runFleetBench(rows int, seed int64) (*fleetBenchReport, error) {
 			stop()
 		}
 	}()
+	// Each member sits behind a kill switch for the node-kill phase.
+	breakers := make(map[string]*faultinject.Breaker)
 	for n := 0; n < members; n++ {
 		var cfgs []server.CatalogConfig
 		for i := 0; i < catalogs; i++ {
@@ -98,12 +116,15 @@ func runFleetBench(rows int, seed int64) (*fleetBenchReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		url, stop, err := serveLocal(srv)
+		name := fmt.Sprintf("m%d", n)
+		br := faultinject.NewBreaker(srv)
+		breakers[name] = br
+		url, stop, err := serveLocal(br)
 		if err != nil {
 			return nil, err
 		}
 		stops = append(stops, stop)
-		ms = append(ms, router.Member{Name: fmt.Sprintf("m%d", n), URL: url})
+		ms = append(ms, router.Member{Name: name, URL: url})
 	}
 	rt, err := router.New(router.Config{Shards: 8, Members: ms, KV: kvURL})
 	if err != nil {
@@ -173,11 +194,13 @@ func runFleetBench(rows int, seed int64) (*fleetBenchReport, error) {
 		all = append(all, tl.steps...)
 	}
 
+	// Fleet-wide stats BEFORE the node-kill phase: the throughput and
+	// sharing numbers describe the healthy fleet, not the failover.
 	fleet, err := c.Fleet(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return &fleetBenchReport{
+	rep := &fleetBenchReport{
 		Members:       members,
 		Sessions:      sessions,
 		Steps:         steps,
@@ -188,7 +211,67 @@ func runFleetBench(rows int, seed int64) (*fleetBenchReport, error) {
 		SharedHitRate: fleet.SharedHitRate,
 		Shared:        fleet.Shared,
 		KV:            fleet.KV,
-	}, nil
+	}
+
+	// --- Node-kill phase: self-healing sessions through a dead member --
+	nk, err := runNodeKill(ctx, c, rt, breakers, seed)
+	if err != nil {
+		return nil, err
+	}
+	rep.NodeKill = *nk
+	return rep, nil
+}
+
+// runNodeKill opens self-healing FleetSessions on one catalog, kills
+// that catalog's owning member mid-run, and keeps editing: every kill
+// must be absorbed by automatic session recovery (recoveries > 0)
+// with zero caller-visible errors.
+func runNodeKill(ctx context.Context, c *client.Client, rt *router.Router, breakers map[string]*faultinject.Breaker, seed int64) (*nodeKillReport, error) {
+	const nkSessions, nkSteps = 2, 8
+	const victimCat = "r0"
+	victim := rt.Placement()[server.ShardOf(victimCat, 8)]
+	queries := datagen.TrafficQueries()
+
+	var fss []*client.FleetSession
+	var mirrors []string
+	for g := 0; g < nkSessions; g++ {
+		src := queries[g%len(queries)]
+		fs, _, err := client.NewFleetSession(ctx, []*client.Client{c}, victimCat, src,
+			client.FleetOptions{MaxRecoveries: 16})
+		if err != nil {
+			return nil, fmt.Errorf("node-kill session %d: %w", g, err)
+		}
+		defer fs.Close(ctx)
+		fss = append(fss, fs)
+		mirrors = append(mirrors, src)
+	}
+
+	rep := &nodeKillReport{Sessions: nkSessions, Steps: nkSteps, Victim: victim}
+	for step := 0; step < nkSteps; step++ {
+		if step == nkSteps/2 {
+			// The owner dies mid-run; no health loop is running, so
+			// recovery rides on passive failover plus session replay.
+			breakers[victim].Kill()
+		}
+		for g, fs := range fss {
+			rng := rand.New(rand.NewSource(seed + int64(step*nkSessions+g)))
+			attrs := condAttrs(mirrors[g])
+			var err error
+			if step%2 == 0 {
+				lo := float64(int(rng.Float64() * 80))
+				_, err = fs.SetRange(ctx, attrs[rng.Intn(len(attrs))], lo, lo+40)
+			} else {
+				_, err = fs.SetWeight(ctx, rng.Intn(numPreds(mirrors[g])), []float64{0.5, 1, 2, 3}[rng.Intn(4)])
+			}
+			if err != nil {
+				rep.Errors++
+			}
+		}
+	}
+	for _, fs := range fss {
+		rep.Recoveries += fs.Recoveries()
+	}
+	return rep, nil
 }
 
 // percentileMS reports the p-th percentile of a latency sample in

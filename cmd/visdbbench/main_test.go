@@ -44,6 +44,14 @@ func TestRunFleetBench(t *testing.T) {
 	if fb.Recalcs == 0 || fb.RecalcsPerSec <= 0 {
 		t.Fatalf("fleet served nothing: %+v", fb)
 	}
+	// The node-kill phase must land on live sessions and stay invisible
+	// to callers — the same floors -floors enforces in CI.
+	if fb.NodeKill.Recoveries == 0 {
+		t.Fatalf("node kill triggered no recoveries: %+v", fb.NodeKill)
+	}
+	if fb.NodeKill.Errors != 0 {
+		t.Fatalf("node kill leaked %d errors", fb.NodeKill.Errors)
+	}
 }
 
 func TestPercentileMS(t *testing.T) {

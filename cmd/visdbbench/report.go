@@ -132,7 +132,7 @@ func runJSONBench(path string, rows int, seed int64, floors, disk, fleet bool) e
 	if err != nil {
 		return err
 	}
-	rep := benchReport{Schema: 4, Rows: rows, Seed: seed, DiskBacked: disk}
+	rep := benchReport{Schema: 5, Rows: rows, Seed: seed, DiskBacked: disk}
 	var segPath string
 	if disk {
 		segPath = filepath.Join(os.TempDir(), fmt.Sprintf("visdbbench-%d-%d.visdb", rows, seed))
@@ -335,6 +335,9 @@ func runJSONBench(path string, rows int, seed int64, floors, disk, fleet bool) e
 		fmt.Printf("fleet: %d members, %d sessions, %.1f recalcs/s, step p50 %.1fms p99 %.1fms, shared-hit rate %.3f (%d remote hits), kv %d entries\n",
 			fb.Members, fb.Sessions, fb.RecalcsPerSec, fb.StepP50MS, fb.StepP99MS,
 			fb.SharedHitRate, fb.Shared.RemoteHits, fb.KV.Entries)
+		fmt.Printf("node kill: victim %s, %d sessions x %d steps, %d recoveries, %d errors\n",
+			fb.NodeKill.Victim, fb.NodeKill.Sessions, fb.NodeKill.Steps,
+			fb.NodeKill.Recoveries, fb.NodeKill.Errors)
 	}
 	if floors {
 		return checkFloors(rep)
@@ -505,6 +508,16 @@ func checkFloors(rep benchReport) error {
 		if fb.StepP50MS <= 0 || fb.StepP99MS < fb.StepP50MS {
 			fails = append(fails, fmt.Sprintf("fleet step percentiles degenerate: p50=%.3fms p99=%.3fms",
 				fb.StepP50MS, fb.StepP99MS))
+		}
+		// Self-healing floors: the node kill must have landed on live
+		// sessions (recoveries > 0 — a kill nobody noticed proves
+		// nothing) and no caller may have seen an error (the whole point
+		// of automatic session recovery).
+		if fb.NodeKill.Recoveries == 0 {
+			fails = append(fails, "node-kill phase triggered no session recoveries (kill landed on an idle member)")
+		}
+		if fb.NodeKill.Errors != 0 {
+			fails = append(fails, fmt.Sprintf("node-kill phase leaked %d caller-visible errors", fb.NodeKill.Errors))
 		}
 	}
 	if len(fails) == 0 {

@@ -40,8 +40,37 @@ type config struct {
 	members        string
 	kv             string
 	healthInterval time.Duration
+	probeTimeout   time.Duration
+	probeJitter    float64
 	failAfter      int
 	drainTimeout   time.Duration
+}
+
+// validate rejects flag values that would configure the router into a
+// degenerate state, with startup errors naming the flag — a typo'd
+// unit suffix ("2" instead of "2s") must fail loudly, not probe the
+// fleet every two nanoseconds. Zero values mean "flag not set" in
+// tests that build the struct directly and skip the floors.
+func (cfg *config) validate() error {
+	if cfg.healthInterval != 0 && cfg.healthInterval < 10*time.Millisecond {
+		return fmt.Errorf("-health-interval %v is below the 10ms floor (probes would saturate the members)", cfg.healthInterval)
+	}
+	if cfg.probeTimeout != 0 && cfg.probeTimeout < 10*time.Millisecond {
+		return fmt.Errorf("-probe-timeout %v is below the 10ms floor (healthy members would look dead)", cfg.probeTimeout)
+	}
+	if cfg.probeTimeout != 0 && cfg.healthInterval != 0 && cfg.probeTimeout > cfg.healthInterval {
+		return fmt.Errorf("-probe-timeout %v exceeds -health-interval %v (probe rounds would overlap)", cfg.probeTimeout, cfg.healthInterval)
+	}
+	if cfg.probeJitter > 1 {
+		return fmt.Errorf("-probe-jitter %v exceeds 1 (a full health interval)", cfg.probeJitter)
+	}
+	if cfg.failAfter < 0 {
+		return fmt.Errorf("-fail-after must be >= 0, got %d", cfg.failAfter)
+	}
+	if cfg.drainTimeout != 0 && cfg.drainTimeout < time.Second {
+		return fmt.Errorf("-drain-timeout %v is below the 1s floor (in-flight recalculations need time to finish)", cfg.drainTimeout)
+	}
+	return nil
 }
 
 func main() {
@@ -51,7 +80,9 @@ func main() {
 	flag.StringVar(&cfg.members, "members", "", "fleet members, comma-separated name=url")
 	flag.StringVar(&cfg.kv, "kv", "", "shared kv store base URL (stats only; members attach via visdbd -shared-kv)")
 	flag.DurationVar(&cfg.healthInterval, "health-interval", router.DefaultHealthInterval, "health probe period")
-	flag.IntVar(&cfg.failAfter, "fail-after", router.DefaultFailAfter, "consecutive failed probes before failover")
+	flag.DurationVar(&cfg.probeTimeout, "probe-timeout", router.DefaultProbeTimeout, "bound on one health probe")
+	flag.Float64Var(&cfg.probeJitter, "probe-jitter", router.DefaultProbeJitter, "random fraction of -health-interval added to each probe tick so redundant routers drift apart (negative disables)")
+	flag.IntVar(&cfg.failAfter, "fail-after", router.DefaultFailAfter, "consecutive failed probes before failover; a rejoining member needs the same number of clean probes")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", router.DefaultDrainTimeout, "bound on draining a moved shard off a healthy owner")
 	flag.Parse()
 
@@ -63,9 +94,15 @@ func main() {
 	}
 }
 
-// parseMembers parses the -members spec ("a=http://x,b=http://y").
+// parseMembers parses the -members spec ("a=http://x,b=http://y"),
+// rejecting duplicate names and duplicate URLs — two entries sharing a
+// name would silently halve the fleet (rendezvous keys on names), and
+// two names sharing a URL would double-count one process as two
+// members.
 func parseMembers(spec string) ([]router.Member, error) {
 	var out []router.Member
+	seenName := make(map[string]bool)
+	seenURL := make(map[string]string)
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -75,6 +112,14 @@ func parseMembers(spec string) ([]router.Member, error) {
 		if !ok || name == "" || url == "" {
 			return nil, fmt.Errorf("bad member spec %q (want name=url)", part)
 		}
+		if seenName[name] {
+			return nil, fmt.Errorf("duplicate member name %q in -members", name)
+		}
+		seenName[name] = true
+		if prev, dup := seenURL[url]; dup {
+			return nil, fmt.Errorf("members %q and %q share URL %s in -members", prev, name, url)
+		}
+		seenURL[url] = name
 		out = append(out, router.Member{Name: name, URL: url})
 	}
 	if len(out) == 0 {
@@ -87,6 +132,9 @@ func parseMembers(spec string) ([]router.Member, error) {
 // down. ready (may be nil) is called with the bound address once
 // listening.
 func run(ctx context.Context, cfg config, ready func(addr string)) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
 	members, err := parseMembers(cfg.members)
 	if err != nil {
 		return err
@@ -95,6 +143,8 @@ func run(ctx context.Context, cfg config, ready func(addr string)) error {
 		Shards:         cfg.shards,
 		Members:        members,
 		HealthInterval: cfg.healthInterval,
+		ProbeTimeout:   cfg.probeTimeout,
+		ProbeJitter:    cfg.probeJitter,
 		FailAfter:      cfg.failAfter,
 		DrainTimeout:   cfg.drainTimeout,
 		KV:             cfg.kv,

@@ -133,3 +133,47 @@ func TestRouterDaemonSmoke(t *testing.T) {
 		t.Fatal("daemon did not exit")
 	}
 }
+
+// TestConfigValidation pins the startup floors and the member-spec
+// hardening: degenerate flag values and ambiguous fleets must fail
+// before the router takes traffic.
+func TestConfigValidation(t *testing.T) {
+	bad := []config{
+		{healthInterval: 2 * time.Millisecond},                              // probe storm
+		{probeTimeout: time.Millisecond},                                    // probes can't finish
+		{healthInterval: 100 * time.Millisecond, probeTimeout: time.Second}, // overlapping rounds
+		{probeJitter: 1.5},                                                  // more than a full interval
+		{failAfter: -1},                                                     // nonsensical hysteresis
+		{drainTimeout: 100 * time.Millisecond},                              // drains can't finish
+	}
+	for i, cfg := range bad {
+		if err := cfg.validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	good := []config{
+		{}, // zero = flags not set; run() applies library defaults
+		{healthInterval: time.Second, probeTimeout: 500 * time.Millisecond, probeJitter: -1, drainTimeout: 30 * time.Second},
+	}
+	for i, cfg := range good {
+		if err := cfg.validate(); err != nil {
+			t.Errorf("good config %d rejected: %v", i, err)
+		}
+	}
+
+	specs := []string{
+		"a=http://n1,a=http://n2", // duplicate name
+		"a=http://n1,b=http://n1", // duplicate URL
+		"a=,b=http://n2",          // empty URL
+		"=http://n1",              // empty name
+		" , ,",                    // nothing at all
+	}
+	for _, spec := range specs {
+		if _, err := parseMembers(spec); err == nil {
+			t.Errorf("member spec %q accepted", spec)
+		}
+	}
+	if ms, err := parseMembers(" a=http://n1, b=http://n2 "); err != nil || len(ms) != 2 {
+		t.Errorf("valid spec rejected: %v %v", ms, err)
+	}
+}

@@ -271,6 +271,7 @@
 //	POST   /v1/sessions/{id}/query     replace the whole query
 //	POST   /v1/sessions/{id}/range     {attr, lo, hi} slider drag (null bound = open side)
 //	POST   /v1/sessions/{id}/weight    {pred, weight} by predicate index
+//	POST   /v1/sessions/{id}/pct       {pct} displayed-fraction slider
 //	POST   /v1/sessions/{id}/undo      revert the last modification
 //	GET    /v1/sessions/{id}/results   top-k rows (?top=k&tuples=1)
 //	GET    /v1/sessions/{id}/timings   stage timings + cache attribution
@@ -296,8 +297,9 @@
 //
 // The serving layer is built so that every failure a distributed
 // deployment actually sees — lost requests, lost responses, slow
-// recalculations, damaged data files — has a defined, tested outcome.
-// Three mechanisms compose:
+// recalculations, damaged data files, crashed members, dead routers,
+// a dead cache store — has a defined, tested outcome. The mechanisms
+// compose:
 //
 //   - Request deadlines. visdbd -request-timeout arms a
 //     context.Context deadline per request that flows through
@@ -335,36 +337,84 @@
 //     for that catalog while every other catalog, including same-shard
 //     neighbors, keeps serving. Legacy VSEGCAT1 files stay readable
 //     (no per-blob checksums to verify).
+//   - Session-ID nonces. Session IDs embed a per-process random nonce
+//     ("s{shard}.{seq}-{nonce}"), so a restarted member answers a
+//     stale ID — its own previous incarnation's or a dead peer's —
+//     with a deterministic 404 "session_not_found" instead of silently
+//     serving a different session that happened to reuse the counter.
+//     That 404 is the trigger of the client-side recovery contract.
+//   - Automatic session recovery. client.FleetSession wraps a session
+//     with a deterministic operation log: every applied modification
+//     (query, range, weight, pct — undo is folded into the log, so
+//     replay needs no history) is recorded with the Seq it was
+//     applied under. When an operation comes back "session_not_found"
+//     (or the endpoint is unreachable and rotation finds another
+//     router), the wrapper recreates the session on whatever member
+//     now owns the catalog's shard, replays the log in order under
+//     the ORIGINAL sequence numbers — so a replay racing a duplicate
+//     retransmission still applies each operation exactly once — and
+//     then re-issues the interrupted operation. Recoveries are
+//     counted (FleetSession.Recoveries) and bounded per logical
+//     operation (FleetOptions.MaxRecoveries) so a permanently sick
+//     fleet surfaces the underlying error instead of looping.
+//     Validation failures (4xx) are surfaced, not recovered: they are
+//     deterministic, and their burned sequence numbers are legal gaps.
+//   - KV circuit breaker. The internal/kv client wraps every
+//     Get/Put in a breaker FSM: closed (normal traffic) → open after
+//     BreakerThreshold consecutive transport errors (every call
+//     short-circuits locally, zero network work, the cache degrades
+//     to recompute) → half-open after BreakerCooldown (exactly one
+//     probe call goes through; success closes the breaker, failure
+//     re-opens it and restarts the cooldown). 200/404 on Get and
+//     204/413 on Put count as healthy — only transport-level failure
+//     trips it. The state, trip count and short-circuit count ride
+//     the wire.SharedStats ("remote_breaker", "remote_trips",
+//     "remote_short_circuits") into /v1/shards and the router's
+//     /v1/fleet, so a flapping store is visible fleet-wide.
 //
 // Every non-2xx response carries a machine-readable wire code
 // (wire.Code*; client.APIError exposes Code and RetryAfter):
 //
+//	404 session_not_found    unknown/dead session ID (recreate+replay)
 //	409 seq_conflict         stale sequence number; resynchronize
 //	409 nothing_to_undo      no earlier state to revert to
 //	503 session_cap          shard at its session limit (Retry-After)
 //	503 catalog_quarantined  segment checksum failure (Retry-After)
 //	503 node_down            fleet member unreachable (Retry-After)
+//	503 no_healthy_members   no member owns the shard (Retry-After)
 //	504 deadline             recalculation overran, rolled back
 //	504 canceled             client disconnected, rolled back
 //
 // The client's retry policy keys on these codes, not just the status
-// class: node_down, catalog_quarantined, session_cap, deadline and
-// canceled retry (honoring Retry-After); seq_conflict and
-// nothing_to_undo never retry; unknown codes fall back to
-// retrying 5xx.
+// class: node_down, catalog_quarantined, session_cap,
+// no_healthy_members, deadline and canceled retry (honoring
+// Retry-After); seq_conflict, nothing_to_undo and session_not_found
+// never retry (the latter recovers via FleetSession instead); unknown
+// codes fall back to retrying 5xx.
 //
 // internal/faultinject supplies the deterministic fault surface the
 // suite drives this with: a scripted http.RoundTripper (drop before
 // the server, drop the response after application), corrupting /
 // truncating / slow io.ReaderAt wrappers, handler-level
-// latency/error injection (server.Config.FaultHook), and a
+// latency/error injection (server.Config.FaultHook), a
 // connection-severing Breaker that makes an in-process member
-// indistinguishable from a crashed one.
+// indistinguishable from a crashed one, and a seeded chaos scheduler
+// (faultinject.GenerateChaosScript) that emits a deterministic
+// fault timeline — member kills and restarts, router kills, kv
+// partitions, injected latency — under invariants (never the last
+// healthy member or router, a fully-healed tail) so a soak is
+// reproducible from its seed alone.
 // TestChaosReplayMatchesInProcess asserts that a randomized
 // interaction script driven through drops, injected 500s and
 // automatic retries stays bitwise identical to a fault-free
 // in-process session with recalculation counts proving exactly-once
-// application; TestDeadlineRollsBackAndRetryResumes proves the 504
+// application; TestFleetChaosSoakSelfHeals drives FleetSessions
+// through a scripted multi-router soak — member crashes with
+// restarts, kv partitions, latency — asserting both routers converge
+// on the same PlacementHash after every event, results stay bitwise
+// identical to fault-free engines, recalculation counts prove
+// exactly-once application across recoveries, and no caller ever
+// sees an error; TestDeadlineRollsBackAndRetryResumes proves the 504
 // path rolls back bitwise and resumes; the corruption suite proves
 // single-bit flips anywhere in a v2+ file are caught and contained.
 //
@@ -383,29 +433,46 @@
 // The router owns the placement map. Each of the fleet's shards is
 // assigned by rendezvous hashing — FNV-64a of "shard|member", highest
 // score among the HEALTHY members wins — so placement is a pure
-// function of the healthy set: every router instance computes the
-// same map, and a membership change moves only the shards whose
-// winner changed. Requests route exactly like visdbd's own shards:
+// function of the healthy set: any number of routers probing the same
+// members converge on the same map without coordinating (run two or
+// more visdbrouter instances against the same -members for a
+// redundant control plane — clients rotate on transport failure), and
+// a membership change moves only the shards whose winner changed.
+// Every router response carries an X-Visdb-Placement-Epoch header — a
+// router-local counter that bumps whenever the placement changes —
+// and GET /v1/health reports the epoch plus a PlacementHash over the
+// full shard→owner map; epochs are only comparable within one router,
+// the hash is comparable across routers and is what the convergence
+// tests assert. Requests route exactly like visdbd's own shards:
 // session creation hashes the catalog name (server.ShardOf), and every
 // other session operation parses the shard index out of the session ID
 // ("s{shard}.{seq}"), so the ID remains the entire routing table.
 //
 // Health and failure. The router probes each member's GET /v1/health
 // (uptime, per-shard session counts, quarantined catalogs) on a
-// period; -fail-after consecutive failures marks the member down and
-// recomputes placement immediately — its sessions died with it, so
-// there is nothing to drain. A transport error during a live forward
-// does the same thing BEFORE answering, so the 503 node_down response
-// (with a Retry-After hint) already reflects the new placement and
-// the client's retry lands on the new owner. Session IDs are not
-// preserved across a failover: the new owner answers 404 for the dead
-// node's sessions, and the recovery contract is client-side — recreate
-// the session (creation routes by catalog, landing on the new owner)
-// and replay the operation log, which the kv tier makes cheap because
-// the dead node's computed leaf work is still resident in the store.
-// A shard moving between two HEALTHY members instead drains: existing
-// traffic (and new creations) stay on the old owner until its health
-// report shows zero sessions on that shard, bounded by -drain-timeout.
+// period (jittered by -probe-jitter so N routers don't probe in
+// lockstep); -fail-after consecutive failures marks the member down
+// and recomputes placement immediately — its sessions died with it,
+// so there is nothing to drain. A transport error during a live
+// forward does the same thing BEFORE answering, so the 503 node_down
+// response (with a Retry-After hint) already reflects the new
+// placement and the client's retry lands on the new owner. Rejoin is
+// symmetric hysteresis: a downed member needs -fail-after consecutive
+// CLEAN probes to be re-admitted (any failure resets the streak), so
+// a flapping member stays out until it is actually stable. Session
+// IDs are not preserved across a failover: the new owner answers 404
+// "session_not_found" for the dead node's sessions, and
+// client.FleetSession automates the recovery contract — recreate the
+// session (creation routes by catalog, landing on the new owner) and
+// replay the operation log under the original sequence numbers, which
+// the kv tier makes cheap because the dead node's computed leaf work
+// is still resident in the store. A shard moving between two HEALTHY
+// members instead drains: existing traffic (and new creations) stay
+// on the old owner until its health report shows zero sessions on
+// that shard, bounded by -drain-timeout — a rejoining member takes
+// its shards back without dropping anyone's in-flight session. When
+// NO member is healthy the router answers 503 "no_healthy_members"
+// (with Retry-After) rather than picking a dead owner.
 //
 // The kv tier. visdbd -shared-kv attaches a read-through/write-through
 // remote backend (core.SharedBackend) to every catalog's SharedCache:
@@ -439,7 +506,9 @@
 // via the retry/recreate/replay contract with recalc-counter equality
 // against a fault-free mirror; visdbbench -json -fleet records the
 // fleet's recalcs/s, step-latency percentiles and sharing counters as
-// CI data with regression floors.
+// CI data with regression floors, and its node-kill phase kills a
+// live member under self-healing FleetSessions with floors requiring
+// recoveries > 0 and zero caller-visible errors.
 //
 // Render artifacts under out/ are generated by visdbbench and the
 // examples; they are not tracked in git.

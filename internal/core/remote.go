@@ -28,6 +28,16 @@ type SharedBackend interface {
 	Put(key string, val []byte)
 }
 
+// BreakerReporter is optionally implemented by a SharedBackend that
+// guards its network calls with a circuit breaker (kv.Client does).
+// State is "closed", "open", or "half-open"; trips counts closed→open
+// transitions; shortCircuits counts calls answered instantly while
+// open. SharedCache.Stats surfaces these so /v1/shards and /v1/fleet
+// show a KV outage as an open breaker instead of a latency mystery.
+type BreakerReporter interface {
+	BreakerState() (state string, trips, shortCircuits uint64)
+}
+
 // AttachBackend plugs a remote tier behind the cache. Attach before
 // serving traffic; entries computed earlier are simply never offered to
 // the backend.

@@ -239,13 +239,20 @@ type SharedStats struct {
 	// interior entries combined); all zero when no backend is attached.
 	// A RemoteHit is work some other node already paid for.
 	RemoteHits, RemoteMisses, RemotePuts uint64
+	// RemoteBreaker/RemoteTrips/RemoteShortCircuits report the remote
+	// backend's circuit breaker when the backend implements
+	// BreakerReporter (empty/zero otherwise): the current state
+	// ("closed", "open", "half-open"), cumulative closed→open trips,
+	// and requests answered instantly while open instead of paying a
+	// network timeout.
+	RemoteBreaker                    string
+	RemoteTrips, RemoteShortCircuits uint64
 }
 
 // Stats returns cumulative counters and the current size.
 func (sc *SharedCache) Stats() SharedStats {
 	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	return SharedStats{
+	st := SharedStats{
 		Hits: sc.hits, Misses: sc.misses, Fills: sc.fills, Waits: sc.waits,
 		Rejects: sc.rejects,
 		Entries: len(sc.entries), Bytes: sc.bytes,
@@ -254,6 +261,14 @@ func (sc *SharedCache) Stats() SharedStats {
 		RemoteHits: sc.remoteHits, RemoteMisses: sc.remoteMisses,
 		RemotePuts: sc.remotePuts,
 	}
+	backend := sc.backend
+	sc.mu.Unlock()
+	// The breaker snapshot takes the backend's own lock — outside ours,
+	// so a slow reporter can never stall fills.
+	if br, ok := backend.(BreakerReporter); ok {
+		st.RemoteBreaker, st.RemoteTrips, st.RemoteShortCircuits = br.BreakerState()
+	}
+	return st
 }
 
 // Len returns the number of resident entries.

@@ -1,0 +1,234 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosAction is one kind of fleet fault a chaos script can inject.
+type ChaosAction int
+
+const (
+	// KillMember aborts every connection to one fleet member.
+	KillMember ChaosAction = iota
+	// RestartMember brings a killed member back as a FRESH process:
+	// new session nonce, empty session table — stale session IDs
+	// deterministically answer session_not_found.
+	RestartMember
+	// PartitionKV cuts the fleet off from the shared kv store.
+	PartitionKV
+	// HealKV restores kv connectivity.
+	HealKV
+	// KillRouter takes one router out of the control plane.
+	KillRouter
+	// ReviveRouter brings a killed router back.
+	ReviveRouter
+	// AddLatency injects Event.Latency ahead of every member handler.
+	AddLatency
+	// ClearLatency removes injected handler latency.
+	ClearLatency
+)
+
+var chaosActionNames = [...]string{
+	KillMember:    "kill-member",
+	RestartMember: "restart-member",
+	PartitionKV:   "partition-kv",
+	HealKV:        "heal-kv",
+	KillRouter:    "kill-router",
+	ReviveRouter:  "revive-router",
+	AddLatency:    "add-latency",
+	ClearLatency:  "clear-latency",
+}
+
+func (a ChaosAction) String() string {
+	if int(a) < len(chaosActionNames) {
+		return chaosActionNames[a]
+	}
+	return fmt.Sprintf("ChaosAction(%d)", int(a))
+}
+
+// ChaosEvent is one scheduled fault: at the start of step Step, apply
+// Action to Target (a member or router index; unused for kv and
+// latency actions, where it is -1).
+type ChaosEvent struct {
+	Step    int
+	Action  ChaosAction
+	Target  int
+	Latency time.Duration // only for AddLatency
+}
+
+func (e ChaosEvent) String() string {
+	if e.Target >= 0 {
+		return fmt.Sprintf("step %d: %s %d", e.Step, e.Action, e.Target)
+	}
+	return fmt.Sprintf("step %d: %s", e.Step, e.Action)
+}
+
+// ChaosScript is a deterministic schedule of fleet faults. The same
+// (seed, steps, members, routers) always yields the same script, so a
+// chaos-soak failure replays identically from its logged seed.
+type ChaosScript struct {
+	Seed    int64
+	Steps   int
+	Members int
+	Routers int
+	Events  []ChaosEvent
+}
+
+// At returns the events scheduled for step, in order.
+func (s *ChaosScript) At(step int) []ChaosEvent {
+	var out []ChaosEvent
+	for _, e := range s.Events {
+		if e.Step == step {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// healTail is how many trailing steps of a script stay fault-free
+// after everything has been restored, giving breakers and health
+// probes room to converge before the soak's final assertions.
+const healTail = 3
+
+// GenerateChaosScript walks a seeded random state machine for steps
+// steps over a fleet of members data nodes and routers routers,
+// emitting kill/restart/partition/latency events under two
+// invariants the serving stack cannot absorb if broken:
+//
+//   - at least one member and one router stay alive at every step
+//     (a fully dead fleet has no correct behaviour to assert), and
+//   - the last healTail steps are quiet, preceded by events restoring
+//     every member and router, healing the kv partition, and clearing
+//     latency — scripts always end with a converged fleet.
+func GenerateChaosScript(seed int64, steps, members, routers int) *ChaosScript {
+	if steps < healTail+2 {
+		steps = healTail + 2
+	}
+	if members < 1 {
+		members = 1
+	}
+	if routers < 1 {
+		routers = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &ChaosScript{Seed: seed, Steps: steps, Members: members, Routers: routers}
+
+	memberUp := make([]bool, members)
+	routerUp := make([]bool, routers)
+	for i := range memberUp {
+		memberUp[i] = true
+	}
+	for i := range routerUp {
+		routerUp[i] = true
+	}
+	kvUp, latency := true, false
+	alive := func(up []bool) int {
+		n := 0
+		for _, ok := range up {
+			if ok {
+				n++
+			}
+		}
+		return n
+	}
+	pick := func(up []bool, want bool) int {
+		idx := make([]int, 0, len(up))
+		for i, ok := range up {
+			if ok == want {
+				idx = append(idx, i)
+			}
+		}
+		return idx[rng.Intn(len(idx))]
+	}
+
+	chaosEnd := steps - healTail - 1
+	for step := 0; step < chaosEnd; step++ {
+		// Zero to two faults per step; most steps perturb something.
+		for n := rng.Intn(3); n > 0; n-- {
+			switch rng.Intn(8) {
+			case 0: // kill a member, never the last one standing
+				if alive(memberUp) > 1 {
+					t := pick(memberUp, true)
+					memberUp[t] = false
+					s.Events = append(s.Events, ChaosEvent{Step: step, Action: KillMember, Target: t})
+				}
+			case 1: // restart a dead member
+				if alive(memberUp) < members {
+					t := pick(memberUp, false)
+					memberUp[t] = true
+					s.Events = append(s.Events, ChaosEvent{Step: step, Action: RestartMember, Target: t})
+				}
+			case 2:
+				if kvUp {
+					kvUp = false
+					s.Events = append(s.Events, ChaosEvent{Step: step, Action: PartitionKV, Target: -1})
+				}
+			case 3:
+				if !kvUp {
+					kvUp = true
+					s.Events = append(s.Events, ChaosEvent{Step: step, Action: HealKV, Target: -1})
+				}
+			case 4: // flap a router, never the last one standing
+				if alive(routerUp) > 1 {
+					t := pick(routerUp, true)
+					routerUp[t] = false
+					s.Events = append(s.Events, ChaosEvent{Step: step, Action: KillRouter, Target: t})
+				}
+			case 5:
+				if alive(routerUp) < routers {
+					t := pick(routerUp, false)
+					routerUp[t] = true
+					s.Events = append(s.Events, ChaosEvent{Step: step, Action: ReviveRouter, Target: t})
+				}
+			case 6:
+				if !latency {
+					latency = true
+					d := time.Duration(1+rng.Intn(5)) * time.Millisecond
+					s.Events = append(s.Events, ChaosEvent{Step: step, Action: AddLatency, Target: -1, Latency: d})
+				}
+			case 7:
+				if latency {
+					latency = false
+					s.Events = append(s.Events, ChaosEvent{Step: step, Action: ClearLatency, Target: -1})
+				}
+			}
+		}
+	}
+
+	// Restore the world at chaosEnd; the healTail steps after it are
+	// deliberately quiet.
+	for i, ok := range memberUp {
+		if !ok {
+			s.Events = append(s.Events, ChaosEvent{Step: chaosEnd, Action: RestartMember, Target: i})
+		}
+	}
+	for i, ok := range routerUp {
+		if !ok {
+			s.Events = append(s.Events, ChaosEvent{Step: chaosEnd, Action: ReviveRouter, Target: i})
+		}
+	}
+	if !kvUp {
+		s.Events = append(s.Events, ChaosEvent{Step: chaosEnd, Action: HealKV, Target: -1})
+	}
+	if latency {
+		s.Events = append(s.Events, ChaosEvent{Step: chaosEnd, Action: ClearLatency, Target: -1})
+	}
+	return s
+}
+
+// LatencyGate is a dial-a-delay latency source for server FaultHook
+// closures: a hook reads Delay() per request and injects a
+// pure-latency fault when it is nonzero. One gate can front many
+// members; Set is safe from any goroutine mid-soak.
+type LatencyGate struct {
+	ns atomic.Int64
+}
+
+// Set changes the injected per-request latency (0 disables).
+func (g *LatencyGate) Set(d time.Duration) { g.ns.Store(int64(d)) }
+
+// Delay reports the currently injected per-request latency.
+func (g *LatencyGate) Delay() time.Duration { return time.Duration(g.ns.Load()) }

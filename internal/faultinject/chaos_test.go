@@ -1,0 +1,154 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestChaosScriptDeterministic(t *testing.T) {
+	a := GenerateChaosScript(42, 40, 3, 2)
+	b := GenerateChaosScript(42, 40, 3, 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different scripts")
+	}
+	c := GenerateChaosScript(43, 40, 3, 2)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical scripts")
+	}
+}
+
+// replay walks a script's events, re-deriving fleet state and failing
+// on any invariant the generator promises to hold.
+func replay(t *testing.T, s *ChaosScript) {
+	t.Helper()
+	memberUp := make([]bool, s.Members)
+	routerUp := make([]bool, s.Routers)
+	for i := range memberUp {
+		memberUp[i] = true
+	}
+	for i := range routerUp {
+		routerUp[i] = true
+	}
+	kvUp, latency := true, false
+	alive := func(up []bool) int {
+		n := 0
+		for _, ok := range up {
+			if ok {
+				n++
+			}
+		}
+		return n
+	}
+	lastStep := -1
+	for _, e := range s.Events {
+		if e.Step < lastStep {
+			t.Fatalf("events out of step order at %v", e)
+		}
+		lastStep = e.Step
+		if e.Step >= s.Steps-healTail {
+			t.Fatalf("event inside the heal tail: %v", e)
+		}
+		switch e.Action {
+		case KillMember:
+			if !memberUp[e.Target] {
+				t.Fatalf("killed a dead member: %v", e)
+			}
+			memberUp[e.Target] = false
+		case RestartMember:
+			if memberUp[e.Target] {
+				t.Fatalf("restarted a live member: %v", e)
+			}
+			memberUp[e.Target] = true
+		case PartitionKV:
+			if !kvUp {
+				t.Fatalf("double partition: %v", e)
+			}
+			kvUp = false
+		case HealKV:
+			if kvUp {
+				t.Fatalf("healed a healthy kv: %v", e)
+			}
+			kvUp = true
+		case KillRouter:
+			if !routerUp[e.Target] {
+				t.Fatalf("killed a dead router: %v", e)
+			}
+			routerUp[e.Target] = false
+		case ReviveRouter:
+			if routerUp[e.Target] {
+				t.Fatalf("revived a live router: %v", e)
+			}
+			routerUp[e.Target] = true
+		case AddLatency:
+			if latency || e.Latency <= 0 {
+				t.Fatalf("bad latency event: %v", e)
+			}
+			latency = true
+		case ClearLatency:
+			if !latency {
+				t.Fatalf("cleared absent latency: %v", e)
+			}
+			latency = false
+		default:
+			t.Fatalf("unknown action: %v", e)
+		}
+		if alive(memberUp) == 0 {
+			t.Fatalf("no member alive after %v", e)
+		}
+		if alive(routerUp) == 0 {
+			t.Fatalf("no router alive after %v", e)
+		}
+	}
+	// A script always ends with the world restored.
+	if alive(memberUp) != s.Members || alive(routerUp) != s.Routers || !kvUp || latency {
+		t.Fatalf("script ends unhealed: members %d/%d routers %d/%d kv %v latency %v",
+			alive(memberUp), s.Members, alive(routerUp), s.Routers, kvUp, latency)
+	}
+}
+
+func TestChaosScriptInvariants(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		s := GenerateChaosScript(seed, 30, 3, 2)
+		replay(t, s)
+	}
+	// Degenerate fleets: a single member or router must simply never
+	// be killed.
+	for seed := int64(0); seed < 50; seed++ {
+		replay(t, GenerateChaosScript(seed, 20, 1, 1))
+	}
+}
+
+func TestChaosScriptAt(t *testing.T) {
+	s := GenerateChaosScript(7, 40, 4, 2)
+	var n int
+	for step := 0; step < s.Steps; step++ {
+		for _, e := range s.At(step) {
+			if e.Step != step {
+				t.Fatalf("At(%d) returned %v", step, e)
+			}
+			n++
+		}
+	}
+	if n != len(s.Events) {
+		t.Fatalf("At() covered %d of %d events", n, len(s.Events))
+	}
+	if len(s.Events) == 0 {
+		t.Fatal("40-step script scheduled no faults")
+	}
+}
+
+func TestLatencyGate(t *testing.T) {
+	var g LatencyGate
+	if g.Delay() != 0 {
+		t.Fatal("fresh gate injects latency")
+	}
+	g.Set(3 * time.Millisecond)
+	if g.Delay() != 3*time.Millisecond {
+		t.Fatalf("delay %v", g.Delay())
+	}
+	g.Set(0)
+	if g.Delay() != 0 {
+		t.Fatal("cleared gate still injects")
+	}
+}

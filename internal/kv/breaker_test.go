@@ -1,0 +1,186 @@
+package kv
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// breakerEnv is a store frontend whose health flips on demand, plus a
+// client on a manual clock — the breaker's whole state machine is
+// driven without a single real sleep.
+type breakerEnv struct {
+	ts    *httptest.Server
+	store *Server
+	down  atomic.Bool
+	calls atomic.Uint64
+	c     *Client
+	now   time.Time
+}
+
+func newBreakerEnv(t *testing.T, threshold int) *breakerEnv {
+	t.Helper()
+	env := &breakerEnv{store: NewServer(64, 1<<20), now: time.Unix(1000, 0)}
+	env.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		env.calls.Add(1)
+		if env.down.Load() {
+			http.Error(w, "injected outage", http.StatusInternalServerError)
+			return
+		}
+		env.store.ServeHTTP(w, r)
+	}))
+	t.Cleanup(env.ts.Close)
+	env.c = NewClient(env.ts.URL)
+	env.c.BreakerThreshold = threshold
+	env.c.BreakerCooldown = time.Minute
+	env.c.Now = func() time.Time { return env.now }
+	return env
+}
+
+func (env *breakerEnv) state(t *testing.T) string {
+	t.Helper()
+	st, _, _ := env.c.BreakerState()
+	return st
+}
+
+func TestBreakerTripsShortCircuitsAndRecloses(t *testing.T) {
+	env := newBreakerEnv(t, 3)
+	c := env.c
+
+	// Healthy store: misses and hits are "ok" outcomes, breaker closed.
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("get of empty store hit")
+	}
+	c.Put("k", []byte{1})
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("get after put missed")
+	}
+	if st := env.state(t); st != "closed" {
+		t.Fatalf("healthy breaker state %q", st)
+	}
+
+	// Outage: threshold consecutive failures trip the breaker.
+	env.down.Store(true)
+	for i := 0; i < 3; i++ {
+		if st := env.state(t); st != "closed" {
+			t.Fatalf("tripped after only %d failures: %q", i, st)
+		}
+		c.Get("k")
+	}
+	st, trips, _ := c.BreakerState()
+	if st != "open" || trips != 1 {
+		t.Fatalf("after threshold failures: state %q trips %d", st, trips)
+	}
+
+	// Open: operations short-circuit without touching the network.
+	before := env.calls.Load()
+	for i := 0; i < 5; i++ {
+		if _, ok := c.Get("k"); ok {
+			t.Fatal("short-circuited get reported a hit")
+		}
+		c.Put("x", []byte{2})
+	}
+	if got := env.calls.Load(); got != before {
+		t.Fatalf("open breaker still made %d network calls", got-before)
+	}
+	if sc := c.Stats().ShortCircuits; sc != 10 {
+		t.Fatalf("short circuits: %d", sc)
+	}
+
+	// Cooldown elapses but the store is still down: exactly one probe
+	// goes out, fails, and re-opens the breaker for another window.
+	env.now = env.now.Add(2 * time.Minute)
+	c.Get("k")
+	st, trips, _ = c.BreakerState()
+	if st != "open" || trips != 2 {
+		t.Fatalf("failed probe: state %q trips %d", st, trips)
+	}
+	if got := env.calls.Load(); got != before+1 {
+		t.Fatalf("probe made %d calls, want 1", got-before)
+	}
+
+	// Store heals, cooldown elapses: the probe succeeds and the breaker
+	// re-closes; traffic flows normally again.
+	env.down.Store(false)
+	env.now = env.now.Add(2 * time.Minute)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("probe get after heal missed")
+	}
+	if st := env.state(t); st != "closed" {
+		t.Fatalf("after heal: state %q", st)
+	}
+	before = env.calls.Load()
+	c.Get("k")
+	if env.calls.Load() != before+1 {
+		t.Fatal("closed breaker not passing traffic")
+	}
+}
+
+func TestBreakerHalfOpenAdmitsSingleProbe(t *testing.T) {
+	env := newBreakerEnv(t, 1)
+	env.down.Store(true)
+	env.c.Get("k") // trips immediately (threshold 1)
+	if st := env.state(t); st != "open" {
+		t.Fatalf("state %q", st)
+	}
+	env.now = env.now.Add(2 * time.Minute)
+	// First allow is the half-open probe; while it is notionally in
+	// flight, every other caller short-circuits.
+	if !env.c.allow() {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if st := env.state(t); st != "half-open" {
+		t.Fatalf("state %q", st)
+	}
+	before := env.calls.Load()
+	if _, ok := env.c.Get("k"); ok || env.calls.Load() != before {
+		t.Fatal("second caller got past a probing half-open breaker")
+	}
+	// The probe's success re-closes.
+	env.c.record(true)
+	if st := env.state(t); st != "closed" {
+		t.Fatalf("state after probe success %q", st)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	env := newBreakerEnv(t, -1)
+	env.down.Store(true)
+	for i := 0; i < 10; i++ {
+		env.c.Get("k")
+	}
+	st, trips, _ := env.c.BreakerState()
+	if st != "" || trips != 0 {
+		t.Fatalf("disabled breaker reported state %q trips %d", st, trips)
+	}
+	// Every call still hits the network: nothing short-circuits.
+	if sc := env.c.Stats().ShortCircuits; sc != 0 {
+		t.Fatalf("disabled breaker short-circuited %d ops", sc)
+	}
+	if got := env.calls.Load(); got != 10 {
+		t.Fatalf("network calls: %d", got)
+	}
+}
+
+func TestBreakerPutFailuresTrip(t *testing.T) {
+	env := newBreakerEnv(t, 2)
+	env.down.Store(true)
+	env.c.Put("a", []byte{1})
+	env.c.Put("b", []byte{2})
+	st, trips, _ := env.c.BreakerState()
+	if st != "open" || trips != 1 {
+		t.Fatalf("put failures: state %q trips %d", st, trips)
+	}
+	// Puts while open are dropped without network traffic but still
+	// counted as attempts.
+	before := env.calls.Load()
+	env.c.Put("c", []byte{3})
+	if env.calls.Load() != before {
+		t.Fatal("open breaker let a put through")
+	}
+	if puts := env.c.Stats().Puts; puts != 3 {
+		t.Fatalf("puts attempted: %d", puts)
+	}
+}

@@ -186,6 +186,8 @@ func (op fleetOp) applyMirror(m *session.Session) error {
 		return m.SetQuery(op.q)
 	case "undo":
 		return m.Undo()
+	case "pct":
+		return m.SetPercentDisplayed(op.w)
 	}
 	return fmt.Errorf("unknown op %q", op.kind)
 }

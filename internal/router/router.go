@@ -41,14 +41,34 @@
 // on it, or the drain timeout expires. Draining preserves live
 // sessions' state; the flip is taken when it is free (or overdue).
 //
-// Session IDs are per-process counters, so a shard's IDs from two
-// different owners can collide across a flip. The router does not
-// disambiguate: after a dead-node flip the old owner's sessions are
-// gone (requests answer 404 and clients recreate), and after a drain
-// flip the old owner had none. What the fleet DOES share across nodes
-// is the cache tier: with a kv store attached (visdbd -shared-kv),
-// the recreated session's recalculations are answered from the
-// fleet's shared entries instead of recomputed.
+// Session IDs are per-process counters plus a per-instance random
+// nonce ("s2.17-a1b2c3"), so a shard's IDs can never collide across a
+// flip or a member restart: a stale ID presented to a new owner (or a
+// restarted old owner) deterministically answers 404 with code
+// "session_not_found", and clients recreate — client.FleetSession
+// automates the recreate-and-replay. What the fleet DOES share across
+// nodes is the cache tier: with a kv store attached (visdbd
+// -shared-kv), the recreated session's recalculations are answered
+// from the fleet's shared entries instead of recomputed.
+//
+// # Redundant routers
+//
+// The router keeps no durable state: placement is a pure function of
+// the healthy-member set, so any number of router processes over the
+// same fleet converge to the identical shard map as their probe loops
+// agree on who is up — run two and clients fail over between them
+// freely. Each router reports a placement hash (a digest of its
+// shard→owner map) in /v1/health, /v1/fleet, and the
+// X-Visdb-Placement-Epoch response header; equal hashes mean
+// identical routing. The per-router placement epoch counts local
+// placement changes and is not comparable across routers. Probe
+// schedules carry jitter so N routers don't stampede members in
+// lockstep.
+//
+// A member that comes back is re-admitted only after FailAfter
+// consecutive clean probes (the same hysteresis that marks it down),
+// so a flapping node can't yank its shards back and forth on every
+// blip.
 //
 // # Endpoints
 //
@@ -60,6 +80,8 @@
 //	GET    /v1/shards             per-shard stats from each shard's owner
 //	GET    /v1/fleet              membership, placement, summed cache
 //	                              counters, fleet shared-hit rate, kv stats
+//	GET    /v1/health             router self-report: placement epoch +
+//	                              hash, healthy member count
 //	GET    /healthz               router liveness
 package router
 
@@ -67,9 +89,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strconv"
@@ -111,6 +135,12 @@ type Config struct {
 	// members keeps routing to its old owner waiting for its sessions
 	// to quiesce; 0 selects 30s.
 	DrainTimeout time.Duration
+	// ProbeJitter spreads each health tick by a random fraction of
+	// HealthInterval in [0, ProbeJitter), so N redundant routers drift
+	// apart instead of stampeding every member in lockstep. 0 selects
+	// DefaultProbeJitter; negative disables jitter; values above 1 are
+	// rejected.
+	ProbeJitter float64
 	// KV is the shared store's base URL, used only to include its
 	// counters in /v1/fleet; empty omits them.
 	KV string
@@ -125,11 +155,16 @@ const (
 	DefaultProbeTimeout   = 1 * time.Second
 	DefaultFailAfter      = 2
 	DefaultDrainTimeout   = 30 * time.Second
+	DefaultProbeJitter    = 0.2
 
 	// retryAfterNodeDown is the Retry-After hint on node_down
 	// responses: the flip has already happened when the response is
 	// written, so the hint only needs to cover client turnaround.
 	retryAfterNodeDown = 1 * time.Second
+	// retryAfterNoHealthy is the hint when the whole fleet is down:
+	// nothing flips until a member recovers, so pace retries at the
+	// health-check horizon rather than client turnaround.
+	retryAfterNoHealthy = 2 * time.Second
 )
 
 // member is one node plus its router-side health state (guarded by
@@ -140,6 +175,10 @@ type member struct {
 
 	healthy bool
 	fails   int
+	// oks counts consecutive clean probes while down: re-admission
+	// waits for FailAfter of them, mirroring the mark-down hysteresis,
+	// so a flapping member can't reshuffle shards on every blip.
+	oks int
 	// health is the last successful probe's report (stale while down).
 	health wire.HealthResponse
 }
@@ -161,9 +200,16 @@ type Router struct {
 	http    *http.Client
 	mux     *http.ServeMux
 	members []*member
+	started time.Time
 
 	mu     sync.RWMutex
 	shards []*shardRoute
+	// placementHash digests the current shard→owner map; equal hashes
+	// across routers mean identical routing. placementEpoch counts this
+	// router's placement changes (local only — epochs of two routers
+	// are not comparable; compare hashes).
+	placementHash  uint64
+	placementEpoch uint64
 }
 
 // New builds a router. Placement starts with every member presumed
@@ -188,11 +234,20 @@ func New(cfg Config) (*Router, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = DefaultDrainTimeout
 	}
-	rt := &Router{cfg: cfg, http: cfg.HTTP}
+	switch {
+	case cfg.ProbeJitter == 0:
+		cfg.ProbeJitter = DefaultProbeJitter
+	case cfg.ProbeJitter < 0:
+		cfg.ProbeJitter = 0
+	case cfg.ProbeJitter > 1:
+		return nil, fmt.Errorf("router: probe jitter %v exceeds 1 (a full health interval)", cfg.ProbeJitter)
+	}
+	rt := &Router{cfg: cfg, http: cfg.HTTP, started: time.Now()}
 	if rt.http == nil {
 		rt.http = &http.Client{Timeout: 30 * time.Second}
 	}
 	seen := make(map[string]bool)
+	seenURL := make(map[string]bool)
 	for _, m := range cfg.Members {
 		if m.Name == "" || m.URL == "" {
 			return nil, fmt.Errorf("router: member needs a name and a URL")
@@ -200,8 +255,12 @@ func New(cfg Config) (*Router, error) {
 		if seen[m.Name] {
 			return nil, fmt.Errorf("router: duplicate member %q", m.Name)
 		}
-		seen[m.Name] = true
-		rt.members = append(rt.members, &member{name: m.Name, url: strings.TrimRight(m.URL, "/"), healthy: true})
+		u := strings.TrimRight(m.URL, "/")
+		if seenURL[u] {
+			return nil, fmt.Errorf("router: members %q and another share URL %s", m.Name, u)
+		}
+		seen[m.Name], seenURL[u] = true, true
+		rt.members = append(rt.members, &member{name: m.Name, url: u, healthy: true})
 	}
 	rt.shards = make([]*shardRoute, cfg.Shards)
 	for i := range rt.shards {
@@ -218,6 +277,7 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("GET /v1/catalogs", rt.handleCatalogs)
 	rt.mux.HandleFunc("GET /v1/shards", rt.handleShards)
 	rt.mux.HandleFunc("GET /v1/fleet", rt.handleFleet)
+	rt.mux.HandleFunc("GET /v1/health", rt.handleHealth)
 	rt.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -281,6 +341,40 @@ func (rt *Router) rebalanceLocked(now time.Time) {
 			}
 		}
 	}
+	if h := rt.placementHashLocked(); h != rt.placementHash {
+		rt.placementHash = h
+		rt.placementEpoch++
+	}
+}
+
+// placementHashLocked digests the shard→owner map. Two routers whose
+// health views agree compute the same placement, hence the same hash —
+// the machine-checkable convergence signal.
+func (rt *Router) placementHashLocked() uint64 {
+	h := fnv.New64a()
+	for i, sr := range rt.shards {
+		name := ""
+		if sr.owner != nil {
+			name = sr.owner.name
+		}
+		fmt.Fprintf(h, "%d=%s\n", i, name)
+	}
+	return h.Sum64()
+}
+
+// PlacementHash returns the current placement digest, formatted as 16
+// hex digits (the form /v1/health and /v1/fleet report).
+func (rt *Router) PlacementHash() string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return fmt.Sprintf("%016x", rt.placementHash)
+}
+
+// PlacementEpoch returns this router's local placement-change counter.
+func (rt *Router) PlacementEpoch() uint64 {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.placementEpoch
 }
 
 // sessionsOn extracts shard's live session count from a health report.
@@ -348,26 +442,43 @@ func (rt *Router) CheckNow(ctx context.Context) {
 	for _, res := range results {
 		if res.err != nil {
 			res.m.fails++
+			res.m.oks = 0
 			if res.m.fails >= rt.cfg.FailAfter {
 				res.m.healthy = false
 			}
 			continue
 		}
 		res.m.fails = 0
-		res.m.healthy = true
 		res.m.health = res.h
+		if !res.m.healthy {
+			// Re-admission hysteresis: a downed member earns its shards
+			// back only after FailAfter consecutive clean probes, so a
+			// flapping node can't reshuffle placement on every blip.
+			res.m.oks++
+			if res.m.oks >= rt.cfg.FailAfter {
+				res.m.healthy = true
+				res.m.oks = 0
+			}
+		}
 	}
 	rt.rebalanceLocked(time.Now())
 }
 
 // Run drives the health loop until ctx is canceled. cmd/visdbrouter
-// runs one for the daemon's lifetime.
+// runs one for the daemon's lifetime. Each tick is stretched by a
+// random fraction of the interval (Config.ProbeJitter) so redundant
+// routers sharing a start time drift apart instead of probing every
+// member in lockstep.
 func (rt *Router) Run(ctx context.Context) {
-	t := time.NewTicker(rt.cfg.HealthInterval)
-	defer t.Stop()
 	for {
+		d := rt.cfg.HealthInterval
+		if j := rt.cfg.ProbeJitter; j > 0 {
+			d += time.Duration(rand.Float64() * j * float64(d))
+		}
+		t := time.NewTimer(d)
 		select {
 		case <-ctx.Done():
+			t.Stop()
 			return
 		case <-t.C:
 			rt.CheckNow(ctx)
@@ -382,6 +493,7 @@ func (rt *Router) markDown(m *member) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	m.fails = rt.cfg.FailAfter
+	m.oks = 0
 	m.healthy = false
 	rt.rebalanceLocked(time.Now())
 }
@@ -395,10 +507,29 @@ func (rt *Router) ownerOf(shard int) (*member, error) {
 	defer rt.mu.RUnlock()
 	sr := rt.shards[shard]
 	if sr.owner == nil || !sr.owner.healthy {
+		if !rt.anyHealthyLocked() {
+			return nil, errNoHealthy
+		}
 		return nil, errNodeDown(sr.owner)
 	}
 	return sr.owner, nil
 }
+
+// anyHealthyLocked reports whether at least one member passes health
+// checks; the caller holds mu (read or write).
+func (rt *Router) anyHealthyLocked() bool {
+	for _, m := range rt.members {
+		if m.healthy {
+			return true
+		}
+	}
+	return false
+}
+
+// errNoHealthy marks the fleet-empty condition: no member passes
+// health checks, so no placement exists anywhere — distinct from
+// node_down, where the shard's owner died but the fleet lives on.
+var errNoHealthy = errors.New("no healthy members: every fleet member is failing health checks")
 
 // nodeDownError marks a shard whose owner is unreachable.
 type nodeDownError struct{ name string }
@@ -424,10 +555,27 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeNodeDown answers the machine-readable node_down response.
-func writeNodeDown(w http.ResponseWriter, err error) {
-	w.Header().Set("Retry-After", strconv.Itoa(int(retryAfterNodeDown/time.Second)))
-	writeJSON(w, http.StatusServiceUnavailable, wire.ErrorResponse{Error: err.Error(), Code: wire.CodeNodeDown})
+// setEpochHeader stamps the response with this router's placement
+// epoch — clients and harnesses can watch it to observe failovers.
+func (rt *Router) setEpochHeader(w http.ResponseWriter) {
+	rt.mu.RLock()
+	epoch := rt.placementEpoch
+	rt.mu.RUnlock()
+	w.Header().Set("X-Visdb-Placement-Epoch", strconv.FormatUint(epoch, 10))
+}
+
+// writeUnavailable answers a routing failure with its machine-readable
+// code: no_healthy_members when the whole fleet is down (retry at the
+// health-check horizon), node_down for a single dead owner (the flip
+// already happened; retry immediately after the hint).
+func (rt *Router) writeUnavailable(w http.ResponseWriter, err error) {
+	code, after := wire.CodeNodeDown, retryAfterNodeDown
+	if errors.Is(err, errNoHealthy) {
+		code, after = wire.CodeNoHealthyMembers, retryAfterNoHealthy
+	}
+	rt.setEpochHeader(w)
+	w.Header().Set("Retry-After", strconv.Itoa(int(after/time.Second)))
+	writeJSON(w, http.StatusServiceUnavailable, wire.ErrorResponse{Error: err.Error(), Code: code})
 }
 
 // forward proxies the request (with body, already buffered or nil) to
@@ -460,7 +608,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, m *member, bod
 			return
 		}
 		rt.markDown(m)
-		writeNodeDown(w, fmt.Errorf("forward to %q: %w", m.name, errNodeDown(m)))
+		rt.writeUnavailable(w, fmt.Errorf("forward to %q: %w", m.name, errNodeDown(m)))
 		return
 	}
 	defer resp.Body.Close()
@@ -469,6 +617,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, m *member, bod
 			w.Header().Set(h, v)
 		}
 	}
+	rt.setEpochHeader(w)
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
 }
@@ -490,7 +639,7 @@ func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
 	shard := server.ShardOf(req.Catalog, rt.cfg.Shards)
 	m, err := rt.ownerOf(shard)
 	if err != nil {
-		writeNodeDown(w, err)
+		rt.writeUnavailable(w, err)
 		return
 	}
 	rt.forward(w, r, m, body)
@@ -506,7 +655,7 @@ func (rt *Router) handleSession(w http.ResponseWriter, r *http.Request) {
 	}
 	m, err := rt.ownerOf(shard)
 	if err != nil {
-		writeNodeDown(w, err)
+		rt.writeUnavailable(w, err)
 		return
 	}
 	// Buffer the body (a few hundred bytes at most) so a passive
@@ -554,7 +703,7 @@ func (rt *Router) handleCatalogs(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.mu.RUnlock()
 	if m == nil {
-		writeNodeDown(w, errNodeDown(nil))
+		rt.writeUnavailable(w, errNoHealthy)
 		return
 	}
 	rt.forward(w, r, m, nil)
@@ -639,7 +788,11 @@ func (rt *Router) handleShards(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
 	stats := rt.memberStats(r.Context())
 	rt.mu.RLock()
-	out := wire.FleetStats{Shards: len(rt.shards)}
+	out := wire.FleetStats{
+		Shards:         len(rt.shards),
+		PlacementEpoch: rt.placementEpoch,
+		PlacementHash:  fmt.Sprintf("%016x", rt.placementHash),
+	}
 	owned := make(map[string][]int)
 	for i, sr := range rt.shards {
 		if sr.owner != nil {
@@ -676,6 +829,29 @@ func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
 			out.KV = wire.KVStats{Gets: st.Gets, Hits: st.Hits, Puts: st.Puts, Entries: st.Entries, Bytes: st.Bytes}
 		}
 	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealth is the router's self-report — the shape a peer router,
+// a load balancer, or the convergence harness polls: placement epoch
+// and hash (equal hashes across routers mean identical routing),
+// healthy-member count, and the fleet's live session total from the
+// latest health reports.
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	rt.mu.RLock()
+	out := wire.HealthResponse{
+		Status:         "ok",
+		UptimeNS:       time.Since(rt.started).Nanoseconds(),
+		PlacementEpoch: rt.placementEpoch,
+		PlacementHash:  fmt.Sprintf("%016x", rt.placementHash),
+	}
+	for _, m := range rt.members {
+		if m.healthy {
+			out.HealthyMembers++
+			out.Sessions += m.health.Sessions
+		}
+	}
+	rt.mu.RUnlock()
 	writeJSON(w, http.StatusOK, out)
 }
 

@@ -53,6 +53,20 @@ const (
 	retryAfterQuarantined = 60 * time.Second
 )
 
+// writeLookupErr maps a failed session lookup to its wire form: a
+// well-formed ID with no live session behind it answers 404 with
+// CodeSessionNotFound (the machine-readable "recreate and replay"
+// signal — the session was reaped, closed, or belongs to a dead
+// instance), while a malformed ID stays an uncoded 404 (retrying or
+// recreating cannot help a garbage ID).
+func writeLookupErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, errNoSession) {
+		writeErrCode(w, http.StatusNotFound, wire.CodeSessionNotFound, 0, err)
+		return
+	}
+	writeErr(w, http.StatusNotFound, err)
+}
+
 // writeRecalcErr maps a failed session operation to its wire form:
 // deadline overruns and cancellations answer 504 (the edit was rolled
 // back; the session still serves its previous result), everything else
@@ -187,7 +201,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) sessionEdit(w http.ResponseWriter, r *http.Request, seq uint64, edit func(ss *serverSession) error) {
 	ss, err := s.lookup(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeLookupErr(w, err)
 		return
 	}
 	ss.mu.Lock()
@@ -322,6 +336,20 @@ func (s *Server) handleUndo(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handlePct fixes the session's displayed fraction — the paper's
+// "percentage of the data displayed" control, now a wire operation.
+// Not undoable: SetPercentDisplayed takes no snapshot, so an undo
+// after a pct change reverts the latest query/range/weight edit.
+func (s *Server) handlePct(w http.ResponseWriter, r *http.Request) {
+	var req wire.PctRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.sessionEdit(w, r, req.Seq, func(ss *serverSession) error {
+		return ss.sess.SetPercentDisplayed(req.Pct)
+	})
+}
+
 // handleResults returns the top-k ranked rows. k defaults to (and is
 // capped at) the displayed count, so the response size tracks the
 // display budget; ?tuples=1 adds the rendered row values. The whole
@@ -330,7 +358,7 @@ func (s *Server) handleUndo(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	ss, err := s.lookup(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeLookupErr(w, err)
 		return
 	}
 	if qerr := ss.cat.quarantineErr(); qerr != nil {
@@ -398,7 +426,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTimings(w http.ResponseWriter, r *http.Request) {
 	ss, err := s.lookup(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeLookupErr(w, err)
 		return
 	}
 	if qerr := ss.cat.quarantineErr(); qerr != nil {
@@ -416,11 +444,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	ss, err := s.lookup(id)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeLookupErr(w, err)
 		return
 	}
 	if !ss.shard.remove(id) {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+		writeErrCode(w, http.StatusNotFound, wire.CodeSessionNotFound, 0, fmt.Errorf("no session %q: %w", id, errNoSession))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "closed"})

@@ -41,6 +41,7 @@
 //	POST   /v1/sessions/{id}/range     move a condition's range (slider)
 //	POST   /v1/sessions/{id}/weight    set a predicate's weighting factor
 //	POST   /v1/sessions/{id}/undo      revert the last modification
+//	POST   /v1/sessions/{id}/pct       fix the displayed fraction
 //	GET    /v1/sessions/{id}/results   top-k ranked rows (?top=k&tuples=1)
 //	GET    /v1/sessions/{id}/timings   stage timings of the last recalc
 //	DELETE /v1/sessions/{id}           close the session
@@ -56,6 +57,9 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"net/http"
@@ -213,6 +217,8 @@ func (cs *catalogState) checkCorrupt() error {
 type shard struct {
 	id       int
 	catalogs []*catalogState
+	// nonce is the server instance's random ID suffix; see Server.nonce.
+	nonce string
 
 	mu       sync.RWMutex
 	sessions map[string]*serverSession
@@ -275,6 +281,14 @@ type Server struct {
 	faultHook func(r *http.Request) *Fault
 	inflight  atomic.Int64
 	started   time.Time
+	// nonce is a per-instance random suffix minted into every session
+	// ID ("s2.17-a1b2c3"). Shard index and counter alone would let a
+	// restarted process resurrect a dead instance's IDs — a stale
+	// client (or a fleet router holding an old route) could then apply
+	// edits to a stranger's session. The nonce makes a stale ID miss
+	// deterministically: the replacement answers 404
+	// session_not_found, which is the signal FleetSession recreates on.
+	nonce string
 }
 
 // New builds a server from the config.
@@ -295,9 +309,10 @@ func New(cfg Config) (*Server, error) {
 		timeout:   cfg.RequestTimeout,
 		faultHook: cfg.FaultHook,
 		started:   time.Now(),
+		nonce:     newNonce(),
 	}
 	for i := range s.shards {
-		s.shards[i] = &shard{id: i, sessions: make(map[string]*serverSession), maxSessions: maxSessions}
+		s.shards[i] = &shard{id: i, nonce: s.nonce, sessions: make(map[string]*serverSession), maxSessions: maxSessions}
 	}
 	for _, cc := range cfg.Catalogs {
 		if cc.Name == "" || (cc.Catalog == nil && cc.Quarantined == nil) {
@@ -384,6 +399,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/range", s.handleRange)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/weight", s.handleWeight)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/undo", s.handleUndo)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/pct", s.handlePct)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/results", s.handleResults)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/timings", s.handleTimings)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
@@ -419,12 +435,25 @@ func (s *Server) sessionOptions(o wire.SessionOptions) core.Options {
 	return opt
 }
 
+// newNonce draws the server instance's session-ID suffix: 3 random
+// bytes in hex, regenerated on every New. Falls back to a clock stamp
+// if the system entropy source fails (still unique across restarts,
+// which is all the suffix needs).
+func newNonce() string {
+	var b [3]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%06x", time.Now().UnixNano()&0xffffff)
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // register allocates an ID on the catalog's shard and installs the
-// session. IDs embed the shard index ("s2.17"), which is the whole
-// routing table: later requests parse the shard straight out of the
-// ID. A full shard (maxSessions live sessions — each pins O(rows)
-// pooled result buffers) refuses registration; clients must close
-// sessions or be shed.
+// session. IDs embed the shard index ("s2.17-a1b2c3"), which is the
+// whole routing table: later requests parse the shard straight out of
+// the ID; the suffix is the instance nonce (see Server.nonce). A full
+// shard (maxSessions live sessions — each pins O(rows) pooled result
+// buffers) refuses registration; clients must close sessions or be
+// shed.
 func (sh *shard) register(sess *session.Session, cs *catalogState) (*serverSession, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -433,7 +462,7 @@ func (sh *shard) register(sess *session.Session, cs *catalogState) (*serverSessi
 	}
 	sh.nextSeq++
 	ss := &serverSession{
-		id:    fmt.Sprintf("s%d.%d", sh.id, sh.nextSeq),
+		id:    fmt.Sprintf("s%d.%d-%s", sh.id, sh.nextSeq, sh.nonce),
 		sess:  sess,
 		shard: sh,
 		cat:   cs,
@@ -462,11 +491,18 @@ func (s *Server) lookup(id string) (*serverSession, error) {
 	ss, ok := sh.sessions[id]
 	sh.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("no session %q", id)
+		return nil, fmt.Errorf("no session %q: %w", id, errNoSession)
 	}
 	ss.touch()
 	return ss, nil
 }
+
+// errNoSession marks a well-formed session ID with no live session
+// behind it — reaped, closed, or minted by a dead instance. Handlers
+// translate it to 404 with wire.CodeSessionNotFound so a recovering
+// client can tell "recreate and replay" apart from "your request is
+// malformed".
+var errNoSession = errors.New("session not found")
 
 // checkCapacityLocked reports whether the shard can take another
 // session; the caller holds the shard lock.

@@ -79,6 +79,18 @@ type WeightRequest struct {
 	Seq uint64 `json:"seq,omitempty"`
 }
 
+// PctRequest fixes the session's displayed fraction:
+// POST /v1/sessions/{id}/pct. Pct must be in [0, 1]; 0 restores the
+// automatic display budget (the window grid decides). Changing the
+// fraction re-normalizes distances (the paper scales relevance to the
+// displayed population), so the operation triggers a recalculation
+// like any other edit — but it takes no snapshot: undo skips over it.
+type PctRequest struct {
+	Pct float64 `json:"pct"`
+	// Seq is the idempotency sequence number; see RangeRequest.Seq.
+	Seq uint64 `json:"seq,omitempty"`
+}
+
 // UndoRequest reverts the last modification:
 // POST /v1/sessions/{id}/undo. The body is optional on the wire (an
 // empty body means Seq 0, the legacy non-idempotent form).
@@ -210,6 +222,15 @@ type SharedStats struct {
 	RemoteHits   uint64 `json:"remote_hits"`
 	RemoteMisses uint64 `json:"remote_misses"`
 	RemotePuts   uint64 `json:"remote_puts"`
+	// RemoteBreaker is the KV client's circuit-breaker state ("closed",
+	// "open", "half-open"; empty when no backend is attached or the
+	// breaker is disabled). RemoteTrips counts closed→open transitions;
+	// RemoteShortCircuits counts requests answered instantly as misses
+	// while the breaker was open — each one is a KV timeout that was
+	// not paid.
+	RemoteBreaker       string `json:"remote_breaker,omitempty"`
+	RemoteTrips         uint64 `json:"remote_trips,omitempty"`
+	RemoteShortCircuits uint64 `json:"remote_short_circuits,omitempty"`
 }
 
 // SharedStatsOf converts the engine's shared-cache counters — the
@@ -217,20 +238,39 @@ type SharedStats struct {
 // (which aggregates one per catalog) and the benchmark reports.
 func SharedStatsOf(st core.SharedStats) SharedStats {
 	return SharedStats{
-		Hits:            st.Hits,
-		Misses:          st.Misses,
-		Fills:           st.Fills,
-		Waits:           st.Waits,
-		Rejects:         st.Rejects,
-		Entries:         st.Entries,
-		Bytes:           st.Bytes,
-		InteriorHits:    st.InteriorHits,
-		InteriorMisses:  st.InteriorMisses,
-		InteriorEntries: st.InteriorEntries,
-		InteriorBytes:   st.InteriorBytes,
-		RemoteHits:      st.RemoteHits,
-		RemoteMisses:    st.RemoteMisses,
-		RemotePuts:      st.RemotePuts,
+		Hits:                st.Hits,
+		Misses:              st.Misses,
+		Fills:               st.Fills,
+		Waits:               st.Waits,
+		Rejects:             st.Rejects,
+		Entries:             st.Entries,
+		Bytes:               st.Bytes,
+		InteriorHits:        st.InteriorHits,
+		InteriorMisses:      st.InteriorMisses,
+		InteriorEntries:     st.InteriorEntries,
+		InteriorBytes:       st.InteriorBytes,
+		RemoteHits:          st.RemoteHits,
+		RemoteMisses:        st.RemoteMisses,
+		RemotePuts:          st.RemotePuts,
+		RemoteBreaker:       st.RemoteBreaker,
+		RemoteTrips:         st.RemoteTrips,
+		RemoteShortCircuits: st.RemoteShortCircuits,
+	}
+}
+
+// breakerRank orders breaker states by badness so an aggregate over
+// many catalogs/shards reports the worst one (an "open" anywhere is
+// the signal an operator needs to see).
+func breakerRank(state string) int {
+	switch state {
+	case "open":
+		return 3
+	case "half-open":
+		return 2
+	case "closed":
+		return 1
+	default: // "" — no backend / breaker disabled
+		return 0
 	}
 }
 
@@ -251,6 +291,11 @@ func (s *SharedStats) Add(o SharedStats) {
 	s.RemoteHits += o.RemoteHits
 	s.RemoteMisses += o.RemoteMisses
 	s.RemotePuts += o.RemotePuts
+	if breakerRank(o.RemoteBreaker) > breakerRank(s.RemoteBreaker) {
+		s.RemoteBreaker = o.RemoteBreaker
+	}
+	s.RemoteTrips += o.RemoteTrips
+	s.RemoteShortCircuits += o.RemoteShortCircuits
 }
 
 // ShardStats describes one shard: GET /v1/shards. Shared aggregates
@@ -302,6 +347,18 @@ type HealthResponse struct {
 	Shards []ShardHealth `json:"shards"`
 	// Quarantined names catalogs refusing service over corrupt data.
 	Quarantined []string `json:"quarantined,omitempty"`
+	// PlacementEpoch/PlacementHash are set only when the responder is a
+	// router (GET /v1/health on visdbrouter). The hash is a digest of
+	// the shard→owner map; because placement is a pure function of the
+	// healthy member set, any two routers probing the same fleet
+	// converge to the same hash once their health views agree. The
+	// epoch is router-local (incremented on every placement change) and
+	// is NOT comparable across routers — compare hashes.
+	PlacementEpoch uint64 `json:"placement_epoch,omitempty"`
+	PlacementHash  string `json:"placement_hash,omitempty"`
+	// HealthyMembers counts members currently passing health checks
+	// (router responses only).
+	HealthyMembers int `json:"healthy_members,omitempty"`
 }
 
 // FleetMember is one visdbd node as the router sees it:
@@ -340,6 +397,11 @@ type FleetStats struct {
 	Shared        SharedStats   `json:"shared"`
 	SharedHitRate float64       `json:"shared_hit_rate"`
 	KV            KVStats       `json:"kv"`
+	// PlacementEpoch/PlacementHash mirror HealthResponse: the hash
+	// identifies the current shard→owner map (equal across converged
+	// routers), the epoch is this router's local change counter.
+	PlacementEpoch uint64 `json:"placement_epoch"`
+	PlacementHash  string `json:"placement_hash"`
 }
 
 // Machine-readable error codes carried in ErrorResponse.Code. Clients
@@ -375,6 +437,18 @@ const (
 	// log) after the Retry-After hint, and the new creation lands on
 	// the shard's new owner.
 	CodeNodeDown = "node_down"
+	// CodeNoHealthyMembers: the fleet router has no healthy member to
+	// place the request's shard on — every node is failing health
+	// checks. Retryable after the Retry-After hint; the first member to
+	// recover re-owns the whole shard map.
+	CodeNoHealthyMembers = "no_healthy_members"
+	// CodeSessionNotFound: the session ID names a serving shard but no
+	// live session — it was reaped by the idle sweep, closed, or died
+	// with its node (a replacement node serves the shard but never knew
+	// the session). Retrying the same request cannot succeed; the
+	// client must recreate the session and replay its operation log
+	// (client.FleetSession automates exactly this).
+	CodeSessionNotFound = "session_not_found"
 )
 
 // ErrorResponse is the body of every non-2xx response.

@@ -172,10 +172,14 @@ func (p *RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
 // back deadline overrun (deadline/canceled: the same Seq re-applies
 // exactly once) — retry, as does catalog_quarantined (the catalog may
 // come back on a healthy replacement node even though one node's
-// quarantine is sticky). Coded 4xx conflicts (seq_conflict,
-// nothing_to_undo) never retry — the server made a deterministic
-// decision — and anything else falls back to the status class (5xx
-// retries, 4xx does not).
+// quarantine is sticky) and no_healthy_members (the whole fleet is
+// down; the Retry-After hint paces the wait for the first recovery).
+// Coded 4xx conflicts (seq_conflict, nothing_to_undo,
+// session_not_found) never retry — the server made a deterministic
+// decision; session_not_found in particular cannot heal by
+// retransmission, only by recreating the session (FleetSession does) —
+// and anything else falls back to the status class (5xx retries, 4xx
+// does not).
 func retryable(err error) bool {
 	if err == nil {
 		return false
@@ -183,9 +187,9 @@ func retryable(err error) bool {
 	if ae, ok := err.(*APIError); ok {
 		switch ae.Code {
 		case wire.CodeNodeDown, wire.CodeCatalogQuarantined, wire.CodeSessionCap,
-			wire.CodeDeadline, wire.CodeCanceled:
+			wire.CodeDeadline, wire.CodeCanceled, wire.CodeNoHealthyMembers:
 			return true
-		case wire.CodeSeqConflict, wire.CodeNothingToUndo:
+		case wire.CodeSeqConflict, wire.CodeNothingToUndo, wire.CodeSessionNotFound:
 			return false
 		}
 		// Unknown or absent code: fall back to the status class.
@@ -392,6 +396,17 @@ func (s *Session) SetWeight(ctx context.Context, pred int, weight float64) (Summ
 func (s *Session) Undo(ctx context.Context) (Summary, error) {
 	var sum Summary
 	err := s.c.do(ctx, http.MethodPost, s.path("undo"), wire.UndoRequest{Seq: s.nextSeq()}, &sum)
+	return sum, err
+}
+
+// SetPercentDisplayed fixes the displayed fraction (the paper's
+// "percentage of the data displayed" control); pct must be in [0, 1],
+// 0 restores the automatic display budget. Not undoable: the server
+// takes no snapshot for it, so a following Undo reverts the latest
+// query/range/weight edit instead.
+func (s *Session) SetPercentDisplayed(ctx context.Context, pct float64) (Summary, error) {
+	var sum Summary
+	err := s.c.do(ctx, http.MethodPost, s.path("pct"), wire.PctRequest{Pct: pct, Seq: s.nextSeq()}, &sum)
 	return sum, err
 }
 
